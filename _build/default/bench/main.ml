@@ -1,0 +1,229 @@
+(* Bechamel timing benches: one Test.make per table/figure of the paper
+   (the per-experiment index of DESIGN.md), all in one executable.
+
+   dune exec bench/main.exe *)
+
+open Bechamel
+open Toolkit
+module F = Ic_families
+module G = Ic_granularity
+
+let stage = Staged.stage
+
+(* E1 / Fig 1: building and scheduling the whole block repertoire *)
+let fig1_blocks =
+  Test.make ~name:"fig1_blocks"
+    (stage (fun () ->
+         List.concat_map
+           (fun s ->
+             Ic_blocks.Repertoire.
+               [ vee s; lambda s; w s; m s; n s; cycle (s + 1) ])
+           [ 1; 2; 4; 8; 16 ]))
+
+(* E2 / Fig 2: a 510-task diamond with its Theorem 2.1 schedule *)
+let fig2_diamond =
+  Test.make ~name:"fig2_diamond"
+    (stage (fun () ->
+         let d = F.Diamond.complete ~arity:2 ~depth:8 in
+         F.Diamond.schedule d))
+
+(* E3 / Fig 3: coarsening that diamond *)
+let fig3_coarsen_diamond =
+  let d = F.Diamond.complete ~arity:2 ~depth:8 in
+  Test.make ~name:"fig3_coarsen_diamond"
+    (stage (fun () -> G.Coarsen_diamond.uniform d ~depth:4))
+
+(* E4+E5 / Fig 4, Table 1: the three alternating composition types *)
+let table1_compositions =
+  let s1 = F.Out_tree.complete ~arity:2 ~depth:3 in
+  let s2 = F.Out_tree.complete ~arity:2 ~depth:4 in
+  Test.make ~name:"table1_compositions"
+    (stage (fun () ->
+         List.map
+           (fun items -> F.Alternating.schedule (F.Alternating.build_exn items))
+           [
+             F.Alternating.diamond_chain [ s1; s2 ];
+             F.Alternating.in_prefixed s1 [ s2 ];
+             F.Alternating.out_suffixed [ s1 ] s2;
+           ]))
+
+(* E6 / Fig 5: wavefront mesh construction + schedule + profile *)
+let fig5_mesh =
+  Test.make ~name:"fig5_mesh"
+    (stage (fun () ->
+         let g = F.Mesh.out_mesh 40 in
+         Ic_dag.Profile.run g (F.Mesh.out_schedule 40)))
+
+(* E7 / Fig 6: the W-dag composition and its Theorem 2.1 schedule *)
+let fig6_wdag_composition =
+  Test.make ~name:"fig6_wdag_composition"
+    (stage (fun () ->
+         let c, sigmas = F.Mesh.w_decomposition 20 in
+         Ic_core.Linear.schedule_exn c sigmas))
+
+(* E8 / Fig 7: the coarsening sweep *)
+let fig7_coarsen_mesh =
+  Test.make ~name:"fig7_coarsen_mesh"
+    (stage (fun () -> G.Coarsen_mesh.scaling ~levels:47 ~blocks:[ 1; 2; 4; 8 ]))
+
+(* E9 / Figs 8-10: B_8 (2304 tasks) with its pairing schedule *)
+let fig8_10_butterfly =
+  Test.make ~name:"fig8_10_butterfly"
+    (stage (fun () ->
+         let g = F.Butterfly_net.dag 8 in
+         Ic_dag.Profile.run g (F.Butterfly_net.schedule 8)))
+
+(* E10 / eq 5.1: bitonic sorting 256 keys through the comparator dag *)
+let eq51_sort =
+  let rng = Random.State.make [| 1 |] in
+  let keys = Array.init 256 (fun _ -> Random.State.int rng 100_000) in
+  Test.make ~name:"eq51_sort" (stage (fun () -> Ic_compute.Sorting.sort keys))
+
+(* E10 / eq 5.2: polynomial product via three butterfly executions *)
+let eq52_fft_convolution =
+  let rng = Random.State.make [| 2 |] in
+  let coeffs n = Array.init n (fun _ -> Random.State.float rng 2.0 -. 1.0) in
+  let a = coeffs 256 and b = coeffs 256 in
+  Test.make ~name:"eq52_fft_convolution"
+    (stage (fun () -> Ic_compute.Convolution.poly_mul_fft a b))
+
+(* E11 / Figs 11-12: P_256 with its N-dag schedule *)
+let fig11_12_prefix =
+  Test.make ~name:"fig11_12_prefix"
+    (stage (fun () ->
+         let g = F.Prefix_dag.dag 256 in
+         Ic_dag.Profile.run g (F.Prefix_dag.schedule 256)))
+
+(* E12 / Fig 13: the L_32 dag and an 8-point DLT through L_8 *)
+let fig13_dlt =
+  let x = Array.init 8 (fun i -> { Complex.re = float_of_int i; im = 0.0 }) in
+  let omega = Complex.polar 1.0 (2.0 *. Float.pi /. 8.0) in
+  Test.make ~name:"fig13_dlt"
+    (stage (fun () ->
+         let t = F.Dlt_dag.l_dag 32 in
+         ignore (F.Dlt_dag.schedule t);
+         Ic_compute.Dlt.via_prefix ~x ~omega ~k:3))
+
+(* E13 / Figs 14-15: L'_64 and the ternary-tree DLT *)
+let fig14_15_dlt_tree =
+  let x = Array.init 8 (fun i -> { Complex.re = float_of_int i; im = 0.0 }) in
+  let omega = Complex.polar 1.0 (2.0 *. Float.pi /. 8.0) in
+  Test.make ~name:"fig14_15_dlt_tree"
+    (stage (fun () ->
+         let t = F.Dlt_dag.l_prime_dag 64 in
+         ignore (F.Dlt_dag.schedule t);
+         Ic_compute.Dlt.via_tree ~x ~omega ~k:3))
+
+(* E14 / Fig 16: path-length vectors of a 16-node graph, 8 powers *)
+let fig16_paths =
+  let rng = Random.State.make [| 3 |] in
+  let a = Ic_compute.Bool_matrix.random rng 16 ~density:0.2 in
+  Test.make ~name:"fig16_paths"
+    (stage (fun () -> Ic_compute.Paths.compute a ~k:8))
+
+(* E15 / Fig 17: 32x32 matrices through recursive M executions *)
+let fig17_matmul =
+  let rng = Random.State.make [| 4 |] in
+  let a = Ic_compute.Matmul.random rng 32 and b = Ic_compute.Matmul.random rng 32 in
+  Test.make ~name:"fig17_matmul"
+    (stage (fun () -> Ic_compute.Matmul.multiply ~threshold:8 a b))
+
+(* E16: one simulator run, IC-optimal policy on the L=20 mesh, 6 clients *)
+let sim_assessment =
+  let g = F.Mesh.out_mesh 20 in
+  let theory = F.Mesh.out_schedule 20 in
+  let config = Ic_sim.Simulator.config ~n_clients:6 ~jitter:0.5 () in
+  Test.make ~name:"sim_assessment"
+    (stage (fun () ->
+         Ic_sim.Simulator.run config
+           (Ic_heuristics.Policy.of_schedule "ic-optimal" theory)
+           ~workload:Ic_sim.Workload.unit g))
+
+(* supporting machinery worth tracking: the exact verifier and the priority
+   relation over the repertoire *)
+(* A2: the automatic scheduler decomposing and scheduling the matmul dag *)
+let auto_scheduler =
+  let g = F.Matmul_dag.dag () in
+  Test.make ~name:"auto_scheduler" (stage (fun () -> Ic_core.Auto.schedule g))
+
+let verifier_brute_force =
+  let g = F.Butterfly_net.dag 2 in
+  let s = F.Butterfly_net.schedule 2 in
+  Test.make ~name:"verifier_brute_force"
+    (stage (fun () -> Ic_dag.Optimal.is_ic_optimal g s))
+
+let priority_matrix =
+  let eps = List.map Ic_core.Priority.of_block Ic_blocks.Repertoire.all in
+  Test.make ~name:"priority_matrix"
+    (stage (fun () ->
+         List.iter
+           (fun a -> List.iter (fun b -> ignore (Ic_core.Priority.has_priority a b)) eps)
+           eps))
+
+(* E16b: burst-service sweep from a profile *)
+let burst_service =
+  let g = F.Mesh.out_mesh 20 in
+  let s = F.Mesh.out_schedule 20 in
+  Test.make ~name:"burst_service"
+    (stage (fun () -> Ic_sim.Burst.sweep ~bursts:[ 1; 2; 4; 8 ] g s))
+
+(* E17: batched scheduling, greedy and exact *)
+let batched_greedy =
+  let g = F.Mesh.out_mesh 12 in
+  Test.make ~name:"batched_greedy"
+    (stage (fun () -> Ic_batch.Batched.greedy g ~batch_size:4))
+
+let batched_exact =
+  let g = F.Mesh.out_mesh 4 in
+  Test.make ~name:"batched_exact_dp"
+    (stage (fun () -> Ic_batch.Batched.optimal g ~batch_size:2))
+
+let tests =
+  Test.make_grouped ~name:"ic-scheduling"
+    [
+      fig1_blocks; fig2_diamond; fig3_coarsen_diamond; table1_compositions;
+      fig5_mesh; fig6_wdag_composition; fig7_coarsen_mesh; fig8_10_butterfly;
+      eq51_sort; eq52_fft_convolution; fig11_12_prefix; fig13_dlt;
+      fig14_15_dlt_tree; fig16_paths; fig17_matmul; sim_assessment;
+      burst_service; batched_greedy; batched_exact; auto_scheduler;
+      verifier_brute_force; priority_matrix;
+    ]
+
+let () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None
+      ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results = List.map (fun i -> Analyze.all ols i raw) instances in
+  let merged = Analyze.merge ols instances results in
+  Format.printf "%-45s %15s %10s@." "benchmark" "time/run" "r^2";
+  Hashtbl.iter
+    (fun _label by_name ->
+      let rows =
+        Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) by_name []
+        |> List.sort compare
+      in
+      List.iter
+        (fun (name, ols) ->
+          let time =
+            match Analyze.OLS.estimates ols with
+            | Some (t :: _) ->
+              if t > 1e9 then Printf.sprintf "%.3f s" (t /. 1e9)
+              else if t > 1e6 then Printf.sprintf "%.3f ms" (t /. 1e6)
+              else if t > 1e3 then Printf.sprintf "%.3f us" (t /. 1e3)
+              else Printf.sprintf "%.1f ns" t
+            | _ -> "n/a"
+          in
+          let r2 =
+            match Analyze.OLS.r_square ols with
+            | Some r -> Printf.sprintf "%.4f" r
+            | None -> "n/a"
+          in
+          Format.printf "%-45s %15s %10s@." name time r2)
+        rows)
+    merged

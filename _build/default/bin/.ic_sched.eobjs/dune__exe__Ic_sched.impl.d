@@ -1,0 +1,1 @@
+bin/ic_sched.ml: Arg Array Cmd Cmdliner Format Ic_batch Ic_cli Ic_core Ic_dag Ic_heuristics Ic_sim List Printf Random Result String Term

@@ -1,0 +1,1 @@
+bin/ic_sched.mli:

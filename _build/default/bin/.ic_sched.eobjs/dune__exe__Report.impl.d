@@ -1,0 +1,1 @@
+bin/report.ml: Array Complex Float Format Ic_batch Ic_blocks Ic_compute Ic_core Ic_dag Ic_families Ic_granularity Ic_heuristics Ic_sim List Printf Random Result String Sys

@@ -1,0 +1,257 @@
+(* ic_sched: command-line front end for the IC-scheduling library.
+
+   dune exec bin/ic_sched.exe -- info mesh:6
+   dune exec bin/ic_sched.exe -- schedule butterfly:3
+   dune exec bin/ic_sched.exe -- verify prefix:8
+   dune exec bin/ic_sched.exe -- dot diamond:2.3
+   dune exec bin/ic_sched.exe -- simulate mesh:16 --clients 8 --policy fifo
+   dune exec bin/ic_sched.exe -- compare butterfly:5 --clients 8 *)
+
+open Cmdliner
+module Dag = Ic_dag.Dag
+module Schedule = Ic_dag.Schedule
+module Profile = Ic_dag.Profile
+module Optimal = Ic_dag.Optimal
+module Policy = Ic_heuristics.Policy
+
+let family_conv =
+  let parse s = Result.map_error (fun e -> `Msg e) (Ic_cli.Family_spec.parse s) in
+  let print ppf (f : Ic_cli.Family_spec.t) = Format.pp_print_string ppf f.spec in
+  Arg.conv (parse, print)
+
+let family_pos =
+  let doc =
+    "Dag family specification. Known families: "
+    ^ String.concat "; "
+        (List.map (fun (k, v) -> Printf.sprintf "%s (%s)" k v)
+           Ic_cli.Family_spec.families_help)
+  in
+  Arg.(required & pos 0 (some family_conv) None & info [] ~docv:"FAMILY" ~doc)
+
+let policy_conv =
+  let all = ("ic-optimal", None) :: List.map (fun p -> (Policy.name p, Some p)) Policy.baselines in
+  let parse s =
+    match List.assoc_opt s all with
+    | Some p -> Ok p
+    | None ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown policy %S (known: %s)" s
+              (String.concat ", " (List.map fst all))))
+  in
+  let print ppf = function
+    | None -> Format.pp_print_string ppf "ic-optimal"
+    | Some p -> Format.pp_print_string ppf (Policy.name p)
+  in
+  Arg.conv (parse, print)
+
+(* --- info --- *)
+
+let info_cmd =
+  let run (f : Ic_cli.Family_spec.t) =
+    let g = f.dag in
+    Format.printf "%s@." f.description;
+    Format.printf "nodes        %d@." (Dag.n_nodes g);
+    Format.printf "arcs         %d@." (Dag.n_arcs g);
+    Format.printf "sources      %d@." (List.length (Dag.sources g));
+    Format.printf "sinks        %d@." (List.length (Dag.sinks g));
+    Format.printf "longest path %d@." (Dag.longest_path g);
+    Format.printf "connected    %b@." (Dag.is_connected g)
+  in
+  Cmd.v
+    (Cmd.info "info" ~doc:"Show a dag family's vital statistics")
+    Term.(const run $ family_pos)
+
+(* --- dot --- *)
+
+let dot_cmd =
+  let run (f : Ic_cli.Family_spec.t) = print_string (Dag.to_dot f.dag) in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Emit the dag in GraphViz format")
+    Term.(const run $ family_pos)
+
+(* --- schedule --- *)
+
+let schedule_cmd =
+  let run (f : Ic_cli.Family_spec.t) =
+    Format.printf "%s@." f.description;
+    Format.printf "schedule: %a@." (Schedule.pp f.dag) f.schedule;
+    Format.printf "eligibility profile: %a@." Profile.pp (Profile.run f.dag f.schedule)
+  in
+  Cmd.v
+    (Cmd.info "schedule"
+       ~doc:"Print the family's constructive IC-optimal schedule and its profile")
+    Term.(const run $ family_pos)
+
+(* --- verify --- *)
+
+let verify_cmd =
+  let max_ideals =
+    Arg.(value & opt int 2_000_000 & info [ "max-ideals" ] ~doc:"Ideal-enumeration budget")
+  in
+  let run (f : Ic_cli.Family_spec.t) max_ideals =
+    match Optimal.analyze ~max_ideals f.dag with
+    | Error (`Too_large k) ->
+      Format.printf
+        "dag too large for exhaustive verification (%d); falling back to \
+         dominance over 200 random schedules@."
+        k;
+      let rng = Random.State.make [| 0xC0FFEE |] in
+      let p = Profile.run f.dag f.schedule in
+      let dominated = ref 0 in
+      for _ = 1 to 200 do
+        if Profile.dominates p (Profile.run f.dag (Ic_dag.Gen.random_schedule rng f.dag))
+        then incr dominated
+      done;
+      Format.printf "dominates %d / 200 sampled schedules@." !dominated;
+      if !dominated < 200 then exit 1
+    | Ok a ->
+      let optimal = Profile.run f.dag f.schedule = a.Optimal.e_opt in
+      Format.printf "ideals enumerated: %d@." a.Optimal.n_ideals;
+      Format.printf "dag admits an IC-optimal schedule: %b@." a.Optimal.admits;
+      Format.printf "constructive schedule is IC-optimal: %b@." optimal;
+      if not optimal then exit 1
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Check the constructive schedule against the brute-force optimum")
+    Term.(const run $ family_pos $ max_ideals)
+
+(* --- simulate --- *)
+
+let clients_arg =
+  Arg.(value & opt int 4 & info [ "clients" ] ~doc:"Number of remote clients")
+
+let jitter_arg =
+  Arg.(value & opt float 0.25 & info [ "jitter" ] ~doc:"Execution-time noise amplitude")
+
+let seed_arg = Arg.(value & opt int 0x5EED & info [ "seed" ] ~doc:"Simulation seed")
+
+let simulate_cmd =
+  let policy_arg =
+    Arg.(
+      value
+      & opt policy_conv None
+      & info [ "policy" ] ~doc:"Allocation policy (default: ic-optimal)")
+  in
+  let run (f : Ic_cli.Family_spec.t) clients jitter seed policy =
+    let policy =
+      match policy with
+      | Some p -> p
+      | None -> Policy.of_schedule "ic-optimal" f.schedule
+    in
+    let config = Ic_sim.Simulator.config ~n_clients:clients ~jitter ~seed () in
+    let r = Ic_sim.Simulator.run config policy ~workload:Ic_sim.Workload.unit f.dag in
+    Format.printf "%s under %s with %d clients:@.%a@." f.description
+      (Policy.name policy) clients Ic_sim.Simulator.pp_result r
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run the Internet-computing simulator on a family")
+    Term.(const run $ family_pos $ clients_arg $ jitter_arg $ seed_arg $ policy_arg)
+
+(* --- compare --- *)
+
+let compare_cmd =
+  let run (f : Ic_cli.Family_spec.t) clients jitter seed =
+    let config = Ic_sim.Simulator.config ~n_clients:clients ~jitter ~seed () in
+    Format.printf "%s, %d clients:@." f.description clients;
+    Ic_sim.Assessment.pp_rows Format.std_formatter
+      (Ic_sim.Assessment.compare_policies ~config f.dag ~theory:f.schedule)
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Compare the IC-optimal policy against every baseline heuristic")
+    Term.(const run $ family_pos $ clients_arg $ jitter_arg $ seed_arg)
+
+(* --- batch --- *)
+
+let batch_cmd =
+  let size_arg =
+    Arg.(value & opt int 2 & info [ "size"; "p" ] ~doc:"Batch size")
+  in
+  let exact_arg =
+    Arg.(value & flag & info [ "exact" ] ~doc:"Use the exact (exponential) DP")
+  in
+  let run (f : Ic_cli.Family_spec.t) size exact =
+    let module B = Ic_batch.Batched in
+    let t =
+      if exact then
+        match B.optimal f.dag ~batch_size:size with
+        | Ok t -> t
+        | Error (`Too_large k) ->
+          Format.eprintf "dag too large for the exact DP (%d states)@." k;
+          exit 1
+      else B.greedy f.dag ~batch_size:size
+    in
+    Format.printf "%s, %s %d-batched schedule:@." f.description
+      (if exact then "lex-optimal" else "greedy") size;
+    List.iteri
+      (fun j batch ->
+        Format.printf "  batch %2d: %s@." (j + 1)
+          (String.concat " " (List.map (Dag.label f.dag) batch)))
+      t.B.batches;
+    Format.printf "profile after each batch: %a@." Profile.pp (B.profile f.dag t)
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:"Produce a batched schedule (the [20]-style regimen; see Ic_batch)")
+    Term.(const run $ family_pos $ size_arg $ exact_arg)
+
+(* --- auto --- *)
+
+let auto_cmd =
+  let run (f : Ic_cli.Family_spec.t) =
+    match Ic_core.Auto.schedule f.dag with
+    | Error msg ->
+      Format.eprintf "cannot auto-schedule: %s@." msg;
+      exit 1
+    | Ok p ->
+      Format.printf "%s: decomposed into %d building blocks:@." f.description
+        (List.length p.Ic_core.Auto.blocks);
+      List.iter
+        (fun b ->
+          Format.printf "  level %d: %s@." b.Ic_core.Auto.level b.Ic_core.Auto.name)
+        p.Ic_core.Auto.blocks;
+      Format.printf "certificate: %s@."
+        (match p.Ic_core.Auto.certificate with
+        | `Linear -> "|>-linear (IC-optimal by Theorem 2.1)"
+        | `Unverified -> "phase schedule only (|> failed at some step)");
+      Format.printf "schedule: %a@."
+        (Schedule.pp f.dag) p.Ic_core.Auto.schedule
+  in
+  Cmd.v
+    (Cmd.info "auto"
+       ~doc:
+         "Decompose a levelled dag into building blocks and derive its \
+          IC-optimal schedule automatically (the [21] algorithm)")
+    Term.(const run $ family_pos)
+
+(* --- prio --- *)
+
+let prio_cmd =
+  (* the PRIO-tool idea of the paper's reference [19]: turn the IC-optimal
+     schedule into static per-task priorities for a Condor-DAGMan-style
+     engine (higher priority = allocate earlier) *)
+  let run (f : Ic_cli.Family_spec.t) =
+    let n = Dag.n_nodes f.dag in
+    let order = Schedule.order f.schedule in
+    Array.iteri
+      (fun rank v ->
+        Format.printf "JOB %s PRIORITY %d@." (Dag.label f.dag v) (n - rank))
+      order
+  in
+  Cmd.v
+    (Cmd.info "prio"
+       ~doc:
+         "Export the IC-optimal schedule as static task priorities \
+          (DAGMan-style, after the PRIO tool of [19])")
+    Term.(const run $ family_pos)
+
+let main =
+  Cmd.group
+    (Cmd.info "ic_sched" ~version:"1.0.0"
+       ~doc:"IC-Scheduling Theory: dags, IC-optimal schedules, and simulation")
+    [ info_cmd; dot_cmd; schedule_cmd; verify_cmd; simulate_cmd; compare_cmd;
+      batch_cmd; auto_cmd; prio_cmd ]
+
+let () = exit (Cmd.eval main)

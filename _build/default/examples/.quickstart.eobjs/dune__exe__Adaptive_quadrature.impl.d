@@ -1,0 +1,1 @@
+examples/adaptive_quadrature.ml: Array Float Format Ic_compute Ic_dag Ic_families Ic_heuristics

@@ -1,0 +1,1 @@
+examples/almost_optimal.ml: Format Ic_batch Ic_dag List Result String

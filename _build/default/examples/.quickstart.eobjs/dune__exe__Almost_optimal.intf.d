@@ -1,0 +1,1 @@
+examples/almost_optimal.mli:

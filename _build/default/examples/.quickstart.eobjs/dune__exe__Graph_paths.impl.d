@@ -1,0 +1,1 @@
+examples/graph_paths.ml: Array Format Ic_compute Ic_dag Ic_families List Printf String

@@ -1,0 +1,1 @@
+examples/grid_simulation.ml: Array Format Ic_dag Ic_families Ic_sim

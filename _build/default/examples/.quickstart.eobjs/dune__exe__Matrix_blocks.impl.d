@@ -1,0 +1,1 @@
+examples/matrix_blocks.ml: Format Ic_compute Ic_dag Ic_families Random Result String

@@ -1,0 +1,1 @@
+examples/polynomial_product.ml: Array Float Format Ic_compute Ic_dag Ic_families Random Result

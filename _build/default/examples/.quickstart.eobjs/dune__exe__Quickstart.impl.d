@@ -1,0 +1,1 @@
+examples/quickstart.ml: Float Format Ic_compute Ic_dag Ic_families Result

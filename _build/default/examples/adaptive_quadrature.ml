@@ -1,0 +1,43 @@
+(* Section 3.2: adaptive numerical integration as an expansion-reduction
+   computation. The subdivision builds an irregular out-tree; its dual
+   in-tree accumulates the areas; the resulting diamond dag is scheduled
+   IC-optimally and the integral is computed through it.
+
+   Run with: dune exec examples/adaptive_quadrature.exe *)
+
+module Q = Ic_compute.Quadrature
+module Profile = Ic_dag.Profile
+module Policy = Ic_heuristics.Policy
+
+let integrate_and_report name rule f lo hi tol exact =
+  let r = Q.integrate ~rule ~f ~lo ~hi ~tol () in
+  let g = Ic_families.Diamond.dag r.Q.diamond in
+  Format.printf "%-28s value %.8f  (exact %.8f, error %.2e)  tasks %d@." name
+    r.Q.value exact
+    (Float.abs (r.Q.value -. exact))
+    r.Q.n_tasks;
+  (* how much better is the IC-optimal order at producing eligible work
+     than LIFO (depth-first) on the same dag? *)
+  let theory = Profile.run g r.Q.schedule in
+  let lifo = Profile.run g (Policy.run Policy.lifo g) in
+  let avg p =
+    float_of_int (Array.fold_left ( + ) 0 p) /. float_of_int (Array.length p)
+  in
+  Format.printf "%-28s mean eligible: ic-optimal %.2f vs lifo %.2f@." "" (avg theory)
+    (avg lifo)
+
+let () =
+  Format.printf "Adaptive quadrature through expansion-reduction dags@.@.";
+  integrate_and_report "sin, trapezoid, tol 1e-6" Q.Trapezoid sin 0.0 Float.pi 1e-6 2.0;
+  integrate_and_report "sin, Simpson, tol 1e-8" Q.Simpson sin 0.0 Float.pi 1e-8 2.0;
+  integrate_and_report "sqrt (endpoint singularity)" Q.Trapezoid sqrt 0.0 1.0 1e-6
+    (2.0 /. 3.0);
+  integrate_and_report "exp on [0,1]" Q.Simpson exp 0.0 1.0 1e-10 (Float.exp 1.0 -. 1.0);
+  let wiggly x = sin (10.0 *. x) /. (1.0 +. x) in
+  (* reference value computed with very fine tolerance *)
+  let exact = Q.reference ~rule:Q.Simpson ~max_depth:20 ~f:wiggly ~lo:0.0 ~hi:3.0 ~tol:1e-13 () in
+  integrate_and_report "sin(10x)/(1+x) on [0,3]" Q.Simpson wiggly 0.0 3.0 1e-9 exact;
+  Format.printf
+    "@.The sqrt case shows the point of adaptivity: the subdivision tree is@.\
+     deep near 0 and shallow elsewhere, yet the diamond dag still admits an@.\
+     IC-optimal schedule (out-tree phase, then in-tree phase).@."

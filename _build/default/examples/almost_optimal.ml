@@ -1,0 +1,55 @@
+(* Section 8, research direction 2: "rigorous notions of 'almost' optimal
+   scheduling that apply to ALL dags (important since the strong demands of
+   IC optimality preclude the IC-optimal scheduling of many dags)".
+
+   This example shows a 7-task dag that provably admits NO IC-optimal
+   schedule, then schedules it anyway with the batched/lexicographic
+   machinery of Ic_batch (after the paper's reference [20]).
+
+   Run with: dune exec examples/almost_optimal.exe *)
+
+module Dag = Ic_dag.Dag
+module Profile = Ic_dag.Profile
+module Optimal = Ic_dag.Optimal
+module B = Ic_batch.Batched
+
+let () =
+  let g =
+    Dag.make_exn
+      ~labels:[| "a"; "b"; "c"; "d"; "e"; "f"; "g" |]
+      ~n:7
+      ~arcs:[ (0, 2); (0, 4); (1, 2); (1, 4); (2, 6); (3, 5) ]
+      ()
+  in
+  Format.printf "%a@." Dag.pp g;
+  let a = Result.get_ok (Optimal.analyze g) in
+  Format.printf "pointwise-best profile over all schedules: %a@." Profile.pp
+    a.Optimal.e_opt;
+  Format.printf "some single schedule attains it everywhere: %b@."
+    a.Optimal.admits;
+  Format.printf
+    "@.Why: reaching E=3 at step 1 requires executing d (freeing f while \
+     keeping a, b@.eligible), but then at step 2 no move keeps three tasks \
+     eligible; conversely@.any prefix that stays optimal later must spend \
+     step 1 differently. The exact@.verifier enumerates all %d ideals to \
+     prove no pointwise winner exists.@."
+    a.Optimal.n_ideals;
+
+  (* the lexicographic (batched, p = 1) optimum always exists *)
+  let t = Result.get_ok (B.optimal g ~batch_size:1) in
+  Format.printf "@.lex-optimal schedule (batch size 1): %s@."
+    (String.concat " "
+       (List.map (fun batch -> Dag.label g (List.hd batch)) t.B.batches));
+  Format.printf "its profile:  %a@." Profile.pp (B.profile g t);
+  Format.printf "the ceiling:  %a  (unattainable at one step)@." Profile.pp
+    a.Optimal.e_opt;
+
+  (* batches of two: the server hands out pairs *)
+  let t2 = Result.get_ok (B.optimal g ~batch_size:2) in
+  Format.printf "@.lex-optimal batches of size 2:@.";
+  List.iteri
+    (fun j batch ->
+      Format.printf "  batch %d: %s@." (j + 1)
+        (String.concat ", " (List.map (Dag.label g) batch)))
+    t2.B.batches;
+  Format.printf "profile after each batch: %a@." Profile.pp (B.profile g t2)

@@ -1,0 +1,46 @@
+(* Section 6.2.2, Fig. 16: computing the paths in a 9-node graph with an
+   8-input parallel prefix over logical matrix multiplication feeding an
+   accumulating in-tree.
+
+   Run with: dune exec examples/graph_paths.exe *)
+
+module BM = Ic_compute.Bool_matrix
+module Paths = Ic_compute.Paths
+
+let () =
+  (* the same flavour of example as the paper: 9 nodes, path lengths 1..8 *)
+  let edges =
+    [ (0, 1); (1, 2); (2, 3); (3, 0); (1, 4); (4, 5); (5, 6); (6, 7); (7, 8); (8, 0) ]
+  in
+  let a = BM.of_edges 9 edges in
+  Format.printf "graph arcs: %s@.@."
+    (String.concat " " (List.map (fun (i, j) -> Printf.sprintf "%d->%d" i j) edges));
+  let m = Paths.compute a ~k:8 in
+  Format.printf
+    "path-length vectors (rows: source; one bit per length 1..8):@.@.";
+  Format.printf "      to:  ";
+  for j = 0 to 8 do
+    Format.printf "%-10d" j
+  done;
+  Format.printf "@.";
+  for i = 0 to 8 do
+    Format.printf "from %d:    " i;
+    for j = 0 to 8 do
+      let vec =
+        String.init 8 (fun len -> if m.(i).(j).(len) then '1' else '0')
+      in
+      Format.printf "%-10s" vec
+    done;
+    Format.printf "@."
+  done;
+  Format.printf
+    "@.e.g. the 0-1-2-3 cycle gives 0 ~> 0 walks of every length divisible \
+     by 4;@.the long way round (0-1-4-5-6-7-8-0) closes in 7 steps.@.";
+  Format.printf "@.consistent with direct repeated multiplication: %b@."
+    (m = Paths.reference a ~k:8);
+  let dag = Ic_families.Path_dag.dag 8 in
+  Format.printf
+    "the whole computation ran through the 39-task L_8-shaped dag under its \
+     IC-optimal schedule@.(dag has %d tasks; schedule verified IC-optimal in \
+     the test suite).@."
+    (Ic_dag.Dag.n_nodes dag)

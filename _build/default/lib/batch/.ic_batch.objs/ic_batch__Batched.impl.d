@@ -1,0 +1,1 @@
+lib/batch/batched.ml: Array Hashtbl Ic_dag List Result

@@ -1,0 +1,1 @@
+lib/batch/batched.mli: Ic_dag

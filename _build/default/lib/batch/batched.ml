@@ -1,0 +1,228 @@
+module Dag = Ic_dag.Dag
+module Schedule = Ic_dag.Schedule
+module Profile = Ic_dag.Profile
+
+type t = {
+  batch_size : int;
+  batches : int list list;
+}
+
+exception Too_large of int
+
+let executed_sets g batches =
+  (* cumulative executed-set list, empty set first *)
+  let n = Dag.n_nodes g in
+  let current = Array.make n false in
+  let snapshots = ref [ Array.copy current ] in
+  List.iter
+    (fun batch ->
+      List.iter (fun v -> current.(v) <- true) batch;
+      snapshots := Array.copy current :: !snapshots)
+    batches;
+  List.rev !snapshots
+
+let profile g t =
+  executed_sets g t.batches
+  |> List.map (fun executed -> Profile.of_set g ~executed)
+  |> Array.of_list
+
+let is_valid g t =
+  let n = Dag.n_nodes g in
+  let batch_index = Array.make n (-1) in
+  let ok = ref (t.batch_size >= 1) in
+  List.iteri
+    (fun j batch ->
+      List.iter
+        (fun v ->
+          if v < 0 || v >= n || batch_index.(v) >= 0 then ok := false
+          else batch_index.(v) <- j)
+        batch)
+    t.batches;
+  (* partition *)
+  Array.iter (fun j -> if j < 0 then ok := false) batch_index;
+  if !ok then begin
+    (* parents strictly earlier *)
+    for v = 0 to n - 1 do
+      Array.iter
+        (fun p -> if batch_index.(p) >= batch_index.(v) then ok := false)
+        (Dag.pred g v)
+    done;
+    (* work conservation: each batch takes min(p, #eligible) tasks *)
+    let sets = Array.of_list (executed_sets g t.batches) in
+    List.iteri
+      (fun j batch ->
+        let eligible = Profile.of_set g ~executed:sets.(j) in
+        if List.length batch <> min t.batch_size eligible then ok := false)
+      t.batches
+  end;
+  !ok
+
+let of_schedule g s ~batch_size =
+  if batch_size < 1 then Error "batch size must be positive"
+  else begin
+    let order = Array.to_list (Schedule.order s) in
+    let rec chop acc current k = function
+      | [] -> List.rev (if current = [] then acc else List.rev current :: acc)
+      | v :: rest ->
+        if k = batch_size then chop (List.rev current :: acc) [ v ] 1 rest
+        else chop acc (v :: current) (k + 1) rest
+    in
+    let batches = chop [] [] 0 order in
+    let t = { batch_size; batches } in
+    if is_valid g t then Ok t
+    else Error "schedule cannot be chopped into simultaneously-eligible batches"
+  end
+
+let to_schedule g t =
+  Schedule.of_order_exn g (List.concat_map (List.sort compare) t.batches)
+
+let eligible_list g executed =
+  let n = Dag.n_nodes g in
+  let acc = ref [] in
+  for v = n - 1 downto 0 do
+    if (not executed.(v)) && Array.for_all (fun p -> executed.(p)) (Dag.pred g v)
+    then acc := v :: !acc
+  done;
+  !acc
+
+let greedy g ~batch_size =
+  if batch_size < 1 then invalid_arg "Batched.greedy: batch size must be positive";
+  let n = Dag.n_nodes g in
+  let executed = Array.make n false in
+  let remaining = Array.init n (fun v -> Dag.in_degree g v) in
+  let done_count = ref 0 in
+  let batches = ref [] in
+  while !done_count < n do
+    let eligible = eligible_list g executed in
+    let want = min batch_size (List.length eligible) in
+    (* pick greedily: each pick maximizes the number of tasks the batch so
+       far would newly release *)
+    let in_batch = Array.make n false in
+    let batch = ref [] in
+    for _ = 1 to want do
+      let gain v =
+        (* children released if v joins the batch *)
+        Array.fold_left
+          (fun acc w ->
+            let unmet =
+              Array.exists
+                (fun p -> not (executed.(p) || in_batch.(p) || p = v))
+                (Dag.pred g w)
+            in
+            if unmet || in_batch.(w) then acc else acc + 1)
+          0 (Dag.succ g v)
+      in
+      let best =
+        List.fold_left
+          (fun best v ->
+            if in_batch.(v) then best
+            else
+              match best with
+              | None -> Some (v, gain v)
+              | Some (_, bg) ->
+                let gv = gain v in
+                if gv > bg then Some (v, gv) else best)
+          None eligible
+      in
+      match best with
+      | Some (v, _) ->
+        in_batch.(v) <- true;
+        batch := v :: !batch
+      | None -> ()
+    done;
+    let batch = List.rev !batch in
+    List.iter
+      (fun v ->
+        executed.(v) <- true;
+        incr done_count;
+        Array.iter (fun w -> remaining.(w) <- remaining.(w) - 1) (Dag.succ g v))
+      batch;
+    batches := batch :: !batches
+  done;
+  { batch_size; batches = List.rev !batches }
+
+(* lexicographic optimum by levelled DP over ideals *)
+let optimal ?(max_ideals = 2_000_000) g ~batch_size =
+  if batch_size < 1 then invalid_arg "Batched.optimal: batch size must be positive";
+  let n = Dag.n_nodes g in
+  if n > 61 then Error (`Too_large n)
+  else begin
+    let pmask =
+      Array.init n (fun v ->
+          Array.fold_left (fun m p -> m lor (1 lsl p)) 0 (Dag.pred g v))
+    in
+    let eligible_of s =
+      let acc = ref [] in
+      for v = n - 1 downto 0 do
+        if s land (1 lsl v) = 0 && s land pmask.(v) = pmask.(v) then acc := v :: !acc
+      done;
+      !acc
+    in
+    let count_eligible s = List.length (eligible_of s) in
+    let full = (1 lsl n) - 1 in
+    let visited = ref 0 in
+    try
+      (* per level: table mask -> (previous mask, batch) *)
+      let levels = ref [] in
+      let frontier = ref (Hashtbl.create 16) in
+      Hashtbl.replace !frontier 0 (0, []);
+      let finished = ref (n = 0) in
+      while not !finished do
+        let next = Hashtbl.create (Hashtbl.length !frontier * 2) in
+        let best = ref (-1) in
+        let consider s' prev batch =
+          incr visited;
+          if !visited > max_ideals then raise (Too_large !visited);
+          let e = count_eligible s' in
+          if e > !best then begin
+            Hashtbl.reset next;
+            best := e
+          end;
+          if e = !best && not (Hashtbl.mem next s') then
+            Hashtbl.replace next s' (prev, batch)
+        in
+        Hashtbl.iter
+          (fun s _ ->
+            let eligible = eligible_of s in
+            let want = min batch_size (List.length eligible) in
+            (* enumerate size-[want] subsets of the eligible list *)
+            let rec subsets chosen k pool =
+              if k = 0 then
+                consider
+                  (List.fold_left (fun m v -> m lor (1 lsl v)) s chosen)
+                  s (List.rev chosen)
+              else
+                match pool with
+                | [] -> ()
+                | v :: rest ->
+                  if List.length rest >= k - 1 then subsets (v :: chosen) (k - 1) rest;
+                  if List.length rest >= k then subsets chosen k rest
+            in
+            subsets [] want eligible)
+          !frontier;
+        levels := !frontier :: !levels;
+        frontier := next;
+        if Hashtbl.mem next full then begin
+          levels := next :: !levels;
+          finished := true
+        end
+        else if Hashtbl.length next = 0 then finished := true (* n = 0 *)
+      done;
+      (* walk back the witness from the full ideal *)
+      if n = 0 then Ok { batch_size; batches = [] }
+      else begin
+        let rec walk s tables acc =
+          match tables with
+          | [] -> acc
+          | table :: rest ->
+            let prev, batch = Hashtbl.find table s in
+            if s = 0 then acc else walk prev rest (batch :: acc)
+        in
+        let batches = walk full !levels [] in
+        Ok { batch_size; batches }
+      end
+    with Too_large k -> Error (`Too_large k)
+  end
+
+let e_opt ?max_ideals g ~batch_size =
+  Result.map (fun t -> profile g t) (optimal ?max_ideals g ~batch_size)

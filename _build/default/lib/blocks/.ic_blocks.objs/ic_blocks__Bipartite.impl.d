@@ -1,0 +1,1 @@
+lib/blocks/bipartite.ml: Fun Ic_dag List

@@ -1,0 +1,1 @@
+lib/blocks/bipartite.mli: Ic_dag

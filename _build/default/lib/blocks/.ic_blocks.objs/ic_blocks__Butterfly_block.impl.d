@@ -1,0 +1,1 @@
+lib/blocks/butterfly_block.ml: Ic_dag

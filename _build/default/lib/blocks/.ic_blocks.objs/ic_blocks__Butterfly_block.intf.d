@@ -1,0 +1,1 @@
+lib/blocks/butterfly_block.mli: Ic_dag

@@ -1,0 +1,1 @@
+lib/blocks/cycle_dag.ml: Fun Ic_dag List

@@ -1,0 +1,1 @@
+lib/blocks/cycle_dag.mli: Ic_dag

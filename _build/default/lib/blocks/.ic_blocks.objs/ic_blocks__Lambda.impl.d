@@ -1,0 +1,1 @@
+lib/blocks/lambda.ml: Array Fun Ic_dag List Printf

@@ -1,0 +1,1 @@
+lib/blocks/lambda.mli: Ic_dag

@@ -1,0 +1,1 @@
+lib/blocks/m_dag.ml: Fun Ic_dag List

@@ -1,0 +1,1 @@
+lib/blocks/m_dag.mli: Ic_dag

@@ -1,0 +1,1 @@
+lib/blocks/n_dag.ml: Fun Ic_dag List

@@ -1,0 +1,1 @@
+lib/blocks/n_dag.mli: Ic_dag

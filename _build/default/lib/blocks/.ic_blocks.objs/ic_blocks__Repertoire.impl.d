@@ -1,0 +1,1 @@
+lib/blocks/repertoire.ml: Bipartite Butterfly_block Cycle_dag Ic_dag Lambda List M_dag N_dag Printf Vee W_dag

@@ -1,0 +1,1 @@
+lib/blocks/repertoire.mli: Ic_dag

@@ -1,0 +1,1 @@
+lib/blocks/vee.ml: Array Ic_dag List Printf

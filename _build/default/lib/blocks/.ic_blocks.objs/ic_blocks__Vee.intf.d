@@ -1,0 +1,1 @@
+lib/blocks/vee.mli: Ic_dag

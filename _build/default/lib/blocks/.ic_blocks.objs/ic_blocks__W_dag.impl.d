@@ -1,0 +1,1 @@
+lib/blocks/w_dag.ml: Fun Ic_dag List

@@ -1,0 +1,1 @@
+lib/blocks/w_dag.mli: Ic_dag

@@ -1,0 +1,9 @@
+module Dag = Ic_dag.Dag
+module Schedule = Ic_dag.Schedule
+
+let dag s t =
+  if s < 1 || t < 1 then invalid_arg "Bipartite.dag: need sources and sinks";
+  let arcs = List.concat (List.init s (fun i -> List.init t (fun j -> (i, s + j)))) in
+  Dag.make_exn ~n:(s + t) ~arcs ()
+
+let schedule s t = Schedule.of_nonsink_order_exn (dag s t) (List.init s Fun.id)

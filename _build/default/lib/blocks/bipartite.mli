@@ -1,0 +1,10 @@
+(** Complete-bipartite blocks [K(s,t)]: the generalized butterfly building
+    block. [K(2,2) = B]; coarsening a butterfly network two-band-wise yields
+    [K(2^a, 2^b)] (Section 5.1 granularity). Every source order is
+    IC-optimal for a single block. *)
+
+val dag : int -> int -> Ic_dag.Dag.t
+(** [dag s t]: sources [0..s-1], sinks [s..s+t-1], all [s*t] arcs. Requires
+    [s, t >= 1]. *)
+
+val schedule : int -> int -> Ic_dag.Schedule.t

@@ -1,0 +1,11 @@
+module Dag = Ic_dag.Dag
+module Schedule = Ic_dag.Schedule
+
+let dag () =
+  Dag.make_exn
+    ~labels:[| "x0"; "x1"; "y0"; "y1" |]
+    ~n:4
+    ~arcs:[ (0, 2); (0, 3); (1, 2); (1, 3) ]
+    ()
+
+let schedule () = Schedule.of_nonsink_order_exn (dag ()) [ 0; 1 ]

@@ -1,0 +1,12 @@
+(** The butterfly building block [B] (Fig. 8): two sources, two sinks, and
+    all four arcs between them. Iterated compositions of [B] yield the
+    [d]-dimensional butterfly networks, comparator-based sorting networks
+    (eq. 5.1) and the FFT/convolution dag (eq. 5.2). [B ▷ B], and a schedule
+    of an iterated composition of [B] is IC-optimal iff it executes the two
+    sources of each copy of [B] in consecutive steps (Section 5.1). *)
+
+val dag : unit -> Ic_dag.Dag.t
+(** Sources 0 ([x0]) and 1 ([x1]); sinks 2 ([y0]) and 3 ([y1]). *)
+
+val schedule : unit -> Ic_dag.Schedule.t
+(** IC-optimal: the two sources consecutively. *)

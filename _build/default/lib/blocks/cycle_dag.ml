@@ -1,0 +1,12 @@
+module Dag = Ic_dag.Dag
+module Schedule = Ic_dag.Schedule
+
+let dag s =
+  if s < 2 then invalid_arg "Cycle_dag.dag: need at least two sources";
+  let arcs =
+    List.concat
+      (List.init s (fun i -> [ (i, s + i); (i, s + ((i + 1) mod s)) ]))
+  in
+  Dag.make_exn ~n:(2 * s) ~arcs ()
+
+let schedule s = Schedule.of_nonsink_order_exn (dag s) (List.init s Fun.id)

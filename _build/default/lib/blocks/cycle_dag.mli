@@ -1,0 +1,15 @@
+(** Bipartite cycle-dags (Section 7.2): the building blocks of the
+    matrix-multiplication dag.
+
+    The [s]-source cycle-dag [C_s] is the N-dag [N_s] plus an arc from the
+    rightmost source to the leftmost sink, so source [v] feeds sinks [v] and
+    [(v+1) mod s], and every sink has exactly two parents. From [21]:
+    executing the sources in cyclic order is IC-optimal, and
+    [C_4 ▷ C_4 ▷ Λ ▷ Λ]. *)
+
+val dag : int -> Ic_dag.Dag.t
+(** [dag s]: sources [0..s-1], sinks [s..2s-1]; source [i] feeds sinks
+    [s+i] and [s + ((i+1) mod s)]. Requires [s >= 2]. *)
+
+val schedule : int -> Ic_dag.Schedule.t
+(** IC-optimal: sources in cyclic order [0, 1, ..., s-1]. *)

@@ -1,0 +1,9 @@
+module Dag = Ic_dag.Dag
+module Schedule = Ic_dag.Schedule
+
+let dag d =
+  if d < 1 then invalid_arg "Lambda.dag: need at least one source";
+  let labels = Array.init (d + 1) (fun v -> if v = d then "z" else Printf.sprintf "y%d" v) in
+  Dag.make_exn ~labels ~n:(d + 1) ~arcs:(List.init d (fun i -> (i, d))) ()
+
+let schedule d = Schedule.of_nonsink_order_exn (dag d) (List.init d Fun.id)

@@ -1,0 +1,15 @@
+(** The Lambda dag [Λ] (Fig. 1) and its degree-[d] analogues.
+
+    [Λ_d] has [d] sources and one sink — the typical building block of
+    "reductive" computations such as the recombination phase of
+    divide-and-conquer. [Λ = Λ_2] is the dual of [V = V_2]. A schedule of an
+    in-tree built from [Λ] blocks is IC-optimal iff it executes the two
+    sources of each copy of [Λ] in consecutive steps (Section 3.1). *)
+
+val dag : int -> Ic_dag.Dag.t
+(** [dag d] is [Λ_d]: nodes [0..d-1] are the sources, node [d] the sink.
+    Requires [d >= 1]. *)
+
+val schedule : int -> Ic_dag.Schedule.t
+(** IC-optimal schedule: sources in ascending order (any source order is
+    IC-optimal for a single block). *)

@@ -1,0 +1,12 @@
+module Dag = Ic_dag.Dag
+module Schedule = Ic_dag.Schedule
+
+let dag s =
+  if s < 1 then invalid_arg "M_dag.dag: need at least one sink";
+  let arcs =
+    List.concat (List.init s (fun i -> [ (i, s + 1 + i); (i + 1, s + 1 + i) ]))
+  in
+  Dag.make_exn ~n:((2 * s) + 1) ~arcs ()
+
+let schedule s =
+  Schedule.of_nonsink_order_exn (dag s) (List.init (s + 1) Fun.id)

@@ -1,0 +1,11 @@
+(** M-dags: duals of W-dags, the building blocks of in-meshes (pyramid
+    dags). [M_s] has [s+1] sources and [s] sinks; sink [i] has the two
+    parents [i] and [i+1]. Its IC-optimal schedule is dual to the W-dag's
+    (Theorem 2.2): sources left to right, which executes the two parents of
+    each sink in consecutive steps. *)
+
+val dag : int -> Ic_dag.Dag.t
+(** [dag s]: sources [0..s], sinks [s+1..2s]; sink [s+1+i] has parents [i]
+    and [i+1]. Requires [s >= 1]. *)
+
+val schedule : int -> Ic_dag.Schedule.t

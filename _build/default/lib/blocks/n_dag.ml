@@ -1,0 +1,13 @@
+module Dag = Ic_dag.Dag
+module Schedule = Ic_dag.Schedule
+
+let dag s =
+  if s < 1 then invalid_arg "N_dag.dag: need at least one source";
+  let arcs =
+    List.concat
+      (List.init s (fun i ->
+           if i + 1 < s then [ (i, s + i); (i, s + i + 1) ] else [ (i, s + i) ]))
+  in
+  Dag.make_exn ~n:(2 * s) ~arcs ()
+
+let schedule s = Schedule.of_nonsink_order_exn (dag s) (List.init s Fun.id)

@@ -1,0 +1,14 @@
+(** N-dags (Section 6.1): the building blocks of parallel-prefix dags.
+
+    The [s]-source N-dag [N_s] has [s] sources and [s] sinks; its [2s-1]
+    arcs connect source [v] to sink [v], and to sink [v+1] when it exists.
+    The leftmost source — the {e anchor} — has a child with no other parent.
+    From [21]: (a) executing the sources sequentially starting with the
+    anchor is IC-optimal; (b) [N_s ▷ N_t] for {e all} [s] and [t]. *)
+
+val dag : int -> Ic_dag.Dag.t
+(** [dag s]: sources [0..s-1] (anchor 0), sinks [s..2s-1]; source [i] feeds
+    sink [s+i] and sink [s+i+1] when [i+1 < s]. Requires [s >= 1]. *)
+
+val schedule : int -> Ic_dag.Schedule.t
+(** IC-optimal: sources from the anchor rightward. *)

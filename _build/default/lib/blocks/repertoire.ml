@@ -1,0 +1,42 @@
+type t = {
+  name : string;
+  dag : Ic_dag.Dag.t;
+  schedule : Ic_dag.Schedule.t;
+}
+
+let vee d = { name = Printf.sprintf "V_%d" d; dag = Vee.dag d; schedule = Vee.schedule d }
+
+let lambda d =
+  { name = Printf.sprintf "L_%d" d; dag = Lambda.dag d; schedule = Lambda.schedule d }
+
+let w s = { name = Printf.sprintf "W_%d" s; dag = W_dag.dag s; schedule = W_dag.schedule s }
+let m s = { name = Printf.sprintf "M_%d" s; dag = M_dag.dag s; schedule = M_dag.schedule s }
+let n s = { name = Printf.sprintf "N_%d" s; dag = N_dag.dag s; schedule = N_dag.schedule s }
+
+let cycle s =
+  { name = Printf.sprintf "C_%d" s; dag = Cycle_dag.dag s; schedule = Cycle_dag.schedule s }
+
+let butterfly =
+  { name = "B"; dag = Butterfly_block.dag (); schedule = Butterfly_block.schedule () }
+
+let w_fanout d s =
+  {
+    name = Printf.sprintf "W^%d_%d" d s;
+    dag = W_dag.dag_fanout ~fanout:d s;
+    schedule = W_dag.schedule_fanout ~fanout:d s;
+  }
+
+let bipartite s t =
+  {
+    name = Printf.sprintf "K(%d,%d)" s t;
+    dag = Bipartite.dag s t;
+    schedule = Bipartite.schedule s t;
+  }
+
+let all =
+  [ vee 2; vee 3; vee 4; lambda 2; lambda 3; lambda 4 ]
+  @ List.map w [ 1; 2; 3; 4 ]
+  @ List.map m [ 1; 2; 3 ]
+  @ List.map n [ 1; 2; 3; 4 ]
+  @ List.map cycle [ 2; 3; 4; 5 ]
+  @ [ butterfly; w_fanout 3 2; w_fanout 3 3; bipartite 2 3; bipartite 3 2 ]

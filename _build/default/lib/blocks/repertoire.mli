@@ -1,0 +1,25 @@
+(** The block repertoire: every building block of the paper bundled with its
+    IC-optimal schedule, for table-driven tests and priority computations. *)
+
+type t = {
+  name : string;
+  dag : Ic_dag.Dag.t;
+  schedule : Ic_dag.Schedule.t;  (** an IC-optimal schedule of [dag] *)
+}
+
+val vee : int -> t
+val lambda : int -> t
+val w : int -> t
+val m : int -> t
+val n : int -> t
+val cycle : int -> t
+val butterfly : t
+val w_fanout : int -> int -> t
+(** [w_fanout d s]: the (1,d)-W-dag with [s] sources. *)
+
+val bipartite : int -> int -> t
+(** [bipartite s t]: the generalized butterfly block [K(s,t)]. *)
+
+val all : t list
+(** A representative sample of small instances of every block family (used
+    by the exhaustive pairwise-priority tests). *)

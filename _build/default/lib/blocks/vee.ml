@@ -1,0 +1,9 @@
+module Dag = Ic_dag.Dag
+module Schedule = Ic_dag.Schedule
+
+let dag d =
+  if d < 1 then invalid_arg "Vee.dag: need at least one prong";
+  let labels = Array.init (d + 1) (fun v -> if v = 0 then "w" else Printf.sprintf "x%d" (v - 1)) in
+  Dag.make_exn ~labels ~n:(d + 1) ~arcs:(List.init d (fun i -> (0, i + 1))) ()
+
+let schedule d = Schedule.of_nonsink_order_exn (dag d) [ 0 ]

@@ -1,0 +1,14 @@
+(** The Vee dag [V] (Fig. 1) and its degree-[d] analogues.
+
+    [V_d] has one source (the root) and [d] sinks — the typical building
+    block of "expansive" computations such as the divide phase of
+    divide-and-conquer. The paper uses [V = V_2] (Fig. 1) and the 3-prong
+    [V_3] (Fig. 14, for the ternary-tree DLT algorithm). Every schedule of a
+    Vee dag is IC-optimal (it has a single nonsink). *)
+
+val dag : int -> Ic_dag.Dag.t
+(** [dag d] is [V_d]: node 0 is the root, nodes [1..d] the sinks. Requires
+    [d >= 1]. *)
+
+val schedule : int -> Ic_dag.Schedule.t
+(** The (unique up to sink order) IC-optimal schedule: root first. *)

@@ -1,0 +1,25 @@
+module Dag = Ic_dag.Dag
+module Schedule = Ic_dag.Schedule
+
+let dag s =
+  if s < 1 then invalid_arg "W_dag.dag: need at least one source";
+  let arcs =
+    List.concat (List.init s (fun i -> [ (i, s + i); (i, s + i + 1) ]))
+  in
+  Dag.make_exn ~n:((2 * s) + 1) ~arcs ()
+
+let schedule s = Schedule.of_nonsink_order_exn (dag s) (List.init s Fun.id)
+
+let dag_fanout ~fanout s =
+  if fanout < 2 then invalid_arg "W_dag.dag_fanout: fan-out >= 2";
+  if s < 1 then invalid_arg "W_dag.dag_fanout: need at least one source";
+  let sinks = ((fanout - 1) * s) + 1 in
+  let arcs =
+    List.concat
+      (List.init s (fun i ->
+           List.init fanout (fun j -> (i, s + ((fanout - 1) * i) + j))))
+  in
+  Dag.make_exn ~n:(s + sinks) ~arcs ()
+
+let schedule_fanout ~fanout s =
+  Schedule.of_nonsink_order_exn (dag_fanout ~fanout s) (List.init s Fun.id)

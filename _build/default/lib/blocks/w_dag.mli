@@ -1,0 +1,24 @@
+(** W-dags (Fig. 6): the building blocks of out-meshes.
+
+    The (1,2)-W-dag [W_s] has [s] sources and [s+1] sinks; source [i] has
+    arcs to sinks [i] and [i+1], so consecutive sources share a sink — the
+    shape of one wavefront step of a 2-dimensional mesh. From [21]: the
+    schedule that executes a W-dag's sources consecutively (left to right) is
+    IC-optimal, and smaller W-dags have ▷-priority over larger ones. *)
+
+val dag : int -> Ic_dag.Dag.t
+(** [dag s] is [W_s]: sources [0..s-1], sinks [s..2s]; source [i] feeds
+    sinks [s+i] and [s+i+1]. Requires [s >= 1]. *)
+
+val schedule : int -> Ic_dag.Schedule.t
+(** IC-optimal: sources left to right. *)
+
+(** {1 The (1,d) generalization}
+
+    [21] defines (1,d)-W-dags for any fan-out [d >= 2]: [s] sources and
+    [(d-1)s + 1] sinks, source [i] feeding the [d] consecutive sinks
+    starting at position [(d-1)i], so neighbouring sources share exactly
+    one sink. [d = 2] recovers [W_s]. *)
+
+val dag_fanout : fanout:int -> int -> Ic_dag.Dag.t
+val schedule_fanout : fanout:int -> int -> Ic_dag.Schedule.t

@@ -1,0 +1,1 @@
+lib/cli/family_spec.ml: Ic_compute Ic_dag Ic_families Ic_heuristics Printf Random Result String

@@ -1,0 +1,1 @@
+lib/compute/bool_matrix.ml: Array Format List Random

@@ -1,0 +1,1 @@
+lib/compute/carry_lookahead.ml: Array List Scan

@@ -1,0 +1,1 @@
+lib/compute/convolution.ml: Array Complex Fft

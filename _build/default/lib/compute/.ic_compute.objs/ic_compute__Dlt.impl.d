@@ -1,0 +1,1 @@
+lib/compute/dlt.ml: Array Complex Engine Ic_dag Ic_families List Option

@@ -1,0 +1,1 @@
+lib/compute/dlt.mli: Complex

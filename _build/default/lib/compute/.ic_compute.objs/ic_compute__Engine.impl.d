@@ -1,0 +1,1 @@
+lib/compute/engine.ml: Array Ic_dag Option

@@ -1,0 +1,1 @@
+lib/compute/engine.mli: Ic_dag

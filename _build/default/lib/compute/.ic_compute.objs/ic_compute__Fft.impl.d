@@ -1,0 +1,1 @@
+lib/compute/fft.ml: Array Complex Engine Float Ic_dag Ic_families

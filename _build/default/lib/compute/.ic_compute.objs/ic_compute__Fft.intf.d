@@ -1,0 +1,1 @@
+lib/compute/fft.mli: Complex Engine Ic_dag

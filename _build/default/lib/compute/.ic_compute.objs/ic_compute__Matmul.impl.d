@@ -1,0 +1,1 @@
+lib/compute/matmul.ml: Array Engine Float Ic_dag Ic_families Random

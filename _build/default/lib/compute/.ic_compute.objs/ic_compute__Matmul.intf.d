@@ -1,0 +1,1 @@
+lib/compute/matmul.mli: Random

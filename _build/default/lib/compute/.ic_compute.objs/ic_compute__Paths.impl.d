@@ -1,0 +1,1 @@
+lib/compute/paths.ml: Array Bool_matrix Engine Ic_dag Ic_families List Option

@@ -1,0 +1,1 @@
+lib/compute/paths.mli: Bool_matrix Ic_dag

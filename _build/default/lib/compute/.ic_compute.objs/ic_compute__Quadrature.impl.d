@@ -1,0 +1,1 @@
+lib/compute/quadrature.ml: Array Engine Float Ic_dag Ic_families List

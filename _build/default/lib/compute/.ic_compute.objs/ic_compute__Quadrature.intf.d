@@ -1,0 +1,1 @@
+lib/compute/quadrature.mli: Ic_dag Ic_families

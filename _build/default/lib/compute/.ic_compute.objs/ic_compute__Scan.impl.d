@@ -1,0 +1,1 @@
+lib/compute/scan.ml: Array Bool_matrix Complex Engine Ic_dag Ic_families

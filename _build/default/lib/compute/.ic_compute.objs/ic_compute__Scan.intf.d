@@ -1,0 +1,1 @@
+lib/compute/scan.mli: Bool_matrix Complex Ic_dag

@@ -1,0 +1,1 @@
+lib/compute/sorting.ml: Array Engine Ic_dag List

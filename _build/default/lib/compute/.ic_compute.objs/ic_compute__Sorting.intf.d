@@ -1,0 +1,1 @@
+lib/compute/sorting.mli: Ic_dag

@@ -1,0 +1,1 @@
+lib/compute/wavefront.ml: Array Engine Ic_dag Ic_families String

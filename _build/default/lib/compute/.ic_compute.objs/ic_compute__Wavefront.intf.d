@@ -1,0 +1,1 @@
+lib/compute/wavefront.mli: Ic_dag

@@ -1,0 +1,36 @@
+type t = bool array array
+
+let dim m = Array.length m
+let get m i j = m.(i).(j)
+let of_fun n f = Array.init n (fun i -> Array.init n (fun j -> f i j))
+let identity n = of_fun n ( = )
+let zero n = of_fun n (fun _ _ -> false)
+
+let mult a b =
+  let n = dim a in
+  if dim b <> n then invalid_arg "Bool_matrix.mult: dimension mismatch";
+  of_fun n (fun i j ->
+      let rec go k = k < n && ((a.(i).(k) && b.(k).(j)) || go (k + 1)) in
+      go 0)
+
+let add a b =
+  let n = dim a in
+  if dim b <> n then invalid_arg "Bool_matrix.add: dimension mismatch";
+  of_fun n (fun i j -> a.(i).(j) || b.(i).(j))
+
+let equal a b = a = b
+
+let random rng n ~density =
+  of_fun n (fun _ _ -> Random.State.float rng 1.0 < density)
+
+let of_edges n edges =
+  let m = Array.make_matrix n n false in
+  List.iter (fun (i, j) -> m.(i).(j) <- true) edges;
+  m
+
+let pp ppf m =
+  Array.iter
+    (fun row ->
+      Array.iter (fun b -> Format.pp_print_char ppf (if b then '1' else '0')) row;
+      Format.pp_print_cut ppf ())
+    m

@@ -1,0 +1,20 @@
+(** Square boolean matrices under (OR, AND) — the "logical matrix
+    multiplication" of Section 6.1, used for computing paths in a graph. *)
+
+type t
+
+val dim : t -> int
+val get : t -> int -> int -> bool
+val of_fun : int -> (int -> int -> bool) -> t
+val identity : int -> t
+val zero : int -> t
+val mult : t -> t -> t
+(** Logical product: OR of ANDs. *)
+
+val add : t -> t -> t
+(** Elementwise OR. *)
+
+val equal : t -> t -> bool
+val random : Random.State.t -> int -> density:float -> t
+val of_edges : int -> (int * int) list -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,29 @@
+(* carry operator over (generate, propagate) pairs; left argument is the
+   less-significant prefix *)
+let combine (g_low, p_low) (g_high, p_high) =
+  (g_high || (p_high && g_low), p_low && p_high)
+
+let add a b =
+  let n = Array.length a in
+  if n < 1 || Array.length b <> n then
+    invalid_arg "Carry_lookahead.add: equal nonzero lengths required";
+  let gp = Array.init n (fun i -> (a.(i) && b.(i), a.(i) <> b.(i))) in
+  let prefixes = Scan.scan ~op:combine gp in
+  Array.init (n + 1) (fun i ->
+      if i = 0 then a.(0) <> b.(0)
+      else if i = n then fst prefixes.(n - 1)
+      else
+        let carry_in = fst prefixes.(i - 1) in
+        a.(i) <> b.(i) <> carry_in)
+
+let bits_of_int ~width v =
+  if v < 0 then invalid_arg "Carry_lookahead.bits_of_int: negative";
+  Array.init width (fun i -> v land (1 lsl i) <> 0)
+
+let int_of_bits bits =
+  if Array.length bits > 62 then invalid_arg "Carry_lookahead.int_of_bits: too wide";
+  Array.to_list bits
+  |> List.mapi (fun i b -> if b then 1 lsl i else 0)
+  |> List.fold_left ( lor ) 0
+
+let add_ints ~width x y = int_of_bits (add (bits_of_int ~width x) (bits_of_int ~width y))

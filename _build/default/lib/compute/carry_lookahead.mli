@@ -1,0 +1,19 @@
+(** Carry-lookahead addition — the paper's "microscopic" parallel-prefix
+    example (Section 6.1 cites [3, 18]: scans compute carries).
+
+    Per bit position: generate [g = a AND b] and propagate [p = a XOR b];
+    the carry into position [i+1] is the generate component of the scan of
+    [(g, p)] pairs under the (associative, non-commutative) carry operator
+    [(gL, pL) ∘ (gR, pR) = (gR OR (pR AND gL), pL AND pR)]. The scan runs
+    through the parallel-prefix dag [P_n] under its IC-optimal schedule. *)
+
+val add : bool array -> bool array -> bool array
+(** [add a b]: bit vectors LSB-first, equal lengths [n >= 1]; result has
+    [n + 1] bits (the final carry). *)
+
+val bits_of_int : width:int -> int -> bool array
+val int_of_bits : bool array -> int
+(** Little-endian; [int_of_bits] requires the value to fit in an [int]. *)
+
+val add_ints : width:int -> int -> int -> int
+(** Convenience wrapper: add two nonnegative ints through the dag. *)

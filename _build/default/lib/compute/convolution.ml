@@ -1,0 +1,34 @@
+let naive a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then [||]
+  else begin
+    let out = Array.make (la + lb - 1) 0.0 in
+    for i = 0 to la - 1 do
+      for j = 0 to lb - 1 do
+        out.(i + j) <- out.(i + j) +. (a.(i) *. b.(j))
+      done
+    done;
+    out
+  end
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (2 * p) in
+  go 1
+
+let convolve_complex a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then [||]
+  else begin
+    let out_len = la + lb - 1 in
+    let m = max 2 (next_pow2 out_len) in
+    let pad x =
+      Array.init m (fun i -> if i < Array.length x then x.(i) else Complex.zero)
+    in
+    let fa = Fft.fft (pad a) and fb = Fft.fft (pad b) in
+    let product = Array.init m (fun i -> Complex.mul fa.(i) fb.(i)) in
+    Array.sub (Fft.ifft product) 0 out_len
+  end
+
+let poly_mul_fft a b =
+  let lift = Array.map (fun re -> { Complex.re; im = 0.0 }) in
+  Array.map (fun z -> z.Complex.re) (convolve_complex (lift a) (lift b))

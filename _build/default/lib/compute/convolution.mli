@@ -1,0 +1,16 @@
+(** Convolutions and polynomial products (Section 5.2, eq. 5.2).
+
+    The coefficients of a polynomial product are convolutions
+    [A_k = Σ_i a_i·b_{k−i}]; computing them through the FFT dag gives the
+    [Θ(n log n)] algorithm the paper points to, every FFT pass running under
+    the butterfly network's IC-optimal schedule. *)
+
+val naive : float array -> float array -> float array
+(** Direct [O(n²)] convolution of coefficient vectors; result length
+    [len a + len b − 1]. *)
+
+val poly_mul_fft : float array -> float array -> float array
+(** FFT-based polynomial product (three [B_d] executions: two forward, one
+    inverse, plus a pointwise pass). Same length convention as {!naive}. *)
+
+val convolve_complex : Complex.t array -> Complex.t array -> Complex.t array

@@ -1,0 +1,96 @@
+module Dag = Ic_dag.Dag
+module Dlt_dag = Ic_families.Dlt_dag
+
+let cpow_int z e =
+  if e < 0 then invalid_arg "Dlt.cpow_int: negative exponent";
+  let rec go acc base e =
+    if e = 0 then acc
+    else
+      go
+        (if e land 1 = 1 then Complex.mul acc base else acc)
+        (Complex.mul base base) (e lsr 1)
+  in
+  go Complex.one z e
+
+let naive ~x ~omega ~k =
+  let wk = cpow_int omega k in
+  let acc = ref Complex.zero in
+  Array.iteri (fun i xi -> acc := Complex.add !acc (Complex.mul xi (cpow_int wk i))) x;
+  !acc
+
+let via_prefix ~x ~omega ~k =
+  let n = Array.length x in
+  let dlt = Dlt_dag.l_dag n in
+  let g = Dlt_dag.dag dlt in
+  let pos = Option.get dlt.Dlt_dag.prefix_pos in
+  let top = Array.length pos - 1 in
+  let wk = cpow_int omega k in
+  let coord = Array.make (Dag.n_nodes g) None in
+  Array.iteri
+    (fun j row -> Array.iteri (fun i id -> coord.(id) <- Some (j, i)) row)
+    pos;
+  let compute v parents =
+    match coord.(v) with
+    | Some (0, i) -> if i = 0 then Complex.one else wk
+    | Some (j, i) ->
+      let stride = 1 lsl (j - 1) in
+      let scanned =
+        if i < stride then parents.(0)
+        else Complex.mul parents.(0) parents.(1)
+      in
+      (* the top task of column i has received ω^{ik}; it multiplies in its
+         coefficient before feeding the accumulating in-tree *)
+      if j = top then Complex.mul x.(i) scanned else scanned
+    | None -> Array.fold_left Complex.add Complex.zero parents
+  in
+  let values =
+    Engine.execute ~schedule:(Dlt_dag.schedule dlt) { Engine.dag = g; compute }
+  in
+  values.(List.hd (Dag.sinks g))
+
+let via_tree ~x ~omega ~k =
+  let n = Array.length x in
+  let dlt = Dlt_dag.l_prime_dag n in
+  let g = Dlt_dag.dag dlt in
+  let tree = dlt.Dlt_dag.generator_dag in
+  let n_tree = Dag.n_nodes tree in
+  let wk = cpow_int omega k in
+  (* exponents: the j-th leaf (ascending id) carries ω^{(j+1)k}; an internal
+     task carries the power of the smallest-exponent leaf below it, so every
+     task derives its power from its parent's by local multiplications *)
+  let exponent = Array.make n_tree 0 in
+  let next_leaf = ref 1 in
+  for v = 0 to n_tree - 1 do
+    if Dag.is_sink tree v then begin
+      exponent.(v) <- !next_leaf;
+      incr next_leaf
+    end
+  done;
+  let rec fill v =
+    if not (Dag.is_sink tree v) then begin
+      Array.iter fill (Dag.succ tree v);
+      exponent.(v) <-
+        Array.fold_left (fun acc c -> min acc exponent.(c)) max_int (Dag.succ tree v)
+    end
+  in
+  fill 0;
+  let compute v parents =
+    if v < n_tree then begin
+      let power =
+        if v = 0 then cpow_int wk exponent.(0)
+        else
+          let parent = (Dag.pred tree v).(0) in
+          Complex.mul parents.(0) (cpow_int wk (exponent.(v) - exponent.(parent)))
+      in
+      if Dag.is_sink tree v then Complex.mul x.(exponent.(v)) power else power
+    end
+    else if Array.length parents = 0 then x.(0) (* the free x₀·ω⁰ source *)
+    else Array.fold_left Complex.add Complex.zero parents
+  in
+  let values =
+    Engine.execute ~schedule:(Dlt_dag.schedule dlt) { Engine.dag = g; compute }
+  in
+  values.(List.hd (Dag.sinks g))
+
+let transform algo ~x ~omega ~m =
+  Array.init m (fun k -> algo ~x ~omega ~k)

@@ -1,0 +1,30 @@
+(** The Discrete Laplace (Z-) Transform (Section 6.2.1).
+
+    [y_k(ω) = Σ_{i<n} x_i ω^{ik}] computed two ways, as in the paper:
+
+    - {!via_prefix} runs the [L_n] dag: the parallel-prefix part turns the
+      input vector [⟨1, ω^k, ..., ω^k⟩] into the powers [⟨1, ω^k, ...,
+      ω^{(n-1)k}⟩]; each top task also multiplies in its [x_i]; the in-tree
+      sums the terms.
+    - {!via_tree} runs the [L'_n] dag: a ternary out-tree of [V_3] tasks
+      generates the powers (leaf [i] — left to right — carries [ω^{ik}],
+      each task deriving its power from its parent's with local
+      multiplications; internal tasks carry the power of their leftmost
+      leaf); the same in-tree accumulates.
+
+    Both run under the Theorem 2.1 IC-optimal schedules of their dags. *)
+
+val naive : x:Complex.t array -> omega:Complex.t -> k:int -> Complex.t
+(** Direct evaluation of [y_k]. *)
+
+val via_prefix : x:Complex.t array -> omega:Complex.t -> k:int -> Complex.t
+(** [n = length x] must be a power of two >= 2. *)
+
+val via_tree : x:Complex.t array -> omega:Complex.t -> k:int -> Complex.t
+(** [n = length x] must be a power of two >= 4. *)
+
+val transform :
+  (x:Complex.t array -> omega:Complex.t -> k:int -> Complex.t) ->
+  x:Complex.t array -> omega:Complex.t -> m:int -> Complex.t array
+(** The full [m]-dimensional DLT [⟨y_0, ..., y_{m-1}⟩] using the given
+    single-coefficient algorithm. *)

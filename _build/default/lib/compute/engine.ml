@@ -1,0 +1,34 @@
+module Dag = Ic_dag.Dag
+module Schedule = Ic_dag.Schedule
+
+type 'a t = {
+  dag : Dag.t;
+  compute : int -> 'a array -> 'a;
+}
+
+let execute ?schedule t =
+  let g = t.dag in
+  let order =
+    match schedule with
+    | Some s ->
+      if Schedule.length s <> Dag.n_nodes g then
+        invalid_arg "Engine.execute: schedule does not fit the dag";
+      Schedule.order s
+    | None -> Dag.topological_order g
+  in
+  let values = Array.make (Dag.n_nodes g) None in
+  Array.iter
+    (fun v ->
+      let parents =
+        Array.map
+          (fun p ->
+            match values.(p) with
+            | Some x -> x
+            | None -> invalid_arg "Engine.execute: invalid schedule order")
+          (Dag.pred g v)
+      in
+      values.(v) <- Some (t.compute v parents))
+    order;
+  Array.map Option.get values
+
+let value_at ?schedule t v = (execute ?schedule t).(v)

@@ -1,0 +1,18 @@
+(** Generic dag-execution engine: attaches a value semantics to a
+    computation-dag and executes it under a given schedule. Every "familiar
+    computation" of the paper runs through this engine, demonstrating that
+    the IC-optimal schedules really drive the computations they model. *)
+
+type 'a t = {
+  dag : Ic_dag.Dag.t;
+  compute : int -> 'a array -> 'a;
+      (** [compute v parents] produces task [v]'s value from its parents'
+          values, listed in ascending parent-id order ([[||]] for a
+          source). *)
+}
+
+val execute : ?schedule:Ic_dag.Schedule.t -> 'a t -> 'a array
+(** All node values, computed in schedule order (default: a topological
+    order). Raises [Invalid_argument] if the schedule does not fit. *)
+
+val value_at : ?schedule:Ic_dag.Schedule.t -> 'a t -> int -> 'a

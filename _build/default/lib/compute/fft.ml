@@ -1,0 +1,73 @@
+module Dag = Ic_dag.Dag
+module Bf = Ic_families.Butterfly_net
+
+let bit_reverse ~bits x =
+  let r = ref 0 in
+  for b = 0 to bits - 1 do
+    if x land (1 lsl b) <> 0 then r := !r lor (1 lsl (bits - 1 - b))
+  done;
+  !r
+
+let log2_exact n =
+  let rec go p m =
+    if m = 1 then Some p else if m land 1 = 1 then None else go (p + 1) (m / 2)
+  in
+  if n < 1 then None else go 0 n
+
+let engine input =
+  let n = Array.length input in
+  let d =
+    match log2_exact n with
+    | Some d when d >= 1 -> d
+    | _ -> invalid_arg "Fft.engine: input length must be a power of two >= 2"
+  in
+  let g = Bf.dag d in
+  let compute v parents =
+    let l = v lsr d and r = v land (n - 1) in
+    if l = 0 then input.(bit_reverse ~bits:d r)
+    else begin
+      (* combining level l-1 -> l: blocks of len = 2^l, half = 2^(l-1) *)
+      let len = 1 lsl l in
+      let half = len / 2 in
+      let j = r land (len - 1) in
+      (* parents in ascending id order: row (r with the half-bit clear)
+         first, then (r with it set) *)
+      let u = parents.(0) and w = parents.(1) in
+      let angle = -2.0 *. Float.pi *. float_of_int (j land (half - 1)) /. float_of_int len in
+      let tw = Complex.polar 1.0 angle in
+      if j < half then Complex.add u (Complex.mul tw w)
+      else Complex.sub u (Complex.mul tw w)
+    end
+  in
+  { Engine.dag = g; compute }
+
+let fft ?schedule input =
+  let n = Array.length input in
+  let d =
+    match log2_exact n with
+    | Some d when d >= 1 -> d
+    | _ -> invalid_arg "Fft.fft: input length must be a power of two >= 2"
+  in
+  let schedule =
+    match schedule with Some s -> s | None -> Bf.schedule d
+  in
+  let values = Engine.execute ~schedule (engine input) in
+  Array.init n (fun r -> values.(Bf.node ~d d r))
+
+let ifft output =
+  let n = Array.length output in
+  let conj = Array.map Complex.conj output in
+  let back = fft conj in
+  Array.map
+    (fun z -> Complex.div (Complex.conj z) { Complex.re = float_of_int n; im = 0.0 })
+    back
+
+let dft_naive input =
+  let n = Array.length input in
+  Array.init n (fun k ->
+      let acc = ref Complex.zero in
+      for i = 0 to n - 1 do
+        let angle = -2.0 *. Float.pi *. float_of_int (i * k) /. float_of_int n in
+        acc := Complex.add !acc (Complex.mul input.(i) (Complex.polar 1.0 angle))
+      done;
+      !acc)

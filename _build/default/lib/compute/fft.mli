@@ -1,0 +1,24 @@
+(** The Fast Fourier Transform through the butterfly network (Section 5.2).
+
+    The data dependencies of the [2^d]-point FFT are exactly the butterfly
+    network [B_d]; each building block applies the convolution
+    transformation (eq. 5.2) [y0 = x0 + ω·x1], [y1 = x0 − ω·x1] with [ω] a
+    twiddle factor derived from the complex roots of unity. {!engine} builds
+    the [B_d]-shaped computation so it can be executed under the IC-optimal
+    pairing schedule; {!fft} is the convenience wrapper. *)
+
+val engine : Complex.t array -> Complex.t Engine.t
+(** Input length must be a power of two [>= 2]. Level 0 of
+    [Butterfly_net.dag d] holds the input in bit-reversed order; level [d]
+    holds the DFT in natural order. *)
+
+val fft : ?schedule:Ic_dag.Schedule.t -> Complex.t array -> Complex.t array
+(** DFT (negative-exponent convention), default schedule = the IC-optimal
+    [Butterfly_net.schedule]. *)
+
+val ifft : Complex.t array -> Complex.t array
+
+val dft_naive : Complex.t array -> Complex.t array
+(** O(n²) reference. *)
+
+val bit_reverse : bits:int -> int -> int

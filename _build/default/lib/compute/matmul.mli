@@ -1,0 +1,18 @@
+(** Recursive matrix multiplication through the dag [M] (Section 7).
+
+    Equation (7.1) does not invoke commutativity, so the 2×2 scheme
+    multiplies [n×n] matrices by recursing on quadrants. Each recursion
+    level executes the 20-node dag [M] under its IC-optimal schedule; the
+    eight product tasks recurse (down to a naive base case). *)
+
+type mat = float array array
+
+val naive : mat -> mat -> mat
+(** Reference [O(n³)] product; operands must be square and equal-size. *)
+
+val multiply : ?threshold:int -> mat -> mat -> mat
+(** Recursive multiplication through [M]; dimensions must be a power of
+    two. [threshold] (default 32): switch to {!naive} below this size. *)
+
+val random : Random.State.t -> int -> mat
+val approx_equal : ?eps:float -> mat -> mat -> bool

@@ -1,0 +1,69 @@
+module Dag = Ic_dag.Dag
+module Dlt = Ic_families.Dlt_dag
+
+type t = bool array array array
+
+type value =
+  | Power of int * Bool_matrix.t  (** [A^power] *)
+  | Table of t
+
+let to_table n k = function
+  | Table t -> t
+  | Power (power, m) ->
+    Array.init n (fun i ->
+        Array.init n (fun j ->
+            Array.init k (fun len -> len + 1 = power && Bool_matrix.get m i j)))
+
+let or_tables a b =
+  Array.map2 (Array.map2 (Array.map2 ( || ))) a b
+
+let compute ?schedule a ~k =
+  let dlt = Ic_families.Path_dag.make k in
+  let g = Dlt.dag dlt in
+  let n = Bool_matrix.dim a in
+  let pos = Option.get dlt.Dlt.prefix_pos in
+  (* classify composite nodes: prefix position or in-tree internal *)
+  let coord = Array.make (Dag.n_nodes g) None in
+  Array.iteri
+    (fun j row -> Array.iteri (fun i id -> coord.(id) <- Some (j, i)) row)
+    pos;
+  let compute v parents =
+    match coord.(v) with
+    | Some (0, _) -> Power (1, a)
+    | Some (j, i) ->
+      let stride = 1 lsl (j - 1) in
+      if i < stride then parents.(0)
+      else begin
+        match (parents.(0), parents.(1)) with
+        | Power (p1, m1), Power (p2, m2) ->
+          Power (p1 + p2, Bool_matrix.mult m1 m2)
+        | _ -> invalid_arg "Paths: table among prefix tasks"
+      end
+    | None ->
+      (* in-tree internal: OR the accumulated tables *)
+      Table
+        (Array.fold_left
+           (fun acc p -> or_tables acc (to_table n k p))
+           (to_table n k parents.(0))
+           (Array.sub parents 1 (Array.length parents - 1)))
+  in
+  let schedule = match schedule with Some s -> s | None -> Dlt.schedule dlt in
+  let values = Engine.execute ~schedule { Engine.dag = g; compute } in
+  let sink = List.hd (Dag.sinks g) in
+  match values.(sink) with
+  | Table t -> t
+  | Power _ -> assert false
+
+let reference a ~k =
+  let n = Bool_matrix.dim a in
+  let out = Array.init n (fun _ -> Array.init n (fun _ -> Array.make k false)) in
+  let power = ref a in
+  for len = 1 to k do
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if Bool_matrix.get !power i j then out.(i).(j).(len - 1) <- true
+      done
+    done;
+    power := Bool_matrix.mult !power a
+  done;
+  out

@@ -1,0 +1,19 @@
+(** Computing the paths in a graph (Section 6.2.2, Fig. 16).
+
+    Given the boolean adjacency matrix [A] of a graph, compute the matrix
+    [M] whose [(i,j)] entry is the vector [⟨β¹, ..., β^k⟩] with [β^len = 1]
+    iff a length-[len] walk connects [i] to [j]. An 8-input parallel prefix
+    over logical matrix multiplication produces the powers [A^1..A^k]; an
+    in-tree ORs them into [M]. The whole thing executes through the
+    [L_k]-shaped composite under its IC-optimal schedule — the paper's
+    exemplar of a {e coarse-grained} prefix computation. *)
+
+type t = bool array array array
+(** [m.(i).(j).(len-1)]: is there a walk of length [len] from [i] to [j]? *)
+
+val compute : ?schedule:Ic_dag.Schedule.t -> Bool_matrix.t -> k:int -> t
+(** [compute a ~k]: path-length vectors for lengths [1..k]; [k] a power of
+    two [>= 2]. Default schedule: the IC-optimal one of the [L_k] dag. *)
+
+val reference : Bool_matrix.t -> k:int -> t
+(** Sequential reference (repeated multiplication). *)

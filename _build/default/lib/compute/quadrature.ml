@@ -1,0 +1,96 @@
+module Dag = Ic_dag.Dag
+module Out_tree = Ic_families.Out_tree
+module Diamond = Ic_families.Diamond
+
+type rule = Trapezoid | Simpson
+
+type result = {
+  value : float;
+  shape : Out_tree.shape;
+  diamond : Diamond.t;
+  n_tasks : int;
+  schedule : Ic_dag.Schedule.t;
+}
+
+let approx rule f x y =
+  match rule with
+  | Trapezoid -> 0.5 *. (f x +. f y) *. (y -. x)
+  | Simpson -> (y -. x) /. 6.0 *. (f x +. (4.0 *. f (0.5 *. (x +. y))) +. f y)
+
+(* the adaptive subdivision: accept when refining changes the estimate by
+   less than [tol], as in the paper's description *)
+let should_split rule f x y tol =
+  let a0 = approx rule f x y in
+  let m = 0.5 *. (x +. y) in
+  let a1 = approx rule f x m +. approx rule f m y in
+  Float.abs (a0 -. a1) > tol
+
+let rec build_shape rule f x y tol depth =
+  if depth = 0 || not (should_split rule f x y tol) then Out_tree.Leaf
+  else
+    let m = 0.5 *. (x +. y) in
+    Out_tree.Node
+      [ build_shape rule f x m tol (depth - 1);
+        build_shape rule f m y tol (depth - 1) ]
+
+let rec reference_of_shape rule f x y = function
+  | Out_tree.Leaf -> approx rule f x y
+  | Out_tree.Node [ l; r ] ->
+    let m = 0.5 *. (x +. y) in
+    reference_of_shape rule f x m l +. reference_of_shape rule f m y r
+  | Out_tree.Node _ -> invalid_arg "Quadrature: non-binary shape"
+
+type value = Interval of float * float | Area of float
+
+let integrate ?(rule = Trapezoid) ?(max_depth = 12) ~f ~lo ~hi ~tol () =
+  let shape = build_shape rule f lo hi tol max_depth in
+  let diamond = Diamond.symmetric shape in
+  let g = Diamond.dag diamond in
+  let tree = Out_tree.dag_of_shape shape in
+  let n_tree = Dag.n_nodes tree in
+  (* which-child lookup: in pre-order numbering, a node's children appear in
+     ascending id = left-to-right order *)
+  let child_rank = Array.make n_tree 0 in
+  for v = 0 to n_tree - 1 do
+    Array.iteri (fun r c -> child_rank.(c) <- r) (Dag.succ tree v)
+  done;
+  let compute v parents =
+    if v < n_tree then begin
+      (* expansive phase: subdivide (or, at a leaf, integrate locally) *)
+      let interval =
+        if v = 0 then (lo, hi)
+        else
+          match parents.(0) with
+          | Interval (a, b) ->
+            let m = 0.5 *. (a +. b) in
+            if child_rank.(v) = 0 then (a, m) else (m, b)
+          | Area _ -> invalid_arg "Quadrature: area above an interval task"
+      in
+      if Dag.is_sink tree v then
+        let a, b = interval in
+        Area (approx rule f a b)
+      else Interval (fst interval, snd interval)
+    end
+    else
+      (* reductive phase: accumulate areas *)
+      Area
+        (Array.fold_left
+           (fun acc p ->
+             match p with
+             | Area a -> acc +. a
+             | Interval _ -> invalid_arg "Quadrature: interval in reduction")
+           0.0 parents)
+  in
+  let schedule = Diamond.schedule diamond in
+  let values = Engine.execute ~schedule { Engine.dag = g; compute } in
+  let sink = List.hd (Dag.sinks g) in
+  let value =
+    match values.(sink) with
+    | Area a -> a
+    | Interval _ -> assert false
+  in
+  { value; shape; diamond; n_tasks = Dag.n_nodes g; schedule }
+
+let reference ?(rule = Trapezoid) ?(max_depth = 12) ~f ~lo ~hi ~tol () =
+  let shape = build_shape rule f lo hi tol max_depth in
+  reference_of_shape rule f lo hi shape

@@ -1,0 +1,32 @@
+(** Adaptive numerical integration (Section 3.2): the paper's exemplar of an
+    expansion–reduction computation.
+
+    The expansive phase subdivides the integration interval wherever the
+    local error estimate exceeds the tolerance, producing a (possibly quite
+    irregular) binary out-tree whose leaves hold areas over subintervals;
+    the dual in-tree accumulates them. We build that diamond dag and then
+    {e actually integrate through it} with the engine, under the IC-optimal
+    diamond schedule. *)
+
+type rule =
+  | Trapezoid  (** linear approximation: [A(X,Y) = ½(F(X)+F(Y))(Y−X)] *)
+  | Simpson  (** quadratic approximation *)
+
+type result = {
+  value : float;  (** the integral, computed through the dag *)
+  shape : Ic_families.Out_tree.shape;  (** the adaptive subdivision tree *)
+  diamond : Ic_families.Diamond.t;
+  n_tasks : int;
+  schedule : Ic_dag.Schedule.t;  (** the IC-optimal schedule that drove it *)
+}
+
+val integrate :
+  ?rule:rule -> ?max_depth:int ->
+  f:(float -> float) -> lo:float -> hi:float -> tol:float -> unit -> result
+(** [max_depth] (default 12) caps the subdivision. *)
+
+val reference :
+  ?rule:rule -> ?max_depth:int ->
+  f:(float -> float) -> lo:float -> hi:float -> tol:float -> unit -> float
+(** The same adaptive algorithm run as a plain recursion — bitwise equal to
+    [result.value] (same leaves, same summation tree). *)

@@ -1,0 +1,42 @@
+module Dag = Ic_dag.Dag
+module Prefix = Ic_families.Prefix_dag
+
+let scan ?schedule ~op input =
+  let n = Array.length input in
+  if n < 1 then invalid_arg "Scan.scan: empty input";
+  if n = 1 then Array.copy input
+  else begin
+    let g = Prefix.dag n in
+    let p = Prefix.levels n in
+    let compute v parents =
+      let j = v / n and i = v mod n in
+      if j = 0 then input.(i)
+      else begin
+        let stride = 1 lsl (j - 1) in
+        if i < stride then parents.(0) (* copy task *)
+        else
+          (* parents ascending: (j-1, i-stride) then (j-1, i) *)
+          op parents.(0) parents.(1)
+      end
+    in
+    let schedule =
+      match schedule with Some s -> s | None -> Prefix.schedule n
+    in
+    let values = Engine.execute ~schedule { Engine.dag = g; compute } in
+    Array.init n (fun i -> values.(Prefix.node ~n p i))
+  end
+
+let scan_seq ~op input =
+  let out = Array.copy input in
+  for i = 1 to Array.length input - 1 do
+    out.(i) <- op out.(i - 1) input.(i)
+  done;
+  out
+
+let int_powers ~base ~modulus n =
+  if modulus <= 1 then invalid_arg "Scan.int_powers: modulus must exceed 1";
+  scan ~op:(fun a b -> a * b mod modulus) (Array.make n (base mod modulus))
+
+let complex_powers omega n = scan ~op:Complex.mul (Array.make n omega)
+
+let matrix_powers a n = scan ~op:Bool_matrix.mult (Array.make n a)

@@ -1,0 +1,26 @@
+(** Parallel-prefix (scan) computations through the [P_n] dag (Section
+    6.1).
+
+    The operator only needs associativity, so the same dag hosts operations
+    of widely varying granularity — the paper's examples: powers of an
+    integer, powers of a complex number, and logical powers of an adjacency
+    matrix. *)
+
+val scan :
+  ?schedule:Ic_dag.Schedule.t -> op:('a -> 'a -> 'a) -> 'a array -> 'a array
+(** Inclusive scan: output [i] is [x_0 * ... * x_i]. Executed through
+    [Prefix_dag.dag n] (combines and copy tasks) under the given schedule
+    (default: the IC-optimal N-dag order). Input length >= 1. *)
+
+val scan_seq : op:('a -> 'a -> 'a) -> 'a array -> 'a array
+(** Sequential reference. *)
+
+val int_powers : base:int -> modulus:int -> int -> int array
+(** First [n] powers [N, N², ..., N^n (mod m)], via {!scan} over modular
+    multiplication. *)
+
+val complex_powers : Complex.t -> int -> Complex.t array
+(** First [n] powers [ω, ω², ..., ω^n]. *)
+
+val matrix_powers : Bool_matrix.t -> int -> Bool_matrix.t array
+(** First [n] logical powers [A, A², ..., A^n]. *)

@@ -1,0 +1,49 @@
+(** Comparator-based sorting through iterated butterfly blocks (Section
+    5.2, eq. 5.1).
+
+    Batcher's bitonic sorting network on [n = 2^d] keys is an iterated
+    composition of comparator blocks — each a butterfly building block
+    applying [y0 = min(x0,x1)], [y1 = max(x0,x1)] with a direction bit — so
+    it is scheduled IC-optimally by executing the two inputs of each
+    comparator in consecutive steps. *)
+
+val n_substages : int -> int
+(** [d(d+1)/2] compare-exchange rounds for [2^d] keys. *)
+
+val network_dag : int -> Ic_dag.Dag.t
+(** [network_dag d]: levels [0 .. n_substages d] of [2^d] rows; the arcs of
+    substage [t] connect rows [r] and [r XOR j_t] to the next level. *)
+
+val schedule : int -> Ic_dag.Schedule.t
+(** IC-optimal: per substage, the two sources of each comparator block in
+    consecutive steps. *)
+
+val sort : ?schedule:Ic_dag.Schedule.t -> int array -> int array
+(** Sort through the network under the given schedule (default: the
+    IC-optimal one). Length must be [2^d], [d >= 1]. *)
+
+val sort_floats : float array -> float array
+
+(** {1 Batcher's odd-even merge network}
+
+    The paper notes that the most efficient known comparator networks
+    "require a more complicated iterated composition of comparators [11]":
+    odd-even merge uses fewer comparators than the bitonic network (rows
+    that are already ordered pass through untouched), at the cost of
+    irregular stages. Each substage is a partial matching, so the dag mixes
+    [K(2,2)] comparator blocks with pass-through chains — and those two are
+    ▷-incomparable. Indeed the exact verifier shows the odd-even dag admits
+    {e no} IC-optimal schedule (already at [d = 2]), in contrast to the
+    bitonic network: comparator efficiency trades away IC-optimality. The
+    {!oddeven_schedule} phase order is a near-optimal schedule (pointwise
+    within the unattainable ceiling; see the tests and EXPERIMENTS.md). *)
+
+val oddeven_substages : int -> (int * int) list list
+(** The compare-exchange pairs of each substage, for [2^d] keys. *)
+
+val oddeven_dag : int -> Ic_dag.Dag.t
+val oddeven_schedule : int -> Ic_dag.Schedule.t
+val sort_oddeven : int array -> int array
+
+val n_comparators : int -> int * int
+(** [(bitonic, odd-even)] comparator counts for [2^d] keys. *)

@@ -1,0 +1,34 @@
+(** Wavefront computations on mesh dags (Section 4).
+
+    Two payloads: Pascal's triangle — whose dependency structure {e is} the
+    out-mesh, executed under the mesh's IC-optimal wavefront schedule — and
+    a classic dynamic-programming wavefront (edit distance on a rectangular
+    grid with diagonal dependencies), the finite-element/vision-style
+    workload family the paper motivates meshes with. *)
+
+val pascal : int -> int array
+(** [pascal levels]: the binomials [C(levels, 0..levels)], computed through
+    the out-mesh under {!Ic_families.Mesh.out_schedule}. *)
+
+(** {1 Rectangular wavefront DP} *)
+
+val grid : rows:int -> cols:int -> Ic_dag.Dag.t
+(** [(rows+1) × (cols+1)] grid; cell [(i,j)] depends on its left, upper and
+    upper-left neighbours — the edit-distance table. *)
+
+val grid_schedule : rows:int -> cols:int -> Ic_dag.Schedule.t
+(** Antidiagonal wavefront order. *)
+
+val edit_distance : string -> string -> int
+(** Levenshtein distance computed through {!grid} under the wavefront
+    schedule. *)
+
+val edit_distance_reference : string -> string -> int
+
+val pyramid_reduce : op:(int -> int -> int) -> int array -> int
+(** The in-mesh (pyramid-dag) payload — "the arrays that arise in computer
+    vision" (Section 4): each interior node combines its two parents, so
+    the apex holds the fold of every length-2 window chain; with [op = max]
+    this is the max-pooling pyramid. The input row has [n] entries
+    ([n >= 1]); runs on {!Ic_families.Mesh.in_mesh} under its IC-optimal
+    (duality-derived) schedule. *)

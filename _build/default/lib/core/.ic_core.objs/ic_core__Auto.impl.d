@@ -1,0 +1,1 @@
+lib/core/auto.ml: Array Ic_blocks Ic_dag List Printf Priority Queue

@@ -1,0 +1,1 @@
+lib/core/compose.ml: Array Format Fun Ic_dag List Printf Result

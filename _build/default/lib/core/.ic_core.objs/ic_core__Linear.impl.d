@@ -1,0 +1,1 @@
+lib/core/linear.ml: Array Compose Ic_dag List Printf Priority

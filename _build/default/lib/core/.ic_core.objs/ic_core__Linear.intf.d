@@ -1,0 +1,1 @@
+lib/core/linear.mli: Compose Ic_dag

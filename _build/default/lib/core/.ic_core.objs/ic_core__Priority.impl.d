@@ -1,0 +1,1 @@
+lib/core/priority.ml: Array Ic_blocks Ic_dag Option

@@ -1,0 +1,216 @@
+module Dag = Ic_dag.Dag
+module Schedule = Ic_dag.Schedule
+module Optimal = Ic_dag.Optimal
+module Iso = Ic_dag.Iso
+module Blocks = Ic_blocks
+
+type block = {
+  nodes : int list;
+  level : int;
+  name : string;
+  dag : Dag.t;
+  schedule : Schedule.t;
+}
+
+type certificate = [ `Linear | `Unverified ]
+
+type plan = {
+  schedule : Schedule.t;
+  blocks : block list;
+  certificate : certificate;
+}
+
+let is_levelled g =
+  let depth = Dag.depth g in
+  List.for_all (fun (u, v) -> depth.(v) = depth.(u) + 1) (Dag.arcs g)
+
+(* connected components of the boundary between level [k] and level [k+1]:
+   BFS over depth-k nonsinks and their children *)
+let boundary_components g depth k =
+  let n = Dag.n_nodes g in
+  let in_boundary v =
+    (depth.(v) = k && Dag.out_degree g v > 0) || depth.(v) = k + 1
+  in
+  let seen = Array.make n false in
+  let components = ref [] in
+  for v0 = 0 to n - 1 do
+    if in_boundary v0 && not seen.(v0) then begin
+      let component = ref [] in
+      let queue = Queue.create () in
+      seen.(v0) <- true;
+      Queue.add v0 queue;
+      while not (Queue.is_empty queue) do
+        let v = Queue.pop queue in
+        component := v :: !component;
+        let visit w =
+          if in_boundary w && not seen.(w) then begin
+            seen.(w) <- true;
+            Queue.add w queue
+          end
+        in
+        if depth.(v) = k then Array.iter visit (Dag.succ g v)
+        else Array.iter visit (Dag.pred g v)
+      done;
+      components := List.sort compare !component :: !components
+    end
+  done;
+  List.rev !components
+
+(* recognize a connected bipartite block against the repertoire and return
+   (name, IC-optimal schedule); fall back to the exact verifier *)
+let classify_block block_dag =
+  let sources = Dag.sources block_dag and sinks = Dag.sinks block_dag in
+  let s = List.length sources and t = List.length sinks in
+  let m = Dag.n_arcs block_dag in
+  let transport name candidate candidate_schedule =
+    match Iso.find_isomorphism candidate block_dag with
+    | Some phi ->
+      let order =
+        Array.to_list
+          (Array.map (fun v -> phi.(v)) (Schedule.order candidate_schedule))
+      in
+      (match Schedule.of_order block_dag order with
+      | Ok schedule -> Some (name, schedule)
+      | Error _ -> None)
+    | None -> None
+  in
+  let candidates =
+    List.concat
+      [
+        (if s = 1 then
+           [ (Printf.sprintf "V_%d" t, Blocks.Vee.dag t, Blocks.Vee.schedule t) ]
+         else []);
+        (if t = 1 then
+           [ (Printf.sprintf "L_%d" s, Blocks.Lambda.dag s, Blocks.Lambda.schedule s) ]
+         else []);
+        (if m = s * t && s > 1 && t > 1 then
+           [
+             ( Printf.sprintf "K(%d,%d)" s t,
+               Blocks.Bipartite.dag s t,
+               Blocks.Bipartite.schedule s t );
+           ]
+         else []);
+        (if t = s && m = (2 * s) - 1 then
+           [ (Printf.sprintf "N_%d" s, Blocks.N_dag.dag s, Blocks.N_dag.schedule s) ]
+         else []);
+        (if t = s && m = 2 * s && s >= 2 then
+           [ (Printf.sprintf "C_%d" s, Blocks.Cycle_dag.dag s, Blocks.Cycle_dag.schedule s) ]
+         else []);
+        (if s = t + 1 && m = 2 * t && t >= 1 then
+           [ (Printf.sprintf "M_%d" t, Blocks.M_dag.dag t, Blocks.M_dag.schedule t) ]
+         else []);
+        (* (1,d)-W-dags: m = d*s, t = (d-1)s + 1 *)
+        (if s >= 1 && m mod s = 0 then
+           let d = m / s in
+           if d >= 2 && t = ((d - 1) * s) + 1 then
+             [
+               ( (if d = 2 then Printf.sprintf "W_%d" s
+                  else Printf.sprintf "W^%d_%d" d s),
+                 Blocks.W_dag.dag_fanout ~fanout:d s,
+                 Blocks.W_dag.schedule_fanout ~fanout:d s );
+             ]
+           else []
+         else []);
+      ]
+  in
+  let recognized =
+    List.find_map
+      (fun (name, candidate, cs) -> transport name candidate cs)
+      candidates
+  in
+  match recognized with
+  | Some r -> Ok r
+  | None -> (
+    (* unknown shape: exact analysis *)
+    match Optimal.analyze block_dag with
+    | Error (`Too_large k) ->
+      Error
+        (Printf.sprintf
+           "unrecognized %d-source block too large for exact analysis (%d)" s k)
+    | Ok { Optimal.witness = None; _ } ->
+      Error "a boundary block admits no IC-optimal schedule"
+    | Ok { Optimal.witness = Some w; e_opt; _ } ->
+      (* normalize to sinks-last form, which the phase emission needs *)
+      let prefix = Schedule.nonsink_prefix block_dag w in
+      let normalized = Schedule.of_nonsink_order_exn block_dag prefix in
+      if Ic_dag.Profile.run block_dag normalized = e_opt then
+        Ok (Printf.sprintf "bipartite(%d)" (Dag.n_nodes block_dag), normalized)
+      else Error "block optimum is not attainable in sinks-last form")
+
+let schedule g =
+  if not (is_levelled g) then
+    Error "dag is not levelled (an arc skips a depth level)"
+  else begin
+    let depth = Dag.depth g in
+    let max_depth = Dag.longest_path g in
+    let errors = ref [] in
+    let blocks_by_level =
+      List.init max_depth (fun k ->
+          boundary_components g depth k
+          |> List.filter_map (fun nodes ->
+                 let keep = Array.make (Dag.n_nodes g) false in
+                 List.iter (fun v -> keep.(v) <- true) nodes;
+                 let block_dag, _remap = Dag.induced g ~keep in
+                 match classify_block block_dag with
+                 | Ok (name, schedule) ->
+                   Some { nodes; level = k; name; dag = block_dag; schedule }
+                 | Error msg ->
+                   errors := msg :: !errors;
+                   None))
+    in
+    match !errors with
+    | msg :: _ -> Error msg
+    | [] ->
+      (* order blocks within each level greedily by priority *)
+      let order_level blocks =
+        let endpoint b = (b.dag, b.schedule) in
+        let rec go acc remaining =
+          match remaining with
+          | [] -> List.rev acc
+          | _ ->
+            let dominant =
+              List.find_opt
+                (fun c ->
+                  List.for_all
+                    (fun o ->
+                      c == o || Priority.has_priority (endpoint c) (endpoint o))
+                    remaining)
+                remaining
+            in
+            let chosen =
+              match dominant with Some c -> c | None -> List.hd remaining
+            in
+            go (chosen :: acc) (List.filter (fun o -> o != chosen) remaining)
+        in
+        go [] blocks
+      in
+      let ordered = List.concat_map order_level blocks_by_level in
+      (* emit: each block's sources in its schedule's order *)
+      let node_of_block b =
+        (* induced numbering is order-preserving, so local id i corresponds
+           to the i-th smallest member of [b.nodes] *)
+        let arr = Array.of_list b.nodes in
+        fun local -> arr.(local)
+      in
+      let emission =
+        List.concat_map
+          (fun b ->
+            let to_global = node_of_block b in
+            List.map to_global (Schedule.nonsink_prefix b.dag b.schedule))
+          ordered
+      in
+      (match Schedule.of_nonsink_order g emission with
+      | Error msg -> Error ("internal: emitted order invalid: " ^ msg)
+      | Ok s ->
+        let certificate =
+          let rec chain = function
+            | [] | [ _ ] -> `Linear
+            | a :: (b :: _ as rest) ->
+              if Priority.has_priority (a.dag, a.schedule) (b.dag, b.schedule)
+              then chain rest
+              else `Unverified
+          in
+          (chain ordered :> certificate)
+        in
+        Ok { schedule = s; blocks = ordered; certificate })
+  end

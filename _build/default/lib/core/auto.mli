@@ -1,0 +1,50 @@
+(** Automatic scheduling of arbitrary levelled dags — a working version of
+    the main scheduling algorithm of [21] that Theorem 2.1 underlies.
+
+    The paper derives each family's schedule by hand, by recognizing the
+    dag as a ▷-linear composition of building blocks. This module mechanizes
+    that derivation for {e levelled} dags (every arc runs between
+    consecutive depth levels — true of meshes, butterflies, sorting
+    networks, parallel-prefix dags, the DLT dags, the matmul dag [M], and
+    complete trees/diamonds):
+
+    1. each inter-level boundary is split into its connected bipartite
+       components — the candidate building blocks;
+    2. every block is given an IC-optimal schedule: by recognizing it (up
+       to isomorphism, transporting the canonical schedule through the
+       isomorphism) as a known block — [V_d], [Λ_d], [W^{1,d}_s], [M_s],
+       [N_s], [C_s], [K(s,t)] — or, failing that, by the exact verifier on
+       small blocks;
+    3. blocks are ordered level by level (within a level, greedily so that
+       each chosen block has ▷-priority over the rest);
+    4. the Theorem 2.1 phase schedule is emitted. If every consecutive
+       pair in the block order satisfies ▷, the result is certified
+       IC-optimal ([`Linear]); otherwise the schedule is still valid and
+       returned as [`Unverified] (e.g. in-tree ⇑ out-tree boundaries, where
+       optimality holds for topological reasons the certificate does not
+       capture). *)
+
+type block = {
+  nodes : int list;  (** block node ids within the original dag *)
+  level : int;  (** depth of the block's sources *)
+  name : string;  (** "W_4", "N_2", "K(2,2)", "bipartite(7)", ... *)
+  dag : Ic_dag.Dag.t;  (** the induced bipartite dag *)
+  schedule : Ic_dag.Schedule.t;  (** IC-optimal for [dag] *)
+}
+
+type certificate =
+  [ `Linear  (** the block chain is ▷-linear: IC-optimal by Theorem 2.1 *)
+  | `Unverified  (** valid phase schedule; ▷ failed somewhere *) ]
+
+type plan = {
+  schedule : Ic_dag.Schedule.t;
+  blocks : block list;  (** in execution order *)
+  certificate : certificate;
+}
+
+val is_levelled : Ic_dag.Dag.t -> bool
+(** Does every arc join consecutive depth levels? *)
+
+val schedule : Ic_dag.Dag.t -> (plan, string) Stdlib.result
+(** Fails when the dag is not levelled, or some unrecognized block is too
+    large for the exact verifier (or admits no IC-optimal schedule). *)

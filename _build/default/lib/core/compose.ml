@@ -1,0 +1,103 @@
+module Dag = Ic_dag.Dag
+
+type t = {
+  dag : Dag.t;
+  components : (Dag.t * int array) list;
+}
+
+let dag c = c.dag
+let components c = c.components
+
+let of_dag g = { dag = g; components = [ (g, Array.init (Dag.n_nodes g) Fun.id) ] }
+
+let compose c1 c2 ~pairs =
+  let g1 = c1.dag and g2 = c2.dag in
+  let n1 = Dag.n_nodes g1 and n2 = Dag.n_nodes g2 in
+  let check_distinct xs = List.length (List.sort_uniq compare xs) = List.length xs in
+  let us = List.map fst pairs and vs = List.map snd pairs in
+  if not (check_distinct us && check_distinct vs) then
+    Error "merge pairs are not distinct"
+  else if List.exists (fun u -> u < 0 || u >= n1 || not (Dag.is_sink g1 u)) us then
+    Error "left member of a merge pair is not a sink of the first dag"
+  else if List.exists (fun v -> v < 0 || v >= n2 || not (Dag.is_source g2 v)) vs then
+    Error "right member of a merge pair is not a source of the second dag"
+  else begin
+    (* composite ids: c1 nodes keep theirs; unmerged c2 nodes follow *)
+    let mate = Array.make n2 (-1) in
+    List.iter (fun (u, v) -> mate.(v) <- u) pairs;
+    let remap2 = Array.make n2 (-1) in
+    let next = ref n1 in
+    for v = 0 to n2 - 1 do
+      if mate.(v) >= 0 then remap2.(v) <- mate.(v)
+      else begin
+        remap2.(v) <- !next;
+        incr next
+      end
+    done;
+    let n = !next in
+    let arcs =
+      Dag.arcs g1
+      @ List.map (fun (u, v) -> (remap2.(u), remap2.(v))) (Dag.arcs g2)
+    in
+    (* propagate labels only when a component has real ones; default
+       id-labels would otherwise collide after renumbering *)
+    let labels =
+      if not (Dag.has_labels g1 || Dag.has_labels g2) then None
+      else begin
+        let out = Array.make n "" in
+        for u = 0 to n1 - 1 do
+          out.(u) <- (if Dag.has_labels g1 then Dag.label g1 u else string_of_int u)
+        done;
+        for v = 0 to n2 - 1 do
+          if mate.(v) < 0 then
+            out.(remap2.(v)) <-
+              (if Dag.has_labels g2 then Dag.label g2 v else string_of_int remap2.(v))
+        done;
+        Some out
+      end
+    in
+    match Dag.make ?labels ~n ~arcs () with
+    | Error msg -> Error ("composition is not a dag: " ^ msg)
+    | Ok g ->
+      let remapped_c2 =
+        List.map
+          (fun (orig, embed) -> (orig, Array.map (fun w -> remap2.(w)) embed))
+          c2.components
+      in
+      Ok { dag = g; components = c1.components @ remapped_c2 }
+  end
+
+let compose_exn c1 c2 ~pairs =
+  match compose c1 c2 ~pairs with
+  | Ok c -> c
+  | Error msg -> invalid_arg ("Compose.compose_exn: " ^ msg)
+
+let full_merge c1 c2 =
+  let sinks = Dag.sinks c1.dag and sources = Dag.sources c2.dag in
+  if List.length sinks <> List.length sources then
+    Error
+      (Printf.sprintf "full merge needs equal counts: %d sinks vs %d sources"
+         (List.length sinks) (List.length sources))
+  else compose c1 c2 ~pairs:(List.combine sinks sources)
+
+let full_merge_exn c1 c2 =
+  match full_merge c1 c2 with
+  | Ok c -> c
+  | Error msg -> invalid_arg ("Compose.full_merge_exn: " ^ msg)
+
+let chain_full = function
+  | [] -> Error "empty composition chain"
+  | first :: rest ->
+    List.fold_left
+      (fun acc c -> Result.bind acc (fun acc -> full_merge acc c))
+      (Ok first) rest
+
+let pp ppf c =
+  Format.fprintf ppf "composite of %d components (%d nodes):@ "
+    (List.length c.components)
+    (Dag.n_nodes c.dag);
+  List.iteri
+    (fun i (g, _) ->
+      if i > 0 then Format.fprintf ppf " ^ ";
+      Format.fprintf ppf "G%d(%d)" i (Dag.n_nodes g))
+    c.components

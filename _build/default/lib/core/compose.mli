@@ -1,0 +1,44 @@
+(** The composition operation ⇑ (Section 2.3.1).
+
+    [G_1 ⇑ G_2] starts from the disjoint sum [G_1 + G_2], selects equal-size
+    sets of sinks of [G_1] and sources of [G_2], and pairwise identifies
+    them. A {!t} remembers the components and how their nodes embed into the
+    composite, which is what the Theorem 2.1 scheduler needs to replay each
+    component's schedule inside the composite. Composition is associative
+    [21], so a chain built by left-nested {!compose} calls represents
+    [G_1 ⇑ G_2 ⇑ ... ⇑ G_k]. *)
+
+type t
+
+val dag : t -> Ic_dag.Dag.t
+(** The composite dag. *)
+
+val components : t -> (Ic_dag.Dag.t * int array) list
+(** The components in composition order, each with its embedding: entry
+    [(g_i, embed_i)] maps node [v] of [g_i] to node [embed_i.(v)] of the
+    composite. *)
+
+val of_dag : Ic_dag.Dag.t -> t
+(** The trivial composition with a single component. *)
+
+val compose : t -> t -> pairs:(int * int) list -> (t, string) result
+(** [compose c1 c2 ~pairs] merges, for each [(u, v)] in [pairs], sink [u] of
+    [dag c1] with source [v] of [dag c2]. The [u]s (resp. [v]s) must be
+    distinct; [u] must be a sink of [dag c1] and [v] a source of [dag c2].
+    Composite node numbering: nodes of [c1] keep their ids; unmerged nodes
+    of [c2] follow in ascending order; a merged source takes the id of its
+    mate. The component lists are concatenated. *)
+
+val compose_exn : t -> t -> pairs:(int * int) list -> t
+
+val full_merge : t -> t -> (t, string) result
+(** Merge {e all} sinks of [c1] with {e all} sources of [c2], both in
+    ascending node order (they must be equinumerous) — the composition used
+    by diamond dags, [L_n], etc. *)
+
+val full_merge_exn : t -> t -> t
+
+val chain_full : t list -> (t, string) result
+(** Left fold of {!full_merge} over a nonempty list. *)
+
+val pp : Format.formatter -> t -> unit

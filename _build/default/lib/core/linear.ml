@@ -1,0 +1,62 @@
+module Dag = Ic_dag.Dag
+module Schedule = Ic_dag.Schedule
+
+let schedule c sigmas =
+  let comps = Compose.components c in
+  if List.length comps <> List.length sigmas then
+    Error
+      (Printf.sprintf "%d component schedules supplied for %d components"
+         (List.length sigmas) (List.length comps))
+  else begin
+    let g = Compose.dag c in
+    let executed = Array.make (Dag.n_nodes g) false in
+    let order = ref [] in
+    let bad = ref None in
+    List.iter2
+      (fun (gi, embed) sigma ->
+        if Schedule.length sigma <> Dag.n_nodes gi then
+          bad := Some "component schedule does not fit its component"
+        else
+          List.iter
+            (fun v ->
+              let w = embed.(v) in
+              if not executed.(w) then begin
+                executed.(w) <- true;
+                order := w :: !order
+              end)
+            (Schedule.nonsink_prefix gi sigma))
+      comps sigmas;
+    match !bad with
+    | Some msg -> Error msg
+    | None -> Schedule.of_nonsink_order g (List.rev !order)
+  end
+
+let schedule_exn c sigmas =
+  match schedule c sigmas with
+  | Ok s -> s
+  | Error msg -> invalid_arg ("Linear.schedule_exn: " ^ msg)
+
+let is_linear c sigmas =
+  let endpoints =
+    List.map2 (fun (g, _) s -> (g, s)) (Compose.components c) sigmas
+  in
+  Priority.is_linear_chain endpoints
+
+let schedule_checked c sigmas =
+  let endpoints =
+    try Some (List.map2 (fun (g, _) s -> (g, s)) (Compose.components c) sigmas)
+    with Invalid_argument _ -> None
+  in
+  match endpoints with
+  | None -> Error "component/schedule count mismatch"
+  | Some eps ->
+    let rec check i = function
+      | [] | [ _ ] -> None
+      | p1 :: (p2 :: _ as rest) ->
+        if Priority.has_priority p1 p2 then check (i + 1) rest
+        else Some i
+    in
+    (match check 0 eps with
+    | Some i ->
+      Error (Printf.sprintf "priority G_%d |> G_%d does not hold" i (i + 1))
+    | None -> schedule c sigmas)

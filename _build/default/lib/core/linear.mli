@@ -1,0 +1,27 @@
+(** The main scheduling tool: Theorem 2.1.
+
+    Let [G] be a ▷-linear composition of [G_1, ..., G_n] (i.e., composite of
+    type [G_1 ⇑ ... ⇑ G_n] with [G_i ▷ G_{i+1}]), each [G_i] admitting an
+    IC-optimal schedule [Σ_i]. Then the schedule that executes, for
+    [i = 1..n] in turn, the nodes of [G] corresponding to nonsinks of [G_i]
+    in [Σ_i]'s order, and finally all sinks of [G], is IC-optimal. *)
+
+val schedule :
+  Compose.t -> Ic_dag.Schedule.t list -> (Ic_dag.Schedule.t, string) result
+(** [schedule c sigmas] builds the Theorem 2.1 schedule from one component
+    schedule per component of [c] (in order). A composite node that is a
+    nonsink image for several components is executed at its first mandate.
+    Fails if the counts mismatch, a [Σ_i] does not fit [G_i], or the
+    resulting order is not a valid schedule of the composite (which cannot
+    happen for genuine sink-to-source compositions). *)
+
+val schedule_exn : Compose.t -> Ic_dag.Schedule.t list -> Ic_dag.Schedule.t
+
+val is_linear : Compose.t -> Ic_dag.Schedule.t list -> bool
+(** Condition (b) of ▷-linearity for the components of [c] under the given
+    (IC-optimal) component schedules: [G_i ▷ G_{i+1}] for all [i]. *)
+
+val schedule_checked :
+  Compose.t -> Ic_dag.Schedule.t list -> (Ic_dag.Schedule.t, string) result
+(** Like {!schedule} but first verifies ▷-linearity, failing with the index
+    of the first violated priority. *)

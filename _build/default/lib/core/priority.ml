@@ -1,0 +1,29 @@
+module Profile = Ic_dag.Profile
+
+type endpoint = Ic_dag.Dag.t * Ic_dag.Schedule.t
+
+let violation (g1, s1) (g2, s2) =
+  let e1 = Profile.nonsink_profile g1 s1 in
+  let e2 = Profile.nonsink_profile g2 s2 in
+  let n1 = Array.length e1 - 1 and n2 = Array.length e2 - 1 in
+  let found = ref None in
+  (try
+     for x = 0 to n1 do
+       for y = 0 to n2 do
+         let d = min (n1 - x) y in
+         if e1.(x) + e2.(y) > e1.(x + d) + e2.(y - d) then begin
+           found := Some (x, y);
+           raise Exit
+         end
+       done
+     done
+   with Exit -> ());
+  !found
+
+let has_priority p1 p2 = Option.is_none (violation p1 p2)
+
+let rec is_linear_chain = function
+  | [] | [ _ ] -> true
+  | p1 :: (p2 :: _ as rest) -> has_priority p1 p2 && is_linear_chain rest
+
+let of_block (b : Ic_blocks.Repertoire.t) = (b.dag, b.schedule)

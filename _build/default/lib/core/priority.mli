@@ -1,0 +1,29 @@
+(** The priority relation ▷ (Section 2.3.1, eq. 2.1).
+
+    For dags [G_1], [G_2] admitting IC-optimal schedules [Σ_1], [Σ_2] with
+    [n_1], [n_2] nonsinks, [G_1 ▷ G_2] ("G_1 has priority over G_2") holds
+    when one never decreases IC quality by executing a nonsink of [G_1]
+    whenever possible; formally (reconstructed from [MRY06], see DESIGN.md),
+    for all [x ∈ [0,n_1]], [y ∈ [0,n_2]], with [δ = min(n_1 - x, y)]:
+
+    {v E_Σ1(x) + E_Σ2(y) <= E_Σ1(x + δ) + E_Σ2(y − δ) v}
+
+    The supplied schedules must be IC-optimal for the relation to have its
+    theoretical meaning; this module evaluates the inequalities for whatever
+    schedules are given (they must at least execute nonsinks before sinks). *)
+
+type endpoint = Ic_dag.Dag.t * Ic_dag.Schedule.t
+(** A dag together with an IC-optimal schedule for it. *)
+
+val has_priority : endpoint -> endpoint -> bool
+(** [has_priority (g1, s1) (g2, s2)] decides [G_1 ▷ G_2]. O(n₁·n₂). *)
+
+val is_linear_chain : endpoint list -> bool
+(** Condition (b) of ▷-linearity: [G_i ▷ G_{i+1}] for consecutive pairs. *)
+
+val of_block : Ic_blocks.Repertoire.t -> endpoint
+
+val violation :
+  endpoint -> endpoint -> (int * int) option
+(** The lexicographically-first [(x, y)] violating the inequality, if any —
+    used by tests and the CLI to explain failures. *)

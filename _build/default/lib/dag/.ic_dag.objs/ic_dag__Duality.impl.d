@@ -1,0 +1,1 @@
+lib/dag/duality.ml: Array Dag List Profile Schedule

@@ -1,0 +1,1 @@
+lib/dag/duality.mli: Dag Schedule

@@ -1,0 +1,1 @@
+lib/dag/iso.ml: Array Dag Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/dag/iso.mli: Dag

@@ -1,0 +1,1 @@
+lib/dag/optimal.ml: Array Dag Hashtbl List Profile Result Schedule

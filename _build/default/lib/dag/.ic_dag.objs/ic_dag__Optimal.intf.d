@@ -1,0 +1,1 @@
+lib/dag/optimal.mli: Dag Schedule

@@ -1,0 +1,1 @@
+lib/dag/profile.ml: Array Dag Format List Schedule

@@ -1,0 +1,1 @@
+lib/dag/profile.mli: Dag Format Schedule

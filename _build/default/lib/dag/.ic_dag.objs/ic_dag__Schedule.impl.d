@@ -1,0 +1,1 @@
+lib/dag/schedule.ml: Array Dag Format List Printf

@@ -1,0 +1,1 @@
+lib/dag/serial.ml: Array Buffer Dag In_channel List Out_channel Printf Result Schedule String

@@ -1,0 +1,1 @@
+lib/dag/serial.mli: Dag Schedule

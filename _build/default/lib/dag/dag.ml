@@ -1,0 +1,326 @@
+type t = {
+  n : int;
+  succ : int array array;
+  pred : int array array;
+  labels : string array option;
+}
+
+let n_nodes g = g.n
+
+let n_arcs g =
+  Array.fold_left (fun acc a -> acc + Array.length a) 0 g.succ
+
+let succ g v = g.succ.(v)
+let pred g v = g.pred.(v)
+let out_degree g v = Array.length g.succ.(v)
+let in_degree g v = Array.length g.pred.(v)
+
+let has_arc g u v =
+  (* children arrays are sorted, so binary search *)
+  let a = g.succ.(u) in
+  let rec go lo hi =
+    if lo >= hi then false
+    else
+      let mid = (lo + hi) / 2 in
+      if a.(mid) = v then true
+      else if a.(mid) < v then go (mid + 1) hi
+      else go lo mid
+  in
+  go 0 (Array.length a)
+
+let arcs g =
+  let acc = ref [] in
+  for u = g.n - 1 downto 0 do
+    let children = g.succ.(u) in
+    for i = Array.length children - 1 downto 0 do
+      acc := (u, children.(i)) :: !acc
+    done
+  done;
+  !acc
+
+let label g v =
+  match g.labels with
+  | Some ls -> ls.(v)
+  | None -> string_of_int v
+
+let has_labels g = Option.is_some g.labels
+
+let find_label g s =
+  match g.labels with
+  | None -> (try Some (int_of_string s) with _ -> None)
+  | Some ls ->
+    let rec go i = if i >= g.n then None else if ls.(i) = s then Some i else go (i + 1) in
+    go 0
+
+let is_source g v = in_degree g v = 0
+let is_sink g v = out_degree g v = 0
+
+let filter_nodes g p =
+  let acc = ref [] in
+  for v = g.n - 1 downto 0 do
+    if p v then acc := v :: !acc
+  done;
+  !acc
+
+let sources g = filter_nodes g (is_source g)
+let sinks g = filter_nodes g (is_sink g)
+let nonsinks g = filter_nodes g (fun v -> not (is_sink g v))
+let nonsources g = filter_nodes g (fun v -> not (is_source g v))
+
+let count_nodes g p =
+  let c = ref 0 in
+  for v = 0 to g.n - 1 do
+    if p v then incr c
+  done;
+  !c
+
+let n_nonsinks g = count_nodes g (fun v -> not (is_sink g v))
+let n_nonsources g = count_nodes g (fun v -> not (is_source g v))
+
+(* Kahn's algorithm; returns None when a cycle prevents completion. *)
+let topological_order_opt ~n ~succ ~indeg0 =
+  let indeg = Array.copy indeg0 in
+  let order = Array.make n (-1) in
+  let queue = Queue.create () in
+  for v = 0 to n - 1 do
+    if indeg.(v) = 0 then Queue.add v queue
+  done;
+  let k = ref 0 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    order.(!k) <- v;
+    incr k;
+    Array.iter
+      (fun w ->
+        indeg.(w) <- indeg.(w) - 1;
+        if indeg.(w) = 0 then Queue.add w queue)
+      succ.(v)
+  done;
+  if !k = n then Some order else None
+
+let build_adjacency n arcs =
+  let out_count = Array.make n 0 and in_count = Array.make n 0 in
+  List.iter
+    (fun (u, v) ->
+      out_count.(u) <- out_count.(u) + 1;
+      in_count.(v) <- in_count.(v) + 1)
+    arcs;
+  let succ = Array.init n (fun v -> Array.make out_count.(v) 0) in
+  let pred = Array.init n (fun v -> Array.make in_count.(v) 0) in
+  let oi = Array.make n 0 and ii = Array.make n 0 in
+  List.iter
+    (fun (u, v) ->
+      succ.(u).(oi.(u)) <- v;
+      oi.(u) <- oi.(u) + 1;
+      pred.(v).(ii.(v)) <- u;
+      ii.(v) <- ii.(v) + 1)
+    arcs;
+  Array.iter (fun a -> Array.sort compare a) succ;
+  Array.iter (fun a -> Array.sort compare a) pred;
+  (succ, pred)
+
+let make ?labels ~n ~arcs () =
+  if n < 0 then Error "negative node count"
+  else
+    match labels with
+    | Some ls when Array.length ls <> n ->
+      Error
+        (Printf.sprintf "labels length %d does not match node count %d"
+           (Array.length ls) n)
+    | _ ->
+      let bad_endpoint =
+        List.find_opt (fun (u, v) -> u < 0 || u >= n || v < 0 || v >= n) arcs
+      in
+      let self_loop = List.find_opt (fun (u, v) -> u = v) arcs in
+      (match (bad_endpoint, self_loop) with
+      | Some (u, v), _ ->
+        Error (Printf.sprintf "arc (%d -> %d) out of range [0, %d)" u v n)
+      | _, Some (u, _) -> Error (Printf.sprintf "self-loop on node %d" u)
+      | None, None ->
+        let tbl = Hashtbl.create (List.length arcs) in
+        let dup =
+          List.find_opt
+            (fun arc ->
+              if Hashtbl.mem tbl arc then true
+              else begin
+                Hashtbl.add tbl arc ();
+                false
+              end)
+            arcs
+        in
+        (match dup with
+        | Some (u, v) -> Error (Printf.sprintf "duplicate arc (%d -> %d)" u v)
+        | None ->
+          let succ, pred = build_adjacency n arcs in
+          let indeg = Array.init n (fun v -> Array.length pred.(v)) in
+          (match topological_order_opt ~n ~succ ~indeg0:indeg with
+          | None -> Error "graph has a cycle"
+          | Some _ -> Ok { n; succ; pred; labels })))
+
+let make_exn ?labels ~n ~arcs () =
+  match make ?labels ~n ~arcs () with
+  | Ok g -> g
+  | Error msg -> invalid_arg ("Dag.make_exn: " ^ msg)
+
+let empty n =
+  if n < 0 then invalid_arg "Dag.empty: negative node count";
+  { n; succ = Array.make n [||]; pred = Array.make n [||]; labels = None }
+
+let sum g1 g2 =
+  let shift = g1.n in
+  let shift_adj a = Array.map (fun arr -> Array.map (fun v -> v + shift) arr) a in
+  let labels =
+    match (g1.labels, g2.labels) with
+    | None, None -> None
+    | _ ->
+      let l1 = match g1.labels with Some l -> l | None -> Array.init g1.n string_of_int in
+      let l2 = match g2.labels with Some l -> l | None -> Array.init g2.n string_of_int in
+      Some (Array.append l1 l2)
+  in
+  {
+    n = g1.n + g2.n;
+    succ = Array.append g1.succ (shift_adj g2.succ);
+    pred = Array.append g1.pred (shift_adj g2.pred);
+    labels;
+  }
+
+let dual g = { g with succ = g.pred; pred = g.succ }
+
+let relabel g labels =
+  if Array.length labels <> g.n then invalid_arg "Dag.relabel: length mismatch";
+  { g with labels = Some (Array.copy labels) }
+
+let topological_order g =
+  let indeg = Array.init g.n (fun v -> in_degree g v) in
+  match topological_order_opt ~n:g.n ~succ:g.succ ~indeg0:indeg with
+  | Some order -> order
+  | None -> assert false (* acyclicity is a construction invariant *)
+
+let is_connected g =
+  if g.n = 0 then true
+  else begin
+    let seen = Array.make g.n false in
+    let stack = Stack.create () in
+    Stack.push 0 stack;
+    seen.(0) <- true;
+    let count = ref 1 in
+    while not (Stack.is_empty stack) do
+      let v = Stack.pop stack in
+      let visit w =
+        if not seen.(w) then begin
+          seen.(w) <- true;
+          incr count;
+          Stack.push w stack
+        end
+      in
+      Array.iter visit g.succ.(v);
+      Array.iter visit g.pred.(v)
+    done;
+    !count = g.n
+  end
+
+let depth g =
+  let order = topological_order g in
+  let d = Array.make g.n 0 in
+  Array.iter
+    (fun v ->
+      Array.iter (fun w -> if d.(v) + 1 > d.(w) then d.(w) <- d.(v) + 1) g.succ.(v))
+    order;
+  d
+
+let height g =
+  let order = topological_order g in
+  let h = Array.make g.n 0 in
+  for i = g.n - 1 downto 0 do
+    let v = order.(i) in
+    Array.iter (fun w -> if h.(w) + 1 > h.(v) then h.(v) <- h.(w) + 1) g.succ.(v)
+  done;
+  h
+
+let longest_path g =
+  if g.n = 0 then 0 else Array.fold_left max 0 (depth g)
+
+let map_nodes g ~perm =
+  if Array.length perm <> g.n then invalid_arg "Dag.map_nodes: length mismatch";
+  let seen = Array.make g.n false in
+  Array.iter
+    (fun p ->
+      if p < 0 || p >= g.n || seen.(p) then invalid_arg "Dag.map_nodes: not a permutation";
+      seen.(p) <- true)
+    perm;
+  let arcs = List.map (fun (u, v) -> (perm.(u), perm.(v))) (arcs g) in
+  let labels =
+    Option.map
+      (fun ls ->
+        let out = Array.make g.n "" in
+        Array.iteri (fun v l -> out.(perm.(v)) <- l) ls;
+        out)
+      g.labels
+  in
+  make_exn ?labels ~n:g.n ~arcs ()
+
+let quotient g ~cluster_of ~n_clusters =
+  if Array.length cluster_of <> g.n then Error "cluster_of length mismatch"
+  else if Array.exists (fun c -> c < 0 || c >= n_clusters) cluster_of then
+    Error "cluster id out of range"
+  else begin
+    let tbl = Hashtbl.create (n_arcs g) in
+    List.iter
+      (fun (u, v) ->
+        let cu = cluster_of.(u) and cv = cluster_of.(v) in
+        if cu <> cv then Hashtbl.replace tbl (cu, cv) ())
+      (arcs g);
+    let arcs = Hashtbl.fold (fun arc () acc -> arc :: acc) tbl [] in
+    match make ~n:n_clusters ~arcs () with
+    | Ok q -> Ok q
+    | Error msg -> Error ("quotient is not a dag: " ^ msg)
+  end
+
+let induced g ~keep =
+  if Array.length keep <> g.n then invalid_arg "Dag.induced: length mismatch";
+  let remap = Array.make g.n (-1) in
+  let k = ref 0 in
+  for v = 0 to g.n - 1 do
+    if keep.(v) then begin
+      remap.(v) <- !k;
+      incr k
+    end
+  done;
+  let arcs =
+    List.filter_map
+      (fun (u, v) ->
+        if keep.(u) && keep.(v) then Some (remap.(u), remap.(v)) else None)
+      (arcs g)
+  in
+  let labels =
+    Option.map
+      (fun ls ->
+        let out = Array.make !k "" in
+        Array.iteri (fun v l -> if keep.(v) then out.(remap.(v)) <- l) ls;
+        out)
+      g.labels
+  in
+  (make_exn ?labels ~n:!k ~arcs (), remap)
+
+let equal g1 g2 =
+  g1.n = g2.n
+  && Array.for_all2 (fun a b -> a = b) g1.succ g2.succ
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>dag with %d nodes, %d arcs@," g.n (n_arcs g);
+  List.iter
+    (fun (u, v) -> Format.fprintf ppf "  %s -> %s@," (label g u) (label g v))
+    (arcs g);
+  Format.fprintf ppf "@]"
+
+let to_dot g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "digraph G {\n  rankdir=BT;\n";
+  for v = 0 to g.n - 1 do
+    Buffer.add_string buf (Printf.sprintf "  n%d [label=\"%s\"];\n" v (label g v))
+  done;
+  List.iter
+    (fun (u, v) -> Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" u v))
+    (arcs g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,119 @@
+(** Computation-dags.
+
+    A dag models a computation: nodes are tasks, an arc [u -> v] means task
+    [v] cannot be executed before task [u] (Section 2.1 of the paper). Nodes
+    are the integers [0 .. n_nodes - 1]. Values of type {!t} are immutable
+    and validated at construction: no self-loops, no duplicate arcs, no
+    cycles. *)
+
+type t
+
+(** {1 Construction} *)
+
+val make : ?labels:string array -> n:int -> arcs:(int * int) list -> unit ->
+  (t, string) result
+(** [make ~n ~arcs ()] builds a dag with nodes [0..n-1] and the given arcs.
+    Fails with a descriptive message on out-of-range endpoints, self-loops,
+    duplicate arcs, or cycles. [labels], when given, must have length [n]. *)
+
+val make_exn : ?labels:string array -> n:int -> arcs:(int * int) list -> unit -> t
+(** Like {!make} but raises [Invalid_argument] on bad input. *)
+
+val empty : int -> t
+(** [empty n] is the dag with [n] nodes and no arcs ([n >= 0]). *)
+
+val sum : t -> t -> t
+(** [sum g1 g2] is the disjoint sum [g1 + g2]: nodes of [g2] are shifted up
+    by [n_nodes g1]. *)
+
+val dual : t -> t
+(** [dual g] reverses every arc of [g] (Section 2.3.2), interchanging sources
+    and sinks. Node numbering is preserved. *)
+
+val relabel : t -> string array -> t
+(** [relabel g labels] replaces node labels; [Array.length labels] must equal
+    [n_nodes g]. *)
+
+(** {1 Accessors} *)
+
+val n_nodes : t -> int
+val n_arcs : t -> int
+val arcs : t -> (int * int) list
+(** Arcs in lexicographic order. *)
+
+val succ : t -> int -> int array
+(** Children of a node, ascending. The returned array must not be mutated. *)
+
+val pred : t -> int -> int array
+(** Parents of a node, ascending. The returned array must not be mutated. *)
+
+val out_degree : t -> int -> int
+val in_degree : t -> int -> int
+val has_arc : t -> int -> int -> bool
+
+val label : t -> int -> string
+(** Defaults to the decimal node id when no labels were supplied. *)
+
+val has_labels : t -> bool
+(** Were explicit labels supplied at construction? *)
+
+val find_label : t -> string -> int option
+(** First node carrying the given label, if any. *)
+
+(** {1 Sources, sinks and structure} *)
+
+val is_source : t -> int -> bool
+(** Parentless. *)
+
+val is_sink : t -> int -> bool
+(** Childless. *)
+
+val sources : t -> int list
+val sinks : t -> int list
+val nonsinks : t -> int list
+val nonsources : t -> int list
+val n_nonsinks : t -> int
+val n_nonsources : t -> int
+
+val topological_order : t -> int array
+(** Some topological order of all nodes (sources first, Kahn's algorithm). *)
+
+val is_connected : t -> bool
+(** Connectivity of the underlying undirected graph. The empty dag ([n = 0])
+    is connected; so is a single node. *)
+
+val depth : t -> int array
+(** [depth g].(v) = length of the longest arc-path from any source to [v]
+    (sources have depth 0). *)
+
+val height : t -> int array
+(** [height g].(v) = length of the longest arc-path from [v] to any sink
+    (sinks have height 0). *)
+
+val longest_path : t -> int
+(** Number of arcs on a longest path; 0 for an arcless dag. *)
+
+(** {1 Transformation} *)
+
+val map_nodes : t -> perm:int array -> t
+(** [map_nodes g ~perm] renames node [v] to [perm.(v)]; [perm] must be a
+    permutation of [0..n-1]. Labels follow their nodes. *)
+
+val quotient : t -> cluster_of:int array -> n_clusters:int -> (t, string) result
+(** [quotient g ~cluster_of ~n_clusters] contracts each cluster to a single
+    node (cluster ids must cover [0 .. n_clusters-1]); arcs between distinct
+    clusters are kept (deduplicated). Fails if the result has a cycle, i.e.
+    if the clustering is not convex enough to stay acyclic. *)
+
+val induced : t -> keep:bool array -> t * int array
+(** [induced g ~keep] is the sub-dag induced by the kept nodes together with
+    the map from old node ids to new ids (-1 for dropped nodes). *)
+
+(** {1 Equality and output} *)
+
+val equal : t -> t -> bool
+(** Structural equality on the same node numbering (labels ignored). *)
+
+val pp : Format.formatter -> t -> unit
+val to_dot : t -> string
+(** GraphViz rendering, for debugging and the CLI. *)

@@ -1,0 +1,27 @@
+let dual_schedule g s =
+  let packets = Profile.packets g s in
+  let dual = Dag.dual g in
+  let reversed =
+    Array.fold_left (fun acc packet -> packet :: acc) [] packets
+    |> List.concat
+  in
+  Schedule.of_nonsink_order_exn dual reversed
+
+let is_dual_to g ~original ~candidate =
+  let dual = Dag.dual g in
+  let packets = Profile.packets g original in
+  (* expected nonsink order of the dual: packets reversed, any order within
+     a packet *)
+  let candidate_nonsinks = Schedule.nonsink_prefix dual candidate in
+  let rec consume packets_rev order =
+    match packets_rev with
+    | [] -> order = []
+    | packet :: rest ->
+      let k = List.length packet in
+      let taken = List.filteri (fun i _ -> i < k) order in
+      let remaining = List.filteri (fun i _ -> i >= k) order in
+      List.sort compare taken = List.sort compare packet
+      && consume rest remaining
+  in
+  let packets_rev = Array.fold_left (fun acc p -> p :: acc) [] packets in
+  Schedule.nonsinks_first dual candidate && consume packets_rev candidate_nonsinks

@@ -1,0 +1,17 @@
+(** Duality-based scheduling tools (Section 2.3.2).
+
+    The dual of a dag [G] is obtained by reversing all arcs ({!Dag.dual}).
+    Each nonsink execution of a schedule [Σ] for [G] renders a "packet" of
+    nonsources eligible; a schedule for the dual is {e dual to} [Σ] when it
+    executes those packets in reverse order (in any within-packet order),
+    followed by the dual's sinks. Theorem 2.2: if [Σ] is IC-optimal for [G],
+    every schedule dual to [Σ] is IC-optimal for [dual G]. *)
+
+val dual_schedule : Dag.t -> Schedule.t -> Schedule.t
+(** [dual_schedule g s] is a schedule for [Dag.dual g] that is dual to [s]
+    (within-packet order: ascending node id; trailing sinks of the dual in
+    ascending order). [s] must execute all nonsinks of [g] before any sink. *)
+
+val is_dual_to : Dag.t -> original:Schedule.t -> candidate:Schedule.t -> bool
+(** Does [candidate] (a schedule of [Dag.dual g]) execute the packets of
+    [original] in reverse packet order, sinks last? *)

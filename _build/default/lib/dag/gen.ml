@@ -1,0 +1,57 @@
+let random_dag rng ~n ~arc_probability =
+  let arcs = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Random.State.float rng 1.0 < arc_probability then arcs := (u, v) :: !arcs
+    done
+  done;
+  Dag.make_exn ~n ~arcs:!arcs ()
+
+let random_layered_dag rng ~layers ~width ~arc_probability =
+  let n = layers * width in
+  let node l i = (l * width) + i in
+  let arcs = ref [] in
+  for l = 0 to layers - 2 do
+    for j = 0 to width - 1 do
+      let parents = ref 0 in
+      for i = 0 to width - 1 do
+        if Random.State.float rng 1.0 < arc_probability then begin
+          arcs := (node l i, node (l + 1) j) :: !arcs;
+          incr parents
+        end
+      done;
+      if !parents = 0 then
+        (* guarantee a parent so the dag stays levelled *)
+        arcs := (node l (Random.State.int rng width), node (l + 1) j) :: !arcs
+    done
+  done;
+  Dag.make_exn ~n ~arcs:!arcs ()
+
+let greedy_random rng g ~pick_pool =
+  let n = Dag.n_nodes g in
+  let remaining = Array.init n (fun v -> Dag.in_degree g v) in
+  let eligible = ref (List.filter (fun v -> remaining.(v) = 0) (List.init n Fun.id)) in
+  let order = Array.make n (-1) in
+  for t = 0 to n - 1 do
+    let pool = pick_pool !eligible in
+    let k = Random.State.int rng (List.length pool) in
+    let v = List.nth pool k in
+    order.(t) <- v;
+    eligible := List.filter (fun w -> w <> v) !eligible;
+    Array.iter
+      (fun w ->
+        remaining.(w) <- remaining.(w) - 1;
+        if remaining.(w) = 0 then eligible := w :: !eligible)
+      (Dag.succ g v)
+  done;
+  Schedule.of_array_exn g order
+
+let random_schedule rng g = greedy_random rng g ~pick_pool:Fun.id
+
+let random_nonsinks_first_schedule rng g =
+  let pick_pool eligible =
+    match List.filter (fun v -> not (Dag.is_sink g v)) eligible with
+    | [] -> eligible
+    | nonsinks -> nonsinks
+  in
+  greedy_random rng g ~pick_pool

@@ -1,0 +1,26 @@
+(** Seeded random generators for dags and schedules.
+
+    Used by the property-based tests and the sampled optimality checks. All
+    randomness is drawn from an explicit [Random.State.t] so experiments are
+    reproducible. *)
+
+val random_dag :
+  Random.State.t -> n:int -> arc_probability:float -> Dag.t
+(** Erdős–Rényi-style layered dag: every pair [(u, v)] with [u < v] becomes
+    an arc with the given probability (so node order is a topological
+    order). *)
+
+val random_layered_dag :
+  Random.State.t -> layers:int -> width:int -> arc_probability:float -> Dag.t
+(** Nodes arranged in [layers] layers of [width] nodes; candidate arcs go
+    from each layer to the next, kept with the given probability; every
+    non-first-layer node is guaranteed at least one parent, so the dag is
+    "levelled" like the paper's families. *)
+
+val random_schedule : Random.State.t -> Dag.t -> Schedule.t
+(** Uniform greedy schedule: repeatedly executes a uniformly-random eligible
+    node. (Not uniform over topological orders, but covers them all.) *)
+
+val random_nonsinks_first_schedule : Random.State.t -> Dag.t -> Schedule.t
+(** Like {!random_schedule} but never executes a sink while a nonsink is
+    eligible — the normal form used by the theory. *)

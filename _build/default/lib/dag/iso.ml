@@ -1,0 +1,67 @@
+(* Signature refinement: iterate (indegree, outdegree, depth, height, sorted
+   multiset of neighbour signatures) a few rounds, then backtrack over
+   signature-compatible candidates in topological order of g1. *)
+
+let signatures g =
+  let n = Dag.n_nodes g in
+  let depth = Dag.depth g and height = Dag.height g in
+  let sig_ = Array.init n (fun v ->
+      Hashtbl.hash (Dag.in_degree g v, Dag.out_degree g v, depth.(v), height.(v)))
+  in
+  let refine () =
+    let fresh =
+      Array.init n (fun v ->
+          let around f = List.sort compare (Array.to_list (Array.map f (Dag.succ g v))) in
+          let above f = List.sort compare (Array.to_list (Array.map f (Dag.pred g v))) in
+          Hashtbl.hash (sig_.(v), around (fun w -> sig_.(w)), above (fun w -> sig_.(w))))
+    in
+    Array.blit fresh 0 sig_ 0 n
+  in
+  refine ();
+  refine ();
+  sig_
+
+let find_isomorphism g1 g2 =
+  let n = Dag.n_nodes g1 in
+  if n <> Dag.n_nodes g2 || Dag.n_arcs g1 <> Dag.n_arcs g2 then None
+  else begin
+    let s1 = signatures g1 and s2 = signatures g2 in
+    let sorted a = List.sort compare (Array.to_list a) in
+    if sorted s1 <> sorted s2 then None
+    else begin
+      let order = Dag.topological_order g1 in
+      let phi = Array.make n (-1) in
+      let used = Array.make n false in
+      let ok_assignment u v =
+        s1.(u) = s2.(v)
+        && Dag.in_degree g1 u = Dag.in_degree g2 v
+        && Dag.out_degree g1 u = Dag.out_degree g2 v
+        (* all already-mapped parents of u must map to parents of v; since we
+           assign in topological order, every parent of u is mapped *)
+        && Array.for_all (fun p -> Dag.has_arc g2 phi.(p) v) (Dag.pred g1 u)
+      in
+      let rec go i =
+        if i >= n then true
+        else
+          let u = order.(i) in
+          let rec try_v v =
+            if v >= n then false
+            else if (not used.(v)) && ok_assignment u v then begin
+              phi.(u) <- v;
+              used.(v) <- true;
+              if go (i + 1) then true
+              else begin
+                phi.(u) <- -1;
+                used.(v) <- false;
+                try_v (v + 1)
+              end
+            end
+            else try_v (v + 1)
+          in
+          try_v 0
+      in
+      if go 0 then Some phi else None
+    end
+  end
+
+let isomorphic g1 g2 = Option.is_some (find_isomorphism g1 g2)

@@ -1,0 +1,13 @@
+(** Backtracking dag-isomorphism test (small dags only).
+
+    Used by tests that check structural claims such as "the coarsened
+    butterfly [B_{a+b}] is a copy of [B_a]" (Section 5.1) or that a
+    composition has the expected shape. Exponential in the worst case but
+    fast in practice on the paper's families thanks to degree/depth
+    signatures. *)
+
+val isomorphic : Dag.t -> Dag.t -> bool
+
+val find_isomorphism : Dag.t -> Dag.t -> int array option
+(** A node bijection [phi] with [u -> v] in [g1] iff [phi u -> phi v] in
+    [g2], when one exists. *)

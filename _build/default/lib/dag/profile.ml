@@ -1,0 +1,87 @@
+let run g s =
+  let n = Dag.n_nodes g in
+  let order = Schedule.order s in
+  let remaining = Array.init n (fun v -> Dag.in_degree g v) in
+  let profile = Array.make (n + 1) 0 in
+  (* initially the eligible nodes are exactly the sources *)
+  let eligible = ref 0 in
+  for v = 0 to n - 1 do
+    if remaining.(v) = 0 then incr eligible
+  done;
+  profile.(0) <- !eligible;
+  Array.iteri
+    (fun t v ->
+      decr eligible;
+      Array.iter
+        (fun w ->
+          remaining.(w) <- remaining.(w) - 1;
+          if remaining.(w) = 0 then incr eligible)
+        (Dag.succ g v);
+      profile.(t + 1) <- !eligible)
+    order;
+  profile
+
+let check_nonsinks_first g s =
+  let order = Schedule.order s in
+  let seen_sink = ref false in
+  Array.iter
+    (fun v ->
+      if Dag.is_sink g v then seen_sink := true
+      else if !seen_sink then
+        invalid_arg "Profile: schedule does not execute all nonsinks before sinks")
+    order
+
+let nonsink_profile g s =
+  check_nonsinks_first g s;
+  let full = run g s in
+  Array.sub full 0 (Dag.n_nonsinks g + 1)
+
+let of_set g ~executed =
+  let n = Dag.n_nodes g in
+  if Array.length executed <> n then invalid_arg "Profile.of_set: length mismatch";
+  let count = ref 0 in
+  for v = 0 to n - 1 do
+    if (not executed.(v)) && Array.for_all (fun p -> executed.(p)) (Dag.pred g v)
+    then incr count
+  done;
+  !count
+
+let packets g s =
+  check_nonsinks_first g s;
+  let n = Dag.n_nodes g in
+  let k = Dag.n_nonsinks g in
+  let order = Schedule.order s in
+  let remaining = Array.init n (fun v -> Dag.in_degree g v) in
+  let packets = Array.make k [] in
+  for t = 0 to k - 1 do
+    let v = order.(t) in
+    let made = ref [] in
+    Array.iter
+      (fun w ->
+        remaining.(w) <- remaining.(w) - 1;
+        if remaining.(w) = 0 then made := w :: !made)
+      (Dag.succ g v);
+    packets.(t) <- List.rev !made
+  done;
+  packets
+
+let dominates p q =
+  Array.length p = Array.length q
+  && (let ok = ref true in
+      Array.iteri (fun t x -> if x < q.(t) then ok := false) p;
+      !ok)
+
+let strictly_dominates p q =
+  dominates p q
+  && (let strict = ref false in
+      Array.iteri (fun t x -> if x > q.(t) then strict := true) p;
+      !strict)
+
+let pp ppf p =
+  Format.fprintf ppf "@[<hov 2>[";
+  Array.iteri
+    (fun i x ->
+      if i > 0 then Format.fprintf ppf ";@ ";
+      Format.pp_print_int ppf x)
+    p;
+  Format.fprintf ppf "]@]"

@@ -1,0 +1,39 @@
+(** Eligibility profiles: the quality measure of IC-Scheduling Theory.
+
+    The quality of an execution is the number of ELIGIBLE nodes after each
+    node-execution — the more, the better (Section 2.2). For a schedule [Σ]
+    of a dag with [N] nodes, the profile is the vector
+    [E_Σ(0), E_Σ(1), ..., E_Σ(N)] where [E_Σ(t)] counts the nodes that are
+    eligible (all parents executed, itself unexecuted) after the first [t]
+    executions. *)
+
+val run : Dag.t -> Schedule.t -> int array
+(** Full profile, length [n_nodes + 1]. [O(n + m)]. *)
+
+val nonsink_profile : Dag.t -> Schedule.t -> int array
+(** Profile restricted to the nonsink prefix of the schedule: entry [x] is
+    the eligibility count after the first [x] {e nonsink} executions of the
+    schedule, for [x] in [0 .. n_nonsinks]. This is the quantity used by the
+    priority relation (eq. 2.1); it requires (and checks) that the schedule
+    executes all nonsinks before any sink, the normal form used throughout
+    the theory. Raises [Invalid_argument] otherwise. *)
+
+val of_set : Dag.t -> executed:bool array -> int
+(** Eligibility count of an executed set (which need not be an ideal; nodes
+    with unexecuted parents are simply not eligible). *)
+
+val packets : Dag.t -> Schedule.t -> int list array
+(** [packets g s] has one entry per execution step [j] of the schedule's
+    {e nonsink} prefix: the list of nonsources rendered eligible by that
+    execution (the "packets" of Section 2.3.2; possibly empty). Nonsources
+    that are eligible from the start do not occur (there are none: a
+    nonsource has a parent). Requires nonsinks-first normal form. *)
+
+val dominates : int array -> int array -> bool
+(** [dominates p q] iff the profiles have equal length and [p.(t) >= q.(t)]
+    for every [t]. *)
+
+val strictly_dominates : int array -> int array -> bool
+(** {!dominates} and strictly greater at some step. *)
+
+val pp : Format.formatter -> int array -> unit

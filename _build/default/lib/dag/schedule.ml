@@ -1,0 +1,86 @@
+type t = int array
+
+let order s = s
+let length = Array.length
+
+let validate g a =
+  let n = Dag.n_nodes g in
+  if Array.length a <> n then
+    Error (Printf.sprintf "schedule has %d entries, dag has %d nodes" (Array.length a) n)
+  else begin
+    let pos = Array.make n (-1) in
+    let dup = ref None in
+    Array.iteri
+      (fun i v ->
+        if v < 0 || v >= n then dup := Some (Printf.sprintf "node %d out of range" v)
+        else if pos.(v) >= 0 then dup := Some (Printf.sprintf "node %d scheduled twice" v)
+        else pos.(v) <- i)
+      a;
+    match !dup with
+    | Some msg -> Error msg
+    | None ->
+      let bad = ref None in
+      for v = 0 to n - 1 do
+        Array.iter
+          (fun p ->
+            if pos.(p) > pos.(v) && !bad = None then
+              bad :=
+                Some
+                  (Printf.sprintf "node %s executed before its parent %s"
+                     (Dag.label g v) (Dag.label g p)))
+          (Dag.pred g v)
+      done;
+      (match !bad with Some msg -> Error msg | None -> Ok a)
+  end
+
+let of_order g nodes = validate g (Array.of_list nodes)
+
+let of_order_exn g nodes =
+  match of_order g nodes with
+  | Ok s -> s
+  | Error msg -> invalid_arg ("Schedule.of_order_exn: " ^ msg)
+
+let of_array_exn g a =
+  match validate g (Array.copy a) with
+  | Ok s -> s
+  | Error msg -> invalid_arg ("Schedule.of_array_exn: " ^ msg)
+
+let of_nonsink_order g nonsinks =
+  let sinks = Dag.sinks g in
+  validate g (Array.of_list (nonsinks @ sinks))
+
+let of_nonsink_order_exn g nonsinks =
+  match of_nonsink_order g nonsinks with
+  | Ok s -> s
+  | Error msg -> invalid_arg ("Schedule.of_nonsink_order_exn: " ^ msg)
+
+let natural g = Dag.topological_order g
+
+let nonsink_prefix g s =
+  Array.to_list s |> List.filter (fun v -> not (Dag.is_sink g v))
+
+let prefix_set s t =
+  let marked = Array.make (Array.length s) false in
+  for i = 0 to t - 1 do
+    marked.(s.(i)) <- true
+  done;
+  marked
+
+let nonsinks_first g s =
+  let seen_sink = ref false and ok = ref true in
+  Array.iter
+    (fun v ->
+      if Dag.is_sink g v then seen_sink := true else if !seen_sink then ok := false)
+    s;
+  !ok
+
+let is_valid g a = match validate g a with Ok _ -> true | Error _ -> false
+
+let pp g ppf s =
+  Format.fprintf ppf "@[<hov 2>[";
+  Array.iteri
+    (fun i v ->
+      if i > 0 then Format.fprintf ppf ";@ ";
+      Format.pp_print_string ppf (Dag.label g v))
+    s;
+  Format.fprintf ppf "]@]"

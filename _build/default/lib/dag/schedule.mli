@@ -1,0 +1,48 @@
+(** Schedules for computation-dags.
+
+    A schedule is a rule for selecting which ELIGIBLE node to execute at each
+    step (Section 2.2). Since eligibility only requires all parents to have
+    been executed, the schedules of a dag are exactly its topological orders.
+    A value of type {!t} is a validated execution order of {e all} nodes of a
+    particular dag. *)
+
+type t
+
+val order : t -> int array
+(** The execution order. Do not mutate. *)
+
+val length : t -> int
+
+val of_order : Dag.t -> int list -> (t, string) result
+(** [of_order g nodes] validates that [nodes] is a permutation of [g]'s nodes
+    in which every node appears after all of its parents. *)
+
+val of_order_exn : Dag.t -> int list -> t
+val of_array_exn : Dag.t -> int array -> t
+
+val of_nonsink_order : Dag.t -> int list -> (t, string) result
+(** [of_nonsink_order g nonsinks] builds a full schedule from an order on the
+    nonsinks of [g] by appending the sinks (in ascending node order, which is
+    always valid once every nonsink has been executed). This is the form in
+    which the theory states its schedules: "finally execute all sinks in any
+    order" (Theorem 2.1). *)
+
+val of_nonsink_order_exn : Dag.t -> int list -> t
+
+val natural : Dag.t -> t
+(** The topological order returned by {!Dag.topological_order}. *)
+
+val nonsink_prefix : Dag.t -> t -> int list
+(** Nonsinks of the dag in the order the schedule executes them. *)
+
+val prefix_set : t -> int -> bool array
+(** [prefix_set s t] marks the first [t] executed nodes. *)
+
+val nonsinks_first : Dag.t -> t -> bool
+(** Does the schedule execute every nonsink before any sink (the normal form
+    the theory works in)? *)
+
+val is_valid : Dag.t -> int array -> bool
+(** Does this array denote a schedule of the dag? *)
+
+val pp : Dag.t -> Format.formatter -> t -> unit

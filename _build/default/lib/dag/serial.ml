@@ -1,0 +1,95 @@
+let to_string g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "nodes %d\n" (Dag.n_nodes g));
+  for v = 0 to Dag.n_nodes g - 1 do
+    let l = Dag.label g v in
+    if l <> string_of_int v then
+      Buffer.add_string buf (Printf.sprintf "label %d %s\n" v l)
+  done;
+  List.iter
+    (fun (u, v) -> Buffer.add_string buf (Printf.sprintf "arc %d %d\n" u v))
+    (Dag.arcs g);
+  Buffer.contents buf
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let strip line =
+    let line =
+      match String.index_opt line '#' with
+      | Some i -> String.sub line 0 i
+      | None -> line
+    in
+    String.trim line
+  in
+  let n = ref None in
+  let arcs = ref [] in
+  let labels = ref [] in
+  let error = ref None in
+  List.iteri
+    (fun lineno raw ->
+      if !error = None then
+        let line = strip raw in
+        if line <> "" then
+          let fail msg =
+            error := Some (Printf.sprintf "line %d: %s" (lineno + 1) msg)
+          in
+          match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+          | [ "nodes"; k ] -> (
+            match int_of_string_opt k with
+            | Some k when !n = None -> n := Some k
+            | Some _ -> fail "duplicate nodes declaration"
+            | None -> fail "bad node count")
+          | [ "arc"; u; v ] -> (
+            match (int_of_string_opt u, int_of_string_opt v) with
+            | Some u, Some v -> arcs := (u, v) :: !arcs
+            | _ -> fail "bad arc endpoints")
+          | "label" :: v :: rest when rest <> [] -> (
+            match int_of_string_opt v with
+            | Some v -> labels := (v, String.concat " " rest) :: !labels
+            | None -> fail "bad label node id")
+          | _ -> fail (Printf.sprintf "unrecognized line %S" line))
+    lines;
+  match (!error, !n) with
+  | Some msg, _ -> Error msg
+  | None, None -> Error "missing 'nodes N' declaration"
+  | None, Some n ->
+    if List.exists (fun (v, _) -> v < 0 || v >= n) !labels then
+      Error "label node id out of range"
+    else begin
+      let label_array =
+        if !labels = [] then None
+        else begin
+          let a = Array.init n string_of_int in
+          List.iter (fun (v, l) -> a.(v) <- l) !labels;
+          Some a
+        end
+      in
+      Dag.make ?labels:label_array ~n ~arcs:(List.rev !arcs) ()
+    end
+
+let schedule_to_string s =
+  Schedule.order s |> Array.to_list |> List.map string_of_int
+  |> String.concat " "
+
+let schedule_of_string g text =
+  let parts =
+    String.split_on_char ' ' (String.trim text) |> List.filter (( <> ) "")
+  in
+  let rec parse acc = function
+    | [] -> Ok (List.rev acc)
+    | x :: rest -> (
+      match int_of_string_opt x with
+      | Some v -> parse (v :: acc) rest
+      | None -> Error (Printf.sprintf "bad node id %S" x))
+  in
+  Result.bind (parse [] parts) (Schedule.of_order g)
+
+let load_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> of_string text
+  | exception Sys_error msg -> Error msg
+
+let save_file path g =
+  match Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (to_string g)) with
+  | () -> Ok ()
+  | exception Sys_error msg -> Error msg

@@ -1,0 +1,25 @@
+(** Plain-text serialization of dags and schedules, so the CLI can operate
+    on user-supplied computations.
+
+    Format (line-oriented, ['#'] comments, blank lines ignored):
+
+    {v
+    # a 4-node fork-join
+    nodes 4
+    label 0 load      # optional
+    arc 0 1
+    arc 0 2
+    arc 1 3
+    arc 2 3
+    v} *)
+
+val to_string : Dag.t -> string
+val of_string : string -> (Dag.t, string) result
+
+val schedule_to_string : Schedule.t -> string
+(** Space-separated node ids on one line. *)
+
+val schedule_of_string : Dag.t -> string -> (Schedule.t, string) result
+
+val load_file : string -> (Dag.t, string) result
+val save_file : string -> Dag.t -> (unit, string) result

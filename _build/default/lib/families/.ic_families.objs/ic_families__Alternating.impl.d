@@ -1,0 +1,1 @@
+lib/families/alternating.ml: Ic_core Ic_dag In_tree List Out_tree Result

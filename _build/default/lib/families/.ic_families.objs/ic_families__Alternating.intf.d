@@ -1,0 +1,1 @@
+lib/families/alternating.mli: Ic_core Ic_dag Out_tree

@@ -1,0 +1,1 @@
+lib/families/butterfly_net.ml: Array Ic_blocks Ic_core Ic_dag List Option

@@ -1,0 +1,1 @@
+lib/families/butterfly_net.mli: Ic_core Ic_dag

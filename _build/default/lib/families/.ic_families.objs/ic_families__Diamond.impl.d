@@ -1,0 +1,1 @@
+lib/families/diamond.ml: Ic_core Ic_dag In_tree Out_tree Result

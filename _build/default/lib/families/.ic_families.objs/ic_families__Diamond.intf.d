@@ -1,0 +1,1 @@
+lib/families/diamond.mli: Ic_core Ic_dag Out_tree

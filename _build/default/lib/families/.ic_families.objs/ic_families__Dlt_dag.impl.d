@@ -1,0 +1,1 @@
+lib/families/dlt_dag.ml: Array Fun Ic_core Ic_dag In_tree List Out_tree Prefix_dag Queue

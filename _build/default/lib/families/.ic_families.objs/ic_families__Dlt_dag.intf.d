@@ -1,0 +1,1 @@
+lib/families/dlt_dag.mli: Ic_core Ic_dag

@@ -1,0 +1,1 @@
+lib/families/in_tree.ml: Array Ic_dag List Out_tree

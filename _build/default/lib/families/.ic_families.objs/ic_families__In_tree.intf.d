@@ -1,0 +1,1 @@
+lib/families/in_tree.mli: Ic_dag Out_tree

@@ -1,0 +1,1 @@
+lib/families/matmul_dag.ml: Array Ic_blocks Ic_core Ic_dag List

@@ -1,0 +1,1 @@
+lib/families/mesh.ml: Ic_blocks Ic_core Ic_dag List

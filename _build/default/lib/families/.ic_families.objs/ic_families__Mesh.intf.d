@@ -1,0 +1,1 @@
+lib/families/mesh.mli: Ic_core Ic_dag

@@ -1,0 +1,1 @@
+lib/families/out_tree.ml: Array Fun Ic_dag List Queue Random

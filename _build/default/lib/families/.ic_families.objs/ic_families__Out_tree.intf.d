@@ -1,0 +1,1 @@
+lib/families/out_tree.mli: Ic_dag Random

@@ -1,0 +1,1 @@
+lib/families/path_dag.ml: Dlt_dag

@@ -1,0 +1,1 @@
+lib/families/path_dag.mli: Dlt_dag Ic_dag

@@ -1,0 +1,1 @@
+lib/families/prefix_dag.ml: Array Ic_blocks Ic_core Ic_dag List Option

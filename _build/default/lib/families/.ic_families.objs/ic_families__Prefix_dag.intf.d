@@ -1,0 +1,1 @@
+lib/families/prefix_dag.mli: Ic_core Ic_dag

@@ -1,0 +1,49 @@
+module Dag = Ic_dag.Dag
+module Schedule = Ic_dag.Schedule
+module Compose = Ic_core.Compose
+module Linear = Ic_core.Linear
+
+type item = Out of Out_tree.shape | In of Out_tree.shape
+
+let realize = function
+  | Out shape ->
+    let g = Out_tree.dag_of_shape shape in
+    (g, Out_tree.schedule g)
+  | In shape ->
+    let g = In_tree.dag_of_shape shape in
+    (g, In_tree.schedule g)
+
+let take k xs = List.filteri (fun i _ -> i < k) xs
+
+let build items =
+  match items with
+  | [] -> Error "empty alternating composition"
+  | first :: rest ->
+    let g0, s0 = realize first in
+    List.fold_left
+      (fun acc item ->
+        Result.bind acc (fun (c, scheds) ->
+            let g, s = realize item in
+            let sinks = Dag.sinks (Compose.dag c) in
+            let sources = Dag.sources g in
+            let k = min (List.length sinks) (List.length sources) in
+            let pairs = List.combine (take k sinks) (take k sources) in
+            Result.map
+              (fun c' -> (c', scheds @ [ s ]))
+              (Compose.compose c (Compose.of_dag g) ~pairs)))
+      (Ok (Compose.of_dag g0, [ s0 ]))
+      rest
+
+let build_exn items =
+  match build items with
+  | Ok r -> r
+  | Error msg -> invalid_arg ("Alternating.build_exn: " ^ msg)
+
+let schedule (c, scheds) = Linear.schedule_exn c scheds
+
+let diamond_chain shapes =
+  List.concat_map (fun shape -> [ Out shape; In shape ]) shapes
+
+let in_prefixed t0 shapes = In t0 :: diamond_chain shapes
+
+let out_suffixed shapes t0 = diamond_chain shapes @ [ Out t0 ]

@@ -1,0 +1,33 @@
+(** Alternating expansion–reduction compositions (Section 3.1, Fig. 4 and
+    Table 1).
+
+    Chains of out-trees and in-trees composed in sequence. When an in-tree's
+    sink meets an out-tree's source the merge is a single node; when an
+    out-tree's leaves meet an in-tree's sources the counts need not match
+    (Fig. 4, rightmost): the first [min] sinks/sources are merged and the
+    rest stay free. All three composition types of Table 1 admit IC-optimal
+    schedules; the Theorem 2.1 phase order remains IC-optimal even across
+    the in-tree ⇑ out-tree boundaries where ▷ fails, because the topology
+    forces every schedule to finish the in-tree first. *)
+
+type item = Out of Out_tree.shape | In of Out_tree.shape
+
+val build : item list -> (Ic_core.Compose.t * Ic_dag.Schedule.t list, string) result
+(** Compose the trees left to right (first-[min] partial merges) and return
+    the composition with each tree's IC-optimal schedule. *)
+
+val build_exn : item list -> Ic_core.Compose.t * Ic_dag.Schedule.t list
+
+val schedule : Ic_core.Compose.t * Ic_dag.Schedule.t list -> Ic_dag.Schedule.t
+(** The phase-order (Theorem 2.1) schedule. *)
+
+(** {1 The three Table 1 composition types} *)
+
+val diamond_chain : Out_tree.shape list -> item list
+(** [D_0 ⇑ D_1 ⇑ ... ⇑ D_n] with [D_i] the symmetric diamond of shape [i]. *)
+
+val in_prefixed : Out_tree.shape -> Out_tree.shape list -> item list
+(** [T_0^(in) ⇑ D_1 ⇑ ... ⇑ D_n]. *)
+
+val out_suffixed : Out_tree.shape list -> Out_tree.shape -> item list
+(** [D_1 ⇑ ... ⇑ D_n ⇑ T_0^(out)]. *)

@@ -1,0 +1,35 @@
+module Compose = Ic_core.Compose
+module Linear = Ic_core.Linear
+
+type t = {
+  compose : Compose.t;
+  out_schedule : Ic_dag.Schedule.t;
+  in_schedule : Ic_dag.Schedule.t;
+}
+
+let make out_tree in_tree =
+  if not (Out_tree.is_out_tree out_tree) then Error "first argument is not an out-tree"
+  else if not (In_tree.is_in_tree in_tree) then Error "second argument is not an in-tree"
+  else
+    Result.map
+      (fun compose ->
+        {
+          compose;
+          out_schedule = Out_tree.schedule out_tree;
+          in_schedule = In_tree.schedule in_tree;
+        })
+      (Compose.full_merge (Compose.of_dag out_tree) (Compose.of_dag in_tree))
+
+let make_exn out_tree in_tree =
+  match make out_tree in_tree with
+  | Ok d -> d
+  | Error msg -> invalid_arg ("Diamond.make_exn: " ^ msg)
+
+let symmetric shape =
+  let out_tree = Out_tree.dag_of_shape shape in
+  make_exn out_tree (Ic_dag.Dag.dual out_tree)
+
+let complete ~arity ~depth = symmetric (Out_tree.complete ~arity ~depth)
+
+let dag d = Compose.dag d.compose
+let schedule d = Linear.schedule_exn d.compose [ d.out_schedule; d.in_schedule ]

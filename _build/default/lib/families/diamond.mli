@@ -1,0 +1,30 @@
+(** Diamond dags (Section 3.1, Fig. 2): expansion followed by reduction.
+
+    A diamond dag composes an out-tree [T] with an in-tree [T'] by merging
+    (all, in the basic form) sinks of [T] with sources of [T']. Since
+    [V ▷ V], [V ▷ Λ] and [Λ ▷ Λ], every diamond dag is a ▷-linear
+    composition; any schedule that runs all of [T] IC-optimally and then all
+    of [T'] IC-optimally is IC-optimal for the diamond. *)
+
+type t = {
+  compose : Ic_core.Compose.t;  (** components: [T] then [T'] *)
+  out_schedule : Ic_dag.Schedule.t;
+  in_schedule : Ic_dag.Schedule.t;
+}
+
+val make : Ic_dag.Dag.t -> Ic_dag.Dag.t -> (t, string) result
+(** [make out_tree in_tree] merges all [n] sinks of the out-tree with all
+    [n] sources of the in-tree (counts must match). *)
+
+val make_exn : Ic_dag.Dag.t -> Ic_dag.Dag.t -> t
+
+val symmetric : Out_tree.shape -> t
+(** The diamond built from a shape's out-tree and its dual in-tree (the
+    simplified form of Fig. 3). *)
+
+val complete : arity:int -> depth:int -> t
+
+val dag : t -> Ic_dag.Dag.t
+val schedule : t -> Ic_dag.Schedule.t
+(** The IC-optimal Theorem 2.1 schedule: out-tree phase, then in-tree
+    phase, then the sink. *)

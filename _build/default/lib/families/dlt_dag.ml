@@ -1,0 +1,108 @@
+module Dag = Ic_dag.Dag
+module Schedule = Ic_dag.Schedule
+module Compose = Ic_core.Compose
+module Linear = Ic_core.Linear
+
+type t = {
+  compose : Compose.t;
+  schedules : Schedule.t list;
+  n_inputs : int;
+  prefix_pos : int array array option;
+  generator_dag : Dag.t;
+  generator_embed : int array;
+  tree_dag : Dag.t;
+  tree_embed : int array;
+}
+
+let dag t = Compose.dag t.compose
+let schedule t = Linear.schedule_exn t.compose t.schedules
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let log2 n =
+  let rec go acc m = if m <= 1 then acc else go (acc + 1) (m / 2) in
+  go 0 n
+
+let last_embed compose =
+  match List.rev (Compose.components compose) with
+  | (_, embed) :: _ -> embed
+  | [] -> assert false
+
+let l_dag n =
+  if not (is_power_of_two n) || n < 2 then
+    invalid_arg "Dlt_dag.l_dag: n must be a power of two >= 2";
+  let { Prefix_dag.compose = prefix; schedules = prefix_schedules; pos } =
+    Prefix_dag.n_decomposition n
+  in
+  let in_tree = In_tree.dag ~arity:2 ~depth:(log2 n) in
+  let compose =
+    match Compose.full_merge prefix (Compose.of_dag in_tree) with
+    | Ok c -> c
+    | Error msg -> invalid_arg ("Dlt_dag.l_dag: " ^ msg)
+  in
+  (* the prefix composite is component 1..k of [compose] and keeps its node
+     ids, so [pos] doubles as an embedding of the directly-built P_n *)
+  let generator_dag = Prefix_dag.dag n in
+  let generator_embed =
+    Array.init
+      (Dag.n_nodes generator_dag)
+      (fun v -> pos.(v / n).(v mod n))
+  in
+  {
+    compose;
+    schedules = prefix_schedules @ [ In_tree.schedule in_tree ];
+    n_inputs = n;
+    prefix_pos = Some pos;
+    generator_dag;
+    generator_embed;
+    tree_dag = in_tree;
+    tree_embed = last_embed compose;
+  }
+
+let ternary_tree leaves =
+  if leaves < 3 || leaves mod 2 = 0 then
+    invalid_arg "Dlt_dag.ternary_tree: leaf count must be odd and >= 3";
+  let internal = (leaves - 1) / 2 in
+  let arcs = ref [] in
+  let next = ref 1 in
+  let queue = Queue.create () in
+  Queue.add 0 queue;
+  for _ = 1 to internal do
+    let v = Queue.pop queue in
+    for _ = 1 to 3 do
+      arcs := (v, !next) :: !arcs;
+      Queue.add !next queue;
+      incr next
+    done
+  done;
+  Dag.make_exn ~n:!next ~arcs:!arcs ()
+
+let l_prime_dag n =
+  if not (is_power_of_two n) || n < 4 then
+    invalid_arg "Dlt_dag.l_prime_dag: n must be a power of two >= 4";
+  let tree = ternary_tree (n - 1) in
+  let in_tree = In_tree.dag ~arity:2 ~depth:(log2 n) in
+  let leaves = Dag.sinks tree in
+  let sources = Dag.sources in_tree in
+  let free_source, merged_sources =
+    match sources with
+    | s :: rest -> (s, rest)
+    | [] -> assert false
+  in
+  ignore free_source;
+  let pairs = List.combine leaves merged_sources in
+  let compose =
+    match Compose.compose (Compose.of_dag tree) (Compose.of_dag in_tree) ~pairs with
+    | Ok c -> c
+    | Error msg -> invalid_arg ("Dlt_dag.l_prime_dag: " ^ msg)
+  in
+  {
+    compose;
+    schedules = [ Out_tree.schedule tree; In_tree.schedule in_tree ];
+    n_inputs = n;
+    prefix_pos = None;
+    generator_dag = tree;
+    generator_embed = Array.init (Dag.n_nodes tree) Fun.id;
+    tree_dag = in_tree;
+    tree_embed = last_embed compose;
+  }

@@ -1,0 +1,50 @@
+(** Discrete Laplace Transform dags (Section 6.2.1, Figs. 13–15).
+
+    Both DLT algorithms accumulate the terms of
+    [y_k(ω) = Σ_i x_i ω^{ik}] with an [n]-source in-tree; they differ in how
+    the powers [ω^{ik}] are generated:
+
+    - [L_n] (Fig. 13) generates them with the parallel-prefix dag:
+      [L_n = P_n ⇑ T_n] where [T_n] is the [n]-source complete binary
+      in-tree. Since [N_s ▷ N_t], [N_s ▷ Λ] and [Λ ▷ Λ], [L_n] is a
+      ▷-linear composition.
+    - [L'_n] (Fig. 15) generates them with a ternary out-tree built from
+      3-prong Vee dags [V_3] (Fig. 14), whose [n−1] leaves merge with
+      in-tree sources [1..n−1] (source 0 — the [x_0·ω^0] term — stays
+      free). The chain [V_3 ▷ V_3 ▷ Λ ▷ Λ] makes it a ▷-linear composition;
+      the IC-optimal schedule runs the out-tree, then the leftmost source,
+      then the in-tree.
+
+    [n] must be a power of two (the form in which the paper analyses
+    [L_n]). *)
+
+type t = {
+  compose : Ic_core.Compose.t;
+  schedules : Ic_dag.Schedule.t list;  (** component IC-optimal schedules *)
+  n_inputs : int;
+  prefix_pos : int array array option;
+      (** for [L_n]: [pos.(j).(i)] is the composite id of prefix column [i]
+          at level [j] (level 0 = the inputs) *)
+  generator_dag : Ic_dag.Dag.t;
+      (** the power-generating component ([P_n] or the ternary tree) *)
+  generator_embed : int array;
+      (** generator node -> composite id. For the ternary tree, node ids are
+          BFS order (root 0); tree node [i] generates the power [ω^{k(i+1)}] *)
+  tree_dag : Ic_dag.Dag.t;  (** the accumulating in-tree *)
+  tree_embed : int array;  (** in-tree node -> composite id *)
+}
+
+val dag : t -> Ic_dag.Dag.t
+val schedule : t -> Ic_dag.Schedule.t
+(** The Theorem 2.1 schedule of the composition. *)
+
+val l_dag : int -> t
+(** [L_n]; requires [n] a power of two, [n >= 2]. *)
+
+val l_prime_dag : int -> t
+(** [L'_n]; requires [n] a power of two, [n >= 4] (so the ternary tree has
+    at least one internal node: [n − 1 = 2k + 1] leaves needs [n] even). *)
+
+val ternary_tree : int -> Ic_dag.Dag.t
+(** The ternary out-tree with the given number of leaves (must be odd and
+    >= 3): a chain of [V_3] expansions, leftmost-leaf-first. *)

@@ -1,0 +1,43 @@
+module Dag = Ic_dag.Dag
+module Schedule = Ic_dag.Schedule
+
+let of_out_tree g =
+  if not (Out_tree.is_out_tree g) then
+    invalid_arg "In_tree.of_out_tree: not an out-tree";
+  Dag.dual g
+
+let dag_of_shape shape = of_out_tree (Out_tree.dag_of_shape shape)
+let dag ~arity ~depth = dag_of_shape (Out_tree.complete ~arity ~depth)
+
+let is_in_tree g = Out_tree.is_out_tree (Dag.dual g)
+
+let schedule g =
+  if not (is_in_tree g) then invalid_arg "In_tree.schedule: not an in-tree";
+  let order = ref [] in
+  (* internal node = non-source; its Λ-sources are its dag-parents *)
+  let rec emit_run u =
+    (* make each internal parent ready first (post-order on Λ blocks) *)
+    Array.iter (fun p -> if not (Dag.is_source g p) then emit_run p) (Dag.pred g u);
+    Array.iter (fun p -> order := p :: !order) (Dag.pred g u)
+  in
+  let root = List.hd (Dag.sinks g) in
+  emit_run root;
+  Schedule.of_nonsink_order_exn g (List.rev !order)
+
+let lambda_runs_consecutive g s =
+  let n = Dag.n_nodes g in
+  let pos = Array.make n 0 in
+  Array.iteri (fun i v -> pos.(v) <- i) (Schedule.order s)
+  ;
+  let ok = ref true in
+  for u = 0 to n - 1 do
+    let parents = Dag.pred g u in
+    if Array.length parents > 1 then begin
+      let ps = Array.map (fun p -> pos.(p)) parents in
+      Array.sort compare ps;
+      for i = 0 to Array.length ps - 2 do
+        if ps.(i + 1) <> ps.(i) + 1 then ok := false
+      done
+    end
+  done;
+  !ok

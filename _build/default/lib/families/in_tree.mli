@@ -1,0 +1,26 @@
+(** In-trees: the "reductive" computations of Section 3.
+
+    An in-tree is an iterated composition of Lambda dags: a rooted tree with
+    arcs oriented toward the root, accumulating previously computed results
+    (e.g. the recombination phase of divide-and-conquer). From [23]: a
+    schedule for an in-tree is IC-optimal iff it executes the sources of
+    each copy of [Λ] in consecutive steps. *)
+
+val of_out_tree : Ic_dag.Dag.t -> Ic_dag.Dag.t
+(** The dual of an out-tree (node numbering preserved; the out-tree's root
+    becomes the sink). Raises if the argument is not an out-tree. *)
+
+val dag_of_shape : Out_tree.shape -> Ic_dag.Dag.t
+val dag : arity:int -> depth:int -> Ic_dag.Dag.t
+
+val is_in_tree : Ic_dag.Dag.t -> bool
+
+val schedule : Ic_dag.Dag.t -> Ic_dag.Schedule.t
+(** An IC-optimal schedule: a post-order traversal of the internal nodes,
+    each emitting its tree-children as one consecutive run (so the sources
+    of every [Λ] copy are executed in consecutive steps). *)
+
+val lambda_runs_consecutive : Ic_dag.Dag.t -> Ic_dag.Schedule.t -> bool
+(** The iff-characterization from [23]: for every non-source node [u], are
+    [u]'s parents executed in consecutive steps of the schedule? Tests use
+    this both positively (our schedules) and negatively (perturbed ones). *)

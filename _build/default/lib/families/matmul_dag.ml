@@ -1,0 +1,53 @@
+module Dag = Ic_dag.Dag
+module Schedule = Ic_dag.Schedule
+module Compose = Ic_core.Compose
+module Linear = Ic_core.Linear
+module Cycle = Ic_blocks.Cycle_dag
+module Lambda = Ic_blocks.Lambda
+
+(* composite ids, per the composition order below:
+   0..3   operands A E C F        (sources of the first C_4)
+   4..7   products AF AE CE CF    (its sinks: sink 4+w has parents w, w-1 mod 4)
+   8..11  operands B G D H
+   12..15 products BH BG DG DH
+   16..19 sums AE+BG, CE+DG, CF+DH, AF+BH *)
+let labels =
+  [|
+    "A"; "E"; "C"; "F";
+    "AF"; "AE"; "CE"; "CF";
+    "B"; "G"; "D"; "H";
+    "BH"; "BG"; "DG"; "DH";
+    "AE+BG"; "CE+DG"; "CF+DH"; "AF+BH";
+  |]
+
+let compose () =
+  let c4 () = Compose.of_dag (Cycle.dag 4) in
+  let lam () = Compose.of_dag (Lambda.dag 2) in
+  let c = Compose.compose_exn (c4 ()) (c4 ()) ~pairs:[] in
+  let c = Compose.compose_exn c (lam ()) ~pairs:[ (5, 0); (13, 1) ] in
+  let c = Compose.compose_exn c (lam ()) ~pairs:[ (6, 0); (14, 1) ] in
+  let c = Compose.compose_exn c (lam ()) ~pairs:[ (7, 0); (15, 1) ] in
+  Compose.compose_exn c (lam ()) ~pairs:[ (4, 0); (12, 1) ]
+
+let component_schedules () =
+  [ Cycle.schedule 4; Cycle.schedule 4 ]
+  @ List.init 4 (fun _ -> Lambda.schedule 2)
+
+let dag () = Dag.relabel (Compose.dag (compose ())) labels
+
+let schedule () = Linear.schedule_exn (compose ()) (component_schedules ())
+
+let product_eligibility_order () =
+  let g = dag () in
+  let s = schedule () in
+  let pos = Array.make (Dag.n_nodes g) 0 in
+  Array.iteri (fun i v -> pos.(v) <- i) (Schedule.order s);
+  let is_product v = (v >= 4 && v <= 7) || (v >= 12 && v <= 15) in
+  (* nodes of one packet become eligible simultaneously; list them in the
+     order the schedule goes on to allocate them *)
+  let sort_packet p = List.sort (fun a b -> compare pos.(a) pos.(b)) p in
+  Ic_dag.Profile.packets g s
+  |> Array.to_list
+  |> List.concat_map sort_packet
+  |> List.filter is_product
+  |> List.map (Dag.label g)

@@ -1,0 +1,28 @@
+(** The matrix-multiplication dag [M] (Section 7, Fig. 17).
+
+    Multiplying 2×2 (block) matrices [(A B; C D) × (E F; G H)] takes eight
+    products and four sums. [M] is composite of type
+    [C_4 ⇑ C_4 ⇑ Λ ⇑ Λ ⇑ Λ ⇑ Λ]: the first cycle-dag's sources prepare the
+    operands A, E, C, F and its sinks are the products AF, AE, CE, CF; the
+    second handles B, G, D, H and BH, BG, DG, DH; the four Λs sum the pairs
+    {AE,BG}, {CE,DG}, {CF,DH}, {AF,BH}. Since [C_4 ▷ C_4 ▷ Λ ▷ Λ], [M] is a
+    ▷-linear composition and Theorem 2.1 yields an IC-optimal schedule.
+    Under it, the eight product tasks become ELIGIBLE in exactly the order
+    the paper's boxed schedule lists: AE, CE, CF, AF, BG, DG, DH, BH
+    (see DESIGN.md for this reading of the box). *)
+
+val compose : unit -> Ic_core.Compose.t
+val component_schedules : unit -> Ic_dag.Schedule.t list
+
+val dag : unit -> Ic_dag.Dag.t
+(** 20 nodes, labelled: operands "A".."H", products "AE" etc., sums
+    "AE+BG" etc. *)
+
+val schedule : unit -> Ic_dag.Schedule.t
+(** The Theorem 2.1 IC-optimal schedule: operands A, E, C, F, B, G, D, H,
+    then the Λ source-pairs (AE,BG), (CE,DG), (CF,DH), (AF,BH), then the
+    four sums. *)
+
+val product_eligibility_order : unit -> string list
+(** Labels of the product tasks in the order {!schedule} renders them
+    ELIGIBLE — the paper's boxed order. *)

@@ -1,0 +1,41 @@
+module Dag = Ic_dag.Dag
+module Schedule = Ic_dag.Schedule
+module Compose = Ic_core.Compose
+
+let node k j = (k * (k + 1) / 2) + j
+
+let out_mesh levels =
+  if levels < 0 then invalid_arg "Mesh.out_mesh: negative depth";
+  let n = (levels + 1) * (levels + 2) / 2 in
+  let arcs = ref [] in
+  for k = 0 to levels - 1 do
+    for j = 0 to k do
+      arcs := (node k j, node (k + 1) j) :: (node k j, node (k + 1) (j + 1)) :: !arcs
+    done
+  done;
+  Dag.make_exn ~n ~arcs:!arcs ()
+
+let in_mesh levels = Dag.dual (out_mesh levels)
+
+let out_schedule levels =
+  let order = ref [] in
+  for k = levels - 1 downto 0 do
+    for j = k downto 0 do
+      order := node k j :: !order
+    done
+  done;
+  Schedule.of_nonsink_order_exn (out_mesh levels) !order
+
+let in_schedule levels =
+  Ic_dag.Duality.dual_schedule (out_mesh levels) (out_schedule levels)
+
+let w_decomposition levels =
+  if levels < 1 then invalid_arg "Mesh.w_decomposition: need at least one level";
+  let blocks = List.init levels (fun k -> Ic_blocks.W_dag.dag (k + 1)) in
+  let compose =
+    match Compose.chain_full (List.map Compose.of_dag blocks) with
+    | Ok c -> c
+    | Error msg -> invalid_arg ("Mesh.w_decomposition: " ^ msg)
+  in
+  let schedules = List.init levels (fun k -> Ic_blocks.W_dag.schedule (k + 1)) in
+  (compose, schedules)

@@ -1,0 +1,119 @@
+module Dag = Ic_dag.Dag
+module Schedule = Ic_dag.Schedule
+module Profile = Ic_dag.Profile
+
+type shape = Leaf | Node of shape list
+
+let complete ~arity ~depth =
+  if arity < 1 then invalid_arg "Out_tree.complete: arity < 1";
+  if depth < 0 then invalid_arg "Out_tree.complete: negative depth";
+  let rec go d = if d = 0 then Leaf else Node (List.init arity (fun _ -> go (d - 1))) in
+  go depth
+
+let random rng ~max_internal ~arity =
+  if arity < 1 then invalid_arg "Out_tree.random: arity < 1";
+  (* grow by expanding a uniformly random leaf *)
+  let rec expand shape target =
+    (* [target] indexes leaves left to right; returns the new shape and
+       either the remaining index (Error) or the result (Ok) *)
+    match shape with
+    | Leaf ->
+      if target = 0 then Ok (Node (List.init arity (fun _ -> Leaf))) else Error 1
+    | Node children ->
+      let rec over acc skipped = function
+        | [] -> Error skipped
+        | c :: rest -> (
+          match expand c (target - skipped) with
+          | Ok c' -> Ok (Node (List.rev_append acc (c' :: rest)))
+          | Error k -> over (c :: acc) (skipped + k) rest)
+      in
+      over [] 0 children
+  in
+  let rec n_leaves = function
+    | Leaf -> 1
+    | Node cs -> List.fold_left (fun acc c -> acc + n_leaves c) 0 cs
+  in
+  let rec go shape k =
+    if k = 0 then shape
+    else
+      let leaves = n_leaves shape in
+      match expand shape (Random.State.int rng leaves) with
+      | Ok shape' -> go shape' (k - 1)
+      | Error _ -> assert false
+  in
+  go Leaf max_internal
+
+let rec n_nodes = function
+  | Leaf -> 1
+  | Node cs -> 1 + List.fold_left (fun acc c -> acc + n_nodes c) 0 cs
+
+let rec n_leaves = function
+  | Leaf -> 1
+  | Node cs -> List.fold_left (fun acc c -> acc + n_leaves c) 0 cs
+
+let dag_of_shape shape =
+  let arcs = ref [] in
+  let next = ref 0 in
+  let fresh () =
+    let id = !next in
+    incr next;
+    id
+  in
+  let rec go shape =
+    let id = fresh () in
+    (match shape with
+    | Leaf -> ()
+    | Node children ->
+      List.iter
+        (fun c ->
+          let cid = go c in
+          arcs := (id, cid) :: !arcs)
+        children);
+    id
+  in
+  let _root = go shape in
+  Dag.make_exn ~n:!next ~arcs:!arcs ()
+
+let dag ~arity ~depth = dag_of_shape (complete ~arity ~depth)
+
+let is_out_tree g =
+  let n = Dag.n_nodes g in
+  n > 0
+  && Dag.is_connected g
+  && List.length (Dag.sources g) = 1
+  && List.for_all (fun v -> Dag.in_degree g v <= 1) (List.init n Fun.id)
+
+let schedule g =
+  if not (is_out_tree g) then invalid_arg "Out_tree.schedule: not an out-tree";
+  (* breadth-first from the root, nonsinks only *)
+  let root = List.hd (Dag.sources g) in
+  let order = ref [] in
+  let queue = Queue.create () in
+  Queue.add root queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    if not (Dag.is_sink g v) then begin
+      order := v :: !order;
+      Array.iter (fun w -> Queue.add w queue) (Dag.succ g v)
+    end
+  done;
+  Schedule.of_nonsink_order_exn g (List.rev !order)
+
+let schedules_all_optimal g =
+  let bfs = schedule g in
+  let dfs =
+    (* depth-first nonsink order *)
+    let order = ref [] in
+    let rec go v =
+      if not (Dag.is_sink g v) then begin
+        order := v :: !order;
+        Array.iter go (Dag.succ g v)
+      end
+    in
+    go (List.hd (Dag.sources g));
+    Schedule.of_nonsink_order_exn g (List.rev !order)
+  in
+  let rng = Random.State.make [| 0x1C0DE |] in
+  let rand = Ic_dag.Gen.random_nonsinks_first_schedule rng g in
+  let p = Profile.run g bfs in
+  p = Profile.run g dfs && p = Profile.run g rand

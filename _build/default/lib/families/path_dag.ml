@@ -1,0 +1,3 @@
+let make k = Dlt_dag.l_dag k
+let dag k = Dlt_dag.dag (make k)
+let schedule k = Dlt_dag.schedule (make k)

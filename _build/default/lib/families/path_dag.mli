@@ -1,0 +1,17 @@
+(** The path-computation dag (Section 6.2.2, Fig. 16).
+
+    To compute, for a graph given by its boolean adjacency matrix [A], the
+    vectors telling for each node pair which path lengths [1..k] connect
+    them: a [k]-input parallel-prefix dag over {e logical matrix
+    multiplication} computes the powers [A, A², ..., A^k], and an in-tree
+    accumulates them into the matrix of path-length vectors. Structurally
+    this is the DLT dag [L_k] with a coarse (matrix-valued) payload — an
+    exemplar of the multi-granular nature of the parallel-prefix operator.
+    The payload lives in [Ic_compute.Paths]. *)
+
+val make : int -> Dlt_dag.t
+(** [make k]: the dag for accumulating [k] logical powers; [k] a power of
+    two [>= 2]. *)
+
+val dag : int -> Ic_dag.Dag.t
+val schedule : int -> Ic_dag.Schedule.t

@@ -1,0 +1,1 @@
+lib/granularity/cluster.ml: Array Fun Hashtbl Ic_dag List Result

@@ -1,0 +1,1 @@
+lib/granularity/cluster.mli: Ic_dag

@@ -1,0 +1,1 @@
+lib/granularity/coarsen_butterfly.ml: Array Cluster Fun Hashtbl Ic_dag Ic_families List Option

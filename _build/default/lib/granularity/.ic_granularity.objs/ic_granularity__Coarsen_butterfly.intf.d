@@ -1,0 +1,1 @@
+lib/granularity/coarsen_butterfly.mli: Cluster Ic_dag

@@ -1,0 +1,1 @@
+lib/granularity/coarsen_diamond.ml: Array Cluster Fun Ic_core Ic_dag Ic_families List

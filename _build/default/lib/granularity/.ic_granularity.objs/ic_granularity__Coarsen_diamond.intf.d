@@ -1,0 +1,1 @@
+lib/granularity/coarsen_diamond.mli: Cluster Ic_families

@@ -1,0 +1,1 @@
+lib/granularity/coarsen_dlt.ml: Array Cluster Fun Ic_dag Ic_families Option

@@ -1,0 +1,1 @@
+lib/granularity/coarsen_dlt.mli: Cluster

@@ -1,0 +1,1 @@
+lib/granularity/coarsen_mesh.ml: Array Cluster Ic_dag Ic_families List

@@ -1,0 +1,1 @@
+lib/granularity/coarsen_mesh.mli: Cluster

@@ -1,0 +1,75 @@
+module Dag = Ic_dag.Dag
+
+type t = {
+  fine : Dag.t;
+  cluster_of : int array;
+  coarse : Dag.t;
+}
+
+let compact cluster_of =
+  let n = Array.length cluster_of in
+  let remap = Hashtbl.create 16 in
+  let next = ref 0 in
+  let out = Array.make n (-1) in
+  for v = 0 to n - 1 do
+    let c = cluster_of.(v) in
+    let c' =
+      match Hashtbl.find_opt remap c with
+      | Some c' -> c'
+      | None ->
+        let c' = !next in
+        Hashtbl.add remap c c';
+        incr next;
+        c'
+    in
+    out.(v) <- c'
+  done;
+  (out, !next)
+
+let make fine ~cluster_of =
+  if Array.length cluster_of <> Dag.n_nodes fine then
+    Error "cluster_of length mismatch"
+  else if
+    Array.exists (fun c -> c < 0 || c >= Dag.n_nodes fine) cluster_of
+    && Dag.n_nodes fine > 0
+  then Error "cluster id out of range"
+  else begin
+    let cluster_of, n_clusters = compact cluster_of in
+    Result.map
+      (fun coarse -> { fine; cluster_of; coarse })
+      (Dag.quotient fine ~cluster_of ~n_clusters)
+  end
+
+let make_exn fine ~cluster_of =
+  match make fine ~cluster_of with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Cluster.make_exn: " ^ msg)
+
+let trivial fine =
+  make_exn fine ~cluster_of:(Array.init (Dag.n_nodes fine) Fun.id)
+
+let work ?(task_work = fun _ -> 1.0) t =
+  let acc = Array.make (Dag.n_nodes t.coarse) 0.0 in
+  Array.iteri
+    (fun v c -> acc.(c) <- acc.(c) +. task_work v)
+    t.cluster_of;
+  acc
+
+let cut_arcs t =
+  List.length
+    (List.filter
+       (fun (u, v) -> t.cluster_of.(u) <> t.cluster_of.(v))
+       (Dag.arcs t.fine))
+
+let cluster_out_communication t =
+  let acc = Array.make (Dag.n_nodes t.coarse) 0 in
+  List.iter
+    (fun (u, v) ->
+      let cu = t.cluster_of.(u) in
+      if cu <> t.cluster_of.(v) then acc.(cu) <- acc.(cu) + 1)
+    (Dag.arcs t.fine);
+  acc
+
+let max_work ?task_work t = Array.fold_left max 0.0 (work ?task_work t)
+let max_out_communication t =
+  Array.fold_left max 0 (cluster_out_communication t)

@@ -1,0 +1,39 @@
+(** Generic task clustering: the mechanism behind every multi-granularity
+    transformation in the paper.
+
+    A clustering maps each fine-grained task to a cluster id; the coarse dag
+    is the quotient (one node per cluster, deduplicated inter-cluster arcs),
+    valid only when it stays acyclic. Coarsening trades per-task work
+    (cluster sizes) against inter-client communication (arcs that cross
+    clusters) — the quantities the paper's granularity discussions are
+    about. *)
+
+type t = {
+  fine : Ic_dag.Dag.t;
+  cluster_of : int array;
+  coarse : Ic_dag.Dag.t;
+}
+
+val make : Ic_dag.Dag.t -> cluster_of:int array -> (t, string) result
+(** Cluster ids may be any subset of [0 .. n-1]; they are compacted to
+    [0 .. n_clusters-1] preserving order. Fails if the quotient is cyclic. *)
+
+val make_exn : Ic_dag.Dag.t -> cluster_of:int array -> t
+
+val trivial : Ic_dag.Dag.t -> t
+(** Every node its own cluster. *)
+
+(** {1 Cost model} *)
+
+val work : ?task_work:(int -> float) -> t -> float array
+(** Per-cluster computational work (default: one unit per fine task). *)
+
+val cut_arcs : t -> int
+(** Number of fine arcs whose endpoints lie in different clusters — the
+    total inter-client communication volume. *)
+
+val cluster_out_communication : t -> int array
+(** Per-cluster count of outgoing fine arcs crossing to other clusters. *)
+
+val max_work : ?task_work:(int -> float) -> t -> float
+val max_out_communication : t -> int

@@ -1,0 +1,55 @@
+module Dag = Ic_dag.Dag
+module Bf = Ic_families.Butterfly_net
+
+let copies_of ~d ~levels ~key_of_row =
+  let rows = 1 lsl d in
+  let groups = Hashtbl.create 16 in
+  List.iter
+    (fun l ->
+      for r = 0 to rows - 1 do
+        let key = key_of_row r in
+        let prev = Option.value ~default:[] (Hashtbl.find_opt groups key) in
+        Hashtbl.replace groups key (Bf.node ~d l r :: prev)
+      done)
+    levels;
+  let full = Bf.dag d in
+  Hashtbl.fold
+    (fun _key nodes acc ->
+      let keep = Array.make (Dag.n_nodes full) false in
+      List.iter (fun v -> keep.(v) <- true) nodes;
+      let sub, _ = Dag.induced full ~keep in
+      (sub, List.sort compare nodes) :: acc)
+    groups []
+  |> List.sort compare
+
+let low_copies ~a ~b =
+  let d = a + b in
+  copies_of ~d
+    ~levels:(List.init (b + 1) Fun.id)
+    ~key_of_row:(fun r -> r lsr b)
+
+let high_copies ~a ~b =
+  let d = a + b in
+  copies_of ~d
+    ~levels:(List.init (a + 1) (fun i -> b + i))
+    ~key_of_row:(fun r -> r land ((1 lsl b) - 1))
+
+let two_band ~a ~b =
+  let d = a + b in
+  let fine = Bf.dag d in
+  let rows = 1 lsl d in
+  let cluster_of = Array.make (Dag.n_nodes fine) 0 in
+  for l = 0 to d do
+    for r = 0 to rows - 1 do
+      let c =
+        if l <= b then r lsr b (* low copy id: high bits *)
+        else (1 lsl a) + (r land ((1 lsl b) - 1)) (* high copy id: low bits *)
+      in
+      cluster_of.(Bf.node ~d l r) <- c
+    done
+  done;
+  Cluster.make_exn fine ~cluster_of
+
+let complete_bipartite s t =
+  let arcs = List.concat (List.init s (fun i -> List.init t (fun j -> (i, s + j)))) in
+  Dag.make_exn ~n:(s + t) ~arcs ()

@@ -1,0 +1,27 @@
+(** Butterfly coarsening (Section 5.1).
+
+    The [(a+b)]-dimensional butterfly decomposes into granularity bands:
+    levels [0..b] restricted to a fixed value of the high [a] address bits
+    form a copy of [B_b] (there are [2^a] of them), and levels [b..a+b]
+    restricted to a fixed value of the low [b] bits form a copy of [B_a]
+    ([2^b] of them) — cf. the layout result [1] the paper cites. Collapsing
+    each low copy (boundary level [b] included) into one supertask and each
+    high copy (minus the shared boundary) into another yields the coarse dag
+    [K(2^a, 2^b)], the complete-bipartite generalized butterfly block; for
+    [a = b = 1] it is exactly the building block [B]. This is how one
+    adjusts task granularity while retaining butterfly-structured
+    dependencies. *)
+
+val low_copies : a:int -> b:int -> (Ic_dag.Dag.t * int list) list
+(** The [2^a] copies of [B_b] spanned by levels [0..b]: each copy's induced
+    sub-dag and its node ids within [B_{a+b}]. Every copy is isomorphic to
+    [Butterfly_net.dag b]. *)
+
+val high_copies : a:int -> b:int -> (Ic_dag.Dag.t * int list) list
+(** The [2^b] copies of [B_a] spanned by levels [b..a+b]. *)
+
+val two_band : a:int -> b:int -> Cluster.t
+(** The two-band clustering described above: coarse dag = [K(2^a, 2^b)]. *)
+
+val complete_bipartite : int -> int -> Ic_dag.Dag.t
+(** [complete_bipartite s t]: [s] sources, [t] sinks, all arcs. *)

@@ -1,0 +1,62 @@
+module Dag = Ic_dag.Dag
+module Compose = Ic_core.Compose
+module Diamond = Ic_families.Diamond
+
+(* In a symmetric diamond, component 0 is the out-tree with identity
+   embedding and component 1 the dual in-tree (same node numbering as the
+   out-tree) with its own embedding; node [v] of the out-tree is mated with
+   node [v] of the in-tree. *)
+let embeddings (d : Diamond.t) =
+  match Compose.components d.Diamond.compose with
+  | [ (out_tree, out_embed); (in_tree, in_embed) ] ->
+    if not (Dag.equal in_tree (Dag.dual out_tree)) then
+      invalid_arg "Coarsen_diamond: diamond is not symmetric";
+    (out_tree, out_embed, in_embed)
+  | _ -> invalid_arg "Coarsen_diamond: unexpected composition shape"
+
+let subtree_nodes tree x =
+  let acc = ref [] in
+  let rec go v =
+    acc := v :: !acc;
+    Array.iter go (Dag.succ tree v)
+  in
+  go x;
+  !acc
+
+let coarsen (d : Diamond.t) ~subtree_roots =
+  let out_tree, out_embed, in_embed = embeddings d in
+  let g = Diamond.dag d in
+  let cluster_of = Array.init (Dag.n_nodes g) Fun.id in
+  let claimed = Array.make (Dag.n_nodes out_tree) false in
+  List.iter
+    (fun x ->
+      if x < 0 || x >= Dag.n_nodes out_tree then
+        invalid_arg "Coarsen_diamond.coarsen: root out of range";
+      List.iter
+        (fun v ->
+          if claimed.(v) then
+            invalid_arg "Coarsen_diamond.coarsen: subtree roots overlap";
+          claimed.(v) <- true)
+        (subtree_nodes out_tree x))
+    subtree_roots;
+  List.iter
+    (fun x ->
+      let members = subtree_nodes out_tree x in
+      let repr = out_embed.(x) in
+      List.iter
+        (fun v ->
+          cluster_of.(out_embed.(v)) <- repr;
+          cluster_of.(in_embed.(v)) <- repr)
+        members)
+    subtree_roots;
+  Cluster.make_exn g ~cluster_of
+
+let uniform d ~depth =
+  let out_tree, _, _ = embeddings d in
+  let depths = Dag.depth out_tree in
+  let roots =
+    List.filter
+      (fun v -> depths.(v) = depth)
+      (List.init (Dag.n_nodes out_tree) Fun.id)
+  in
+  coarsen d ~subtree_roots:roots

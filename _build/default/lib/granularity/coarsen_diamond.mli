@@ -1,0 +1,20 @@
+(** Diamond-dag coarsening (Section 3.1, Fig. 3).
+
+    A diamond built from an out-tree and its dual in-tree is coarsened by
+    truncating selected branches: the out-subtree below a chosen node,
+    together with the mated portion of the in-tree, collapses into a single
+    coarse task that performs that whole sub-computation locally. The coarse
+    dag is again a (possibly irregular) diamond, hence still admits an
+    IC-optimal schedule. *)
+
+val coarsen : Ic_families.Diamond.t -> subtree_roots:int list -> Cluster.t
+(** [coarsen d ~subtree_roots] collapses, for each listed out-tree node
+    [x] (out-tree node ids of the symmetric diamond), the out-subtree of
+    [x] and its mated in-subtree into one cluster. Roots must be out-tree
+    node ids and pairwise non-ancestral. The diamond must be symmetric
+    (in-tree = dual of out-tree, as produced by
+    {!Ic_families.Diamond.symmetric}). *)
+
+val uniform : Ic_families.Diamond.t -> depth:int -> Cluster.t
+(** Collapse every subtree pair rooted at the given out-tree depth: the
+    coarse dag is the symmetric diamond of the truncated tree. *)

@@ -1,0 +1,17 @@
+module Dag = Ic_dag.Dag
+module Dlt = Ic_families.Dlt_dag
+
+let coarsen_columns n =
+  let t = Dlt.l_dag n in
+  let g = Dlt.dag t in
+  let pos = Option.get t.Dlt.prefix_pos in
+  let levels = Array.length pos - 1 in
+  let cluster_of = Array.init (Dag.n_nodes g) Fun.id in
+  (* every level of prefix column [i] joins the cluster of its level-0
+     node; in-tree internals keep singleton clusters *)
+  for j = 1 to levels do
+    for i = 0 to n - 1 do
+      cluster_of.(pos.(j).(i)) <- pos.(0).(i)
+    done
+  done;
+  Cluster.make_exn g ~cluster_of

@@ -1,0 +1,11 @@
+(** DLT-dag coarsening (Fig. 13, right).
+
+    The coarsened [L_n]: each column of the parallel-prefix part collapses
+    into one task that carries its value through all levels locally (the
+    accumulating in-tree stays fine-grained). The coarse dag keeps the
+    prefix communication pattern (column [i] feeds columns [i + 2^j]) on
+    top of the in-tree; it still admits an IC-optimal schedule, which the
+    tests confirm by brute force for small [n]. *)
+
+val coarsen_columns : int -> Cluster.t
+(** [coarsen_columns n] clusters [L_n] ([n] a power of two). *)

@@ -1,0 +1,70 @@
+module Dag = Ic_dag.Dag
+module Mesh = Ic_families.Mesh
+
+let coarsen ~levels ~block =
+  if block < 1 then invalid_arg "Coarsen_mesh.coarsen: block >= 1";
+  let fine = Mesh.out_mesh levels in
+  let cluster_of = Array.make (Dag.n_nodes fine) 0 in
+  (* Blocks live in the mesh's grid coordinates [(x, y) = (j, k - j)], where
+     the arcs run right and up: axis-aligned [b × b] blocks there are the
+     "rectangles" of Fig. 7 (diagonal-truncated ones its "triangles"), and
+     the quotient is again an out-mesh. *)
+  for k = 0 to levels do
+    for j = 0 to k do
+      let bx = j / block and by = (k - j) / block in
+      cluster_of.(Mesh.node k j) <- Mesh.node (bx + by) bx
+    done
+  done;
+  Cluster.make_exn fine ~cluster_of
+
+let uneven ~levels ~cuts =
+  if List.exists (fun c -> c <= 0 || c > levels) cuts then
+    invalid_arg "Coarsen_mesh.uneven: cuts must lie in 1..levels";
+  let sorted = List.sort_uniq compare cuts in
+  if List.length sorted <> List.length cuts then
+    invalid_arg "Coarsen_mesh.uneven: cuts must be distinct";
+  let block_of x =
+    let rec go i = function
+      | [] -> i
+      | c :: rest -> if x < c then i else go (i + 1) rest
+    in
+    go 0 sorted
+  in
+  let fine = Mesh.out_mesh levels in
+  let cluster_of = Array.make (Dag.n_nodes fine) 0 in
+  for k = 0 to levels do
+    for j = 0 to k do
+      let bx = block_of j and by = block_of (k - j) in
+      cluster_of.(Mesh.node k j) <- Mesh.node (bx + by) bx
+    done
+  done;
+  Cluster.make_exn fine ~cluster_of
+
+let is_again_out_mesh t =
+  let coarse = t.Cluster.coarse in
+  (* the coarse node count determines the candidate depth *)
+  let n = Dag.n_nodes coarse in
+  let rec find l = if (l + 1) * (l + 2) / 2 >= n then l else find (l + 1) in
+  let l = find 0 in
+  (l + 1) * (l + 2) / 2 = n && Ic_dag.Iso.isomorphic coarse (Mesh.out_mesh l)
+
+type scaling_row = {
+  block : int;
+  n_coarse_tasks : int;
+  max_task_work : float;
+  max_task_communication : int;
+  total_cut_arcs : int;
+}
+
+let scaling ~levels ~blocks =
+  List.map
+    (fun block ->
+      let t = coarsen ~levels ~block in
+      {
+        block;
+        n_coarse_tasks = Dag.n_nodes t.Cluster.coarse;
+        max_task_work = Cluster.max_work t;
+        max_task_communication = Cluster.max_out_communication t;
+        total_cut_arcs = Cluster.cut_arcs t;
+      })
+    blocks

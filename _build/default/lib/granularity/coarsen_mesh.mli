@@ -1,0 +1,36 @@
+(** Mesh coarsening (Section 4, Fig. 7).
+
+    Clusters the out-mesh into [b × b] blocks: cell [(k, j)] joins block
+    [(k/b, j/b)]. Diagonal blocks are "triangles" (themselves small
+    out-meshes), interior blocks are "rectangles" (compositions of an
+    out-mesh and an in-mesh); the coarse dag of an evenly-divided mesh is
+    again an out-mesh. The paper's key quantitative claim: a coarsened
+    task's computation grows {e quadratically} with its sidelength [b],
+    while its communication grows only {e linearly} — the tradeoff that
+    makes wavefront computations attractive for IC. *)
+
+val coarsen : levels:int -> block:int -> Cluster.t
+(** Cluster the depth-[levels] out-mesh with sidelength-[block] blocks. *)
+
+val is_again_out_mesh : Cluster.t -> bool
+(** When [block] divides [levels + 1], the coarse dag is the out-mesh of
+    depth [(levels + 1) / block - 1]. *)
+
+val uneven : levels:int -> cuts:int list -> Cluster.t
+(** Coarsen with {e unequal} granularities: [cuts] are the strictly
+    increasing grid-coordinate boundaries (applied to both grid axes), i.e.
+    Fig. 7 with the dashed lines slid to uneven positions. The coarse dag
+    loses the fine mesh's regularity (blocks now have different work), but
+    stays acyclic and mesh-shaped; the cost model quantifies the skew. *)
+
+type scaling_row = {
+  block : int;
+  n_coarse_tasks : int;
+  max_task_work : float;  (** grows ~ b² *)
+  max_task_communication : int;  (** grows ~ b *)
+  total_cut_arcs : int;
+}
+
+val scaling : levels:int -> blocks:int list -> scaling_row list
+(** The Fig. 7 experiment (E8): work/communication of the largest task as
+    the coarsening factor grows. *)

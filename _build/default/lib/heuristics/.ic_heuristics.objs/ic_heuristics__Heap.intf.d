@@ -1,0 +1,1 @@
+lib/heuristics/heap.mli:

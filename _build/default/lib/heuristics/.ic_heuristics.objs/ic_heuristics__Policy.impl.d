@@ -1,0 +1,1 @@
+lib/heuristics/policy.ml: Array Heap Ic_dag Lazy List Option Printf Queue Random

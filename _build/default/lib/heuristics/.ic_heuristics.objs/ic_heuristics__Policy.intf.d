@@ -1,0 +1,1 @@
+lib/heuristics/policy.mli: Ic_dag

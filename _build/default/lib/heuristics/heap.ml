@@ -1,0 +1,58 @@
+type ('k, 'v) t = {
+  mutable data : ('k * 'v) array;
+  mutable size : int;
+}
+
+let create () = { data = [||]; size = 0 }
+let is_empty h = h.size = 0
+let size h = h.size
+
+let grow h entry =
+  let cap = Array.length h.data in
+  if h.size = cap then begin
+    let data = Array.make (max 8 (2 * cap)) entry in
+    Array.blit h.data 0 data 0 h.size;
+    h.data <- data
+  end
+
+let swap h i j =
+  let tmp = h.data.(i) in
+  h.data.(i) <- h.data.(j);
+  h.data.(j) <- tmp
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if fst h.data.(i) < fst h.data.(parent) then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.size && fst h.data.(l) < fst h.data.(!smallest) then smallest := l;
+  if r < h.size && fst h.data.(r) < fst h.data.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let push h k v =
+  grow h (k, v);
+  h.data.(h.size) <- (k, v);
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    h.data.(0) <- h.data.(h.size);
+    sift_down h 0;
+    Some top
+  end
+
+let peek h = if h.size = 0 then None else Some h.data.(0)

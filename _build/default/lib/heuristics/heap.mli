@@ -1,0 +1,13 @@
+(** A minimal binary min-heap, used by rank-based policies and by the
+    event queue of the simulator. *)
+
+type ('k, 'v) t
+
+val create : unit -> ('k, 'v) t
+val is_empty : ('k, 'v) t -> bool
+val size : ('k, 'v) t -> int
+val push : ('k, 'v) t -> 'k -> 'v -> unit
+val pop : ('k, 'v) t -> ('k * 'v) option
+(** Smallest key (ties broken arbitrarily but deterministically). *)
+
+val peek : ('k, 'v) t -> ('k * 'v) option

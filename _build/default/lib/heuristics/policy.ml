@@ -1,0 +1,126 @@
+module Dag = Ic_dag.Dag
+module Schedule = Ic_dag.Schedule
+
+type instance = {
+  notify : int -> unit;
+  select : unit -> int option;
+}
+
+type t = {
+  name : string;
+  instantiate : Dag.t -> instance;
+}
+
+let name p = p.name
+let instantiate p g = p.instantiate g
+let notify i v = i.notify v
+let select i = i.select ()
+
+let fifo =
+  let instantiate _g =
+    let q = Queue.create () in
+    {
+      notify = (fun v -> Queue.add v q);
+      select = (fun () -> Queue.take_opt q);
+    }
+  in
+  { name = "fifo"; instantiate }
+
+let lifo =
+  let instantiate _g =
+    let stack = ref [] in
+    {
+      notify = (fun v -> stack := v :: !stack);
+      select =
+        (fun () ->
+          match !stack with
+          | [] -> None
+          | v :: rest ->
+            stack := rest;
+            Some v);
+    }
+  in
+  { name = "lifo"; instantiate }
+
+let random seed =
+  let instantiate _g =
+    let rng = Random.State.make [| seed |] in
+    let pool = ref [] in
+    let size = ref 0 in
+    {
+      notify =
+        (fun v ->
+          pool := v :: !pool;
+          incr size);
+      select =
+        (fun () ->
+          if !size = 0 then None
+          else begin
+            let k = Random.State.int rng !size in
+            let v = List.nth !pool k in
+            pool := List.filteri (fun i _ -> i <> k) !pool;
+            decr size;
+            Some v
+          end);
+    }
+  in
+  { name = Printf.sprintf "random(%#x)" seed; instantiate }
+
+(* rank-based policy: lowest (rank, node) first *)
+let ranked name make_rank =
+  let instantiate g =
+    let rank = make_rank g in
+    let heap : (int * int, int) Heap.t = Heap.create () in
+    {
+      notify = (fun v -> Heap.push heap (rank.(v), v) v);
+      select = (fun () -> Option.map snd (Heap.pop heap));
+    }
+  in
+  { name; instantiate }
+
+let max_out_degree =
+  ranked "max-out-degree" (fun g ->
+      Array.init (Dag.n_nodes g) (fun v -> -Dag.out_degree g v))
+
+let min_depth = ranked "min-depth" Dag.depth
+
+let critical_path =
+  ranked "critical-path" (fun g -> Array.map (fun h -> -h) (Dag.height g))
+
+let of_schedule name s =
+  let pos =
+    lazy
+      (let order = Schedule.order s in
+       let pos = Array.make (Array.length order) 0 in
+       Array.iteri (fun i v -> pos.(v) <- i) order;
+       pos)
+  in
+  ranked name (fun g ->
+      let pos = Lazy.force pos in
+      if Array.length pos <> Dag.n_nodes g then
+        invalid_arg "Policy.of_schedule: schedule does not fit the dag";
+      pos)
+
+let baselines =
+  [ fifo; lifo; random 0xF00D; max_out_degree; min_depth; critical_path ]
+
+let run p g =
+  let n = Dag.n_nodes g in
+  let inst = instantiate p g in
+  let remaining = Array.init n (fun v -> Dag.in_degree g v) in
+  for v = 0 to n - 1 do
+    if remaining.(v) = 0 then inst.notify v
+  done;
+  let order = Array.make n (-1) in
+  for t = 0 to n - 1 do
+    match inst.select () with
+    | None -> invalid_arg "Policy.run: pool exhausted before completion"
+    | Some v ->
+      order.(t) <- v;
+      Array.iter
+        (fun w ->
+          remaining.(w) <- remaining.(w) - 1;
+          if remaining.(w) = 0 then inst.notify w)
+        (Dag.succ g v)
+  done;
+  Schedule.of_array_exn g order

@@ -1,0 +1,59 @@
+(** Task-allocation policies: the baselines the theory is assessed against.
+
+    A policy decides, among the currently ELIGIBLE tasks, which to allocate
+    next. The simulation studies the paper cites ([15], [19]) compare
+    IC-optimal schedules against exactly this kind of heuristic — notably
+    the FIFO dag-scheduling heuristic of the Condor system. A policy is
+    instantiated per dag; the driver {!notify}s it of every task that
+    becomes eligible (in discovery order) and {!select}s tasks one at a
+    time. Since executed nodes never lose parents, a notified task remains
+    eligible until selected, so the policy's pool is exactly the eligible
+    set. *)
+
+type t
+
+val name : t -> string
+
+(** {1 Baseline policies} *)
+
+val fifo : t
+(** Allocate in eligibility-discovery order (Condor-style FIFO). *)
+
+val lifo : t
+(** Most recently eligible first. *)
+
+val random : int -> t
+(** Uniform among eligible, from the given seed. *)
+
+val max_out_degree : t
+(** Greedy: prefer tasks with more children (immediate fan-out). *)
+
+val min_depth : t
+(** Prefer tasks closer to the sources (breadth-first flavour). *)
+
+val critical_path : t
+(** Prefer tasks with the longest remaining path to a sink. *)
+
+val of_schedule : string -> Ic_dag.Schedule.t -> t
+(** The priority-list policy induced by a schedule: always allocate the
+    eligible task the schedule executes earliest. With an IC-optimal
+    schedule this is "the theory's" policy. *)
+
+val baselines : t list
+(** [fifo; lifo; random 0xF00D; max_out_degree; min_depth; critical_path]. *)
+
+(** {1 Driving a policy} *)
+
+type instance
+
+val instantiate : t -> Ic_dag.Dag.t -> instance
+val notify : instance -> int -> unit
+(** A task became eligible. *)
+
+val select : instance -> int option
+(** Allocate (and remove from the pool) the policy's choice. *)
+
+val run : t -> Ic_dag.Dag.t -> Ic_dag.Schedule.t
+(** Sequential list scheduling: repeatedly select and execute, notifying
+    newly eligible tasks (children in ascending order). The resulting
+    schedule's profile is what eligibility-rate comparisons use. *)

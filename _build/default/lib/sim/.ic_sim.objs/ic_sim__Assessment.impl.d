@@ -1,0 +1,1 @@
+lib/sim/assessment.ml: Array Format Ic_dag Ic_heuristics List Simulator Workload

@@ -1,0 +1,1 @@
+lib/sim/assessment.mli: Format Ic_dag Ic_heuristics Simulator Workload

@@ -1,0 +1,1 @@
+lib/sim/burst.ml: Array Ic_dag List

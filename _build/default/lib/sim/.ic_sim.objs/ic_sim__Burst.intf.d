@@ -1,0 +1,1 @@
+lib/sim/burst.mli: Ic_dag

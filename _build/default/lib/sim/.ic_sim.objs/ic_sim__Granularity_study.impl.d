@@ -1,0 +1,1 @@
+lib/sim/granularity_study.ml: Array Ic_core Ic_dag Ic_families Ic_granularity Ic_heuristics List Simulator Workload

@@ -1,0 +1,1 @@
+lib/sim/granularity_study.mli:

@@ -1,0 +1,1 @@
+lib/sim/simulator.ml: Array Float Format Ic_dag Ic_heuristics List Queue Random

@@ -1,0 +1,1 @@
+lib/sim/simulator.mli: Format Ic_dag Ic_heuristics Workload

@@ -1,0 +1,1 @@
+lib/sim/workload.ml: Array Ic_dag Random

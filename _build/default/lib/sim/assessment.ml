@@ -1,0 +1,53 @@
+module Dag = Ic_dag.Dag
+module Profile = Ic_dag.Profile
+module Policy = Ic_heuristics.Policy
+
+type row = {
+  policy : string;
+  sim : Simulator.result;
+  profile_wins : int;
+  profile_losses : int;
+  mean_profile : float;
+}
+
+let mean p =
+  if Array.length p = 0 then 0.0
+  else
+    float_of_int (Array.fold_left ( + ) 0 p) /. float_of_int (Array.length p)
+
+let compare_policies ?config ?(workload = Workload.unit) ?(extra = []) g
+    ~theory =
+  let config =
+    match config with Some c -> c | None -> Simulator.config ()
+  in
+  let theory_policy = Policy.of_schedule "ic-optimal" theory in
+  let theory_profile = Profile.run g (Policy.run theory_policy g) in
+  let row policy =
+    let sim = Simulator.run config policy ~workload g in
+    let profile = Profile.run g (Policy.run policy g) in
+    let wins = ref 0 and losses = ref 0 in
+    Array.iteri
+      (fun t e ->
+        if theory_profile.(t) > e then incr wins
+        else if theory_profile.(t) < e then incr losses)
+      profile;
+    {
+      policy = Policy.name policy;
+      sim;
+      profile_wins = !wins;
+      profile_losses = !losses;
+      mean_profile = mean profile;
+    }
+  in
+  row theory_policy :: List.map row (Policy.baselines @ extra)
+
+let pp_rows ppf rows =
+  Format.fprintf ppf "%-16s %9s %6s %7s %8s %7s %7s@."
+    "policy" "makespan" "util%" "stalls" "mean-E" "wins" "losses";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-16s %9.3f %6.1f %7d %8.2f %7d %7d@."
+        r.policy r.sim.Simulator.makespan
+        (100.0 *. r.sim.Simulator.utilization)
+        r.sim.Simulator.stalls r.mean_profile r.profile_wins r.profile_losses)
+    rows

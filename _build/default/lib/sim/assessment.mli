@@ -1,0 +1,30 @@
+(** Policy comparison harness: the [15]/[19]-style assessment (experiment
+    E16). Runs the theory's IC-optimal-priority policy and the baseline
+    heuristics over a dag, both as pure list schedules (eligibility-profile
+    dominance) and through the simulator (stalls, utilization). *)
+
+type row = {
+  policy : string;
+  sim : Simulator.result;
+  profile_wins : int;
+      (** steps where the theory's profile strictly exceeds this policy's *)
+  profile_losses : int;
+      (** steps where this policy's profile strictly exceeds the theory's
+          (0 whenever the theory's schedule is IC-optimal) *)
+  mean_profile : float;  (** average eligibility over the list schedule *)
+}
+
+val compare_policies :
+  ?config:Simulator.config ->
+  ?workload:Workload.t ->
+  ?extra:Ic_heuristics.Policy.t list ->
+  Ic_dag.Dag.t ->
+  theory:Ic_dag.Schedule.t ->
+  row list
+(** First row is the theory policy (built from [theory] via
+    {!Ic_heuristics.Policy.of_schedule}), then the baselines and [extra].
+    [profile_wins]/[profile_losses] for the theory row are 0 by
+    definition. *)
+
+val pp_rows : Format.formatter -> row list -> unit
+(** An aligned text table. *)

@@ -1,0 +1,24 @@
+type t = {
+  burst : int;
+  served : int;
+  offered : int;
+  service_rate : float;
+}
+
+let of_profile ~burst profile =
+  if burst < 1 then invalid_arg "Burst.of_profile: burst must be positive";
+  let served = Array.fold_left (fun acc e -> acc + min burst e) 0 profile in
+  let offered = burst * Array.length profile in
+  {
+    burst;
+    served;
+    offered;
+    service_rate =
+      (if offered = 0 then 1.0 else float_of_int served /. float_of_int offered);
+  }
+
+let of_schedule ~burst g s =
+  of_profile ~burst (Ic_dag.Profile.nonsink_profile g s)
+
+let sweep ~bursts g s =
+  List.map (fun burst -> (burst, (of_schedule ~burst g s).service_rate)) bursts

@@ -1,0 +1,31 @@
+(** Batch-request service: scenario (2) of Section 2.2.
+
+    "If the IC Server receives a batch of requests for tasks at (roughly)
+    the same time, then having more ELIGIBLE tasks available allows the
+    Server to satisfy more requests, thereby increasing parallelism."
+
+    This module quantifies that directly from eligibility profiles: if a
+    burst of [r] requests arrives after each execution step, the server can
+    serve [min(r, E(t))] of them immediately. Schedules with pointwise
+    higher profiles serve pointwise more requests — so an IC-optimal
+    schedule maximizes burst service against {e every} burst size
+    simultaneously. *)
+
+type t = {
+  burst : int;
+  served : int;  (** [Σ_t min(burst, E(t))] over the nonsink steps *)
+  offered : int;  (** [burst * (#steps)] *)
+  service_rate : float;  (** [served / offered] *)
+}
+
+val of_profile : burst:int -> int array -> t
+(** Evaluate a profile (as produced by {!Ic_dag.Profile.run} or
+    [nonsink_profile]). *)
+
+val of_schedule : burst:int -> Ic_dag.Dag.t -> Ic_dag.Schedule.t -> t
+(** Over the nonsink prefix of the schedule (the phase during which the
+    server is still producing work). *)
+
+val sweep :
+  bursts:int list -> Ic_dag.Dag.t -> Ic_dag.Schedule.t -> (int * float) list
+(** [(burst, service_rate)] pairs. *)

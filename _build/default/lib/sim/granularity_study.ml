@@ -1,0 +1,62 @@
+module Dag = Ic_dag.Dag
+module Schedule = Ic_dag.Schedule
+module Policy = Ic_heuristics.Policy
+module Cluster = Ic_granularity.Cluster
+
+type row = {
+  comm_time : float;
+  block : int;
+  n_tasks : int;
+  makespan : float;
+  comm_total : float;
+}
+
+let ic_optimal_schedule g =
+  match Ic_core.Auto.schedule g with
+  | Ok p -> p.Ic_core.Auto.schedule
+  | Error _ -> Schedule.of_array_exn g (Dag.topological_order g)
+
+let mesh_crossover ?(levels = 15) ?(blocks = [ 1; 2; 4 ])
+    ?(comm_times = [ 0.0; 0.5; 2.0; 8.0 ]) ?(n_clients = 8) () =
+  let variants =
+    List.map
+      (fun block ->
+        if block = 1 then begin
+          let g = Ic_families.Mesh.out_mesh levels in
+          (block, g, Workload.unit)
+        end
+        else begin
+          let t = Ic_granularity.Coarsen_mesh.coarsen ~levels ~block in
+          let works = Cluster.work t in
+          let workload _g v = works.(v) in
+          (block, t.Cluster.coarse, workload)
+        end)
+      blocks
+  in
+  List.concat_map
+    (fun comm_time ->
+      List.map
+        (fun (block, g, workload) ->
+          let config =
+            Simulator.config ~n_clients ~jitter:0.0 ~comm_time ()
+          in
+          let policy = Policy.of_schedule "ic-optimal" (ic_optimal_schedule g) in
+          let r = Simulator.run config policy ~workload g in
+          {
+            comm_time;
+            block;
+            n_tasks = Dag.n_nodes g;
+            makespan = r.Simulator.makespan;
+            comm_total = r.Simulator.comm_total;
+          })
+        variants)
+    comm_times
+
+let best_block rows comm_time =
+  let candidates = List.filter (fun r -> r.comm_time = comm_time) rows in
+  match candidates with
+  | [] -> invalid_arg "Granularity_study.best_block: no rows at that price"
+  | first :: rest ->
+    (List.fold_left (fun best r -> if r.makespan < best.makespan then r else best)
+       first rest)
+      .block

@@ -1,0 +1,31 @@
+(** The granularity/communication crossover, simulated (experiment E8b).
+
+    Section 4 argues that coarsening a wavefront mesh is attractive for IC
+    because per-task work grows quadratically with the block sidelength
+    while communication grows only linearly. This module closes the loop by
+    {e simulating} both: the fine mesh and its coarsenings run through the
+    Internet-computing simulator with an explicit per-arc transfer cost, so
+    the fine-grained dag pays communication on its many cut arcs while the
+    coarse one pays larger task times. As the communication price grows, a
+    crossover appears: fine wins when transfers are free (more
+    parallelism), coarse wins when they are dear. *)
+
+type row = {
+  comm_time : float;
+  block : int;  (** coarsening sidelength; 1 = the fine mesh *)
+  n_tasks : int;
+  makespan : float;
+  comm_total : float;
+}
+
+val mesh_crossover :
+  ?levels:int -> ?blocks:int list -> ?comm_times:float list ->
+  ?n_clients:int -> unit -> row list
+(** For every (comm price, coarsening) combination, simulate the
+    (possibly coarsened) depth-[levels] out-mesh under its wavefront
+    schedule with unit work per fine cell (a coarse task's work is its
+    cell count). Defaults: levels 15, blocks [1; 2; 4], comm_times
+    [0; 0.5; 2; 8], 8 clients. *)
+
+val best_block : row list -> float -> int
+(** The block size with the smallest makespan at a given comm price. *)

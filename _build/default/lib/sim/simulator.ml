@@ -1,0 +1,170 @@
+module Dag = Ic_dag.Dag
+module Policy = Ic_heuristics.Policy
+module Heap = Ic_heuristics.Heap
+
+type config = {
+  n_clients : int;
+  speed : int -> float;
+  jitter : float;
+  failure_probability : float;
+  comm_time : float;
+  seed : int;
+}
+
+let config ?(n_clients = 4) ?(speed = fun _ -> 1.0) ?(jitter = 0.25)
+    ?(failure_probability = 0.0) ?(comm_time = 0.0) ?(seed = 0x5EED) () =
+  if n_clients < 1 then invalid_arg "Simulator.config: need a client";
+  if failure_probability < 0.0 || failure_probability >= 1.0 then
+    invalid_arg "Simulator.config: failure probability must be in [0, 1)";
+  if comm_time < 0.0 then invalid_arg "Simulator.config: negative comm time";
+  { n_clients; speed; jitter; failure_probability; comm_time; seed }
+
+type result = {
+  makespan : float;
+  busy_time : float;
+  utilization : float;
+  stalls : int;
+  stall_time : float;
+  failures : int;
+  comm_total : float;
+  mean_eligible : float;
+  allocation_order : int list;
+  completion_order : int list;
+}
+
+let run cfg policy ~workload g =
+  let n = Dag.n_nodes g in
+  let work = workload g in
+  let rng = Random.State.make [| cfg.seed |] in
+  let inst = Policy.instantiate policy g in
+  let remaining = Array.init n (fun v -> Dag.in_degree g v) in
+  let pool_size = ref 0 in
+  let notify v =
+    Policy.notify inst v;
+    incr pool_size
+  in
+  for v = 0 to n - 1 do
+    if remaining.(v) = 0 then notify v
+  done;
+  let events : (float, int * int) Heap.t = Heap.create () in
+  (* metrics *)
+  let now = ref 0.0 in
+  let busy = Array.make cfg.n_clients 0.0 in
+  let stalls = ref 0 in
+  let stall_time = ref 0.0 in
+  let stalled_since = Array.make cfg.n_clients nan in
+  let stalled = Queue.create () in
+  let eligible_integral = ref 0.0 in
+  let allocated = ref 0 in
+  let completed = ref 0 in
+  let failures = ref 0 in
+  let comm_total = ref 0.0 in
+  let computed_by = Array.make n (-1) in
+  let allocation_order = ref [] in
+  let completion_order = ref [] in
+  let allocate client =
+    match Policy.select inst with
+    | Some v ->
+      decr pool_size;
+      incr allocated;
+      allocation_order := v :: !allocation_order;
+      let noise = 1.0 +. (cfg.jitter *. Random.State.float rng 1.0) in
+      (* parents computed elsewhere must ship their results over the
+         Internet; a source's input comes from the server (one transfer) *)
+      let transfers =
+        if cfg.comm_time = 0.0 then 0
+        else if Dag.in_degree g v = 0 then 1
+        else
+          Array.fold_left
+            (fun acc p -> if computed_by.(p) = client then acc else acc + 1)
+            0 (Dag.pred g v)
+      in
+      let comm = cfg.comm_time *. float_of_int transfers in
+      comm_total := !comm_total +. comm;
+      let duration = (work v /. cfg.speed client *. noise) +. comm in
+      busy.(client) <- busy.(client) +. duration;
+      Heap.push events (!now +. duration) (client, v)
+    | None ->
+      if !allocated < n then begin
+        (* a genuine gridlock event: work remains but none is eligible *)
+        incr stalls;
+        if Float.is_nan stalled_since.(client) then
+          stalled_since.(client) <- !now;
+        Queue.add client stalled
+      end
+      (* otherwise the computation is draining; the client simply retires *)
+  in
+  for client = 0 to cfg.n_clients - 1 do
+    allocate client
+  done;
+  while !completed < n do
+    match Heap.pop events with
+    | None -> assert false (* tasks outstanding but no events pending *)
+    | Some (t, (client, v)) ->
+      eligible_integral :=
+        !eligible_integral +. (float_of_int !pool_size *. (t -. !now));
+      now := t;
+      if
+        cfg.failure_probability > 0.0
+        && Random.State.float rng 1.0 < cfg.failure_probability
+      then begin
+        (* the client vanished with the task: put it back in the pool *)
+        incr failures;
+        decr allocated;
+        notify v
+      end
+      else begin
+        incr completed;
+        computed_by.(v) <- client;
+        completion_order := v :: !completion_order;
+        Array.iter
+          (fun w ->
+            remaining.(w) <- remaining.(w) - 1;
+            if remaining.(w) = 0 then notify w)
+          (Dag.succ g v)
+      end;
+      (* serve clients that were stalled first, then the freed client *)
+      let waiters = Queue.length stalled in
+      for _ = 1 to waiters do
+        let c = Queue.pop stalled in
+        if !pool_size > 0 then begin
+          stall_time := !stall_time +. (!now -. stalled_since.(c));
+          stalled_since.(c) <- nan;
+          allocate c
+        end
+        else begin
+          (* still nothing for this client *)
+          if !allocated >= n then begin
+            stall_time := !stall_time +. (!now -. stalled_since.(c));
+            stalled_since.(c) <- nan
+          end
+          else Queue.add c stalled
+        end
+      done;
+      allocate client
+  done;
+  let makespan = !now in
+  let busy_time = Array.fold_left ( +. ) 0.0 busy in
+  {
+    makespan;
+    busy_time;
+    utilization =
+      (if makespan > 0.0 then busy_time /. (float_of_int cfg.n_clients *. makespan)
+       else 1.0);
+    stalls = !stalls;
+    stall_time = !stall_time;
+    failures = !failures;
+    comm_total = !comm_total;
+    mean_eligible =
+      (if makespan > 0.0 then !eligible_integral /. makespan else 0.0);
+    allocation_order = List.rev !allocation_order;
+    completion_order = List.rev !completion_order;
+  }
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "@[<v>makespan      %.3f@,utilization   %.1f%%@,stalls        %d@,\
+     stall time    %.3f@,failures      %d@,comm time     %.3f@,\
+     mean eligible %.2f@]"
+    r.makespan (100.0 *. r.utilization) r.stalls r.stall_time r.failures
+    r.comm_total r.mean_eligible

@@ -1,0 +1,58 @@
+(** Event-driven Internet-computing simulator.
+
+    Models the IC scenario of Section 2.2: a server holds a computation-dag
+    and allocates ELIGIBLE tasks to remote clients on request; clients have
+    heterogeneous speeds and noisy execution times, so tasks complete out of
+    allocation order — the situation IC-optimal schedules are designed to be
+    robust in. The simulator measures the two quantities the theory argues
+    about: how often clients find no allocatable task ({e gridlock} /
+    stalls), and how many eligible tasks are available over time
+    ({e parallelism} for batch requests). See DESIGN.md §2 for why this
+    substitutes for the paper's Condor/PRIO-based assessment [15, 19]. *)
+
+type config = {
+  n_clients : int;
+  speed : int -> float;  (** speed of client [i] (work units per time) *)
+  jitter : float;
+      (** multiplicative execution-time noise amplitude: a task's duration
+          is [work/speed * (1 + jitter * u)], [u ~ U(0,1)] *)
+  failure_probability : float;
+      (** chance that an allocated task is lost (client crashed, result
+          never returned) and must be re-allocated — the unreliable-client
+          regime of the paper's reference [14]. Must be in [0, 1). *)
+  comm_time : float;
+      (** Internet-transfer time per dependence arc whose endpoint tasks
+          ran on different clients (a parent's result must travel via the
+          server) — "communication, a much dearer resource in IC"
+          (Section 4). Added to the task's wall-clock duration, unscaled by
+          client speed. Sources pay it for their server-provided input. *)
+  seed : int;
+}
+
+val config :
+  ?n_clients:int -> ?speed:(int -> float) -> ?jitter:float ->
+  ?failure_probability:float -> ?comm_time:float -> ?seed:int -> unit -> config
+(** Defaults: 4 clients, unit speeds, jitter 0.25, no failures, free
+    communication, seed 0x5EED. *)
+
+type result = {
+  makespan : float;
+  busy_time : float;  (** summed over clients *)
+  utilization : float;  (** [busy_time / (n_clients * makespan)] *)
+  stalls : int;
+      (** task requests that found no eligible task although unfinished
+          work remained — the gridlock events *)
+  stall_time : float;  (** total client time spent stalled *)
+  failures : int;  (** allocations lost to unreliable clients *)
+  comm_total : float;  (** total time spent moving data between clients *)
+  mean_eligible : float;
+      (** time-average of the number of eligible-but-unallocated tasks *)
+  allocation_order : int list;
+  completion_order : int list;
+}
+
+val run :
+  config -> Ic_heuristics.Policy.t -> workload:Workload.t -> Ic_dag.Dag.t ->
+  result
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,12 @@
+type t = Ic_dag.Dag.t -> int -> float
+
+let unit _g _v = 1.0
+let constant c _g _v = c
+
+let random_uniform ~seed ~lo ~hi _g v =
+  let rng = Random.State.make [| seed; v |] in
+  lo +. Random.State.float rng (hi -. lo)
+
+let by_height scale g =
+  let height = Ic_dag.Dag.height g in
+  fun v -> 1.0 +. (scale *. float_of_int height.(v))

@@ -1,0 +1,18 @@
+(** Task-size models for the Internet-computing simulator. *)
+
+type t = Ic_dag.Dag.t -> int -> float
+(** [w g v] is the computational work of task [v] (in abstract work units;
+    a client of speed [s] executes it in [w/s] time, before jitter). *)
+
+val unit : t
+(** Every task costs 1. *)
+
+val constant : float -> t
+
+val random_uniform : seed:int -> lo:float -> hi:float -> t
+(** Independent per-task work, uniform in [lo, hi] (deterministic in the
+    seed and the task id, so the same task always has the same size). *)
+
+val by_height : float -> t
+(** [1 + scale * height(v)]: tasks near the sources are heavier — a crude
+    model of divide-and-conquer costs. *)

@@ -1,0 +1,1 @@
+test/test_auto.ml: Alcotest Ic_compute Ic_core Ic_dag Ic_families List QCheck2 QCheck_alcotest Random Result

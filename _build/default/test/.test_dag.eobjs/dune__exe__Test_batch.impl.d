@@ -1,0 +1,1 @@
+test/test_batch.ml: Alcotest Array Fun Ic_batch Ic_blocks Ic_dag Ic_families List Printf QCheck2 QCheck_alcotest Random Result

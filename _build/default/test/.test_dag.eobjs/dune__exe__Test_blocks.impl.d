@@ -1,0 +1,1 @@
+test/test_blocks.ml: Alcotest Ic_blocks Ic_core Ic_dag Ic_families List Result

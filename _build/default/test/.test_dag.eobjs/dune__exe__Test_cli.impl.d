@@ -1,0 +1,1 @@
+test/test_cli.ml: Alcotest Filename Ic_cli Ic_dag List Out_channel Result String Sys

@@ -1,0 +1,1 @@
+test/test_compose.ml: Alcotest Array Ic_blocks Ic_core Ic_dag List

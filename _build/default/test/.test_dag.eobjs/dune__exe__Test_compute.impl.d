@@ -1,0 +1,1 @@
+test/test_compute.ml: Alcotest Array Char Complex Float Ic_compute Ic_dag Ic_families List Printf QCheck2 QCheck_alcotest Random Result String

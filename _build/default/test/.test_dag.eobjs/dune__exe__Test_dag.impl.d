@@ -1,0 +1,1 @@
+test/test_dag.ml: Alcotest Array Fun Ic_dag List QCheck2 QCheck_alcotest Random String

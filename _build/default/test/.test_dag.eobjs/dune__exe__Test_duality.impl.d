@@ -1,0 +1,1 @@
+test/test_duality.ml: Alcotest Array Ic_blocks Ic_dag List QCheck2 QCheck_alcotest Random

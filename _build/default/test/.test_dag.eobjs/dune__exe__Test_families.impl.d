@@ -1,0 +1,1 @@
+test/test_families.ml: Alcotest Array Fun Ic_core Ic_dag Ic_families List QCheck2 QCheck_alcotest Random Result

@@ -1,0 +1,1 @@
+test/test_granularity.ml: Alcotest Array Ic_blocks Ic_dag Ic_families Ic_granularity List QCheck2 QCheck_alcotest Random

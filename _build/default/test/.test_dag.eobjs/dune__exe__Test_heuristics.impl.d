@@ -1,0 +1,1 @@
+test/test_heuristics.ml: Alcotest Array Ic_dag Ic_families Ic_heuristics List QCheck2 QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_linear.ml: Alcotest Array Hashtbl Ic_blocks Ic_core Ic_dag Ic_families List Option QCheck2 QCheck_alcotest Random Result

@@ -1,0 +1,1 @@
+test/test_optimal.ml: Alcotest Fun Ic_blocks Ic_dag Ic_families List QCheck2 QCheck_alcotest Random Result

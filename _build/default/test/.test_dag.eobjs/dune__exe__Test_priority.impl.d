@@ -1,0 +1,1 @@
+test/test_priority.ml: Alcotest Array Ic_blocks Ic_core Ic_dag Ic_families List

@@ -1,0 +1,1 @@
+test/test_profile.ml: Alcotest Array Fun Ic_blocks Ic_dag List QCheck2 QCheck_alcotest Random

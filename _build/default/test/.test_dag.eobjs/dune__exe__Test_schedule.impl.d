@@ -1,0 +1,1 @@
+test/test_schedule.ml: Alcotest Ic_dag List QCheck2 QCheck_alcotest Random

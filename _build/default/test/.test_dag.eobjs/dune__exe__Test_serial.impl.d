@@ -1,0 +1,1 @@
+test/test_serial.ml: Alcotest Filename Ic_dag Ic_families List QCheck2 QCheck_alcotest Random Sys

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Float Fun Hashtbl Ic_dag Ic_families Ic_heuristics Ic_sim List Printf QCheck2 QCheck_alcotest Random

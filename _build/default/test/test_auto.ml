@@ -1,0 +1,147 @@
+module Dag = Ic_dag.Dag
+module Optimal = Ic_dag.Optimal
+module Auto = Ic_core.Auto
+module F = Ic_families
+
+let check = Alcotest.(check bool)
+
+let plan_exn g =
+  match Auto.schedule g with
+  | Ok p -> p
+  | Error msg -> Alcotest.failf "auto-scheduling failed: %s" msg
+
+let assert_auto_optimal name g =
+  let p = plan_exn g in
+  match Optimal.is_ic_optimal g p.Auto.schedule with
+  | Ok true -> p
+  | Ok false -> Alcotest.failf "%s: auto schedule not IC-optimal" name
+  | Error (`Too_large _) ->
+    (* fall back to dominance over random schedules *)
+    let rng = Random.State.make [| 1 |] in
+    let prof = Ic_dag.Profile.run g p.Auto.schedule in
+    for _ = 1 to 50 do
+      if
+        not
+          (Ic_dag.Profile.dominates prof
+             (Ic_dag.Profile.run g (Ic_dag.Gen.random_schedule rng g)))
+      then Alcotest.failf "%s: auto schedule dominated by a random one" name
+    done;
+    p
+
+let test_is_levelled () =
+  check "mesh levelled" true (Auto.is_levelled (F.Mesh.out_mesh 5));
+  check "butterfly levelled" true (Auto.is_levelled (F.Butterfly_net.dag 3));
+  check "complete diamond levelled" true
+    (Auto.is_levelled (F.Diamond.dag (F.Diamond.complete ~arity:2 ~depth:3)));
+  (* an arc skipping a level *)
+  let g = Dag.make_exn ~n:3 ~arcs:[ (0, 1); (1, 2); (0, 2) ] () in
+  check "transitive arc not levelled" false (Auto.is_levelled g)
+
+let test_auto_mesh () =
+  let p = assert_auto_optimal "mesh" (F.Mesh.out_mesh 5) in
+  check "certified linear" true (p.Auto.certificate = `Linear);
+  (* blocks are the W-dags of Fig. 6 *)
+  let names = List.map (fun b -> b.Auto.name) p.Auto.blocks in
+  Alcotest.(check (list string)) "W-dag chain"
+    [ "V_2"; "W_2"; "W_3"; "W_4"; "W_5" ] names
+
+let test_auto_butterfly () =
+  let p = assert_auto_optimal "butterfly" (F.Butterfly_net.dag 3) in
+  check "certified linear" true (p.Auto.certificate = `Linear);
+  check "all blocks are K(2,2)" true
+    (List.for_all (fun b -> b.Auto.name = "K(2,2)") p.Auto.blocks);
+  Alcotest.(check int) "12 blocks" 12 (List.length p.Auto.blocks)
+
+let test_auto_prefix () =
+  let p = assert_auto_optimal "prefix" (F.Prefix_dag.dag 8) in
+  check "certified linear" true (p.Auto.certificate = `Linear);
+  let names = List.map (fun b -> b.Auto.name) p.Auto.blocks in
+  Alcotest.(check (list string)) "Fig 12 N-dags"
+    [ "N_8"; "N_4"; "N_4"; "N_2"; "N_2"; "N_2"; "N_2" ] names
+
+let test_auto_matmul () =
+  (* the headline: M is auto-scheduled without knowing its decomposition *)
+  let p = assert_auto_optimal "matmul" (F.Matmul_dag.dag ()) in
+  check "certified linear" true (p.Auto.certificate = `Linear);
+  let names = List.map (fun b -> b.Auto.name) p.Auto.blocks in
+  Alcotest.(check (list string)) "C4 C4 then the Lambdas"
+    [ "C_4"; "C_4"; "L_2"; "L_2"; "L_2"; "L_2" ] names
+
+let test_auto_diamond_and_ldag () =
+  ignore (assert_auto_optimal "diamond" (F.Diamond.dag (F.Diamond.complete ~arity:2 ~depth:3)));
+  ignore (assert_auto_optimal "L_8" (F.Dlt_dag.dag (F.Dlt_dag.l_dag 8)));
+  ignore (assert_auto_optimal "sorting net" (Ic_compute.Sorting.network_dag 2))
+
+let test_auto_in_tree () =
+  (* complete in-tree: blocks are Lambdas; chain certified *)
+  let p = assert_auto_optimal "in-tree" (F.In_tree.dag ~arity:2 ~depth:3) in
+  check "lambda blocks" true
+    (List.for_all (fun b -> b.Auto.name = "L_2") p.Auto.blocks)
+
+let test_auto_rejects_unlevelled () =
+  let rng = Random.State.make [| 5 |] in
+  let shape = F.Out_tree.random rng ~max_internal:6 ~arity:2 in
+  let d = F.Diamond.symmetric shape in
+  match Auto.schedule (F.Diamond.dag d) with
+  | Error _ -> () (* irregular diamonds are not levelled *)
+  | Ok _ ->
+    (* unless the random shape happened to be complete — accept either *)
+    ()
+
+let test_auto_unknown_block_fallback () =
+  (* a bipartite block that matches no template: 3 sources, 3 sinks, 7 arcs
+     (between N_3's 5 and C_3's 6... make 7 by adding two extra arcs) *)
+  let g =
+    Dag.make_exn ~n:6
+      ~arcs:[ (0, 3); (0, 4); (1, 3); (1, 4); (1, 5); (2, 4); (2, 5) ]
+      ()
+  in
+  let p = plan_exn g in
+  check "fallback name" true
+    (List.exists (fun b -> b.Auto.name = "bipartite(6)") p.Auto.blocks);
+  check "still optimal" true (Result.get_ok (Optimal.is_ic_optimal g p.Auto.schedule))
+
+let prop_auto_on_random_levelled =
+  (* auto always yields valid schedules on random levelled dags; when the
+     dag admits an IC-optimal schedule and the certificate says Linear, the
+     schedule must be IC-optimal *)
+  QCheck2.Test.make ~name:"auto on random layered dags" ~count:60
+    QCheck2.Gen.(pair (int_range 2 4) (int_bound 10_000))
+    (fun (layers, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let g =
+        Ic_dag.Gen.random_layered_dag rng ~layers ~width:3 ~arc_probability:0.4
+      in
+      if not (Auto.is_levelled g) then true
+      else
+        match Auto.schedule g with
+        | Error _ -> true (* e.g. a block with no optimal schedule *)
+        | Ok p -> (
+          Ic_dag.Schedule.is_valid g (Ic_dag.Schedule.order p.Auto.schedule)
+          &&
+          match p.Auto.certificate with
+          | `Unverified -> true
+          | `Linear -> (
+            match Optimal.is_ic_optimal g p.Auto.schedule with
+            | Ok ok -> ok
+            | Error _ -> true)))
+
+let () =
+  Alcotest.run "ic_core.Auto"
+    [
+      ( "decomposition",
+        [
+          Alcotest.test_case "is_levelled" `Quick test_is_levelled;
+          Alcotest.test_case "mesh -> W chain" `Quick test_auto_mesh;
+          Alcotest.test_case "butterfly -> B blocks" `Quick test_auto_butterfly;
+          Alcotest.test_case "prefix -> N chain" `Quick test_auto_prefix;
+          Alcotest.test_case "matmul -> C4/Lambda" `Quick test_auto_matmul;
+          Alcotest.test_case "diamond, L_8, sort net" `Quick test_auto_diamond_and_ldag;
+          Alcotest.test_case "in-tree -> Lambdas" `Quick test_auto_in_tree;
+          Alcotest.test_case "unlevelled rejected" `Quick test_auto_rejects_unlevelled;
+          Alcotest.test_case "unknown block fallback" `Quick
+            test_auto_unknown_block_fallback;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_auto_on_random_levelled ] );
+    ]

@@ -1,0 +1,190 @@
+module Dag = Ic_dag.Dag
+module Schedule = Ic_dag.Schedule
+module Profile = Ic_dag.Profile
+module B = Ic_batch.Batched
+
+let check = Alcotest.(check bool)
+
+let diamond4 () = Dag.make_exn ~n:4 ~arcs:[ (0, 1); (0, 2); (1, 3); (2, 3) ] ()
+
+let test_profile_and_validity () =
+  let g = diamond4 () in
+  let t = { B.batch_size = 1; batches = [ [ 0 ]; [ 1 ]; [ 2 ]; [ 3 ] ] } in
+  check "valid" true (B.is_valid g t);
+  Alcotest.(check (array int)) "profile" [| 1; 2; 1; 1; 0 |] (B.profile g t);
+  (* parent and child in one batch: invalid *)
+  check "intra-batch dependency" false
+    (B.is_valid g { B.batch_size = 2; batches = [ [ 0; 1 ]; [ 2; 3 ] ] });
+  (* batch smaller than the eligible count: not work-conserving *)
+  check "lazy batch" false
+    (B.is_valid g { B.batch_size = 2; batches = [ [ 0 ]; [ 1 ]; [ 2 ]; [ 3 ] ] });
+  (* not a partition *)
+  check "missing node" false
+    (B.is_valid g { B.batch_size = 1; batches = [ [ 0 ]; [ 1 ]; [ 2 ] ] });
+  check "duplicated node" false
+    (B.is_valid g { B.batch_size = 1; batches = [ [ 0 ]; [ 1 ]; [ 1 ]; [ 3 ] ] })
+
+let test_valid_two_batching () =
+  let g = diamond4 () in
+  (* batch 1 can only hold the root (one eligible task), then {1,2}, then 3 *)
+  let t = { B.batch_size = 2; batches = [ [ 0 ]; [ 1; 2 ]; [ 3 ] ] } in
+  check "work-conserving two-batching is valid" true (B.is_valid g t);
+  Alcotest.(check (array int)) "profile" [| 1; 2; 1; 0 |] (B.profile g t)
+
+let test_of_schedule () =
+  let g = diamond4 () in
+  let s = Schedule.of_order_exn g [ 0; 1; 2; 3 ] in
+  (match B.of_schedule g s ~batch_size:1 with
+  | Ok t -> check "p=1 chop always valid" true (B.is_valid g t)
+  | Error e -> Alcotest.fail e);
+  match B.of_schedule g s ~batch_size:2 with
+  | Error _ -> () (* 0 and 1 land in one batch: 1 depends on 0 *)
+  | Ok _ -> Alcotest.fail "expected intra-batch dependency error"
+
+let test_to_schedule_roundtrip () =
+  let g = diamond4 () in
+  let t = { B.batch_size = 2; batches = [ [ 0 ]; [ 2; 1 ]; [ 3 ] ] } in
+  let s = B.to_schedule g t in
+  check "flattened schedule valid" true (Schedule.is_valid g (Schedule.order s))
+
+let test_greedy_valid () =
+  let g = Ic_families.Mesh.out_mesh 6 in
+  List.iter
+    (fun p ->
+      let t = B.greedy g ~batch_size:p in
+      check (Printf.sprintf "greedy p=%d valid" p) true (B.is_valid g t))
+    [ 1; 2; 3; 7 ]
+
+let test_optimal_valid_and_dominant () =
+  let g = diamond4 () in
+  match B.optimal g ~batch_size:2 with
+  | Error _ -> Alcotest.fail "too large?"
+  | Ok t ->
+    check "optimal valid" true (B.is_valid g t);
+    let p = B.profile g t in
+    (* it must dominate greedy lexicographically; here also pointwise *)
+    let gp = B.profile g (B.greedy g ~batch_size:2) in
+    check "dominates greedy" true (Profile.dominates p gp || p = gp)
+
+let test_p1_lex_equals_ic_optimal_when_admitting () =
+  (* on dags that admit an IC-optimal schedule, the p=1 lex optimum attains
+     the pointwise optimum *)
+  List.iter
+    (fun (name, g) ->
+      match (B.e_opt g ~batch_size:1, Ic_dag.Optimal.e_opt g) with
+      | Ok lex, Ok opt ->
+        if lex <> opt then Alcotest.failf "%s: lex %s <> opt" name "profile"
+      | _ -> Alcotest.failf "%s: analysis failed" name)
+    [
+      ("lambda", Ic_blocks.Lambda.dag 2);
+      ("C4", Ic_blocks.Cycle_dag.dag 4);
+      ("mesh3", Ic_families.Mesh.out_mesh 3);
+      ("butterfly2", Ic_families.Butterfly_net.dag 2);
+    ]
+
+let test_p1_on_non_admitting_dag () =
+  (* the lex optimum exists even where no IC-optimal schedule does -
+     direction 2 of the paper's Section 8 *)
+  let g =
+    Dag.make_exn ~n:7 ~arcs:[ (0, 2); (0, 4); (1, 2); (1, 4); (2, 6); (3, 5) ] ()
+  in
+  check "no pointwise optimum" false
+    (Result.get_ok (Ic_dag.Optimal.admits_ic_optimal g));
+  match B.optimal g ~batch_size:1 with
+  | Ok t ->
+    check "lex optimum exists and is valid" true (B.is_valid g t);
+    let lex = B.profile g t in
+    let opt = Result.get_ok (Ic_dag.Optimal.e_opt g) in
+    check "lex below the (unattainable) pointwise ceiling" true
+      (Profile.dominates opt lex);
+    check "lex matches the ceiling at step 1" true (lex.(1) = opt.(1))
+  | Error _ -> Alcotest.fail "optimal failed"
+
+let test_greedy_not_always_optimal () =
+  (* search a small pool of random dags for a case where greedy's batched
+     profile is lexicographically worse; at least one must exist *)
+  let rng = Random.State.make [| 2718 |] in
+  let lex_less a b =
+    (* a <lex b *)
+    let rec go i =
+      if i >= Array.length a then false
+      else if a.(i) < b.(i) then true
+      else if a.(i) > b.(i) then false
+      else go (i + 1)
+    in
+    go 0
+  in
+  let found = ref false in
+  for _ = 1 to 120 do
+    if not !found then begin
+      let g = Ic_dag.Gen.random_dag rng ~n:8 ~arc_probability:0.3 in
+      match B.optimal g ~batch_size:2 with
+      | Ok t ->
+        let go = B.profile g t and gg = B.profile g (B.greedy g ~batch_size:2) in
+        if lex_less gg go then found := true
+      | Error _ -> ()
+    end
+  done;
+  check "greedy is suboptimal somewhere" true !found
+
+let prop_optimal_dominates_random_batchings =
+  QCheck2.Test.make ~name:"lex optimum >=lex any chopped random schedule" ~count:50
+    QCheck2.Gen.(pair (int_range 1 10) (int_bound 10_000))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let g = Ic_dag.Gen.random_dag rng ~n ~arc_probability:0.3 in
+      match B.optimal g ~batch_size:2 with
+      | Error _ -> true
+      | Ok t ->
+        let opt = B.profile g t in
+        let lex_ge a b =
+          let rec go i =
+            if i >= Array.length a || i >= Array.length b then true
+            else if a.(i) > b.(i) then true
+            else if a.(i) < b.(i) then false
+            else go (i + 1)
+          in
+          go 0
+        in
+        List.for_all
+          (fun _ ->
+            let s = Ic_dag.Gen.random_schedule rng g in
+            match B.of_schedule g s ~batch_size:2 with
+            | Error _ -> true
+            | Ok other -> lex_ge opt (B.profile g other))
+          (List.init 10 Fun.id))
+
+let prop_greedy_valid_random =
+  QCheck2.Test.make ~name:"greedy batchings are always valid" ~count:80
+    QCheck2.Gen.(pair (int_range 1 20) (int_bound 10_000))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let g = Ic_dag.Gen.random_dag rng ~n ~arc_probability:0.3 in
+      List.for_all (fun p -> B.is_valid g (B.greedy g ~batch_size:p)) [ 1; 2; 4 ])
+
+let () =
+  Alcotest.run "ic_batch"
+    [
+      ( "framework",
+        [
+          Alcotest.test_case "profile and validity" `Quick test_profile_and_validity;
+          Alcotest.test_case "two-batching" `Quick test_valid_two_batching;
+          Alcotest.test_case "of_schedule" `Quick test_of_schedule;
+          Alcotest.test_case "to_schedule" `Quick test_to_schedule_roundtrip;
+          Alcotest.test_case "greedy valid" `Quick test_greedy_valid;
+        ] );
+      ( "optimality",
+        [
+          Alcotest.test_case "optimal dominates greedy" `Quick
+            test_optimal_valid_and_dominant;
+          Alcotest.test_case "p=1 lex = pointwise where admitted" `Quick
+            test_p1_lex_equals_ic_optimal_when_admitting;
+          Alcotest.test_case "p=1 on a non-admitting dag" `Quick
+            test_p1_on_non_admitting_dag;
+          Alcotest.test_case "greedy suboptimal somewhere" `Quick
+            test_greedy_not_always_optimal;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_optimal_dominates_random_batchings; prop_greedy_valid_random ] );
+    ]

@@ -1,0 +1,168 @@
+module Dag = Ic_dag.Dag
+module Optimal = Ic_dag.Optimal
+module Blocks = Ic_blocks
+module Repertoire = Ic_blocks.Repertoire
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_vee_structure () =
+  let g = Blocks.Vee.dag 3 in
+  check_int "nodes" 4 (Dag.n_nodes g);
+  check_int "arcs" 3 (Dag.n_arcs g);
+  Alcotest.(check (list int)) "one source" [ 0 ] (Dag.sources g);
+  check_int "three sinks" 3 (List.length (Dag.sinks g));
+  Alcotest.(check string) "root label" "w" (Dag.label g 0)
+
+let test_lambda_structure () =
+  let g = Blocks.Lambda.dag 3 in
+  check_int "nodes" 4 (Dag.n_nodes g);
+  check_int "three sources" 3 (List.length (Dag.sources g));
+  Alcotest.(check (list int)) "one sink" [ 3 ] (Dag.sinks g)
+
+let test_vee_lambda_duality () =
+  (* Fig. 1: V and Lambda are dual to one another *)
+  check "Lambda = dual V" true
+    (Ic_dag.Iso.isomorphic (Blocks.Lambda.dag 2) (Dag.dual (Blocks.Vee.dag 2)));
+  check "V_3 dual" true
+    (Ic_dag.Iso.isomorphic (Blocks.Lambda.dag 3) (Dag.dual (Blocks.Vee.dag 3)))
+
+let test_w_structure () =
+  let g = Blocks.W_dag.dag 3 in
+  check_int "sources" 3 (List.length (Dag.sources g));
+  check_int "sinks" 4 (List.length (Dag.sinks g));
+  check_int "arcs" 6 (Dag.n_arcs g);
+  (* shared sinks: sink s+i+1 has parents i and i+1 *)
+  check "shared sink" true (Dag.has_arc g 0 4 && Dag.has_arc g 1 4)
+
+let test_m_is_dual_w () =
+  check "M_3 = dual W_3" true
+    (Ic_dag.Iso.isomorphic (Blocks.M_dag.dag 3) (Dag.dual (Blocks.W_dag.dag 3)))
+
+let test_n_structure () =
+  let g = Blocks.N_dag.dag 4 in
+  check_int "arcs = 2s-1" 7 (Dag.n_arcs g);
+  (* the anchor's first sink has no other parent *)
+  check_int "anchor child indegree" 1 (Dag.in_degree g 4);
+  check_int "other sinks have two parents" 2 (Dag.in_degree g 5)
+
+let test_cycle_structure () =
+  let g = Blocks.Cycle_dag.dag 4 in
+  check_int "arcs = 2s" 8 (Dag.n_arcs g);
+  List.iter (fun v -> check_int "every sink has 2 parents" 2 (Dag.in_degree g v)) (Dag.sinks g);
+  (* the wraparound arc distinguishes C_s from N_s *)
+  check "wraparound" true (Dag.has_arc g 3 4)
+
+let test_butterfly_structure () =
+  let g = Blocks.Butterfly_block.dag () in
+  check_int "nodes" 4 (Dag.n_nodes g);
+  check_int "arcs" 4 (Dag.n_arcs g);
+  check "B_1 = building block" true
+    (Ic_dag.Iso.isomorphic g (Ic_families.Butterfly_net.dag 1));
+  check "B self-dual" true (Ic_dag.Iso.isomorphic g (Dag.dual g))
+
+let test_all_block_schedules_optimal () =
+  List.iter
+    (fun (b : Repertoire.t) ->
+      match Optimal.is_ic_optimal b.dag b.schedule with
+      | Ok true -> ()
+      | Ok false -> Alcotest.failf "%s: schedule not IC-optimal" b.name
+      | Error (`Too_large _) -> Alcotest.failf "%s: too large" b.name)
+    Repertoire.all
+
+let test_all_blocks_connected () =
+  List.iter
+    (fun (b : Repertoire.t) ->
+      if not (Dag.is_connected b.dag) then Alcotest.failf "%s disconnected" b.name)
+    Repertoire.all
+
+let test_w_fanout () =
+  (* (1,3)-W-dag: s sources, 2s+1 sinks, consecutive sources share a sink *)
+  let g = Blocks.W_dag.dag_fanout ~fanout:3 3 in
+  check_int "sources" 3 (List.length (Dag.sources g));
+  check_int "sinks" 7 (List.length (Dag.sinks g));
+  check_int "arcs" 9 (Dag.n_arcs g);
+  (* the shared sink between sources 0 and 1 is sink position 2 *)
+  check "shared sink" true (Dag.has_arc g 0 5 && Dag.has_arc g 1 5);
+  check "d=2 recovers W_s" true
+    (Dag.equal (Blocks.W_dag.dag_fanout ~fanout:2 4) (Blocks.W_dag.dag 4))
+
+let test_w_fanout_priority_monotone () =
+  (* the analogue of W_s |> W_t iff s <= t holds at fan-out 3 *)
+  let ep s = Ic_core.Priority.of_block (Blocks.Repertoire.w_fanout 3 s) in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun t ->
+          let expected = s <= t in
+          if Ic_core.Priority.has_priority (ep s) (ep t) <> expected then
+            Alcotest.failf "W^3_%d |> W^3_%d should be %b" s t expected)
+        [ 1; 2; 3; 4 ])
+    [ 1; 2; 3; 4 ]
+
+let test_bipartite () =
+  let g = Blocks.Bipartite.dag 2 2 in
+  check "K(2,2) = B" true (Ic_dag.Iso.isomorphic g (Blocks.Butterfly_block.dag ()));
+  let g32 = Blocks.Bipartite.dag 3 2 in
+  check_int "arcs" 6 (Dag.n_arcs g32);
+  check "K(s,t) dual of K(t,s)" true
+    (Ic_dag.Iso.isomorphic (Dag.dual g32) (Blocks.Bipartite.dag 2 3))
+
+let test_degenerate_params () =
+  let expect_invalid name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  in
+  expect_invalid "V_0" (fun () -> Blocks.Vee.dag 0);
+  expect_invalid "Lambda_0" (fun () -> Blocks.Lambda.dag 0);
+  expect_invalid "W_0" (fun () -> Blocks.W_dag.dag 0);
+  expect_invalid "N_0" (fun () -> Blocks.N_dag.dag 0);
+  expect_invalid "C_1" (fun () -> Blocks.Cycle_dag.dag 1)
+
+(* W-dag sources-consecutive characterization: left-to-right is optimal,
+   but a middle-first order is not (for s >= 3) *)
+let test_w_middle_first_suboptimal () =
+  let g = Blocks.W_dag.dag 3 in
+  let bad = Ic_dag.Schedule.of_nonsink_order_exn g [ 1; 0; 2 ] in
+  check "middle-first suboptimal" false (Result.get_ok (Optimal.is_ic_optimal g bad));
+  let reversed = Ic_dag.Schedule.of_nonsink_order_exn g [ 2; 1; 0 ] in
+  check "right-to-left also optimal" true
+    (Result.get_ok (Optimal.is_ic_optimal g reversed))
+
+let test_n_anchor_matters () =
+  (* starting anywhere but the anchor is suboptimal for N_s, s >= 2 *)
+  let g = Blocks.N_dag.dag 3 in
+  let bad = Ic_dag.Schedule.of_nonsink_order_exn g [ 1; 0; 2 ] in
+  check "non-anchor start suboptimal" false
+    (Result.get_ok (Optimal.is_ic_optimal g bad))
+
+let () =
+  Alcotest.run "ic_blocks"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "Vee" `Quick test_vee_structure;
+          Alcotest.test_case "Lambda" `Quick test_lambda_structure;
+          Alcotest.test_case "V/Lambda duality" `Quick test_vee_lambda_duality;
+          Alcotest.test_case "W-dag" `Quick test_w_structure;
+          Alcotest.test_case "M = dual W" `Quick test_m_is_dual_w;
+          Alcotest.test_case "N-dag" `Quick test_n_structure;
+          Alcotest.test_case "cycle-dag" `Quick test_cycle_structure;
+          Alcotest.test_case "butterfly block" `Quick test_butterfly_structure;
+          Alcotest.test_case "degenerate parameters" `Quick test_degenerate_params;
+          Alcotest.test_case "(1,d)-W-dags" `Quick test_w_fanout;
+          Alcotest.test_case "(1,3)-W priority monotone" `Quick
+            test_w_fanout_priority_monotone;
+          Alcotest.test_case "bipartite blocks" `Quick test_bipartite;
+        ] );
+      ( "schedules",
+        [
+          Alcotest.test_case "all repertoire schedules IC-optimal" `Quick
+            test_all_block_schedules_optimal;
+          Alcotest.test_case "all blocks connected" `Quick test_all_blocks_connected;
+          Alcotest.test_case "W middle-first suboptimal" `Quick
+            test_w_middle_first_suboptimal;
+          Alcotest.test_case "N anchor matters" `Quick test_n_anchor_matters;
+        ] );
+    ]

@@ -1,0 +1,104 @@
+module Spec = Ic_cli.Family_spec
+module Dag = Ic_dag.Dag
+
+let check = Alcotest.(check bool)
+
+let parse_exn spec =
+  match Spec.parse spec with
+  | Ok f -> f
+  | Error msg -> Alcotest.failf "parse %S: %s" spec msg
+
+let test_known_families () =
+  List.iter
+    (fun (spec, nodes) ->
+      let f = parse_exn spec in
+      Alcotest.(check int) spec nodes (Dag.n_nodes f.Spec.dag);
+      check (spec ^ " schedule valid") true
+        (Ic_dag.Schedule.is_valid f.Spec.dag (Ic_dag.Schedule.order f.Spec.schedule)))
+    [
+      ("outtree:2.3", 15);
+      ("intree:2.2", 7);
+      ("diamond:2.2", 10);
+      ("mesh:4", 15);
+      ("inmesh:4", 15);
+      ("butterfly:3", 32);
+      ("prefix:8", 32);
+      ("ldag:8", 39);
+      ("lprime:8", 18);
+      ("paths:4", 15);
+      ("matmul", 20);
+      ("sortnet:2", 16);
+      ("random:10.3", 10);
+    ]
+
+let test_schedules_are_optimal_where_checkable () =
+  List.iter
+    (fun spec ->
+      let f = parse_exn spec in
+      match Ic_dag.Optimal.is_ic_optimal f.Spec.dag f.Spec.schedule with
+      | Ok true -> ()
+      | Ok false -> Alcotest.failf "%s: CLI schedule not IC-optimal" spec
+      | Error _ -> ())
+    [ "mesh:5"; "butterfly:2"; "prefix:6"; "matmul"; "diamond:2.2"; "ldag:4" ]
+
+let test_parse_errors () =
+  List.iter
+    (fun spec ->
+      match Spec.parse spec with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%S should not parse" spec)
+    [
+      "unknown:3"; "mesh:x"; "mesh:-1"; "diamond:2"; "outtree:2"; "butterfly:0";
+      "ldag:6" (* not a power of two *); "file:/nonexistent/path.dag";
+    ]
+
+let test_file_family () =
+  let path = Filename.temp_file "icsched" ".dag" in
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc "nodes 4\narc 0 1\narc 0 2\narc 1 3\narc 2 3\n");
+  let f = parse_exn ("file:" ^ path) in
+  Alcotest.(check int) "nodes" 4 (Dag.n_nodes f.Spec.dag);
+  (* small dags get the exact witness, which is IC-optimal *)
+  check "witness optimal" true
+    (Result.get_ok (Ic_dag.Optimal.is_ic_optimal f.Spec.dag f.Spec.schedule));
+  Sys.remove path
+
+let test_help_covers_parsers () =
+  (* every advertised family prefix actually parses with a sample argument *)
+  let sample = function
+    | "outtree:A.D" | "intree:A.D" | "diamond:A.D" -> Some "2.2"
+    | "mesh:L" | "inmesh:L" -> Some "3"
+    | "butterfly:D" | "sortnet:D" -> Some "2"
+    | "prefix:N" -> Some "4"
+    | "ldag:N" | "lprime:N" | "paths:K" -> Some "4"
+    | "matmul" -> None
+    | "random:N.S" -> Some "6.1"
+    | "file:PATH" -> raise Exit (* needs a real file; covered above *)
+    | other -> Alcotest.failf "unknown help entry %s" other
+  in
+  List.iter
+    (fun (key, _) ->
+      match
+        let prefix = List.hd (String.split_on_char ':' key) in
+        match sample key with
+        | Some arg -> Some (prefix ^ ":" ^ arg)
+        | None -> Some prefix
+      with
+      | exception Exit -> ()
+      | Some spec -> ignore (parse_exn spec)
+      | None -> ())
+    Spec.families_help
+
+let () =
+  Alcotest.run "ic_cli.Family_spec"
+    [
+      ( "parsing",
+        [
+          Alcotest.test_case "known families" `Quick test_known_families;
+          Alcotest.test_case "schedules optimal" `Quick
+            test_schedules_are_optimal_where_checkable;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "file family" `Quick test_file_family;
+          Alcotest.test_case "help entries all parse" `Quick test_help_covers_parsers;
+        ] );
+    ]

@@ -1,0 +1,129 @@
+module Dag = Ic_dag.Dag
+module Compose = Ic_core.Compose
+module Blocks = Ic_blocks
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_of_dag () =
+  let g = Blocks.Vee.dag 2 in
+  let c = Compose.of_dag g in
+  check "dag preserved" true (Dag.equal g (Compose.dag c));
+  check_int "one component" 1 (List.length (Compose.components c))
+
+let test_full_merge_diamond () =
+  (* V ^ Lambda with both sinks/sources merged = the 4-node diamond *)
+  let c =
+    Compose.full_merge_exn
+      (Compose.of_dag (Blocks.Vee.dag 2))
+      (Compose.of_dag (Blocks.Lambda.dag 2))
+  in
+  let g = Compose.dag c in
+  check_int "4 nodes" 4 (Dag.n_nodes g);
+  check_int "4 arcs" 4 (Dag.n_arcs g);
+  check "diamond shape" true
+    (Ic_dag.Iso.isomorphic g
+       (Dag.make_exn ~n:4 ~arcs:[ (0, 1); (0, 2); (1, 3); (2, 3) ] ()))
+
+let test_embeddings_preserve_arcs () =
+  let c =
+    Compose.full_merge_exn
+      (Compose.of_dag (Blocks.Vee.dag 2))
+      (Compose.of_dag (Blocks.Lambda.dag 2))
+  in
+  let g = Compose.dag c in
+  List.iter
+    (fun (orig, embed) ->
+      List.iter
+        (fun (u, v) ->
+          check "embedded arc present" true (Dag.has_arc g embed.(u) embed.(v)))
+        (Dag.arcs orig))
+    (Compose.components c)
+
+let test_partial_merge () =
+  (* merge only one sink of V with one source of Lambda *)
+  let c =
+    Compose.compose_exn
+      (Compose.of_dag (Blocks.Vee.dag 2))
+      (Compose.of_dag (Blocks.Lambda.dag 2))
+      ~pairs:[ (1, 0) ]
+  in
+  let g = Compose.dag c in
+  check_int "5 nodes" 5 (Dag.n_nodes g);
+  check_int "merged node keeps both roles" 1 (Dag.out_degree g 1);
+  check_int "free source remains" 2 (List.length (Dag.sources g))
+
+let test_empty_pairs_is_sum () =
+  let c =
+    Compose.compose_exn
+      (Compose.of_dag (Blocks.Vee.dag 2))
+      (Compose.of_dag (Blocks.Vee.dag 2))
+      ~pairs:[]
+  in
+  check_int "disjoint sum" 6 (Dag.n_nodes (Compose.dag c));
+  check "not connected" false (Dag.is_connected (Compose.dag c))
+
+let expect_error name result =
+  match result with
+  | Ok _ -> Alcotest.failf "%s: expected an error" name
+  | Error _ -> ()
+
+let test_validation () =
+  let v = Compose.of_dag (Blocks.Vee.dag 2) in
+  let l = Compose.of_dag (Blocks.Lambda.dag 2) in
+  expect_error "non-sink left" (Compose.compose v l ~pairs:[ (0, 0) ]);
+  expect_error "non-source right" (Compose.compose v l ~pairs:[ (1, 2) ]);
+  expect_error "duplicate left" (Compose.compose v l ~pairs:[ (1, 0); (1, 1) ]);
+  expect_error "duplicate right" (Compose.compose v l ~pairs:[ (1, 0); (2, 0) ]);
+  expect_error "out of range" (Compose.compose v l ~pairs:[ (9, 0) ]);
+  expect_error "count mismatch"
+    (Compose.full_merge v (Compose.of_dag (Blocks.Lambda.dag 3)));
+  expect_error "empty chain" (Compose.chain_full [])
+
+let test_chain_full () =
+  (* a 3-level out-tree as V ^ (V + V) is not expressible with chain_full,
+     but a path of Lambdas is: Lambda_1 chains into Lambda_1 ... *)
+  let line = Compose.of_dag (Blocks.Lambda.dag 1) in
+  match Compose.chain_full [ line; line; line ] with
+  | Ok c ->
+    check_int "path of 4 nodes" 4 (Dag.n_nodes (Compose.dag c));
+    check_int "3 components" 3 (List.length (Compose.components c));
+    check_int "longest path 3" 3 (Dag.longest_path (Compose.dag c))
+  | Error e -> Alcotest.fail e
+
+let test_associativity_shape () =
+  (* (A ^ B) ^ C and A ^ (B ^ C) give isomorphic dags for full merges *)
+  let v = Compose.of_dag (Blocks.Vee.dag 1) in
+  let left =
+    Compose.full_merge_exn (Compose.full_merge_exn v v) v
+  in
+  let right =
+    Compose.full_merge_exn v (Compose.full_merge_exn v v)
+  in
+  check "associative up to isomorphism" true
+    (Ic_dag.Iso.isomorphic (Compose.dag left) (Compose.dag right))
+
+let test_compose_same_dag_twice () =
+  (* "which could be the same dag with nodes renamed to achieve
+     disjointness" — composing a dag with itself must work *)
+  let w = Compose.of_dag (Blocks.W_dag.dag 2) in
+  match Compose.compose w w ~pairs:[ (2, 0); (3, 1) ] with
+  | Ok c -> check_int "merged size" 8 (Dag.n_nodes (Compose.dag c))
+  | Error e -> Alcotest.fail e
+
+let () =
+  Alcotest.run "ic_core.Compose"
+    [
+      ( "composition",
+        [
+          Alcotest.test_case "of_dag" `Quick test_of_dag;
+          Alcotest.test_case "full merge diamond" `Quick test_full_merge_diamond;
+          Alcotest.test_case "embeddings preserve arcs" `Quick test_embeddings_preserve_arcs;
+          Alcotest.test_case "partial merge" `Quick test_partial_merge;
+          Alcotest.test_case "empty pairs = sum" `Quick test_empty_pairs_is_sum;
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "chain_full" `Quick test_chain_full;
+          Alcotest.test_case "associativity" `Quick test_associativity_shape;
+          Alcotest.test_case "self composition" `Quick test_compose_same_dag_twice;
+        ] );
+    ]

@@ -1,0 +1,195 @@
+module Dag = Ic_dag.Dag
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let diamond4 () =
+  (* the 4-node diamond: 0 -> 1,2 -> 3 *)
+  Dag.make_exn ~n:4 ~arcs:[ (0, 1); (0, 2); (1, 3); (2, 3) ] ()
+
+let test_make_valid () =
+  let g = diamond4 () in
+  check_int "nodes" 4 (Dag.n_nodes g);
+  check_int "arcs" 4 (Dag.n_arcs g);
+  check "has 0->1" true (Dag.has_arc g 0 1);
+  check "no 1->0" false (Dag.has_arc g 1 0);
+  check "no 0->3" false (Dag.has_arc g 0 3)
+
+let expect_error name result =
+  match result with
+  | Ok _ -> Alcotest.failf "%s: expected an error" name
+  | Error _ -> ()
+
+let test_make_rejects () =
+  expect_error "cycle" (Dag.make ~n:3 ~arcs:[ (0, 1); (1, 2); (2, 0) ] ());
+  expect_error "self-loop" (Dag.make ~n:2 ~arcs:[ (0, 0) ] ());
+  expect_error "duplicate" (Dag.make ~n:2 ~arcs:[ (0, 1); (0, 1) ] ());
+  expect_error "range" (Dag.make ~n:2 ~arcs:[ (0, 2) ] ());
+  expect_error "negative n" (Dag.make ~n:(-1) ~arcs:[] ());
+  expect_error "bad labels" (Dag.make ~labels:[| "a" |] ~n:2 ~arcs:[] ())
+
+let test_sources_sinks () =
+  let g = diamond4 () in
+  Alcotest.(check (list int)) "sources" [ 0 ] (Dag.sources g);
+  Alcotest.(check (list int)) "sinks" [ 3 ] (Dag.sinks g);
+  Alcotest.(check (list int)) "nonsinks" [ 0; 1; 2 ] (Dag.nonsinks g);
+  Alcotest.(check (list int)) "nonsources" [ 1; 2; 3 ] (Dag.nonsources g);
+  check_int "n_nonsinks" 3 (Dag.n_nonsinks g);
+  check_int "n_nonsources" 3 (Dag.n_nonsources g)
+
+let test_degrees () =
+  let g = diamond4 () in
+  check_int "outdeg 0" 2 (Dag.out_degree g 0);
+  check_int "indeg 3" 2 (Dag.in_degree g 3);
+  Alcotest.(check (array int)) "succ 0" [| 1; 2 |] (Dag.succ g 0);
+  Alcotest.(check (array int)) "pred 3" [| 1; 2 |] (Dag.pred g 3)
+
+let test_empty () =
+  let g = Dag.empty 3 in
+  check_int "arcs" 0 (Dag.n_arcs g);
+  Alcotest.(check (list int)) "all sources" [ 0; 1; 2 ] (Dag.sources g);
+  check "not connected" false (Dag.is_connected g);
+  check "empty dag connected" true (Dag.is_connected (Dag.empty 0));
+  check "singleton connected" true (Dag.is_connected (Dag.empty 1))
+
+let test_sum () =
+  let g = Dag.sum (diamond4 ()) (Dag.empty 2) in
+  check_int "nodes" 6 (Dag.n_nodes g);
+  check_int "arcs" 4 (Dag.n_arcs g);
+  check "shifted nodes are isolated" true (Dag.is_source g 4 && Dag.is_sink g 4)
+
+let test_dual () =
+  let g = diamond4 () in
+  let d = Dag.dual g in
+  Alcotest.(check (list int)) "dual sources" [ 3 ] (Dag.sources d);
+  check "dual arc" true (Dag.has_arc d 1 0);
+  check "dual involution" true (Dag.equal g (Dag.dual d))
+
+let test_topological () =
+  let g = diamond4 () in
+  let order = Dag.topological_order g in
+  let pos = Array.make 4 0 in
+  Array.iteri (fun i v -> pos.(v) <- i) order;
+  List.iter
+    (fun (u, v) -> check "topo respects arcs" true (pos.(u) < pos.(v)))
+    (Dag.arcs g)
+
+let test_depth_height () =
+  let g = diamond4 () in
+  Alcotest.(check (array int)) "depth" [| 0; 1; 1; 2 |] (Dag.depth g);
+  Alcotest.(check (array int)) "height" [| 2; 1; 1; 0 |] (Dag.height g);
+  check_int "longest path" 2 (Dag.longest_path g);
+  check_int "empty longest path" 0 (Dag.longest_path (Dag.empty 0))
+
+let test_labels () =
+  let g = Dag.make_exn ~labels:[| "a"; "b" |] ~n:2 ~arcs:[ (0, 1) ] () in
+  Alcotest.(check string) "label" "b" (Dag.label g 1);
+  Alcotest.(check (option int)) "find" (Some 0) (Dag.find_label g "a");
+  Alcotest.(check (option int)) "find missing" None (Dag.find_label g "zzz");
+  let g2 = Dag.relabel g [| "x"; "y" |] in
+  Alcotest.(check string) "relabel" "x" (Dag.label g2 0);
+  Alcotest.(check string) "default label" "1" (Dag.label (Dag.empty 2) 1)
+
+let test_map_nodes () =
+  let g = diamond4 () in
+  let h = Dag.map_nodes g ~perm:[| 3; 1; 2; 0 |] in
+  check "renamed arc" true (Dag.has_arc h 3 1);
+  check "renamed sink" true (Dag.is_sink h 0);
+  check "isomorphic to original" true (Ic_dag.Iso.isomorphic g h)
+
+let test_quotient () =
+  let g = diamond4 () in
+  (* merge the two middle nodes *)
+  (match Dag.quotient g ~cluster_of:[| 0; 1; 1; 2 |] ~n_clusters:3 with
+  | Ok q ->
+    check_int "3 clusters" 3 (Dag.n_nodes q);
+    check_int "2 arcs (deduplicated)" 2 (Dag.n_arcs q)
+  | Error e -> Alcotest.fail e);
+  (* a clustering that would create a cycle: {0,3} vs {1} vs {2} *)
+  expect_error "cyclic quotient" (Dag.quotient g ~cluster_of:[| 0; 1; 2; 0 |] ~n_clusters:3)
+
+let test_induced () =
+  let g = diamond4 () in
+  let sub, remap = Dag.induced g ~keep:[| true; true; false; true |] in
+  check_int "3 nodes" 3 (Dag.n_nodes sub);
+  check_int "remapped 3" 2 remap.(3);
+  check_int "dropped" (-1) remap.(2);
+  check "kept arc" true (Dag.has_arc sub 0 1);
+  check_int "only path arcs kept" 2 (Dag.n_arcs sub)
+
+let test_to_dot () =
+  let dot = Dag.to_dot (diamond4 ()) in
+  check "digraph" true (String.length dot > 0 && String.sub dot 0 7 = "digraph")
+
+(* property tests *)
+
+let rng_of_seed seed = Random.State.make [| seed |]
+
+let prop_random_dag_topo =
+  QCheck2.Test.make ~name:"random dag: topological order is consistent" ~count:100
+    QCheck2.Gen.(pair (int_range 1 20) (int_bound 10_000))
+    (fun (n, seed) ->
+      let g = Ic_dag.Gen.random_dag (rng_of_seed seed) ~n ~arc_probability:0.3 in
+      let order = Dag.topological_order g in
+      let pos = Array.make n 0 in
+      Array.iteri (fun i v -> pos.(v) <- i) order;
+      List.for_all (fun (u, v) -> pos.(u) < pos.(v)) (Dag.arcs g))
+
+let prop_dual_involutive =
+  QCheck2.Test.make ~name:"dual is involutive" ~count:100
+    QCheck2.Gen.(pair (int_range 1 20) (int_bound 10_000))
+    (fun (n, seed) ->
+      let g = Ic_dag.Gen.random_dag (rng_of_seed seed) ~n ~arc_probability:0.3 in
+      Dag.equal g (Dag.dual (Dag.dual g)))
+
+let prop_depth_height_duality =
+  QCheck2.Test.make ~name:"depth of dual = height" ~count:100
+    QCheck2.Gen.(pair (int_range 1 20) (int_bound 10_000))
+    (fun (n, seed) ->
+      let g = Ic_dag.Gen.random_dag (rng_of_seed seed) ~n ~arc_probability:0.3 in
+      Dag.depth (Dag.dual g) = Dag.height g)
+
+let prop_layered_connected_levels =
+  QCheck2.Test.make ~name:"layered dag: every non-top node has a parent" ~count:50
+    QCheck2.Gen.(pair (int_range 2 6) (int_bound 10_000))
+    (fun (layers, seed) ->
+      let g =
+        Ic_dag.Gen.random_layered_dag (rng_of_seed seed) ~layers ~width:4
+          ~arc_probability:0.3
+      in
+      List.for_all (fun v -> v < 4 || Dag.in_degree g v > 0)
+        (List.init (Dag.n_nodes g) Fun.id))
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_random_dag_topo; prop_dual_involutive; prop_depth_height_duality;
+      prop_layered_connected_levels ]
+
+let () =
+  Alcotest.run "ic_dag.Dag"
+    [
+      ( "construction",
+        [
+          Alcotest.test_case "valid dag" `Quick test_make_valid;
+          Alcotest.test_case "rejects bad input" `Quick test_make_rejects;
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "sum" `Quick test_sum;
+          Alcotest.test_case "labels" `Quick test_labels;
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "sources and sinks" `Quick test_sources_sinks;
+          Alcotest.test_case "degrees and adjacency" `Quick test_degrees;
+          Alcotest.test_case "topological order" `Quick test_topological;
+          Alcotest.test_case "depth and height" `Quick test_depth_height;
+          Alcotest.test_case "to_dot" `Quick test_to_dot;
+        ] );
+      ( "transforms",
+        [
+          Alcotest.test_case "dual" `Quick test_dual;
+          Alcotest.test_case "map_nodes" `Quick test_map_nodes;
+          Alcotest.test_case "quotient" `Quick test_quotient;
+          Alcotest.test_case "induced" `Quick test_induced;
+        ] );
+      ("properties", props);
+    ]

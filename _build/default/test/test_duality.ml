@@ -1,0 +1,96 @@
+module Dag = Ic_dag.Dag
+module Schedule = Ic_dag.Schedule
+module Profile = Ic_dag.Profile
+module Duality = Ic_dag.Duality
+module Optimal = Ic_dag.Optimal
+module Repertoire = Ic_blocks.Repertoire
+
+let check = Alcotest.(check bool)
+
+let test_dual_schedule_lambda () =
+  (* dual of Lambda's schedule is a schedule of Vee *)
+  let g = Ic_blocks.Lambda.dag 2 in
+  let s = Duality.dual_schedule g (Ic_blocks.Lambda.schedule 2) in
+  check "valid for the dual" true (Schedule.is_valid (Dag.dual g) (Schedule.order s));
+  check "dual relation" true
+    (Duality.is_dual_to g ~original:(Ic_blocks.Lambda.schedule 2) ~candidate:s)
+
+let test_is_dual_to_negative () =
+  (* W_2's dual (an M-dag): executing the wrong packet order is not dual *)
+  let g = Ic_blocks.W_dag.dag 2 in
+  let original = Ic_blocks.W_dag.schedule 2 in
+  let dual = Dag.dual g in
+  (* packets of W_2 under left-to-right: [sink 2]; [sinks 3,4]. A dual
+     schedule must run {3,4} (in some order) before 2. *)
+  let wrong = Schedule.of_nonsink_order_exn dual [ 2; 3; 4 ] in
+  check "wrong packet order rejected" false
+    (Duality.is_dual_to g ~original ~candidate:wrong);
+  let right = Schedule.of_nonsink_order_exn dual [ 4; 3; 2 ] in
+  check "right packet order accepted" true
+    (Duality.is_dual_to g ~original ~candidate:right)
+
+(* Theorem 2.2 over the whole repertoire: the dual of each block's
+   IC-optimal schedule is IC-optimal for the dual dag *)
+let test_theorem_2_2_repertoire () =
+  List.iter
+    (fun (b : Repertoire.t) ->
+      let dual_s = Duality.dual_schedule b.dag b.schedule in
+      match Optimal.is_ic_optimal (Dag.dual b.dag) dual_s with
+      | Ok true -> ()
+      | Ok false -> Alcotest.failf "dual schedule of %s not IC-optimal" b.name
+      | Error (`Too_large _) -> Alcotest.failf "%s too large" b.name)
+    Repertoire.all
+
+let prop_theorem_2_2_random_admitting =
+  (* for random dags that admit an IC-optimal schedule, the dual of the
+     witness is IC-optimal for the dual *)
+  QCheck2.Test.make ~name:"Thm 2.2 on random admitting dags" ~count:120
+    QCheck2.Gen.(pair (int_range 1 12) (int_bound 10_000))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let g = Ic_dag.Gen.random_dag rng ~n ~arc_probability:0.3 in
+      match Optimal.analyze g with
+      | Error _ -> true
+      | Ok a -> (
+        match a.Optimal.witness with
+        | None -> true
+        | Some w ->
+          (* normalize to nonsinks-first form, which packets require; the
+             witness may interleave sinks *)
+          let w' =
+            Schedule.of_nonsink_order_exn g
+              (List.filter
+                 (fun v -> not (Dag.is_sink g v))
+                 (Array.to_list (Schedule.order w)))
+          in
+          if Profile.run g w' <> a.Optimal.e_opt then true (* skip: renormalized schedule lost optimality *)
+          else
+            let dual_s = Duality.dual_schedule g w' in
+            (match Optimal.is_ic_optimal (Dag.dual g) dual_s with
+            | Ok b -> b
+            | Error _ -> true)))
+
+let prop_dual_schedule_valid =
+  QCheck2.Test.make ~name:"dual schedule is always a schedule of the dual" ~count:200
+    QCheck2.Gen.(pair (int_range 1 20) (int_bound 10_000))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let g = Ic_dag.Gen.random_dag rng ~n ~arc_probability:0.3 in
+      let s = Ic_dag.Gen.random_nonsinks_first_schedule rng g in
+      let d = Duality.dual_schedule g s in
+      Schedule.is_valid (Dag.dual g) (Schedule.order d)
+      && Duality.is_dual_to g ~original:s ~candidate:d)
+
+let () =
+  Alcotest.run "ic_dag.Duality"
+    [
+      ( "dual schedules",
+        [
+          Alcotest.test_case "Lambda to Vee" `Quick test_dual_schedule_lambda;
+          Alcotest.test_case "is_dual_to negative" `Quick test_is_dual_to_negative;
+          Alcotest.test_case "Theorem 2.2 over repertoire" `Quick test_theorem_2_2_repertoire;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_theorem_2_2_random_admitting; prop_dual_schedule_valid ] );
+    ]

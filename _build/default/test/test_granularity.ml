@@ -1,0 +1,203 @@
+module Dag = Ic_dag.Dag
+module Optimal = Ic_dag.Optimal
+module G = Ic_granularity
+module Cluster = Ic_granularity.Cluster
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let assert_admits name g =
+  match Optimal.admits_ic_optimal g with
+  | Ok true -> ()
+  | Ok false -> Alcotest.failf "%s: coarse dag admits no IC-optimal schedule" name
+  | Error (`Too_large k) -> Alcotest.failf "%s: too large (%d)" name k
+
+(* --- generic clustering --- *)
+
+let test_cluster_basic () =
+  let g = Dag.make_exn ~n:4 ~arcs:[ (0, 1); (0, 2); (1, 3); (2, 3) ] () in
+  let t = Cluster.make_exn g ~cluster_of:[| 0; 1; 1; 3 |] in
+  check_int "3 coarse nodes" 3 (Dag.n_nodes t.Cluster.coarse);
+  check_int "cut arcs" 4 (Cluster.cut_arcs t);
+  Alcotest.(check (array int)) "ids compacted" [| 0; 1; 1; 2 |] t.Cluster.cluster_of
+
+let test_cluster_rejects_cycle () =
+  let g = Dag.make_exn ~n:4 ~arcs:[ (0, 1); (0, 2); (1, 3); (2, 3) ] () in
+  match Cluster.make g ~cluster_of:[| 0; 1; 2; 0 |] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected a cyclic-quotient rejection"
+
+let test_trivial_cluster () =
+  let g = Ic_families.Mesh.out_mesh 3 in
+  let t = Cluster.trivial g in
+  check "coarse = fine" true (Dag.equal g t.Cluster.coarse);
+  check_int "all arcs cut" (Dag.n_arcs g) (Cluster.cut_arcs t)
+
+let test_cost_model () =
+  let g = Dag.make_exn ~n:4 ~arcs:[ (0, 1); (0, 2); (1, 3); (2, 3) ] () in
+  let t = Cluster.make_exn g ~cluster_of:[| 0; 1; 1; 3 |] in
+  Alcotest.(check (array (float 1e-9))) "work" [| 1.0; 2.0; 1.0 |] (Cluster.work t);
+  Alcotest.(check (array int)) "out comm" [| 2; 2; 0 |]
+    (Cluster.cluster_out_communication t);
+  check "max work" true (Cluster.max_work t = 2.0);
+  check_int "max comm" 2 (Cluster.max_out_communication t);
+  check "weighted work" true
+    (Cluster.max_work ~task_work:(fun v -> float_of_int (v + 1)) t = 5.0)
+
+(* --- diamond coarsening (Fig. 3) --- *)
+
+let test_diamond_uniform () =
+  let d = Ic_families.Diamond.complete ~arity:2 ~depth:4 in
+  let t = G.Coarsen_diamond.uniform d ~depth:2 in
+  check "coarse = depth-2 diamond" true
+    (Ic_dag.Iso.isomorphic t.Cluster.coarse
+       (Ic_families.Diamond.dag (Ic_families.Diamond.complete ~arity:2 ~depth:2)));
+  assert_admits "uniform coarse diamond" t.Cluster.coarse
+
+let test_diamond_partial () =
+  (* Fig. 3 collapses two subtree pairs; the result is irregular but still
+     admits an IC-optimal schedule *)
+  let d = Ic_families.Diamond.complete ~arity:2 ~depth:4 in
+  let t = G.Coarsen_diamond.coarsen d ~subtree_roots:[ 2; 9 ] in
+  check "strictly smaller" true
+    (Dag.n_nodes t.Cluster.coarse < Dag.n_nodes t.Cluster.fine);
+  assert_admits "partial coarse diamond" t.Cluster.coarse
+
+let test_diamond_overlapping_roots_rejected () =
+  let d = Ic_families.Diamond.complete ~arity:2 ~depth:4 in
+  match G.Coarsen_diamond.coarsen d ~subtree_roots:[ 1; 2 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "ancestral roots must be rejected"
+
+(* --- mesh coarsening (Fig. 7) --- *)
+
+let test_mesh_coarse_is_mesh () =
+  let t = G.Coarsen_mesh.coarsen ~levels:11 ~block:3 in
+  check "again an out-mesh" true (G.Coarsen_mesh.is_again_out_mesh t);
+  check_int "depth 3 triangle" 10 (Dag.n_nodes t.Cluster.coarse)
+
+let test_mesh_scaling_quadratic_vs_linear () =
+  (* the paper's claim: work ~ b², communication ~ b *)
+  let rows = G.Coarsen_mesh.scaling ~levels:23 ~blocks:[ 1; 2; 4; 8 ] in
+  let work b =
+    (List.find (fun r -> r.G.Coarsen_mesh.block = b) rows).G.Coarsen_mesh.max_task_work
+  in
+  let comm b =
+    (List.find (fun r -> r.G.Coarsen_mesh.block = b) rows)
+      .G.Coarsen_mesh.max_task_communication
+  in
+  check "work quadruples when b doubles" true
+    (work 2 = 4.0 *. work 1 && work 4 = 4.0 *. work 2 && work 8 = 4.0 *. work 4);
+  check "comm doubles when b doubles" true
+    (comm 2 = 2 * comm 1 && comm 4 = 2 * comm 2 && comm 8 = 2 * comm 4)
+
+let test_mesh_uneven () =
+  (* sliding the dashed lines of Fig. 7 to uneven positions: still a valid
+     clustering, but the blocks now carry unequal work *)
+  let t = G.Coarsen_mesh.uneven ~levels:9 ~cuts:[ 2; 3; 7 ] in
+  check "partition covers the mesh" true
+    (Array.length t.Cluster.cluster_of = Dag.n_nodes t.Cluster.fine);
+  let works = Cluster.work t in
+  let min_w = Array.fold_left min infinity works in
+  let max_w = Array.fold_left max 0.0 works in
+  check "unequal granularities" true (max_w > min_w);
+  (* invalid cuts rejected *)
+  (match G.Coarsen_mesh.uneven ~levels:5 ~cuts:[ 0 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "cut at 0 should be rejected");
+  match G.Coarsen_mesh.uneven ~levels:5 ~cuts:[ 2; 2 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate cuts should be rejected"
+
+let test_mesh_coarse_admits () =
+  let t = G.Coarsen_mesh.coarsen ~levels:7 ~block:2 in
+  assert_admits "coarse mesh" t.Cluster.coarse
+
+(* --- butterfly granularity (Section 5.1) --- *)
+
+let test_butterfly_copies () =
+  let lows = G.Coarsen_butterfly.low_copies ~a:2 ~b:1 in
+  check_int "2^a low copies" 4 (List.length lows);
+  List.iter
+    (fun (g, _) ->
+      check "low copy iso B_b" true
+        (Ic_dag.Iso.isomorphic g (Ic_families.Butterfly_net.dag 1)))
+    lows;
+  let highs = G.Coarsen_butterfly.high_copies ~a:2 ~b:1 in
+  check_int "2^b high copies" 2 (List.length highs);
+  List.iter
+    (fun (g, _) ->
+      check "high copy iso B_a" true
+        (Ic_dag.Iso.isomorphic g (Ic_families.Butterfly_net.dag 2)))
+    highs
+
+let test_butterfly_two_band () =
+  let t = G.Coarsen_butterfly.two_band ~a:1 ~b:1 in
+  check "B_2 coarsens to B" true
+    (Ic_dag.Iso.isomorphic t.Cluster.coarse (Ic_blocks.Butterfly_block.dag ()));
+  let t2 = G.Coarsen_butterfly.two_band ~a:2 ~b:3 in
+  check "B_5 coarsens to K(4,8)" true
+    (Ic_dag.Iso.isomorphic t2.Cluster.coarse
+       (G.Coarsen_butterfly.complete_bipartite 4 8));
+  assert_admits "coarse butterfly" t2.Cluster.coarse
+
+let test_complete_bipartite () =
+  let g = G.Coarsen_butterfly.complete_bipartite 3 2 in
+  check_int "nodes" 5 (Dag.n_nodes g);
+  check_int "arcs" 6 (Dag.n_arcs g);
+  assert_admits "K(3,2)" g
+
+(* --- DLT coarsening (Fig. 13 right) --- *)
+
+let test_dlt_columns () =
+  let t = G.Coarsen_dlt.coarsen_columns 8 in
+  check_int "8 columns + 7 in-tree internals" 15 (Dag.n_nodes t.Cluster.coarse);
+  assert_admits "coarse L_8" t.Cluster.coarse
+
+let prop_random_tree_uniform_coarsen_admits =
+  QCheck2.Test.make ~name:"uniformly coarsened random diamonds admit" ~count:30
+    QCheck2.Gen.(pair (int_range 0 5) (int_bound 10_000))
+    (fun (k, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let shape = Ic_families.Out_tree.random rng ~max_internal:(k + 3) ~arity:2 in
+      let d = Ic_families.Diamond.symmetric shape in
+      let t = G.Coarsen_diamond.uniform d ~depth:1 in
+      match Optimal.admits_ic_optimal t.Cluster.coarse with
+      | Ok b -> b
+      | Error _ -> true)
+
+let () =
+  Alcotest.run "ic_granularity"
+    [
+      ( "clustering",
+        [
+          Alcotest.test_case "basic" `Quick test_cluster_basic;
+          Alcotest.test_case "rejects cycles" `Quick test_cluster_rejects_cycle;
+          Alcotest.test_case "trivial" `Quick test_trivial_cluster;
+          Alcotest.test_case "cost model" `Quick test_cost_model;
+        ] );
+      ( "diamonds",
+        [
+          Alcotest.test_case "uniform (truncate)" `Quick test_diamond_uniform;
+          Alcotest.test_case "partial (Fig 3)" `Quick test_diamond_partial;
+          Alcotest.test_case "overlap rejected" `Quick
+            test_diamond_overlapping_roots_rejected;
+        ] );
+      ( "meshes",
+        [
+          Alcotest.test_case "coarse mesh is a mesh" `Quick test_mesh_coarse_is_mesh;
+          Alcotest.test_case "uneven cuts" `Quick test_mesh_uneven;
+          Alcotest.test_case "quadratic work vs linear comm" `Quick
+            test_mesh_scaling_quadratic_vs_linear;
+          Alcotest.test_case "coarse mesh admits" `Quick test_mesh_coarse_admits;
+        ] );
+      ( "butterflies",
+        [
+          Alcotest.test_case "copies" `Quick test_butterfly_copies;
+          Alcotest.test_case "two-band" `Quick test_butterfly_two_band;
+          Alcotest.test_case "complete bipartite" `Quick test_complete_bipartite;
+        ] );
+      ("DLT", [ Alcotest.test_case "column clustering" `Quick test_dlt_columns ]);
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_random_tree_uniform_coarsen_admits ] );
+    ]

@@ -1,0 +1,138 @@
+module Dag = Ic_dag.Dag
+module Schedule = Ic_dag.Schedule
+module Policy = Ic_heuristics.Policy
+module Heap = Ic_heuristics.Heap
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- heap --- *)
+
+let test_heap_ordering () =
+  let h = Heap.create () in
+  List.iter (fun k -> Heap.push h k k) [ 5; 1; 4; 1; 3; 9; 2 ];
+  check_int "size" 7 (Heap.size h);
+  let rec drain acc =
+    match Heap.pop h with
+    | None -> List.rev acc
+    | Some (k, _) -> drain (k :: acc)
+  in
+  Alcotest.(check (list int)) "sorted" [ 1; 1; 2; 3; 4; 5; 9 ] (drain []);
+  check "empty after drain" true (Heap.is_empty h)
+
+let test_heap_peek () =
+  let h = Heap.create () in
+  check "peek empty" true (Heap.peek h = None);
+  Heap.push h 2 "b";
+  Heap.push h 1 "a";
+  check "peek min" true (Heap.peek h = Some (1, "a"));
+  check_int "peek does not remove" 2 (Heap.size h)
+
+let test_heap_float_keys () =
+  let h = Heap.create () in
+  List.iter (fun k -> Heap.push h k ()) [ 3.5; 0.1; 2.2 ];
+  check "float min" true (Heap.pop h = Some (0.1, ()))
+
+(* --- policies --- *)
+
+let mesh = Ic_families.Mesh.out_mesh 6
+
+let test_policies_produce_schedules () =
+  List.iter
+    (fun p ->
+      let s = Policy.run p mesh in
+      if not (Schedule.is_valid mesh (Schedule.order s)) then
+        Alcotest.failf "%s produced an invalid schedule" (Policy.name p))
+    Policy.baselines
+
+let test_fifo_is_discovery_order () =
+  (* on the mesh, FIFO discovers level by level: it equals wavefront order *)
+  let fifo = Policy.run Policy.fifo mesh in
+  let wavefront = Ic_families.Mesh.out_schedule 6 in
+  Alcotest.(check (array int)) "fifo = wavefront on mesh"
+    (Schedule.order wavefront) (Schedule.order fifo)
+
+let test_of_schedule_reproduces () =
+  let s = Ic_families.Mesh.out_schedule 6 in
+  let again = Policy.run (Policy.of_schedule "theory" s) mesh in
+  Alcotest.(check (array int)) "same order" (Schedule.order s) (Schedule.order again)
+
+let test_random_deterministic () =
+  let a = Policy.run (Policy.random 42) mesh in
+  let b = Policy.run (Policy.random 42) mesh in
+  let c = Policy.run (Policy.random 43) mesh in
+  Alcotest.(check (array int)) "same seed, same order" (Schedule.order a)
+    (Schedule.order b);
+  check "different seed differs" true (Schedule.order a <> Schedule.order c)
+
+let test_lifo_differs_from_fifo () =
+  let f = Policy.run Policy.fifo mesh and l = Policy.run Policy.lifo mesh in
+  check "differ" true (Schedule.order f <> Schedule.order l)
+
+let test_critical_path_prefers_deep () =
+  (* on a dag with a long chain and a short branch, critical-path starts
+     with the chain's head *)
+  let g =
+    Dag.make_exn ~n:5 ~arcs:[ (0, 2); (2, 3); (3, 4); (1, 4) ] ()
+    (* chain 0-2-3-4 plus source 1 *)
+  in
+  let s = Policy.run Policy.critical_path g in
+  check_int "chain head first" 0 (Schedule.order s).(0)
+
+let test_max_out_degree_greedy () =
+  let g = Dag.make_exn ~n:5 ~arcs:[ (0, 2); (1, 2); (1, 3); (1, 4) ] () in
+  let s = Policy.run Policy.max_out_degree g in
+  check_int "fan-out source first" 1 (Schedule.order s).(0)
+
+let test_min_depth_breadth_first () =
+  let g = Ic_families.Out_tree.dag ~arity:2 ~depth:3 in
+  let s = Policy.run Policy.min_depth g in
+  let depth = Dag.depth g in
+  let order = Schedule.order s in
+  let ok = ref true in
+  for i = 0 to Array.length order - 2 do
+    if depth.(order.(i)) > depth.(order.(i + 1)) then ok := false
+  done;
+  check "depth never decreases" true !ok
+
+let test_of_schedule_mismatch () =
+  let s = Ic_families.Mesh.out_schedule 3 in
+  match Policy.run (Policy.of_schedule "bad" s) mesh with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected size mismatch rejection"
+
+let prop_policies_always_valid =
+  QCheck2.Test.make ~name:"all baselines yield valid schedules on random dags"
+    ~count:60
+    QCheck2.Gen.(pair (int_range 1 30) (int_bound 10_000))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let g = Ic_dag.Gen.random_dag rng ~n ~arc_probability:0.25 in
+      List.for_all
+        (fun p -> Schedule.is_valid g (Schedule.order (Policy.run p g)))
+        Policy.baselines)
+
+let () =
+  Alcotest.run "ic_heuristics"
+    [
+      ( "heap",
+        [
+          Alcotest.test_case "ordering" `Quick test_heap_ordering;
+          Alcotest.test_case "peek" `Quick test_heap_peek;
+          Alcotest.test_case "float keys" `Quick test_heap_float_keys;
+        ] );
+      ( "policies",
+        [
+          Alcotest.test_case "produce schedules" `Quick test_policies_produce_schedules;
+          Alcotest.test_case "fifo = discovery order" `Quick test_fifo_is_discovery_order;
+          Alcotest.test_case "of_schedule reproduces" `Quick test_of_schedule_reproduces;
+          Alcotest.test_case "random is seeded" `Quick test_random_deterministic;
+          Alcotest.test_case "lifo differs" `Quick test_lifo_differs_from_fifo;
+          Alcotest.test_case "critical path" `Quick test_critical_path_prefers_deep;
+          Alcotest.test_case "max out-degree" `Quick test_max_out_degree_greedy;
+          Alcotest.test_case "min depth" `Quick test_min_depth_breadth_first;
+          Alcotest.test_case "of_schedule size mismatch" `Quick test_of_schedule_mismatch;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_policies_always_valid ] );
+    ]

@@ -1,0 +1,238 @@
+(* End-to-end checks, one per experiment of DESIGN.md's index (E1..E16).
+   Each asserts the headline claim the paper attaches to the corresponding
+   figure or table. *)
+
+module Dag = Ic_dag.Dag
+module Optimal = Ic_dag.Optimal
+module Profile = Ic_dag.Profile
+module F = Ic_families
+module G = Ic_granularity
+
+let check = Alcotest.(check bool)
+
+let assert_optimal name g s =
+  match Optimal.is_ic_optimal g s with
+  | Ok true -> ()
+  | Ok false -> Alcotest.failf "%s: not IC-optimal" name
+  | Error (`Too_large k) -> Alcotest.failf "%s: too large (%d)" name k
+
+let e1_blocks () =
+  (* Fig 1: V and Lambda, duals of one another, both optimally scheduled *)
+  check "duals" true
+    (Ic_dag.Iso.isomorphic (Ic_blocks.Lambda.dag 2) (Dag.dual (Ic_blocks.Vee.dag 2)));
+  assert_optimal "V" (Ic_blocks.Vee.dag 2) (Ic_blocks.Vee.schedule 2);
+  assert_optimal "Lambda" (Ic_blocks.Lambda.dag 2) (Ic_blocks.Lambda.schedule 2)
+
+let e2_diamond () =
+  let d = F.Diamond.complete ~arity:2 ~depth:3 in
+  assert_optimal "diamond" (F.Diamond.dag d) (F.Diamond.schedule d)
+
+let e3_coarsened_diamond () =
+  let d = F.Diamond.complete ~arity:2 ~depth:4 in
+  let t = G.Coarsen_diamond.coarsen d ~subtree_roots:[ 2; 9 ] in
+  check "coarse diamond admits" true
+    (Result.get_ok (Optimal.admits_ic_optimal t.G.Cluster.coarse))
+
+let e4_e5_alternating () =
+  let s1 = F.Out_tree.complete ~arity:2 ~depth:1 in
+  let s2 = F.Out_tree.complete ~arity:2 ~depth:2 in
+  List.iter
+    (fun (name, items) ->
+      let c = F.Alternating.build_exn items in
+      assert_optimal name (Ic_core.Compose.dag (fst c)) (F.Alternating.schedule c))
+    [
+      ("type1", F.Alternating.diamond_chain [ s1; s2 ]);
+      ("type2", F.Alternating.in_prefixed s1 [ s2 ]);
+      ("type3", F.Alternating.out_suffixed [ s1 ] s2);
+      ("unequal", [ F.Alternating.Out s1; F.Alternating.In s2 ]);
+    ]
+
+let e6_meshes () =
+  assert_optimal "out-mesh" (F.Mesh.out_mesh 6) (F.Mesh.out_schedule 6);
+  assert_optimal "in-mesh" (F.Mesh.in_mesh 6) (F.Mesh.in_schedule 6)
+
+let e7_w_decomposition () =
+  let c, sigmas = F.Mesh.w_decomposition 5 in
+  check "|>-linear" true (Ic_core.Linear.is_linear c sigmas);
+  assert_optimal "Thm 2.1 mesh" (Ic_core.Compose.dag c)
+    (Ic_core.Linear.schedule_exn c sigmas)
+
+let e8_mesh_scaling () =
+  let rows = G.Coarsen_mesh.scaling ~levels:23 ~blocks:[ 1; 2; 4; 8 ] in
+  let row b = List.find (fun r -> r.G.Coarsen_mesh.block = b) rows in
+  check "quadratic work" true
+    ((row 8).G.Coarsen_mesh.max_task_work = 64.0 *. (row 1).G.Coarsen_mesh.max_task_work);
+  check "linear comm" true
+    ((row 8).G.Coarsen_mesh.max_task_communication
+    = 8 * (row 1).G.Coarsen_mesh.max_task_communication)
+
+let e9_butterflies () =
+  List.iter
+    (fun d ->
+      let s = F.Butterfly_net.schedule d in
+      check "pairs consecutive" true (F.Butterfly_net.pairs_consecutive d s);
+      assert_optimal "B_d" (F.Butterfly_net.dag d) s)
+    [ 1; 2; 3 ]
+
+let e10_sort_and_fft () =
+  let keys = [| 7; 3; 9; 1; 4; 4; 0; 8 |] in
+  let expected = Array.copy keys in
+  Array.sort compare expected;
+  check "comparator network sorts under IC-optimal order" true
+    (Ic_compute.Sorting.sort keys = expected);
+  let a = [| 1.0; 2.0; 3.0 |] and b = [| 2.0; 0.0; 1.0 |] in
+  let n = Ic_compute.Convolution.naive a b in
+  let f = Ic_compute.Convolution.poly_mul_fft a b in
+  check "convolution through the FFT dag" true
+    (Array.for_all2 (fun x y -> Float.abs (x -. y) < 1e-9) n f)
+
+let e11_prefix () =
+  let d = F.Prefix_dag.n_decomposition 8 in
+  check "|>-linear" true
+    (Ic_core.Linear.is_linear d.F.Prefix_dag.compose d.F.Prefix_dag.schedules);
+  assert_optimal "P_8" (F.Prefix_dag.dag 8) (F.Prefix_dag.schedule 8)
+
+let e12_dlt () =
+  let t = F.Dlt_dag.l_dag 8 in
+  assert_optimal "L_8" (F.Dlt_dag.dag t) (F.Dlt_dag.schedule t);
+  let coarse = G.Coarsen_dlt.coarsen_columns 8 in
+  check "coarse L_8 admits" true
+    (Result.get_ok (Optimal.admits_ic_optimal coarse.G.Cluster.coarse))
+
+let e13_dlt_tree () =
+  check "V3 chain" true
+    (Ic_core.Priority.is_linear_chain
+       (List.map Ic_core.Priority.of_block
+          Ic_blocks.Repertoire.[ vee 3; vee 3; lambda 2; lambda 2 ]));
+  let t = F.Dlt_dag.l_prime_dag 8 in
+  assert_optimal "L'_8" (F.Dlt_dag.dag t) (F.Dlt_dag.schedule t)
+
+let e14_paths () =
+  let a =
+    Ic_compute.Bool_matrix.of_edges 9
+      [ (0, 1); (1, 2); (2, 3); (3, 0); (1, 4); (4, 5); (5, 6); (6, 7); (7, 8); (8, 0) ]
+  in
+  check "Fig 16 computation" true
+    (Ic_compute.Paths.compute a ~k:8 = Ic_compute.Paths.reference a ~k:8)
+
+let e15_matmul () =
+  assert_optimal "M" (F.Matmul_dag.dag ()) (F.Matmul_dag.schedule ());
+  Alcotest.(check (list string)) "boxed order"
+    [ "AE"; "CE"; "CF"; "AF"; "BG"; "DG"; "DH"; "BH" ]
+    (F.Matmul_dag.product_eligibility_order ())
+
+let e16_assessment () =
+  (* IC-optimal policies never lose to a heuristic on eligibility, on any
+     family; and stall no more than FIFO in simulation *)
+  let cases =
+    [
+      ("mesh", F.Mesh.out_mesh 12, F.Mesh.out_schedule 12);
+      ("butterfly", F.Butterfly_net.dag 4, F.Butterfly_net.schedule 4);
+      ("prefix", F.Prefix_dag.dag 16, F.Prefix_dag.schedule 16);
+      ( "diamond",
+        F.Diamond.dag (F.Diamond.complete ~arity:2 ~depth:4),
+        F.Diamond.schedule (F.Diamond.complete ~arity:2 ~depth:4) );
+      ("matmul", F.Matmul_dag.dag (), F.Matmul_dag.schedule ());
+    ]
+  in
+  List.iter
+    (fun (name, g, theory) ->
+      let rows = Ic_sim.Assessment.compare_policies g ~theory in
+      List.iter
+        (fun r ->
+          if r.Ic_sim.Assessment.profile_losses <> 0 then
+            Alcotest.failf "%s: theory loses to %s" name r.Ic_sim.Assessment.policy)
+        rows;
+      match rows with
+      | theory_row :: rest ->
+        let fifo = List.find (fun r -> r.Ic_sim.Assessment.policy = "fifo") rest in
+        check
+          (Printf.sprintf "%s: theory stalls <= fifo stalls" name)
+          true
+          (theory_row.Ic_sim.Assessment.sim.Ic_sim.Simulator.stalls
+          <= fifo.Ic_sim.Assessment.sim.Ic_sim.Simulator.stalls)
+      | [] -> Alcotest.fail "no rows")
+    cases
+
+let e16b_burst_service () =
+  (* scenario (2): IC-optimal profiles serve every burst size at least as
+     well as any heuristic's, on every family *)
+  List.iter
+    (fun (g, theory) ->
+      let renorm s =
+        Ic_dag.Schedule.of_nonsink_order_exn g (Ic_dag.Schedule.nonsink_prefix g s)
+      in
+      let theory = renorm theory in
+      List.iter
+        (fun policy ->
+          let other = renorm (Ic_heuristics.Policy.run policy g) in
+          List.iter
+            (fun burst ->
+              let a = Ic_sim.Burst.of_schedule ~burst g theory in
+              let b = Ic_sim.Burst.of_schedule ~burst g other in
+              check "theory serves at least as many" true
+                (a.Ic_sim.Burst.served >= b.Ic_sim.Burst.served))
+            [ 1; 2; 4; 8 ])
+        Ic_heuristics.Policy.baselines)
+    [
+      (F.Mesh.out_mesh 10, F.Mesh.out_schedule 10);
+      (F.Butterfly_net.dag 4, F.Butterfly_net.schedule 4);
+      (F.Prefix_dag.dag 16, F.Prefix_dag.schedule 16);
+    ]
+
+let e17_batched () =
+  let module B = Ic_batch.Batched in
+  (* lex optimum exists on a non-admitting dag and matches the pointwise
+     optimum on an admitting one *)
+  let bad =
+    Ic_dag.Dag.make_exn ~n:7
+      ~arcs:[ (0, 2); (0, 4); (1, 2); (1, 4); (2, 6); (3, 5) ] ()
+  in
+  check "no pointwise optimum" false
+    (Result.get_ok (Optimal.admits_ic_optimal bad));
+  check "lex optimum exists" true
+    (match B.optimal bad ~batch_size:1 with Ok t -> B.is_valid bad t | Error _ -> false);
+  let mesh = F.Mesh.out_mesh 4 in
+  check "lex = pointwise where admitted" true
+    (Result.get_ok (B.e_opt mesh ~batch_size:1) = Result.get_ok (Optimal.e_opt mesh))
+
+let a2_auto_scheduler () =
+  List.iter
+    (fun (name, g) ->
+      match Ic_core.Auto.schedule g with
+      | Error msg -> Alcotest.failf "%s: %s" name msg
+      | Ok p ->
+        check (name ^ " certified") true (p.Ic_core.Auto.certificate = `Linear);
+        assert_optimal name g p.Ic_core.Auto.schedule)
+    [
+      ("mesh", F.Mesh.out_mesh 5);
+      ("butterfly", F.Butterfly_net.dag 3);
+      ("prefix", F.Prefix_dag.dag 8);
+      ("matmul", F.Matmul_dag.dag ());
+    ]
+
+let () =
+  Alcotest.run "integration (per-experiment index)"
+    [
+      ( "experiments",
+        [
+          Alcotest.test_case "E1 blocks (Fig 1)" `Quick e1_blocks;
+          Alcotest.test_case "E2 diamond (Fig 2)" `Quick e2_diamond;
+          Alcotest.test_case "E3 coarsened diamond (Fig 3)" `Quick e3_coarsened_diamond;
+          Alcotest.test_case "E4/E5 alternating (Fig 4, Table 1)" `Quick e4_e5_alternating;
+          Alcotest.test_case "E6 meshes (Fig 5)" `Quick e6_meshes;
+          Alcotest.test_case "E7 W-decomposition (Fig 6)" `Quick e7_w_decomposition;
+          Alcotest.test_case "E8 mesh coarsening (Fig 7)" `Quick e8_mesh_scaling;
+          Alcotest.test_case "E9 butterflies (Figs 8-10)" `Quick e9_butterflies;
+          Alcotest.test_case "E10 sorting & FFT (eqs 5.1, 5.2)" `Quick e10_sort_and_fft;
+          Alcotest.test_case "E11 parallel prefix (Figs 11-12)" `Quick e11_prefix;
+          Alcotest.test_case "E12 DLT L_n (Fig 13)" `Quick e12_dlt;
+          Alcotest.test_case "E13 DLT L'_n (Figs 14-15)" `Quick e13_dlt_tree;
+          Alcotest.test_case "E14 graph paths (Fig 16)" `Quick e14_paths;
+          Alcotest.test_case "E15 matrix multiply (Fig 17)" `Quick e15_matmul;
+          Alcotest.test_case "E16 simulation assessment" `Slow e16_assessment;
+          Alcotest.test_case "E16b burst-request service" `Quick e16b_burst_service;
+          Alcotest.test_case "E17 batched scheduling" `Quick e17_batched;
+          Alcotest.test_case "A2 automatic scheduler" `Quick a2_auto_scheduler;
+        ] );
+    ]

@@ -1,0 +1,174 @@
+module Dag = Ic_dag.Dag
+module Schedule = Ic_dag.Schedule
+module Optimal = Ic_dag.Optimal
+module Compose = Ic_core.Compose
+module Linear = Ic_core.Linear
+module Blocks = Ic_blocks
+
+let check = Alcotest.(check bool)
+
+let diamond_vl () =
+  ( Compose.full_merge_exn
+      (Compose.of_dag (Blocks.Vee.dag 2))
+      (Compose.of_dag (Blocks.Lambda.dag 2)),
+    [ Blocks.Vee.schedule 2; Blocks.Lambda.schedule 2 ] )
+
+let test_theorem_2_1_diamond () =
+  let c, sigmas = diamond_vl () in
+  let s = Linear.schedule_exn c sigmas in
+  (* root, then the two merged middles, then the sink *)
+  Alcotest.(check (array int)) "phase order" [| 0; 1; 2; 3 |] (Schedule.order s);
+  check "IC-optimal" true (Result.get_ok (Optimal.is_ic_optimal (Compose.dag c) s))
+
+let test_is_linear () =
+  let c, sigmas = diamond_vl () in
+  check "V |> Lambda chain" true (Linear.is_linear c sigmas);
+  (* the reversed composition Lambda ^ V is not |>-linear *)
+  let c' =
+    Compose.full_merge_exn
+      (Compose.of_dag (Blocks.Lambda.dag 2))
+      (Compose.of_dag (Blocks.Vee.dag 1))
+  in
+  check "Lambda |> V fails" false
+    (Linear.is_linear c' [ Blocks.Lambda.schedule 2; Blocks.Vee.schedule 1 ])
+
+let test_schedule_checked () =
+  let c, sigmas = diamond_vl () in
+  (match Linear.schedule_checked c sigmas with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  let c' =
+    Compose.full_merge_exn
+      (Compose.of_dag (Blocks.Lambda.dag 2))
+      (Compose.of_dag (Blocks.Vee.dag 1))
+  in
+  match Linear.schedule_checked c' [ Blocks.Lambda.schedule 2; Blocks.Vee.schedule 1 ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected priority failure"
+
+let test_count_mismatch () =
+  let c, _ = diamond_vl () in
+  match Linear.schedule c [ Blocks.Vee.schedule 2 ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected component count mismatch"
+
+(* The three big decompositions: composite = direct dag, Thm 2.1 schedule is
+   IC-optimal, and the chains really are |>-linear. *)
+
+let test_mesh_decomposition () =
+  let c, sigmas = Ic_families.Mesh.w_decomposition 5 in
+  check "isomorphic to direct mesh" true
+    (Ic_dag.Iso.isomorphic (Compose.dag c) (Ic_families.Mesh.out_mesh 5));
+  check "|>-linear" true (Linear.is_linear c sigmas);
+  let s = Linear.schedule_exn c sigmas in
+  check "IC-optimal" true (Result.get_ok (Optimal.is_ic_optimal (Compose.dag c) s))
+
+let test_butterfly_decomposition () =
+  let c, sigmas = Ic_families.Butterfly_net.block_decomposition 3 in
+  check "isomorphic to direct B_3" true
+    (Ic_dag.Iso.isomorphic (Compose.dag c) (Ic_families.Butterfly_net.dag 3));
+  check "|>-linear" true (Linear.is_linear c sigmas);
+  let s = Linear.schedule_exn c sigmas in
+  check "IC-optimal" true (Result.get_ok (Optimal.is_ic_optimal (Compose.dag c) s))
+
+let test_prefix_decomposition () =
+  let d = Ic_families.Prefix_dag.n_decomposition 8 in
+  let c = d.Ic_families.Prefix_dag.compose in
+  let sigmas = d.Ic_families.Prefix_dag.schedules in
+  check "isomorphic to direct P_8" true
+    (Ic_dag.Iso.isomorphic (Compose.dag c) (Ic_families.Prefix_dag.dag 8));
+  check "|>-linear" true (Linear.is_linear c sigmas);
+  let s = Linear.schedule_exn c sigmas in
+  check "IC-optimal" true (Result.get_ok (Optimal.is_ic_optimal (Compose.dag c) s))
+
+let test_matmul_decomposition () =
+  let c = Ic_families.Matmul_dag.compose () in
+  let sigmas = Ic_families.Matmul_dag.component_schedules () in
+  check "|>-linear (C4 |> C4 |> L |> L |> L |> L)" true (Linear.is_linear c sigmas);
+  let s = Linear.schedule_exn c sigmas in
+  check "IC-optimal" true (Result.get_ok (Optimal.is_ic_optimal (Compose.dag c) s))
+
+(* The strongest check: Theorem 2.1 on RANDOM |>-linear compositions.
+   N-dags satisfy N_s |> N_t for all s and t, so any chain of N-dags with
+   any sink-to-source merges is a |>-linear composition; its phase schedule
+   must be brute-force IC-optimal every time. *)
+let prop_theorem_2_1_random_n_chains =
+  QCheck2.Test.make ~name:"Thm 2.1 on random N-dag compositions" ~count:80
+    QCheck2.Gen.(pair (int_range 2 4) (int_bound 100_000))
+    (fun (k, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let sizes = List.init k (fun _ -> 1 + Random.State.int rng 3) in
+      let composite =
+        List.fold_left
+          (fun acc s ->
+            let next = Compose.of_dag (Blocks.N_dag.dag s) in
+            match acc with
+            | None -> Some next
+            | Some c ->
+              let sinks = Dag.sinks (Compose.dag c) in
+              let sources = Dag.sources (Compose.dag next) in
+              let max_pairs = min (List.length sinks) (List.length sources) in
+              let n_pairs = 1 + Random.State.int rng max_pairs in
+              (* random distinct picks from both sides *)
+              let pick xs n =
+                let arr = Array.of_list xs in
+                for i = Array.length arr - 1 downto 1 do
+                  let j = Random.State.int rng (i + 1) in
+                  let tmp = arr.(i) in
+                  arr.(i) <- arr.(j);
+                  arr.(j) <- tmp
+                done;
+                Array.to_list (Array.sub arr 0 n)
+              in
+              let pairs = List.combine (pick sinks n_pairs) (pick sources n_pairs) in
+              Some (Compose.compose_exn c next ~pairs))
+          None sizes
+      in
+      let c = Option.get composite in
+      let sigmas = List.map (fun s -> Blocks.N_dag.schedule s) sizes in
+      if not (Linear.is_linear c sigmas) then false
+      else
+        let s = Linear.schedule_exn c sigmas in
+        match Optimal.is_ic_optimal (Compose.dag c) s with
+        | Ok ok -> ok
+        | Error (`Too_large _) -> true)
+
+(* merged nodes must be executed exactly once, in the later component's
+   phase *)
+let test_merged_node_single_execution () =
+  let c, sigmas = diamond_vl () in
+  let s = Linear.schedule_exn c sigmas in
+  let order = Schedule.order s in
+  let seen = Hashtbl.create 8 in
+  Array.iter
+    (fun v ->
+      if Hashtbl.mem seen v then Alcotest.fail "node executed twice";
+      Hashtbl.add seen v ())
+    order;
+  Alcotest.(check int) "everything executed" (Dag.n_nodes (Compose.dag c))
+    (Hashtbl.length seen)
+
+let () =
+  Alcotest.run "ic_core.Linear"
+    [
+      ( "Theorem 2.1",
+        [
+          Alcotest.test_case "diamond schedule" `Quick test_theorem_2_1_diamond;
+          Alcotest.test_case "is_linear" `Quick test_is_linear;
+          Alcotest.test_case "schedule_checked" `Quick test_schedule_checked;
+          Alcotest.test_case "count mismatch" `Quick test_count_mismatch;
+          Alcotest.test_case "merged nodes once" `Quick test_merged_node_single_execution;
+        ] );
+      ( "paper decompositions",
+        [
+          Alcotest.test_case "mesh = W-dag chain (Fig 6)" `Quick test_mesh_decomposition;
+          Alcotest.test_case "butterfly = B blocks (Fig 10)" `Quick
+            test_butterfly_decomposition;
+          Alcotest.test_case "prefix = N-dag chain (Fig 12)" `Quick
+            test_prefix_decomposition;
+          Alcotest.test_case "matmul = C4,C4,Lambdas (Fig 17)" `Quick
+            test_matmul_decomposition;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_theorem_2_1_random_n_chains ] );
+    ]

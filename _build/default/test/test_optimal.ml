@@ -1,0 +1,154 @@
+module Dag = Ic_dag.Dag
+module Schedule = Ic_dag.Schedule
+module Profile = Ic_dag.Profile
+module Optimal = Ic_dag.Optimal
+
+let check = Alcotest.(check bool)
+
+let analyze_exn g =
+  match Optimal.analyze g with
+  | Ok a -> a
+  | Error (`Too_large k) -> Alcotest.failf "unexpectedly too large (%d)" k
+
+let test_lambda () =
+  let a = analyze_exn (Ic_blocks.Lambda.dag 2) in
+  Alcotest.(check (array int)) "e_opt" [| 2; 1; 1; 0 |] a.Optimal.e_opt;
+  check "admits" true a.Optimal.admits;
+  match a.Optimal.witness with
+  | Some w ->
+    check "witness optimal" true
+      (Profile.run (Ic_blocks.Lambda.dag 2) w = a.Optimal.e_opt)
+  | None -> Alcotest.fail "expected a witness"
+
+let test_vee () =
+  let a = analyze_exn (Ic_blocks.Vee.dag 2) in
+  Alcotest.(check (array int)) "e_opt" [| 1; 2; 1; 0 |] a.Optimal.e_opt
+
+let test_ideal_count () =
+  (* the 4-node diamond has ideals: {}, {0}, {01}, {02}, {012}, {0123} *)
+  let g = Dag.make_exn ~n:4 ~arcs:[ (0, 1); (0, 2); (1, 3); (2, 3) ] () in
+  let a = analyze_exn g in
+  Alcotest.(check int) "6 ideals" 6 a.Optimal.n_ideals
+
+let test_antichain_ideals () =
+  (* n isolated nodes have 2^n ideals *)
+  let a = analyze_exn (Dag.empty 10) in
+  Alcotest.(check int) "2^10 ideals" 1024 a.Optimal.n_ideals
+
+let test_is_ic_optimal () =
+  let g = Ic_blocks.Lambda.dag 2 in
+  check "block schedule optimal" true
+    (Result.get_ok (Optimal.is_ic_optimal g (Ic_blocks.Lambda.schedule 2)));
+  (* an in-tree schedule that splits a Lambda pair is NOT optimal *)
+  let t = Ic_families.In_tree.dag ~arity:2 ~depth:2 in
+  let bad =
+    (* execute one source of each bottom Lambda before pairing: ids are the
+       duals of the pre-order out-tree; find four leaves and interleave *)
+    let leaves = Dag.sources t in
+    match leaves with
+    | [ a; b; c; d ] ->
+      let internals =
+        List.filter (fun v -> not (Dag.is_source t v)) (Dag.nonsinks t)
+      in
+      Schedule.of_nonsink_order_exn t ([ a; c; b; d ] @ internals)
+    | _ -> Alcotest.fail "expected 4 leaves"
+  in
+  check "split pairs not optimal" false (Result.get_ok (Optimal.is_ic_optimal t bad))
+
+let test_non_admitting () =
+  (* found by random search; no single schedule is pointwise optimal *)
+  let g =
+    Dag.make_exn ~n:7 ~arcs:[ (0, 2); (0, 4); (1, 2); (1, 4); (2, 6); (3, 5) ] ()
+  in
+  let a = analyze_exn g in
+  check "does not admit" false a.Optimal.admits;
+  check "no witness" true (a.Optimal.witness = None);
+  (* yet every schedule is dominated by e_opt *)
+  let rng = Random.State.make [| 5 |] in
+  for _ = 1 to 50 do
+    let s = Ic_dag.Gen.random_schedule rng g in
+    check "e_opt dominates all schedules" true
+      (Profile.dominates a.Optimal.e_opt (Profile.run g s))
+  done
+
+let test_too_large () =
+  match Optimal.analyze (Dag.empty 62) with
+  | Error (`Too_large _) -> ()
+  | Ok _ -> Alcotest.fail "expected Too_large for 62 nodes"
+
+let test_max_ideals_guard () =
+  match Optimal.analyze ~max_ideals:100 (Dag.empty 20) with
+  | Error (`Too_large k) -> check "guard triggered" true (k > 100)
+  | Ok _ -> Alcotest.fail "expected the ideal-count guard to trigger"
+
+let test_empty_dag () =
+  let a = analyze_exn (Dag.empty 0) in
+  check "empty admits" true a.Optimal.admits;
+  Alcotest.(check (array int)) "trivial profile" [| 0 |] a.Optimal.e_opt
+
+let prop_e_opt_dominates_everything =
+  QCheck2.Test.make ~name:"e_opt dominates random schedules" ~count:100
+    QCheck2.Gen.(pair (int_range 1 12) (int_bound 10_000))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let g = Ic_dag.Gen.random_dag rng ~n ~arc_probability:0.3 in
+      match Optimal.e_opt g with
+      | Error _ -> false
+      | Ok opt ->
+        List.for_all
+          (fun _ -> Profile.dominates opt (Profile.run g (Ic_dag.Gen.random_schedule rng g)))
+          (List.init 10 Fun.id))
+
+let prop_witness_is_optimal =
+  QCheck2.Test.make ~name:"witness achieves e_opt whenever admits" ~count:100
+    QCheck2.Gen.(pair (int_range 1 12) (int_bound 10_000))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let g = Ic_dag.Gen.random_dag rng ~n ~arc_probability:0.3 in
+      match Optimal.analyze g with
+      | Error _ -> false
+      | Ok a -> (
+        match a.Optimal.witness with
+        | Some w -> a.Optimal.admits && Profile.run g w = a.Optimal.e_opt
+        | None -> not a.Optimal.admits))
+
+let prop_out_trees_admit =
+  QCheck2.Test.make ~name:"every random out-tree admits (indeed any schedule)" ~count:60
+    QCheck2.Gen.(pair (int_range 0 7) (int_bound 10_000))
+    (fun (k, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let shape = Ic_families.Out_tree.random rng ~max_internal:k ~arity:2 in
+      let g = Ic_families.Out_tree.dag_of_shape shape in
+      match Optimal.analyze g with
+      | Error _ -> true (* skip oversized *)
+      | Ok a ->
+        a.Optimal.admits
+        && Result.get_ok
+             (Optimal.is_ic_optimal g (Ic_dag.Gen.random_nonsinks_first_schedule rng g)))
+
+let () =
+  Alcotest.run "ic_dag.Optimal"
+    [
+      ( "exact analysis",
+        [
+          Alcotest.test_case "Lambda" `Quick test_lambda;
+          Alcotest.test_case "Vee" `Quick test_vee;
+          Alcotest.test_case "ideal count (diamond)" `Quick test_ideal_count;
+          Alcotest.test_case "ideal count (antichain)" `Quick test_antichain_ideals;
+          Alcotest.test_case "is_ic_optimal" `Quick test_is_ic_optimal;
+          Alcotest.test_case "non-admitting dag" `Quick test_non_admitting;
+          Alcotest.test_case "empty dag" `Quick test_empty_dag;
+        ] );
+      ( "guards",
+        [
+          Alcotest.test_case "too many nodes" `Quick test_too_large;
+          Alcotest.test_case "ideal budget" `Quick test_max_ideals_guard;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_e_opt_dominates_everything;
+            prop_witness_is_optimal;
+            prop_out_trees_admit;
+          ] );
+    ]

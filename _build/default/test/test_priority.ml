@@ -1,0 +1,173 @@
+module Priority = Ic_core.Priority
+module Repertoire = Ic_blocks.Repertoire
+module Dag = Ic_dag.Dag
+module Duality = Ic_dag.Duality
+
+let check = Alcotest.(check bool)
+let ep = Priority.of_block
+let ( |> ) a b = Priority.has_priority (ep a) (ep b)
+
+(* Every ▷ fact the paper asserts, plus the matching negatives. *)
+
+let test_vee_lambda_facts () =
+  check "V |> V" true Repertoire.(vee 2 |> vee 2);
+  check "V |> Lambda" true Repertoire.(vee 2 |> lambda 2);
+  check "Lambda |> Lambda" true Repertoire.(lambda 2 |> lambda 2);
+  check "NOT Lambda |> V" false Repertoire.(lambda 2 |> vee 2)
+
+let test_v3_chain () =
+  (* Section 6.2.1: V_3 |> V_3 |> Lambda |> Lambda *)
+  check "V3 |> V3" true Repertoire.(vee 3 |> vee 3);
+  check "V3 |> Lambda" true Repertoire.(vee 3 |> lambda 2);
+  check "chain" true
+    (Priority.is_linear_chain
+       (List.map ep Repertoire.[ vee 3; vee 3; lambda 2; lambda 2 ]))
+
+let test_w_monotone () =
+  (* Section 4: smaller W-dags have priority over larger ones, not conversely *)
+  List.iter
+    (fun s ->
+      List.iter
+        (fun t ->
+          let expected = s <= t in
+          if Repertoire.(w s |> w t) <> expected then
+            Alcotest.failf "W_%d |> W_%d should be %b" s t expected)
+        [ 1; 2; 3; 4; 5 ])
+    [ 1; 2; 3; 4; 5 ]
+
+let test_n_universal () =
+  (* Section 6.1: N_s |> N_t for ALL s and t *)
+  List.iter
+    (fun s ->
+      List.iter
+        (fun t ->
+          if not Repertoire.(n s |> n t) then Alcotest.failf "N_%d |> N_%d" s t)
+        [ 1; 2; 3; 4; 5 ])
+    [ 1; 2; 3; 4; 5 ];
+  check "N_s |> Lambda" true Repertoire.(n 4 |> lambda 2)
+
+let test_matmul_chain () =
+  (* Section 7.2: C_4 |> C_4 |> Lambda |> Lambda *)
+  check "chain" true
+    (Priority.is_linear_chain
+       (List.map ep Repertoire.[ cycle 4; cycle 4; lambda 2; lambda 2 ]));
+  check "NOT Lambda |> C4" false Repertoire.(lambda 2 |> cycle 4)
+
+let test_butterfly_self () =
+  check "B |> B" true Repertoire.(butterfly |> butterfly)
+
+let test_out_tree_over_in_tree () =
+  (* Section 3.1: T |> T' for any out-tree T and in-tree T', converse fails *)
+  let shape = Ic_families.Out_tree.complete ~arity:2 ~depth:2 in
+  let t = Ic_families.Out_tree.dag_of_shape shape in
+  let t' = Ic_families.In_tree.dag_of_shape shape in
+  let out_ep = (t, Ic_families.Out_tree.schedule t) in
+  let in_ep = (t', Ic_families.In_tree.schedule t') in
+  check "out-tree |> in-tree" true (Priority.has_priority out_ep in_ep);
+  check "NOT in-tree |> out-tree" false (Priority.has_priority in_ep out_ep)
+
+let test_violation_witness () =
+  match Priority.violation (ep (Repertoire.lambda 2)) (ep (Repertoire.vee 2)) with
+  | Some (x, y) ->
+    check "witness in range" true (x >= 0 && x <= 2 && y >= 0 && y <= 1)
+  | None -> Alcotest.fail "expected a violation witness"
+
+let test_is_linear_chain_negative () =
+  check "broken chain detected" false
+    (Priority.is_linear_chain (List.map ep Repertoire.[ lambda 2; vee 2 ]))
+
+(* Theorem 2.3 exhaustively over the repertoire:
+   G1 |> G2 iff dual G2 |> dual G1 *)
+let test_theorem_2_3_exhaustive () =
+  let dual_ep (b : Repertoire.t) =
+    (Dag.dual b.dag, Duality.dual_schedule b.dag b.schedule)
+  in
+  List.iter
+    (fun b1 ->
+      List.iter
+        (fun b2 ->
+          let forward = Priority.has_priority (ep b1) (ep b2) in
+          let backward = Priority.has_priority (dual_ep b2) (dual_ep b1) in
+          if forward <> backward then
+            Alcotest.failf "Thm 2.3 violated for %s, %s"
+              b1.Repertoire.name b2.Repertoire.name)
+        Repertoire.all)
+    Repertoire.all
+
+(* the operational meaning of |>: if G1 |> G2, the schedule of the
+   disjoint sum G1 + G2 that runs G1's nonsinks first (each part under its
+   own IC-optimal schedule) is IC-optimal for the sum *)
+let test_priority_governs_sums () =
+  let module Compose = Ic_core.Compose in
+  let module Linear = Ic_core.Linear in
+  let blocks = Repertoire.all in
+  let checked = ref 0 in
+  List.iter
+    (fun (b1 : Repertoire.t) ->
+      List.iter
+        (fun (b2 : Repertoire.t) ->
+          if
+            Dag.n_nodes b1.dag + Dag.n_nodes b2.dag <= 14
+            && Priority.has_priority (ep b1) (ep b2)
+          then begin
+            incr checked;
+            let c =
+              Compose.compose_exn (Compose.of_dag b1.dag)
+                (Compose.of_dag b2.dag) ~pairs:[]
+            in
+            let s = Linear.schedule_exn c [ b1.schedule; b2.schedule ] in
+            match Ic_dag.Optimal.is_ic_optimal (Compose.dag c) s with
+            | Ok true -> ()
+            | Ok false ->
+              Alcotest.failf "%s |> %s but %s-first sum schedule not optimal"
+                b1.name b2.name b1.name
+            | Error _ -> ()
+          end)
+        blocks)
+    blocks;
+  check "checked a nontrivial number of pairs" true (!checked > 50)
+
+(* ▷ should be transitive on the repertoire (it is an ordering tool);
+   check no counterexample among all triples *)
+let test_transitivity_on_repertoire () =
+  let blocks = Array.of_list Repertoire.all in
+  let n = Array.length blocks in
+  let rel = Array.make_matrix n n false in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      rel.(i).(j) <- Priority.has_priority (ep blocks.(i)) (ep blocks.(j))
+    done
+  done;
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      for k = 0 to n - 1 do
+        if rel.(i).(j) && rel.(j).(k) && not rel.(i).(k) then
+          Alcotest.failf "transitivity fails: %s |> %s |> %s"
+            blocks.(i).Repertoire.name blocks.(j).Repertoire.name
+            blocks.(k).Repertoire.name
+      done
+    done
+  done
+
+let () =
+  Alcotest.run "ic_core.Priority"
+    [
+      ( "paper facts",
+        [
+          Alcotest.test_case "V and Lambda" `Quick test_vee_lambda_facts;
+          Alcotest.test_case "V_3 chain" `Quick test_v3_chain;
+          Alcotest.test_case "W monotone" `Quick test_w_monotone;
+          Alcotest.test_case "N universal" `Quick test_n_universal;
+          Alcotest.test_case "matmul chain" `Quick test_matmul_chain;
+          Alcotest.test_case "butterfly" `Quick test_butterfly_self;
+          Alcotest.test_case "out-tree over in-tree" `Quick test_out_tree_over_in_tree;
+        ] );
+      ( "machinery",
+        [
+          Alcotest.test_case "violation witness" `Quick test_violation_witness;
+          Alcotest.test_case "linear chain negative" `Quick test_is_linear_chain_negative;
+          Alcotest.test_case "Theorem 2.3 exhaustive" `Quick test_theorem_2_3_exhaustive;
+          Alcotest.test_case "priority governs sums" `Slow test_priority_governs_sums;
+          Alcotest.test_case "transitivity" `Slow test_transitivity_on_repertoire;
+        ] );
+    ]

@@ -1,0 +1,134 @@
+module Dag = Ic_dag.Dag
+module Schedule = Ic_dag.Schedule
+module Profile = Ic_dag.Profile
+
+let check = Alcotest.(check bool)
+let check_profile = Alcotest.(check (array int))
+
+(* hand-computed profiles for the paper's smallest blocks *)
+
+let test_vee_profile () =
+  let g = Ic_blocks.Vee.dag 2 in
+  let s = Ic_blocks.Vee.schedule 2 in
+  check_profile "V: [1;2;1;0]" [| 1; 2; 1; 0 |] (Profile.run g s);
+  check_profile "V nonsink: [1;2]" [| 1; 2 |] (Profile.nonsink_profile g s)
+
+let test_lambda_profile () =
+  let g = Ic_blocks.Lambda.dag 2 in
+  let s = Ic_blocks.Lambda.schedule 2 in
+  check_profile "Lambda: [2;1;1;0]" [| 2; 1; 1; 0 |] (Profile.run g s);
+  check_profile "Lambda nonsink: [2;1;1]" [| 2; 1; 1 |] (Profile.nonsink_profile g s)
+
+let test_w_profile () =
+  (* W_3 executing sources left to right: E stays 3 then jumps to 4 *)
+  let g = Ic_blocks.W_dag.dag 3 in
+  let s = Ic_blocks.W_dag.schedule 3 in
+  check_profile "W_3 nonsink" [| 3; 3; 3; 4 |] (Profile.nonsink_profile g s)
+
+let test_n_profile () =
+  (* N_3 from the anchor: each execution immediately releases one sink *)
+  let g = Ic_blocks.N_dag.dag 3 in
+  let s = Ic_blocks.N_dag.schedule 3 in
+  check_profile "N_3 nonsink" [| 3; 3; 3; 3 |] (Profile.nonsink_profile g s)
+
+let test_cycle_profile () =
+  let g = Ic_blocks.Cycle_dag.dag 4 in
+  let s = Ic_blocks.Cycle_dag.schedule 4 in
+  check_profile "C_4 nonsink" [| 4; 3; 3; 3; 4 |] (Profile.nonsink_profile g s)
+
+let test_butterfly_profile () =
+  let g = Ic_blocks.Butterfly_block.dag () in
+  let s = Ic_blocks.Butterfly_block.schedule () in
+  check_profile "B nonsink" [| 2; 1; 2 |] (Profile.nonsink_profile g s)
+
+let test_of_set () =
+  let g = Dag.make_exn ~n:4 ~arcs:[ (0, 1); (0, 2); (1, 3); (2, 3) ] () in
+  Alcotest.(check int) "initially: just the source" 1
+    (Profile.of_set g ~executed:[| false; false; false; false |]);
+  Alcotest.(check int) "after the root: both middles" 2
+    (Profile.of_set g ~executed:[| true; false; false; false |]);
+  Alcotest.(check int) "non-ideal executed set handled" 1
+    (Profile.of_set g ~executed:[| false; true; false; false |])
+
+let test_packets () =
+  let g = Ic_blocks.Lambda.dag 2 in
+  let s = Ic_blocks.Lambda.schedule 2 in
+  let packets = Profile.packets g s in
+  Alcotest.(check int) "one packet per nonsink" 2 (Array.length packets);
+  Alcotest.(check (list int)) "first empty" [] packets.(0);
+  Alcotest.(check (list int)) "second releases the sink" [ 2 ] packets.(1)
+
+let test_dominates () =
+  check "reflexive" true (Profile.dominates [| 1; 2 |] [| 1; 2 |]);
+  check "pointwise" true (Profile.dominates [| 2; 2 |] [| 1; 2 |]);
+  check "fails" false (Profile.dominates [| 2; 1 |] [| 1; 2 |]);
+  check "length mismatch" false (Profile.dominates [| 1 |] [| 1; 2 |]);
+  check "strict" true (Profile.strictly_dominates [| 2; 2 |] [| 1; 2 |]);
+  check "not strict when equal" false (Profile.strictly_dominates [| 1; 2 |] [| 1; 2 |])
+
+let test_rejects_non_normal_form () =
+  let g = Dag.make_exn ~n:4 ~arcs:[ (0, 1); (2, 3) ] () in
+  let s = Schedule.of_order_exn g [ 0; 1; 2; 3 ] in
+  match Profile.nonsink_profile g s with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected rejection of sink-interleaved schedule"
+
+let prop_profile_endpoints =
+  QCheck2.Test.make ~name:"profile starts at #sources, ends at 0" ~count:200
+    QCheck2.Gen.(pair (int_range 1 25) (int_bound 10_000))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let g = Ic_dag.Gen.random_dag rng ~n ~arc_probability:0.3 in
+      let s = Ic_dag.Gen.random_schedule rng g in
+      let p = Profile.run g s in
+      p.(0) = List.length (Dag.sources g) && p.(n) = 0)
+
+let prop_profile_set_consistency =
+  QCheck2.Test.make ~name:"profile matches of_set on every prefix" ~count:100
+    QCheck2.Gen.(pair (int_range 1 15) (int_bound 10_000))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let g = Ic_dag.Gen.random_dag rng ~n ~arc_probability:0.3 in
+      let s = Ic_dag.Gen.random_schedule rng g in
+      let p = Profile.run g s in
+      List.for_all
+        (fun t -> p.(t) = Profile.of_set g ~executed:(Schedule.prefix_set s t))
+        (List.init (n + 1) Fun.id))
+
+let prop_packets_partition_nonsources =
+  QCheck2.Test.make ~name:"packets partition the nonsources" ~count:100
+    QCheck2.Gen.(pair (int_range 1 20) (int_bound 10_000))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let g = Ic_dag.Gen.random_dag rng ~n ~arc_probability:0.3 in
+      let s = Ic_dag.Gen.random_nonsinks_first_schedule rng g in
+      let released = List.concat (Array.to_list (Profile.packets g s)) in
+      List.sort compare released = Dag.nonsources g)
+
+let () =
+  Alcotest.run "ic_dag.Profile"
+    [
+      ( "block profiles",
+        [
+          Alcotest.test_case "Vee" `Quick test_vee_profile;
+          Alcotest.test_case "Lambda" `Quick test_lambda_profile;
+          Alcotest.test_case "W_3" `Quick test_w_profile;
+          Alcotest.test_case "N_3" `Quick test_n_profile;
+          Alcotest.test_case "C_4" `Quick test_cycle_profile;
+          Alcotest.test_case "B" `Quick test_butterfly_profile;
+        ] );
+      ( "machinery",
+        [
+          Alcotest.test_case "of_set" `Quick test_of_set;
+          Alcotest.test_case "packets" `Quick test_packets;
+          Alcotest.test_case "dominates" `Quick test_dominates;
+          Alcotest.test_case "normal form required" `Quick test_rejects_non_normal_form;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_profile_endpoints;
+            prop_profile_set_consistency;
+            prop_packets_partition_nonsources;
+          ] );
+    ]

@@ -1,0 +1,86 @@
+module Dag = Ic_dag.Dag
+module Schedule = Ic_dag.Schedule
+
+let check = Alcotest.(check bool)
+
+let diamond4 () = Dag.make_exn ~n:4 ~arcs:[ (0, 1); (0, 2); (1, 3); (2, 3) ] ()
+
+let expect_error name result =
+  match result with
+  | Ok _ -> Alcotest.failf "%s: expected an error" name
+  | Error _ -> ()
+
+let test_of_order () =
+  let g = diamond4 () in
+  (match Schedule.of_order g [ 0; 2; 1; 3 ] with
+  | Ok s -> Alcotest.(check (array int)) "order kept" [| 0; 2; 1; 3 |] (Schedule.order s)
+  | Error e -> Alcotest.fail e);
+  expect_error "child before parent" (Schedule.of_order g [ 1; 0; 2; 3 ]);
+  expect_error "missing node" (Schedule.of_order g [ 0; 1; 2 ]);
+  expect_error "duplicate node" (Schedule.of_order g [ 0; 1; 1; 3 ]);
+  expect_error "out of range" (Schedule.of_order g [ 0; 1; 2; 7 ])
+
+let test_of_nonsink_order () =
+  let g = diamond4 () in
+  match Schedule.of_nonsink_order g [ 0; 2; 1 ] with
+  | Ok s ->
+    Alcotest.(check (array int)) "sinks appended" [| 0; 2; 1; 3 |] (Schedule.order s);
+    check "nonsinks first" true (Schedule.nonsinks_first g s)
+  | Error e -> Alcotest.fail e
+
+let test_nonsink_prefix () =
+  let g = diamond4 () in
+  let s = Schedule.of_order_exn g [ 0; 2; 1; 3 ] in
+  Alcotest.(check (list int)) "prefix" [ 0; 2; 1 ] (Schedule.nonsink_prefix g s)
+
+let test_prefix_set () =
+  let g = diamond4 () in
+  let s = Schedule.of_order_exn g [ 0; 2; 1; 3 ] in
+  Alcotest.(check (array bool)) "prefix 2"
+    [| true; false; true; false |]
+    (Schedule.prefix_set s 2)
+
+let test_natural () =
+  let g = diamond4 () in
+  check "natural is valid" true (Schedule.is_valid g (Schedule.order (Schedule.natural g)))
+
+let test_nonsinks_first_negative () =
+  (* two disjoint arcs: 0->1, 2->3; executing sink 1 before nonsink 2 *)
+  let g = Dag.make_exn ~n:4 ~arcs:[ (0, 1); (2, 3) ] () in
+  let s = Schedule.of_order_exn g [ 0; 1; 2; 3 ] in
+  check "sink before nonsink detected" false (Schedule.nonsinks_first g s)
+
+let prop_random_schedule_valid =
+  QCheck2.Test.make ~name:"Gen.random_schedule is always a schedule" ~count:200
+    QCheck2.Gen.(pair (int_range 1 25) (int_bound 10_000))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let g = Ic_dag.Gen.random_dag rng ~n ~arc_probability:0.3 in
+      let s = Ic_dag.Gen.random_schedule rng g in
+      Schedule.is_valid g (Schedule.order s))
+
+let prop_nonsinks_first_generator =
+  QCheck2.Test.make ~name:"Gen.random_nonsinks_first_schedule normal form" ~count:200
+    QCheck2.Gen.(pair (int_range 1 25) (int_bound 10_000))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let g = Ic_dag.Gen.random_dag rng ~n ~arc_probability:0.3 in
+      let s = Ic_dag.Gen.random_nonsinks_first_schedule rng g in
+      Schedule.is_valid g (Schedule.order s) && Schedule.nonsinks_first g s)
+
+let () =
+  Alcotest.run "ic_dag.Schedule"
+    [
+      ( "validation",
+        [
+          Alcotest.test_case "of_order" `Quick test_of_order;
+          Alcotest.test_case "of_nonsink_order" `Quick test_of_nonsink_order;
+          Alcotest.test_case "nonsink_prefix" `Quick test_nonsink_prefix;
+          Alcotest.test_case "prefix_set" `Quick test_prefix_set;
+          Alcotest.test_case "natural" `Quick test_natural;
+          Alcotest.test_case "nonsinks_first negative" `Quick test_nonsinks_first_negative;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_random_schedule_valid; prop_nonsinks_first_generator ] );
+    ]

@@ -1,0 +1,96 @@
+module Dag = Ic_dag.Dag
+module Serial = Ic_dag.Serial
+
+let check = Alcotest.(check bool)
+
+let test_roundtrip_basic () =
+  let g =
+    Dag.make_exn ~labels:[| "a"; "b"; "c"; "d" |] ~n:4
+      ~arcs:[ (0, 1); (0, 2); (1, 3); (2, 3) ] ()
+  in
+  match Serial.of_string (Serial.to_string g) with
+  | Ok g' ->
+    check "structure preserved" true (Dag.equal g g');
+    Alcotest.(check string) "labels preserved" "c" (Dag.label g' 2)
+  | Error e -> Alcotest.fail e
+
+let test_parse_with_comments () =
+  let text =
+    "# fork-join\nnodes 3\n\narc 0 1   # first\narc 0 2\nlabel 0 the root\n"
+  in
+  match Serial.of_string text with
+  | Ok g ->
+    Alcotest.(check int) "nodes" 3 (Dag.n_nodes g);
+    Alcotest.(check string) "multi-word label" "the root" (Dag.label g 0)
+  | Error e -> Alcotest.fail e
+
+let test_parse_errors () =
+  let expect_err name text =
+    match Serial.of_string text with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s: expected parse error" name
+  in
+  expect_err "no nodes line" "arc 0 1\n";
+  expect_err "garbage" "nodes 2\nfoo bar\n";
+  expect_err "bad arc" "nodes 2\narc 0 x\n";
+  expect_err "cycle" "nodes 2\narc 0 1\narc 1 0\n";
+  expect_err "duplicate nodes decl" "nodes 2\nnodes 3\n";
+  expect_err "label out of range" "nodes 1\nlabel 5 x\n"
+
+let test_schedule_roundtrip () =
+  let g = Dag.make_exn ~n:3 ~arcs:[ (0, 1); (0, 2) ] () in
+  let s = Ic_dag.Schedule.of_order_exn g [ 0; 2; 1 ] in
+  match Serial.schedule_of_string g (Serial.schedule_to_string s) with
+  | Ok s' ->
+    Alcotest.(check (array int)) "order" (Ic_dag.Schedule.order s)
+      (Ic_dag.Schedule.order s')
+  | Error e -> Alcotest.fail e
+
+let test_schedule_parse_rejects () =
+  let g = Dag.make_exn ~n:3 ~arcs:[ (0, 1); (0, 2) ] () in
+  (match Serial.schedule_of_string g "1 0 2" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "child-before-parent accepted");
+  match Serial.schedule_of_string g "0 1 zzz" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage accepted"
+
+let test_file_io () =
+  let g = Ic_families.Mesh.out_mesh 4 in
+  let path = Filename.temp_file "icsched" ".dag" in
+  (match Serial.save_file path g with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (match Serial.load_file path with
+  | Ok g' -> check "file roundtrip" true (Dag.equal g g')
+  | Error e -> Alcotest.fail e);
+  Sys.remove path;
+  match Serial.load_file path with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected missing-file error"
+
+let prop_roundtrip_random =
+  QCheck2.Test.make ~name:"serialization roundtrips random dags" ~count:100
+    QCheck2.Gen.(pair (int_range 0 25) (int_bound 10_000))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let g = Ic_dag.Gen.random_dag rng ~n ~arc_probability:0.3 in
+      match Serial.of_string (Serial.to_string g) with
+      | Ok g' -> Dag.equal g g'
+      | Error _ -> false)
+
+let () =
+  Alcotest.run "ic_dag.Serial"
+    [
+      ( "serialization",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip_basic;
+          Alcotest.test_case "comments and labels" `Quick test_parse_with_comments;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "schedule roundtrip" `Quick test_schedule_roundtrip;
+          Alcotest.test_case "schedule rejects" `Quick test_schedule_parse_rejects;
+          Alcotest.test_case "file io" `Quick test_file_io;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_roundtrip_random ] );
+    ]

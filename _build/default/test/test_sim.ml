@@ -1,0 +1,272 @@
+module Dag = Ic_dag.Dag
+module Policy = Ic_heuristics.Policy
+module Sim = Ic_sim.Simulator
+module Workload = Ic_sim.Workload
+module Assessment = Ic_sim.Assessment
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let mesh = Ic_families.Mesh.out_mesh 8
+
+let run ?(config = Sim.config ()) ?(workload = Workload.unit) policy g =
+  Sim.run config policy ~workload g
+
+let test_executes_everything () =
+  let r = run Policy.fifo mesh in
+  check_int "all allocated" (Dag.n_nodes mesh) (List.length r.Sim.allocation_order);
+  check_int "all completed" (Dag.n_nodes mesh) (List.length r.Sim.completion_order);
+  let sorted = List.sort compare r.Sim.completion_order in
+  Alcotest.(check (list int)) "each exactly once"
+    (List.init (Dag.n_nodes mesh) Fun.id) sorted
+
+let test_allocation_respects_completions () =
+  (* a task may only be allocated after all its parents completed *)
+  let r = run ~config:(Sim.config ~n_clients:5 ~jitter:0.8 ()) Policy.lifo mesh in
+  let completed_at = Hashtbl.create 64 in
+  List.iteri (fun i v -> Hashtbl.add completed_at v i) r.Sim.completion_order;
+  (* walk allocations in order, tracking how many completions must have
+     happened: allocation i occurs after completion index c(i); rebuild by
+     replaying: we know parents must appear in completion_order before the
+     child appears in allocation_order *)
+  let alloc_pos = Hashtbl.create 64 in
+  List.iteri (fun i v -> Hashtbl.add alloc_pos v i) r.Sim.allocation_order;
+  (* weaker but sufficient invariant: a child is allocated after each parent
+     is allocated (completion implies allocation) *)
+  List.iter
+    (fun (u, v) ->
+      check "parent allocated before child" true
+        (Hashtbl.find alloc_pos u < Hashtbl.find alloc_pos v))
+    (Dag.arcs mesh)
+
+let test_single_client_no_stalls () =
+  let r = run ~config:(Sim.config ~n_clients:1 ()) Policy.fifo mesh in
+  check_int "no stalls with one client" 0 r.Sim.stalls;
+  check "full utilization" true (r.Sim.utilization > 0.999)
+
+let test_deterministic () =
+  let a = run Policy.fifo mesh and b = run Policy.fifo mesh in
+  check "same makespan" true (a.Sim.makespan = b.Sim.makespan);
+  check "same orders" true (a.Sim.completion_order = b.Sim.completion_order)
+
+let test_utilization_bounds () =
+  let r = run ~config:(Sim.config ~n_clients:6 ~jitter:0.5 ()) Policy.fifo mesh in
+  check "utilization in (0, 1]" true (r.Sim.utilization > 0.0 && r.Sim.utilization <= 1.0 +. 1e-9);
+  check "makespan positive" true (r.Sim.makespan > 0.0);
+  check "busy <= clients * makespan" true
+    (r.Sim.busy_time <= (6.0 *. r.Sim.makespan) +. 1e-9)
+
+let test_makespan_lower_bound () =
+  (* with unit work, zero jitter and unit speeds: makespan >= n / clients *)
+  let cfg = Sim.config ~n_clients:4 ~jitter:0.0 () in
+  let r = run ~config:cfg Policy.fifo mesh in
+  let n = float_of_int (Dag.n_nodes mesh) in
+  check "work conservation" true (r.Sim.makespan >= (n /. 4.0) -. 1e-9);
+  (* and >= critical path length *)
+  check "critical path bound" true
+    (r.Sim.makespan >= float_of_int (Dag.longest_path mesh + 1) -. 1e-9)
+
+let test_heterogeneous_speeds () =
+  let cfg = Sim.config ~n_clients:2 ~speed:(fun i -> if i = 0 then 4.0 else 1.0) ~jitter:0.0 () in
+  let chain = Dag.make_exn ~n:3 ~arcs:[ (0, 1); (1, 2) ] () in
+  let r = run ~config:cfg Policy.fifo chain in
+  (* fast client takes task 0 (0.25); the stalled slow client is served
+     first on completion, so it runs task 1 (1.0); the fast one finishes
+     with task 2 (0.25): makespan 1.5 exactly *)
+  check "hand-computed makespan" true (Float.abs (r.Sim.makespan -. 1.5) < 1e-9)
+
+let test_gridlock_on_chain () =
+  (* a pure chain with many clients: everyone but one stalls *)
+  let chain = Dag.make_exn ~n:4 ~arcs:[ (0, 1); (1, 2); (2, 3) ] () in
+  let r = run ~config:(Sim.config ~n_clients:3 ~jitter:0.0 ()) Policy.fifo chain in
+  check "stalls recorded" true (r.Sim.stalls >= 2);
+  check "stall time positive" true (r.Sim.stall_time > 0.0)
+
+let test_workloads () =
+  let rnd = Workload.random_uniform ~seed:7 ~lo:1.0 ~hi:3.0 in
+  check "deterministic per task" true (rnd mesh 5 = rnd mesh 5);
+  check "in range" true (rnd mesh 5 >= 1.0 && rnd mesh 5 <= 3.0);
+  check "unit" true (Workload.unit mesh 3 = 1.0);
+  check "constant" true (Workload.constant 2.5 mesh 0 = 2.5);
+  check "by_height heavier at sources" true
+    (Workload.by_height 1.0 mesh 0 > Workload.by_height 1.0 mesh (Dag.n_nodes mesh - 1))
+
+let test_empty_dag () =
+  let r = run Policy.fifo (Dag.empty 0) in
+  check "zero makespan" true (r.Sim.makespan = 0.0);
+  check_int "nothing stalls" 0 r.Sim.stalls
+
+(* --- assessment harness --- *)
+
+let test_assessment_theory_never_loses () =
+  let theory = Ic_families.Mesh.out_schedule 8 in
+  let rows = Assessment.compare_policies mesh ~theory in
+  check "has theory + baselines" true (List.length rows = 7);
+  List.iter
+    (fun r ->
+      check_int
+        (Printf.sprintf "profile losses vs %s" r.Assessment.policy)
+        0 r.Assessment.profile_losses)
+    rows
+
+let test_assessment_theory_row_first () =
+  let theory = Ic_families.Butterfly_net.schedule 4 in
+  let g = Ic_families.Butterfly_net.dag 4 in
+  match Assessment.compare_policies g ~theory with
+  | first :: _ ->
+    check "named ic-optimal" true (first.Assessment.policy = "ic-optimal");
+    check_int "theory wins = 0 vs itself" 0 first.Assessment.profile_wins
+  | [] -> Alcotest.fail "no rows"
+
+let test_single_client_is_list_schedule () =
+  (* one reliable client with no jitter executes exactly the policy's list
+     schedule, one task at a time *)
+  let cfg = Sim.config ~n_clients:1 ~jitter:0.0 () in
+  let r = run ~config:cfg Policy.fifo mesh in
+  let expected = Ic_dag.Schedule.order (Policy.run Policy.fifo mesh) in
+  Alcotest.(check (list int)) "completion order = list schedule"
+    (Array.to_list expected) r.Sim.completion_order;
+  check "makespan = #tasks" true
+    (Float.abs (r.Sim.makespan -. float_of_int (Dag.n_nodes mesh)) < 1e-9)
+
+let test_unreliable_clients () =
+  (* with failures, everything still completes exactly once, and lost
+     allocations are accounted *)
+  let cfg = Sim.config ~n_clients:4 ~failure_probability:0.3 ~seed:11 () in
+  let r = run ~config:cfg Policy.fifo mesh in
+  check_int "all completed once" (Dag.n_nodes mesh)
+    (List.length r.Sim.completion_order);
+  Alcotest.(check (list int)) "exactly once"
+    (List.init (Dag.n_nodes mesh) Fun.id)
+    (List.sort compare r.Sim.completion_order);
+  check "failures happened" true (r.Sim.failures > 0);
+  check_int "allocations = tasks + failures"
+    (Dag.n_nodes mesh + r.Sim.failures)
+    (List.length r.Sim.allocation_order);
+  (* reliability costs time: same seed without failures is faster *)
+  let r0 = run ~config:(Sim.config ~n_clients:4 ~seed:11 ()) Policy.fifo mesh in
+  check "failures slow things down" true (r.Sim.makespan > r0.Sim.makespan);
+  check_int "no failures by default" 0 r0.Sim.failures;
+  match Sim.config ~failure_probability:1.0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "q = 1 must be rejected"
+
+let test_comm_costs () =
+  (* free communication = the old behaviour; pricey communication adds
+     exactly one transfer per cross-client dependence (plus server input
+     for sources) *)
+  let chain = Dag.make_exn ~n:3 ~arcs:[ (0, 1); (1, 2) ] () in
+  let free = run ~config:(Sim.config ~n_clients:1 ~jitter:0.0 ()) Policy.fifo chain in
+  check_int "no comm when free" 0 (int_of_float free.Sim.comm_total);
+  (* one client: only the source's server transfer costs *)
+  let cfg = Sim.config ~n_clients:1 ~jitter:0.0 ~comm_time:2.0 () in
+  let r = run ~config:cfg Policy.fifo chain in
+  check "single client pays only the input transfer" true
+    (Float.abs (r.Sim.comm_total -. 2.0) < 1e-9);
+  check "makespan = work + comm" true (Float.abs (r.Sim.makespan -. 5.0) < 1e-9)
+
+let test_granularity_crossover () =
+  let rows =
+    Ic_sim.Granularity_study.mesh_crossover ~levels:11 ~blocks:[ 1; 4 ]
+      ~comm_times:[ 0.0; 8.0 ] ~n_clients:8 ()
+  in
+  Alcotest.(check int) "fine wins when communication is free" 1
+    (Ic_sim.Granularity_study.best_block rows 0.0);
+  Alcotest.(check int) "coarse wins when communication is dear" 4
+    (Ic_sim.Granularity_study.best_block rows 8.0)
+
+(* --- burst (batch-request) service, scenario (2) of section 2.2 --- *)
+
+let test_burst_basic () =
+  (* profile [2;1;2]: with burst 2 the server serves 2+1+2 = 5 of 6 *)
+  let b = Ic_sim.Burst.of_profile ~burst:2 [| 2; 1; 2 |] in
+  check_int "served" 5 b.Ic_sim.Burst.served;
+  check_int "offered" 6 b.Ic_sim.Burst.offered;
+  check "rate" true (Float.abs (b.Ic_sim.Burst.service_rate -. (5.0 /. 6.0)) < 1e-12);
+  (* burst 1 is fully served whenever the profile never hits 0 *)
+  let b1 = Ic_sim.Burst.of_profile ~burst:1 [| 2; 1; 2 |] in
+  check "burst 1 full" true (b1.Ic_sim.Burst.service_rate = 1.0)
+
+let test_burst_theory_dominates () =
+  (* pointwise-higher profiles serve pointwise more requests, for every
+     burst size: IC-optimal beats LIFO on the mesh *)
+  let g = Ic_families.Mesh.out_mesh 10 in
+  let theory = Ic_families.Mesh.out_schedule 10 in
+  let lifo = Policy.run Policy.lifo g in
+  (* renormalize lifo to nonsinks-first form for a fair comparison *)
+  let lifo =
+    Ic_dag.Schedule.of_nonsink_order_exn g (Ic_dag.Schedule.nonsink_prefix g lifo)
+  in
+  List.iter
+    (fun burst ->
+      let a = Ic_sim.Burst.of_schedule ~burst g theory in
+      let b = Ic_sim.Burst.of_schedule ~burst g lifo in
+      check
+        (Printf.sprintf "burst %d" burst)
+        true
+        (a.Ic_sim.Burst.served >= b.Ic_sim.Burst.served))
+    [ 1; 2; 4; 8 ]
+
+let test_burst_sweep () =
+  let g = Ic_families.Butterfly_net.dag 4 in
+  let sweep =
+    Ic_sim.Burst.sweep ~bursts:[ 1; 4; 16 ] g (Ic_families.Butterfly_net.schedule 4)
+  in
+  check_int "three entries" 3 (List.length sweep);
+  (* service rate decreases (weakly) as bursts grow *)
+  match List.map snd sweep with
+  | [ a; b; c ] -> check "monotone" true (a >= b && b >= c)
+  | _ -> Alcotest.fail "unexpected sweep shape"
+
+let prop_sim_valid_on_random_dags =
+  QCheck2.Test.make ~name:"sim invariants on random dags" ~count:40
+    QCheck2.Gen.(pair (int_range 1 40) (int_bound 10_000))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let g = Ic_dag.Gen.random_dag rng ~n ~arc_probability:0.2 in
+      let r =
+        Sim.run (Sim.config ~n_clients:3 ~jitter:0.3 ~seed ()) Policy.fifo
+          ~workload:Workload.unit g
+      in
+      List.length r.Sim.completion_order = n
+      && r.Sim.utilization <= 1.0 +. 1e-9
+      && r.Sim.stall_time >= 0.0)
+
+let () =
+  Alcotest.run "ic_sim"
+    [
+      ( "simulator",
+        [
+          Alcotest.test_case "executes everything once" `Quick test_executes_everything;
+          Alcotest.test_case "allocation respects precedence" `Quick
+            test_allocation_respects_completions;
+          Alcotest.test_case "single client never stalls" `Quick
+            test_single_client_no_stalls;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "utilization bounds" `Quick test_utilization_bounds;
+          Alcotest.test_case "makespan bounds" `Quick test_makespan_lower_bound;
+          Alcotest.test_case "heterogeneous speeds" `Quick test_heterogeneous_speeds;
+          Alcotest.test_case "gridlock on a chain" `Quick test_gridlock_on_chain;
+          Alcotest.test_case "workload models" `Quick test_workloads;
+          Alcotest.test_case "empty dag" `Quick test_empty_dag;
+          Alcotest.test_case "single client = list schedule" `Quick
+            test_single_client_is_list_schedule;
+          Alcotest.test_case "unreliable clients" `Quick test_unreliable_clients;
+          Alcotest.test_case "communication costs" `Quick test_comm_costs;
+          Alcotest.test_case "granularity crossover" `Quick test_granularity_crossover;
+        ] );
+      ( "assessment",
+        [
+          Alcotest.test_case "theory never loses (mesh)" `Quick
+            test_assessment_theory_never_loses;
+          Alcotest.test_case "row order" `Quick test_assessment_theory_row_first;
+        ] );
+      ( "burst service",
+        [
+          Alcotest.test_case "by hand" `Quick test_burst_basic;
+          Alcotest.test_case "theory dominates" `Quick test_burst_theory_dominates;
+          Alcotest.test_case "sweep" `Quick test_burst_sweep;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_sim_valid_on_random_dags ] );
+    ]
