@@ -178,6 +178,38 @@ let batched_exact =
   Test.make ~name:"batched_exact_dp"
     (stage (fun () -> Ic_batch.Batched.optimal g ~batch_size:2))
 
+(* The Frontier engine on the paper's two biggest workloads: full-schedule
+   replay through the mutable engine, and the one-pass bulk profile behind
+   Profile.run. Dags and schedules are built once outside the timed body. *)
+let frontier_mesh = F.Mesh.out_mesh 256
+let frontier_mesh_schedule = F.Mesh.out_schedule 256
+let frontier_butterfly = F.Butterfly_net.dag 10
+let frontier_butterfly_schedule = F.Butterfly_net.schedule 10
+
+let frontier_replay name g s =
+  let order = Ic_dag.Schedule.order s in
+  Test.make ~name
+    (stage (fun () ->
+         let fr = Ic_dag.Frontier.create g in
+         Array.iter (Ic_dag.Frontier.execute fr) order))
+
+let frontier_replay_mesh256 =
+  frontier_replay "frontier_replay_mesh256" frontier_mesh
+    frontier_mesh_schedule
+
+let frontier_replay_butterfly10 =
+  frontier_replay "frontier_replay_butterfly10" frontier_butterfly
+    frontier_butterfly_schedule
+
+let frontier_profile_mesh256 =
+  Test.make ~name:"frontier_profile_mesh256"
+    (stage (fun () -> Ic_dag.Profile.run frontier_mesh frontier_mesh_schedule))
+
+let frontier_profile_butterfly10 =
+  Test.make ~name:"frontier_profile_butterfly10"
+    (stage (fun () ->
+         Ic_dag.Profile.run frontier_butterfly frontier_butterfly_schedule))
+
 let tests =
   Test.make_grouped ~name:"ic-scheduling"
     [
@@ -186,7 +218,9 @@ let tests =
       eq51_sort; eq52_fft_convolution; fig11_12_prefix; fig13_dlt;
       fig14_15_dlt_tree; fig16_paths; fig17_matmul; sim_assessment;
       burst_service; batched_greedy; batched_exact; auto_scheduler;
-      verifier_brute_force; priority_matrix;
+      verifier_brute_force; priority_matrix; frontier_replay_mesh256;
+      frontier_replay_butterfly10; frontier_profile_mesh256;
+      frontier_profile_butterfly10;
     ]
 
 let () =
@@ -201,29 +235,39 @@ let () =
   let raw = Benchmark.all cfg instances tests in
   let results = List.map (fun i -> Analyze.all ols i raw) instances in
   let merged = Analyze.merge ols instances results in
+  let rows =
+    Hashtbl.fold
+      (fun _label by_name acc ->
+        Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) by_name acc)
+      merged []
+    |> List.sort compare
+  in
   Format.printf "%-45s %15s %10s@." "benchmark" "time/run" "r^2";
-  Hashtbl.iter
-    (fun _label by_name ->
-      let rows =
-        Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) by_name []
-        |> List.sort compare
+  List.iter
+    (fun (name, ols) ->
+      let time =
+        match Analyze.OLS.estimates ols with
+        | Some (t :: _) ->
+          if t > 1e9 then Printf.sprintf "%.3f s" (t /. 1e9)
+          else if t > 1e6 then Printf.sprintf "%.3f ms" (t /. 1e6)
+          else if t > 1e3 then Printf.sprintf "%.3f us" (t /. 1e3)
+          else Printf.sprintf "%.1f ns" t
+        | _ -> "n/a"
       in
-      List.iter
-        (fun (name, ols) ->
-          let time =
-            match Analyze.OLS.estimates ols with
-            | Some (t :: _) ->
-              if t > 1e9 then Printf.sprintf "%.3f s" (t /. 1e9)
-              else if t > 1e6 then Printf.sprintf "%.3f ms" (t /. 1e6)
-              else if t > 1e3 then Printf.sprintf "%.3f us" (t /. 1e3)
-              else Printf.sprintf "%.1f ns" t
-            | _ -> "n/a"
-          in
-          let r2 =
-            match Analyze.OLS.r_square ols with
-            | Some r -> Printf.sprintf "%.4f" r
-            | None -> "n/a"
-          in
-          Format.printf "%-45s %15s %10s@." name time r2)
-        rows)
-    merged
+      let r2 =
+        match Analyze.OLS.r_square ols with
+        | Some r -> Printf.sprintf "%.4f" r
+        | None -> "n/a"
+      in
+      Format.printf "%-45s %15s %10s@." name time r2)
+    rows;
+  (* one machine-readable line for CI trend scraping: name -> ns/op *)
+  let json =
+    rows
+    |> List.filter_map (fun (name, ols) ->
+           match Analyze.OLS.estimates ols with
+           | Some (t :: _) -> Some (Printf.sprintf "%S: %.1f" name t)
+           | _ -> None)
+    |> String.concat ", "
+  in
+  Format.printf "{%s}@." json

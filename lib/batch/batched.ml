@@ -1,6 +1,6 @@
 module Dag = Ic_dag.Dag
 module Schedule = Ic_dag.Schedule
-module Profile = Ic_dag.Profile
+module Frontier = Ic_dag.Frontier
 
 type t = {
   batch_size : int;
@@ -8,54 +8,38 @@ type t = {
 }
 
 exception Too_large of int
-
-let executed_sets g batches =
-  (* cumulative executed-set list, empty set first *)
-  let n = Dag.n_nodes g in
-  let current = Array.make n false in
-  let snapshots = ref [ Array.copy current ] in
-  List.iter
-    (fun batch ->
-      List.iter (fun v -> current.(v) <- true) batch;
-      snapshots := Array.copy current :: !snapshots)
-    batches;
-  List.rev !snapshots
+exception Invalid
 
 let profile g t =
-  executed_sets g t.batches
-  |> List.map (fun executed -> Profile.of_set g ~executed)
-  |> Array.of_list
-
-let is_valid g t =
-  let n = Dag.n_nodes g in
-  let batch_index = Array.make n (-1) in
-  let ok = ref (t.batch_size >= 1) in
+  let fr = Frontier.create g in
+  let out = Array.make (List.length t.batches + 1) 0 in
+  out.(0) <- Frontier.count fr;
   List.iteri
     (fun j batch ->
-      List.iter
-        (fun v ->
-          if v < 0 || v >= n || batch_index.(v) >= 0 then ok := false
-          else batch_index.(v) <- j)
-        batch)
+      List.iter (Frontier.execute fr) batch;
+      out.(j + 1) <- Frontier.count fr)
     t.batches;
-  (* partition *)
-  Array.iter (fun j -> if j < 0 then ok := false) batch_index;
-  if !ok then begin
-    (* parents strictly earlier *)
-    for v = 0 to n - 1 do
-      Array.iter
-        (fun p -> if batch_index.(p) >= batch_index.(v) then ok := false)
-        (Dag.pred g v)
-    done;
-    (* work conservation: each batch takes min(p, #eligible) tasks *)
-    let sets = Array.of_list (executed_sets g t.batches) in
-    List.iteri
-      (fun j batch ->
-        let eligible = Profile.of_set g ~executed:sets.(j) in
-        if List.length batch <> min t.batch_size eligible then ok := false)
-      t.batches
-  end;
-  !ok
+  out
+
+(* Replay the batches on one frontier; each batch must be simultaneously
+   eligible when it starts and work-conserving (min(p, #eligible) tasks). *)
+let replay_valid g t =
+  let n = Dag.n_nodes g in
+  let fr = Frontier.create g in
+  try
+    List.iter
+      (fun batch ->
+        let e = Frontier.count fr in
+        if List.length batch <> min t.batch_size e then raise Invalid;
+        List.iter
+          (fun v -> if not (Frontier.is_eligible fr v) then raise Invalid)
+          batch;
+        List.iter (Frontier.execute fr) batch)
+      t.batches;
+    Frontier.executed_count fr = n
+  with Invalid -> false
+
+let is_valid g t = t.batch_size >= 1 && replay_valid g t
 
 let of_schedule g s ~batch_size =
   if batch_size < 1 then Error "batch size must be positive"
@@ -69,35 +53,24 @@ let of_schedule g s ~batch_size =
     in
     let batches = chop [] [] 0 order in
     let t = { batch_size; batches } in
-    if is_valid g t then Ok t
+    if replay_valid g t then Ok t
     else Error "schedule cannot be chopped into simultaneously-eligible batches"
   end
 
 let to_schedule g t =
   Schedule.of_order_exn g (List.concat_map (List.sort compare) t.batches)
 
-let eligible_list g executed =
-  let n = Dag.n_nodes g in
-  let acc = ref [] in
-  for v = n - 1 downto 0 do
-    if (not executed.(v)) && Array.for_all (fun p -> executed.(p)) (Dag.pred g v)
-    then acc := v :: !acc
-  done;
-  !acc
-
 let greedy g ~batch_size =
   if batch_size < 1 then invalid_arg "Batched.greedy: batch size must be positive";
   let n = Dag.n_nodes g in
-  let executed = Array.make n false in
-  let remaining = Array.init n (fun v -> Dag.in_degree g v) in
-  let done_count = ref 0 in
+  let fr = Frontier.create g in
+  let in_batch = Array.make n false in
   let batches = ref [] in
-  while !done_count < n do
-    let eligible = eligible_list g executed in
-    let want = min batch_size (List.length eligible) in
+  while Frontier.executed_count fr < n do
+    let eligible = Frontier.members fr in
+    let want = min batch_size (Array.length eligible) in
     (* pick greedily: each pick maximizes the number of tasks the batch so
        far would newly release *)
-    let in_batch = Array.make n false in
     let batch = ref [] in
     for _ = 1 to want do
       let gain v =
@@ -106,14 +79,15 @@ let greedy g ~batch_size =
           (fun acc w ->
             let unmet =
               Array.exists
-                (fun p -> not (executed.(p) || in_batch.(p) || p = v))
+                (fun p ->
+                  not (Frontier.is_executed fr p || in_batch.(p) || p = v))
                 (Dag.pred g w)
             in
             if unmet || in_batch.(w) then acc else acc + 1)
           0 (Dag.succ g v)
       in
       let best =
-        List.fold_left
+        Array.fold_left
           (fun best v ->
             if in_batch.(v) then best
             else
@@ -133,9 +107,8 @@ let greedy g ~batch_size =
     let batch = List.rev !batch in
     List.iter
       (fun v ->
-        executed.(v) <- true;
-        incr done_count;
-        Array.iter (fun w -> remaining.(w) <- remaining.(w) - 1) (Dag.succ g v))
+        in_batch.(v) <- false;
+        Frontier.execute fr v)
       batch;
     batches := batch :: !batches
   done;
@@ -147,18 +120,12 @@ let optimal ?(max_ideals = 2_000_000) g ~batch_size =
   let n = Dag.n_nodes g in
   if n > 61 then Error (`Too_large n)
   else begin
-    let pmask =
-      Array.init n (fun v ->
-          Array.fold_left (fun m p -> m lor (1 lsl p)) 0 (Dag.pred g v))
+    (* states are ideals keyed by bitmask; their eligibility structure is
+       recovered once per survivor via Frontier.of_set, and candidate
+       batches are assessed by execute/restore on that frontier *)
+    let frontier_of s =
+      Frontier.of_set g ~executed:(Array.init n (fun v -> s land (1 lsl v) <> 0))
     in
-    let eligible_of s =
-      let acc = ref [] in
-      for v = n - 1 downto 0 do
-        if s land (1 lsl v) = 0 && s land pmask.(v) = pmask.(v) then acc := v :: !acc
-      done;
-      !acc
-    in
-    let count_eligible s = List.length (eligible_of s) in
     let full = (1 lsl n) - 1 in
     let visited = ref 0 in
     try
@@ -170,10 +137,9 @@ let optimal ?(max_ideals = 2_000_000) g ~batch_size =
       while not !finished do
         let next = Hashtbl.create (Hashtbl.length !frontier * 2) in
         let best = ref (-1) in
-        let consider s' prev batch =
+        let consider s' prev batch e =
           incr visited;
           if !visited > max_ideals then raise (Too_large !visited);
-          let e = count_eligible s' in
           if e > !best then begin
             Hashtbl.reset next;
             best := e
@@ -183,14 +149,21 @@ let optimal ?(max_ideals = 2_000_000) g ~batch_size =
         in
         Hashtbl.iter
           (fun s _ ->
-            let eligible = eligible_of s in
+            let fr = frontier_of s in
+            let eligible = Frontier.to_list fr in
             let want = min batch_size (List.length eligible) in
             (* enumerate size-[want] subsets of the eligible list *)
             let rec subsets chosen k pool =
-              if k = 0 then
+              if k = 0 then begin
+                let chosen = List.rev chosen in
+                let snap = Frontier.snapshot fr in
+                List.iter (Frontier.execute fr) chosen;
+                let e = Frontier.count fr in
+                Frontier.restore fr snap;
                 consider
                   (List.fold_left (fun m v -> m lor (1 lsl v)) s chosen)
-                  s (List.rev chosen)
+                  s chosen e
+              end
               else
                 match pool with
                 | [] -> ()

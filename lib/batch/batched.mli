@@ -35,7 +35,10 @@ type t = {
 val is_valid : Ic_dag.Dag.t -> t -> bool
 
 val profile : Ic_dag.Dag.t -> t -> int array
-(** Eligibility counts after each batch (length [#batches + 1]). *)
+(** Eligibility counts after each batch (length [#batches + 1]), by
+    replaying the batches on a {!Ic_dag.Frontier.t}. Every batch member
+    must be eligible by the time it executes (guaranteed for valid
+    batchings); raises [Invalid_argument] otherwise. *)
 
 val of_schedule :
   Ic_dag.Dag.t -> Ic_dag.Schedule.t -> batch_size:int -> (t, string) result

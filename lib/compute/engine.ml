@@ -1,34 +1,51 @@
 module Dag = Ic_dag.Dag
 module Schedule = Ic_dag.Schedule
+module Frontier = Ic_dag.Frontier
 
 type 'a t = {
   dag : Dag.t;
   compute : int -> 'a array -> 'a;
 }
 
+(* Streams over a frontier: the frontier both supplies the default order and
+   proves, before every value is computed, that the node's parents have
+   already been computed — so parent values can be read straight out of the
+   result array, with no option boxing. *)
 let execute ?schedule t =
   let g = t.dag in
+  let n = Dag.n_nodes g in
   let order =
     match schedule with
     | Some s ->
-      if Schedule.length s <> Dag.n_nodes g then
+      if Schedule.length s <> n then
         invalid_arg "Engine.execute: schedule does not fit the dag";
-      Schedule.order s
-    | None -> Dag.topological_order g
+      Some (Schedule.order s)
+    | None -> None
   in
-  let values = Array.make (Dag.n_nodes g) None in
-  Array.iter
-    (fun v ->
-      let parents =
-        Array.map
-          (fun p ->
-            match values.(p) with
-            | Some x -> x
-            | None -> invalid_arg "Engine.execute: invalid schedule order")
-          (Dag.pred g v)
-      in
-      values.(v) <- Some (t.compute v parents))
-    order;
-  Array.map Option.get values
+  if n = 0 then [||]
+  else begin
+    let fr = Frontier.create g in
+    let next i =
+      match order with
+      | Some o -> o.(i)
+      | None -> (
+        match Frontier.choose fr with Some v -> v | None -> assert false)
+    in
+    let v0 = next 0 in
+    if not (Frontier.is_eligible fr v0) then
+      invalid_arg "Engine.execute: invalid schedule order";
+    (* v0 is eligible at step 0, hence a source *)
+    let values = Array.make n (t.compute v0 [||]) in
+    Frontier.execute fr v0;
+    for i = 1 to n - 1 do
+      let v = next i in
+      if not (Frontier.is_eligible fr v) then
+        invalid_arg "Engine.execute: invalid schedule order";
+      let parents = Array.map (fun p -> values.(p)) (Dag.pred g v) in
+      Frontier.execute fr v;
+      values.(v) <- t.compute v parents
+    done;
+    values
+  end
 
 let value_at ?schedule t v = (execute ?schedule t).(v)

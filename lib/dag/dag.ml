@@ -1,8 +1,18 @@
+type csr = {
+  off : int array;
+  dat : int array;
+  indeg : int array;
+  n_sources : int;
+}
+
 type t = {
   n : int;
   succ : int array array;
   pred : int array array;
   labels : string array option;
+  mutable csr_cache : csr option;
+      (* flattened successor adjacency, built lazily; adjacency-derived
+         only, so any constructor that changes arcs must reset it *)
 }
 
 let n_nodes g = g.n
@@ -12,6 +22,33 @@ let n_arcs g =
 
 let succ g v = g.succ.(v)
 let pred g v = g.pred.(v)
+let succ_arrays g = g.succ
+let pred_arrays g = g.pred
+
+let csr g =
+  match g.csr_cache with
+  | Some c -> c
+  | None ->
+    let n = g.n in
+    let off = Array.make (n + 1) 0 in
+    for v = 0 to n - 1 do
+      off.(v + 1) <- off.(v) + Array.length g.succ.(v)
+    done;
+    let dat = Array.make (max 1 off.(n)) 0 in
+    for v = 0 to n - 1 do
+      let a = g.succ.(v) and base = off.(v) in
+      Array.iteri (fun i w -> dat.(base + i) <- w) a
+    done;
+    let indeg = Array.make n 0 in
+    let n_sources = ref 0 in
+    for v = 0 to n - 1 do
+      let d = Array.length g.pred.(v) in
+      indeg.(v) <- d;
+      if d = 0 then incr n_sources
+    done;
+    let c = { off; dat; indeg; n_sources = !n_sources } in
+    g.csr_cache <- Some c;
+    c
 let out_degree g v = Array.length g.succ.(v)
 let in_degree g v = Array.length g.pred.(v)
 
@@ -155,7 +192,7 @@ let make ?labels ~n ~arcs () =
           let indeg = Array.init n (fun v -> Array.length pred.(v)) in
           (match topological_order_opt ~n ~succ ~indeg0:indeg with
           | None -> Error "graph has a cycle"
-          | Some _ -> Ok { n; succ; pred; labels })))
+          | Some _ -> Ok { n; succ; pred; labels; csr_cache = None })))
 
 let make_exn ?labels ~n ~arcs () =
   match make ?labels ~n ~arcs () with
@@ -164,7 +201,8 @@ let make_exn ?labels ~n ~arcs () =
 
 let empty n =
   if n < 0 then invalid_arg "Dag.empty: negative node count";
-  { n; succ = Array.make n [||]; pred = Array.make n [||]; labels = None }
+  { n; succ = Array.make n [||]; pred = Array.make n [||]; labels = None;
+    csr_cache = None }
 
 let sum g1 g2 =
   let shift = g1.n in
@@ -182,9 +220,10 @@ let sum g1 g2 =
     succ = Array.append g1.succ (shift_adj g2.succ);
     pred = Array.append g1.pred (shift_adj g2.pred);
     labels;
+    csr_cache = None;
   }
 
-let dual g = { g with succ = g.pred; pred = g.succ }
+let dual g = { g with succ = g.pred; pred = g.succ; csr_cache = None }
 
 let relabel g labels =
   if Array.length labels <> g.n then invalid_arg "Dag.relabel: length mismatch";

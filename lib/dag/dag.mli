@@ -47,6 +47,28 @@ val succ : t -> int -> int array
 val pred : t -> int -> int array
 (** Parents of a node, ascending. The returned array must not be mutated. *)
 
+val succ_arrays : t -> int array array
+(** The whole successor adjacency (index = node id, children ascending),
+    shared with the dag — must not be mutated. For hot loops such as the
+    {!Frontier} engine that cannot afford per-node accessor calls. *)
+
+val pred_arrays : t -> int array array
+(** Predecessor counterpart of {!succ_arrays}. Must not be mutated. *)
+
+type csr = {
+  off : int array;  (** length [n + 1]; children of [v] are [dat.(off.(v))
+                        .. dat.(off.(v+1) - 1)], ascending *)
+  dat : int array;
+  indeg : int array;  (** in-degree per node *)
+  n_sources : int;
+}
+(** Flattened (compressed sparse row) successor adjacency, for hot loops
+    where the array-of-arrays layout is too cache-hostile. *)
+
+val csr : t -> csr
+(** Built lazily on first use and cached on the dag; the same value is
+    shared by every caller and must not be mutated. *)
+
 val out_degree : t -> int -> int
 val in_degree : t -> int -> int
 val has_arc : t -> int -> int -> bool

@@ -1,0 +1,226 @@
+(* The eligible set is a dense pool with positions: [pool.(0 .. count-1)]
+   are the eligible nodes (unordered), [pos.(v)] is [v]'s index in the pool
+   while eligible. Executes swap-remove from the pool and append promoted
+   children, so membership updates are O(1) and the eligibility count is a
+   field read.
+
+   Executedness is encoded in [remaining]: [remaining.(v) = r >= 0] means
+   [v] is unexecuted with [r] unexecuted parents (eligible iff [r = 0]);
+   [remaining.(v) = -r - 1 < 0] means [v] is executed and had [r]
+   unexecuted parents when it was (always 0 on the execute path; nonzero
+   only for non-ideal sets given to [of_set]). This keeps the per-node
+   state in one cache-friendly array and makes undo a negation.
+
+   The trail records the execution order for [restore]; it is allocated on
+   the first [snapshot], so pure replay consumers never pay for it.
+
+   Unsafe accesses below are justified by the construction invariants:
+   every node id handled comes from the dag's adjacency (so is in [0, n)),
+   and the pool holds exactly [count <= n] entries. *)
+
+type t = {
+  g : Dag.t;
+  off : int array;  (* CSR successor adjacency, shared with the dag *)
+  dat : int array;
+  remaining : int array;
+  pool : int array;
+  pos : int array;
+  mutable trail : int array;  (* [||] until the first snapshot *)
+  mutable floor : int;  (* n_executed when the trail was allocated *)
+  mutable count : int;  (* eligible nodes = pool.(0 .. count-1) *)
+  mutable n_executed : int;
+  mutable executes : int;
+  mutable promotions : int;
+  mutable restores : int;
+}
+
+let dag t = t.g
+let count t = t.count
+let executed_count t = t.n_executed
+
+let make_state g remaining pool count n_executed =
+  let { Dag.off; dat; _ } = Dag.csr g in
+  {
+    g;
+    off;
+    dat;
+    remaining;
+    pool;
+    pos = Array.make (Array.length remaining) 0;
+    trail = [||];
+    floor = n_executed;
+    count;
+    n_executed;
+    executes = 0;
+    promotions = 0;
+    restores = 0;
+  }
+
+let create g =
+  let n = Dag.n_nodes g in
+  let { Dag.indeg; _ } = Dag.csr g in
+  let remaining = Array.copy indeg in
+  let pool = Array.make n 0 in
+  let count = ref 0 in
+  let t = make_state g remaining pool 0 0 in
+  for v = 0 to n - 1 do
+    if Array.unsafe_get remaining v = 0 then begin
+      Array.unsafe_set pool !count v;
+      Array.unsafe_set t.pos v !count;
+      incr count
+    end
+  done;
+  t.count <- !count;
+  t
+
+let of_set g ~executed =
+  let n = Dag.n_nodes g in
+  if Array.length executed <> n then
+    invalid_arg "Frontier.of_set: length mismatch";
+  let pred = Dag.pred_arrays g in
+  let remaining = Array.make n 0 in
+  let pool = Array.make n 0 in
+  let count = ref 0 and n_executed = ref 0 in
+  let t = make_state g remaining pool 0 0 in
+  for v = 0 to n - 1 do
+    let unmet =
+      Array.fold_left
+        (fun acc p -> if executed.(p) then acc else acc + 1)
+        0 pred.(v)
+    in
+    if executed.(v) then begin
+      remaining.(v) <- -unmet - 1;
+      incr n_executed
+    end
+    else begin
+      remaining.(v) <- unmet;
+      if unmet = 0 then begin
+        pool.(!count) <- v;
+        t.pos.(v) <- !count;
+        incr count
+      end
+    end
+  done;
+  t.count <- !count;
+  t.n_executed <- !n_executed;
+  t.floor <- !n_executed;
+  t
+
+let in_range t v = v >= 0 && v < Array.length t.remaining
+let is_executed t v = in_range t v && t.remaining.(v) < 0
+let is_eligible t v = in_range t v && t.remaining.(v) = 0
+
+let members t =
+  let a = Array.sub t.pool 0 t.count in
+  Array.sort compare a;
+  a
+
+let to_list t = Array.to_list (members t)
+let iter f t = Array.iter f (members t)
+let choose t = if t.count = 0 then None else Some t.pool.(t.count - 1)
+
+let execute ?on_promote t v =
+  if not (is_eligible t v) then
+    invalid_arg
+      (if in_range t v then
+         if t.remaining.(v) < 0 then "Frontier.execute: node already executed"
+         else "Frontier.execute: node not eligible"
+       else "Frontier.execute: node out of range");
+  (* swap-remove v from the pool *)
+  let last = t.count - 1 in
+  let pv = Array.unsafe_get t.pos v in
+  let moved = Array.unsafe_get t.pool last in
+  Array.unsafe_set t.pool pv moved;
+  Array.unsafe_set t.pos moved pv;
+  t.count <- last;
+  Array.unsafe_set t.remaining v (-1);
+  if t.trail != [||] then Array.unsafe_set t.trail t.n_executed v;
+  t.n_executed <- t.n_executed + 1;
+  t.executes <- t.executes + 1;
+  let off = t.off and dat = t.dat in
+  for i = Array.unsafe_get off v to Array.unsafe_get off (v + 1) - 1 do
+    let w = Array.unsafe_get dat i in
+    let r = Array.unsafe_get t.remaining w - 1 in
+    Array.unsafe_set t.remaining w r;
+    if r = 0 then begin
+      Array.unsafe_set t.pool t.count w;
+      Array.unsafe_set t.pos w t.count;
+      t.count <- t.count + 1;
+      t.promotions <- t.promotions + 1;
+      match on_promote with None -> () | Some f -> f w
+    end
+  done
+
+type snapshot = int
+
+let snapshot t =
+  if t.trail == [||] then begin
+    t.trail <- Array.make (Array.length t.remaining) 0;
+    t.floor <- t.n_executed
+  end;
+  t.n_executed
+
+let restore t snap =
+  if snap < t.floor || snap > t.n_executed || (snap < t.n_executed && t.trail == [||])
+  then invalid_arg "Frontier.restore: stale snapshot";
+  t.restores <- t.restores + 1;
+  while t.n_executed > snap do
+    let v = t.trail.(t.n_executed - 1) in
+    t.n_executed <- t.n_executed - 1;
+    (* children of v executed after v have already been undone, so any
+       child with no unexecuted parent is currently in the pool *)
+    let off = t.off and dat = t.dat in
+    for i = Array.unsafe_get off v to Array.unsafe_get off (v + 1) - 1 do
+      let w = Array.unsafe_get dat i in
+      if Array.unsafe_get t.remaining w = 0 then begin
+        let last = t.count - 1 in
+        let pw = Array.unsafe_get t.pos w in
+        let moved = Array.unsafe_get t.pool last in
+        Array.unsafe_set t.pool pw moved;
+        Array.unsafe_set t.pos moved pw;
+        t.count <- last
+      end;
+      Array.unsafe_set t.remaining w (Array.unsafe_get t.remaining w + 1)
+    done;
+    let r = -t.remaining.(v) - 1 in
+    t.remaining.(v) <- r;
+    if r = 0 then begin
+      t.pool.(t.count) <- v;
+      t.pos.(v) <- t.count;
+      t.count <- t.count + 1
+    end
+  done
+
+(* Bulk replay: the whole profile of an execution order in one tight pass,
+   without pool, position or trail upkeep. This is the hot path behind
+   [Profile.run]; the order is trusted to be a schedule of [g] (which
+   [Schedule.t] guarantees), like the callers it replaced. *)
+let profile g ~order =
+  let n = Dag.n_nodes g in
+  if Array.length order <> n then
+    invalid_arg "Frontier.profile: order length mismatch";
+  let { Dag.off; dat; indeg; n_sources } = Dag.csr g in
+  let remaining = Array.copy indeg in
+  let out = Array.make (n + 1) 0 in
+  let count = ref 0 in
+  Array.unsafe_set out 0 n_sources;
+  count := n_sources;
+  for i = 0 to n - 1 do
+    let v = Array.unsafe_get order i in
+    if v < 0 || v >= n then invalid_arg "Frontier.profile: node out of range";
+    let c = ref (!count - 1) in
+    for j = Array.unsafe_get off v to Array.unsafe_get off (v + 1) - 1 do
+      let w = Array.unsafe_get dat j in
+      let r = Array.unsafe_get remaining w - 1 in
+      Array.unsafe_set remaining w r;
+      if r = 0 then incr c
+    done;
+    count := !c;
+    Array.unsafe_set out (i + 1) !c
+  done;
+  out
+
+type stats = { executes : int; promotions : int; restores : int }
+
+let stats (t : t) =
+  { executes = t.executes; promotions = t.promotions; restores = t.restores }

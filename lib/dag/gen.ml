@@ -29,20 +29,14 @@ let random_layered_dag rng ~layers ~width ~arc_probability =
 
 let greedy_random rng g ~pick_pool =
   let n = Dag.n_nodes g in
-  let remaining = Array.init n (fun v -> Dag.in_degree g v) in
-  let eligible = ref (List.filter (fun v -> remaining.(v) = 0) (List.init n Fun.id)) in
+  let fr = Frontier.create g in
   let order = Array.make n (-1) in
   for t = 0 to n - 1 do
-    let pool = pick_pool !eligible in
+    let pool = pick_pool (Frontier.to_list fr) in
     let k = Random.State.int rng (List.length pool) in
     let v = List.nth pool k in
     order.(t) <- v;
-    eligible := List.filter (fun w -> w <> v) !eligible;
-    Array.iter
-      (fun w ->
-        remaining.(w) <- remaining.(w) - 1;
-        if remaining.(w) = 0 then eligible := w :: !eligible)
-      (Dag.succ g v)
+    Frontier.execute fr v
   done;
   Schedule.of_array_exn g order
 

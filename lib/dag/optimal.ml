@@ -7,95 +7,75 @@ type analysis = {
 
 exception Too_large of int
 
-(* Per-node parent bitmasks: node v is eligible in ideal [s] iff v is not in
-   [s] and all its parents are. *)
-let pred_masks g =
-  Array.init (Dag.n_nodes g) (fun v ->
-      Array.fold_left (fun m p -> m lor (1 lsl p)) 0 (Dag.pred g v))
-
-let eligible_nodes g pmask s =
-  let n = Dag.n_nodes g in
-  let acc = ref [] in
-  for v = n - 1 downto 0 do
-    if s land (1 lsl v) = 0 && s land pmask.(v) = pmask.(v) then acc := v :: !acc
-  done;
-  !acc
-
-let eligible_count g pmask s =
-  let n = Dag.n_nodes g in
-  let c = ref 0 in
-  for v = 0 to n - 1 do
-    if s land (1 lsl v) = 0 && s land pmask.(v) = pmask.(v) then incr c
-  done;
-  !c
-
-(* Enumerate ideals level by level (level t = ideals of size t), calling
-   [f t s e] on each, keeping only one level in memory. *)
-let iter_levels g pmask ~max_ideals f =
-  let n = Dag.n_nodes g in
-  let seen_total = ref 0 in
-  let current = ref (Hashtbl.create 64) in
-  Hashtbl.replace !current 0 ();
-  for t = 0 to n do
-    let next = Hashtbl.create (Hashtbl.length !current * 2) in
-    Hashtbl.iter
-      (fun s () ->
-        incr seen_total;
-        if !seen_total > max_ideals then raise (Too_large !seen_total);
-        f t s (eligible_count g pmask s);
-        if t < n then
-          List.iter
-            (fun v -> Hashtbl.replace next (s lor (1 lsl v)) ())
-            (eligible_nodes g pmask s))
-      !current;
-    current := next
-  done
+(* Both passes are depth-first searches over the lattice of ideals, driven
+   by one Frontier with execute/restore as the step/undo pair: the eligible
+   set and its count are maintained incrementally instead of being
+   re-derived from a bitmask at every state. Native-int bitmasks survive
+   only as hash keys that deduplicate ideals (an ideal's eligibility count
+   depends on the set alone, so each set is explored once). *)
 
 let analyze ?(max_ideals = 2_000_000) g =
   let n = Dag.n_nodes g in
   if n > 61 then Error (`Too_large n)
-  else
-    let pmask = pred_masks g in
+  else begin
+    let fr = Frontier.create g in
     try
-      (* Pass 1: E_opt per level. *)
+      (* Pass 1: E_opt per level = max eligibility over ideals of each
+         size, visiting every distinct ideal exactly once. *)
       let e_opt = Array.make (n + 1) min_int in
       let n_ideals = ref 0 in
-      iter_levels g pmask ~max_ideals (fun t _s e ->
-          incr n_ideals;
-          if e > e_opt.(t) then e_opt.(t) <- e);
-      (* Pass 2: forward-filtered chain of pointwise-optimal ideals. Each
-         level keeps the optimal ideals reachable from the previous level's
-         survivors, with a back-pointer for witness reconstruction. *)
-      let levels = Array.make (n + 1) (Hashtbl.create 1) in
-      let start = Hashtbl.create 1 in
-      if Profile.of_set g ~executed:(Array.make n false) = e_opt.(0) then
-        Hashtbl.replace start 0 (-1, -1);
-      levels.(0) <- start;
-      for t = 0 to n - 1 do
-        let next = Hashtbl.create (Hashtbl.length levels.(t) * 2) in
-        Hashtbl.iter
-          (fun s (_, _) ->
-            List.iter
-              (fun v ->
-                let s' = s lor (1 lsl v) in
-                if
-                  (not (Hashtbl.mem next s'))
-                  && eligible_count g pmask s' = e_opt.(t + 1)
-                then Hashtbl.replace next s' (s, v))
-              (eligible_nodes g pmask s))
-          levels.(t);
-        levels.(t + 1) <- next
-      done;
-      let admits = Hashtbl.length levels.(n) > 0 in
+      let seen = Hashtbl.create 1024 in
+      let rec explore mask t =
+        incr n_ideals;
+        if !n_ideals > max_ideals then raise (Too_large !n_ideals);
+        let e = Frontier.count fr in
+        if e > e_opt.(t) then e_opt.(t) <- e;
+        Array.iter
+          (fun v ->
+            let mask' = mask lor (1 lsl v) in
+            if not (Hashtbl.mem seen mask') then begin
+              Hashtbl.replace seen mask' ();
+              let snap = Frontier.snapshot fr in
+              Frontier.execute fr v;
+              explore mask' (t + 1);
+              Frontier.restore fr snap
+            end)
+          (Frontier.members fr)
+      in
+      Hashtbl.replace seen 0 ();
+      explore 0 0;
+      (* Pass 2: which pointwise-optimal ideals are reachable through a
+         chain of pointwise-optimal ideals? [chain] keeps a back-pointer
+         (previous ideal, executed node) per survivor for the witness. *)
+      let chain = Hashtbl.create 256 in
+      let dead = Hashtbl.create 256 in
+      let rec forward mask t =
+        Array.iter
+          (fun v ->
+            let mask' = mask lor (1 lsl v) in
+            if not (Hashtbl.mem chain mask' || Hashtbl.mem dead mask') then begin
+              let snap = Frontier.snapshot fr in
+              Frontier.execute fr v;
+              if Frontier.count fr = e_opt.(t + 1) then begin
+                Hashtbl.replace chain mask' (mask, v);
+                forward mask' (t + 1)
+              end
+              else Hashtbl.replace dead mask' ();
+              Frontier.restore fr snap
+            end)
+          (Frontier.members fr)
+      in
+      forward 0 0;
+      let full = (1 lsl n) - 1 in
+      let admits = n = 0 || Hashtbl.mem chain full in
       let witness =
         if not admits then None
         else begin
-          (* walk back-pointers from the (unique) full ideal *)
           let order = Array.make n (-1) in
-          let s = ref ((1 lsl n) - 1) in
+          let s = ref full in
           (try
              for t = n downto 1 do
-               let prev, v = Hashtbl.find levels.(t) !s in
+               let prev, v = Hashtbl.find chain !s in
                order.(t - 1) <- v;
                s := prev
              done
@@ -105,6 +85,7 @@ let analyze ?(max_ideals = 2_000_000) g =
       in
       Ok { e_opt; n_ideals = !n_ideals; admits; witness }
     with Too_large k -> Error (`Too_large k)
+  end
 
 let e_opt ?max_ideals g =
   Result.map (fun a -> a.e_opt) (analyze ?max_ideals g)

@@ -1,25 +1,4 @@
-let run g s =
-  let n = Dag.n_nodes g in
-  let order = Schedule.order s in
-  let remaining = Array.init n (fun v -> Dag.in_degree g v) in
-  let profile = Array.make (n + 1) 0 in
-  (* initially the eligible nodes are exactly the sources *)
-  let eligible = ref 0 in
-  for v = 0 to n - 1 do
-    if remaining.(v) = 0 then incr eligible
-  done;
-  profile.(0) <- !eligible;
-  Array.iteri
-    (fun t v ->
-      decr eligible;
-      Array.iter
-        (fun w ->
-          remaining.(w) <- remaining.(w) - 1;
-          if remaining.(w) = 0 then incr eligible)
-        (Dag.succ g v);
-      profile.(t + 1) <- !eligible)
-    order;
-  profile
+let run g s = Frontier.profile g ~order:(Schedule.order s)
 
 let check_nonsinks_first g s =
   let order = Schedule.order s in
@@ -37,30 +16,19 @@ let nonsink_profile g s =
   Array.sub full 0 (Dag.n_nonsinks g + 1)
 
 let of_set g ~executed =
-  let n = Dag.n_nodes g in
-  if Array.length executed <> n then invalid_arg "Profile.of_set: length mismatch";
-  let count = ref 0 in
-  for v = 0 to n - 1 do
-    if (not executed.(v)) && Array.for_all (fun p -> executed.(p)) (Dag.pred g v)
-    then incr count
-  done;
-  !count
+  if Array.length executed <> Dag.n_nodes g then
+    invalid_arg "Profile.of_set: length mismatch";
+  Frontier.count (Frontier.of_set g ~executed)
 
 let packets g s =
   check_nonsinks_first g s;
-  let n = Dag.n_nodes g in
   let k = Dag.n_nonsinks g in
   let order = Schedule.order s in
-  let remaining = Array.init n (fun v -> Dag.in_degree g v) in
+  let fr = Frontier.create g in
   let packets = Array.make k [] in
   for t = 0 to k - 1 do
-    let v = order.(t) in
     let made = ref [] in
-    Array.iter
-      (fun w ->
-        remaining.(w) <- remaining.(w) - 1;
-        if remaining.(w) = 0 then made := w :: !made)
-      (Dag.succ g v);
+    Frontier.execute fr ~on_promote:(fun w -> made := w :: !made) order.(t);
     packets.(t) <- List.rev !made
   done;
   packets

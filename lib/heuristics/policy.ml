@@ -43,23 +43,29 @@ let lifo =
   { name = "lifo"; instantiate }
 
 let random seed =
-  let instantiate _g =
+  let instantiate g =
     let rng = Random.State.make [| seed |] in
-    let pool = ref [] in
+    (* array-backed pool with swap-remove: O(1) notify and select *)
+    let pool = ref (Array.make (max 16 (Dag.n_nodes g)) 0) in
     let size = ref 0 in
     {
       notify =
         (fun v ->
-          pool := v :: !pool;
+          if !size = Array.length !pool then begin
+            let bigger = Array.make (2 * !size) 0 in
+            Array.blit !pool 0 bigger 0 !size;
+            pool := bigger
+          end;
+          !pool.(!size) <- v;
           incr size);
       select =
         (fun () ->
           if !size = 0 then None
           else begin
             let k = Random.State.int rng !size in
-            let v = List.nth !pool k in
-            pool := List.filteri (fun i _ -> i <> k) !pool;
+            let v = !pool.(k) in
             decr size;
+            !pool.(k) <- !pool.(!size);
             Some v
           end);
     }
@@ -107,20 +113,14 @@ let baselines =
 let run p g =
   let n = Dag.n_nodes g in
   let inst = instantiate p g in
-  let remaining = Array.init n (fun v -> Dag.in_degree g v) in
-  for v = 0 to n - 1 do
-    if remaining.(v) = 0 then inst.notify v
-  done;
+  let fr = Ic_dag.Frontier.create g in
+  Ic_dag.Frontier.iter inst.notify fr;
   let order = Array.make n (-1) in
   for t = 0 to n - 1 do
     match inst.select () with
     | None -> invalid_arg "Policy.run: pool exhausted before completion"
     | Some v ->
       order.(t) <- v;
-      Array.iter
-        (fun w ->
-          remaining.(w) <- remaining.(w) - 1;
-          if remaining.(w) = 0 then inst.notify w)
-        (Dag.succ g v)
+      Ic_dag.Frontier.execute fr ~on_promote:inst.notify v
   done;
   Schedule.of_array_exn g order

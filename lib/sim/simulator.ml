@@ -1,4 +1,5 @@
 module Dag = Ic_dag.Dag
+module Frontier = Ic_dag.Frontier
 module Policy = Ic_heuristics.Policy
 module Heap = Ic_heuristics.Heap
 
@@ -37,15 +38,13 @@ let run cfg policy ~workload g =
   let work = workload g in
   let rng = Random.State.make [| cfg.seed |] in
   let inst = Policy.instantiate policy g in
-  let remaining = Array.init n (fun v -> Dag.in_degree g v) in
+  let fr = Frontier.create g in
   let pool_size = ref 0 in
   let notify v =
     Policy.notify inst v;
     incr pool_size
   in
-  for v = 0 to n - 1 do
-    if remaining.(v) = 0 then notify v
-  done;
+  Frontier.iter notify fr;
   let events : (float, int * int) Heap.t = Heap.create () in
   (* metrics *)
   let now = ref 0.0 in
@@ -73,7 +72,7 @@ let run cfg policy ~workload g =
          Internet; a source's input comes from the server (one transfer) *)
       let transfers =
         if cfg.comm_time = 0.0 then 0
-        else if Dag.in_degree g v = 0 then 1
+        else if Dag.is_source g v then 1
         else
           Array.fold_left
             (fun acc p -> if computed_by.(p) = client then acc else acc + 1)
@@ -117,11 +116,7 @@ let run cfg policy ~workload g =
         incr completed;
         computed_by.(v) <- client;
         completion_order := v :: !completion_order;
-        Array.iter
-          (fun w ->
-            remaining.(w) <- remaining.(w) - 1;
-            if remaining.(w) = 0 then notify w)
-          (Dag.succ g v)
+        Frontier.execute fr ~on_promote:notify v
       end;
       (* serve clients that were stalled first, then the freed client *)
       let waiters = Queue.length stalled in

@@ -1,0 +1,224 @@
+module Dag = Ic_dag.Dag
+module Schedule = Ic_dag.Schedule
+module Gen = Ic_dag.Gen
+module Frontier = Ic_dag.Frontier
+module Repertoire = Ic_blocks.Repertoire
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_ints = Alcotest.(check (list int))
+
+(* Reference implementation: the ELIGIBLE set recomputed from scratch from
+   an executed-set bool array, straight from the definition. *)
+let naive_eligible g executed =
+  let acc = ref [] in
+  for v = Dag.n_nodes g - 1 downto 0 do
+    if
+      (not executed.(v))
+      && Array.for_all (fun p -> executed.(p)) (Dag.pred g v)
+    then acc := v :: !acc
+  done;
+  !acc
+
+(* Replay [order] on one incremental frontier, checking after every prefix
+   that count/members agree with the naive recomputation, with a fresh
+   [of_set] frontier, and with the bulk [profile]. *)
+let check_replay name g order =
+  let n = Dag.n_nodes g in
+  let executed = Array.make n false in
+  let fr = Frontier.create g in
+  let prof = Frontier.profile g ~order in
+  let step i =
+    let reference = naive_eligible g executed in
+    let label fmt = Printf.sprintf "%s: %s after %d steps" name fmt i in
+    check_ints (label "members") reference (Frontier.to_list fr);
+    check_int (label "count") (List.length reference) (Frontier.count fr);
+    check_int (label "profile") prof.(i) (Frontier.count fr);
+    check_int (label "executed_count") i (Frontier.executed_count fr);
+    let fresh = Frontier.of_set g ~executed in
+    check_ints (label "of_set members") reference (Frontier.to_list fresh);
+    List.iter
+      (fun v -> check (label "is_eligible") true (Frontier.is_eligible fr v))
+      reference
+  in
+  step 0;
+  Array.iteri
+    (fun i v ->
+      Frontier.execute fr v;
+      executed.(v) <- true;
+      step (i + 1))
+    order;
+  check_int (name ^ ": empty at end") 0 (Frontier.count fr)
+
+let test_repertoire_equivalence () =
+  List.iter
+    (fun (r : Repertoire.t) ->
+      check_replay r.name r.dag (Schedule.order r.schedule))
+    Repertoire.all
+
+let test_random_equivalence () =
+  let st = Random.State.make [| 42 |] in
+  for i = 1 to 15 do
+    let g = Gen.random_dag st ~n:(10 + (i mod 5 * 7)) ~arc_probability:0.2 in
+    let order = Schedule.order (Gen.random_schedule st g) in
+    check_replay (Printf.sprintf "random dag %d" i) g order
+  done;
+  for i = 1 to 10 do
+    let g = Gen.random_layered_dag st ~layers:4 ~width:5 ~arc_probability:0.4 in
+    let order = Schedule.order (Gen.random_nonsinks_first_schedule st g) in
+    check_replay (Printf.sprintf "layered dag %d" i) g order
+  done
+
+(* [of_set] must also accept non-ideal executed sets: a node with
+   unexecuted parents is simply not eligible, executed or not. *)
+let test_of_set_non_ideal () =
+  let st = Random.State.make [| 7 |] in
+  for i = 1 to 25 do
+    let g = Gen.random_dag st ~n:20 ~arc_probability:0.25 in
+    let executed =
+      Array.init (Dag.n_nodes g) (fun _ -> Random.State.bool st)
+    in
+    let fr = Frontier.of_set g ~executed in
+    check_ints
+      (Printf.sprintf "non-ideal set %d" i)
+      (naive_eligible g executed) (Frontier.to_list fr)
+  done;
+  check "length mismatch rejected" true
+    (try
+       ignore (Frontier.of_set (Dag.empty 3) ~executed:[| true |]);
+       false
+     with Invalid_argument _ -> true)
+
+let frontier_state fr =
+  let g = Frontier.dag fr in
+  ( Frontier.count fr,
+    Frontier.executed_count fr,
+    Frontier.to_list fr,
+    List.init (Dag.n_nodes g) (Frontier.is_executed fr) )
+
+let test_snapshot_restore_roundtrip () =
+  let st = Random.State.make [| 1234 |] in
+  for _ = 1 to 25 do
+    let g = Gen.random_dag st ~n:24 ~arc_probability:0.2 in
+    let n = Dag.n_nodes g in
+    let order = Schedule.order (Gen.random_schedule st g) in
+    let k = Random.State.int st (n + 1) in
+    let fr = Frontier.create g in
+    for i = 0 to k - 1 do
+      Frontier.execute fr order.(i)
+    done;
+    let before = frontier_state fr in
+    let snap = Frontier.snapshot fr in
+    (* run an arbitrary greedy continuation, not necessarily [order]'s *)
+    let rec run_on () =
+      match Frontier.choose fr with
+      | Some v ->
+        Frontier.execute fr v;
+        if Random.State.bool st then run_on ()
+      | None -> ()
+    in
+    run_on ();
+    Frontier.restore fr snap;
+    check "roundtrip restores state" true (frontier_state fr = before);
+    (* the restored frontier must still execute correctly *)
+    for i = k to n - 1 do
+      Frontier.execute fr order.(i)
+    done;
+    check_int "completes after restore" n (Frontier.executed_count fr)
+  done
+
+let test_nested_snapshots () =
+  let g = Ic_families.Mesh.out_mesh 5 in
+  let order = Schedule.order (Ic_families.Mesh.out_schedule 5) in
+  let fr = Frontier.create g in
+  let snap0 = Frontier.snapshot fr in
+  for i = 0 to 4 do
+    Frontier.execute fr order.(i)
+  done;
+  let state1 = frontier_state fr in
+  let snap1 = Frontier.snapshot fr in
+  for i = 5 to 9 do
+    Frontier.execute fr order.(i)
+  done;
+  let state2 = frontier_state fr in
+  let snap2 = Frontier.snapshot fr in
+  for i = 10 to Array.length order - 1 do
+    Frontier.execute fr order.(i)
+  done;
+  Frontier.restore fr snap2;
+  check "inner restore" true (frontier_state fr = state2);
+  Frontier.restore fr snap1;
+  check "outer restore" true (frontier_state fr = state1);
+  check "stale snapshot raises" true
+    (try
+       Frontier.restore fr snap2;
+       false
+     with Invalid_argument _ -> true);
+  Frontier.restore fr snap0;
+  check_int "back to empty execution" 0 (Frontier.executed_count fr)
+
+let test_execute_errors () =
+  let g = Dag.make_exn ~n:3 ~arcs:[ (0, 1); (1, 2) ] () in
+  let fr = Frontier.create g in
+  let raises f = try f (); false with Invalid_argument _ -> true in
+  check "out of range" true (raises (fun () -> Frontier.execute fr 3));
+  check "not eligible" true (raises (fun () -> Frontier.execute fr 2));
+  Frontier.execute fr 0;
+  check "already executed" true (raises (fun () -> Frontier.execute fr 0))
+
+let test_promotions_ascending () =
+  let st = Random.State.make [| 99 |] in
+  for _ = 1 to 10 do
+    let g = Gen.random_dag st ~n:30 ~arc_probability:0.3 in
+    let order = Schedule.order (Gen.random_schedule st g) in
+    let fr = Frontier.create g in
+    Array.iter
+      (fun v ->
+        let promoted = ref [] in
+        Frontier.execute fr ~on_promote:(fun w -> promoted := w :: !promoted) v;
+        let ws = List.rev !promoted in
+        check "promotions ascending" true (List.sort compare ws = ws))
+      order
+  done
+
+let test_stats () =
+  let g = Ic_families.Mesh.out_mesh 4 in
+  let n = Dag.n_nodes g in
+  let order = Schedule.order (Ic_families.Mesh.out_schedule 4) in
+  let fr = Frontier.create g in
+  let snap = Frontier.snapshot fr in
+  Array.iter (Frontier.execute fr) order;
+  Frontier.restore fr snap;
+  Array.iter (Frontier.execute fr) order;
+  let stats = Frontier.stats fr in
+  check_int "executes" (2 * n) stats.Frontier.executes;
+  (* every non-source is promoted exactly once per full replay *)
+  check_int "promotions"
+    (2 * Dag.n_nonsources g)
+    stats.Frontier.promotions;
+  check_int "restores" 1 stats.Frontier.restores
+
+let () =
+  Alcotest.run "frontier"
+    [
+      ( "equivalence",
+        [
+          Alcotest.test_case "repertoire replay" `Quick
+            test_repertoire_equivalence;
+          Alcotest.test_case "random dags" `Quick test_random_equivalence;
+          Alcotest.test_case "of_set non-ideal" `Quick test_of_set_non_ideal;
+        ] );
+      ( "undo",
+        [
+          Alcotest.test_case "snapshot/restore roundtrip" `Quick
+            test_snapshot_restore_roundtrip;
+          Alcotest.test_case "nested snapshots" `Quick test_nested_snapshots;
+        ] );
+      ( "api",
+        [
+          Alcotest.test_case "execute errors" `Quick test_execute_errors;
+          Alcotest.test_case "promotions ascending" `Quick
+            test_promotions_ascending;
+          Alcotest.test_case "stats counters" `Quick test_stats;
+        ] );
+    ]
