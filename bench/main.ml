@@ -1,7 +1,13 @@
 (* Bechamel timing benches: one Test.make per table/figure of the paper
    (the per-experiment index of DESIGN.md), all in one executable.
 
-   dune exec bench/main.exe *)
+   dune exec bench/main.exe -- [--group default|large|all] [--quick]
+                               [--json-out FILE]
+
+   The [large] group leaves Bechamel behind: million-node dags are built
+   and profiled once (or a handful of times) under a plain wall-clock /
+   Gc.allocated_bytes / VmHWM harness, and every bench emits a one-line
+   JSON record (to stdout, and to --json-out when given). *)
 
 open Bechamel
 open Toolkit
@@ -9,6 +15,49 @@ module F = Ic_families
 module G = Ic_granularity
 
 let stage = Staged.stage
+
+(* ---------------------------------------------------------------- CLI -- *)
+
+type group = Default | Large | All
+
+let group = ref Default
+let quick = ref false
+let json_out : string option ref = ref None
+
+let parse_args () =
+  let rec go = function
+    | [] -> ()
+    | "--quick" :: rest ->
+      quick := true;
+      go rest
+    | "--json-out" :: file :: rest ->
+      json_out := Some file;
+      go rest
+    | "--group" :: g :: rest ->
+      (group :=
+         match g with
+         | "default" -> Default
+         | "large" -> Large
+         | "all" -> All
+         | _ ->
+           prerr_endline ("unknown group " ^ g ^ " (default|large|all)");
+           exit 2);
+      go rest
+    | arg :: _ ->
+      prerr_endline ("unknown argument " ^ arg);
+      exit 2
+  in
+  go (List.tl (Array.to_list Sys.argv))
+
+let emit_json line =
+  print_endline line;
+  match !json_out with
+  | None -> ()
+  | Some file ->
+    let oc = open_out_gen [ Open_append; Open_creat ] 0o644 file in
+    output_string oc line;
+    output_char oc '\n';
+    close_out oc
 
 (* E1 / Fig 1: building and scheduling the whole block repertoire *)
 let fig1_blocks =
@@ -223,7 +272,97 @@ let tests =
       frontier_profile_butterfly10;
     ]
 
-let () =
+(* ------------------------------------------------- the [large] group -- *)
+
+(* Construction and replay far beyond the paper's figure sizes: out-mesh
+   1024 (~525k tasks), butterfly 2^16 inputs (~1.1M tasks), parallel-prefix
+   2^18 (~5M tasks). Bechamel's per-run isolation is pointless at these
+   sizes; a plain harness times a few runs, meters allocation through
+   [Gc.allocated_bytes] and peak memory through VmHWM. *)
+
+let max_rss_kb () =
+  (* VmHWM from /proc/self/status: Linux-only, absent elsewhere *)
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> 0
+  | ic ->
+    let rec scan () =
+      match input_line ic with
+      | exception End_of_file -> 0
+      | line ->
+        if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+          String.sub line 6 (String.length line - 6)
+          |> String.trim
+          |> String.split_on_char ' '
+          |> List.hd
+          |> int_of_string
+        else scan ()
+    in
+    let r = scan () in
+    close_in ic;
+    r
+
+(* time [f] for at least [min_runs] runs and ~0.2 s, returning mean seconds
+   per run and mean bytes allocated per run *)
+let time_it ?(min_runs = 1) f =
+  let runs = ref 0 and total = ref 0.0 in
+  let a0 = Gc.allocated_bytes () in
+  while !runs < min_runs || (!total < 0.2 && !runs < 1_000) do
+    let t0 = Sys.time () in
+    ignore (Sys.opaque_identity (f ()));
+    total := !total +. (Sys.time () -. t0);
+    incr runs
+  done;
+  let a1 = Gc.allocated_bytes () in
+  ( !total /. float_of_int !runs,
+    (a1 -. a0 -. (56.0 *. float_of_int !runs)) /. float_of_int !runs )
+
+let large_record ~name ~n_nodes ~n_arcs ~seconds ~alloc_bytes =
+  emit_json
+    (Printf.sprintf
+       "{\"bench\": %S, \"n_nodes\": %d, \"n_arcs\": %d, \"time_ms\": %.3f, \
+        \"allocated_mb\": %.3f, \"max_rss_kb\": %d}"
+       name n_nodes n_arcs (1e3 *. seconds)
+       (alloc_bytes /. 1048576.0)
+       (max_rss_kb ()))
+
+let large_build name build =
+  let seconds, alloc = time_it build in
+  let g = build () in
+  large_record ~name ~n_nodes:(Ic_dag.Dag.n_nodes g)
+    ~n_arcs:(Ic_dag.Dag.n_arcs g) ~seconds ~alloc_bytes:alloc
+
+let large_profile name g s ~min_runs =
+  let seconds, alloc = time_it ~min_runs (fun () -> Ic_dag.Profile.run g s) in
+  large_record ~name ~n_nodes:(Ic_dag.Dag.n_nodes g)
+    ~n_arcs:(Ic_dag.Dag.n_arcs g) ~seconds ~alloc_bytes:alloc
+
+let run_large () =
+  let mesh_levels = if !quick then 256 else 1024 in
+  let butterfly_dim = if !quick then 10 else 16 in
+  let prefix_inputs = if !quick then 1 lsl 12 else 1 lsl 18 in
+  large_build
+    (Printf.sprintf "build_out_mesh_%d" mesh_levels)
+    (fun () -> F.Mesh.out_mesh mesh_levels);
+  large_build
+    (Printf.sprintf "build_butterfly_%d" butterfly_dim)
+    (fun () -> F.Butterfly_net.dag butterfly_dim);
+  large_build
+    (Printf.sprintf "build_prefix_%d" prefix_inputs)
+    (fun () -> F.Prefix_dag.dag prefix_inputs);
+  (* schedule replay at the large mesh size, one pass over ~1M arcs *)
+  let g = F.Mesh.out_mesh mesh_levels in
+  let s = F.Mesh.out_schedule mesh_levels in
+  large_profile
+    (Printf.sprintf "profile_out_mesh_%d" mesh_levels)
+    g s ~min_runs:(if !quick then 1 else 3);
+  (* the acceptance workload: allocation on mesh-256 profile replay *)
+  let g256 = F.Mesh.out_mesh 256 in
+  let s256 = F.Mesh.out_schedule 256 in
+  large_profile "profile_out_mesh_256_alloc" g256 s256 ~min_runs:20
+
+(* ----------------------------------------------- the [default] group -- *)
+
+let run_default () =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
@@ -270,4 +409,13 @@ let () =
            | _ -> None)
     |> String.concat ", "
   in
-  Format.printf "{%s}@." json
+  emit_json (Printf.sprintf "{%s}" json)
+
+let () =
+  parse_args ();
+  match !group with
+  | Default -> run_default ()
+  | Large -> run_large ()
+  | All ->
+    run_default ();
+    run_large ()

@@ -75,16 +75,12 @@ let greedy g ~batch_size =
     for _ = 1 to want do
       let gain v =
         (* children released if v joins the batch *)
-        Array.fold_left
-          (fun acc w ->
-            let unmet =
-              Array.exists
-                (fun p ->
-                  not (Frontier.is_executed fr p || in_batch.(p) || p = v))
-                (Dag.pred g w)
-            in
-            if unmet || in_batch.(w) then acc else acc + 1)
-          0 (Dag.succ g v)
+        Dag.fold_succ g v 0 (fun acc w ->
+            let unmet = ref false in
+            Dag.iter_pred g w (fun p ->
+                if not (Frontier.is_executed fr p || in_batch.(p) || p = v) then
+                  unmet := true);
+            if !unmet || in_batch.(w) then acc else acc + 1)
       in
       let best =
         Array.fold_left

@@ -68,18 +68,19 @@ let via_tree ~x ~omega ~k =
   done;
   let rec fill v =
     if not (Dag.is_sink tree v) then begin
-      Array.iter fill (Dag.succ tree v);
+      Dag.iter_succ tree v fill;
       exponent.(v) <-
-        Array.fold_left (fun acc c -> min acc exponent.(c)) max_int (Dag.succ tree v)
+        Dag.fold_succ tree v max_int (fun acc c -> min acc exponent.(c))
     end
   in
   fill 0;
+  let tpoff = Dag.pred_offsets tree and tpdat = Dag.pred_sources tree in
   let compute v parents =
     if v < n_tree then begin
       let power =
         if v = 0 then cpow_int wk exponent.(0)
         else
-          let parent = (Dag.pred tree v).(0) in
+          let parent = tpdat.(tpoff.(v)) in
           Complex.mul parents.(0) (cpow_int wk (exponent.(v) - exponent.(parent)))
       in
       if Dag.is_sink tree v then Complex.mul x.(exponent.(v)) power else power

@@ -7,6 +7,27 @@ type 'a t = {
   compute : int -> 'a array -> 'a;
 }
 
+(* Parent values are handed to [compute] in a scratch buffer reused across
+   all nodes of the same in-degree, filled straight from the pred CSR — the
+   per-node [Array.map] allocation this replaces dominated execution cost on
+   large dags. [compute] must not retain the buffer (see the mli). *)
+let scratch_pool ~max_deg dummy =
+  let pool = Array.make (max_deg + 1) [||] in
+  fun d ->
+    if d = 0 then [||]
+    else begin
+      if Array.length pool.(d) = 0 then pool.(d) <- Array.make d dummy;
+      pool.(d)
+    end
+
+let max_in_degree poff n =
+  let m = ref 0 in
+  for v = 0 to n - 1 do
+    let d = poff.(v + 1) - poff.(v) in
+    if d > !m then m := d
+  done;
+  !m
+
 (* Streams over a frontier: the frontier both supplies the default order and
    proves, before every value is computed, that the node's parents have
    already been computed — so parent values can be read straight out of the
@@ -24,6 +45,7 @@ let execute ?schedule t =
   in
   if n = 0 then [||]
   else begin
+    let poff = Dag.pred_offsets g and pdat = Dag.pred_sources g in
     let fr = Frontier.create g in
     let next i =
       match order with
@@ -36,16 +58,97 @@ let execute ?schedule t =
       invalid_arg "Engine.execute: invalid schedule order";
     (* v0 is eligible at step 0, hence a source *)
     let values = Array.make n (t.compute v0 [||]) in
+    let buffer = scratch_pool ~max_deg:(max_in_degree poff n) values.(v0) in
     Frontier.execute fr v0;
     for i = 1 to n - 1 do
       let v = next i in
       if not (Frontier.is_eligible fr v) then
         invalid_arg "Engine.execute: invalid schedule order";
-      let parents = Array.map (fun p -> values.(p)) (Dag.pred g v) in
+      let base = poff.(v) in
+      let d = poff.(v + 1) - base in
+      let parents = buffer d in
+      for k = 0 to d - 1 do
+        Array.unsafe_set parents k values.(Array.unsafe_get pdat (base + k))
+      done;
       Frontier.execute fr v;
       values.(v) <- t.compute v parents
     done;
     values
   end
 
-let value_at ?schedule t v = (execute ?schedule t).(v)
+let value_at ?schedule t target =
+  let g = t.dag in
+  let n = Dag.n_nodes g in
+  if target < 0 || target >= n then
+    invalid_arg "Engine.value_at: node out of range";
+  let order =
+    match schedule with
+    | Some s ->
+      if Schedule.length s <> n then
+        invalid_arg "Engine.value_at: schedule does not fit the dag";
+      Schedule.order s
+    | None -> Dag.topological_order g
+  in
+  let poff = Dag.pred_offsets g and pdat = Dag.pred_sources g in
+  (* [target]'s value only depends on its ancestor cone, so only the cone is
+     computed: reverse BFS over predecessors marks it, then the order is
+     replayed skipping everything outside. *)
+  let in_cone = Bytes.make n '\000' in
+  Bytes.set in_cone target '\001';
+  let queue = Queue.create () in
+  Queue.add target queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    for i = poff.(u) to poff.(u + 1) - 1 do
+      let p = Array.unsafe_get pdat i in
+      if Bytes.unsafe_get in_cone p = '\000' then begin
+        Bytes.unsafe_set in_cone p '\001';
+        Queue.add p queue
+      end
+    done
+  done;
+  (* the first cone node of a valid order is necessarily a cone source: its
+     parents are all in the cone and none is computed yet *)
+  let first = ref 0 in
+  while Bytes.get in_cone order.(!first) = '\000' do
+    incr first
+  done;
+  let v0 = order.(!first) in
+  if poff.(v0 + 1) - poff.(v0) <> 0 then
+    invalid_arg "Engine.value_at: invalid schedule order";
+  let values = Array.make n (t.compute v0 [||]) in
+  let computed = Bytes.make n '\000' in
+  Bytes.set computed v0 '\001';
+  if v0 = target then values.(target)
+  else begin
+    let buffer = scratch_pool ~max_deg:(max_in_degree poff n) values.(v0) in
+    let i = ref (!first + 1) in
+    let result = ref values.(v0) in
+    let finished = ref false in
+    while not !finished do
+      if !i >= n then invalid_arg "Engine.value_at: invalid schedule order";
+      let v = order.(!i) in
+      if Bytes.get in_cone v = '\001' then begin
+        if Bytes.get computed v = '\001' then
+          invalid_arg "Engine.value_at: invalid schedule order";
+        let base = poff.(v) in
+        let d = poff.(v + 1) - base in
+        let parents = buffer d in
+        for k = 0 to d - 1 do
+          let p = Array.unsafe_get pdat (base + k) in
+          if Bytes.get computed p = '\000' then
+            invalid_arg "Engine.value_at: invalid schedule order";
+          Array.unsafe_set parents k values.(p)
+        done;
+        let value = t.compute v parents in
+        values.(v) <- value;
+        Bytes.set computed v '\001';
+        if v = target then begin
+          result := value;
+          finished := true
+        end
+      end;
+      incr i
+    done;
+    !result
+  end

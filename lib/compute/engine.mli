@@ -8,7 +8,12 @@ type 'a t = {
   compute : int -> 'a array -> 'a;
       (** [compute v parents] produces task [v]'s value from its parents'
           values, listed in ascending parent-id order ([[||]] for a
-          source). *)
+          source).
+
+          The [parents] array is a scratch buffer owned by the engine and
+          reused across calls — read it during the call, but do not retain
+          or mutate it. Copy it ([Array.sub]/[Array.copy]) if the value
+          must outlive the call. *)
 }
 
 val execute : ?schedule:Ic_dag.Schedule.t -> 'a t -> 'a array
@@ -16,3 +21,9 @@ val execute : ?schedule:Ic_dag.Schedule.t -> 'a t -> 'a array
     order). Raises [Invalid_argument] if the schedule does not fit. *)
 
 val value_at : ?schedule:Ic_dag.Schedule.t -> 'a t -> int -> 'a
+(** [value_at t v] is [(execute t).(v)], but only the ancestor cone of [v]
+    is computed — [compute] runs exactly once per cone node, in (schedule
+    or topological) order restricted to the cone. Raises [Invalid_argument]
+    if [v] is out of range or the schedule, restricted to the cone, is not
+    a valid execution order (the schedule is not checked outside the
+    cone). *)

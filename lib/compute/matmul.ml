@@ -56,6 +56,7 @@ let rec multiply ?(threshold = 32) a b =
   else begin
     let half = n / 2 in
     let g = M.dag () in
+    let poff = Dag.pred_offsets g and pdat = Dag.pred_sources g in
     let compute v parents =
       if is_operand v then begin
         let side, qi, qj = operand_info v in
@@ -64,9 +65,8 @@ let rec multiply ?(threshold = 32) a b =
       end
       else if is_product v then begin
         (* one parent is a left-matrix operand, the other a right one *)
-        let ps = Dag.pred g v in
         let left, right =
-          match operand_info ps.(0) with
+          match operand_info pdat.(poff.(v)) with
           | `Left, _, _ -> (parents.(0), parents.(1))
           | `Right, _, _ -> (parents.(1), parents.(0))
         in

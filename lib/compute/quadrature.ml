@@ -52,7 +52,10 @@ let integrate ?(rule = Trapezoid) ?(max_depth = 12) ~f ~lo ~hi ~tol () =
      ascending id = left-to-right order *)
   let child_rank = Array.make n_tree 0 in
   for v = 0 to n_tree - 1 do
-    Array.iteri (fun r c -> child_rank.(c) <- r) (Dag.succ tree v)
+    let r = ref 0 in
+    Dag.iter_succ tree v (fun c ->
+        child_rank.(c) <- !r;
+        incr r)
   done;
   let compute v parents =
     if v < n_tree then begin

@@ -22,7 +22,7 @@ type plan = {
 
 let is_levelled g =
   let depth = Dag.depth g in
-  List.for_all (fun (u, v) -> depth.(v) = depth.(u) + 1) (Dag.arcs g)
+  Dag.fold_arcs g true (fun acc u v -> acc && depth.(v) = depth.(u) + 1)
 
 (* connected components of the boundary between level [k] and level [k+1]:
    BFS over depth-k nonsinks and their children *)
@@ -48,8 +48,8 @@ let boundary_components g depth k =
             Queue.add w queue
           end
         in
-        if depth.(v) = k then Array.iter visit (Dag.succ g v)
-        else Array.iter visit (Dag.pred g v)
+        if depth.(v) = k then Dag.iter_succ g v visit
+        else Dag.iter_pred g v visit
       done;
       components := List.sort compare !component :: !components
     end

@@ -35,10 +35,6 @@ let compose c1 c2 ~pairs =
       end
     done;
     let n = !next in
-    let arcs =
-      Dag.arcs g1
-      @ List.map (fun (u, v) -> (remap2.(u), remap2.(v))) (Dag.arcs g2)
-    in
     (* propagate labels only when a component has real ones; default
        id-labels would otherwise collide after renumbering *)
     let labels =
@@ -56,7 +52,10 @@ let compose c1 c2 ~pairs =
         Some out
       end
     in
-    match Dag.make ?labels ~n ~arcs () with
+    let b = Dag.Builder.create ?labels ~n ~hint:(Dag.n_arcs g1 + Dag.n_arcs g2) () in
+    Dag.iter_arcs g1 (fun u v -> Dag.Builder.add_arc b u v);
+    Dag.iter_arcs g2 (fun u v -> Dag.Builder.add_arc b remap2.(u) remap2.(v));
+    match Dag.Builder.build b with
     | Error msg -> Error ("composition is not a dag: " ^ msg)
     | Ok g ->
       let remapped_c2 =

@@ -1,76 +1,101 @@
-type csr = {
-  off : int array;
-  dat : int array;
-  indeg : int array;
-  n_sources : int;
-}
+(* CSR-native dags: both adjacency directions live in flat off/dat int
+   arrays, built once at construction. There is no array-of-arrays layout
+   and no lazily bolted-on cache — every traversal in the library walks
+   these four arrays.
+
+   Invariants (established by [Builder.build], preserved by every
+   constructor):
+     - [soff] and [poff] have length [n + 1] with [soff.(0) = poff.(0) = 0]
+       and [soff.(n) = poff.(n) = m];
+     - children of [v] are [sdat.(soff.(v)) .. sdat.(soff.(v+1) - 1)],
+       strictly ascending; parents likewise in [pdat]/[poff];
+     - the two directions describe the same arc set, which is self-loop
+       free, duplicate free, and acyclic;
+     - [n_sources] counts the parentless nodes. *)
 
 type t = {
   n : int;
-  succ : int array array;
-  pred : int array array;
+  soff : int array;
+  sdat : int array;
+  poff : int array;
+  pdat : int array;
   labels : string array option;
-  mutable csr_cache : csr option;
-      (* flattened successor adjacency, built lazily; adjacency-derived
-         only, so any constructor that changes arcs must reset it *)
+  n_sources : int;
 }
 
 let n_nodes g = g.n
+let n_arcs g = Array.length g.sdat
+let n_sources g = g.n_sources
 
-let n_arcs g =
-  Array.fold_left (fun acc a -> acc + Array.length a) 0 g.succ
+let out_degree g v = g.soff.(v + 1) - g.soff.(v)
+let in_degree g v = g.poff.(v + 1) - g.poff.(v)
 
-let succ g v = g.succ.(v)
-let pred g v = g.pred.(v)
-let succ_arrays g = g.succ
-let pred_arrays g = g.pred
+let succ g v = Array.sub g.sdat g.soff.(v) (out_degree g v)
+let pred g v = Array.sub g.pdat g.poff.(v) (in_degree g v)
 
-let csr g =
-  match g.csr_cache with
-  | Some c -> c
-  | None ->
-    let n = g.n in
-    let off = Array.make (n + 1) 0 in
-    for v = 0 to n - 1 do
-      off.(v + 1) <- off.(v) + Array.length g.succ.(v)
-    done;
-    let dat = Array.make (max 1 off.(n)) 0 in
-    for v = 0 to n - 1 do
-      let a = g.succ.(v) and base = off.(v) in
-      Array.iteri (fun i w -> dat.(base + i) <- w) a
-    done;
-    let indeg = Array.make n 0 in
-    let n_sources = ref 0 in
-    for v = 0 to n - 1 do
-      let d = Array.length g.pred.(v) in
-      indeg.(v) <- d;
-      if d = 0 then incr n_sources
-    done;
-    let c = { off; dat; indeg; n_sources = !n_sources } in
-    g.csr_cache <- Some c;
-    c
-let out_degree g v = Array.length g.succ.(v)
-let in_degree g v = Array.length g.pred.(v)
+let succ_offsets g = g.soff
+let succ_targets g = g.sdat
+let pred_offsets g = g.poff
+let pred_sources g = g.pdat
+
+let iter_succ g v f =
+  for i = g.soff.(v) to g.soff.(v + 1) - 1 do
+    f (Array.unsafe_get g.sdat i)
+  done
+
+let iter_pred g v f =
+  for i = g.poff.(v) to g.poff.(v + 1) - 1 do
+    f (Array.unsafe_get g.pdat i)
+  done
+
+let fold_succ g v init f =
+  let acc = ref init in
+  for i = g.soff.(v) to g.soff.(v + 1) - 1 do
+    acc := f !acc (Array.unsafe_get g.sdat i)
+  done;
+  !acc
+
+let fold_pred g v init f =
+  let acc = ref init in
+  for i = g.poff.(v) to g.poff.(v + 1) - 1 do
+    acc := f !acc (Array.unsafe_get g.pdat i)
+  done;
+  !acc
+
+let in_degrees g =
+  Array.init g.n (fun v -> g.poff.(v + 1) - g.poff.(v))
 
 let has_arc g u v =
-  (* children arrays are sorted, so binary search *)
-  let a = g.succ.(u) in
+  (* child rows are sorted, so binary search *)
+  let dat = g.sdat in
   let rec go lo hi =
     if lo >= hi then false
     else
       let mid = (lo + hi) / 2 in
-      if a.(mid) = v then true
-      else if a.(mid) < v then go (mid + 1) hi
+      if dat.(mid) = v then true
+      else if dat.(mid) < v then go (mid + 1) hi
       else go lo mid
   in
-  go 0 (Array.length a)
+  go g.soff.(u) g.soff.(u + 1)
 
+let iter_arcs g f =
+  for u = 0 to g.n - 1 do
+    for i = g.soff.(u) to g.soff.(u + 1) - 1 do
+      f u (Array.unsafe_get g.sdat i)
+    done
+  done
+
+let fold_arcs g init f =
+  let acc = ref init in
+  iter_arcs g (fun u v -> acc := f !acc u v);
+  !acc
+
+(* compatibility wrapper over {!iter_arcs}; prefer the iterators *)
 let arcs g =
   let acc = ref [] in
   for u = g.n - 1 downto 0 do
-    let children = g.succ.(u) in
-    for i = Array.length children - 1 downto 0 do
-      acc := (u, children.(i)) :: !acc
+    for i = g.soff.(u + 1) - 1 downto g.soff.(u) do
+      acc := (u, g.sdat.(i)) :: !acc
     done
   done;
   !acc
@@ -114,9 +139,9 @@ let count_nodes g p =
 let n_nonsinks g = count_nodes g (fun v -> not (is_sink g v))
 let n_nonsources g = count_nodes g (fun v -> not (is_source g v))
 
-(* Kahn's algorithm; returns None when a cycle prevents completion. *)
-let topological_order_opt ~n ~succ ~indeg0 =
-  let indeg = Array.copy indeg0 in
+(* Kahn's algorithm over CSR; returns None when a cycle prevents
+   completion. [indeg] is consumed. *)
+let topological_order_csr ~n ~soff ~sdat ~indeg =
   let order = Array.make n (-1) in
   let queue = Queue.create () in
   for v = 0 to n - 1 do
@@ -127,72 +152,171 @@ let topological_order_opt ~n ~succ ~indeg0 =
     let v = Queue.pop queue in
     order.(!k) <- v;
     incr k;
-    Array.iter
-      (fun w ->
-        indeg.(w) <- indeg.(w) - 1;
-        if indeg.(w) = 0 then Queue.add w queue)
-      succ.(v)
+    for i = soff.(v) to soff.(v + 1) - 1 do
+      let w = Array.unsafe_get sdat i in
+      indeg.(w) <- indeg.(w) - 1;
+      if indeg.(w) = 0 then Queue.add w queue
+    done
   done;
   if !k = n then Some order else None
 
-let build_adjacency n arcs =
-  let out_count = Array.make n 0 and in_count = Array.make n 0 in
-  List.iter
-    (fun (u, v) ->
-      out_count.(u) <- out_count.(u) + 1;
-      in_count.(v) <- in_count.(v) + 1)
-    arcs;
-  let succ = Array.init n (fun v -> Array.make out_count.(v) 0) in
-  let pred = Array.init n (fun v -> Array.make in_count.(v) 0) in
-  let oi = Array.make n 0 and ii = Array.make n 0 in
-  List.iter
-    (fun (u, v) ->
-      succ.(u).(oi.(u)) <- v;
-      oi.(u) <- oi.(u) + 1;
-      pred.(v).(ii.(v)) <- u;
-      ii.(v) <- ii.(v) + 1)
-    arcs;
-  Array.iter (fun a -> Array.sort compare a) succ;
-  Array.iter (fun a -> Array.sort compare a) pred;
-  (succ, pred)
+module Builder = struct
+  type dag = t
+
+  type nonrec t = {
+    n : int;
+    labels : string array option;
+    mutable us : int array;
+    mutable vs : int array;
+    mutable m : int;
+  }
+
+  let create ?labels ~n ?(hint = 16) () =
+    let hint = max 1 hint in
+    { n; labels; us = Array.make hint 0; vs = Array.make hint 0; m = 0 }
+
+  let n_pending b = b.m
+
+  let add_arc b u v =
+    if b.m = Array.length b.us then begin
+      let cap = 2 * b.m in
+      let us = Array.make cap 0 and vs = Array.make cap 0 in
+      Array.blit b.us 0 us 0 b.m;
+      Array.blit b.vs 0 vs 0 b.m;
+      b.us <- us;
+      b.vs <- vs
+    end;
+    Array.unsafe_set b.us b.m u;
+    Array.unsafe_set b.vs b.m v;
+    b.m <- b.m + 1
+
+  (* Build both CSR directions in O(n + m) with three scatter passes and no
+     per-node intermediate arrays:
+       1. stable counting sort of the arc buffer by target;
+       2. stable counting sort of that by source — rows of [sdat] come out
+          sorted by target, i.e. the arcs in (source, target) lexicographic
+          order;
+       3. a scatter of the lex-ordered arcs by target fills sorted [pdat]
+          rows (for a fixed target, sources arrive ascending).
+     Duplicates are adjacent after pass 2; acyclicity is Kahn's algorithm
+     over the finished successor CSR. *)
+  let build b =
+    let n = b.n and m = b.m in
+    if n < 0 then Error "negative node count"
+    else
+      match b.labels with
+      | Some ls when Array.length ls <> n ->
+        Error
+          (Printf.sprintf "labels length %d does not match node count %d"
+             (Array.length ls) n)
+      | _ ->
+        let us = b.us and vs = b.vs in
+        let bad_endpoint = ref (-1) and self_loop = ref (-1) in
+        for i = m - 1 downto 0 do
+          let u = us.(i) and v = vs.(i) in
+          if u < 0 || u >= n || v < 0 || v >= n then bad_endpoint := i
+          else if u = v then self_loop := i
+        done;
+        if !bad_endpoint >= 0 then
+          let i = !bad_endpoint in
+          Error
+            (Printf.sprintf "arc (%d -> %d) out of range [0, %d)" us.(i)
+               vs.(i) n)
+        else if !self_loop >= 0 then
+          Error (Printf.sprintf "self-loop on node %d" us.(!self_loop))
+        else begin
+          let soff = Array.make (n + 1) 0 in
+          let poff = Array.make (n + 1) 0 in
+          for i = 0 to m - 1 do
+            soff.(us.(i) + 1) <- soff.(us.(i) + 1) + 1;
+            poff.(vs.(i) + 1) <- poff.(vs.(i) + 1) + 1
+          done;
+          for v = 0 to n - 1 do
+            soff.(v + 1) <- soff.(v + 1) + soff.(v);
+            poff.(v + 1) <- poff.(v + 1) + poff.(v)
+          done;
+          (* pass 1: arcs stably sorted by target *)
+          let u1 = Array.make m 0 and v1 = Array.make m 0 in
+          let fill = Array.make n 0 in
+          Array.blit poff 0 fill 0 n;
+          for i = 0 to m - 1 do
+            let v = Array.unsafe_get vs i in
+            let p = Array.unsafe_get fill v in
+            Array.unsafe_set fill v (p + 1);
+            Array.unsafe_set u1 p (Array.unsafe_get us i);
+            Array.unsafe_set v1 p v
+          done;
+          (* pass 2: stably re-sorted by source — [sdat] rows ascending *)
+          let sdat = Array.make m 0 in
+          Array.blit soff 0 fill 0 n;
+          for i = 0 to m - 1 do
+            let u = Array.unsafe_get u1 i in
+            let p = Array.unsafe_get fill u in
+            Array.unsafe_set fill u (p + 1);
+            Array.unsafe_set sdat p (Array.unsafe_get v1 i)
+          done;
+          (* duplicates are now adjacent within a row *)
+          let dup = ref (-1) in
+          for u = n - 1 downto 0 do
+            for i = soff.(u + 1) - 1 downto soff.(u) + 1 do
+              if sdat.(i) = sdat.(i - 1) then dup := i
+            done
+          done;
+          if !dup >= 0 then begin
+            let i = !dup in
+            (* recover the source of arc slot [i] by binary search on soff *)
+            let rec owner lo hi =
+              if hi - lo <= 1 then lo
+              else
+                let mid = (lo + hi) / 2 in
+                if soff.(mid) <= i then owner mid hi else owner lo mid
+            in
+            Error
+              (Printf.sprintf "duplicate arc (%d -> %d)" (owner 0 n) sdat.(i))
+          end
+          else begin
+            (* pass 3: scatter the lex-ordered arcs by target *)
+            let pdat = Array.make m 0 in
+            Array.blit poff 0 fill 0 n;
+            for u = 0 to n - 1 do
+              for i = soff.(u) to soff.(u + 1) - 1 do
+                let v = Array.unsafe_get sdat i in
+                let p = Array.unsafe_get fill v in
+                Array.unsafe_set fill v (p + 1);
+                Array.unsafe_set pdat p u
+              done
+            done;
+            let indeg = Array.init n (fun v -> poff.(v + 1) - poff.(v)) in
+            match topological_order_csr ~n ~soff ~sdat ~indeg with
+            | None -> Error "graph has a cycle"
+            | Some _ ->
+              let n_sources = ref 0 in
+              for v = 0 to n - 1 do
+                if poff.(v + 1) = poff.(v) then incr n_sources
+              done;
+              Ok
+                {
+                  n;
+                  soff;
+                  sdat;
+                  poff;
+                  pdat;
+                  labels = b.labels;
+                  n_sources = !n_sources;
+                }
+          end
+        end
+
+  let build_exn b =
+    match build b with
+    | Ok g -> g
+    | Error msg -> invalid_arg ("Dag.Builder.build_exn: " ^ msg)
+end
 
 let make ?labels ~n ~arcs () =
-  if n < 0 then Error "negative node count"
-  else
-    match labels with
-    | Some ls when Array.length ls <> n ->
-      Error
-        (Printf.sprintf "labels length %d does not match node count %d"
-           (Array.length ls) n)
-    | _ ->
-      let bad_endpoint =
-        List.find_opt (fun (u, v) -> u < 0 || u >= n || v < 0 || v >= n) arcs
-      in
-      let self_loop = List.find_opt (fun (u, v) -> u = v) arcs in
-      (match (bad_endpoint, self_loop) with
-      | Some (u, v), _ ->
-        Error (Printf.sprintf "arc (%d -> %d) out of range [0, %d)" u v n)
-      | _, Some (u, _) -> Error (Printf.sprintf "self-loop on node %d" u)
-      | None, None ->
-        let tbl = Hashtbl.create (List.length arcs) in
-        let dup =
-          List.find_opt
-            (fun arc ->
-              if Hashtbl.mem tbl arc then true
-              else begin
-                Hashtbl.add tbl arc ();
-                false
-              end)
-            arcs
-        in
-        (match dup with
-        | Some (u, v) -> Error (Printf.sprintf "duplicate arc (%d -> %d)" u v)
-        | None ->
-          let succ, pred = build_adjacency n arcs in
-          let indeg = Array.init n (fun v -> Array.length pred.(v)) in
-          (match topological_order_opt ~n ~succ ~indeg0:indeg with
-          | None -> Error "graph has a cycle"
-          | Some _ -> Ok { n; succ; pred; labels; csr_cache = None })))
+  let b = Builder.create ?labels ~n ~hint:(List.length arcs) () in
+  List.iter (fun (u, v) -> Builder.add_arc b u v) arcs;
+  Builder.build b
 
 let make_exn ?labels ~n ~arcs () =
   match make ?labels ~n ~arcs () with
@@ -201,12 +325,26 @@ let make_exn ?labels ~n ~arcs () =
 
 let empty n =
   if n < 0 then invalid_arg "Dag.empty: negative node count";
-  { n; succ = Array.make n [||]; pred = Array.make n [||]; labels = None;
-    csr_cache = None }
+  {
+    n;
+    soff = Array.make (n + 1) 0;
+    sdat = [||];
+    poff = Array.make (n + 1) 0;
+    pdat = [||];
+    labels = None;
+    n_sources = n;
+  }
 
 let sum g1 g2 =
-  let shift = g1.n in
-  let shift_adj a = Array.map (fun arr -> Array.map (fun v -> v + shift) arr) a in
+  let shift = g1.n and mshift = n_arcs g1 in
+  let n = g1.n + g2.n in
+  let cat_off o1 o2 =
+    Array.init (n + 1) (fun v ->
+        if v <= g1.n then o1.(v) else o2.(v - g1.n) + mshift)
+  in
+  let cat_dat d1 d2 =
+    Array.append d1 (Array.map (fun v -> v + shift) d2)
+  in
   let labels =
     match (g1.labels, g2.labels) with
     | None, None -> None
@@ -216,22 +354,35 @@ let sum g1 g2 =
       Some (Array.append l1 l2)
   in
   {
-    n = g1.n + g2.n;
-    succ = Array.append g1.succ (shift_adj g2.succ);
-    pred = Array.append g1.pred (shift_adj g2.pred);
+    n;
+    soff = cat_off g1.soff g2.soff;
+    sdat = cat_dat g1.sdat g2.sdat;
+    poff = cat_off g1.poff g2.poff;
+    pdat = cat_dat g1.pdat g2.pdat;
     labels;
-    csr_cache = None;
+    n_sources = g1.n_sources + g2.n_sources;
   }
 
-let dual g = { g with succ = g.pred; pred = g.succ; csr_cache = None }
+let dual g =
+  let n_sources = count_nodes g (is_sink g) in
+  {
+    g with
+    soff = g.poff;
+    sdat = g.pdat;
+    poff = g.soff;
+    pdat = g.sdat;
+    n_sources;
+  }
 
 let relabel g labels =
   if Array.length labels <> g.n then invalid_arg "Dag.relabel: length mismatch";
   { g with labels = Some (Array.copy labels) }
 
 let topological_order g =
-  let indeg = Array.init g.n (fun v -> in_degree g v) in
-  match topological_order_opt ~n:g.n ~succ:g.succ ~indeg0:indeg with
+  match
+    topological_order_csr ~n:g.n ~soff:g.soff ~sdat:g.sdat
+      ~indeg:(in_degrees g)
+  with
   | Some order -> order
   | None -> assert false (* acyclicity is a construction invariant *)
 
@@ -252,8 +403,8 @@ let is_connected g =
           Stack.push w stack
         end
       in
-      Array.iter visit g.succ.(v);
-      Array.iter visit g.pred.(v)
+      iter_succ g v visit;
+      iter_pred g v visit
     done;
     !count = g.n
   end
@@ -263,7 +414,7 @@ let depth g =
   let d = Array.make g.n 0 in
   Array.iter
     (fun v ->
-      Array.iter (fun w -> if d.(v) + 1 > d.(w) then d.(w) <- d.(v) + 1) g.succ.(v))
+      iter_succ g v (fun w -> if d.(v) + 1 > d.(w) then d.(w) <- d.(v) + 1))
     order;
   d
 
@@ -272,7 +423,7 @@ let height g =
   let h = Array.make g.n 0 in
   for i = g.n - 1 downto 0 do
     let v = order.(i) in
-    Array.iter (fun w -> if h.(w) + 1 > h.(v) then h.(v) <- h.(w) + 1) g.succ.(v)
+    iter_succ g v (fun w -> if h.(w) + 1 > h.(v) then h.(v) <- h.(w) + 1)
   done;
   h
 
@@ -287,7 +438,6 @@ let map_nodes g ~perm =
       if p < 0 || p >= g.n || seen.(p) then invalid_arg "Dag.map_nodes: not a permutation";
       seen.(p) <- true)
     perm;
-  let arcs = List.map (fun (u, v) -> (perm.(u), perm.(v))) (arcs g) in
   let labels =
     Option.map
       (fun ls ->
@@ -296,7 +446,9 @@ let map_nodes g ~perm =
         out)
       g.labels
   in
-  make_exn ?labels ~n:g.n ~arcs ()
+  let b = Builder.create ?labels ~n:g.n ~hint:(n_arcs g) () in
+  iter_arcs g (fun u v -> Builder.add_arc b perm.(u) perm.(v));
+  Builder.build_exn b
 
 let quotient g ~cluster_of ~n_clusters =
   if Array.length cluster_of <> g.n then Error "cluster_of length mismatch"
@@ -304,13 +456,14 @@ let quotient g ~cluster_of ~n_clusters =
     Error "cluster id out of range"
   else begin
     let tbl = Hashtbl.create (n_arcs g) in
-    List.iter
-      (fun (u, v) ->
+    let b = Builder.create ~n:n_clusters ~hint:(n_arcs g) () in
+    iter_arcs g (fun u v ->
         let cu = cluster_of.(u) and cv = cluster_of.(v) in
-        if cu <> cv then Hashtbl.replace tbl (cu, cv) ())
-      (arcs g);
-    let arcs = Hashtbl.fold (fun arc () acc -> arc :: acc) tbl [] in
-    match make ~n:n_clusters ~arcs () with
+        if cu <> cv && not (Hashtbl.mem tbl (cu, cv)) then begin
+          Hashtbl.add tbl (cu, cv) ();
+          Builder.add_arc b cu cv
+        end);
+    match Builder.build b with
     | Ok q -> Ok q
     | Error msg -> Error ("quotient is not a dag: " ^ msg)
   end
@@ -325,12 +478,6 @@ let induced g ~keep =
       incr k
     end
   done;
-  let arcs =
-    List.filter_map
-      (fun (u, v) ->
-        if keep.(u) && keep.(v) then Some (remap.(u), remap.(v)) else None)
-      (arcs g)
-  in
   let labels =
     Option.map
       (fun ls ->
@@ -339,17 +486,18 @@ let induced g ~keep =
         out)
       g.labels
   in
-  (make_exn ?labels ~n:!k ~arcs (), remap)
+  let b = Builder.create ?labels ~n:!k ~hint:(n_arcs g) () in
+  iter_arcs g (fun u v ->
+      if keep.(u) && keep.(v) then Builder.add_arc b remap.(u) remap.(v));
+  (Builder.build_exn b, remap)
 
 let equal g1 g2 =
-  g1.n = g2.n
-  && Array.for_all2 (fun a b -> a = b) g1.succ g2.succ
+  g1.n = g2.n && g1.soff = g2.soff && g1.sdat = g2.sdat
 
 let pp ppf g =
   Format.fprintf ppf "@[<v>dag with %d nodes, %d arcs@," g.n (n_arcs g);
-  List.iter
-    (fun (u, v) -> Format.fprintf ppf "  %s -> %s@," (label g u) (label g v))
-    (arcs g);
+  iter_arcs g (fun u v ->
+      Format.fprintf ppf "  %s -> %s@," (label g u) (label g v));
   Format.fprintf ppf "@]"
 
 let to_dot g =
@@ -358,8 +506,7 @@ let to_dot g =
   for v = 0 to g.n - 1 do
     Buffer.add_string buf (Printf.sprintf "  n%d [label=\"%s\"];\n" v (label g v))
   done;
-  List.iter
-    (fun (u, v) -> Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" u v))
-    (arcs g);
+  iter_arcs g (fun u v ->
+      Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" u v));
   Buffer.add_string buf "}\n";
   Buffer.contents buf

@@ -4,17 +4,54 @@
     [v] cannot be executed before task [u] (Section 2.1 of the paper). Nodes
     are the integers [0 .. n_nodes - 1]. Values of type {!t} are immutable
     and validated at construction: no self-loops, no duplicate arcs, no
-    cycles. *)
+    cycles.
+
+    The representation is CSR-native: both successor and predecessor
+    adjacency live in flat offset/data int arrays built once at
+    construction, so every traversal is a contiguous scan — there is no
+    per-node array-of-arrays and nothing is built lazily. *)
 
 type t
 
 (** {1 Construction} *)
 
+(** Growable arc buffer for constructing dags without intermediate arc
+    lists: family generators emit arcs straight into one flat buffer, and
+    {!Builder.build} turns it into both CSR directions in [O(n + m)] (three
+    counting-sort scatter passes), with the same validation as {!make}. *)
+module Builder : sig
+  type dag = t
+
+  type t
+  (** A mutable arc buffer targeted at a fixed node count. *)
+
+  val create : ?labels:string array -> n:int -> ?hint:int -> unit -> t
+  (** [create ~n ~hint ()] starts a buffer for a dag with nodes [0..n-1];
+      [hint] (default 16) preallocates space for that many arcs. *)
+
+  val add_arc : t -> int -> int -> unit
+  (** [add_arc b u v] appends the arc [u -> v]. Amortized [O(1)]; no
+      validation happens until {!build}. *)
+
+  val n_pending : t -> int
+  (** Number of arcs buffered so far. *)
+
+  val build : t -> (dag, string) result
+  (** Validate and freeze: fails with a descriptive message on a negative
+      node count, label length mismatch, out-of-range endpoints,
+      self-loops, duplicate arcs, or cycles. The builder may be reused (and
+      added to) afterwards; the built dag shares nothing with it. *)
+
+  val build_exn : t -> dag
+  (** Like {!build} but raises [Invalid_argument] on bad input. *)
+end
+
 val make : ?labels:string array -> n:int -> arcs:(int * int) list -> unit ->
   (t, string) result
 (** [make ~n ~arcs ()] builds a dag with nodes [0..n-1] and the given arcs.
     Fails with a descriptive message on out-of-range endpoints, self-loops,
-    duplicate arcs, or cycles. [labels], when given, must have length [n]. *)
+    duplicate arcs, or cycles. [labels], when given, must have length [n].
+    A convenience wrapper over {!Builder}. *)
 
 val make_exn : ?labels:string array -> n:int -> arcs:(int * int) list -> unit -> t
 (** Like {!make} but raises [Invalid_argument] on bad input. *)
@@ -28,7 +65,8 @@ val sum : t -> t -> t
 
 val dual : t -> t
 (** [dual g] reverses every arc of [g] (Section 2.3.2), interchanging sources
-    and sinks. Node numbering is preserved. *)
+    and sinks. Node numbering is preserved; [O(n)] — the CSR directions are
+    swapped, not rebuilt. *)
 
 val relabel : t -> string array -> t
 (** [relabel g labels] replaces node labels; [Array.length labels] must equal
@@ -38,40 +76,68 @@ val relabel : t -> string array -> t
 
 val n_nodes : t -> int
 val n_arcs : t -> int
-val arcs : t -> (int * int) list
-(** Arcs in lexicographic order. *)
+
+val n_sources : t -> int
+(** Number of parentless nodes. [O(1)]. *)
 
 val succ : t -> int -> int array
-(** Children of a node, ascending. The returned array must not be mutated. *)
+(** Children of a node, ascending, as a {e fresh} array ([O(out-degree)]
+    allocation per call). Hot loops should use {!iter_succ}/{!fold_succ} or
+    the raw CSR accessors instead. *)
 
 val pred : t -> int -> int array
-(** Parents of a node, ascending. The returned array must not be mutated. *)
+(** Parents counterpart of {!succ}; also allocates. *)
 
-val succ_arrays : t -> int array array
-(** The whole successor adjacency (index = node id, children ascending),
-    shared with the dag — must not be mutated. For hot loops such as the
-    {!Frontier} engine that cannot afford per-node accessor calls. *)
+val iter_succ : t -> int -> (int -> unit) -> unit
+(** Apply to each child, ascending. Allocation-free. *)
 
-val pred_arrays : t -> int array array
-(** Predecessor counterpart of {!succ_arrays}. Must not be mutated. *)
+val iter_pred : t -> int -> (int -> unit) -> unit
+(** Apply to each parent, ascending. Allocation-free. *)
 
-type csr = {
-  off : int array;  (** length [n + 1]; children of [v] are [dat.(off.(v))
-                        .. dat.(off.(v+1) - 1)], ascending *)
-  dat : int array;
-  indeg : int array;  (** in-degree per node *)
-  n_sources : int;
-}
-(** Flattened (compressed sparse row) successor adjacency, for hot loops
-    where the array-of-arrays layout is too cache-hostile. *)
+val fold_succ : t -> int -> 'a -> ('a -> int -> 'a) -> 'a
+(** [fold_succ g v init f] folds over children, ascending. *)
 
-val csr : t -> csr
-(** Built lazily on first use and cached on the dag; the same value is
-    shared by every caller and must not be mutated. *)
+val fold_pred : t -> int -> 'a -> ('a -> int -> 'a) -> 'a
+(** Parents counterpart of {!fold_succ}. *)
+
+(** {2 Raw CSR}
+
+    The flat adjacency arrays themselves, shared with the dag — they must
+    not be mutated. Children of [v] are
+    [succ_targets.(succ_offsets.(v)) .. succ_targets.(succ_offsets.(v+1) - 1)],
+    ascending; parents likewise via [pred_offsets]/[pred_sources]. For hot
+    loops (the {!Frontier} engine) that cannot afford closure calls. *)
+
+val succ_offsets : t -> int array
+(** Length [n + 1]. *)
+
+val succ_targets : t -> int array
+val pred_offsets : t -> int array
+val pred_sources : t -> int array
+
+val in_degrees : t -> int array
+(** In-degree per node as a fresh, caller-owned array. [O(n)]. *)
+
+val iter_arcs : t -> (int -> int -> unit) -> unit
+(** [iter_arcs g f] applies [f u v] to every arc in (source, target)
+    lexicographic order. Allocation-free. *)
+
+val fold_arcs : t -> 'a -> ('a -> int -> int -> 'a) -> 'a
+(** [fold_arcs g init f] folds [f acc u v] over arcs in lexicographic
+    order. *)
+
+val arcs : t -> (int * int) list
+(** Arcs in lexicographic order, as a list. Compatibility wrapper over
+    {!iter_arcs}; allocates two words per arc — prefer the iterators. *)
 
 val out_degree : t -> int -> int
+(** [O(1)]. *)
+
 val in_degree : t -> int -> int
+(** [O(1)]. *)
+
 val has_arc : t -> int -> int -> bool
+(** [O(log out-degree)]. *)
 
 val label : t -> int -> string
 (** Defaults to the decimal node id when no labels were supplied. *)
@@ -85,10 +151,10 @@ val find_label : t -> string -> int option
 (** {1 Sources, sinks and structure} *)
 
 val is_source : t -> int -> bool
-(** Parentless. *)
+(** Parentless. [O(1)]. *)
 
 val is_sink : t -> int -> bool
-(** Childless. *)
+(** Childless. [O(1)]. *)
 
 val sources : t -> int list
 val sinks : t -> int list

@@ -39,11 +39,10 @@ let count t = t.count
 let executed_count t = t.n_executed
 
 let make_state g remaining pool count n_executed =
-  let { Dag.off; dat; _ } = Dag.csr g in
   {
     g;
-    off;
-    dat;
+    off = Dag.succ_offsets g;
+    dat = Dag.succ_targets g;
     remaining;
     pool;
     pos = Array.make (Array.length remaining) 0;
@@ -58,8 +57,7 @@ let make_state g remaining pool count n_executed =
 
 let create g =
   let n = Dag.n_nodes g in
-  let { Dag.indeg; _ } = Dag.csr g in
-  let remaining = Array.copy indeg in
+  let remaining = Dag.in_degrees g in
   let pool = Array.make n 0 in
   let count = ref 0 in
   let t = make_state g remaining pool 0 0 in
@@ -77,17 +75,17 @@ let of_set g ~executed =
   let n = Dag.n_nodes g in
   if Array.length executed <> n then
     invalid_arg "Frontier.of_set: length mismatch";
-  let pred = Dag.pred_arrays g in
+  let poff = Dag.pred_offsets g and pdat = Dag.pred_sources g in
   let remaining = Array.make n 0 in
   let pool = Array.make n 0 in
   let count = ref 0 and n_executed = ref 0 in
   let t = make_state g remaining pool 0 0 in
   for v = 0 to n - 1 do
-    let unmet =
-      Array.fold_left
-        (fun acc p -> if executed.(p) then acc else acc + 1)
-        0 pred.(v)
-    in
+    let unmet = ref 0 in
+    for i = poff.(v) to poff.(v + 1) - 1 do
+      if not executed.(Array.unsafe_get pdat i) then incr unmet
+    done;
+    let unmet = !unmet in
     if executed.(v) then begin
       remaining.(v) <- -unmet - 1;
       incr n_executed
@@ -194,30 +192,62 @@ let restore t snap =
 (* Bulk replay: the whole profile of an execution order in one tight pass,
    without pool, position or trail upkeep. This is the hot path behind
    [Profile.run]; the order is trusted to be a schedule of [g] (which
-   [Schedule.t] guarantees), like the callers it replaced. *)
+   [Schedule.t] guarantees), like the callers it replaced.
+
+   The remaining-parents scratch is the only per-call state besides the
+   result; when every in-degree fits in a byte (every dag of the paper's
+   families — meshes and butterflies have in-degree <= 2) it is packed into
+   a [Bytes.t], an 8x smaller allocation that also keeps the whole scratch
+   in cache on million-node dags. *)
 let profile g ~order =
   let n = Dag.n_nodes g in
   if Array.length order <> n then
     invalid_arg "Frontier.profile: order length mismatch";
-  let { Dag.off; dat; indeg; n_sources } = Dag.csr g in
-  let remaining = Array.copy indeg in
+  let off = Dag.succ_offsets g and dat = Dag.succ_targets g in
+  let poff = Dag.pred_offsets g in
   let out = Array.make (n + 1) 0 in
-  let count = ref 0 in
+  let n_sources = Dag.n_sources g in
+  let count = ref n_sources in
   Array.unsafe_set out 0 n_sources;
-  count := n_sources;
-  for i = 0 to n - 1 do
-    let v = Array.unsafe_get order i in
-    if v < 0 || v >= n then invalid_arg "Frontier.profile: node out of range";
-    let c = ref (!count - 1) in
-    for j = Array.unsafe_get off v to Array.unsafe_get off (v + 1) - 1 do
-      let w = Array.unsafe_get dat j in
-      let r = Array.unsafe_get remaining w - 1 in
-      Array.unsafe_set remaining w r;
-      if r = 0 then incr c
-    done;
-    count := !c;
-    Array.unsafe_set out (i + 1) !c
+  let byte_sized = ref true in
+  for v = 0 to n - 1 do
+    if poff.(v + 1) - poff.(v) > 255 then byte_sized := false
   done;
+  if !byte_sized then begin
+    let remaining = Bytes.create n in
+    for v = 0 to n - 1 do
+      Bytes.unsafe_set remaining v (Char.unsafe_chr (poff.(v + 1) - poff.(v)))
+    done;
+    for i = 0 to n - 1 do
+      let v = Array.unsafe_get order i in
+      if v < 0 || v >= n then invalid_arg "Frontier.profile: node out of range";
+      let c = ref (!count - 1) in
+      for j = Array.unsafe_get off v to Array.unsafe_get off (v + 1) - 1 do
+        let w = Array.unsafe_get dat j in
+        let r = Char.code (Bytes.unsafe_get remaining w) - 1 in
+        Bytes.unsafe_set remaining w (Char.unsafe_chr r);
+        if r = 0 then incr c
+      done;
+      count := !c;
+      Array.unsafe_set out (i + 1) !c
+    done
+  end
+  else begin
+    let remaining = Dag.in_degrees g in
+    for i = 0 to n - 1 do
+      let v = Array.unsafe_get order i in
+      if v < 0 || v >= n then invalid_arg "Frontier.profile: node out of range";
+      let c = ref (!count - 1) in
+      for j = Array.unsafe_get off v to Array.unsafe_get off (v + 1) - 1 do
+        let w = Array.unsafe_get dat j in
+        let r = Array.unsafe_get remaining w - 1 in
+        Array.unsafe_set remaining w r;
+        if r = 0 then incr c
+      done;
+      count := !c;
+      Array.unsafe_set out (i + 1) !c
+    done
+  end;
   out
 
 type stats = { executes : int; promotions : int; restores : int }

@@ -1,31 +1,31 @@
 let random_dag rng ~n ~arc_probability =
-  let arcs = ref [] in
+  let b = Dag.Builder.create ~n () in
   for u = 0 to n - 1 do
     for v = u + 1 to n - 1 do
-      if Random.State.float rng 1.0 < arc_probability then arcs := (u, v) :: !arcs
+      if Random.State.float rng 1.0 < arc_probability then Dag.Builder.add_arc b u v
     done
   done;
-  Dag.make_exn ~n ~arcs:!arcs ()
+  Dag.Builder.build_exn b
 
 let random_layered_dag rng ~layers ~width ~arc_probability =
   let n = layers * width in
   let node l i = (l * width) + i in
-  let arcs = ref [] in
+  let b = Dag.Builder.create ~n () in
   for l = 0 to layers - 2 do
     for j = 0 to width - 1 do
       let parents = ref 0 in
       for i = 0 to width - 1 do
         if Random.State.float rng 1.0 < arc_probability then begin
-          arcs := (node l i, node (l + 1) j) :: !arcs;
+          Dag.Builder.add_arc b (node l i) (node (l + 1) j);
           incr parents
         end
       done;
       if !parents = 0 then
         (* guarantee a parent so the dag stays levelled *)
-        arcs := (node l (Random.State.int rng width), node (l + 1) j) :: !arcs
+        Dag.Builder.add_arc b (node l (Random.State.int rng width)) (node (l + 1) j)
     done
   done;
-  Dag.make_exn ~n ~arcs:!arcs ()
+  Dag.Builder.build_exn b
 
 let greedy_random rng g ~pick_pool =
   let n = Dag.n_nodes g in

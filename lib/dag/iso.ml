@@ -11,9 +11,15 @@ let signatures g =
   let refine () =
     let fresh =
       Array.init n (fun v ->
-          let around f = List.sort compare (Array.to_list (Array.map f (Dag.succ g v))) in
-          let above f = List.sort compare (Array.to_list (Array.map f (Dag.pred g v))) in
-          Hashtbl.hash (sig_.(v), around (fun w -> sig_.(w)), above (fun w -> sig_.(w))))
+          let around =
+            List.sort compare
+              (Dag.fold_succ g v [] (fun acc w -> sig_.(w) :: acc))
+          in
+          let above =
+            List.sort compare
+              (Dag.fold_pred g v [] (fun acc w -> sig_.(w) :: acc))
+          in
+          Hashtbl.hash (sig_.(v), around, above))
     in
     Array.blit fresh 0 sig_ 0 n
   in
@@ -38,7 +44,7 @@ let find_isomorphism g1 g2 =
         && Dag.out_degree g1 u = Dag.out_degree g2 v
         (* all already-mapped parents of u must map to parents of v; since we
            assign in topological order, every parent of u is mapped *)
-        && Array.for_all (fun p -> Dag.has_arc g2 phi.(p) v) (Dag.pred g1 u)
+        && Dag.fold_pred g1 u true (fun acc p -> acc && Dag.has_arc g2 phi.(p) v)
       in
       let rec go i =
         if i >= n then true

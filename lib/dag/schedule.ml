@@ -21,14 +21,12 @@ let validate g a =
     | None ->
       let bad = ref None in
       for v = 0 to n - 1 do
-        Array.iter
-          (fun p ->
+        Dag.iter_pred g v (fun p ->
             if pos.(p) > pos.(v) && !bad = None then
               bad :=
                 Some
                   (Printf.sprintf "node %s executed before its parent %s"
                      (Dag.label g v) (Dag.label g p)))
-          (Dag.pred g v)
       done;
       (match !bad with Some msg -> Error msg | None -> Ok a)
   end

@@ -6,9 +6,8 @@ let to_string g =
     if l <> string_of_int v then
       Buffer.add_string buf (Printf.sprintf "label %d %s\n" v l)
   done;
-  List.iter
-    (fun (u, v) -> Buffer.add_string buf (Printf.sprintf "arc %d %d\n" u v))
-    (Dag.arcs g);
+  Dag.iter_arcs g (fun u v ->
+      Buffer.add_string buf (Printf.sprintf "arc %d %d\n" u v));
   Buffer.contents buf
 
 let of_string text =

@@ -7,16 +7,14 @@ let node ~d l r = (l lsl d) + r
 let dag d =
   if d < 1 then invalid_arg "Butterfly_net.dag: need dimension >= 1";
   let rows = 1 lsl d in
-  let arcs = ref [] in
+  let b = Dag.Builder.create ~n:((d + 1) * rows) ~hint:(2 * d * rows) () in
   for l = 0 to d - 1 do
     for r = 0 to rows - 1 do
-      arcs :=
-        (node ~d l r, node ~d (l + 1) r)
-        :: (node ~d l r, node ~d (l + 1) (r lxor (1 lsl l)))
-        :: !arcs
+      Dag.Builder.add_arc b (node ~d l r) (node ~d (l + 1) r);
+      Dag.Builder.add_arc b (node ~d l r) (node ~d (l + 1) (r lxor (1 lsl l)))
     done
   done;
-  Dag.make_exn ~n:((d + 1) * rows) ~arcs:!arcs ()
+  Dag.Builder.build_exn b
 
 (* the two sources of the B-copy at level [l], pair-base [r] (bit l clear)
    are rows [r] and [r + 2^l] of level [l] *)

@@ -63,19 +63,19 @@ let ternary_tree leaves =
   if leaves < 3 || leaves mod 2 = 0 then
     invalid_arg "Dlt_dag.ternary_tree: leaf count must be odd and >= 3";
   let internal = (leaves - 1) / 2 in
-  let arcs = ref [] in
+  let b = Dag.Builder.create ~n:(1 + (3 * internal)) ~hint:(3 * internal) () in
   let next = ref 1 in
   let queue = Queue.create () in
   Queue.add 0 queue;
   for _ = 1 to internal do
     let v = Queue.pop queue in
     for _ = 1 to 3 do
-      arcs := (v, !next) :: !arcs;
+      Dag.Builder.add_arc b v !next;
       Queue.add !next queue;
       incr next
     done
   done;
-  Dag.make_exn ~n:!next ~arcs:!arcs ()
+  Dag.Builder.build_exn b
 
 let l_prime_dag n =
   if not (is_power_of_two n) || n < 4 then

@@ -14,14 +14,24 @@ let is_in_tree g = Out_tree.is_out_tree (Dag.dual g)
 let schedule g =
   if not (is_in_tree g) then invalid_arg "In_tree.schedule: not an in-tree";
   let order = ref [] in
-  (* internal node = non-source; its Λ-sources are its dag-parents *)
-  let rec emit_run u =
-    (* make each internal parent ready first (post-order on Λ blocks) *)
-    Array.iter (fun p -> if not (Dag.is_source g p) then emit_run p) (Dag.pred g u);
-    Array.iter (fun p -> order := p :: !order) (Dag.pred g u)
-  in
-  let root = List.hd (Dag.sinks g) in
-  emit_run root;
+  let poff = Dag.pred_offsets g and pdat = Dag.pred_sources g in
+  (* internal node = non-source; its Λ-sources are its dag-parents. Each
+     internal parent's run is emitted before the node's own run (post-order
+     on Λ blocks); an explicit two-phase stack keeps the depth independent
+     of the tree height. *)
+  let stack = Stack.create () in
+  Stack.push (`Visit (List.hd (Dag.sinks g))) stack;
+  while not (Stack.is_empty stack) do
+    match Stack.pop stack with
+    | `Emit u -> Dag.iter_pred g u (fun p -> order := p :: !order)
+    | `Visit u ->
+      Stack.push (`Emit u) stack;
+      (* reversed, so the leftmost internal parent's run comes first *)
+      for i = poff.(u + 1) - 1 downto poff.(u) do
+        let p = pdat.(i) in
+        if not (Dag.is_source g p) then Stack.push (`Visit p) stack
+      done
+  done;
   Schedule.of_nonsink_order_exn g (List.rev !order)
 
 let lambda_runs_consecutive g s =
@@ -31,9 +41,9 @@ let lambda_runs_consecutive g s =
   ;
   let ok = ref true in
   for u = 0 to n - 1 do
-    let parents = Dag.pred g u in
-    if Array.length parents > 1 then begin
-      let ps = Array.map (fun p -> pos.(p)) parents in
+    if Dag.in_degree g u > 1 then begin
+      let ps = Dag.fold_pred g u [] (fun acc p -> pos.(p) :: acc) in
+      let ps = Array.of_list ps in
       Array.sort compare ps;
       for i = 0 to Array.length ps - 2 do
         if ps.(i + 1) <> ps.(i) + 1 then ok := false

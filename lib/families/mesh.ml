@@ -7,13 +7,14 @@ let node k j = (k * (k + 1) / 2) + j
 let out_mesh levels =
   if levels < 0 then invalid_arg "Mesh.out_mesh: negative depth";
   let n = (levels + 1) * (levels + 2) / 2 in
-  let arcs = ref [] in
+  let b = Dag.Builder.create ~n ~hint:(levels * (levels + 1)) () in
   for k = 0 to levels - 1 do
     for j = 0 to k do
-      arcs := (node k j, node (k + 1) j) :: (node k j, node (k + 1) (j + 1)) :: !arcs
+      Dag.Builder.add_arc b (node k j) (node (k + 1) j);
+      Dag.Builder.add_arc b (node k j) (node (k + 1) (j + 1))
     done
   done;
-  Dag.make_exn ~n ~arcs:!arcs ()
+  Dag.Builder.build_exn b
 
 let in_mesh levels = Dag.dual (out_mesh levels)
 

@@ -43,36 +43,43 @@ let random rng ~max_internal ~arity =
   in
   go Leaf max_internal
 
-let rec n_nodes = function
-  | Leaf -> 1
-  | Node cs -> 1 + List.fold_left (fun acc c -> acc + n_nodes c) 0 cs
+(* shapes can be as deep as the dag is large, so all traversals here use an
+   explicit stack rather than recursion *)
+let count_nodes ~leaves_only shape =
+  let count = ref 0 in
+  let stack = Stack.create () in
+  Stack.push shape stack;
+  while not (Stack.is_empty stack) do
+    match Stack.pop stack with
+    | Leaf -> incr count
+    | Node cs ->
+      if not leaves_only then incr count;
+      List.iter (fun c -> Stack.push c stack) cs
+  done;
+  !count
 
-let rec n_leaves = function
-  | Leaf -> 1
-  | Node cs -> List.fold_left (fun acc c -> acc + n_leaves c) 0 cs
+let n_nodes = count_nodes ~leaves_only:false
+let n_leaves = count_nodes ~leaves_only:true
 
 let dag_of_shape shape =
-  let arcs = ref [] in
+  let n = n_nodes shape in
+  let b = Dag.Builder.create ~n ~hint:(n - 1) () in
+  (* ids in DFS pre-order, children left to right: push children reversed so
+     the leftmost subtree is numbered first *)
   let next = ref 0 in
-  let fresh () =
+  let stack = Stack.create () in
+  Stack.push (-1, shape) stack;
+  while not (Stack.is_empty stack) do
+    let parent, s = Stack.pop stack in
     let id = !next in
     incr next;
-    id
-  in
-  let rec go shape =
-    let id = fresh () in
-    (match shape with
+    if parent >= 0 then Dag.Builder.add_arc b parent id;
+    match s with
     | Leaf -> ()
     | Node children ->
-      List.iter
-        (fun c ->
-          let cid = go c in
-          arcs := (id, cid) :: !arcs)
-        children);
-    id
-  in
-  let _root = go shape in
-  Dag.make_exn ~n:!next ~arcs:!arcs ()
+      List.iter (fun c -> Stack.push (id, c) stack) (List.rev children)
+  done;
+  Dag.Builder.build_exn b
 
 let dag ~arity ~depth = dag_of_shape (complete ~arity ~depth)
 
@@ -94,7 +101,7 @@ let schedule g =
     let v = Queue.pop queue in
     if not (Dag.is_sink g v) then begin
       order := v :: !order;
-      Array.iter (fun w -> Queue.add w queue) (Dag.succ g v)
+      Dag.iter_succ g v (fun w -> Queue.add w queue)
     end
   done;
   Schedule.of_nonsink_order_exn g (List.rev !order)
@@ -102,15 +109,20 @@ let schedule g =
 let schedules_all_optimal g =
   let bfs = schedule g in
   let dfs =
-    (* depth-first nonsink order *)
+    (* depth-first nonsink order, leftmost subtree first *)
+    let soff = Dag.succ_offsets g and sdat = Dag.succ_targets g in
     let order = ref [] in
-    let rec go v =
+    let stack = Stack.create () in
+    Stack.push (List.hd (Dag.sources g)) stack;
+    while not (Stack.is_empty stack) do
+      let v = Stack.pop stack in
       if not (Dag.is_sink g v) then begin
         order := v :: !order;
-        Array.iter go (Dag.succ g v)
+        for i = soff.(v + 1) - 1 downto soff.(v) do
+          Stack.push sdat.(i) stack
+        done
       end
-    in
-    go (List.hd (Dag.sources g));
+    done;
     Schedule.of_nonsink_order_exn g (List.rev !order)
   in
   let rng = Random.State.make [| 0x1C0DE |] in

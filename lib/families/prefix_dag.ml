@@ -11,16 +11,16 @@ let node ~n j i = (j * n) + i
 
 let dag n =
   let p = levels n in
-  let arcs = ref [] in
+  let b = Dag.Builder.create ~n:((p + 1) * n) ~hint:(2 * p * n) () in
   for j = 0 to p - 1 do
     let stride = 1 lsl j in
     for i = 0 to n - 1 do
-      arcs := (node ~n j i, node ~n (j + 1) i) :: !arcs;
+      Dag.Builder.add_arc b (node ~n j i) (node ~n (j + 1) i);
       if i + stride < n then
-        arcs := (node ~n j i, node ~n (j + 1) (i + stride)) :: !arcs
+        Dag.Builder.add_arc b (node ~n j i) (node ~n (j + 1) (i + stride))
     done
   done;
-  Dag.make_exn ~n:((p + 1) * n) ~arcs:!arcs ()
+  Dag.Builder.build_exn b
 
 (* columns of boundary [j] grouped by residue mod 2^j; each group is one
    N-dag whose anchor is the group's smallest column *)

@@ -56,18 +56,14 @@ let work ?(task_work = fun _ -> 1.0) t =
   acc
 
 let cut_arcs t =
-  List.length
-    (List.filter
-       (fun (u, v) -> t.cluster_of.(u) <> t.cluster_of.(v))
-       (Dag.arcs t.fine))
+  Dag.fold_arcs t.fine 0 (fun acc u v ->
+      if t.cluster_of.(u) <> t.cluster_of.(v) then acc + 1 else acc)
 
 let cluster_out_communication t =
   let acc = Array.make (Dag.n_nodes t.coarse) 0 in
-  List.iter
-    (fun (u, v) ->
+  Dag.iter_arcs t.fine (fun u v ->
       let cu = t.cluster_of.(u) in
-      if cu <> t.cluster_of.(v) then acc.(cu) <- acc.(cu) + 1)
-    (Dag.arcs t.fine);
+      if cu <> t.cluster_of.(v) then acc.(cu) <- acc.(cu) + 1);
   acc
 
 let max_work ?task_work t = Array.fold_left max 0.0 (work ?task_work t)

@@ -16,11 +16,13 @@ let embeddings (d : Diamond.t) =
 
 let subtree_nodes tree x =
   let acc = ref [] in
-  let rec go v =
+  let stack = Stack.create () in
+  Stack.push x stack;
+  while not (Stack.is_empty stack) do
+    let v = Stack.pop stack in
     acc := v :: !acc;
-    Array.iter go (Dag.succ tree v)
-  in
-  go x;
+    Dag.iter_succ tree v (fun c -> Stack.push c stack)
+  done;
   !acc
 
 let coarsen (d : Diamond.t) ~subtree_roots =

@@ -74,9 +74,8 @@ let run cfg policy ~workload g =
         if cfg.comm_time = 0.0 then 0
         else if Dag.is_source g v then 1
         else
-          Array.fold_left
-            (fun acc p -> if computed_by.(p) = client then acc else acc + 1)
-            0 (Dag.pred g v)
+          Dag.fold_pred g v 0 (fun acc p ->
+              if computed_by.(p) = client then acc else acc + 1)
       in
       let comm = cfg.comm_time *. float_of_int transfers in
       comm_total := !comm_total +. comm;
