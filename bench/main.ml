@@ -23,6 +23,7 @@ type group = Default | Large | All
 let group = ref Default
 let quick = ref false
 let json_out : string option ref = ref None
+let trace_out : string option ref = ref None
 
 let parse_args () =
   let rec go = function
@@ -32,6 +33,9 @@ let parse_args () =
       go rest
     | "--json-out" :: file :: rest ->
       json_out := Some file;
+      go rest
+    | "--trace-out" :: file :: rest ->
+      trace_out := Some file;
       go rest
     | "--group" :: g :: rest ->
       (group :=
@@ -411,11 +415,32 @@ let run_default () =
   in
   emit_json (Printf.sprintf "{%s}" json)
 
+(* --trace-out FILE: one traced run of the E16 assessment workload through
+   the Ic_obs subsystem, exported as a Chrome trace next to the bench JSON *)
+let run_trace file =
+  let g = F.Mesh.out_mesh 20 in
+  let theory = F.Mesh.out_schedule 20 in
+  let config = Ic_sim.Simulator.config ~n_clients:6 ~jitter:0.5 () in
+  let trace = Ic_obs.Trace.create () in
+  ignore
+    (Ic_sim.Simulator.run ~sink:trace config
+       (Ic_heuristics.Policy.of_schedule "ic-optimal" theory)
+       ~workload:Ic_sim.Workload.unit g);
+  let oc = open_out file in
+  output_string oc
+    (Ic_obs.Exporter.chrome_trace ~process_name:"bench sim_assessment"
+       ~label:(Ic_dag.Dag.label g) trace);
+  close_out oc;
+  emit_json
+    (Printf.sprintf "{\"bench\": \"trace_sim_assessment\", \"events\": %d, \"trace_out\": %S}"
+       (Ic_obs.Trace.length trace) file)
+
 let () =
   parse_args ();
-  match !group with
+  (match !group with
   | Default -> run_default ()
   | Large -> run_large ()
   | All ->
     run_default ();
-    run_large ()
+    run_large ());
+  Option.iter run_trace !trace_out

@@ -5,7 +5,8 @@
    dune exec bin/ic_sched.exe -- verify prefix:8
    dune exec bin/ic_sched.exe -- dot diamond:2.3
    dune exec bin/ic_sched.exe -- simulate mesh:16 --clients 8 --policy fifo
-   dune exec bin/ic_sched.exe -- compare butterfly:5 --clients 8 *)
+   dune exec bin/ic_sched.exe -- compare butterfly:5 --clients 8
+   dune exec bin/ic_sched.exe -- trace --family mesh --n 256 --policy random -o trace.json *)
 
 open Cmdliner
 module Dag = Ic_dag.Dag
@@ -29,7 +30,13 @@ let family_pos =
   Arg.(required & pos 0 (some family_conv) None & info [] ~docv:"FAMILY" ~doc)
 
 let policy_conv =
-  let all = ("ic-optimal", None) :: List.map (fun p -> (Policy.name p, Some p)) Policy.baselines in
+  let all =
+    ("ic-optimal", None)
+    (* bare alias for the seeded random baseline, whose canonical name
+       carries the seed: random(0xf00d) *)
+    :: ("random", Some (Policy.random 0xF00D))
+    :: List.map (fun p -> (Policy.name p, Some p)) Policy.baselines
+  in
   let parse s =
     match List.assoc_opt s all with
     | Some p -> Ok p
@@ -163,6 +170,94 @@ let compare_cmd =
        ~doc:"Compare the IC-optimal policy against every baseline heuristic")
     Term.(const run $ family_pos $ clients_arg $ jitter_arg $ seed_arg)
 
+(* --- trace --- *)
+
+let trace_cmd =
+  let family_arg =
+    let doc =
+      "Dag family name (combined with --n, e.g. --family mesh --n 256) or a \
+       full FAMILY spec such as mesh:256."
+    in
+    Arg.(required & opt (some string) None & info [ "family" ] ~docv:"FAMILY" ~doc)
+  in
+  let n_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "n" ] ~docv:"N" ~doc:"Size parameter appended to --family as FAMILY:N")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt string "trace.json"
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Chrome trace-event output file (load it in Perfetto)")
+  in
+  let csv_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the eligibility timeline as CSV")
+  in
+  let metrics_arg =
+    Arg.(value & flag & info [ "metrics" ] ~doc:"Print the metrics registry after the run")
+  in
+  let policy_arg =
+    Arg.(
+      value
+      & opt policy_conv None
+      & info [ "policy" ] ~doc:"Allocation policy (default: ic-optimal)")
+  in
+  let write_file file contents =
+    let oc = open_out file in
+    output_string oc contents;
+    close_out oc
+  in
+  let run family n clients jitter seed policy out csv metrics =
+    let spec =
+      match n with Some n -> Printf.sprintf "%s:%d" family n | None -> family
+    in
+    match Ic_cli.Family_spec.parse spec with
+    | Error e ->
+      Format.eprintf "%s@." e;
+      exit 1
+    | Ok f ->
+      let policy =
+        match policy with
+        | Some p -> p
+        | None -> Policy.of_schedule "ic-optimal" f.schedule
+      in
+      let config = Ic_sim.Simulator.config ~n_clients:clients ~jitter ~seed () in
+      let trace = Ic_obs.Trace.create () in
+      let registry = Ic_obs.Metrics.create () in
+      let r =
+        Ic_sim.Simulator.run ~sink:trace ~metrics:registry config policy
+          ~workload:Ic_sim.Workload.unit f.dag
+      in
+      write_file out
+        (Ic_obs.Exporter.chrome_trace
+           ~process_name:(Printf.sprintf "ic_sched: %s under %s" f.description
+                            (Policy.name policy))
+           ~label:(Dag.label f.dag) trace);
+      Option.iter
+        (fun file -> write_file file (Ic_obs.Exporter.eligibility_csv trace))
+        csv;
+      Format.printf "%s under %s with %d clients:@.%a@." f.description
+        (Policy.name policy) clients Ic_sim.Simulator.pp_result r;
+      Format.printf "%d events -> %s (chrome://tracing or ui.perfetto.dev)@."
+        (Ic_obs.Trace.length trace) out;
+      Option.iter (Format.printf "eligibility timeline -> %s@.") csv;
+      if metrics then Ic_obs.Metrics.pp_text Format.std_formatter registry
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a traced simulation and export it as Chrome trace-event JSON \
+          (one track per client plus an |ELIGIBLE| counter track)")
+    Term.(
+      const run $ family_arg $ n_arg $ clients_arg $ jitter_arg $ seed_arg
+      $ policy_arg $ out_arg $ csv_arg $ metrics_arg)
+
 (* --- batch --- *)
 
 let batch_cmd =
@@ -252,6 +347,9 @@ let main =
     (Cmd.info "ic_sched" ~version:"1.0.0"
        ~doc:"IC-Scheduling Theory: dags, IC-optimal schedules, and simulation")
     [ info_cmd; dot_cmd; schedule_cmd; verify_cmd; simulate_cmd; compare_cmd;
-      batch_cmd; auto_cmd; prio_cmd ]
+      trace_cmd; batch_cmd; auto_cmd; prio_cmd ]
 
-let () = exit (Cmd.eval main)
+(* cmdliner only knows single-char names as short options, but the trace
+   subcommand documents the GNU-ish spelling --n for its size parameter *)
+let argv = Array.map (fun a -> if a = "--n" then "-n" else a) Sys.argv
+let () = exit (Cmd.eval ~argv main)

@@ -348,6 +348,25 @@ let e16 () =
            ~workload:(Ic_sim.Workload.random_uniform ~seed:5 ~lo:0.5 ~hi:2.0)))
     cases
 
+let e16c () =
+  header "e16c"
+    "time-resolved eligibility curves (traced simulation, Ic_obs)";
+  pf "eligible-task pool over simulated time, sampled at fractions of each@.";
+  pf "policy's makespan — the temporal view behind the E16 aggregates:@.";
+  List.iter
+    (fun (name, g, theory, n_clients) ->
+      pf "@.--- %s ---@." name;
+      let config = Ic_sim.Simulator.config ~n_clients ~jitter:0.5 () in
+      Ic_sim.Assessment.pp_curves Format.std_formatter
+        (Ic_sim.Assessment.eligibility_curves ~config g ~theory))
+    [
+      ("out-mesh L=20, 6 clients", F.Mesh.out_mesh 20, F.Mesh.out_schedule 20, 6);
+      ( "butterfly B_5, 12 clients",
+        F.Butterfly_net.dag 5,
+        F.Butterfly_net.schedule 5,
+        12 );
+    ]
+
 let e16b () =
   header "e16b" "batch-request service (scenario 2 of section 2.2)";
   pf "fraction of a size-r request burst served immediately, per step:@.";
@@ -478,7 +497,7 @@ let experiments =
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4_e5); ("e5", e4_e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e8b", e8b); ("e9", e9); ("e10", e10); ("e11", e11);
     ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
-    ("e16b", e16b); ("e17", e17); ("a1", a1); ("a2", a2);
+    ("e16b", e16b); ("e16c", e16c); ("e17", e17); ("a1", a1); ("a2", a2);
   ]
 
 let () =
@@ -486,7 +505,8 @@ let () =
     match Array.to_list Sys.argv with
     | _ :: (_ :: _ as ids) -> List.map String.lowercase_ascii ids
     | _ -> [ "e1"; "e2"; "e3"; "e4"; "e6"; "e7"; "e8"; "e9"; "e10"; "e11";
-             "e8b"; "e12"; "e13"; "e14"; "e15"; "e16"; "e16b"; "e17"; "a1"; "a2" ]
+             "e8b"; "e12"; "e13"; "e14"; "e15"; "e16"; "e16b"; "e16c"; "e17";
+             "a1"; "a2" ]
   in
   List.iter
     (fun id ->

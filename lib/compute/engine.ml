@@ -1,6 +1,7 @@
 module Dag = Ic_dag.Dag
 module Schedule = Ic_dag.Schedule
 module Frontier = Ic_dag.Frontier
+module Trace = Ic_obs.Trace
 
 type 'a t = {
   dag : Dag.t;
@@ -32,7 +33,7 @@ let max_in_degree poff n =
    proves, before every value is computed, that the node's parents have
    already been computed — so parent values can be read straight out of the
    result array, with no option boxing. *)
-let execute ?schedule t =
+let execute ?schedule ?sink t =
   let g = t.dag in
   let n = Dag.n_nodes g in
   let order =
@@ -47,11 +48,37 @@ let execute ?schedule t =
   else begin
     let poff = Dag.pred_offsets g and pdat = Dag.pred_sources g in
     let fr = Frontier.create g in
+    (* the engine has no simulated clock; events are stamped with the
+       execution step, client 0 standing in for "the engine" *)
+    let step = ref 0 in
+    (match sink with
+    | None -> ()
+    | Some tr ->
+      Frontier.set_observer fr
+        (Some
+           {
+             Frontier.on_push =
+               (fun w -> Trace.frontier_push tr ~time:(float_of_int !step) ~node:w);
+             on_pop =
+               (fun w -> Trace.frontier_pop tr ~time:(float_of_int !step) ~node:w);
+           });
+      Frontier.iter (fun v -> Trace.frontier_push tr ~time:0.0 ~node:v) fr;
+      Trace.eligible_count tr ~time:0.0 ~count:(Frontier.count fr));
     let next i =
       match order with
       | Some o -> o.(i)
       | None -> (
         match Frontier.choose fr with Some v -> v | None -> assert false)
+    in
+    let emit_executed v =
+      match sink with
+      | None -> ()
+      | Some tr ->
+        let i = !step in
+        Trace.task_start tr ~time:(float_of_int i) ~task:v ~client:0;
+        Trace.task_complete tr ~time:(float_of_int (i + 1)) ~task:v ~client:0;
+        Trace.eligible_count tr ~time:(float_of_int (i + 1))
+          ~count:(Frontier.count fr)
     in
     let v0 = next 0 in
     if not (Frontier.is_eligible fr v0) then
@@ -60,7 +87,9 @@ let execute ?schedule t =
     let values = Array.make n (t.compute v0 [||]) in
     let buffer = scratch_pool ~max_deg:(max_in_degree poff n) values.(v0) in
     Frontier.execute fr v0;
+    emit_executed v0;
     for i = 1 to n - 1 do
+      step := i;
       let v = next i in
       if not (Frontier.is_eligible fr v) then
         invalid_arg "Engine.execute: invalid schedule order";
@@ -71,6 +100,7 @@ let execute ?schedule t =
         Array.unsafe_set parents k values.(Array.unsafe_get pdat (base + k))
       done;
       Frontier.execute fr v;
+      emit_executed v;
       values.(v) <- t.compute v parents
     done;
     values

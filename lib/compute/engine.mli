@@ -16,9 +16,18 @@ type 'a t = {
           must outlive the call. *)
 }
 
-val execute : ?schedule:Ic_dag.Schedule.t -> 'a t -> 'a array
+val execute :
+  ?schedule:Ic_dag.Schedule.t -> ?sink:Ic_obs.Trace.t -> 'a t -> 'a array
 (** All node values, computed in schedule order (default: a topological
-    order). Raises [Invalid_argument] if the schedule does not fit. *)
+    order). Raises [Invalid_argument] if the schedule does not fit.
+
+    [sink], when given, receives the structured execution trace: per node
+    a task start/complete pair stamped with the execution step (the
+    engine is untimed, so step [i] plays the role of the clock), frontier
+    push/pop events, and the eligibility count after every step — the
+    same event model the simulator emits, so the exporters apply
+    unchanged. Without a sink the execute path pays one branch per
+    node. *)
 
 val value_at : ?schedule:Ic_dag.Schedule.t -> 'a t -> int -> 'a
 (** [value_at t v] is [(execute t).(v)], but only the ancestor cone of [v]

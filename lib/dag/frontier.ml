@@ -18,6 +18,8 @@
    every node id handled comes from the dag's adjacency (so is in [0, n)),
    and the pool holds exactly [count <= n] entries. *)
 
+type observer = { on_push : int -> unit; on_pop : int -> unit }
+
 type t = {
   g : Dag.t;
   off : int array;  (* CSR successor adjacency, shared with the dag *)
@@ -32,6 +34,7 @@ type t = {
   mutable executes : int;
   mutable promotions : int;
   mutable restores : int;
+  mutable observer : observer option;
 }
 
 let dag t = t.g
@@ -53,7 +56,10 @@ let make_state g remaining pool count n_executed =
     executes = 0;
     promotions = 0;
     restores = 0;
+    observer = None;
   }
+
+let set_observer t o = t.observer <- o
 
 let create g =
   let n = Dag.n_nodes g in
@@ -135,6 +141,8 @@ let execute ?on_promote t v =
   if t.trail != [||] then Array.unsafe_set t.trail t.n_executed v;
   t.n_executed <- t.n_executed + 1;
   t.executes <- t.executes + 1;
+  let observer = t.observer in
+  (match observer with None -> () | Some o -> o.on_pop v);
   let off = t.off and dat = t.dat in
   for i = Array.unsafe_get off v to Array.unsafe_get off (v + 1) - 1 do
     let w = Array.unsafe_get dat i in
@@ -145,6 +153,7 @@ let execute ?on_promote t v =
       Array.unsafe_set t.pos w t.count;
       t.count <- t.count + 1;
       t.promotions <- t.promotions + 1;
+      (match observer with None -> () | Some o -> o.on_push w);
       match on_promote with None -> () | Some f -> f w
     end
   done

@@ -96,6 +96,22 @@ val profile : Dag.t -> order:int array -> int array
 
 (** {1 Observability} *)
 
+type observer = {
+  on_push : int -> unit;  (** a node just became eligible *)
+  on_pop : int -> unit;  (** a node was just executed *)
+}
+(** A structured-event hook for the tracing layer ({!Ic_obs.Trace}): the
+    simulator and the value engine install an observer that stamps push
+    and pop events with their own notion of time. *)
+
+val set_observer : t -> observer option -> unit
+(** Install (or with [None] remove) the frontier's observer. The observer
+    fires on {!execute} only — one [on_pop] for the executed node, then
+    one [on_push] per promoted child, interleaved with [on_promote] —
+    never on {!restore} or the bulk {!profile} pass, which stay
+    callback-free. With no observer installed the execute path pays one
+    branch, preserving the zero-instrumentation overhead contract. *)
+
 type stats = {
   executes : int;  (** total {!execute} calls that succeeded *)
   promotions : int;  (** nodes that became eligible through {!execute} *)

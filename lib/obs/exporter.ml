@@ -1,0 +1,126 @@
+(* Chrome trace-event output. Complete ("X") slices are reconstructed by
+   pairing each Task_alloc with the Task_complete/Task_fail that closes it
+   — a client holds at most one allocation at a time, so an array indexed
+   by client suffices. Counter ("C") samples come straight from the
+   Eligible_count events; stall periods pair Client_stall/Client_resume
+   the same way. *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* simulated seconds -> trace microseconds, printed with fixed precision so
+   equal traces export byte-equally *)
+let us t = Printf.sprintf "%.3f" (1e6 *. t)
+
+let chrome_trace ?(process_name = "ic_sched")
+    ?(label = fun v -> "t" ^ string_of_int v) tr =
+  let max_client = ref (-1) in
+  Trace.iter
+    (fun e ->
+      match e.Trace.kind with
+      | Task_alloc | Task_start | Task_complete | Task_fail ->
+        if e.b > !max_client then max_client := e.b
+      | Client_stall | Client_resume ->
+        if e.a > !max_client then max_client := e.a
+      | Frontier_push | Frontier_pop | Eligible_count -> ())
+    tr;
+  let n_clients = !max_client + 1 in
+  let buf = Buffer.create 4096 in
+  let first = ref true in
+  let entry line =
+    if !first then Buffer.add_string buf "[\n" else Buffer.add_string buf ",\n";
+    first := false;
+    Buffer.add_string buf line
+  in
+  entry
+    (Printf.sprintf
+       "{\"ph\": \"M\", \"pid\": 0, \"tid\": 0, \"name\": \"process_name\", \
+        \"args\": {\"name\": \"%s\"}}"
+       (json_escape process_name));
+  entry
+    "{\"ph\": \"M\", \"pid\": 0, \"tid\": 0, \"name\": \"thread_name\", \
+     \"args\": {\"name\": \"server\"}}";
+  for c = 0 to n_clients - 1 do
+    entry
+      (Printf.sprintf
+         "{\"ph\": \"M\", \"pid\": 0, \"tid\": %d, \"name\": \"thread_name\", \
+          \"args\": {\"name\": \"client %d\"}}"
+         (c + 1) c)
+  done;
+  let open_task = Array.make (max n_clients 1) (-1) in
+  let open_task_at = Array.make (max n_clients 1) 0.0 in
+  let stall_since = Array.make (max n_clients 1) nan in
+  let duration time t0 = if time > t0 then time -. t0 else 0.0 in
+  let close_task ~lost time task client =
+    if client >= 0 && client < n_clients && open_task.(client) = task then begin
+      let t0 = open_task_at.(client) in
+      open_task.(client) <- -1;
+      entry
+        (Printf.sprintf
+           "{\"ph\": \"X\", \"pid\": 0, \"tid\": %d, \"ts\": %s, \"dur\": %s, \
+            \"name\": \"%s\", \"args\": {\"task\": %d%s}}"
+           (client + 1) (us t0)
+           (us (duration time t0))
+           (json_escape (if lost then label task ^ " (lost)" else label task))
+           task
+           (if lost then ", \"lost\": true" else ""))
+    end
+  in
+  Trace.iter
+    (fun e ->
+      match e.Trace.kind with
+      | Task_alloc ->
+        if e.b >= 0 && e.b < n_clients then begin
+          open_task.(e.b) <- e.a;
+          open_task_at.(e.b) <- e.time
+        end
+      | Task_start -> ()
+      | Task_complete -> close_task ~lost:false e.time e.a e.b
+      | Task_fail -> close_task ~lost:true e.time e.a e.b
+      | Client_stall ->
+        if e.a >= 0 && e.a < n_clients then stall_since.(e.a) <- e.time
+      | Client_resume ->
+        if e.a >= 0 && e.a < n_clients && not (Float.is_nan stall_since.(e.a))
+        then begin
+          let t0 = stall_since.(e.a) in
+          stall_since.(e.a) <- nan;
+          entry
+            (Printf.sprintf
+               "{\"ph\": \"X\", \"pid\": 0, \"tid\": %d, \"ts\": %s, \"dur\": \
+                %s, \"name\": \"stall\", \"args\": {}}"
+               (e.a + 1) (us t0)
+               (us (e.time -. t0)))
+        end
+      | Frontier_push | Frontier_pop -> ()
+      | Eligible_count ->
+        entry
+          (Printf.sprintf
+             "{\"ph\": \"C\", \"pid\": 0, \"tid\": 0, \"ts\": %s, \"name\": \
+              \"|ELIGIBLE|\", \"args\": {\"eligible\": %d}}"
+             (us e.time) e.a))
+    tr;
+  if !first then Buffer.add_string buf "[\n";
+  Buffer.add_string buf "\n]\n";
+  Buffer.contents buf
+
+let eligibility_csv tr =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "time,eligible\n";
+  Array.iter
+    (fun (time, count) ->
+      Buffer.add_string buf (Printf.sprintf "%.9g,%d\n" time count))
+    (Trace.eligibility_timeline tr);
+  Buffer.contents buf

@@ -1,0 +1,24 @@
+(** Trace exporters: Chrome trace-event JSON and a CSV eligibility
+    timeline.
+
+    The Chrome export follows the trace-event format that Perfetto and
+    [chrome://tracing] load: a JSON array of event objects. The layout is
+    one track ([tid = client + 1]) per simulated client carrying that
+    client's task slices (allocation to completion; lost allocations are
+    closed by the failure and labelled as lost) and stall slices, plus a
+    ["|ELIGIBLE|"] counter track showing the allocatable-task pool over
+    simulated time — the quantity IC-optimality maximizes pointwise.
+    Simulated seconds are mapped to trace microseconds. *)
+
+val chrome_trace :
+  ?process_name:string -> ?label:(int -> string) -> Trace.t -> string
+(** [chrome_trace tr] renders [tr] as Chrome trace-event JSON.
+    [process_name] (default ["ic_sched"]) names the process track — pass
+    the policy name to label the run in the UI. [label] names task
+    slices from node ids (default ["t<id>"]; pass [Dag.label g] for the
+    family's own labels). The output is deterministic: equal traces
+    render to equal strings. *)
+
+val eligibility_csv : Trace.t -> string
+(** The {!Trace.eligibility_timeline} as CSV with a [time,eligible]
+    header row. *)

@@ -1,0 +1,28 @@
+(** A minimal JSON reader, just enough to round-trip-validate this
+    library's own exports (Chrome traces, metrics dumps) without an
+    external dependency. Supports the full JSON value grammar with
+    [\uXXXX] escapes decoded to UTF-8; numbers are read as floats. *)
+
+type value =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | Array of value list
+  | Object of (string * value) list
+
+val parse : string -> (value, string) result
+(** Parse a complete JSON document (trailing whitespace allowed). The
+    error string carries a character offset. *)
+
+(** {1 Accessors} — total, for walking validated documents. *)
+
+val member : string -> value -> value option
+(** Field lookup; [None] on missing fields and non-objects. *)
+
+val to_list : value -> value list
+(** Array elements; [[]] for non-arrays. *)
+
+val to_string : value -> string option
+
+val to_number : value -> float option

@@ -1,0 +1,177 @@
+type counter = { c_name : string; mutable c_value : int }
+type gauge = { g_name : string; mutable g_value : float }
+
+type histogram = {
+  h_name : string;
+  bounds : float array;  (* strictly increasing, finite *)
+  counts : int array;  (* length bounds + 1; last is the overflow bucket *)
+  mutable h_sum : float;
+  mutable h_count : int;
+}
+
+type instrument =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+type t = { instruments : (string, instrument) Hashtbl.t }
+
+let create () = { instruments = Hashtbl.create 16 }
+
+let register t name make describe =
+  match Hashtbl.find_opt t.instruments name with
+  | None ->
+    let i = make () in
+    Hashtbl.add t.instruments name i;
+    i
+  | Some i -> describe i
+
+let wrong_type name = invalid_arg ("Metrics: " ^ name ^ " registered as another instrument type")
+
+let counter t name =
+  match
+    register t name
+      (fun () -> Counter { c_name = name; c_value = 0 })
+      (function Counter _ as i -> i | _ -> wrong_type name)
+  with
+  | Counter c -> c
+  | _ -> assert false
+
+let gauge t name =
+  match
+    register t name
+      (fun () -> Gauge { g_name = name; g_value = 0.0 })
+      (function Gauge _ as i -> i | _ -> wrong_type name)
+  with
+  | Gauge g -> g
+  | _ -> assert false
+
+let histogram t name ~buckets =
+  let ok = ref (Array.length buckets > 0) in
+  Array.iteri
+    (fun i b ->
+      if not (Float.is_finite b) then ok := false
+      else if i > 0 && b <= buckets.(i - 1) then ok := false)
+    buckets;
+  if not !ok then
+    invalid_arg "Metrics.histogram: buckets must be finite and strictly increasing";
+  match
+    register t name
+      (fun () ->
+        Histogram
+          {
+            h_name = name;
+            bounds = Array.copy buckets;
+            counts = Array.make (Array.length buckets + 1) 0;
+            h_sum = 0.0;
+            h_count = 0;
+          })
+      (function
+        | Histogram h as i ->
+          if h.bounds <> buckets then
+            invalid_arg ("Metrics.histogram: " ^ name ^ " re-registered with different buckets");
+          i
+        | _ -> wrong_type name)
+  with
+  | Histogram h -> h
+  | _ -> assert false
+
+let incr ?(by = 1) c =
+  if by < 0 then invalid_arg "Metrics.incr: negative increment";
+  c.c_value <- c.c_value + by
+
+let set g v = g.g_value <- v
+
+let observe h x =
+  let n = Array.length h.bounds in
+  let i = ref 0 in
+  while !i < n && x > Array.unsafe_get h.bounds !i do
+    i := !i + 1
+  done;
+  h.counts.(!i) <- h.counts.(!i) + 1;
+  h.h_sum <- h.h_sum +. x;
+  h.h_count <- h.h_count + 1
+
+let counter_value c = c.c_value
+let gauge_value g = g.g_value
+let histogram_count h = h.h_count
+let histogram_sum h = h.h_sum
+
+let histogram_buckets h =
+  Array.init
+    (Array.length h.counts)
+    (fun i ->
+      ( (if i < Array.length h.bounds then h.bounds.(i) else infinity),
+        h.counts.(i) ))
+
+let sorted_instruments t =
+  Hashtbl.fold (fun _ i acc -> i :: acc) t.instruments []
+  |> List.sort (fun a b ->
+         let name = function
+           | Counter c -> c.c_name
+           | Gauge g -> g.g_name
+           | Histogram h -> h.h_name
+         in
+         compare (name a) (name b))
+
+let pp_text ppf t =
+  List.iter
+    (function
+      | Counter c -> Format.fprintf ppf "counter   %-32s %d@." c.c_name c.c_value
+      | Gauge g -> Format.fprintf ppf "gauge     %-32s %g@." g.g_name g.g_value
+      | Histogram h ->
+        Format.fprintf ppf "histogram %-32s count %d  sum %g  mean %g@."
+          h.h_name h.h_count h.h_sum
+          (if h.h_count = 0 then 0.0 else h.h_sum /. float_of_int h.h_count);
+        Array.iter
+          (fun (bound, count) ->
+            Format.fprintf ppf "    le %-10s %d@."
+              (if Float.is_finite bound then Printf.sprintf "%g" bound
+               else "+inf")
+              count)
+          (histogram_buckets h))
+    (sorted_instruments t)
+
+let json_float x =
+  if Float.is_finite x then Printf.sprintf "%.12g" x else "null"
+
+let to_json t =
+  let buf = Buffer.create 512 in
+  let instruments = sorted_instruments t in
+  let section name entries =
+    Buffer.add_string buf (Printf.sprintf "%S: {" name);
+    List.iteri
+      (fun i (key, body) ->
+        if i > 0 then Buffer.add_string buf ", ";
+        Buffer.add_string buf (Printf.sprintf "%S: %s" key body))
+      entries;
+    Buffer.add_char buf '}'
+  in
+  Buffer.add_char buf '{';
+  section "counters"
+    (List.filter_map
+       (function Counter c -> Some (c.c_name, string_of_int c.c_value) | _ -> None)
+       instruments);
+  Buffer.add_string buf ", ";
+  section "gauges"
+    (List.filter_map
+       (function Gauge g -> Some (g.g_name, json_float g.g_value) | _ -> None)
+       instruments);
+  Buffer.add_string buf ", ";
+  section "histograms"
+    (List.filter_map
+       (function
+         | Histogram h ->
+           Some
+             ( h.h_name,
+               Printf.sprintf
+                 "{\"buckets\": [%s], \"counts\": [%s], \"sum\": %s, \"count\": %d}"
+                 (String.concat ", "
+                    (Array.to_list (Array.map json_float h.bounds)))
+                 (String.concat ", "
+                    (Array.to_list (Array.map string_of_int h.counts)))
+                 (json_float h.h_sum) h.h_count )
+         | _ -> None)
+       instruments);
+  Buffer.add_char buf '}';
+  Buffer.contents buf

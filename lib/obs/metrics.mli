@@ -1,0 +1,72 @@
+(** A registry of named counters, gauges and fixed-bucket histograms.
+
+    Where {!Trace} records {e every} event for offline inspection, a
+    metrics registry keeps cheap running aggregates — how many tasks
+    completed, the distribution of task latencies or queue depths —
+    suitable for printing after a run or scraping from a bench harness.
+    Instruments are registered by name and are plain mutable cells:
+    updating one is a field write (counters, gauges) or a short linear
+    bucket scan (histograms); no allocation after registration.
+
+    Registries are single-threaded, like everything in this library. *)
+
+type t
+
+type counter
+(** A monotonically increasing integer. *)
+
+type gauge
+(** A float set to the latest value (e.g. a per-run utilization). *)
+
+type histogram
+(** Counts of observations in fixed buckets, plus their sum and count.
+    Bucket [i] counts observations [x <= bounds.(i)] that fit no earlier
+    bucket; one implicit overflow bucket catches the rest. *)
+
+val create : unit -> t
+
+(** {1 Registration}
+
+    Registering a name twice returns the existing instrument (for
+    histograms the bucket bounds must match; otherwise
+    [Invalid_argument]). A name registered as one instrument type cannot
+    be re-registered as another. *)
+
+val counter : t -> string -> counter
+val gauge : t -> string -> gauge
+
+val histogram : t -> string -> buckets:float array -> histogram
+(** [buckets] are the upper bounds, finite and strictly increasing;
+    raises [Invalid_argument] otherwise. The array is copied. *)
+
+(** {1 Updates} *)
+
+val incr : ?by:int -> counter -> unit
+(** [by] defaults to 1 and must be non-negative. *)
+
+val set : gauge -> float -> unit
+val observe : histogram -> float -> unit
+
+(** {1 Reading} *)
+
+val counter_value : counter -> int
+val gauge_value : gauge -> float
+
+val histogram_count : histogram -> int
+(** Number of observations. *)
+
+val histogram_sum : histogram -> float
+
+val histogram_buckets : histogram -> (float * int) array
+(** [(upper_bound, count)] pairs in bound order; the final pair is
+    [(infinity, overflow_count)]. *)
+
+(** {1 Dumps} *)
+
+val pp_text : Format.formatter -> t -> unit
+(** A human-readable dump, instruments sorted by name. *)
+
+val to_json : t -> string
+(** A deterministic JSON object:
+    [{"counters": {...}, "gauges": {...}, "histograms": {...}}], keys
+    sorted by name. *)

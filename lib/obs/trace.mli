@@ -1,0 +1,78 @@
+(** Structured execution traces: a low-overhead flat event buffer.
+
+    A trace is a growable record of timestamped scheduling events — task
+    allocation/start/completion/failure, client stall/resume, frontier
+    push/pop, eligibility-count changes — stored column-wise in flat
+    int/float arrays, so recording an event allocates nothing (amortized:
+    the columns double when full). Producers take a sink as an explicit
+    [?sink:Trace.t] optional argument; when no sink is installed the
+    instrumentation path is a single branch per site, which keeps the
+    zero-observability cost within noise (the overhead contract of
+    DESIGN.md §"The observability layer").
+
+    Timestamps are {e simulated} time (or step indices for untimed
+    producers like [Ic_compute.Engine]); a trace never consults the wall
+    clock, so identically seeded runs produce byte-identical traces. *)
+
+type kind =
+  | Task_alloc  (** [a] = task, [b] = client; the server allocated [a] *)
+  | Task_start
+      (** [a] = task, [b] = client; computation begins (allocation time
+          plus the input-transfer delay, when communication is priced) *)
+  | Task_complete  (** [a] = task, [b] = client *)
+  | Task_fail
+      (** [a] = task, [b] = client; the allocation was lost (unreliable
+          client) and the task returns to the pool *)
+  | Client_stall  (** [a] = client; requested work, none was eligible *)
+  | Client_resume  (** [a] = client; a stalled client received work *)
+  | Frontier_push  (** [a] = node; the node became ELIGIBLE *)
+  | Frontier_pop  (** [a] = node; the node was executed *)
+  | Eligible_count  (** [a] = new number of allocatable eligible tasks *)
+
+val kind_name : kind -> string
+(** Stable lower-snake-case name, e.g. ["task_alloc"]. *)
+
+type event = { kind : kind; time : float; a : int; b : int }
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** An empty trace. [capacity] (default 1024) presizes the columns. *)
+
+val length : t -> int
+
+val clear : t -> unit
+(** Forget all events, keeping the column storage. *)
+
+(** {1 Recording} *)
+
+val emit : t -> kind -> time:float -> a:int -> b:int -> unit
+
+(** Typed wrappers over {!emit}, one per event kind; unused payload slots
+    are recorded as [0]. *)
+
+val task_alloc : t -> time:float -> task:int -> client:int -> unit
+val task_start : t -> time:float -> task:int -> client:int -> unit
+val task_complete : t -> time:float -> task:int -> client:int -> unit
+val task_fail : t -> time:float -> task:int -> client:int -> unit
+val client_stall : t -> time:float -> client:int -> unit
+val client_resume : t -> time:float -> client:int -> unit
+val frontier_push : t -> time:float -> node:int -> unit
+val frontier_pop : t -> time:float -> node:int -> unit
+val eligible_count : t -> time:float -> count:int -> unit
+
+(** {1 Reading} *)
+
+val get : t -> int -> event
+(** The [i]-th event, in emission order. Raises [Invalid_argument] when
+    out of range. *)
+
+val iter : (event -> unit) -> t -> unit
+(** Apply to every event in emission order. *)
+
+val to_array : t -> event array
+
+val eligibility_timeline : t -> (float * int) array
+(** The [(time, count)] pairs of the {!Eligible_count} events, in
+    emission order — the time-resolved eligibility curve the paper's
+    temporal argument is about. *)

@@ -41,6 +41,51 @@ let compare_policies ?config ?(workload = Workload.unit) ?(extra = []) g
   in
   row theory_policy :: List.map row (Policy.baselines @ extra)
 
+(* --- time-resolved eligibility curves (via the tracing subsystem) --- *)
+
+type timeline = (float * int) array
+
+let eligibility_timeline ?config ?(workload = Workload.unit) policy g =
+  let config = match config with Some c -> c | None -> Simulator.config () in
+  let tr = Ic_obs.Trace.create () in
+  ignore (Simulator.run ~sink:tr config policy ~workload g);
+  Ic_obs.Trace.eligibility_timeline tr
+
+let eligibility_curves ?config ?workload ?(extra = []) g ~theory =
+  let theory_policy = Policy.of_schedule "ic-optimal" theory in
+  List.map
+    (fun p -> (Policy.name p, eligibility_timeline ?config ?workload p g))
+    (theory_policy :: (Policy.baselines @ extra))
+
+let timeline_at timeline time =
+  (* the last sample at or before [time]; 0 before the first sample *)
+  let n = Array.length timeline in
+  let value = ref 0 in
+  let i = ref 0 in
+  while !i < n && fst timeline.(!i) <= time do
+    value := snd timeline.(!i);
+    incr i
+  done;
+  !value
+
+let pp_curves ppf curves =
+  let fractions = [| 0.0; 0.125; 0.25; 0.375; 0.5; 0.625; 0.75; 0.875 |] in
+  Format.fprintf ppf "%-16s" "policy";
+  Array.iter (fun f -> Format.fprintf ppf " %6.0f%%" (100.0 *. f)) fractions;
+  Format.fprintf ppf "   (eligible tasks at fractions of each makespan)@.";
+  List.iter
+    (fun (name, timeline) ->
+      let horizon =
+        if Array.length timeline = 0 then 0.0
+        else fst timeline.(Array.length timeline - 1)
+      in
+      Format.fprintf ppf "%-16s" name;
+      Array.iter
+        (fun f -> Format.fprintf ppf " %7d" (timeline_at timeline (f *. horizon)))
+        fractions;
+      Format.fprintf ppf "@.")
+    curves
+
 let pp_rows ppf rows =
   Format.fprintf ppf "%-16s %9s %6s %7s %8s %7s %7s@."
     "policy" "makespan" "util%" "stalls" "mean-E" "wins" "losses";

@@ -28,3 +28,34 @@ val compare_policies :
 
 val pp_rows : Format.formatter -> row list -> unit
 (** An aligned text table. *)
+
+(** {1 Time-resolved eligibility curves}
+
+    The profile comparisons above are per execution {e step}; these run
+    the simulator with an {!Ic_obs.Trace} sink and extract eligibility
+    over simulated {e time}, which is what the paper's temporal argument
+    (stalls happen when the pool empties at some moment) is actually
+    about. *)
+
+type timeline = (float * int) array
+(** [(time, eligible)] samples in time order, one per pool change. *)
+
+val eligibility_timeline :
+  ?config:Simulator.config -> ?workload:Workload.t ->
+  Ic_heuristics.Policy.t -> Ic_dag.Dag.t -> timeline
+(** One traced simulator run under the policy. *)
+
+val eligibility_curves :
+  ?config:Simulator.config -> ?workload:Workload.t ->
+  ?extra:Ic_heuristics.Policy.t list ->
+  Ic_dag.Dag.t -> theory:Ic_dag.Schedule.t -> (string * timeline) list
+(** A [(policy name, timeline)] row per policy, in the same order as
+    {!compare_policies}: theory first, then the baselines and [extra]. *)
+
+val timeline_at : timeline -> float -> int
+(** The eligible count at a given simulated time (the last sample at or
+    before it; [0] before the first). *)
+
+val pp_curves : Format.formatter -> (string * timeline) list -> unit
+(** An aligned table sampling each curve at fixed fractions of that
+    policy's own makespan. *)

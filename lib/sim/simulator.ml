@@ -2,6 +2,8 @@ module Dag = Ic_dag.Dag
 module Frontier = Ic_dag.Frontier
 module Policy = Ic_heuristics.Policy
 module Heap = Ic_heuristics.Heap
+module Trace = Ic_obs.Trace
+module Metrics = Ic_obs.Metrics
 
 type config = {
   n_clients : int;
@@ -33,22 +35,67 @@ type result = {
   completion_order : int list;
 }
 
-let run cfg policy ~workload g =
+(* The registered instruments when a metrics registry is supplied, resolved
+   once up front so the hot loop pays a single option branch per site. *)
+type meters = {
+  m_allocated : Metrics.counter;
+  m_completed : Metrics.counter;
+  m_failed : Metrics.counter;
+  m_stalls : Metrics.counter;
+  h_latency : Metrics.histogram;
+  h_queue_depth : Metrics.histogram;
+  h_stall : Metrics.histogram;
+}
+
+let latency_buckets = [| 0.25; 0.5; 1.0; 2.0; 4.0; 8.0; 16.0; 32.0 |]
+let queue_buckets = [| 1.0; 2.0; 4.0; 8.0; 16.0; 32.0; 64.0; 128.0 |]
+let stall_buckets = [| 0.125; 0.25; 0.5; 1.0; 2.0; 4.0; 8.0 |]
+
+let meters_of m =
+  {
+    m_allocated = Metrics.counter m "sim.tasks_allocated";
+    m_completed = Metrics.counter m "sim.tasks_completed";
+    m_failed = Metrics.counter m "sim.tasks_failed";
+    m_stalls = Metrics.counter m "sim.stalls";
+    h_latency = Metrics.histogram m "sim.task_latency" ~buckets:latency_buckets;
+    h_queue_depth = Metrics.histogram m "sim.queue_depth" ~buckets:queue_buckets;
+    h_stall = Metrics.histogram m "sim.stall_duration" ~buckets:stall_buckets;
+  }
+
+let run ?sink ?metrics cfg policy ~workload g =
   let n = Dag.n_nodes g in
   let work = workload g in
   let rng = Random.State.make [| cfg.seed |] in
   let inst = Policy.instantiate policy g in
   let fr = Frontier.create g in
+  let now = ref 0.0 in
+  let meters = match metrics with None -> None | Some m -> Some (meters_of m) in
+  (* frontier push/pop events are stamped with the simulated clock *)
+  (match sink with
+  | None -> ()
+  | Some tr ->
+    Frontier.set_observer fr
+      (Some
+         {
+           Frontier.on_push = (fun v -> Trace.frontier_push tr ~time:!now ~node:v);
+           on_pop = (fun v -> Trace.frontier_pop tr ~time:!now ~node:v);
+         }));
   let pool_size = ref 0 in
   let notify v =
     Policy.notify inst v;
     incr pool_size
   in
   Frontier.iter notify fr;
+  (match sink with
+  | None -> ()
+  | Some tr ->
+    (* the initial sources are eligible before anything executes *)
+    Frontier.iter (fun v -> Trace.frontier_push tr ~time:0.0 ~node:v) fr;
+    Trace.eligible_count tr ~time:0.0 ~count:!pool_size);
   let events : (float, int * int) Heap.t = Heap.create () in
   (* metrics *)
-  let now = ref 0.0 in
   let busy = Array.make cfg.n_clients 0.0 in
+  let alloc_time = Array.make cfg.n_clients 0.0 in
   let stalls = ref 0 in
   let stall_time = ref 0.0 in
   let stalled_since = Array.make cfg.n_clients nan in
@@ -61,12 +108,28 @@ let run cfg policy ~workload g =
   let computed_by = Array.make n (-1) in
   let allocation_order = ref [] in
   let completion_order = ref [] in
+  let end_stall c =
+    let d = !now -. stalled_since.(c) in
+    stall_time := !stall_time +. d;
+    stalled_since.(c) <- nan;
+    (match sink with
+    | None -> ()
+    | Some tr -> Trace.client_resume tr ~time:!now ~client:c);
+    match meters with None -> () | Some mt -> Metrics.observe mt.h_stall d
+  in
   let allocate client =
     match Policy.select inst with
     | Some v ->
+      (match meters with
+      | None -> ()
+      | Some mt ->
+        Metrics.incr mt.m_allocated;
+        (* the depth the server chose from, before removing [v] *)
+        Metrics.observe mt.h_queue_depth (float_of_int !pool_size));
       decr pool_size;
       incr allocated;
       allocation_order := v :: !allocation_order;
+      alloc_time.(client) <- !now;
       let noise = 1.0 +. (cfg.jitter *. Random.State.float rng 1.0) in
       (* parents computed elsewhere must ship their results over the
          Internet; a source's input comes from the server (one transfer) *)
@@ -81,13 +144,24 @@ let run cfg policy ~workload g =
       comm_total := !comm_total +. comm;
       let duration = (work v /. cfg.speed client *. noise) +. comm in
       busy.(client) <- busy.(client) +. duration;
+      (match sink with
+      | None -> ()
+      | Some tr ->
+        Trace.task_alloc tr ~time:!now ~task:v ~client;
+        Trace.task_start tr ~time:(!now +. comm) ~task:v ~client;
+        Trace.eligible_count tr ~time:!now ~count:!pool_size);
       Heap.push events (!now +. duration) (client, v)
     | None ->
       if !allocated < n then begin
         (* a genuine gridlock event: work remains but none is eligible *)
         incr stalls;
-        if Float.is_nan stalled_since.(client) then
+        (match meters with None -> () | Some mt -> Metrics.incr mt.m_stalls);
+        if Float.is_nan stalled_since.(client) then begin
           stalled_since.(client) <- !now;
+          match sink with
+          | None -> ()
+          | Some tr -> Trace.client_stall tr ~time:!now ~client
+        end;
         Queue.add client stalled
       end
       (* otherwise the computation is draining; the client simply retires *)
@@ -109,51 +183,83 @@ let run cfg policy ~workload g =
         (* the client vanished with the task: put it back in the pool *)
         incr failures;
         decr allocated;
-        notify v
+        (match sink with
+        | None -> ()
+        | Some tr -> Trace.task_fail tr ~time:t ~task:v ~client);
+        (match meters with None -> () | Some mt -> Metrics.incr mt.m_failed);
+        notify v;
+        match sink with
+        | None -> ()
+        | Some tr -> Trace.eligible_count tr ~time:t ~count:!pool_size
       end
       else begin
         incr completed;
         computed_by.(v) <- client;
         completion_order := v :: !completion_order;
-        Frontier.execute fr ~on_promote:notify v
+        (match sink with
+        | None -> ()
+        | Some tr -> Trace.task_complete tr ~time:t ~task:v ~client);
+        (match meters with
+        | None -> ()
+        | Some mt ->
+          Metrics.incr mt.m_completed;
+          Metrics.observe mt.h_latency (t -. alloc_time.(client)));
+        Frontier.execute fr ~on_promote:notify v;
+        match sink with
+        | None -> ()
+        | Some tr -> Trace.eligible_count tr ~time:t ~count:!pool_size
       end;
       (* serve clients that were stalled first, then the freed client *)
       let waiters = Queue.length stalled in
       for _ = 1 to waiters do
         let c = Queue.pop stalled in
         if !pool_size > 0 then begin
-          stall_time := !stall_time +. (!now -. stalled_since.(c));
-          stalled_since.(c) <- nan;
+          end_stall c;
           allocate c
         end
         else begin
           (* still nothing for this client *)
-          if !allocated >= n then begin
-            stall_time := !stall_time +. (!now -. stalled_since.(c));
-            stalled_since.(c) <- nan
-          end
-          else Queue.add c stalled
+          if !allocated >= n then end_stall c else Queue.add c stalled
         end
       done;
       allocate client
   done;
   let makespan = !now in
   let busy_time = Array.fold_left ( +. ) 0.0 busy in
-  {
-    makespan;
-    busy_time;
-    utilization =
-      (if makespan > 0.0 then busy_time /. (float_of_int cfg.n_clients *. makespan)
-       else 1.0);
-    stalls = !stalls;
-    stall_time = !stall_time;
-    failures = !failures;
-    comm_total = !comm_total;
-    mean_eligible =
-      (if makespan > 0.0 then !eligible_integral /. makespan else 0.0);
-    allocation_order = List.rev !allocation_order;
-    completion_order = List.rev !completion_order;
-  }
+  let result =
+    {
+      makespan;
+      busy_time;
+      (* makespan = 0 only for the empty dag (or all-zero work): report
+         well-defined zeros rather than dividing by it *)
+      utilization =
+        (if makespan > 0.0 then
+           busy_time /. (float_of_int cfg.n_clients *. makespan)
+         else 0.0);
+      stalls = !stalls;
+      stall_time = !stall_time;
+      failures = !failures;
+      comm_total = !comm_total;
+      mean_eligible =
+        (if makespan > 0.0 then !eligible_integral /. makespan else 0.0);
+      allocation_order = List.rev !allocation_order;
+      completion_order = List.rev !completion_order;
+    }
+  in
+  (match metrics with
+  | None -> ()
+  | Some m ->
+    Metrics.set (Metrics.gauge m "sim.makespan") result.makespan;
+    Metrics.set (Metrics.gauge m "sim.utilization") result.utilization;
+    Metrics.set (Metrics.gauge m "sim.mean_eligible") result.mean_eligible;
+    Array.iteri
+      (fun i b ->
+        Metrics.set
+          (Metrics.gauge m (Printf.sprintf "sim.client%d.busy_fraction" i))
+          (if makespan > 0.0 then b /. makespan else 0.0))
+      busy);
+  (match sink with None -> () | Some _ -> Frontier.set_observer fr None);
+  result
 
 let pp_result ppf r =
   Format.fprintf ppf

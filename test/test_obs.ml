@@ -1,0 +1,386 @@
+(* Tests for the Ic_obs observability subsystem: the flat trace buffer,
+   the metrics registry, the Chrome-trace/CSV exporters (round-tripped
+   through the bundled JSON reader), and the wiring through Simulator and
+   Engine — including byte-level determinism of exports. *)
+
+module Trace = Ic_obs.Trace
+module Metrics = Ic_obs.Metrics
+module Exporter = Ic_obs.Exporter
+module Json = Ic_obs.Json
+module Sim = Ic_sim.Simulator
+module Policy = Ic_heuristics.Policy
+module Dag = Ic_dag.Dag
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* --- trace buffer --- *)
+
+let test_trace_emit_get () =
+  let t = Trace.create () in
+  check_int "fresh trace is empty" 0 (Trace.length t);
+  Trace.task_alloc t ~time:1.5 ~task:7 ~client:2;
+  Trace.client_stall t ~time:2.0 ~client:3;
+  Trace.eligible_count t ~time:2.5 ~count:11;
+  check_int "three events" 3 (Trace.length t);
+  let e0 = Trace.get t 0 in
+  check "kind" true (e0.Trace.kind = Trace.Task_alloc);
+  check "time" true (e0.Trace.time = 1.5);
+  check_int "task payload" 7 e0.Trace.a;
+  check_int "client payload" 2 e0.Trace.b;
+  let e1 = Trace.get t 1 in
+  check "stall kind" true (e1.Trace.kind = Trace.Client_stall);
+  check_int "stall client" 3 e1.Trace.a;
+  (match Trace.get t 3 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out-of-range get must raise");
+  let seen = ref 0 in
+  Trace.iter (fun _ -> incr seen) t;
+  check_int "iter covers all" 3 !seen;
+  check_int "to_array length" 3 (Array.length (Trace.to_array t))
+
+let test_trace_growth () =
+  (* push far past a tiny initial capacity; everything must survive the
+     column doublings *)
+  let t = Trace.create ~capacity:2 () in
+  for i = 0 to 999 do
+    Trace.frontier_push t ~time:(float_of_int i) ~node:i
+  done;
+  check_int "all recorded" 1000 (Trace.length t);
+  for i = 0 to 999 do
+    let e = Trace.get t i in
+    if e.Trace.a <> i || e.Trace.time <> float_of_int i then
+      Alcotest.fail (Printf.sprintf "event %d corrupted by growth" i)
+  done
+
+let test_trace_clear () =
+  let t = Trace.create () in
+  Trace.task_start t ~time:0.0 ~task:0 ~client:0;
+  Trace.clear t;
+  check_int "cleared" 0 (Trace.length t);
+  Trace.task_fail t ~time:4.0 ~task:9 ~client:1;
+  check_int "reusable after clear" 1 (Trace.length t);
+  check "new event intact" true ((Trace.get t 0).Trace.a = 9)
+
+let test_eligibility_timeline () =
+  let t = Trace.create () in
+  Trace.eligible_count t ~time:0.0 ~count:1;
+  Trace.task_alloc t ~time:0.5 ~task:0 ~client:0;
+  Trace.eligible_count t ~time:0.5 ~count:0;
+  Trace.eligible_count t ~time:2.0 ~count:3;
+  let tl = Trace.eligibility_timeline t in
+  check_int "only Eligible_count events" 3 (Array.length tl);
+  check "samples in order" true
+    (tl = [| (0.0, 1); (0.5, 0); (2.0, 3) |])
+
+let test_kind_names () =
+  check_str "alloc" "task_alloc" (Trace.kind_name Trace.Task_alloc);
+  check_str "eligible" "eligible_count" (Trace.kind_name Trace.Eligible_count)
+
+(* --- metrics registry --- *)
+
+let test_metrics_counter_gauge () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "tasks" in
+  Metrics.incr c;
+  Metrics.incr ~by:4 c;
+  check_int "counter accumulates" 5 (Metrics.counter_value c);
+  (* same name returns the same counter *)
+  Metrics.incr (Metrics.counter m "tasks");
+  check_int "registry dedups by name" 6 (Metrics.counter_value c);
+  (match Metrics.incr ~by:(-1) c with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative increment must raise");
+  let g = Metrics.gauge m "makespan" in
+  Metrics.set g 12.5;
+  check "gauge holds last value" true (Metrics.gauge_value g = 12.5);
+  (* a name registered as a counter cannot be re-registered as a gauge *)
+  match Metrics.gauge m "tasks" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "cross-type re-registration must raise"
+
+let test_metrics_histogram () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "latency" ~buckets:[| 1.0; 2.0; 4.0 |] in
+  List.iter (Metrics.observe h) [ 0.5; 1.0; 1.5; 3.0; 100.0 ];
+  check_int "count" 5 (Metrics.histogram_count h);
+  check "sum" true (Float.abs (Metrics.histogram_sum h -. 106.0) < 1e-9);
+  (* le semantics: 0.5 and 1.0 land in le-1, 1.5 in le-2, 3.0 in le-4,
+     100.0 overflows *)
+  let buckets = Metrics.histogram_buckets h in
+  check "bucket shape" true
+    (Array.map fst buckets = [| 1.0; 2.0; 4.0; infinity |]);
+  check "bucket counts" true (Array.map snd buckets = [| 2; 1; 1; 1 |]);
+  (* re-registration with identical buckets is the same histogram *)
+  Metrics.observe (Metrics.histogram m "latency" ~buckets:[| 1.0; 2.0; 4.0 |]) 0.1;
+  check_int "dedup by name+buckets" 6 (Metrics.histogram_count h);
+  (match Metrics.histogram m "latency" ~buckets:[| 1.0; 3.0 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "different buckets must raise");
+  (match Metrics.histogram m "bad" ~buckets:[| 2.0; 1.0 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "non-increasing buckets must raise");
+  match Metrics.histogram m "bad" ~buckets:[| infinity |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "non-finite bucket must raise"
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_metrics_dumps () =
+  let m = Metrics.create () in
+  Metrics.incr ~by:3 (Metrics.counter m "sim.tasks_completed");
+  Metrics.set (Metrics.gauge m "sim.makespan") 7.25;
+  Metrics.observe (Metrics.histogram m "sim.task_latency" ~buckets:[| 1.0; 2.0 |]) 1.5;
+  let text = Format.asprintf "%a" Metrics.pp_text m in
+  check "text mentions counter" true
+    (String.length text > 0 && contains_sub text "sim.tasks_completed");
+  let json = Metrics.to_json m in
+  match Json.parse json with
+  | Error e -> Alcotest.fail ("metrics JSON invalid: " ^ e)
+  | Ok doc ->
+    check "counter round-trips" true
+      (Option.bind (Json.member "counters" doc) (Json.member "sim.tasks_completed")
+       |> Option.map (fun v -> Json.to_number v = Some 3.0)
+       = Some true);
+    check "gauge round-trips" true
+      (Option.bind (Json.member "gauges" doc) (Json.member "sim.makespan")
+       |> Option.map (fun v -> Json.to_number v = Some 7.25)
+       = Some true);
+    check "histogram section present" true
+      (Option.bind (Json.member "histograms" doc) (Json.member "sim.task_latency")
+      <> None)
+
+(* --- JSON reader --- *)
+
+let test_json_parse () =
+  (match Json.parse {| {"a": [1, 2.5, true, null, "\u0078A"], "b": {}} |} with
+  | Error e -> Alcotest.fail e
+  | Ok doc ->
+    (match Json.member "a" doc with
+    | Some (Json.Array [ n1; n2; b; nl; s ]) ->
+      check "int" true (Json.to_number n1 = Some 1.0);
+      check "float" true (Json.to_number n2 = Some 2.5);
+      check "bool" true (b = Json.Bool true);
+      check "null" true (nl = Json.Null);
+      check "unicode escape" true (Json.to_string s = Some "xA")
+    | _ -> Alcotest.fail "array shape");
+    check "empty object" true (Json.member "b" doc = Some (Json.Object [])));
+  check "rejects garbage" true
+    (match Json.parse "[1, 2] trailing" with Error _ -> true | Ok _ -> false);
+  check "rejects unterminated" true
+    (match Json.parse "{\"a\": " with Error _ -> true | Ok _ -> false)
+
+(* --- simulator wiring: chrome trace round-trip (acceptance) --- *)
+
+let traced_mesh_run () =
+  let g = Ic_families.Mesh.out_mesh 8 in
+  let cfg = Sim.config ~n_clients:4 ~jitter:0.5 ~seed:42 () in
+  let tr = Trace.create () in
+  let r = Sim.run ~sink:tr cfg Policy.fifo ~workload:Ic_sim.Workload.unit g in
+  (g, r, tr)
+
+let test_chrome_trace_roundtrip () =
+  let g, _r, tr = traced_mesh_run () in
+  let json = Exporter.chrome_trace ~process_name:"test run" ~label:(Dag.label g) tr in
+  match Json.parse json with
+  | Error e -> Alcotest.fail ("chrome trace is not valid JSON: " ^ e)
+  | Ok (Json.Array events) ->
+    check "nonempty" true (events <> []);
+    let phase e = Option.bind (Json.member "ph" e) Json.to_string in
+    let name e = Option.bind (Json.member "name" e) Json.to_string in
+    List.iter
+      (fun e ->
+        match e with
+        | Json.Object _ -> ()
+        | _ -> Alcotest.fail "every trace entry must be an object")
+      events;
+    (* one thread_name metadata record per client, plus the server's *)
+    let thread_names =
+      List.filter_map
+        (fun e ->
+          if name e = Some "thread_name" then
+            Option.bind (Json.member "args" e) (Json.member "name")
+            |> Fun.flip Option.bind Json.to_string
+          else None)
+        events
+    in
+    check "server track" true (List.mem "server" thread_names);
+    List.iter
+      (fun c ->
+        check
+          (Printf.sprintf "client %d track" c)
+          true
+          (List.mem (Printf.sprintf "client %d" c) thread_names))
+      [ 0; 1; 2; 3 ];
+    (* the eligibility counter track *)
+    let counters =
+      List.filter (fun e -> phase e = Some "C" && name e = Some "|ELIGIBLE|") events
+    in
+    check "counter events present" true (counters <> []);
+    List.iter
+      (fun e ->
+        check "counter carries eligible arg" true
+          (Option.bind (Json.member "args" e) (Json.member "eligible")
+           |> Fun.flip Option.bind Json.to_number
+          <> None))
+      counters;
+    (* task slices: complete events with nonnegative duration *)
+    let slices = List.filter (fun e -> phase e = Some "X") events in
+    check "task slices present" true (slices <> []);
+    List.iter
+      (fun e ->
+        check "slice has ts" true
+          (Option.bind (Json.member "ts" e) Json.to_number <> None);
+        check "slice duration >= 0" true
+          (match Option.bind (Json.member "dur" e) Json.to_number with
+          | Some d -> d >= 0.0
+          | None -> false))
+      slices;
+    (* every task in the dag appears as a slice on some client track *)
+    check "one slice per task at least" true
+      (List.length slices >= Dag.n_nodes g)
+  | Ok _ -> Alcotest.fail "chrome trace must be a JSON array"
+
+let test_trace_events_cover_run () =
+  let g, r, tr = traced_mesh_run () in
+  let count k =
+    let n = ref 0 in
+    Trace.iter (fun e -> if e.Trace.kind = k then incr n) tr;
+    !n
+  in
+  check_int "one alloc per allocation" (List.length r.Sim.allocation_order)
+    (count Trace.Task_alloc);
+  check_int "one completion per task" (Dag.n_nodes g) (count Trace.Task_complete);
+  check_int "one pop per node" (Dag.n_nodes g) (count Trace.Frontier_pop);
+  check_int "one push per node" (Dag.n_nodes g) (count Trace.Frontier_push);
+  check_int "stall events match result" r.Sim.stalls (count Trace.Client_stall);
+  (* timestamps never decrease *)
+  let last = ref neg_infinity in
+  Trace.iter
+    (fun e ->
+      if e.Trace.time < !last then Alcotest.fail "time went backwards";
+      last := e.Trace.time)
+    tr
+
+let test_determinism_byte_equal () =
+  (* same seed: identical result records and byte-equal exports *)
+  let run_once () =
+    let g = Ic_families.Mesh.out_mesh 8 in
+    let cfg = Sim.config ~n_clients:4 ~jitter:0.5 ~seed:2026 () in
+    let tr = Trace.create () in
+    let r = Sim.run ~sink:tr cfg Policy.lifo ~workload:Ic_sim.Workload.unit g in
+    (r, Exporter.chrome_trace tr, Exporter.eligibility_csv tr)
+  in
+  let r1, j1, c1 = run_once () in
+  let r2, j2, c2 = run_once () in
+  check "identical results" true (r1 = r2);
+  check_str "byte-equal chrome trace" j1 j2;
+  check_str "byte-equal csv" c1 c2
+
+let test_eligibility_csv () =
+  let _g, _r, tr = traced_mesh_run () in
+  let csv = Exporter.eligibility_csv tr in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  (match lines with
+  | header :: rows ->
+    check_str "header" "time,eligible" header;
+    check_int "one row per sample"
+      (Array.length (Trace.eligibility_timeline tr))
+      (List.length rows);
+    List.iter
+      (fun row ->
+        match String.split_on_char ',' row with
+        | [ t; e ] ->
+          check "numeric time" true (float_of_string_opt t <> None);
+          check "integer count" true (int_of_string_opt e <> None)
+        | _ -> Alcotest.fail ("malformed row: " ^ row))
+      rows
+  | [] -> Alcotest.fail "empty csv")
+
+let test_metrics_from_simulation () =
+  let g = Ic_families.Mesh.out_mesh 8 in
+  let cfg = Sim.config ~n_clients:4 ~jitter:0.5 ~seed:9 () in
+  let m = Metrics.create () in
+  let r = Sim.run ~metrics:m cfg Policy.fifo ~workload:Ic_sim.Workload.unit g in
+  check_int "completions counted" (Dag.n_nodes g)
+    (Metrics.counter_value (Metrics.counter m "sim.tasks_completed"));
+  check_int "stalls counted" r.Sim.stalls
+    (Metrics.counter_value (Metrics.counter m "sim.stalls"));
+  check "makespan gauge" true
+    (Metrics.gauge_value (Metrics.gauge m "sim.makespan") = r.Sim.makespan);
+  check_int "latency histogram count" (Dag.n_nodes g)
+    (Metrics.histogram_count
+       (Metrics.histogram m "sim.task_latency"
+          ~buckets:[| 0.25; 0.5; 1.0; 2.0; 4.0; 8.0; 16.0; 32.0 |]))
+
+let test_engine_sink () =
+  let g = Dag.make_exn ~n:4 ~arcs:[ (0, 1); (0, 2); (1, 3); (2, 3) ] () in
+  let compute v parents = if v = 0 then 1 else Array.fold_left ( + ) v parents in
+  let tr = Trace.create () in
+  let values = Ic_compute.Engine.execute ~sink:tr { Ic_compute.Engine.dag = g; compute } in
+  Alcotest.(check (array int)) "values unchanged by tracing" [| 1; 2; 3; 8 |] values;
+  let count k =
+    let n = ref 0 in
+    Trace.iter (fun e -> if e.Trace.kind = k then incr n) tr;
+    !n
+  in
+  check_int "start per node" 4 (count Trace.Task_start);
+  check_int "complete per node" 4 (count Trace.Task_complete);
+  check_int "pop per node" 4 (count Trace.Frontier_pop);
+  check_int "push per node" 4 (count Trace.Frontier_push);
+  (* the engine's trace exports too *)
+  match Ic_obs.Json.parse (Exporter.chrome_trace tr) with
+  | Ok (Json.Array _) -> ()
+  | Ok _ -> Alcotest.fail "engine trace must render an array"
+  | Error e -> Alcotest.fail ("engine trace invalid: " ^ e)
+
+let test_sink_does_not_change_results () =
+  let g = Ic_families.Mesh.out_mesh 8 in
+  let cfg = Sim.config ~n_clients:4 ~jitter:0.5 ~seed:5 () in
+  let bare = Sim.run cfg Policy.fifo ~workload:Ic_sim.Workload.unit g in
+  let traced =
+    Sim.run ~sink:(Trace.create ()) ~metrics:(Metrics.create ()) cfg Policy.fifo
+      ~workload:Ic_sim.Workload.unit g
+  in
+  check "observability is transparent" true (bare = traced)
+
+let () =
+  Alcotest.run "ic_obs"
+    [
+      ( "trace buffer",
+        [
+          Alcotest.test_case "emit and get" `Quick test_trace_emit_get;
+          Alcotest.test_case "growth" `Quick test_trace_growth;
+          Alcotest.test_case "clear" `Quick test_trace_clear;
+          Alcotest.test_case "eligibility timeline" `Quick test_eligibility_timeline;
+          Alcotest.test_case "kind names" `Quick test_kind_names;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters and gauges" `Quick test_metrics_counter_gauge;
+          Alcotest.test_case "histograms" `Quick test_metrics_histogram;
+          Alcotest.test_case "text and json dumps" `Quick test_metrics_dumps;
+        ] );
+      ( "json reader",
+        [ Alcotest.test_case "parse" `Quick test_json_parse ] );
+      ( "exporters",
+        [
+          Alcotest.test_case "chrome trace round-trip" `Quick
+            test_chrome_trace_roundtrip;
+          Alcotest.test_case "events cover the run" `Quick test_trace_events_cover_run;
+          Alcotest.test_case "deterministic byte-equal exports" `Quick
+            test_determinism_byte_equal;
+          Alcotest.test_case "eligibility csv" `Quick test_eligibility_csv;
+        ] );
+      ( "wiring",
+        [
+          Alcotest.test_case "simulator metrics" `Quick test_metrics_from_simulation;
+          Alcotest.test_case "engine sink" `Quick test_engine_sink;
+          Alcotest.test_case "sink transparency" `Quick
+            test_sink_does_not_change_results;
+        ] );
+    ]

@@ -94,7 +94,18 @@ let test_workloads () =
 let test_empty_dag () =
   let r = run Policy.fifo (Dag.empty 0) in
   check "zero makespan" true (r.Sim.makespan = 0.0);
-  check_int "nothing stalls" 0 r.Sim.stalls
+  check_int "nothing stalls" 0 r.Sim.stalls;
+  (* regression: derived ratios on a zero makespan must be well-defined
+     zeros, not NaN (division by zero) or a fictitious 1.0 *)
+  check "utilization is zero" true (r.Sim.utilization = 0.0);
+  check "mean eligible is zero" true (r.Sim.mean_eligible = 0.0);
+  check "nothing is NaN" true
+    (Float.is_finite r.Sim.utilization && Float.is_finite r.Sim.mean_eligible
+    && Float.is_finite r.Sim.busy_time);
+  (* many isolated nodes but zero work behaves the same way *)
+  let r0 = run ~workload:(Workload.constant 0.0) Policy.fifo (Dag.empty 5) in
+  check "zero-work utilization" true (r0.Sim.utilization = 0.0);
+  check "zero-work mean eligible finite" true (Float.is_finite r0.Sim.mean_eligible)
 
 (* --- assessment harness --- *)
 
@@ -164,6 +175,64 @@ let test_comm_costs () =
   check "single client pays only the input transfer" true
     (Float.abs (r.Sim.comm_total -. 2.0) < 1e-9);
   check "makespan = work + comm" true (Float.abs (r.Sim.makespan -. 5.0) < 1e-9)
+
+let test_granularity_rows () =
+  (* direct unit coverage for the study's row table, beyond the headline
+     crossover: shape, free-communication invariants, task-count monotonicity *)
+  let blocks = [ 1; 2 ] and comm_times = [ 0.0; 4.0 ] in
+  let rows =
+    Ic_sim.Granularity_study.mesh_crossover ~levels:9 ~blocks ~comm_times
+      ~n_clients:4 ()
+  in
+  check_int "one row per (price, block)"
+    (List.length blocks * List.length comm_times)
+    (List.length rows);
+  List.iter
+    (fun r ->
+      check "priced rows only at requested prices" true
+        (List.mem r.Ic_sim.Granularity_study.comm_time comm_times);
+      check "blocks only as requested" true
+        (List.mem r.Ic_sim.Granularity_study.block blocks);
+      check "positive makespan" true (r.Ic_sim.Granularity_study.makespan > 0.0);
+      if r.Ic_sim.Granularity_study.comm_time = 0.0 then
+        check "free communication costs nothing" true
+          (r.Ic_sim.Granularity_study.comm_total = 0.0))
+    rows;
+  (* coarsening shrinks the dag, independent of price *)
+  let tasks_at block =
+    match
+      List.find_opt (fun r -> r.Ic_sim.Granularity_study.block = block) rows
+    with
+    | Some r -> r.Ic_sim.Granularity_study.n_tasks
+    | None -> Alcotest.fail "missing block row"
+  in
+  check "coarse has fewer tasks" true (tasks_at 2 < tasks_at 1);
+  match Ic_sim.Granularity_study.best_block rows 3.14 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "best_block at an unknown price must raise"
+
+let test_burst_edge_cases () =
+  (* invalid burst *)
+  (match Ic_sim.Burst.of_profile ~burst:0 [| 1; 2 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "burst 0 must raise");
+  (match Ic_sim.Burst.of_profile ~burst:(-3) [| 1 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative burst must raise");
+  (* empty profile: nothing offered, vacuously fully served *)
+  let e = Ic_sim.Burst.of_profile ~burst:4 [||] in
+  check_int "empty offered" 0 e.Ic_sim.Burst.offered;
+  check_int "empty served" 0 e.Ic_sim.Burst.served;
+  check "empty rate well-defined" true (e.Ic_sim.Burst.service_rate = 1.0);
+  (* of_schedule agrees with a hand-computed nonsink profile: the 3-node
+     chain 0->1->2 has nonsink profile [1;1;1] (exactly one task is eligible
+     after 0, 1 and 2 nonsink executions), so burst 2 serves 3 of 6 *)
+  let chain = Dag.make_exn ~n:3 ~arcs:[ (0, 1); (1, 2) ] () in
+  let s = Ic_dag.Schedule.of_array_exn chain [| 0; 1; 2 |] in
+  let b = Ic_sim.Burst.of_schedule ~burst:2 chain s in
+  check_int "chain served" 3 b.Ic_sim.Burst.served;
+  check_int "chain offered" 6 b.Ic_sim.Burst.offered;
+  check "chain rate" true (Float.abs (b.Ic_sim.Burst.service_rate -. 0.5) < 1e-12)
 
 let test_granularity_crossover () =
   let rows =
@@ -254,6 +323,7 @@ let () =
           Alcotest.test_case "unreliable clients" `Quick test_unreliable_clients;
           Alcotest.test_case "communication costs" `Quick test_comm_costs;
           Alcotest.test_case "granularity crossover" `Quick test_granularity_crossover;
+          Alcotest.test_case "granularity rows" `Quick test_granularity_rows;
         ] );
       ( "assessment",
         [
@@ -266,6 +336,7 @@ let () =
           Alcotest.test_case "by hand" `Quick test_burst_basic;
           Alcotest.test_case "theory dominates" `Quick test_burst_theory_dominates;
           Alcotest.test_case "sweep" `Quick test_burst_sweep;
+          Alcotest.test_case "edge cases" `Quick test_burst_edge_cases;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest [ prop_sim_valid_on_random_dags ] );
