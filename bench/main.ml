@@ -18,7 +18,7 @@ let stage = Staged.stage
 
 (* ---------------------------------------------------------------- CLI -- *)
 
-type group = Default | Large | All
+type group = Default | Large | Fault | All
 
 let group = ref Default
 let quick = ref false
@@ -42,9 +42,10 @@ let parse_args () =
          match g with
          | "default" -> Default
          | "large" -> Large
+         | "fault" -> Fault
          | "all" -> All
          | _ ->
-           prerr_endline ("unknown group " ^ g ^ " (default|large|all)");
+           prerr_endline ("unknown group " ^ g ^ " (default|large|fault|all)");
            exit 2);
       go rest
     | arg :: _ ->
@@ -364,6 +365,47 @@ let run_large () =
   let s256 = F.Mesh.out_schedule 256 in
   large_profile "profile_out_mesh_256_alloc" g256 s256 ~min_runs:20
 
+(* ------------------------------------------------- the [fault] group -- *)
+
+(* E17 support: what do the fault-injection hooks cost when no fault ever
+   fires? Three runs of the E16 workload (mesh-20, ic-optimal, 6 clients):
+   the fault-free fast path, a plan whose probabilities are negligible but
+   nonzero (every attempt samples the injector and schedules timeout and
+   speculation events that fire as guarded no-ops), and a genuinely
+   crashy/straggly run for scale. *)
+let run_fault () =
+  let g = F.Mesh.out_mesh 20 in
+  let theory = F.Mesh.out_schedule 20 in
+  let policy = Ic_heuristics.Policy.of_schedule "ic-optimal" theory in
+  let bench name config =
+    let seconds, alloc =
+      time_it ~min_runs:50 (fun () ->
+          Ic_sim.Simulator.run config policy ~workload:Ic_sim.Workload.unit g)
+    in
+    large_record ~name ~n_nodes:(Ic_dag.Dag.n_nodes g)
+      ~n_arcs:(Ic_dag.Dag.n_arcs g) ~seconds ~alloc_bytes:alloc
+  in
+  bench "sim_fault_hooks_off"
+    (Ic_sim.Simulator.config ~n_clients:6 ~jitter:0.5 ());
+  bench "sim_fault_hooks_idle"
+    (Ic_sim.Simulator.config ~n_clients:6 ~jitter:0.5
+       ~faults:
+         (Ic_fault.Plan.make ~straggler_probability:1e-12
+            ~loss_probability:1e-12 ~fail_probability:1e-12 ())
+       ~recovery:
+         (Ic_fault.Recovery.make ~timeout_factor:1e6 ~speculation_factor:1e6
+            ())
+       ());
+  bench "sim_fault_crashy"
+    (Ic_sim.Simulator.config ~n_clients:6 ~jitter:0.5
+       ~faults:
+         (Ic_fault.Plan.make ~crash_rate:0.01 ~straggler_probability:0.2
+            ~straggler_factor:6.0 ())
+       ~recovery:
+         (Ic_fault.Recovery.make ~timeout_factor:4.0 ~detection_latency:0.25
+            ~backoff_base:0.1 ~backoff_jitter:0.5 ~speculation_factor:2.0 ())
+       ())
+
 (* ----------------------------------------------- the [default] group -- *)
 
 let run_default () =
@@ -440,7 +482,9 @@ let () =
   (match !group with
   | Default -> run_default ()
   | Large -> run_large ()
+  | Fault -> run_fault ()
   | All ->
     run_default ();
-    run_large ());
+    run_large ();
+    run_fault ());
   Option.iter run_trace !trace_out

@@ -134,6 +134,145 @@ let jitter_arg =
 
 let seed_arg = Arg.(value & opt int 0x5EED & info [ "seed" ] ~doc:"Simulation seed")
 
+(* --- fault-injection and recovery flags (simulate and trace) --- *)
+
+let or_die build =
+  try build () with
+  | Invalid_argument msg ->
+    Format.eprintf "%s@." msg;
+    exit 1
+
+let plan_term =
+  let crash =
+    Arg.(
+      value & opt float 0.0
+      & info [ "crash" ] ~docv:"RATE"
+          ~doc:
+            "Permanent client-crash rate (exponential arrival, per unit of \
+             simulated time)")
+  in
+  let disconnect =
+    Arg.(
+      value & opt float 0.0
+      & info [ "disconnect" ] ~docv:"RATE"
+          ~doc:"Transient-disconnect rate per client (clients rejoin later)")
+  in
+  let downtime =
+    Arg.(
+      value & opt float 1.0
+      & info [ "downtime" ] ~docv:"MEAN" ~doc:"Mean offline-episode length")
+  in
+  let straggle =
+    Arg.(
+      value & opt float 0.0
+      & info [ "straggle" ] ~docv:"PROB"
+          ~doc:"Per-attempt straggler (slowdown episode) probability")
+  in
+  let straggle_factor =
+    Arg.(
+      value & opt float 4.0
+      & info [ "straggle-factor" ] ~docv:"F"
+          ~doc:"Straggler slowdown multiplier")
+  in
+  let loss =
+    Arg.(
+      value & opt float 0.0
+      & info [ "loss" ] ~docv:"PROB"
+          ~doc:
+            "Probability a result is silently lost in transit (recovered \
+             only by --timeout)")
+  in
+  let fail =
+    Arg.(
+      value & opt float 0.0
+      & info [ "fail" ] ~docv:"PROB"
+          ~doc:
+            "Probability of a reported end-of-task failure (the legacy coin \
+             flip)")
+  in
+  let fault_seed =
+    Arg.(
+      value & opt int 0xFA17
+      & info [ "fault-seed" ] ~docv:"SEED" ~doc:"Fault-injection seed")
+  in
+  let build crash_rate disconnect_rate mean_downtime straggler_probability
+      straggler_factor loss_probability fail_probability seed =
+    or_die (fun () ->
+        Ic_fault.Plan.make ~crash_rate ~disconnect_rate ~mean_downtime
+          ~straggler_probability ~straggler_factor ~loss_probability
+          ~fail_probability ~seed ())
+  in
+  Term.(
+    const build $ crash $ disconnect $ downtime $ straggle $ straggle_factor
+    $ loss $ fail $ fault_seed)
+
+let recovery_term =
+  let timeout =
+    Arg.(
+      value & opt (some float) None
+      & info [ "timeout" ] ~docv:"FACTOR"
+          ~doc:
+            "Enable liveness timeouts: presume an attempt lost once it has \
+             been out for FACTOR x its expected duration (plus --latency)")
+  in
+  let latency =
+    Arg.(
+      value & opt float 0.0
+      & info [ "latency" ] ~docv:"T" ~doc:"Timeout detection latency")
+  in
+  let retries =
+    Arg.(
+      value & opt (some int) None
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Per-task retry budget (default unbounded); exhausting it aborts \
+             the run with a partial result")
+  in
+  let backoff =
+    Arg.(
+      value & opt float 0.0
+      & info [ "backoff" ] ~docv:"BASE"
+          ~doc:
+            "Retry backoff base delay (doubles per retry, with seeded \
+             jitter)")
+  in
+  let backoff_max =
+    Arg.(
+      value & opt (some float) None
+      & info [ "backoff-max" ] ~docv:"T" ~doc:"Cap on the retry backoff delay")
+  in
+  let speculate =
+    Arg.(
+      value & opt ~vopt:(Some 2.0) (some float) None
+      & info [ "speculate" ] ~docv:"FACTOR"
+          ~doc:
+            "Enable speculative replicas once an attempt exceeds FACTOR x \
+             its expected duration (FACTOR defaults to 2.0)")
+  in
+  let replicas =
+    Arg.(
+      value & opt int 2
+      & info [ "replicas" ] ~docv:"N"
+          ~doc:"Max simultaneously live attempts per task")
+  in
+  let deadline =
+    Arg.(
+      value & opt (some float) None
+      & info [ "deadline" ] ~docv:"T"
+          ~doc:
+            "Abort with a partial result when the simulated clock passes T")
+  in
+  let build timeout_factor detection_latency max_retries backoff_base
+      backoff_max speculation_factor max_replicas deadline =
+    or_die (fun () ->
+        Ic_fault.Recovery.make ?timeout_factor ~detection_latency ?max_retries
+          ~backoff_base ~backoff_jitter:0.5 ?backoff_max ?speculation_factor
+          ~max_replicas ?deadline ())
+  in
+  Term.(
+    const build $ timeout $ latency $ retries $ backoff $ backoff_max
+    $ speculate $ replicas $ deadline)
+
 let simulate_cmd =
   let policy_arg =
     Arg.(
@@ -141,20 +280,25 @@ let simulate_cmd =
       & opt policy_conv None
       & info [ "policy" ] ~doc:"Allocation policy (default: ic-optimal)")
   in
-  let run (f : Ic_cli.Family_spec.t) clients jitter seed policy =
+  let run (f : Ic_cli.Family_spec.t) clients jitter seed policy faults recovery =
     let policy =
       match policy with
       | Some p -> p
       | None -> Policy.of_schedule "ic-optimal" f.schedule
     in
-    let config = Ic_sim.Simulator.config ~n_clients:clients ~jitter ~seed () in
+    let config =
+      Ic_sim.Simulator.config ~n_clients:clients ~jitter ~seed ~faults
+        ~recovery ()
+    in
     let r = Ic_sim.Simulator.run config policy ~workload:Ic_sim.Workload.unit f.dag in
     Format.printf "%s under %s with %d clients:@.%a@." f.description
       (Policy.name policy) clients Ic_sim.Simulator.pp_result r
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run the Internet-computing simulator on a family")
-    Term.(const run $ family_pos $ clients_arg $ jitter_arg $ seed_arg $ policy_arg)
+    Term.(
+      const run $ family_pos $ clients_arg $ jitter_arg $ seed_arg $ policy_arg
+      $ plan_term $ recovery_term)
 
 (* --- compare --- *)
 
@@ -202,6 +346,13 @@ let trace_cmd =
   let metrics_arg =
     Arg.(value & flag & info [ "metrics" ] ~doc:"Print the metrics registry after the run")
   in
+  let metrics_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:"Write the metrics registry as JSON to FILE")
+  in
   let policy_arg =
     Arg.(
       value
@@ -213,7 +364,8 @@ let trace_cmd =
     output_string oc contents;
     close_out oc
   in
-  let run family n clients jitter seed policy out csv metrics =
+  let run family n clients jitter seed policy out csv metrics metrics_out
+      faults recovery =
     let spec =
       match n with Some n -> Printf.sprintf "%s:%d" family n | None -> family
     in
@@ -227,7 +379,10 @@ let trace_cmd =
         | Some p -> p
         | None -> Policy.of_schedule "ic-optimal" f.schedule
       in
-      let config = Ic_sim.Simulator.config ~n_clients:clients ~jitter ~seed () in
+      let config =
+        Ic_sim.Simulator.config ~n_clients:clients ~jitter ~seed ~faults
+          ~recovery ()
+      in
       let trace = Ic_obs.Trace.create () in
       let registry = Ic_obs.Metrics.create () in
       let r =
@@ -247,6 +402,11 @@ let trace_cmd =
       Format.printf "%d events -> %s (chrome://tracing or ui.perfetto.dev)@."
         (Ic_obs.Trace.length trace) out;
       Option.iter (Format.printf "eligibility timeline -> %s@.") csv;
+      Option.iter
+        (fun file ->
+          write_file file (Ic_obs.Metrics.to_json registry);
+          Format.printf "metrics -> %s@." file)
+        metrics_out;
       if metrics then Ic_obs.Metrics.pp_text Format.std_formatter registry
   in
   Cmd.v
@@ -256,7 +416,8 @@ let trace_cmd =
           (one track per client plus an |ELIGIBLE| counter track)")
     Term.(
       const run $ family_arg $ n_arg $ clients_arg $ jitter_arg $ seed_arg
-      $ policy_arg $ out_arg $ csv_arg $ metrics_arg)
+      $ policy_arg $ out_arg $ csv_arg $ metrics_arg $ metrics_out_arg
+      $ plan_term $ recovery_term)
 
 (* --- batch --- *)
 

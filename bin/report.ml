@@ -399,6 +399,27 @@ let e16b () =
 
 let e17 () =
   header "e17"
+    "robustness study: IC-optimal vs heuristics under fault regimes";
+  pf "every policy under every fault regime (crashes, flaky transport,@.";
+  pf "stragglers), with the recovery policy suited to each regime; same@.";
+  pf "seed everywhere, so identical runs are byte-reproducible:@.";
+  List.iter
+    (fun (name, g, theory, n_clients) ->
+      pf "@.--- %s (%d tasks) ---@." name (Dag.n_nodes g);
+      let config = Ic_sim.Simulator.config ~n_clients ~jitter:0.5 () in
+      Ic_sim.Assessment.pp_robustness Format.std_formatter
+        (Ic_sim.Assessment.robustness_study ~config g ~theory
+           ~workload:(Ic_sim.Workload.random_uniform ~seed:5 ~lo:0.5 ~hi:2.0)))
+    [
+      ("out-mesh L=12, 6 clients", F.Mesh.out_mesh 12, F.Mesh.out_schedule 12, 6);
+      ( "butterfly B_4, 8 clients",
+        F.Butterfly_net.dag 4,
+        F.Butterfly_net.schedule 4,
+        8 );
+    ]
+
+let e18 () =
+  header "e18"
     "batched scheduling ([20]; a total almost-optimality notion, section 8 dir. 2)";
   let module B = Ic_batch.Batched in
   (* a dag with no IC-optimal schedule still has a lex-optimal one *)
@@ -497,7 +518,8 @@ let experiments =
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4_e5); ("e5", e4_e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e8b", e8b); ("e9", e9); ("e10", e10); ("e11", e11);
     ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
-    ("e16b", e16b); ("e16c", e16c); ("e17", e17); ("a1", a1); ("a2", a2);
+    ("e16b", e16b); ("e16c", e16c); ("e17", e17); ("e18", e18); ("a1", a1);
+    ("a2", a2);
   ]
 
 let () =
@@ -506,13 +528,13 @@ let () =
     | _ :: (_ :: _ as ids) -> List.map String.lowercase_ascii ids
     | _ -> [ "e1"; "e2"; "e3"; "e4"; "e6"; "e7"; "e8"; "e9"; "e10"; "e11";
              "e8b"; "e12"; "e13"; "e14"; "e15"; "e16"; "e16b"; "e16c"; "e17";
-             "a1"; "a2" ]
+             "e18"; "a1"; "a2" ]
   in
   List.iter
     (fun id ->
       match List.assoc_opt id experiments with
       | Some run -> run ()
       | None ->
-        Format.eprintf "unknown experiment %S (known: e1..e16)@." id;
+        Format.eprintf "unknown experiment %S (known: e1..e18, a1, a2)@." id;
         exit 1)
     requested

@@ -1,0 +1,97 @@
+type t = {
+  crash_rate : float;
+  disconnect_rate : float;
+  mean_downtime : float;
+  straggler_probability : float;
+  straggler_factor : float;
+  loss_probability : float;
+  fail_probability : float;
+  seed : int;
+}
+
+let check_rate name r =
+  if (not (Float.is_finite r)) || r < 0.0 then
+    invalid_arg (Printf.sprintf "Fault.Plan.make: %s must be finite and >= 0" name)
+
+let check_probability name p =
+  if (not (Float.is_finite p)) || p < 0.0 || p >= 1.0 then
+    invalid_arg (Printf.sprintf "Fault.Plan.make: %s must be in [0, 1)" name)
+
+let make ?(crash_rate = 0.0) ?(disconnect_rate = 0.0) ?(mean_downtime = 1.0)
+    ?(straggler_probability = 0.0) ?(straggler_factor = 4.0)
+    ?(loss_probability = 0.0) ?(fail_probability = 0.0) ?(seed = 0xFA17) () =
+  check_rate "crash_rate" crash_rate;
+  check_rate "disconnect_rate" disconnect_rate;
+  if (not (Float.is_finite mean_downtime)) || mean_downtime <= 0.0 then
+    invalid_arg "Fault.Plan.make: mean_downtime must be finite and positive";
+  check_probability "straggler_probability" straggler_probability;
+  if (not (Float.is_finite straggler_factor)) || straggler_factor < 1.0 then
+    invalid_arg "Fault.Plan.make: straggler_factor must be finite and >= 1";
+  check_probability "loss_probability" loss_probability;
+  check_probability "fail_probability" fail_probability;
+  {
+    crash_rate;
+    disconnect_rate;
+    mean_downtime;
+    straggler_probability;
+    straggler_factor;
+    loss_probability;
+    fail_probability;
+    seed;
+  }
+
+let none = make ()
+let of_failure_probability ?seed q = make ?seed ~fail_probability:q ()
+
+let with_fail_probability t q =
+  check_probability "fail_probability" q;
+  { t with fail_probability = q }
+
+let is_none t =
+  t.crash_rate = 0.0 && t.disconnect_rate = 0.0
+  && t.straggler_probability = 0.0 && t.loss_probability = 0.0
+  && t.fail_probability = 0.0
+
+(* Every decision draws from its own RNG state keyed by (seed, stream tag,
+   coordinates), so sampling is independent of the order the simulator asks
+   in — the same (task, attempt) always meets the same fate. *)
+let stream t tag a b = Random.State.make [| t.seed; tag; a; b |]
+
+(* inverse-CDF exponential with the given rate; u < 1 so this is finite *)
+let exp_sample rate u = -.Float.log1p (-.u) /. rate
+
+let crash_time t ~client =
+  if t.crash_rate <= 0.0 then infinity
+  else
+    let rng = stream t 0x3C client 0 in
+    exp_sample t.crash_rate (Random.State.float rng 1.0)
+
+let disconnect t ~client ~k =
+  if t.disconnect_rate <= 0.0 then None
+  else
+    let rng = stream t 0xD1 client k in
+    let gap = exp_sample t.disconnect_rate (Random.State.float rng 1.0) in
+    let downtime =
+      t.mean_downtime *. (0.5 +. Random.State.float rng 1.0)
+    in
+    Some (gap, downtime)
+
+type attempt_outcome = { slowdown : float; lost : bool; failed : bool }
+
+let attempt t ~task ~attempt =
+  if
+    t.straggler_probability = 0.0 && t.loss_probability = 0.0
+    && t.fail_probability = 0.0
+  then { slowdown = 1.0; lost = false; failed = false }
+  else
+    let rng = stream t 0xA7 task attempt in
+    (* fixed draw order keeps each coordinate's fate stable *)
+    let u_straggle = Random.State.float rng 1.0 in
+    let u_lost = Random.State.float rng 1.0 in
+    let u_fail = Random.State.float rng 1.0 in
+    let slowdown =
+      if u_straggle < t.straggler_probability then t.straggler_factor else 1.0
+    in
+    let lost = u_lost < t.loss_probability in
+    let failed = (not lost) && u_fail < t.fail_probability in
+    { slowdown; lost; failed }

@@ -1,0 +1,91 @@
+(** Fault plans: seeded, deterministic fault injectors for the IC
+    simulator.
+
+    A plan describes the unreliable-client regime the paper's reference
+    [14] is about — clients that crash permanently, disconnect and later
+    rejoin, straggle (run an episode much slower than their nominal
+    speed), or silently lose an in-flight result. The plan itself is pure
+    data; every sampling function is a deterministic hash of
+    [(seed, decision coordinates)], so the injected faults do not depend
+    on the order the simulator happens to ask in, and identically seeded
+    runs are byte-reproducible.
+
+    The library is dependency-free (stdlib only), like [Ic_obs]. *)
+
+type t = private {
+  crash_rate : float;
+      (** permanent-crash rate per client per unit of simulated time
+          (exponential inter-arrival); [0] = clients never crash *)
+  disconnect_rate : float;
+      (** transient-disconnect rate per client per unit of available
+          time; [0] = never *)
+  mean_downtime : float;
+      (** mean length of an offline episode (downtime is sampled
+          uniformly in [0.5, 1.5] times this mean) *)
+  straggler_probability : float;
+      (** chance that a given attempt straggles (runs [straggler_factor]
+          times slower); in [0, 1) *)
+  straggler_factor : float;  (** slowdown multiplier; at least 1 *)
+  loss_probability : float;
+      (** chance that an attempt's result is silently lost in transit:
+          the client moves on, the server only finds out through a
+          liveness timeout; in [0, 1) *)
+  fail_probability : float;
+      (** chance that an attempt ends in a {e reported} failure — the
+          legacy end-of-task coin flip, observed by the server the moment
+          the attempt ends; in [0, 1) *)
+  seed : int;
+}
+
+val none : t
+(** No faults at all; the default. *)
+
+val make :
+  ?crash_rate:float ->
+  ?disconnect_rate:float ->
+  ?mean_downtime:float ->
+  ?straggler_probability:float ->
+  ?straggler_factor:float ->
+  ?loss_probability:float ->
+  ?fail_probability:float ->
+  ?seed:int ->
+  unit ->
+  t
+(** Validates every knob: rates finite and non-negative, probabilities in
+    [0, 1), [straggler_factor >= 1], [mean_downtime > 0]. Defaults are
+    all-zero (= {!none}) with [seed 0xFA17]. *)
+
+val of_failure_probability : ?seed:int -> float -> t
+(** The compat constructor for the simulator's historical single
+    end-of-task coin flip: [make ~fail_probability:q ()]. *)
+
+val with_fail_probability : t -> float -> t
+(** Override the reported-failure probability (used to fold the legacy
+    [Simulator.config.failure_probability] field into a plan). *)
+
+val is_none : t -> bool
+(** No fault of any kind can ever fire under this plan. *)
+
+(** {1 Deterministic samplers}
+
+    All samplers are pure functions of the plan and their coordinates. *)
+
+val crash_time : t -> client:int -> float
+(** The simulated time at which [client] crashes permanently;
+    [infinity] when it never does. *)
+
+val disconnect : t -> client:int -> k:int -> (float * float) option
+(** [(gap, downtime)] of the [k]-th offline episode of [client]: the
+    episode starts [gap] time units after the client last became
+    available and lasts [downtime]. [None] when disconnects are
+    disabled. *)
+
+type attempt_outcome = {
+  slowdown : float;  (** execution-time multiplier; 1 when not straggling *)
+  lost : bool;  (** result silently lost (server unaware until timeout) *)
+  failed : bool;  (** reported failure at the end of the attempt *)
+}
+
+val attempt : t -> task:int -> attempt:int -> attempt_outcome
+(** The fate of the [attempt]-th attempt at [task]. [lost] and [failed]
+    are mutually exclusive ([lost] wins). *)

@@ -1,0 +1,77 @@
+type t = {
+  timeout_factor : float;
+  detection_latency : float;
+  max_retries : int;
+  backoff_base : float;
+  backoff_factor : float;
+  backoff_max : float;
+  backoff_jitter : float;
+  speculation_factor : float;
+  max_replicas : int;
+  deadline : float;
+  seed : int;
+}
+
+let check_nonneg name v =
+  if Float.is_nan v || v < 0.0 then
+    invalid_arg
+      (Printf.sprintf "Fault.Recovery.make: %s must be non-negative" name)
+
+let make ?(timeout_factor = infinity) ?(detection_latency = 0.0)
+    ?(max_retries = max_int) ?(backoff_base = 0.0) ?(backoff_factor = 2.0)
+    ?(backoff_max = infinity) ?(backoff_jitter = 0.0)
+    ?(speculation_factor = infinity) ?(max_replicas = 2)
+    ?(deadline = infinity) ?(seed = 0x5EC0) () =
+  if Float.is_nan timeout_factor || timeout_factor <= 0.0 then
+    invalid_arg "Fault.Recovery.make: timeout_factor must be positive";
+  if (not (Float.is_finite detection_latency)) || detection_latency < 0.0 then
+    invalid_arg
+      "Fault.Recovery.make: detection_latency must be finite and non-negative";
+  if max_retries < 0 then
+    invalid_arg "Fault.Recovery.make: max_retries must be non-negative";
+  check_nonneg "backoff_base" backoff_base;
+  if Float.is_nan backoff_factor || backoff_factor < 1.0 then
+    invalid_arg "Fault.Recovery.make: backoff_factor must be >= 1";
+  check_nonneg "backoff_max" backoff_max;
+  if Float.is_nan backoff_jitter || backoff_jitter < 0.0 || backoff_jitter > 1.0
+  then invalid_arg "Fault.Recovery.make: backoff_jitter must be in [0, 1]";
+  if Float.is_nan speculation_factor || speculation_factor <= 0.0 then
+    invalid_arg "Fault.Recovery.make: speculation_factor must be positive";
+  if max_replicas < 1 then
+    invalid_arg "Fault.Recovery.make: max_replicas must be >= 1";
+  if Float.is_nan deadline || deadline <= 0.0 then
+    invalid_arg "Fault.Recovery.make: deadline must be positive";
+  {
+    timeout_factor;
+    detection_latency;
+    max_retries;
+    backoff_base;
+    backoff_factor;
+    backoff_max;
+    backoff_jitter;
+    speculation_factor;
+    max_replicas;
+    deadline;
+    seed;
+  }
+
+let default = make ()
+let timeouts_enabled t = Float.is_finite t.timeout_factor
+let speculation_enabled t = Float.is_finite t.speculation_factor
+
+let timeout_after t ~expected =
+  if timeouts_enabled t then t.detection_latency +. (t.timeout_factor *. expected)
+  else infinity
+
+let speculate_after t ~expected =
+  if speculation_enabled t then t.speculation_factor *. expected else infinity
+
+let backoff t ~task ~retry =
+  if t.backoff_base <= 0.0 then 0.0
+  else
+    let raw = t.backoff_base *. (t.backoff_factor ** float_of_int retry) in
+    let d = Float.min t.backoff_max raw in
+    if t.backoff_jitter = 0.0 then d
+    else
+      let rng = Random.State.make [| t.seed; 0xB0; task; retry |] in
+      d *. (1.0 +. (t.backoff_jitter *. Random.State.float rng 1.0))

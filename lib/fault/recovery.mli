@@ -1,0 +1,77 @@
+(** Recovery policies: what the server does about faults.
+
+    A recovery policy is pure configuration for the simulator's
+    server-side reaction to the faults a {!Plan} injects — liveness
+    timeouts, bounded retries with backoff, speculative re-execution,
+    and the abort conditions of graceful degradation. Like plans, the
+    only randomness (backoff jitter) is a deterministic hash of
+    [(seed, task, retry)], so recovery decisions are byte-reproducible. *)
+
+type t = private {
+  timeout_factor : float;
+      (** an attempt is presumed lost once it has been out for
+          [detection_latency + timeout_factor * expected_duration];
+          [infinity] disables liveness timeouts *)
+  detection_latency : float;
+      (** fixed extra delay before the server notices a timeout — models
+          heartbeat granularity; finite, non-negative *)
+  max_retries : int;
+      (** per-task retry budget; exceeding it aborts the run with a
+          partial result. [max_int] = unbounded (the historical
+          retry-forever behaviour) *)
+  backoff_base : float;  (** delay before the first retry; >= 0 *)
+  backoff_factor : float;
+      (** multiplicative growth of the delay per retry; >= 1 *)
+  backoff_max : float;  (** cap on the backoff delay; >= 0 *)
+  backoff_jitter : float;
+      (** relative jitter on the backoff delay, in [0, 1]: the delay is
+          multiplied by a seeded uniform draw from [1, 1 + jitter] *)
+  speculation_factor : float;
+      (** a second replica of a task is launched once its oldest live
+          attempt has been out for [speculation_factor * expected];
+          [infinity] disables speculation *)
+  max_replicas : int;
+      (** cap on simultaneously live attempts per task; >= 1 *)
+  deadline : float;
+      (** wall-clock (simulated) deadline: the run aborts with a partial
+          result when the clock passes it; [infinity] = none *)
+  seed : int;  (** jitter seed *)
+}
+
+val default : t
+(** Mirrors the simulator's historical behaviour: no timeouts, unbounded
+    immediate retries (no backoff), no speculation, no deadline. *)
+
+val make :
+  ?timeout_factor:float ->
+  ?detection_latency:float ->
+  ?max_retries:int ->
+  ?backoff_base:float ->
+  ?backoff_factor:float ->
+  ?backoff_max:float ->
+  ?backoff_jitter:float ->
+  ?speculation_factor:float ->
+  ?max_replicas:int ->
+  ?deadline:float ->
+  ?seed:int ->
+  unit ->
+  t
+(** Validates every knob (see the field docs); defaults are
+    {!default}'s values with [seed 0x5EC0]. Raises [Invalid_argument]
+    on out-of-range values. *)
+
+val timeouts_enabled : t -> bool
+val speculation_enabled : t -> bool
+
+val timeout_after : t -> expected:float -> float
+(** Delay after allocation at which the liveness timeout for an attempt
+    with the given expected duration fires; [infinity] when disabled. *)
+
+val speculate_after : t -> expected:float -> float
+(** Delay after allocation at which a straggling attempt becomes a
+    candidate for speculative re-execution; [infinity] when disabled. *)
+
+val backoff : t -> task:int -> retry:int -> float
+(** Backoff delay before the [retry]-th re-run of [task]
+    (first retry has [retry = 0]); deterministic in
+    [(seed, task, retry)]. *)

@@ -110,6 +110,53 @@ let of_schedule name s =
 let baselines =
   [ fifo; lifo; random 0xF00D; max_out_degree; min_depth; critical_path ]
 
+module Robust = struct
+  (* Membership flags make notify idempotent and withdrawal O(1) without
+     touching the base policy's internal containers: duplicates and
+     withdrawn tasks stay in the base's heap/queue as stale entries and
+     are skipped on select (lazy deletion). Invariant: [pooled.(v)]
+     implies the base holds at least one live entry for [v]. *)
+  type t = {
+    base : instance;
+    pooled : bool array;
+    mutable size : int;
+  }
+
+  let create p g =
+    {
+      base = instantiate p g;
+      pooled = Array.make (max 1 (Dag.n_nodes g)) false;
+      size = 0;
+    }
+
+  let notify r v =
+    if not r.pooled.(v) then begin
+      r.pooled.(v) <- true;
+      r.size <- r.size + 1;
+      r.base.notify v
+    end
+
+  let rec select r =
+    match r.base.select () with
+    | None -> None
+    | Some v ->
+      if r.pooled.(v) then begin
+        r.pooled.(v) <- false;
+        r.size <- r.size - 1;
+        Some v
+      end
+      else select r
+
+  let withdraw r v =
+    if r.pooled.(v) then begin
+      r.pooled.(v) <- false;
+      r.size <- r.size - 1
+    end
+
+  let pooled r v = r.pooled.(v)
+  let size r = r.size
+end
+
 let run p g =
   let n = Dag.n_nodes g in
   let inst = instantiate p g in

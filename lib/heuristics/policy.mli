@@ -57,3 +57,34 @@ val run : t -> Ic_dag.Dag.t -> Ic_dag.Schedule.t
 (** Sequential list scheduling: repeatedly select and execute, notifying
     newly eligible tasks (children in ascending order). The resulting
     schedule's profile is what eligibility-rate comparisons use. *)
+
+(** {1 Fault-tolerant driving}
+
+    Under fault injection a task can become eligible more than once
+    (retry after a failure or timeout, speculative re-execution) and can
+    stop being allocatable while pooled (another replica finished
+    first). Base policies assume each task is notified exactly once, so
+    the simulator drives them through this wrapper instead. *)
+
+module Robust : sig
+  type policy := t
+  type t
+
+  val create : policy -> Ic_dag.Dag.t -> t
+
+  val notify : t -> int -> unit
+  (** Idempotent: re-notifying a task already in the pool is a no-op, so
+      retries and speculation never create duplicate pool entries. *)
+
+  val select : t -> int option
+  (** The base policy's choice among live pool members; stale entries
+      left behind by {!withdraw} or duplicate notifications are skipped
+      (lazy deletion). *)
+
+  val withdraw : t -> int -> unit
+  (** Remove a task from the pool without selecting it (its result
+      arrived some other way). O(1); the base's entry goes stale. *)
+
+  val pooled : t -> int -> bool
+  val size : t -> int
+end

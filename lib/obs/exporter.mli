@@ -5,10 +5,16 @@
     [chrome://tracing] load: a JSON array of event objects. The layout is
     one track ([tid = client + 1]) per simulated client carrying that
     client's task slices (allocation to completion; lost allocations are
-    closed by the failure and labelled as lost) and stall slices, plus a
-    ["|ELIGIBLE|"] counter track showing the allocatable-task pool over
-    simulated time — the quantity IC-optimality maximizes pointwise.
-    Simulated seconds are mapped to trace microseconds. *)
+    closed by the failure and labelled as lost, redundant speculative
+    replicas by the cancellation and labelled as cancelled) and stall
+    slices, plus a ["|ELIGIBLE|"] counter track showing the
+    allocatable-task pool over simulated time — the quantity
+    IC-optimality maximizes pointwise. Client crash/disconnect/rejoin
+    render as instant events on the client's track (a crash also closes
+    whatever slice the client held, as lost); recovery decisions
+    (timeout fired, retry scheduled, speculative launch) render as
+    instant events on the server track. Simulated seconds are mapped to
+    trace microseconds. *)
 
 val chrome_trace :
   ?process_name:string -> ?label:(int -> string) -> Trace.t -> string

@@ -13,6 +13,12 @@ type kind =
   | Frontier_push
   | Frontier_pop
   | Eligible_count
+  | Timeout_fired
+  | Retry_scheduled
+  | Speculative_launch
+  | Replica_cancelled
+  | Client_crash
+  | Client_rejoin
 
 let kind_to_int = function
   | Task_alloc -> 0
@@ -24,6 +30,12 @@ let kind_to_int = function
   | Frontier_push -> 6
   | Frontier_pop -> 7
   | Eligible_count -> 8
+  | Timeout_fired -> 9
+  | Retry_scheduled -> 10
+  | Speculative_launch -> 11
+  | Replica_cancelled -> 12
+  | Client_crash -> 13
+  | Client_rejoin -> 14
 
 let kind_of_int = function
   | 0 -> Task_alloc
@@ -35,6 +47,12 @@ let kind_of_int = function
   | 6 -> Frontier_push
   | 7 -> Frontier_pop
   | 8 -> Eligible_count
+  | 9 -> Timeout_fired
+  | 10 -> Retry_scheduled
+  | 11 -> Speculative_launch
+  | 12 -> Replica_cancelled
+  | 13 -> Client_crash
+  | 14 -> Client_rejoin
   | _ -> assert false
 
 let kind_name = function
@@ -47,6 +65,12 @@ let kind_name = function
   | Frontier_push -> "frontier_push"
   | Frontier_pop -> "frontier_pop"
   | Eligible_count -> "eligible_count"
+  | Timeout_fired -> "timeout_fired"
+  | Retry_scheduled -> "retry_scheduled"
+  | Speculative_launch -> "speculative_launch"
+  | Replica_cancelled -> "replica_cancelled"
+  | Client_crash -> "client_crash"
+  | Client_rejoin -> "client_rejoin"
 
 type event = { kind : kind; time : float; a : int; b : int }
 
@@ -107,6 +131,23 @@ let client_resume t ~time ~client = emit t Client_resume ~time ~a:client ~b:0
 let frontier_push t ~time ~node = emit t Frontier_push ~time ~a:node ~b:0
 let frontier_pop t ~time ~node = emit t Frontier_pop ~time ~a:node ~b:0
 let eligible_count t ~time ~count = emit t Eligible_count ~time ~a:count ~b:0
+
+let timeout_fired t ~time ~task ~client =
+  emit t Timeout_fired ~time ~a:task ~b:client
+
+let retry_scheduled t ~time ~task ~retry =
+  emit t Retry_scheduled ~time ~a:task ~b:retry
+
+let speculative_launch t ~time ~task =
+  emit t Speculative_launch ~time ~a:task ~b:0
+
+let replica_cancelled t ~time ~task ~client =
+  emit t Replica_cancelled ~time ~a:task ~b:client
+
+let client_crash t ~time ~client ~transient =
+  emit t Client_crash ~time ~a:client ~b:(if transient then 1 else 0)
+
+let client_rejoin t ~time ~client = emit t Client_rejoin ~time ~a:client ~b:0
 
 let get t i =
   if i < 0 || i >= t.len then invalid_arg "Trace.get: index out of range";

@@ -28,6 +28,22 @@ type kind =
   | Frontier_push  (** [a] = node; the node became ELIGIBLE *)
   | Frontier_pop  (** [a] = node; the node was executed *)
   | Eligible_count  (** [a] = new number of allocatable eligible tasks *)
+  | Timeout_fired
+      (** [a] = task, [b] = client; the server's liveness timeout presumed
+          the attempt lost and released the task for re-allocation *)
+  | Retry_scheduled
+      (** [a] = task, [b] = retry number (0 = first retry); the task will
+          re-enter the pool after its backoff delay *)
+  | Speculative_launch
+      (** [a] = task; a speculative replica of a straggling task was
+          released for allocation *)
+  | Replica_cancelled
+      (** [a] = task, [b] = client; a redundant attempt was discarded
+          because another replica's result arrived first *)
+  | Client_crash
+      (** [a] = client, [b] = 0 for a permanent crash, 1 for a transient
+          disconnect *)
+  | Client_rejoin  (** [a] = client; a disconnected client came back *)
 
 val kind_name : kind -> string
 (** Stable lower-snake-case name, e.g. ["task_alloc"]. *)
@@ -60,6 +76,12 @@ val client_resume : t -> time:float -> client:int -> unit
 val frontier_push : t -> time:float -> node:int -> unit
 val frontier_pop : t -> time:float -> node:int -> unit
 val eligible_count : t -> time:float -> count:int -> unit
+val timeout_fired : t -> time:float -> task:int -> client:int -> unit
+val retry_scheduled : t -> time:float -> task:int -> retry:int -> unit
+val speculative_launch : t -> time:float -> task:int -> unit
+val replica_cancelled : t -> time:float -> task:int -> client:int -> unit
+val client_crash : t -> time:float -> client:int -> transient:bool -> unit
+val client_rejoin : t -> time:float -> client:int -> unit
 
 (** {1 Reading} *)
 

@@ -1,6 +1,20 @@
 module Dag = Ic_dag.Dag
 module Profile = Ic_dag.Profile
 module Policy = Ic_heuristics.Policy
+module Plan = Ic_fault.Plan
+module Recovery = Ic_fault.Recovery
+
+type regime = {
+  name : string;
+  faults : Plan.t;
+  recovery : Recovery.t;
+}
+
+type robustness_row = {
+  regime : string;
+  policy : string;
+  sim : Simulator.result;
+}
 
 type row = {
   policy : string;
@@ -85,6 +99,81 @@ let pp_curves ppf curves =
         fractions;
       Format.fprintf ppf "@.")
     curves
+
+(* --- robustness under fault regimes (experiment E17) --- *)
+
+let default_regimes =
+  (* crashes and flaky transport both need liveness timeouts to recover;
+     stragglers are countered by speculation instead *)
+  let recover =
+    Recovery.make ~timeout_factor:3.0 ~detection_latency:0.5
+      ~backoff_base:0.25 ~backoff_jitter:0.5 ()
+  in
+  [
+    { name = "baseline"; faults = Plan.none; recovery = Recovery.default };
+    {
+      name = "crashy";
+      faults = Plan.make ~crash_rate:0.02 ~fail_probability:0.05 ();
+      recovery = recover;
+    };
+    {
+      name = "flaky";
+      faults =
+        Plan.make ~disconnect_rate:0.05 ~mean_downtime:2.0
+          ~loss_probability:0.1 ();
+      recovery = recover;
+    };
+    {
+      name = "straggly";
+      faults = Plan.make ~straggler_probability:0.15 ~straggler_factor:8.0 ();
+      recovery =
+        Recovery.make ~speculation_factor:2.0 ~timeout_factor:6.0
+          ~backoff_base:0.25 ~backoff_jitter:0.5 ();
+    };
+  ]
+
+let robustness_study ?config ?(workload = Workload.unit)
+    ?(regimes = default_regimes) ?(extra = []) g ~theory =
+  let base = match config with Some c -> c | None -> Simulator.config () in
+  let theory_policy = Policy.of_schedule "ic-optimal" theory in
+  let policies = theory_policy :: (Policy.baselines @ extra) in
+  List.concat_map
+    (fun rg ->
+      let cfg =
+        { base with Simulator.faults = rg.faults; recovery = rg.recovery }
+      in
+      List.map
+        (fun p ->
+          ({
+             regime = rg.name;
+             policy = Policy.name p;
+             sim = Simulator.run cfg p ~workload g;
+           }
+            : robustness_row))
+        policies)
+    regimes
+
+let pp_robustness ppf (rows : robustness_row list) =
+  let outcome_tag r =
+    match r.Simulator.outcome with
+    | Simulator.Finished -> "ok"
+    | Simulator.Aborted (Simulator.Retry_budget v) ->
+      Printf.sprintf "budget(t%d)" v
+    | Simulator.Aborted Simulator.Deadline -> "deadline"
+    | Simulator.Aborted Simulator.No_progress -> "no-progress"
+  in
+  Format.fprintf ppf "%-10s %-16s %9s %6s %7s %7s %8s %5s %5s %s@."
+    "regime" "policy" "makespan" "util%" "stalls" "retries" "timeouts"
+    "spec" "lost" "outcome";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-10s %-16s %9.3f %6.1f %7d %7d %8d %5d %5d %s@."
+        r.regime r.policy r.sim.Simulator.makespan
+        (100.0 *. r.sim.Simulator.utilization)
+        r.sim.Simulator.stalls r.sim.Simulator.retries
+        r.sim.Simulator.timeouts r.sim.Simulator.speculations
+        r.sim.Simulator.lost (outcome_tag r.sim))
+    rows
 
 let pp_rows ppf rows =
   Format.fprintf ppf "%-16s %9s %6s %7s %8s %7s %7s@."

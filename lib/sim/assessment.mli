@@ -3,6 +3,20 @@
     heuristics over a dag, both as pure list schedules (eligibility-profile
     dominance) and through the simulator (stalls, utilization). *)
 
+type regime = {
+  name : string;
+  faults : Ic_fault.Plan.t;
+  recovery : Ic_fault.Recovery.t;
+}
+(** A named fault environment: what goes wrong, and how the server is
+    configured to cope. Used by {!robustness_study}. *)
+
+type robustness_row = {
+  regime : string;
+  policy : string;
+  sim : Simulator.result;
+}
+
 type row = {
   policy : string;
   sim : Simulator.result;
@@ -59,3 +73,34 @@ val timeline_at : timeline -> float -> int
 val pp_curves : Format.formatter -> (string * timeline) list -> unit
 (** An aligned table sampling each curve at fixed fractions of that
     policy's own makespan. *)
+
+(** {1 Robustness under fault regimes}
+
+    Experiment E17: how do IC-optimal schedules degrade, relative to the
+    heuristic baselines, when clients crash, disconnect, straggle and
+    lose results? Each {!regime} pairs an {!Ic_fault.Plan} with the
+    {!Ic_fault.Recovery} policy suited to it; every policy runs under
+    every regime with the same simulator configuration and seed. *)
+
+val default_regimes : regime list
+(** [baseline] (no faults, default recovery), [crashy] (permanent
+    crashes + reported failures, timeouts + backed-off retries),
+    [flaky] (transient disconnects + in-flight loss, same recovery) and
+    [straggly] (slowdown episodes, speculation). *)
+
+val robustness_study :
+  ?config:Simulator.config ->
+  ?workload:Workload.t ->
+  ?regimes:regime list ->
+  ?extra:Ic_heuristics.Policy.t list ->
+  Ic_dag.Dag.t ->
+  theory:Ic_dag.Schedule.t ->
+  robustness_row list
+(** One row per (regime, policy) pair, regimes outermost; policies are
+    the theory policy, the baselines and [extra], as in
+    {!compare_policies}. [config]'s own [faults]/[recovery] fields are
+    overridden by each regime's. *)
+
+val pp_robustness : Format.formatter -> robustness_row list -> unit
+(** An aligned makespan/stall/recovery table, one line per row; aborted
+    runs are tagged with their {!Simulator.abort_reason}. *)

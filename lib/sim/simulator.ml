@@ -4,6 +4,8 @@ module Policy = Ic_heuristics.Policy
 module Heap = Ic_heuristics.Heap
 module Trace = Ic_obs.Trace
 module Metrics = Ic_obs.Metrics
+module Plan = Ic_fault.Plan
+module Recovery = Ic_fault.Recovery
 
 type config = {
   n_clients : int;
@@ -12,15 +14,32 @@ type config = {
   failure_probability : float;
   comm_time : float;
   seed : int;
+  faults : Plan.t;
+  recovery : Recovery.t;
 }
 
 let config ?(n_clients = 4) ?(speed = fun _ -> 1.0) ?(jitter = 0.25)
-    ?(failure_probability = 0.0) ?(comm_time = 0.0) ?(seed = 0x5EED) () =
+    ?(failure_probability = 0.0) ?(comm_time = 0.0) ?(seed = 0x5EED)
+    ?(faults = Plan.none) ?(recovery = Recovery.default) () =
   if n_clients < 1 then invalid_arg "Simulator.config: need a client";
   if failure_probability < 0.0 || failure_probability >= 1.0 then
     invalid_arg "Simulator.config: failure probability must be in [0, 1)";
   if comm_time < 0.0 then invalid_arg "Simulator.config: negative comm time";
-  { n_clients; speed; jitter; failure_probability; comm_time; seed }
+  if (not (Float.is_finite jitter)) || jitter < 0.0 then
+    invalid_arg "Simulator.config: jitter must be finite and non-negative";
+  {
+    n_clients;
+    speed;
+    jitter;
+    failure_probability;
+    comm_time;
+    seed;
+    faults;
+    recovery;
+  }
+
+type abort_reason = Retry_budget of int | Deadline | No_progress
+type outcome = Finished | Aborted of abort_reason
 
 type result = {
   makespan : float;
@@ -33,6 +52,15 @@ type result = {
   mean_eligible : float;
   allocation_order : int list;
   completion_order : int list;
+  outcome : outcome;
+  unfinished : int list;
+  timeouts : int;
+  retries : int;
+  lost : int;
+  speculations : int;
+  cancelled : int;
+  crashes : int;
+  disconnects : int;
 }
 
 (* The registered instruments when a metrics registry is supplied, resolved
@@ -42,12 +70,21 @@ type meters = {
   m_completed : Metrics.counter;
   m_failed : Metrics.counter;
   m_stalls : Metrics.counter;
+  m_timeouts : Metrics.counter;
+  m_retries : Metrics.counter;
+  m_lost : Metrics.counter;
+  m_speculations : Metrics.counter;
+  m_cancelled : Metrics.counter;
+  m_crashes : Metrics.counter;
+  m_disconnects : Metrics.counter;
   h_latency : Metrics.histogram;
+  h_e2e : Metrics.histogram;
   h_queue_depth : Metrics.histogram;
   h_stall : Metrics.histogram;
 }
 
 let latency_buckets = [| 0.25; 0.5; 1.0; 2.0; 4.0; 8.0; 16.0; 32.0 |]
+let e2e_buckets = [| 0.5; 1.0; 2.0; 4.0; 8.0; 16.0; 32.0; 64.0; 128.0 |]
 let queue_buckets = [| 1.0; 2.0; 4.0; 8.0; 16.0; 32.0; 64.0; 128.0 |]
 let stall_buckets = [| 0.125; 0.25; 0.5; 1.0; 2.0; 4.0; 8.0 |]
 
@@ -57,16 +94,71 @@ let meters_of m =
     m_completed = Metrics.counter m "sim.tasks_completed";
     m_failed = Metrics.counter m "sim.tasks_failed";
     m_stalls = Metrics.counter m "sim.stalls";
+    m_timeouts = Metrics.counter m "sim.timeouts";
+    m_retries = Metrics.counter m "sim.retries";
+    m_lost = Metrics.counter m "sim.tasks_lost";
+    m_speculations = Metrics.counter m "sim.speculations";
+    m_cancelled = Metrics.counter m "sim.replicas_cancelled";
+    m_crashes = Metrics.counter m "sim.client_crashes";
+    m_disconnects = Metrics.counter m "sim.client_disconnects";
     h_latency = Metrics.histogram m "sim.task_latency" ~buckets:latency_buckets;
+    h_e2e = Metrics.histogram m "sim.task_e2e_latency" ~buckets:e2e_buckets;
     h_queue_depth = Metrics.histogram m "sim.queue_depth" ~buckets:queue_buckets;
     h_stall = Metrics.histogram m "sim.stall_duration" ~buckets:stall_buckets;
   }
 
+(* One client-side run of one task. An attempt is [closed] once it no
+   longer occupies a client (natural end, cancellation, crash), and
+   [resolved] once the server has reacted to it (accepted the result,
+   scheduled recovery, or cancelled it). A lost attempt closes without
+   resolving: the server only finds out through its liveness timeout. *)
+type attempt = {
+  at_task : int;
+  at_client : int;
+  at_alloc : float;
+  at_lost : bool;
+  at_failed : bool;
+  mutable at_closed : bool;
+  mutable at_resolved : bool;
+}
+
+type ev =
+  | Ev_complete of int  (** attempt *)
+  | Ev_timeout of int  (** attempt *)
+  | Ev_spec of int  (** attempt *)
+  | Ev_crash of int  (** client *)
+  | Ev_disconnect of int  (** client *)
+  | Ev_rejoin of int  (** client *)
+  | Ev_retry of int  (** task *)
+
+(* client states; values >= 0 mean Busy running that attempt id *)
+let st_idle = -1
+let st_waiting = -2
+let st_offline = -3
+let st_dead = -4
+
 let run ?sink ?metrics cfg policy ~workload g =
   let n = Dag.n_nodes g in
   let work = workload g in
+  let speeds =
+    Array.init cfg.n_clients (fun i ->
+        let s = cfg.speed i in
+        if (not (Float.is_finite s)) || s <= 0.0 then
+          invalid_arg
+            (Printf.sprintf
+               "Simulator.run: speed of client %d is %g, must be finite and \
+                positive"
+               i s);
+        s)
+  in
+  let plan =
+    if cfg.failure_probability > 0.0 then
+      Plan.with_fail_probability cfg.faults cfg.failure_probability
+    else cfg.faults
+  in
+  let rc = cfg.recovery in
   let rng = Random.State.make [| cfg.seed |] in
-  let inst = Policy.instantiate policy g in
+  let robust = Policy.Robust.create policy g in
   let fr = Frontier.create g in
   let now = ref 0.0 in
   let meters = match metrics with None -> None | Some m -> Some (meters_of m) in
@@ -80,34 +172,78 @@ let run ?sink ?metrics cfg policy ~workload g =
            Frontier.on_push = (fun v -> Trace.frontier_push tr ~time:!now ~node:v);
            on_pop = (fun v -> Trace.frontier_pop tr ~time:!now ~node:v);
          }));
-  let pool_size = ref 0 in
-  let notify v =
-    Policy.notify inst v;
-    incr pool_size
-  in
-  Frontier.iter notify fr;
+  Frontier.iter (Policy.Robust.notify robust) fr;
   (match sink with
   | None -> ()
   | Some tr ->
     (* the initial sources are eligible before anything executes *)
     Frontier.iter (fun v -> Trace.frontier_push tr ~time:0.0 ~node:v) fr;
-    Trace.eligible_count tr ~time:0.0 ~count:!pool_size);
-  let events : (float, int * int) Heap.t = Heap.create () in
-  (* metrics *)
+    Trace.eligible_count tr ~time:0.0 ~count:(Policy.Robust.size robust));
+  let trace_eligible () =
+    match sink with
+    | None -> ()
+    | Some tr ->
+      Trace.eligible_count tr ~time:!now ~count:(Policy.Robust.size robust)
+  in
+  let events : (float, ev) Heap.t = Heap.create () in
+  (* per-client state *)
   let busy = Array.make cfg.n_clients 0.0 in
-  let alloc_time = Array.make cfg.n_clients 0.0 in
+  let st = Array.make cfg.n_clients st_idle in
+  let stalled_since = Array.make cfg.n_clients nan in
+  let waiting = Queue.create () in
+  let disc_k = Array.make cfg.n_clients 0 in
+  (* per-task state *)
+  let computed_by = Array.make (max n 1) (-1) in
+  let attempts_made = Array.make (max n 1) 0 in
+  let live = Array.make (max n 1) 0 in
+  let open_attempts = Array.make (max n 1) [] in
+  let pending = Array.make (max n 1) false in
+  let retries_of = Array.make (max n 1) 0 in
+  let first_alloc = Array.make (max n 1) nan in
+  (* attempt table, growable *)
+  let dummy =
+    {
+      at_task = -1;
+      at_client = -1;
+      at_alloc = 0.0;
+      at_lost = false;
+      at_failed = false;
+      at_closed = true;
+      at_resolved = true;
+    }
+  in
+  let atts = ref (Array.make 64 dummy) in
+  let n_atts = ref 0 in
+  let att id = !atts.(id) in
+  let new_attempt a =
+    if !n_atts = Array.length !atts then begin
+      let bigger = Array.make (2 * !n_atts) dummy in
+      Array.blit !atts 0 bigger 0 !n_atts;
+      atts := bigger
+    end;
+    let id = !n_atts in
+    !atts.(id) <- a;
+    incr n_atts;
+    id
+  in
+  (* counters *)
   let stalls = ref 0 in
   let stall_time = ref 0.0 in
-  let stalled_since = Array.make cfg.n_clients nan in
-  let stalled = Queue.create () in
   let eligible_integral = ref 0.0 in
-  let allocated = ref 0 in
+  let inflight = ref 0 in
   let completed = ref 0 in
   let failures = ref 0 in
+  let timeouts = ref 0 in
+  let retries = ref 0 in
+  let lost = ref 0 in
+  let speculations = ref 0 in
+  let cancelled = ref 0 in
+  let crashes = ref 0 in
+  let disconnects = ref 0 in
   let comm_total = ref 0.0 in
-  let computed_by = Array.make n (-1) in
   let allocation_order = ref [] in
   let completion_order = ref [] in
+  let abort = ref None in
   let end_stall c =
     let d = !now -. stalled_since.(c) in
     stall_time := !stall_time +. d;
@@ -117,112 +253,382 @@ let run ?sink ?metrics cfg policy ~workload g =
     | Some tr -> Trace.client_resume tr ~time:!now ~client:c);
     match meters with None -> () | Some mt -> Metrics.observe mt.h_stall d
   in
+  let close_attempt id =
+    let a = att id in
+    a.at_closed <- true;
+    busy.(a.at_client) <- busy.(a.at_client) +. (!now -. a.at_alloc);
+    live.(a.at_task) <- live.(a.at_task) - 1;
+    if live.(a.at_task) = 0 then decr inflight
+  in
+  let launch client v =
+    allocation_order := v :: !allocation_order;
+    let attempt_no = attempts_made.(v) in
+    attempts_made.(v) <- attempt_no + 1;
+    let fate = Plan.attempt plan ~task:v ~attempt:attempt_no in
+    let noise = 1.0 +. (cfg.jitter *. Random.State.float rng 1.0) in
+    (* parents computed elsewhere must ship their results over the
+       Internet; a source's input comes from the server (one transfer) *)
+    let transfers =
+      if cfg.comm_time = 0.0 then 0
+      else if Dag.is_source g v then 1
+      else
+        Dag.fold_pred g v 0 (fun acc p ->
+            if computed_by.(p) = client then acc else acc + 1)
+    in
+    let comm = cfg.comm_time *. float_of_int transfers in
+    comm_total := !comm_total +. comm;
+    let base = work v /. speeds.(client) in
+    let duration = (base *. noise *. fate.Plan.slowdown) +. comm in
+    (* what a healthy attempt should take — the server's yardstick for
+       liveness timeouts and speculation *)
+    let expected = base +. comm in
+    let id =
+      new_attempt
+        {
+          at_task = v;
+          at_client = client;
+          at_alloc = !now;
+          at_lost = fate.Plan.lost;
+          at_failed = fate.Plan.failed;
+          at_closed = false;
+          at_resolved = false;
+        }
+    in
+    st.(client) <- id;
+    live.(v) <- live.(v) + 1;
+    if live.(v) = 1 then incr inflight;
+    open_attempts.(v) <- id :: open_attempts.(v);
+    if Float.is_nan first_alloc.(v) then first_alloc.(v) <- !now;
+    (match meters with None -> () | Some mt -> Metrics.incr mt.m_allocated);
+    (match sink with
+    | None -> ()
+    | Some tr ->
+      Trace.task_alloc tr ~time:!now ~task:v ~client;
+      Trace.task_start tr ~time:(!now +. comm) ~task:v ~client;
+      Trace.eligible_count tr ~time:!now ~count:(Policy.Robust.size robust));
+    Heap.push events (!now +. duration) (Ev_complete id);
+    if Recovery.timeouts_enabled rc then
+      Heap.push events (!now +. Recovery.timeout_after rc ~expected)
+        (Ev_timeout id);
+    if Recovery.speculation_enabled rc then
+      Heap.push events (!now +. Recovery.speculate_after rc ~expected)
+        (Ev_spec id)
+  in
+  let park client =
+    st.(client) <- st_waiting;
+    if n - !completed - !inflight > 0 then begin
+      (* a genuine gridlock event: work remains but none is allocatable *)
+      incr stalls;
+      (match meters with None -> () | Some mt -> Metrics.incr mt.m_stalls);
+      if Float.is_nan stalled_since.(client) then begin
+        stalled_since.(client) <- !now;
+        match sink with
+        | None -> ()
+        | Some tr -> Trace.client_stall tr ~time:!now ~client
+      end
+    end;
+    Queue.add client waiting
+  in
   let allocate client =
-    match Policy.select inst with
-    | Some v ->
+    if Policy.Robust.size robust > 0 then begin
       (match meters with
       | None -> ()
       | Some mt ->
-        Metrics.incr mt.m_allocated;
-        (* the depth the server chose from, before removing [v] *)
-        Metrics.observe mt.h_queue_depth (float_of_int !pool_size));
-      decr pool_size;
-      incr allocated;
-      allocation_order := v :: !allocation_order;
-      alloc_time.(client) <- !now;
-      let noise = 1.0 +. (cfg.jitter *. Random.State.float rng 1.0) in
-      (* parents computed elsewhere must ship their results over the
-         Internet; a source's input comes from the server (one transfer) *)
-      let transfers =
-        if cfg.comm_time = 0.0 then 0
-        else if Dag.is_source g v then 1
-        else
-          Dag.fold_pred g v 0 (fun acc p ->
-              if computed_by.(p) = client then acc else acc + 1)
-      in
-      let comm = cfg.comm_time *. float_of_int transfers in
-      comm_total := !comm_total +. comm;
-      let duration = (work v /. cfg.speed client *. noise) +. comm in
-      busy.(client) <- busy.(client) +. duration;
-      (match sink with
-      | None -> ()
-      | Some tr ->
-        Trace.task_alloc tr ~time:!now ~task:v ~client;
-        Trace.task_start tr ~time:(!now +. comm) ~task:v ~client;
-        Trace.eligible_count tr ~time:!now ~count:!pool_size);
-      Heap.push events (!now +. duration) (client, v)
-    | None ->
-      if !allocated < n then begin
-        (* a genuine gridlock event: work remains but none is eligible *)
-        incr stalls;
-        (match meters with None -> () | Some mt -> Metrics.incr mt.m_stalls);
-        if Float.is_nan stalled_since.(client) then begin
-          stalled_since.(client) <- !now;
-          match sink with
-          | None -> ()
-          | Some tr -> Trace.client_stall tr ~time:!now ~client
-        end;
-        Queue.add client stalled
-      end
-      (* otherwise the computation is draining; the client simply retires *)
+        (* the depth the server chose from, before removing the pick *)
+        Metrics.observe mt.h_queue_depth
+          (float_of_int (Policy.Robust.size robust)));
+      match Policy.Robust.select robust with
+      | Some v -> launch client v
+      | None -> park client
+    end
+    else park client
   in
-  for client = 0 to cfg.n_clients - 1 do
-    allocate client
-  done;
-  while !completed < n do
-    match Heap.pop events with
-    | None -> assert false (* tasks outstanding but no events pending *)
-    | Some (t, (client, v)) ->
-      eligible_integral :=
-        !eligible_integral +. (float_of_int !pool_size *. (t -. !now));
-      now := t;
-      if
-        cfg.failure_probability > 0.0
-        && Random.State.float rng 1.0 < cfg.failure_probability
-      then begin
-        (* the client vanished with the task: put it back in the pool *)
-        incr failures;
-        decr allocated;
+  (* serve parked clients; they keep waiting (and keep their queue slot)
+     until the pool has work, but a stall period ends as soon as every
+     remaining task is in flight — nothing can appear until an event *)
+  let wake () =
+    let waiters = Queue.length waiting in
+    for _ = 1 to waiters do
+      let c = Queue.pop waiting in
+      if st.(c) = st_waiting then
+        if Policy.Robust.size robust > 0 then begin
+          if not (Float.is_nan stalled_since.(c)) then end_stall c;
+          st.(c) <- st_idle;
+          allocate c
+        end
+        else begin
+          if
+            n - !completed - !inflight <= 0
+            && not (Float.is_nan stalled_since.(c))
+          then end_stall c;
+          Queue.add c waiting
+        end
+    done
+  in
+  (* an attempt covers its task while it is still expected to deliver:
+     open and unresolved. A timed-out straggler still occupying its client
+     is open but presumed dead, so it must not suppress recovery. *)
+  let covered v =
+    List.exists
+      (fun id ->
+        let a = att id in
+        (not a.at_closed) && not a.at_resolved)
+      open_attempts.(v)
+  in
+  let schedule_retry v =
+    if
+      (not (Frontier.is_executed fr v))
+      && (not pending.(v))
+      && not (Policy.Robust.pooled robust v)
+    then begin
+      let k = retries_of.(v) in
+      if k >= rc.Recovery.max_retries then abort := Some (Retry_budget v)
+      else begin
+        retries_of.(v) <- k + 1;
+        incr retries;
+        (match meters with None -> () | Some mt -> Metrics.incr mt.m_retries);
         (match sink with
         | None -> ()
-        | Some tr -> Trace.task_fail tr ~time:t ~task:v ~client);
-        (match meters with None -> () | Some mt -> Metrics.incr mt.m_failed);
-        notify v;
+        | Some tr -> Trace.retry_scheduled tr ~time:!now ~task:v ~retry:k);
+        let d = Recovery.backoff rc ~task:v ~retry:k in
+        if d > 0.0 then begin
+          pending.(v) <- true;
+          Heap.push events (!now +. d) (Ev_retry v)
+        end
+        else begin
+          Policy.Robust.notify robust v;
+          trace_eligible ()
+        end
+      end
+    end
+  in
+  let handle_complete id =
+    let a = att id in
+    if not a.at_closed then begin
+      let c = a.at_client in
+      let v = a.at_task in
+      close_attempt id;
+      st.(c) <- st_idle;
+      (match meters with
+      | None -> ()
+      | Some mt -> Metrics.observe mt.h_latency (!now -. a.at_alloc));
+      let freed = ref [] in
+      if Frontier.is_executed fr v then begin
+        (* a replica of an already-finished task ran to term: discard *)
+        a.at_resolved <- true;
+        incr cancelled;
+        (match meters with None -> () | Some mt -> Metrics.incr mt.m_cancelled);
         match sink with
         | None -> ()
-        | Some tr -> Trace.eligible_count tr ~time:t ~count:!pool_size
+        | Some tr -> Trace.replica_cancelled tr ~time:!now ~task:v ~client:c
+      end
+      else if a.at_lost then begin
+        (* the result vanished in transit: the server stays unaware and
+           only the liveness timeout can recover the task *)
+        incr lost;
+        (match meters with None -> () | Some mt -> Metrics.incr mt.m_lost);
+        match sink with
+        | None -> ()
+        | Some tr -> Trace.task_fail tr ~time:!now ~task:v ~client:c
+      end
+      else if a.at_failed then begin
+        incr failures;
+        (match meters with None -> () | Some mt -> Metrics.incr mt.m_failed);
+        (match sink with
+        | None -> ()
+        | Some tr -> Trace.task_fail tr ~time:!now ~task:v ~client:c);
+        if not a.at_resolved then begin
+          a.at_resolved <- true;
+          (* an unresolved live replica covers the task; its own fate
+             (completion, failure, or timeout) will trigger recovery if
+             it too goes wrong *)
+          if not (covered v) then schedule_retry v
+        end
       end
       else begin
+        (* first result wins *)
+        a.at_resolved <- true;
         incr completed;
-        computed_by.(v) <- client;
+        computed_by.(v) <- c;
         completion_order := v :: !completion_order;
         (match sink with
         | None -> ()
-        | Some tr -> Trace.task_complete tr ~time:t ~task:v ~client);
+        | Some tr -> Trace.task_complete tr ~time:!now ~task:v ~client:c);
         (match meters with
         | None -> ()
         | Some mt ->
           Metrics.incr mt.m_completed;
-          Metrics.observe mt.h_latency (t -. alloc_time.(client)));
-        Frontier.execute fr ~on_promote:notify v;
-        match sink with
-        | None -> ()
-        | Some tr -> Trace.eligible_count tr ~time:t ~count:!pool_size
+          Metrics.observe mt.h_e2e (!now -. first_alloc.(v)));
+        if Policy.Robust.pooled robust v then Policy.Robust.withdraw robust v;
+        pending.(v) <- false;
+        Frontier.execute fr ~on_promote:(Policy.Robust.notify robust) v;
+        (* redundant replicas are cancelled, their clients freed *)
+        List.iter
+          (fun id' ->
+            if id' <> id then begin
+              let a' = att id' in
+              if not a'.at_closed then begin
+                close_attempt id';
+                a'.at_resolved <- true;
+                st.(a'.at_client) <- st_idle;
+                freed := a'.at_client :: !freed;
+                incr cancelled;
+                (match meters with
+                | None -> ()
+                | Some mt -> Metrics.incr mt.m_cancelled);
+                match sink with
+                | None -> ()
+                | Some tr ->
+                  Trace.replica_cancelled tr ~time:!now ~task:v
+                    ~client:a'.at_client
+              end
+            end)
+          open_attempts.(v);
+        open_attempts.(v) <- [];
+        trace_eligible ()
       end;
-      (* serve clients that were stalled first, then the freed client *)
-      let waiters = Queue.length stalled in
-      for _ = 1 to waiters do
-        let c = Queue.pop stalled in
-        if !pool_size > 0 then begin
-          end_stall c;
-          allocate c
-        end
-        else begin
-          (* still nothing for this client *)
-          if !allocated >= n then end_stall c else Queue.add c stalled
-        end
-      done;
-      allocate client
+      (* serve clients that were stalled first, then the freed ones *)
+      wake ();
+      allocate c;
+      List.iter allocate (List.rev !freed)
+    end
+  in
+  let handle_timeout id =
+    let a = att id in
+    let v = a.at_task in
+    if (not (Frontier.is_executed fr v)) && not a.at_resolved then begin
+      (* presumed lost; a late result may still arrive and win *)
+      a.at_resolved <- true;
+      incr timeouts;
+      (match meters with None -> () | Some mt -> Metrics.incr mt.m_timeouts);
+      (match sink with
+      | None -> ()
+      | Some tr -> Trace.timeout_fired tr ~time:!now ~task:v ~client:a.at_client);
+      if not (covered v) then schedule_retry v;
+      wake ()
+    end
+  in
+  let handle_spec id =
+    let a = att id in
+    let v = a.at_task in
+    if
+      (not a.at_closed)
+      && (not a.at_resolved)
+      && (not (Frontier.is_executed fr v))
+      && live.(v) < rc.Recovery.max_replicas
+      && (not (Policy.Robust.pooled robust v))
+      && not pending.(v)
+    then begin
+      incr speculations;
+      (match meters with None -> () | Some mt -> Metrics.incr mt.m_speculations);
+      (match sink with
+      | None -> ()
+      | Some tr -> Trace.speculative_launch tr ~time:!now ~task:v);
+      Policy.Robust.notify robust v;
+      trace_eligible ();
+      wake ()
+    end
+  in
+  let drop_client c ~transient =
+    (* whatever the client held dies with it; the server stays unaware
+       until a liveness timeout fires for the orphaned attempt *)
+    if st.(c) >= 0 then close_attempt st.(c);
+    if not (Float.is_nan stalled_since.(c)) then end_stall c;
+    st.(c) <- (if transient then st_offline else st_dead);
+    match sink with
+    | None -> ()
+    | Some tr -> Trace.client_crash tr ~time:!now ~client:c ~transient
+  in
+  let handle_crash c =
+    if st.(c) <> st_dead then begin
+      incr crashes;
+      (match meters with None -> () | Some mt -> Metrics.incr mt.m_crashes);
+      drop_client c ~transient:false
+    end
+  in
+  let handle_disconnect c =
+    if st.(c) <> st_dead && st.(c) <> st_offline then begin
+      incr disconnects;
+      (match meters with None -> () | Some mt -> Metrics.incr mt.m_disconnects);
+      drop_client c ~transient:true;
+      match Plan.disconnect plan ~client:c ~k:disc_k.(c) with
+      | Some (_, downtime) -> Heap.push events (!now +. downtime) (Ev_rejoin c)
+      | None -> ()
+    end
+  in
+  let handle_rejoin c =
+    if st.(c) = st_offline then begin
+      st.(c) <- st_idle;
+      (match sink with
+      | None -> ()
+      | Some tr -> Trace.client_rejoin tr ~time:!now ~client:c);
+      disc_k.(c) <- disc_k.(c) + 1;
+      (match Plan.disconnect plan ~client:c ~k:disc_k.(c) with
+      | Some (gap, _) -> Heap.push events (!now +. gap) (Ev_disconnect c)
+      | None -> ());
+      allocate c
+    end
+  in
+  let handle_retry_release v =
+    if pending.(v) then begin
+      pending.(v) <- false;
+      if
+        (not (Frontier.is_executed fr v))
+        && not (Policy.Robust.pooled robust v)
+      then begin
+        Policy.Robust.notify robust v;
+        trace_eligible ();
+        wake ()
+      end
+    end
+  in
+  (* schedule each client's fate, then hand out the initial work *)
+  for c = 0 to cfg.n_clients - 1 do
+    let tc = Plan.crash_time plan ~client:c in
+    if Float.is_finite tc then Heap.push events tc (Ev_crash c);
+    match Plan.disconnect plan ~client:c ~k:0 with
+    | Some (gap, _) -> Heap.push events gap (Ev_disconnect c)
+    | None -> ()
+  done;
+  for c = 0 to cfg.n_clients - 1 do
+    allocate c
+  done;
+  let deadline = rc.Recovery.deadline in
+  while !abort = None && !completed < n do
+    match Heap.pop events with
+    | None ->
+      (* no event can ever re-pool the remaining work: clean abort *)
+      abort := Some No_progress
+    | Some (t, ev) ->
+      if t > deadline then begin
+        eligible_integral :=
+          !eligible_integral
+          +. (float_of_int (Policy.Robust.size robust) *. (deadline -. !now));
+        now := deadline;
+        abort := Some Deadline
+      end
+      else begin
+        eligible_integral :=
+          !eligible_integral
+          +. (float_of_int (Policy.Robust.size robust) *. (t -. !now));
+        now := t;
+        match ev with
+        | Ev_complete id -> handle_complete id
+        | Ev_timeout id -> handle_timeout id
+        | Ev_spec id -> handle_spec id
+        | Ev_crash c -> handle_crash c
+        | Ev_disconnect c -> handle_disconnect c
+        | Ev_rejoin c -> handle_rejoin c
+        | Ev_retry v -> handle_retry_release v
+      end
+  done;
+  (* close stall periods that were still open when the run ended *)
+  for c = 0 to cfg.n_clients - 1 do
+    if not (Float.is_nan stalled_since.(c)) then end_stall c
+  done;
+  let unfinished = ref [] in
+  for v = n - 1 downto 0 do
+    if not (Frontier.is_executed fr v) then unfinished := v :: !unfinished
   done;
   let makespan = !now in
   let busy_time = Array.fold_left ( +. ) 0.0 busy in
@@ -244,6 +650,16 @@ let run ?sink ?metrics cfg policy ~workload g =
         (if makespan > 0.0 then !eligible_integral /. makespan else 0.0);
       allocation_order = List.rev !allocation_order;
       completion_order = List.rev !completion_order;
+      outcome =
+        (match !abort with None -> Finished | Some reason -> Aborted reason);
+      unfinished = !unfinished;
+      timeouts = !timeouts;
+      retries = !retries;
+      lost = !lost;
+      speculations = !speculations;
+      cancelled = !cancelled;
+      crashes = !crashes;
+      disconnects = !disconnects;
     }
   in
   (match metrics with
@@ -252,6 +668,9 @@ let run ?sink ?metrics cfg policy ~workload g =
     Metrics.set (Metrics.gauge m "sim.makespan") result.makespan;
     Metrics.set (Metrics.gauge m "sim.utilization") result.utilization;
     Metrics.set (Metrics.gauge m "sim.mean_eligible") result.mean_eligible;
+    Metrics.set
+      (Metrics.gauge m "sim.unfinished")
+      (float_of_int (List.length result.unfinished));
     Array.iteri
       (fun i b ->
         Metrics.set
@@ -261,10 +680,35 @@ let run ?sink ?metrics cfg policy ~workload g =
   (match sink with None -> () | Some _ -> Frontier.set_observer fr None);
   result
 
+let pp_outcome ppf = function
+  | Finished -> Format.pp_print_string ppf "finished"
+  | Aborted (Retry_budget v) ->
+    Format.fprintf ppf "aborted (retry budget exhausted on task %d)" v
+  | Aborted Deadline -> Format.pp_print_string ppf "aborted (deadline)"
+  | Aborted No_progress -> Format.pp_print_string ppf "aborted (no progress)"
+
 let pp_result ppf r =
+  Format.pp_open_vbox ppf 0;
   Format.fprintf ppf
-    "@[<v>makespan      %.3f@,utilization   %.1f%%@,stalls        %d@,\
+    "makespan      %.3f@,utilization   %.1f%%@,stalls        %d@,\
      stall time    %.3f@,failures      %d@,comm time     %.3f@,\
-     mean eligible %.2f@]"
+     mean eligible %.2f"
     r.makespan (100.0 *. r.utilization) r.stalls r.stall_time r.failures
-    r.comm_total r.mean_eligible
+    r.comm_total r.mean_eligible;
+  if
+    r.timeouts > 0 || r.retries > 0 || r.lost > 0 || r.speculations > 0
+    || r.cancelled > 0 || r.crashes > 0 || r.disconnects > 0
+  then
+    Format.fprintf ppf
+      "@,timeouts      %d@,retries       %d@,lost          %d@,\
+       speculations  %d@,cancelled     %d@,crashes       %d@,\
+       disconnects   %d"
+      r.timeouts r.retries r.lost r.speculations r.cancelled r.crashes
+      r.disconnects;
+  (match r.outcome with
+  | Finished -> ()
+  | Aborted _ ->
+    Format.fprintf ppf "@,outcome       %a@,unfinished    %d task(s)"
+      pp_outcome r.outcome
+      (List.length r.unfinished));
+  Format.pp_close_box ppf ()

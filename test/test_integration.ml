@@ -1,4 +1,4 @@
-(* End-to-end checks, one per experiment of DESIGN.md's index (E1..E16).
+(* End-to-end checks, one per experiment of DESIGN.md's index (E1..E18).
    Each asserts the headline claim the paper attaches to the corresponding
    figure or table. *)
 
@@ -180,7 +180,49 @@ let e16b_burst_service () =
       (F.Prefix_dag.dag 16, F.Prefix_dag.schedule 16);
     ]
 
-let e17_batched () =
+let e17_robustness () =
+  (* the robustness study runs every policy under every fault regime and
+     either finishes or degrades gracefully; the fault-free baseline
+     regime agrees with a plain simulation *)
+  let g = F.Mesh.out_mesh 10 in
+  let theory = F.Mesh.out_schedule 10 in
+  let config = Ic_sim.Simulator.config ~n_clients:6 ~seed:17 () in
+  let rows = Ic_sim.Assessment.robustness_study ~config g ~theory in
+  let regimes = List.length Ic_sim.Assessment.default_regimes in
+  check "one row per regime x policy" true
+    (List.length rows = regimes * 7);
+  List.iter
+    (fun (r : Ic_sim.Assessment.robustness_row) ->
+      let sim = r.Ic_sim.Assessment.sim in
+      let completed = List.length sim.Ic_sim.Simulator.completion_order in
+      match sim.Ic_sim.Simulator.outcome with
+      | Ic_sim.Simulator.Finished ->
+        if completed <> Ic_dag.Dag.n_nodes g then
+          Alcotest.failf "%s/%s: finished with %d of %d tasks"
+            r.Ic_sim.Assessment.regime r.Ic_sim.Assessment.policy completed
+            (Ic_dag.Dag.n_nodes g)
+      | Ic_sim.Simulator.Aborted _ ->
+        if completed + List.length sim.Ic_sim.Simulator.unfinished
+           <> Ic_dag.Dag.n_nodes g
+        then
+          Alcotest.failf "%s/%s: aborted rows must partition the dag"
+            r.Ic_sim.Assessment.regime r.Ic_sim.Assessment.policy)
+    rows;
+  (* fault-free regime = the plain simulator *)
+  let plain =
+    Ic_sim.Simulator.run config (Ic_heuristics.Policy.of_schedule "ic-optimal" theory)
+      ~workload:Ic_sim.Workload.unit g
+  in
+  match rows with
+  | first :: _ ->
+    check "baseline regime first" true
+      (first.Ic_sim.Assessment.regime = "baseline"
+      && first.Ic_sim.Assessment.policy = "ic-optimal");
+    check "baseline matches plain run" true
+      (first.Ic_sim.Assessment.sim = plain)
+  | [] -> Alcotest.fail "no rows"
+
+let e18_batched () =
   let module B = Ic_batch.Batched in
   (* lex optimum exists on a non-admitting dag and matches the pointwise
      optimum on an admitting one *)
@@ -232,7 +274,8 @@ let () =
           Alcotest.test_case "E15 matrix multiply (Fig 17)" `Quick e15_matmul;
           Alcotest.test_case "E16 simulation assessment" `Slow e16_assessment;
           Alcotest.test_case "E16b burst-request service" `Quick e16b_burst_service;
-          Alcotest.test_case "E17 batched scheduling" `Quick e17_batched;
+          Alcotest.test_case "E17 fault robustness" `Quick e17_robustness;
+          Alcotest.test_case "E18 batched scheduling" `Quick e18_batched;
           Alcotest.test_case "A2 automatic scheduler" `Quick a2_auto_scheduler;
         ] );
     ]

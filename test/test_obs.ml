@@ -76,7 +76,15 @@ let test_eligibility_timeline () =
 
 let test_kind_names () =
   check_str "alloc" "task_alloc" (Trace.kind_name Trace.Task_alloc);
-  check_str "eligible" "eligible_count" (Trace.kind_name Trace.Eligible_count)
+  check_str "eligible" "eligible_count" (Trace.kind_name Trace.Eligible_count);
+  check_str "timeout" "timeout_fired" (Trace.kind_name Trace.Timeout_fired);
+  check_str "retry" "retry_scheduled" (Trace.kind_name Trace.Retry_scheduled);
+  check_str "spec" "speculative_launch"
+    (Trace.kind_name Trace.Speculative_launch);
+  check_str "cancel" "replica_cancelled"
+    (Trace.kind_name Trace.Replica_cancelled);
+  check_str "crash" "client_crash" (Trace.kind_name Trace.Client_crash);
+  check_str "rejoin" "client_rejoin" (Trace.kind_name Trace.Client_rejoin)
 
 (* --- metrics registry --- *)
 
@@ -301,6 +309,57 @@ let test_eligibility_csv () =
       rows
   | [] -> Alcotest.fail "empty csv")
 
+let test_fault_events_export () =
+  (* a faulty run exports a valid chrome trace: instant markers for
+     crashes/timeouts/speculation, lost slices closed at the crash, and
+     byte-equal re-exports *)
+  let faulty_run () =
+    let g = Ic_families.Mesh.out_mesh 8 in
+    let cfg =
+      Sim.config ~n_clients:6 ~jitter:0.3 ~seed:31
+        ~faults:
+          (Ic_fault.Plan.make ~crash_rate:0.03 ~straggler_probability:0.3
+             ~straggler_factor:8.0 ())
+        ~recovery:
+          (Ic_fault.Recovery.make ~timeout_factor:3.0 ~detection_latency:0.25
+             ~backoff_base:0.1 ~backoff_jitter:0.5 ~speculation_factor:2.0 ())
+        ()
+    in
+    let tr = Trace.create () in
+    let r = Sim.run ~sink:tr cfg Policy.fifo ~workload:Ic_sim.Workload.unit g in
+    (r, tr, Exporter.chrome_trace tr)
+  in
+  let r, tr, json = faulty_run () in
+  check "faults fired" true (r.Sim.crashes > 0 || r.Sim.timeouts > 0);
+  let count k =
+    let n = ref 0 in
+    Trace.iter (fun e -> if e.Trace.kind = k then incr n) tr;
+    !n
+  in
+  check_int "crash events match result" r.Sim.crashes (count Trace.Client_crash);
+  check_int "timeout events match result" r.Sim.timeouts
+    (count Trace.Timeout_fired);
+  check_int "speculation events match result" r.Sim.speculations
+    (count Trace.Speculative_launch);
+  check_int "retry events match result" r.Sim.retries
+    (count Trace.Retry_scheduled);
+  (match Json.parse json with
+  | Error e -> Alcotest.fail ("faulty chrome trace invalid: " ^ e)
+  | Ok (Json.Array events) ->
+    let phase e = Option.bind (Json.member "ph" e) Json.to_string in
+    let name e = Option.bind (Json.member "name" e) Json.to_string in
+    let instants = List.filter (fun e -> phase e = Some "i") events in
+    check "instant markers present" true (instants <> []);
+    (if r.Sim.crashes > 0 then
+       check "crash marker present" true
+         (List.exists (fun e -> name e = Some "crash") instants));
+    if r.Sim.timeouts > 0 then
+      check "timeout marker present" true
+        (List.exists (fun e -> name e = Some "timeout") instants)
+  | Ok _ -> Alcotest.fail "faulty chrome trace must be a JSON array");
+  let _, _, json2 = faulty_run () in
+  check_str "byte-equal faulty export" json json2
+
 let test_metrics_from_simulation () =
   let g = Ic_families.Mesh.out_mesh 8 in
   let cfg = Sim.config ~n_clients:4 ~jitter:0.5 ~seed:9 () in
@@ -375,6 +434,8 @@ let () =
           Alcotest.test_case "deterministic byte-equal exports" `Quick
             test_determinism_byte_equal;
           Alcotest.test_case "eligibility csv" `Quick test_eligibility_csv;
+          Alcotest.test_case "fault events export" `Quick
+            test_fault_events_export;
         ] );
       ( "wiring",
         [

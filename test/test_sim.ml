@@ -287,6 +287,300 @@ let test_burst_sweep () =
   | [ a; b; c ] -> check "monotone" true (a >= b && b >= c)
   | _ -> Alcotest.fail "unexpected sweep shape"
 
+(* --- fault injection and recovery (Ic_fault) --- *)
+
+module Plan = Ic_fault.Plan
+module Recovery = Ic_fault.Recovery
+
+(* the run either finished with every task completed exactly once, or
+   aborted with [completed] and [unfinished] partitioning the dag *)
+let check_partition g (r : Sim.result) =
+  let n = Dag.n_nodes g in
+  let completed = List.sort compare r.Sim.completion_order in
+  check "completed exactly once" true
+    (List.length completed =
+       List.length (List.sort_uniq compare completed));
+  (match r.Sim.outcome with
+  | Sim.Finished ->
+    Alcotest.(check (list int)) "finished = permutation"
+      (List.init n Fun.id) completed;
+    Alcotest.(check (list int)) "finished has no leftovers" [] r.Sim.unfinished
+  | Sim.Aborted _ ->
+    check "aborted leaves work" true (r.Sim.unfinished <> []);
+    Alcotest.(check (list int)) "completed + unfinished = all tasks"
+      (List.init n Fun.id)
+      (List.sort compare (completed @ r.Sim.unfinished)));
+  check "unfinished ascending" true
+    (r.Sim.unfinished = List.sort compare r.Sim.unfinished)
+
+let test_fault_config_validation () =
+  (match Sim.config ~jitter:(-0.1) () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative jitter must be rejected");
+  (match Sim.config ~jitter:Float.nan () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "NaN jitter must be rejected");
+  (match run ~config:(Sim.config ~speed:(fun _ -> 0.0) ()) Policy.fifo mesh with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero speed must be rejected");
+  (match
+     run ~config:(Sim.config ~speed:(fun i -> if i = 2 then -1.0 else 1.0) ())
+       Policy.fifo mesh
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative speed must be rejected");
+  (match Plan.make ~crash_rate:(-0.1) () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative crash rate must be rejected");
+  (match Plan.make ~loss_probability:1.0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "loss probability 1 must be rejected");
+  (match Plan.make ~straggler_probability:0.5 ~straggler_factor:0.5 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "straggler factor < 1 must be rejected");
+  (match Recovery.make ~backoff_jitter:(-0.5) () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative backoff jitter must be rejected");
+  (match Recovery.make ~max_replicas:0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero replicas must be rejected");
+  check "none is none" true (Plan.is_none Plan.none);
+  check "crash plan is not none" false
+    (Plan.is_none (Plan.make ~crash_rate:0.1 ()))
+
+let test_crash_recovery () =
+  (* clients crash permanently; liveness timeouts re-release their tasks *)
+  let cfg =
+    Sim.config ~n_clients:8 ~seed:3
+      ~faults:(Plan.make ~crash_rate:0.04 ())
+      ~recovery:
+        (Recovery.make ~timeout_factor:3.0 ~detection_latency:0.25
+           ~backoff_base:0.1 ~backoff_jitter:0.5 ())
+      ()
+  in
+  let r = run ~config:cfg Policy.fifo mesh in
+  check_partition mesh r;
+  check "clients crashed" true (r.Sim.crashes > 0);
+  check "timeouts recovered the orphans" true
+    (r.Sim.crashes = 0 || r.Sim.timeouts > 0)
+
+let test_loss_needs_timeouts () =
+  (* silent loss with liveness timeouts disabled: the heap drains with
+     work remaining, and the run must abort cleanly instead of spinning *)
+  let faults = Plan.make ~loss_probability:0.4 ~seed:2 () in
+  let cfg = Sim.config ~n_clients:4 ~seed:2 ~faults () in
+  let r = run ~config:cfg Policy.fifo mesh in
+  check "lost results" true (r.Sim.lost > 0);
+  check "no timeouts configured" true (r.Sim.timeouts = 0);
+  (match r.Sim.outcome with
+  | Sim.Aborted Sim.No_progress -> ()
+  | _ -> Alcotest.fail "loss without timeouts must abort with no-progress");
+  check_partition mesh r;
+  (* the same plan with timeouts enabled finishes *)
+  let cfg =
+    Sim.config ~n_clients:4 ~seed:2 ~faults
+      ~recovery:(Recovery.make ~timeout_factor:3.0 ())
+      ()
+  in
+  let r = run ~config:cfg Policy.fifo mesh in
+  check "timeouts fired" true (r.Sim.timeouts > 0);
+  check_partition mesh r;
+  (match r.Sim.outcome with
+  | Sim.Finished -> ()
+  | _ -> Alcotest.fail "timeouts must recover every lost result")
+
+let test_speculation_dedup () =
+  (* stragglers trigger speculative replicas; first result wins and the
+     task still completes exactly once *)
+  let cfg =
+    Sim.config ~n_clients:6 ~seed:9
+      ~faults:
+        (Plan.make ~straggler_probability:0.4 ~straggler_factor:10.0 ())
+      ~recovery:(Recovery.make ~speculation_factor:1.5 ~max_replicas:2 ())
+      ()
+  in
+  let r = run ~config:cfg Policy.fifo mesh in
+  check_partition mesh r;
+  check "speculation happened" true (r.Sim.speculations > 0);
+  check "replicas are extra allocations" true
+    (List.length r.Sim.allocation_order
+    = Dag.n_nodes mesh + r.Sim.speculations);
+  check "cancellations bounded by replicas" true
+    (r.Sim.cancelled <= r.Sim.speculations);
+  (* speculation beats waiting out the stragglers *)
+  let slow =
+    run
+      ~config:
+        (Sim.config ~n_clients:6 ~seed:9
+           ~faults:
+             (Plan.make ~straggler_probability:0.4 ~straggler_factor:10.0 ())
+           ())
+      Policy.fifo mesh
+  in
+  check "speculation helps" true (r.Sim.makespan < slow.Sim.makespan)
+
+let test_retry_budget_abort () =
+  (* every attempt fails and the budget is tiny: graceful degradation *)
+  let cfg =
+    Sim.config ~n_clients:4 ~seed:5
+      ~faults:(Plan.make ~fail_probability:0.9 ())
+      ~recovery:(Recovery.make ~max_retries:2 ())
+      ()
+  in
+  let r = run ~config:cfg Policy.fifo mesh in
+  (match r.Sim.outcome with
+  | Sim.Aborted (Sim.Retry_budget _) -> ()
+  | _ -> Alcotest.fail "exhausted retries must abort");
+  check_partition mesh r;
+  check "partial progress possible" true
+    (List.length r.Sim.completion_order < Dag.n_nodes mesh)
+
+let test_deadline_abort () =
+  (* mesh-8 on two unit-speed clients needs >= 18 time units; a deadline
+     of 4 must cut it off with the descendant cone unfinished *)
+  let cfg =
+    Sim.config ~n_clients:2 ~jitter:0.0
+      ~recovery:(Recovery.make ~deadline:4.0 ())
+      ()
+  in
+  let r = run ~config:cfg Policy.fifo mesh in
+  (match r.Sim.outcome with
+  | Sim.Aborted Sim.Deadline -> ()
+  | _ -> Alcotest.fail "deadline must abort");
+  check_partition mesh r;
+  check "stopped near the deadline" true (r.Sim.makespan <= 4.0 +. 1e-9)
+
+let test_disconnect_rejoin () =
+  (* transient disconnects with rejoin: the run still finishes as long as
+     in-flight work is recovered by timeouts *)
+  let cfg =
+    Sim.config ~n_clients:4 ~seed:7
+      ~faults:(Plan.make ~disconnect_rate:0.08 ~mean_downtime:1.5 ())
+      ~recovery:(Recovery.make ~timeout_factor:3.0 ~detection_latency:0.25 ())
+      ()
+  in
+  let r = run ~config:cfg Policy.lifo mesh in
+  check_partition mesh r;
+  check "disconnects happened" true (r.Sim.disconnects > 0);
+  (match r.Sim.outcome with
+  | Sim.Finished -> ()
+  | _ -> Alcotest.fail "rejoining clients must finish the run")
+
+let test_fault_metrics () =
+  (* the metrics registry separates per-attempt latency from end-to-end
+     latency: attempts >= completions under retries/stragglers *)
+  let m = Ic_obs.Metrics.create () in
+  let cfg =
+    Sim.config ~n_clients:6 ~seed:13
+      ~faults:
+        (Plan.make ~straggler_probability:0.3 ~straggler_factor:6.0
+           ~fail_probability:0.2 ())
+      ~recovery:
+        (Recovery.make ~timeout_factor:4.0 ~speculation_factor:2.0
+           ~backoff_base:0.1 ~backoff_jitter:0.5 ())
+      ()
+  in
+  let r = Sim.run ~metrics:m cfg Policy.fifo ~workload:Workload.unit mesh in
+  check_partition mesh r;
+  let count name =
+    Ic_obs.Metrics.counter_value (Ic_obs.Metrics.counter m name)
+  in
+  (* re-registration requires the bucket bounds to match the simulator's *)
+  let hist name buckets =
+    Ic_obs.Metrics.histogram_count (Ic_obs.Metrics.histogram m name ~buckets)
+  in
+  let latency =
+    hist "sim.task_latency" [| 0.25; 0.5; 1.0; 2.0; 4.0; 8.0; 16.0; 32.0 |]
+  and e2e =
+    hist "sim.task_e2e_latency"
+      [| 0.5; 1.0; 2.0; 4.0; 8.0; 16.0; 32.0; 64.0; 128.0 |]
+  in
+  check_int "completed counter" (List.length r.Sim.completion_order)
+    (count "sim.tasks_completed");
+  check_int "e2e latency: one sample per completed task"
+    (List.length r.Sim.completion_order)
+    e2e;
+  check "attempt latency >= e2e samples" true (latency >= e2e);
+  check_int "retries counter" r.Sim.retries (count "sim.retries");
+  check_int "speculations counter" r.Sim.speculations
+    (count "sim.speculations")
+
+let test_fault_determinism () =
+  (* the acceptance bar: identical seeds => identical results, faults,
+     recovery and all *)
+  let cfg =
+    Sim.config ~n_clients:5 ~seed:21
+      ~faults:
+        (Plan.make ~crash_rate:0.02 ~straggler_probability:0.3
+           ~straggler_factor:8.0 ~loss_probability:0.15 ~fail_probability:0.1
+           ())
+      ~recovery:
+        (Recovery.make ~timeout_factor:3.0 ~detection_latency:0.25
+           ~backoff_base:0.1 ~backoff_jitter:0.5 ~speculation_factor:2.5 ())
+      ()
+  in
+  let a = run ~config:cfg Policy.max_out_degree mesh in
+  let b = run ~config:cfg Policy.max_out_degree mesh in
+  check "identical results" true (a = b);
+  (* and the traces agree event for event *)
+  let trace cfg =
+    let tr = Ic_obs.Trace.create () in
+    ignore (Sim.run ~sink:tr cfg Policy.fifo ~workload:Workload.unit mesh);
+    Ic_obs.Trace.to_array tr
+  in
+  check "identical traces" true (trace cfg = trace cfg)
+
+let harsh_faults =
+  Plan.make ~straggler_probability:0.3 ~straggler_factor:6.0
+    ~loss_probability:0.2 ~fail_probability:0.2 ()
+
+let harsh_recovery =
+  Recovery.make ~timeout_factor:3.0 ~detection_latency:0.25 ~backoff_base:0.1
+    ~backoff_jitter:0.5 ~speculation_factor:2.0 ()
+
+let prop_fault_tolerance_all_policies =
+  (* under crash-free but otherwise harsh fault plans (loss + stragglers +
+     reported failures) with timeouts and unbounded retries, every policy
+     completes every task exactly once, reproducibly *)
+  QCheck2.Test.make ~name:"fault tolerance across policies" ~count:25
+    QCheck2.Gen.(pair (int_range 1 30) (int_bound 10_000))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let g = Ic_dag.Gen.random_dag rng ~n ~arc_probability:0.2 in
+      let cfg =
+        Sim.config ~n_clients:3 ~jitter:0.3 ~seed ~faults:harsh_faults
+          ~recovery:harsh_recovery ()
+      in
+      List.for_all
+        (fun policy ->
+          let r = Sim.run cfg policy ~workload:Workload.unit g in
+          let again = Sim.run cfg policy ~workload:Workload.unit g in
+          r.Sim.outcome = Sim.Finished
+          && List.sort compare r.Sim.completion_order = List.init n Fun.id
+          && r = again)
+        Policy.baselines)
+
+let prop_crash_partition =
+  (* add permanent crashes: the run either finishes or aborts cleanly,
+     and completed + unfinished always partition the dag *)
+  QCheck2.Test.make ~name:"crashes finish or abort cleanly" ~count:25
+    QCheck2.Gen.(pair (int_range 1 30) (int_bound 10_000))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let g = Ic_dag.Gen.random_dag rng ~n ~arc_probability:0.2 in
+      let cfg =
+        Sim.config ~n_clients:3 ~jitter:0.3 ~seed
+          ~faults:
+            (Plan.make ~crash_rate:0.05 ~straggler_probability:0.3
+               ~straggler_factor:6.0 ~loss_probability:0.2 ())
+          ~recovery:harsh_recovery ()
+      in
+      let r = Sim.run cfg Policy.fifo ~workload:Workload.unit g in
+      let completed = List.sort compare r.Sim.completion_order in
+      List.length completed = List.length (List.sort_uniq compare completed)
+      && List.sort compare (completed @ r.Sim.unfinished) = List.init n Fun.id
+      && (r.Sim.outcome <> Sim.Finished || r.Sim.unfinished = []))
+
 let prop_sim_valid_on_random_dags =
   QCheck2.Test.make ~name:"sim invariants on random dags" ~count:40
     QCheck2.Gen.(pair (int_range 1 40) (int_bound 10_000))
@@ -338,6 +632,27 @@ let () =
           Alcotest.test_case "sweep" `Quick test_burst_sweep;
           Alcotest.test_case "edge cases" `Quick test_burst_edge_cases;
         ] );
+      ( "fault injection",
+        [
+          Alcotest.test_case "config validation" `Quick
+            test_fault_config_validation;
+          Alcotest.test_case "crash recovery" `Quick test_crash_recovery;
+          Alcotest.test_case "loss needs timeouts" `Quick
+            test_loss_needs_timeouts;
+          Alcotest.test_case "speculation dedup" `Quick test_speculation_dedup;
+          Alcotest.test_case "retry budget abort" `Quick test_retry_budget_abort;
+          Alcotest.test_case "deadline abort" `Quick test_deadline_abort;
+          Alcotest.test_case "disconnect and rejoin" `Quick
+            test_disconnect_rejoin;
+          Alcotest.test_case "fault metrics" `Quick test_fault_metrics;
+          Alcotest.test_case "seeded fault determinism" `Quick
+            test_fault_determinism;
+        ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest [ prop_sim_valid_on_random_dags ] );
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_sim_valid_on_random_dags;
+            prop_fault_tolerance_all_policies;
+            prop_crash_partition;
+          ] );
     ]
