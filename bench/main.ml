@@ -1,29 +1,42 @@
 (* Bechamel timing benches: one Test.make per table/figure of the paper
    (the per-experiment index of DESIGN.md), all in one executable.
 
-   dune exec bench/main.exe -- [--group default|large|all] [--quick]
-                               [--json-out FILE]
+   dune exec bench/main.exe --
+     [--group default|large|fault|prof|gate|all] [--quick] [--repeat K]
+     [--json-out FILE] [--compare BASELINE.json] [--threshold METRIC=TAU]
+     [--profile] [--profile-out FILE] [--flame-out FILE]
 
    The [large] group leaves Bechamel behind: million-node dags are built
    and profiled once (or a handful of times) under a plain wall-clock /
    Gc.allocated_bytes / VmHWM harness, and every bench emits a one-line
-   JSON record (to stdout, and to --json-out when given). *)
+   JSON record to stdout; --json-out collects the run's records into a
+   single valid JSON array. [gate] is the CI perf-gate selection
+   (large + fault + prof); --repeat runs it K times so --compare can fold
+   min-of-k, and --compare exits non-zero when a gated metric regresses
+   past its relative threshold against the committed baseline. *)
 
 open Bechamel
 open Toolkit
 module F = Ic_families
 module G = Ic_granularity
+module Baseline = Ic_prof.Baseline
 
 let stage = Staged.stage
 
 (* ---------------------------------------------------------------- CLI -- *)
 
-type group = Default | Large | Fault | All
+type group = Default | Large | Fault | Prof | Gate | All
 
 let group = ref Default
 let quick = ref false
+let repeat = ref 1
 let json_out : string option ref = ref None
 let trace_out : string option ref = ref None
+let compare_with : string option ref = ref None
+let thresholds = ref Baseline.default_thresholds
+let profile = ref false
+let profile_out : string option ref = ref None
+let flame_out : string option ref = ref None
 
 let parse_args () =
   let rec go = function
@@ -31,11 +44,51 @@ let parse_args () =
     | "--quick" :: rest ->
       quick := true;
       go rest
+    | "--repeat" :: k :: rest ->
+      (match int_of_string_opt k with
+      | Some k when k >= 1 -> repeat := k
+      | _ ->
+        prerr_endline ("bad --repeat " ^ k);
+        exit 2);
+      go rest
     | "--json-out" :: file :: rest ->
       json_out := Some file;
       go rest
     | "--trace-out" :: file :: rest ->
       trace_out := Some file;
+      go rest
+    | "--compare" :: file :: rest ->
+      compare_with := Some file;
+      go rest
+    | "--threshold" :: spec :: rest ->
+      (match String.index_opt spec '=' with
+      | Some i ->
+        let metric = String.sub spec 0 i in
+        let tau =
+          String.sub spec (i + 1) (String.length spec - i - 1)
+          |> float_of_string_opt
+        in
+        (match tau with
+        | Some tau when Float.is_finite tau && tau >= 0.0 ->
+          thresholds :=
+            (metric, tau) :: List.remove_assoc metric !thresholds
+        | _ ->
+          prerr_endline ("bad --threshold " ^ spec);
+          exit 2)
+      | None ->
+        prerr_endline ("bad --threshold " ^ spec ^ " (want METRIC=TAU)");
+        exit 2);
+      go rest
+    | "--profile" :: rest ->
+      profile := true;
+      go rest
+    | "--profile-out" :: file :: rest ->
+      profile := true;
+      profile_out := Some file;
+      go rest
+    | "--flame-out" :: file :: rest ->
+      profile := true;
+      flame_out := Some file;
       go rest
     | "--group" :: g :: rest ->
       (group :=
@@ -43,9 +96,12 @@ let parse_args () =
          | "default" -> Default
          | "large" -> Large
          | "fault" -> Fault
+         | "prof" -> Prof
+         | "gate" -> Gate
          | "all" -> All
          | _ ->
-           prerr_endline ("unknown group " ^ g ^ " (default|large|fault|all)");
+           prerr_endline
+             ("unknown group " ^ g ^ " (default|large|fault|prof|gate|all)");
            exit 2);
       go rest
     | arg :: _ ->
@@ -54,15 +110,22 @@ let parse_args () =
   in
   go (List.tl (Array.to_list Sys.argv))
 
+(* every record is printed as it lands and collected so --json-out can
+   write one valid JSON array at the end (one object per line was not
+   parseable as a .json document) *)
+let records : string list ref = ref []
+
 let emit_json line =
   print_endline line;
-  match !json_out with
-  | None -> ()
-  | Some file ->
-    let oc = open_out_gen [ Open_append; Open_creat ] 0o644 file in
-    output_string oc line;
-    output_char oc '\n';
-    close_out oc
+  records := line :: !records
+
+let records_document () =
+  "[\n  " ^ String.concat ",\n  " (List.rev !records) ^ "\n]\n"
+
+let write_json_array file =
+  let oc = open_out file in
+  output_string oc (records_document ());
+  close_out oc
 
 (* E1 / Fig 1: building and scheduling the whole block repertoire *)
 let fig1_blocks =
@@ -321,12 +384,17 @@ let time_it ?(min_runs = 1) f =
   ( !total /. float_of_int !runs,
     (a1 -. a0 -. (56.0 *. float_of_int !runs)) /. float_of_int !runs )
 
+(* names and phases are emitted through Ic_obs.Json.quote, so a hostile
+   bench name (quotes, control characters) cannot produce invalid JSON *)
+let current_phase = ref "large"
+
 let large_record ~name ~n_nodes ~n_arcs ~seconds ~alloc_bytes =
   emit_json
     (Printf.sprintf
-       "{\"bench\": %S, \"n_nodes\": %d, \"n_arcs\": %d, \"time_ms\": %.3f, \
-        \"allocated_mb\": %.3f, \"max_rss_kb\": %d}"
-       name n_nodes n_arcs (1e3 *. seconds)
+       "{\"phase\": %s, \"bench\": %s, \"n_nodes\": %d, \"n_arcs\": %d, \
+        \"time_ms\": %.3f, \"allocated_mb\": %.3f, \"max_rss_kb\": %d}"
+       (Ic_obs.Json.quote !current_phase)
+       (Ic_obs.Json.quote name) n_nodes n_arcs (1e3 *. seconds)
        (alloc_bytes /. 1048576.0)
        (max_rss_kb ()))
 
@@ -342,6 +410,7 @@ let large_profile name g s ~min_runs =
     ~n_arcs:(Ic_dag.Dag.n_arcs g) ~seconds ~alloc_bytes:alloc
 
 let run_large () =
+  current_phase := "large";
   let mesh_levels = if !quick then 256 else 1024 in
   let butterfly_dim = if !quick then 10 else 16 in
   let prefix_inputs = if !quick then 1 lsl 12 else 1 lsl 18 in
@@ -374,6 +443,7 @@ let run_large () =
    speculation events that fire as guarded no-ops), and a genuinely
    crashy/straggly run for scale. *)
 let run_fault () =
+  current_phase := "fault";
   let g = F.Mesh.out_mesh 20 in
   let theory = F.Mesh.out_schedule 20 in
   let policy = Ic_heuristics.Policy.of_schedule "ic-optimal" theory in
@@ -405,6 +475,62 @@ let run_fault () =
          (Ic_fault.Recovery.make ~timeout_factor:4.0 ~detection_latency:0.25
             ~backoff_base:0.1 ~backoff_jitter:0.5 ~speculation_factor:2.0 ())
        ())
+
+(* -------------------------------------------------- the [prof] group -- *)
+
+(* The acceptance measurement for the self-profiler's disabled path:
+   [Frontier.profile] (instrumented, profiling off) against
+   [Frontier.profile_raw] (the identical loop with no instrumentation) on
+   the mesh-256 replay, plus the full create/execute replay whose inner
+   loop carries an enter/leave pair per executed node. Each number is the
+   best of 3 batches of >= 20 runs, so scheduler noise has three chances
+   to get out of the way; the derived overhead_pct record is what DESIGN.md
+   quotes and what the perf JSON tracks over time. *)
+let run_prof () =
+  current_phase := "prof";
+  let g = F.Mesh.out_mesh 256 in
+  let s = F.Mesh.out_schedule 256 in
+  let order = Ic_dag.Schedule.order s in
+  let best f =
+    let rec go k t a =
+      if k = 0 then (t, a)
+      else
+        let t', a' = time_it ~min_runs:20 f in
+        go (k - 1) (Float.min t t') (Float.min a a')
+    in
+    go 3 infinity infinity
+  in
+  let record name (seconds, alloc) =
+    large_record ~name ~n_nodes:(Ic_dag.Dag.n_nodes g)
+      ~n_arcs:(Ic_dag.Dag.n_arcs g) ~seconds ~alloc_bytes:alloc
+  in
+  let was_on = Ic_prof.Span.enabled () in
+  Ic_prof.Span.disable ();
+  let raw_t, raw_a = best (fun () -> Ic_dag.Frontier.profile_raw g ~order) in
+  let off_t, off_a = best (fun () -> Ic_dag.Frontier.profile g ~order) in
+  let replay () =
+    let fr = Ic_dag.Frontier.create g in
+    Array.iter (Ic_dag.Frontier.execute fr) order
+  in
+  let replay_off = best replay in
+  Ic_prof.Span.enable ();
+  let on = best (fun () -> Ic_dag.Frontier.profile g ~order) in
+  let replay_on = best replay in
+  if not was_on then Ic_prof.Span.disable ();
+  record "prof_profile_raw_mesh256" (raw_t, raw_a);
+  record "prof_profile_off_mesh256" (off_t, off_a);
+  record "prof_profile_on_mesh256" on;
+  record "prof_replay_off_mesh256" replay_off;
+  record "prof_replay_on_mesh256" replay_on;
+  let pct later earlier =
+    if earlier > 0.0 then 100.0 *. (later -. earlier) /. earlier else 0.0
+  in
+  emit_json
+    (Printf.sprintf
+       "{\"phase\": \"prof\", \"bench\": \"prof_disabled_overhead\", \
+        \"overhead_pct\": %.2f, \"alloc_delta_mb\": %.4f}"
+       (pct off_t raw_t)
+       ((off_a -. raw_a) /. 1048576.0))
 
 (* ----------------------------------------------- the [default] group -- *)
 
@@ -460,6 +586,7 @@ let run_default () =
 (* --trace-out FILE: one traced run of the E16 assessment workload through
    the Ic_obs subsystem, exported as a Chrome trace next to the bench JSON *)
 let run_trace file =
+  current_phase := "trace";
   let g = F.Mesh.out_mesh 20 in
   let theory = F.Mesh.out_schedule 20 in
   let config = Ic_sim.Simulator.config ~n_clients:6 ~jitter:0.5 () in
@@ -468,23 +595,88 @@ let run_trace file =
     (Ic_sim.Simulator.run ~sink:trace config
        (Ic_heuristics.Policy.of_schedule "ic-optimal" theory)
        ~workload:Ic_sim.Workload.unit g);
+  (* the obs-export span lives at the call site: Ic_obs cannot depend on
+     Ic_prof (Ic_prof reads JSON through Ic_obs.Json) *)
+  let dump =
+    Ic_prof.Span.time "obs.chrome_export" (fun () ->
+        Ic_obs.Exporter.chrome_trace ~process_name:"bench sim_assessment"
+          ~label:(Ic_dag.Dag.label g) trace)
+  in
   let oc = open_out file in
-  output_string oc
-    (Ic_obs.Exporter.chrome_trace ~process_name:"bench sim_assessment"
-       ~label:(Ic_dag.Dag.label g) trace);
+  output_string oc dump;
   close_out oc;
   emit_json
-    (Printf.sprintf "{\"bench\": \"trace_sim_assessment\", \"events\": %d, \"trace_out\": %S}"
-       (Ic_obs.Trace.length trace) file)
+    (Printf.sprintf
+       "{\"phase\": \"trace\", \"bench\": \"trace_sim_assessment\", \
+        \"events\": %d, \"trace_out\": %s}"
+       (Ic_obs.Trace.length trace)
+       (Ic_obs.Json.quote file))
+
+(* ------------------------------------------------- report + compare -- *)
+
+let dump_profile () =
+  let infos = Ic_prof.Span.capture () in
+  (* the span table goes to stderr: stdout carries the JSON records *)
+  prerr_string (Ic_prof.Report.to_text infos);
+  (match !profile_out with
+  | None -> ()
+  | Some file ->
+    let oc = open_out file in
+    output_string oc (Ic_prof.Report.to_json infos);
+    close_out oc);
+  match !flame_out with
+  | None -> ()
+  | Some file ->
+    let oc = open_out file in
+    output_string oc (Ic_prof.Report.to_collapsed infos);
+    close_out oc
+
+let run_compare file =
+  match Baseline.load_file file with
+  | Error e ->
+    Printf.eprintf "cannot load baseline %s: %s\n" file e;
+    exit 2
+  | Ok baseline -> (
+    match Baseline.load_string (records_document ()) with
+    | Error e ->
+      Printf.eprintf "cannot parse this run's records: %s\n" e;
+      exit 2
+    | Ok current ->
+      let comparisons =
+        Baseline.compare_runs ~thresholds:!thresholds ~baseline ~current ()
+        |> List.filter (fun c -> c.Baseline.threshold <> None)
+      in
+      Baseline.pp_comparisons stderr comparisons;
+      if Baseline.regressed comparisons then begin
+        prerr_endline "perf gate: REGRESSED";
+        exit 1
+      end
+      else prerr_endline "perf gate: ok")
 
 let () =
   parse_args ();
-  (match !group with
-  | Default -> run_default ()
-  | Large -> run_large ()
-  | Fault -> run_fault ()
-  | All ->
-    run_default ();
-    run_large ();
-    run_fault ());
-  Option.iter run_trace !trace_out
+  if !profile && !compare_with <> None then
+    prerr_endline
+      "warning: --profile skews the timings --compare gates on; run the \
+       gate un-profiled";
+  if !profile then Ic_prof.Span.enable ();
+  for _ = 1 to !repeat do
+    match !group with
+    | Default -> run_default ()
+    | Large -> run_large ()
+    | Fault -> run_fault ()
+    | Prof -> run_prof ()
+    | Gate ->
+      run_large ();
+      run_fault ();
+      run_prof ()
+    | All ->
+      run_default ();
+      run_large ();
+      run_fault ();
+      run_prof ()
+  done;
+  Option.iter run_trace !trace_out;
+  Option.iter write_json_array !json_out;
+  if !profile then dump_profile ();
+  Option.iter run_compare !compare_with

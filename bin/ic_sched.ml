@@ -52,6 +52,71 @@ let policy_conv =
   in
   Arg.conv (parse, print)
 
+(* --- self-profiling flags, shared by every heavy subcommand --- *)
+
+type prof = {
+  prof_on : bool;
+  prof_out : string option;
+  prof_flame : string option;
+}
+
+let prof_term =
+  let on =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Record wall-clock/allocation spans over the library's hot paths \
+             and print the span tree to stderr on exit")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "profile-out" ] ~docv:"FILE"
+          ~doc:"Write the span tree as JSON to FILE (implies --profile)")
+  in
+  let flame =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flame-out" ] ~docv:"FILE"
+          ~doc:
+            "Write collapsed stacks to FILE for flamegraph.pl or speedscope \
+             (implies --profile)")
+  in
+  let build prof_on prof_out prof_flame =
+    {
+      prof_on = prof_on || prof_out <> None || prof_flame <> None;
+      prof_out;
+      prof_flame;
+    }
+  in
+  Term.(const build $ on $ out $ flame)
+
+let prof_write file contents =
+  let oc = open_out file in
+  output_string oc contents;
+  close_out oc
+
+(* the report is flushed from at_exit so it also survives the exit 1 paths
+   (a failed verification still gets its profile) *)
+let with_prof p f =
+  if p.prof_on then begin
+    Ic_prof.Span.enable ();
+    at_exit (fun () ->
+        Ic_prof.Span.disable ();
+        let infos = Ic_prof.Span.capture () in
+        prerr_string (Ic_prof.Report.to_text infos);
+        Option.iter
+          (fun file -> prof_write file (Ic_prof.Report.to_json infos))
+          p.prof_out;
+        Option.iter
+          (fun file -> prof_write file (Ic_prof.Report.to_collapsed infos))
+          p.prof_flame)
+  end;
+  f ()
+
 (* --- info --- *)
 
 let info_cmd =
@@ -80,7 +145,8 @@ let dot_cmd =
 (* --- schedule --- *)
 
 let schedule_cmd =
-  let run (f : Ic_cli.Family_spec.t) =
+  let run (f : Ic_cli.Family_spec.t) prof =
+    with_prof prof @@ fun () ->
     Format.printf "%s@." f.description;
     Format.printf "schedule: %a@." (Schedule.pp f.dag) f.schedule;
     Format.printf "eligibility profile: %a@." Profile.pp (Profile.run f.dag f.schedule)
@@ -88,7 +154,7 @@ let schedule_cmd =
   Cmd.v
     (Cmd.info "schedule"
        ~doc:"Print the family's constructive IC-optimal schedule and its profile")
-    Term.(const run $ family_pos)
+    Term.(const run $ family_pos $ prof_term)
 
 (* --- verify --- *)
 
@@ -96,7 +162,8 @@ let verify_cmd =
   let max_ideals =
     Arg.(value & opt int 2_000_000 & info [ "max-ideals" ] ~doc:"Ideal-enumeration budget")
   in
-  let run (f : Ic_cli.Family_spec.t) max_ideals =
+  let run (f : Ic_cli.Family_spec.t) max_ideals prof =
+    with_prof prof @@ fun () ->
     match Optimal.analyze ~max_ideals f.dag with
     | Error (`Too_large k) ->
       Format.printf
@@ -122,7 +189,7 @@ let verify_cmd =
   Cmd.v
     (Cmd.info "verify"
        ~doc:"Check the constructive schedule against the brute-force optimum")
-    Term.(const run $ family_pos $ max_ideals)
+    Term.(const run $ family_pos $ max_ideals $ prof_term)
 
 (* --- simulate --- *)
 
@@ -280,7 +347,9 @@ let simulate_cmd =
       & opt policy_conv None
       & info [ "policy" ] ~doc:"Allocation policy (default: ic-optimal)")
   in
-  let run (f : Ic_cli.Family_spec.t) clients jitter seed policy faults recovery =
+  let run (f : Ic_cli.Family_spec.t) clients jitter seed policy faults recovery
+      prof =
+    with_prof prof @@ fun () ->
     let policy =
       match policy with
       | Some p -> p
@@ -298,12 +367,13 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Run the Internet-computing simulator on a family")
     Term.(
       const run $ family_pos $ clients_arg $ jitter_arg $ seed_arg $ policy_arg
-      $ plan_term $ recovery_term)
+      $ plan_term $ recovery_term $ prof_term)
 
 (* --- compare --- *)
 
 let compare_cmd =
-  let run (f : Ic_cli.Family_spec.t) clients jitter seed =
+  let run (f : Ic_cli.Family_spec.t) clients jitter seed prof =
+    with_prof prof @@ fun () ->
     let config = Ic_sim.Simulator.config ~n_clients:clients ~jitter ~seed () in
     Format.printf "%s, %d clients:@." f.description clients;
     Ic_sim.Assessment.pp_rows Format.std_formatter
@@ -312,7 +382,8 @@ let compare_cmd =
   Cmd.v
     (Cmd.info "compare"
        ~doc:"Compare the IC-optimal policy against every baseline heuristic")
-    Term.(const run $ family_pos $ clients_arg $ jitter_arg $ seed_arg)
+    Term.(const run $ family_pos $ clients_arg $ jitter_arg $ seed_arg
+      $ prof_term)
 
 (* --- trace --- *)
 
@@ -365,7 +436,8 @@ let trace_cmd =
     close_out oc
   in
   let run family n clients jitter seed policy out csv metrics metrics_out
-      faults recovery =
+      faults recovery prof =
+    with_prof prof @@ fun () ->
     let spec =
       match n with Some n -> Printf.sprintf "%s:%d" family n | None -> family
     in
@@ -417,7 +489,7 @@ let trace_cmd =
     Term.(
       const run $ family_arg $ n_arg $ clients_arg $ jitter_arg $ seed_arg
       $ policy_arg $ out_arg $ csv_arg $ metrics_arg $ metrics_out_arg
-      $ plan_term $ recovery_term)
+      $ plan_term $ recovery_term $ prof_term)
 
 (* --- batch --- *)
 
@@ -428,7 +500,8 @@ let batch_cmd =
   let exact_arg =
     Arg.(value & flag & info [ "exact" ] ~doc:"Use the exact (exponential) DP")
   in
-  let run (f : Ic_cli.Family_spec.t) size exact =
+  let run (f : Ic_cli.Family_spec.t) size exact prof =
+    with_prof prof @@ fun () ->
     let module B = Ic_batch.Batched in
     let t =
       if exact then
@@ -451,7 +524,7 @@ let batch_cmd =
   Cmd.v
     (Cmd.info "batch"
        ~doc:"Produce a batched schedule (the [20]-style regimen; see Ic_batch)")
-    Term.(const run $ family_pos $ size_arg $ exact_arg)
+    Term.(const run $ family_pos $ size_arg $ exact_arg $ prof_term)
 
 (* --- auto --- *)
 

@@ -10,7 +10,10 @@ type t = {
 exception Too_large of int
 exception Invalid
 
+module Span = Ic_prof.Span
+
 let profile g t =
+  Span.time "batched.profile" @@ fun () ->
   let fr = Frontier.create g in
   let out = Array.make (List.length t.batches + 1) 0 in
   out.(0) <- Frontier.count fr;
@@ -62,6 +65,7 @@ let to_schedule g t =
 
 let greedy g ~batch_size =
   if batch_size < 1 then invalid_arg "Batched.greedy: batch size must be positive";
+  Span.time "batched.greedy" @@ fun () ->
   let n = Dag.n_nodes g in
   let fr = Frontier.create g in
   let in_batch = Array.make n false in
@@ -113,6 +117,7 @@ let greedy g ~batch_size =
 (* lexicographic optimum by levelled DP over ideals *)
 let optimal ?(max_ideals = 2_000_000) g ~batch_size =
   if batch_size < 1 then invalid_arg "Batched.optimal: batch size must be positive";
+  Span.time "batched.optimal" @@ fun () ->
   let n = Dag.n_nodes g in
   if n > 61 then Error (`Too_large n)
   else begin

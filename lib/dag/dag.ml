@@ -201,6 +201,7 @@ module Builder = struct
      Duplicates are adjacent after pass 2; acyclicity is Kahn's algorithm
      over the finished successor CSR. *)
   let build b =
+    Ic_prof.Span.time "dag.build" @@ fun () ->
     let n = b.n and m = b.m in
     if n < 0 then Error "negative node count"
     else
@@ -212,11 +213,12 @@ module Builder = struct
       | _ ->
         let us = b.us and vs = b.vs in
         let bad_endpoint = ref (-1) and self_loop = ref (-1) in
-        for i = m - 1 downto 0 do
-          let u = us.(i) and v = vs.(i) in
-          if u < 0 || u >= n || v < 0 || v >= n then bad_endpoint := i
-          else if u = v then self_loop := i
-        done;
+        Ic_prof.Span.time "dag.build.validate" (fun () ->
+            for i = m - 1 downto 0 do
+              let u = us.(i) and v = vs.(i) in
+              if u < 0 || u >= n || v < 0 || v >= n then bad_endpoint := i
+              else if u = v then self_loop := i
+            done);
         if !bad_endpoint >= 0 then
           let i = !bad_endpoint in
           Error
@@ -235,26 +237,27 @@ module Builder = struct
             soff.(v + 1) <- soff.(v + 1) + soff.(v);
             poff.(v + 1) <- poff.(v + 1) + poff.(v)
           done;
-          (* pass 1: arcs stably sorted by target *)
           let u1 = Array.make m 0 and v1 = Array.make m 0 in
           let fill = Array.make n 0 in
-          Array.blit poff 0 fill 0 n;
-          for i = 0 to m - 1 do
-            let v = Array.unsafe_get vs i in
-            let p = Array.unsafe_get fill v in
-            Array.unsafe_set fill v (p + 1);
-            Array.unsafe_set u1 p (Array.unsafe_get us i);
-            Array.unsafe_set v1 p v
-          done;
-          (* pass 2: stably re-sorted by source — [sdat] rows ascending *)
           let sdat = Array.make m 0 in
-          Array.blit soff 0 fill 0 n;
-          for i = 0 to m - 1 do
-            let u = Array.unsafe_get u1 i in
-            let p = Array.unsafe_get fill u in
-            Array.unsafe_set fill u (p + 1);
-            Array.unsafe_set sdat p (Array.unsafe_get v1 i)
-          done;
+          Ic_prof.Span.time "dag.build.sort" (fun () ->
+              (* pass 1: arcs stably sorted by target *)
+              Array.blit poff 0 fill 0 n;
+              for i = 0 to m - 1 do
+                let v = Array.unsafe_get vs i in
+                let p = Array.unsafe_get fill v in
+                Array.unsafe_set fill v (p + 1);
+                Array.unsafe_set u1 p (Array.unsafe_get us i);
+                Array.unsafe_set v1 p v
+              done;
+              (* pass 2: stably re-sorted by source — [sdat] rows ascending *)
+              Array.blit soff 0 fill 0 n;
+              for i = 0 to m - 1 do
+                let u = Array.unsafe_get u1 i in
+                let p = Array.unsafe_get fill u in
+                Array.unsafe_set fill u (p + 1);
+                Array.unsafe_set sdat p (Array.unsafe_get v1 i)
+              done);
           (* duplicates are now adjacent within a row *)
           let dup = ref (-1) in
           for u = n - 1 downto 0 do
@@ -277,17 +280,21 @@ module Builder = struct
           else begin
             (* pass 3: scatter the lex-ordered arcs by target *)
             let pdat = Array.make m 0 in
-            Array.blit poff 0 fill 0 n;
-            for u = 0 to n - 1 do
-              for i = soff.(u) to soff.(u + 1) - 1 do
-                let v = Array.unsafe_get sdat i in
-                let p = Array.unsafe_get fill v in
-                Array.unsafe_set fill v (p + 1);
-                Array.unsafe_set pdat p u
-              done
-            done;
+            Ic_prof.Span.time "dag.build.scatter" (fun () ->
+                Array.blit poff 0 fill 0 n;
+                for u = 0 to n - 1 do
+                  for i = soff.(u) to soff.(u + 1) - 1 do
+                    let v = Array.unsafe_get sdat i in
+                    let p = Array.unsafe_get fill v in
+                    Array.unsafe_set fill v (p + 1);
+                    Array.unsafe_set pdat p u
+                  done
+                done);
             let indeg = Array.init n (fun v -> poff.(v + 1) - poff.(v)) in
-            match topological_order_csr ~n ~soff ~sdat ~indeg with
+            match
+              Ic_prof.Span.time "dag.build.acyclic" (fun () ->
+                  topological_order_csr ~n ~soff ~sdat ~indeg)
+            with
             | None -> Error "graph has a cycle"
             | Some _ ->
               let n_sources = ref 0 in

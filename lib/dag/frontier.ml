@@ -62,6 +62,7 @@ let make_state g remaining pool count n_executed =
 let set_observer t o = t.observer <- o
 
 let create g =
+  Ic_prof.Span.enter "frontier.create";
   let n = Dag.n_nodes g in
   let remaining = Dag.in_degrees g in
   let pool = Array.make n 0 in
@@ -75,6 +76,7 @@ let create g =
     end
   done;
   t.count <- !count;
+  Ic_prof.Span.leave ();
   t
 
 let of_set g ~executed =
@@ -130,6 +132,7 @@ let execute ?on_promote t v =
          if t.remaining.(v) < 0 then "Frontier.execute: node already executed"
          else "Frontier.execute: node not eligible"
        else "Frontier.execute: node out of range");
+  Ic_prof.Span.enter "frontier.execute";
   (* swap-remove v from the pool *)
   let last = t.count - 1 in
   let pv = Array.unsafe_get t.pos v in
@@ -156,7 +159,8 @@ let execute ?on_promote t v =
       (match observer with None -> () | Some o -> o.on_push w);
       match on_promote with None -> () | Some f -> f w
     end
-  done
+  done;
+  Ic_prof.Span.leave ()
 
 type snapshot = int
 
@@ -170,6 +174,7 @@ let snapshot t =
 let restore t snap =
   if snap < t.floor || snap > t.n_executed || (snap < t.n_executed && t.trail == [||])
   then invalid_arg "Frontier.restore: stale snapshot";
+  Ic_prof.Span.enter "frontier.restore";
   t.restores <- t.restores + 1;
   while t.n_executed > snap do
     let v = t.trail.(t.n_executed - 1) in
@@ -196,7 +201,8 @@ let restore t snap =
       t.pos.(v) <- t.count;
       t.count <- t.count + 1
     end
-  done
+  done;
+  Ic_prof.Span.leave ()
 
 (* Bulk replay: the whole profile of an execution order in one tight pass,
    without pool, position or trail upkeep. This is the hot path behind
@@ -207,8 +213,13 @@ let restore t snap =
    result; when every in-degree fits in a byte (every dag of the paper's
    families — meshes and butterflies have in-degree <= 2) it is packed into
    a [Bytes.t], an 8x smaller allocation that also keeps the whole scratch
-   in cache on million-node dags. *)
-let profile g ~order =
+   in cache on million-node dags.
+
+   [profile_raw] is the bare loop; [profile] adds the span. The raw entry
+   point stays exposed so the bench harness can compare instrumented
+   against truly un-instrumented code in the same process when measuring
+   the disabled-path overhead. *)
+let profile_raw g ~order =
   let n = Dag.n_nodes g in
   if Array.length order <> n then
     invalid_arg "Frontier.profile: order length mismatch";
@@ -258,6 +269,19 @@ let profile g ~order =
     done
   end;
   out
+
+let profile g ~order =
+  if not (Ic_prof.Span.enabled ()) then profile_raw g ~order
+  else begin
+    Ic_prof.Span.enter "frontier.profile";
+    match profile_raw g ~order with
+    | out ->
+      Ic_prof.Span.leave ();
+      out
+    | exception e ->
+      Ic_prof.Span.leave ();
+      raise e
+  end
 
 type stats = { executes : int; promotions : int; restores : int }
 

@@ -94,6 +94,13 @@ val profile : Dag.t -> order:int array -> int array
     dependence violations are the caller's responsibility (a validated
     [Schedule.t] cannot violate them). *)
 
+val profile_raw : Dag.t -> order:int array -> int array
+(** {!profile} without its [Ic_prof] span — byte-for-byte the replay loop
+    that {!profile} runs. Exists so the bench harness can measure the
+    disabled-path instrumentation overhead against a genuinely
+    un-instrumented body in the same process; everyone else should call
+    {!profile}. *)
+
 (** {1 Observability} *)
 
 type observer = {

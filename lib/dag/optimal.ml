@@ -15,6 +15,7 @@ exception Too_large of int
    depends on the set alone, so each set is explored once). *)
 
 let analyze ?(max_ideals = 2_000_000) g =
+  Ic_prof.Span.time "optimal.analyze" @@ fun () ->
   let n = Dag.n_nodes g in
   if n > 61 then Error (`Too_large n)
   else begin
@@ -43,7 +44,7 @@ let analyze ?(max_ideals = 2_000_000) g =
           (Frontier.members fr)
       in
       Hashtbl.replace seen 0 ();
-      explore 0 0;
+      Ic_prof.Span.time "optimal.explore" (fun () -> explore 0 0);
       (* Pass 2: which pointwise-optimal ideals are reachable through a
          chain of pointwise-optimal ideals? [chain] keeps a back-pointer
          (previous ideal, executed node) per survivor for the witness. *)
@@ -65,10 +66,11 @@ let analyze ?(max_ideals = 2_000_000) g =
             end)
           (Frontier.members fr)
       in
-      forward 0 0;
+      Ic_prof.Span.time "optimal.forward" (fun () -> forward 0 0);
       let full = (1 lsl n) - 1 in
       let admits = n = 0 || Hashtbl.mem chain full in
       let witness =
+        Ic_prof.Span.time "optimal.witness" @@ fun () ->
         if not admits then None
         else begin
           let order = Array.make n (-1) in

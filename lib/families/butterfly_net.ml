@@ -6,6 +6,7 @@ let node ~d l r = (l lsl d) + r
 
 let dag d =
   if d < 1 then invalid_arg "Butterfly_net.dag: need dimension >= 1";
+  Ic_prof.Span.time "families.butterfly" @@ fun () ->
   let rows = 1 lsl d in
   let b = Dag.Builder.create ~n:((d + 1) * rows) ~hint:(2 * d * rows) () in
   for l = 0 to d - 1 do

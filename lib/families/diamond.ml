@@ -8,6 +8,7 @@ type t = {
 }
 
 let make out_tree in_tree =
+  Ic_prof.Span.time "families.diamond" @@ fun () ->
   if not (Out_tree.is_out_tree out_tree) then Error "first argument is not an out-tree"
   else if not (In_tree.is_in_tree in_tree) then Error "second argument is not an in-tree"
   else

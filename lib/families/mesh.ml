@@ -6,6 +6,7 @@ let node k j = (k * (k + 1) / 2) + j
 
 let out_mesh levels =
   if levels < 0 then invalid_arg "Mesh.out_mesh: negative depth";
+  Ic_prof.Span.time "families.mesh" @@ fun () ->
   let n = (levels + 1) * (levels + 2) / 2 in
   let b = Dag.Builder.create ~n ~hint:(levels * (levels + 1)) () in
   for k = 0 to levels - 1 do

@@ -11,6 +11,7 @@ let node ~n j i = (j * n) + i
 
 let dag n =
   let p = levels n in
+  Ic_prof.Span.time "families.prefix" @@ fun () ->
   let b = Dag.Builder.create ~n:((p + 1) * n) ~hint:(2 * p * n) () in
   for j = 0 to p - 1 do
     let stride = 1 lsl j in

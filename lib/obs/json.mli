@@ -26,3 +26,15 @@ val to_list : value -> value list
 val to_string : value -> string option
 
 val to_number : value -> float option
+
+(** {1 String emission} — shared by every JSON writer in the tree. *)
+
+val escape : string -> string
+(** Escape a byte string for inclusion between JSON double quotes: quotes
+    and backslashes are backslash-escaped, control characters become
+    [\n]/[\r]/[\t]/[\b]/[\f] or [\u00XX]. Bytes [>= 0x80] pass through
+    unchanged (the string is assumed to be UTF-8 already). *)
+
+val quote : string -> string
+(** [quote s] is [escape s] wrapped in double quotes — a complete JSON
+    string literal. *)

@@ -138,12 +138,15 @@ let json_float x =
 let to_json t =
   let buf = Buffer.create 512 in
   let instruments = sorted_instruments t in
+  (* instrument names come from callers (family descriptions, user labels):
+     escape them properly rather than trusting OCaml's %S, whose \ddd
+     control-character escapes are not JSON *)
   let section name entries =
-    Buffer.add_string buf (Printf.sprintf "%S: {" name);
+    Buffer.add_string buf (Printf.sprintf "%s: {" (Json.quote name));
     List.iteri
       (fun i (key, body) ->
         if i > 0 then Buffer.add_string buf ", ";
-        Buffer.add_string buf (Printf.sprintf "%S: %s" key body))
+        Buffer.add_string buf (Printf.sprintf "%s: %s" (Json.quote key) body))
       entries;
     Buffer.add_char buf '}'
   in

@@ -1,0 +1,9 @@
+(* The span clock. OCaml's stdlib exposes no monotonic wall clock
+   ([Sys.time] is CPU time with clock-tick granularity), so this is a shim
+   over [Unix.gettimeofday]: microsecond-ish resolution, wall-clock
+   semantics, and — on the machines we bench on — close enough to monotone
+   that span totals are trustworthy. Swap the implementation here (e.g. for
+   [Mtime_clock.now_ns] or [clock_gettime(CLOCK_MONOTONIC)] bindings) and
+   every span in the tree follows. *)
+
+let now : unit -> float = Unix.gettimeofday

@@ -1,0 +1,4 @@
+val now : unit -> float
+(** Current time in seconds, for span durations. A shim over
+    [Unix.gettimeofday] until a true monotonic source is bound; see the
+    implementation for the swap point. *)

@@ -1,0 +1,91 @@
+(* Rendering of captured span trees: a fixed-width text table, a nested
+   JSON dump, and collapsed stacks for flamegraph.pl / speedscope. All
+   three are deterministic for a given tree (children are sorted by name
+   in [Span.capture]). *)
+
+module Json = Ic_obs.Json
+
+let self_s (i : Span.info) =
+  let child =
+    List.fold_left (fun acc c -> acc +. c.Span.total_s) 0.0 i.Span.info_children
+  in
+  Float.max 0.0 (i.Span.total_s -. child)
+
+let alloc_words (i : Span.info) = i.Span.minor_words +. i.Span.major_words
+
+let self_alloc_words (i : Span.info) =
+  let child =
+    List.fold_left (fun acc c -> acc +. alloc_words c) 0.0 i.Span.info_children
+  in
+  Float.max 0.0 (alloc_words i -. child)
+
+let words_to_mb w = w *. 8.0 /. 1048576.0
+
+let to_text infos =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-44s %10s %12s %12s %10s\n" "span" "count" "total(ms)"
+       "self(ms)" "alloc(MB)");
+  let rec go depth (i : Span.info) =
+    let name =
+      let indent = String.make (2 * depth) ' ' in
+      let s = indent ^ i.Span.info_name in
+      if String.length s > 44 then String.sub s 0 44 else s
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "%-44s %10d %12.3f %12.3f %10.3f\n" name
+         i.Span.info_count
+         (1e3 *. i.Span.total_s)
+         (1e3 *. self_s i)
+         (words_to_mb (alloc_words i)));
+    List.iter (go (depth + 1)) i.Span.info_children
+  in
+  List.iter (go 0) infos;
+  Buffer.contents buf
+
+let to_json infos =
+  let buf = Buffer.create 1024 in
+  let rec go (i : Span.info) =
+    Buffer.add_string buf
+      (Printf.sprintf
+         "{\"name\": %s, \"count\": %d, \"total_ms\": %.6f, \"self_ms\": \
+          %.6f, \"minor_words\": %.0f, \"major_words\": %.0f, \"children\": ["
+         (Json.quote i.Span.info_name)
+         i.Span.info_count
+         (1e3 *. i.Span.total_s)
+         (1e3 *. self_s i) i.Span.minor_words i.Span.major_words);
+    List.iteri
+      (fun k c ->
+        if k > 0 then Buffer.add_string buf ", ";
+        go c)
+      i.Span.info_children;
+    Buffer.add_string buf "]}"
+  in
+  Buffer.add_char buf '[';
+  List.iteri
+    (fun k i ->
+      if k > 0 then Buffer.add_string buf ", ";
+      go i)
+    infos;
+  Buffer.add_string buf "]\n";
+  Buffer.contents buf
+
+(* collapsed-stack frames: flamegraph.pl splits each line at the last
+   space and on semicolons, so both are scrubbed from frame names *)
+let frame name =
+  String.map (function ';' | ' ' -> '_' | c -> c) name
+
+let to_collapsed infos =
+  let buf = Buffer.create 1024 in
+  let rec go prefix (i : Span.info) =
+    let stack =
+      if prefix = "" then frame i.Span.info_name
+      else prefix ^ ";" ^ frame i.Span.info_name
+    in
+    let self_us = int_of_float ((1e6 *. self_s i) +. 0.5) in
+    if self_us > 0 then
+      Buffer.add_string buf (Printf.sprintf "%s %d\n" stack self_us);
+    List.iter (go stack) i.Span.info_children
+  in
+  List.iter (go "") infos;
+  Buffer.contents buf

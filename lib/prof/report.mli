@@ -1,0 +1,27 @@
+(** Rendering of {!Span.capture} trees. All outputs are deterministic for
+    a given tree: children are emitted in name order at every level. *)
+
+val self_s : Span.info -> float
+(** Wall-clock seconds spent in the span itself: total minus the totals of
+    its children, clamped at zero (clock skew between nested samples can
+    make the raw difference marginally negative). *)
+
+val alloc_words : Span.info -> float
+(** Minor plus direct-major words allocated, children included. *)
+
+val self_alloc_words : Span.info -> float
+
+val to_text : Span.info list -> string
+(** Fixed-width table, one row per span, indentation showing nesting:
+    count, total ms, self ms, allocated MB. *)
+
+val to_json : Span.info list -> string
+(** Nested JSON array: [{"name", "count", "total_ms", "self_ms",
+    "minor_words", "major_words", "children": [...]}]. Parses with
+    {!Ic_obs.Json.parse}. *)
+
+val to_collapsed : Span.info list -> string
+(** Collapsed ("folded") stacks, one line per span node:
+    ["root;child;leaf <self-microseconds>"]. Loadable by Brendan Gregg's
+    [flamegraph.pl] and by speedscope. Spans with zero self time are
+    elided; semicolons and spaces in names are replaced by underscores. *)

@@ -1,0 +1,134 @@
+(* Wall-clock self-profiling spans.
+
+   The span tree is global mutable state: a [node] per distinct call path
+   (root -> ... -> name), found or created on [enter] and aggregated in
+   place on [leave]. Recursion never re-enters an open node — a recursive
+   [enter "f"] inside the span "f" creates (or reuses) a child named "f"
+   under it, so every open node has exactly one live (t0, gc0) sample and
+   totals need no re-entrancy bookkeeping.
+
+   The disabled path is one load-and-branch on [on] per call, with no
+   allocation: call sites pass static strings, and nothing else runs. The
+   enabled path pays one [Monotonic.now] and one [Gc.quick_stat] per
+   [enter] and per [leave]; [Gc.quick_stat] itself allocates its result
+   record (a few dozen words), which is visible as a small per-span floor
+   in the allocation deltas of enclosing spans — an observer effect to keep
+   in mind when reading words-allocated numbers of nanosecond-scale spans.
+   Counts are always exact. *)
+
+type node = {
+  name : string;
+  parent : node option;
+  mutable count : int;
+  mutable total : float;  (* seconds, children included *)
+  mutable minor : float;  (* minor-heap words allocated, children included *)
+  mutable major : float;  (* direct major-heap words (promotions excluded) *)
+  mutable t0 : float;  (* live samples while the span is open *)
+  mutable minor0 : float;
+  mutable major0 : float;
+  children : (string, node) Hashtbl.t;
+}
+
+let make_node name parent =
+  {
+    name;
+    parent;
+    count = 0;
+    total = 0.0;
+    minor = 0.0;
+    major = 0.0;
+    t0 = 0.0;
+    minor0 = 0.0;
+    major0 = 0.0;
+    children = Hashtbl.create 4;
+  }
+
+let on = ref false
+let root = make_node "" None
+let current = ref root
+
+let enabled () = !on
+let enable () = on := true
+
+(* disabling with spans still open re-points [current] at the root so a
+   later [enable] starts from a sane position; the orphaned open spans
+   simply never accumulate their last interval *)
+let disable () =
+  on := false;
+  current := root
+
+let reset () =
+  Hashtbl.reset root.children;
+  current := root
+
+let enter name =
+  if !on then begin
+    let parent = !current in
+    let child =
+      match Hashtbl.find_opt parent.children name with
+      | Some c -> c
+      | None ->
+        let c = make_node name (Some parent) in
+        Hashtbl.add parent.children name c;
+        c
+    in
+    child.count <- child.count + 1;
+    let st = Gc.quick_stat () in
+    child.minor0 <- st.Gc.minor_words;
+    child.major0 <- st.Gc.major_words -. st.Gc.promoted_words;
+    child.t0 <- Monotonic.now ();
+    current := child
+  end
+
+let leave () =
+  if !on then begin
+    let cur = !current in
+    match cur.parent with
+    | None -> () (* unbalanced leave at the root: ignore *)
+    | Some p ->
+      let t1 = Monotonic.now () in
+      let st = Gc.quick_stat () in
+      cur.total <- cur.total +. (t1 -. cur.t0);
+      cur.minor <- cur.minor +. (st.Gc.minor_words -. cur.minor0);
+      cur.major <-
+        cur.major +. (st.Gc.major_words -. st.Gc.promoted_words -. cur.major0);
+      current := p
+  end
+
+let time name f =
+  if !on then begin
+    enter name;
+    match f () with
+    | v ->
+      leave ();
+      v
+    | exception e ->
+      leave ();
+      raise e
+  end
+  else f ()
+
+type info = {
+  info_name : string;
+  info_count : int;
+  total_s : float;
+  minor_words : float;
+  major_words : float;
+  info_children : info list;
+}
+
+let rec info_of node =
+  let children =
+    Hashtbl.fold (fun _ c acc -> info_of c :: acc) node.children []
+    |> List.sort (fun a b -> compare a.info_name b.info_name)
+  in
+  {
+    info_name = node.name;
+    info_count = node.count;
+    total_s = node.total;
+    minor_words = node.minor;
+    major_words = node.major;
+    info_children = children;
+  }
+
+let capture () = (info_of root).info_children

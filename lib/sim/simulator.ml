@@ -6,6 +6,7 @@ module Trace = Ic_obs.Trace
 module Metrics = Ic_obs.Metrics
 module Plan = Ic_fault.Plan
 module Recovery = Ic_fault.Recovery
+module Span = Ic_prof.Span
 
 type config = {
   n_clients : int;
@@ -138,6 +139,8 @@ let st_offline = -3
 let st_dead = -4
 
 let run ?sink ?metrics cfg policy ~workload g =
+  Span.time "sim.run" @@ fun () ->
+  Span.enter "sim.setup";
   let n = Dag.n_nodes g in
   let work = workload g in
   let speeds =
@@ -264,7 +267,9 @@ let run ?sink ?metrics cfg policy ~workload g =
     allocation_order := v :: !allocation_order;
     let attempt_no = attempts_made.(v) in
     attempts_made.(v) <- attempt_no + 1;
+    Span.enter "sim.fault_draw";
     let fate = Plan.attempt plan ~task:v ~attempt:attempt_no in
+    Span.leave ();
     let noise = 1.0 +. (cfg.jitter *. Random.State.float rng 1.0) in
     (* parents computed elsewhere must ship their results over the
        Internet; a source's input comes from the server (one transfer) *)
@@ -376,6 +381,7 @@ let run ?sink ?metrics cfg policy ~workload g =
       open_attempts.(v)
   in
   let schedule_retry v =
+    Span.time "sim.recovery" @@ fun () ->
     if
       (not (Frontier.is_executed fr v))
       && (not pending.(v))
@@ -582,6 +588,7 @@ let run ?sink ?metrics cfg policy ~workload g =
       end
     end
   in
+  Span.leave () (* sim.setup *);
   (* schedule each client's fate, then hand out the initial work *)
   for c = 0 to cfg.n_clients - 1 do
     let tc = Plan.crash_time plan ~client:c in
@@ -595,7 +602,10 @@ let run ?sink ?metrics cfg policy ~workload g =
   done;
   let deadline = rc.Recovery.deadline in
   while !abort = None && !completed < n do
-    match Heap.pop events with
+    Span.enter "sim.ev.pop";
+    let popped = Heap.pop events in
+    Span.leave ();
+    match popped with
     | None ->
       (* no event can ever re-pool the remaining work: clean abort *)
       abort := Some No_progress
@@ -612,16 +622,32 @@ let run ?sink ?metrics cfg policy ~workload g =
           !eligible_integral
           +. (float_of_int (Policy.Robust.size robust) *. (t -. !now));
         now := t;
-        match ev with
-        | Ev_complete id -> handle_complete id
-        | Ev_timeout id -> handle_timeout id
-        | Ev_spec id -> handle_spec id
-        | Ev_crash c -> handle_crash c
-        | Ev_disconnect c -> handle_disconnect c
-        | Ev_rejoin c -> handle_rejoin c
-        | Ev_retry v -> handle_retry_release v
+        (match ev with
+        | Ev_complete id ->
+          Span.enter "sim.ev.complete";
+          handle_complete id
+        | Ev_timeout id ->
+          Span.enter "sim.ev.timeout";
+          handle_timeout id
+        | Ev_spec id ->
+          Span.enter "sim.ev.spec";
+          handle_spec id
+        | Ev_crash c ->
+          Span.enter "sim.ev.crash";
+          handle_crash c
+        | Ev_disconnect c ->
+          Span.enter "sim.ev.disconnect";
+          handle_disconnect c
+        | Ev_rejoin c ->
+          Span.enter "sim.ev.rejoin";
+          handle_rejoin c
+        | Ev_retry v ->
+          Span.enter "sim.ev.retry";
+          handle_retry_release v);
+        Span.leave ()
       end
   done;
+  Span.enter "sim.finalize";
   (* close stall periods that were still open when the run ended *)
   for c = 0 to cfg.n_clients - 1 do
     if not (Float.is_nan stalled_since.(c)) then end_stall c
@@ -662,6 +688,7 @@ let run ?sink ?metrics cfg policy ~workload g =
       disconnects = !disconnects;
     }
   in
+  Span.enter "sim.obs_export";
   (match metrics with
   | None -> ()
   | Some m ->
@@ -677,7 +704,9 @@ let run ?sink ?metrics cfg policy ~workload g =
           (Metrics.gauge m (Printf.sprintf "sim.client%d.busy_fraction" i))
           (if makespan > 0.0 then b /. makespan else 0.0))
       busy);
+  Span.leave () (* sim.obs_export *);
   (match sink with None -> () | Some _ -> Frontier.set_observer fr None);
+  Span.leave () (* sim.finalize *);
   result
 
 let pp_outcome ppf = function

@@ -162,6 +162,70 @@ let test_metrics_dumps () =
       (Option.bind (Json.member "histograms" doc) (Json.member "sim.task_latency")
       <> None)
 
+let test_metrics_hostile_names () =
+  (* instrument names chosen to break naive JSON emission: quotes,
+     backslashes, tabs, newlines and control bytes must all survive a
+     Metrics.to_json -> Json.parse round trip *)
+  let hostile =
+    [
+      "mesh \"2x2\"";
+      "back\\slash\\";
+      "tab\there";
+      "line\nbreak";
+      "ctrl\001byte";
+    ]
+  in
+  let m = Metrics.create () in
+  List.iteri (fun i name -> Metrics.incr ~by:(i + 1) (Metrics.counter m name)) hostile;
+  Metrics.set (Metrics.gauge m "gauge \"g\"\n") 1.5;
+  Metrics.observe
+    (Metrics.histogram m "hist\t\"h\"" ~buckets:[| 1.0 |])
+    0.5;
+  match Json.parse (Metrics.to_json m) with
+  | Error e -> Alcotest.fail ("hostile names broke metrics JSON: " ^ e)
+  | Ok doc ->
+    List.iteri
+      (fun i name ->
+        check
+          (Printf.sprintf "counter %d round-trips" i)
+          true
+          (Option.bind (Json.member "counters" doc) (Json.member name)
+           |> Option.map (fun v -> Json.to_number v = Some (float_of_int (i + 1)))
+          = Some true))
+      hostile;
+    check "hostile gauge round-trips" true
+      (Option.bind (Json.member "gauges" doc) (Json.member "gauge \"g\"\n")
+       |> Option.map (fun v -> Json.to_number v = Some 1.5)
+      = Some true);
+    check "hostile histogram round-trips" true
+      (Option.bind (Json.member "histograms" doc) (Json.member "hist\t\"h\"")
+      <> None)
+
+let test_exporter_hostile_labels () =
+  (* dag labels and process names flow into the chrome trace verbatim;
+     quotes and newlines in them must not corrupt the document *)
+  let g = Ic_families.Mesh.out_mesh 4 in
+  let cfg = Sim.config ~n_clients:2 ~jitter:0.5 ~seed:7 () in
+  let tr = Trace.create () in
+  let _r = Sim.run ~sink:tr cfg Policy.fifo ~workload:Ic_sim.Workload.unit g in
+  let label = "mesh \"2x2\"\nand\\more" in
+  let json =
+    Exporter.chrome_trace ~process_name:label
+      ~label:(fun v -> Printf.sprintf "task \"%d\"\n" v)
+      tr
+  in
+  match Json.parse json with
+  | Error e -> Alcotest.fail ("hostile label broke chrome trace: " ^ e)
+  | Ok (Json.Array events) ->
+    check "hostile process name round-trips" true
+      (List.exists
+         (fun e ->
+           Option.bind (Json.member "args" e) (Json.member "name")
+           |> Fun.flip Option.bind Json.to_string
+           = Some label)
+         events)
+  | Ok _ -> Alcotest.fail "chrome trace must be a JSON array"
+
 (* --- JSON reader --- *)
 
 let test_json_parse () =
@@ -407,6 +471,41 @@ let test_sink_does_not_change_results () =
   in
   check "observability is transparent" true (bare = traced)
 
+(* --- properties --- *)
+
+let prop_eligibility_timeline =
+  (* across mesh sizes, seeds, client counts and every baseline policy:
+     the eligibility curve of a completed run has non-decreasing
+     timestamps, never-negative counts, and ends at 0 (a fault-free run
+     drains the whole eligible set) *)
+  QCheck2.Test.make ~name:"eligibility timeline is a sane curve" ~count:60
+    QCheck2.Gen.(
+      quad (int_range 2 8) (int_bound 10_000) (int_range 1 4)
+        (int_bound (List.length Policy.baselines - 1)))
+    (fun (side, seed, n_clients, pol) ->
+      let g = Ic_families.Mesh.out_mesh side in
+      let policy = List.nth Policy.baselines pol in
+      let cfg = Sim.config ~n_clients ~jitter:0.5 ~seed () in
+      let tr = Trace.create () in
+      let r = Sim.run ~sink:tr cfg policy ~workload:Ic_sim.Workload.unit g in
+      let tl = Trace.eligibility_timeline tr in
+      let ok =
+        ref
+          (List.length r.Sim.completion_order = Dag.n_nodes g
+          && Array.length tl > 0)
+      in
+      let last_t = ref neg_infinity in
+      Array.iter
+        (fun (t, c) ->
+          if t < !last_t then ok := false;
+          last_t := t;
+          if c < 0 then ok := false)
+        tl;
+      (match tl.(Array.length tl - 1) with
+      | _, 0 -> ()
+      | _, _ -> ok := false);
+      !ok)
+
 let () =
   Alcotest.run "ic_obs"
     [
@@ -423,6 +522,8 @@ let () =
           Alcotest.test_case "counters and gauges" `Quick test_metrics_counter_gauge;
           Alcotest.test_case "histograms" `Quick test_metrics_histogram;
           Alcotest.test_case "text and json dumps" `Quick test_metrics_dumps;
+          Alcotest.test_case "hostile names round-trip" `Quick
+            test_metrics_hostile_names;
         ] );
       ( "json reader",
         [ Alcotest.test_case "parse" `Quick test_json_parse ] );
@@ -436,6 +537,8 @@ let () =
           Alcotest.test_case "eligibility csv" `Quick test_eligibility_csv;
           Alcotest.test_case "fault events export" `Quick
             test_fault_events_export;
+          Alcotest.test_case "hostile labels round-trip" `Quick
+            test_exporter_hostile_labels;
         ] );
       ( "wiring",
         [
@@ -444,4 +547,6 @@ let () =
           Alcotest.test_case "sink transparency" `Quick
             test_sink_does_not_change_results;
         ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_eligibility_timeline ] );
     ]
