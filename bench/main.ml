@@ -432,7 +432,49 @@ let run_large () =
   (* the acceptance workload: allocation on mesh-256 profile replay *)
   let g256 = F.Mesh.out_mesh 256 in
   let s256 = F.Mesh.out_schedule 256 in
-  large_profile "profile_out_mesh_256_alloc" g256 s256 ~min_runs:20
+  large_profile "profile_out_mesh_256_alloc" g256 s256 ~min_runs:20;
+  (* streaming construction: the same mesh through the spilling Builder
+     (IC_BUILDER_SPILL reaches the family constructor's internal Builder),
+     arcs round-tripping through the unlinked temp file in 64k-arc chunks *)
+  Unix.putenv "IC_BUILDER_SPILL" (string_of_int (1 lsl 16));
+  large_build
+    (Printf.sprintf "build_out_mesh_%d_spill" mesh_levels)
+    (fun () -> F.Mesh.out_mesh mesh_levels);
+  Unix.putenv "IC_BUILDER_SPILL" "";
+  (* snapshots: write the large mesh out, map it back in O(1), and replay
+     the profile straight off the mapping *)
+  let snap = Filename.temp_file "ic_bench_mesh" ".icdag" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove snap with Sys_error _ -> ())
+    (fun () ->
+      let save () =
+        match Ic_dag.Dag.save g snap with
+        | Ok () -> ()
+        | Error e -> failwith ("snapshot save: " ^ e)
+      in
+      let load () =
+        match Ic_dag.Dag.load snap with
+        | Ok h -> h
+        | Error e -> failwith ("snapshot load: " ^ e)
+      in
+      let seconds, alloc = time_it save in
+      large_record
+        ~name:(Printf.sprintf "snapshot_save_mesh_%d" mesh_levels)
+        ~n_nodes:(Ic_dag.Dag.n_nodes g) ~n_arcs:(Ic_dag.Dag.n_arcs g) ~seconds
+        ~alloc_bytes:alloc;
+      let seconds, alloc = time_it (fun () -> load ()) in
+      large_record
+        ~name:(Printf.sprintf "snapshot_load_mesh_%d" mesh_levels)
+        ~n_nodes:(Ic_dag.Dag.n_nodes g) ~n_arcs:(Ic_dag.Dag.n_arcs g) ~seconds
+        ~alloc_bytes:alloc;
+      let h = load () in
+      large_profile
+        (Printf.sprintf "profile_out_mesh_%d_snapshot" mesh_levels)
+        h s
+        ~min_runs:(if !quick then 1 else 3));
+  (* the load loop above leaves ~1k dead mmap views behind; unmap them now
+     so --repeat passes and later groups measure against a clean footprint *)
+  Gc.compact ()
 
 (* ------------------------------------------------- the [fault] group -- *)
 

@@ -555,6 +555,104 @@ let auto_cmd =
           IC-optimal schedule automatically (the [21] algorithm)")
     Term.(const run $ family_pos)
 
+(* --- snapshot --- *)
+
+let snapshot_cmd =
+  let family_opt =
+    let doc =
+      "Dag family to snapshot (see the info subcommand for known families). \
+       Mutually exclusive with --load."
+    in
+    Arg.(value & pos 0 (some family_conv) None & info [] ~docv:"FAMILY" ~doc)
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Write the snapshot to FILE")
+  in
+  let load_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "load" ] ~docv:"FILE"
+          ~doc:"Memory-map a snapshot written earlier and show its statistics")
+  in
+  let replay_arg =
+    Arg.(
+      value & flag
+      & info [ "replay" ]
+          ~doc:
+            "Profile-replay the dag (after saving, replay from the freshly \
+             mapped snapshot; with --load, replay the loaded dag) and print \
+             its eligibility summary")
+  in
+  let file_bytes path =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    close_in ic;
+    n
+  in
+  let replay g =
+    let order = Dag.topological_order g in
+    let profile = Ic_dag.Frontier.profile g ~order in
+    let n = Array.length profile - 1 in
+    let widest = Array.fold_left max 0 profile in
+    Format.printf "replay: %d steps, peak eligibility %d, drains to %d@." n
+      widest profile.(n)
+  in
+  let describe what g =
+    Format.printf "%s: %d nodes, %d arcs, %d sources@." what (Dag.n_nodes g)
+      (Dag.n_arcs g) (Dag.n_sources g)
+  in
+  let run family out load do_replay prof =
+    with_prof prof @@ fun () ->
+    match (family, load) with
+    | Some _, Some _ ->
+      Format.eprintf "snapshot: give either FAMILY or --load, not both@.";
+      exit 1
+    | None, None ->
+      Format.eprintf
+        "snapshot: nothing to do — give FAMILY -o FILE to save, or --load \
+         FILE to inspect@.";
+      exit 1
+    | None, Some path -> (
+      match Dag.load path with
+      | Error e ->
+        Format.eprintf "snapshot: %s@." e;
+        exit 1
+      | Ok g ->
+        describe path g;
+        if do_replay then replay g)
+    | Some (f : Ic_cli.Family_spec.t), None -> (
+      match out with
+      | None ->
+        Format.eprintf "snapshot: -o FILE is required to save a family@.";
+        exit 1
+      | Some path -> (
+        match Dag.save f.dag path with
+        | Error e ->
+          Format.eprintf "snapshot: %s@." e;
+          exit 1
+        | Ok () ->
+          describe f.description f.dag;
+          Format.printf "saved -> %s (%d bytes)@." path (file_bytes path);
+          if do_replay then (
+            (* replay from the file, proving the snapshot stands alone *)
+            match Dag.load path with
+            | Error e ->
+              Format.eprintf "snapshot: reload failed: %s@." e;
+              exit 1
+            | Ok g -> replay g)))
+  in
+  Cmd.v
+    (Cmd.info "snapshot"
+       ~doc:
+         "Save a dag family as a binary snapshot, or memory-map one back \
+          (O(1) reload) and optionally profile-replay it")
+    Term.(
+      const run $ family_opt $ out_arg $ load_arg $ replay_arg $ prof_term)
+
 (* --- prio --- *)
 
 let prio_cmd =
@@ -581,7 +679,7 @@ let main =
     (Cmd.info "ic_sched" ~version:"1.0.0"
        ~doc:"IC-Scheduling Theory: dags, IC-optimal schedules, and simulation")
     [ info_cmd; dot_cmd; schedule_cmd; verify_cmd; simulate_cmd; compare_cmd;
-      trace_cmd; batch_cmd; auto_cmd; prio_cmd ]
+      trace_cmd; batch_cmd; auto_cmd; prio_cmd; snapshot_cmd ]
 
 (* cmdliner only knows single-char names as short options, but the trace
    subcommand documents the GNU-ish spelling --n for its size parameter *)

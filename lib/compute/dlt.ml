@@ -74,13 +74,14 @@ let via_tree ~x ~omega ~k =
     end
   in
   fill 0;
+  let module Slab = Ic_dag.Slab in
   let tpoff = Dag.pred_offsets tree and tpdat = Dag.pred_sources tree in
   let compute v parents =
     if v < n_tree then begin
       let power =
         if v = 0 then cpow_int wk exponent.(0)
         else
-          let parent = tpdat.(tpoff.(v)) in
+          let parent = Slab.get tpdat (Slab.get tpoff v) in
           Complex.mul parents.(0) (cpow_int wk (exponent.(v) - exponent.(parent)))
       in
       if Dag.is_sink tree v then Complex.mul x.(exponent.(v)) power else power

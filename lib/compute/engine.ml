@@ -1,4 +1,5 @@
 module Dag = Ic_dag.Dag
+module Slab = Ic_dag.Slab
 module Schedule = Ic_dag.Schedule
 module Frontier = Ic_dag.Frontier
 module Trace = Ic_obs.Trace
@@ -24,7 +25,7 @@ let scratch_pool ~max_deg dummy =
 let max_in_degree poff n =
   let m = ref 0 in
   for v = 0 to n - 1 do
-    let d = poff.(v + 1) - poff.(v) in
+    let d = Slab.unsafe_get poff (v + 1) - Slab.unsafe_get poff v in
     if d > !m then m := d
   done;
   !m
@@ -93,11 +94,11 @@ let execute ?schedule ?sink t =
       let v = next i in
       if not (Frontier.is_eligible fr v) then
         invalid_arg "Engine.execute: invalid schedule order";
-      let base = poff.(v) in
-      let d = poff.(v + 1) - base in
+      let base = Slab.get poff v in
+      let d = Slab.get poff (v + 1) - base in
       let parents = buffer d in
       for k = 0 to d - 1 do
-        Array.unsafe_set parents k values.(Array.unsafe_get pdat (base + k))
+        Array.unsafe_set parents k values.(Slab.unsafe_get pdat (base + k))
       done;
       Frontier.execute fr v;
       emit_executed v;
@@ -129,8 +130,8 @@ let value_at ?schedule t target =
   Queue.add target queue;
   while not (Queue.is_empty queue) do
     let u = Queue.pop queue in
-    for i = poff.(u) to poff.(u + 1) - 1 do
-      let p = Array.unsafe_get pdat i in
+    for i = Slab.get poff u to Slab.get poff (u + 1) - 1 do
+      let p = Slab.unsafe_get pdat i in
       if Bytes.unsafe_get in_cone p = '\000' then begin
         Bytes.unsafe_set in_cone p '\001';
         Queue.add p queue
@@ -144,7 +145,7 @@ let value_at ?schedule t target =
     incr first
   done;
   let v0 = order.(!first) in
-  if poff.(v0 + 1) - poff.(v0) <> 0 then
+  if Slab.get poff (v0 + 1) - Slab.get poff v0 <> 0 then
     invalid_arg "Engine.value_at: invalid schedule order";
   let values = Array.make n (t.compute v0 [||]) in
   let computed = Bytes.make n '\000' in
@@ -161,11 +162,11 @@ let value_at ?schedule t target =
       if Bytes.get in_cone v = '\001' then begin
         if Bytes.get computed v = '\001' then
           invalid_arg "Engine.value_at: invalid schedule order";
-        let base = poff.(v) in
-        let d = poff.(v + 1) - base in
+        let base = Slab.get poff v in
+        let d = Slab.get poff (v + 1) - base in
         let parents = buffer d in
         for k = 0 to d - 1 do
-          let p = Array.unsafe_get pdat (base + k) in
+          let p = Slab.unsafe_get pdat (base + k) in
           if Bytes.get computed p = '\000' then
             invalid_arg "Engine.value_at: invalid schedule order";
           Array.unsafe_set parents k values.(p)

@@ -56,6 +56,7 @@ let rec multiply ?(threshold = 32) a b =
   else begin
     let half = n / 2 in
     let g = M.dag () in
+    let module Slab = Ic_dag.Slab in
     let poff = Dag.pred_offsets g and pdat = Dag.pred_sources g in
     let compute v parents =
       if is_operand v then begin
@@ -66,7 +67,7 @@ let rec multiply ?(threshold = 32) a b =
       else if is_product v then begin
         (* one parent is a left-matrix operand, the other a right one *)
         let left, right =
-          match operand_info pdat.(poff.(v)) with
+          match operand_info (Slab.get pdat (Slab.get poff v)) with
           | `Left, _, _ -> (parents.(0), parents.(1))
           | `Right, _, _ -> (parents.(1), parents.(0))
         in

@@ -6,35 +6,59 @@
     and validated at construction: no self-loops, no duplicate arcs, no
     cycles.
 
-    The representation is CSR-native: both successor and predecessor
-    adjacency live in flat offset/data int arrays built once at
-    construction, so every traversal is a contiguous scan — there is no
-    per-node array-of-arrays and nothing is built lazily. *)
+    The representation is CSR-native and off-heap: both successor and
+    predecessor adjacency live in flat offset/data {!Slab.t} slabs
+    (Bigarray-backed int32, 4 bytes per entry) built once at construction,
+    so every traversal is a contiguous scan, the GC never visits the
+    adjacency, and node/arc counts are bounded by {!Slab.max_value}. A
+    built dag can be written to a binary snapshot and memory-mapped back in
+    O(1) ({!save}/{!load}). *)
 
 type t
 
 (** {1 Construction} *)
 
 (** Growable arc buffer for constructing dags without intermediate arc
-    lists: family generators emit arcs straight into one flat buffer, and
-    {!Builder.build} turns it into both CSR directions in [O(n + m)] (three
-    counting-sort scatter passes), with the same validation as {!make}. *)
+    lists: family generators emit arcs straight into one flat off-heap
+    byte buffer, and {!Builder.build} turns it into both CSR directions in
+    [O(n + m)] streaming passes, with the same validation as {!make}.
+
+    In streaming mode ([spill_arcs], or the [IC_BUILDER_SPILL] environment
+    variable) the buffer is flushed to an unlinked temp file in fixed-size
+    chunks, so a dag of any size can be built with peak builder memory of
+    one chunk — the edge list is never materialized in process memory. *)
 module Builder : sig
   type dag = t
 
   type t
   (** A mutable arc buffer targeted at a fixed node count. *)
 
-  val create : ?labels:string array -> n:int -> ?hint:int -> unit -> t
+  val create :
+    ?labels:string array ->
+    n:int ->
+    ?hint:int ->
+    ?spill_arcs:int ->
+    unit ->
+    t
   (** [create ~n ~hint ()] starts a buffer for a dag with nodes [0..n-1];
-      [hint] (default 16) preallocates space for that many arcs. *)
+      [hint] (default 16) preallocates space for that many arcs.
+
+      [spill_arcs], when given (must be positive), bounds the in-memory
+      buffer: each time that many arcs are pending they are flushed to an
+      unlinked temp file, and {!build} streams them back. When absent, the
+      [IC_BUILDER_SPILL] environment variable (a positive integer) supplies
+      the default, so family constructors stream without signature changes;
+      otherwise the buffer grows in memory (8 bytes per arc). *)
 
   val add_arc : t -> int -> int -> unit
   (** [add_arc b u v] appends the arc [u -> v]. Amortized [O(1)]; no
       validation happens until {!build}. *)
 
   val n_pending : t -> int
-  (** Number of arcs buffered so far. *)
+  (** Number of arcs buffered so far (in memory plus spilled). *)
+
+  val spilled : t -> bool
+  (** Has any chunk been flushed to the temp file? *)
 
   val build : t -> (dag, string) result
   (** Validate and freeze: fails with a descriptive message on a negative
@@ -72,6 +96,24 @@ val relabel : t -> string array -> t
 (** [relabel g labels] replaces node labels; [Array.length labels] must equal
     [n_nodes g]. *)
 
+(** {1 Snapshots}
+
+    Binary snapshot of a built dag: the four CSR slabs raw (host byte
+    order, with an endianness sentinel), a fixed 64-byte header, and the
+    label table when present. {!load} memory-maps the slab region, so
+    reloading a multi-gigabyte dag costs O(1) time and no heap — pages
+    fault in lazily as the dag is traversed. *)
+
+val save : t -> string -> (unit, string) result
+(** [save g path] writes [g] to [path] (overwriting). *)
+
+val load : string -> (t, string) result
+(** [load path] maps a snapshot back as a dag. The adjacency is a private
+    (copy-on-write) mapping of the file: valid as long as the value lives,
+    never written back. Fails with a descriptive message on a bad magic,
+    foreign byte order, or a size/offset-table mismatch; the full
+    structural validation of {!Builder.build} is {e not} re-run. *)
+
 (** {1 Accessors} *)
 
 val n_nodes : t -> int
@@ -102,18 +144,19 @@ val fold_pred : t -> int -> 'a -> ('a -> int -> 'a) -> 'a
 
 (** {2 Raw CSR}
 
-    The flat adjacency arrays themselves, shared with the dag — they must
-    not be mutated. Children of [v] are
-    [succ_targets.(succ_offsets.(v)) .. succ_targets.(succ_offsets.(v+1) - 1)],
+    The flat adjacency slabs themselves, shared with the dag — they must
+    not be mutated. Children of [v] are entries
+    [succ_offsets.{v} .. succ_offsets.{v+1} - 1] of [succ_targets],
     ascending; parents likewise via [pred_offsets]/[pred_sources]. For hot
-    loops (the {!Frontier} engine) that cannot afford closure calls. *)
+    loops (the {!Frontier} engine) that cannot afford closure calls: read
+    with {!Slab.unsafe_get} or [Bigarray.Array1] primitives. *)
 
-val succ_offsets : t -> int array
+val succ_offsets : t -> Slab.t
 (** Length [n + 1]. *)
 
-val succ_targets : t -> int array
-val pred_offsets : t -> int array
-val pred_sources : t -> int array
+val succ_targets : t -> Slab.t
+val pred_offsets : t -> Slab.t
+val pred_sources : t -> Slab.t
 
 val in_degrees : t -> int array
 (** In-degree per node as a fresh, caller-owned array. [O(n)]. *)
@@ -127,8 +170,9 @@ val fold_arcs : t -> 'a -> ('a -> int -> int -> 'a) -> 'a
     order. *)
 
 val arcs : t -> (int * int) list
+  [@@deprecated "allocates two words per arc; use Dag.iter_arcs or Dag.fold_arcs"]
 (** Arcs in lexicographic order, as a list. Compatibility wrapper over
-    {!iter_arcs}; allocates two words per arc — prefer the iterators. *)
+    {!iter_arcs}; allocates two words per arc — use the iterators. *)
 
 val out_degree : t -> int -> int
 (** [O(1)]. *)

@@ -11,6 +11,10 @@
    only for non-ideal sets given to [of_set]). This keeps the per-node
    state in one cache-friendly array and makes undo a negation.
 
+   The adjacency read in the hot loops is the dag's successor CSR slabs
+   ({!Slab.t}, off-heap int32), shared with the dag — reads compile to
+   unboxed loads.
+
    The trail records the execution order for [restore]; it is allocated on
    the first [snapshot], so pure replay consumers never pay for it.
 
@@ -18,12 +22,14 @@
    every node id handled comes from the dag's adjacency (so is in [0, n)),
    and the pool holds exactly [count <= n] entries. *)
 
+module A1 = Bigarray.Array1
+
 type observer = { on_push : int -> unit; on_pop : int -> unit }
 
 type t = {
   g : Dag.t;
-  off : int array;  (* CSR successor adjacency, shared with the dag *)
-  dat : int array;
+  off : Slab.t;  (* CSR successor adjacency, shared with the dag *)
+  dat : Slab.t;
   remaining : int array;
   pool : int array;
   pos : int array;
@@ -90,8 +96,8 @@ let of_set g ~executed =
   let t = make_state g remaining pool 0 0 in
   for v = 0 to n - 1 do
     let unmet = ref 0 in
-    for i = poff.(v) to poff.(v + 1) - 1 do
-      if not executed.(Array.unsafe_get pdat i) then incr unmet
+    for i = Slab.get poff v to Slab.get poff (v + 1) - 1 do
+      if not executed.(Slab.unsafe_get pdat i) then incr unmet
     done;
     let unmet = !unmet in
     if executed.(v) then begin
@@ -147,8 +153,8 @@ let execute ?on_promote t v =
   let observer = t.observer in
   (match observer with None -> () | Some o -> o.on_pop v);
   let off = t.off and dat = t.dat in
-  for i = Array.unsafe_get off v to Array.unsafe_get off (v + 1) - 1 do
-    let w = Array.unsafe_get dat i in
+  for i = Slab.unsafe_get off v to Slab.unsafe_get off (v + 1) - 1 do
+    let w = Slab.unsafe_get dat i in
     let r = Array.unsafe_get t.remaining w - 1 in
     Array.unsafe_set t.remaining w r;
     if r = 0 then begin
@@ -182,8 +188,8 @@ let restore t snap =
     (* children of v executed after v have already been undone, so any
        child with no unexecuted parent is currently in the pool *)
     let off = t.off and dat = t.dat in
-    for i = Array.unsafe_get off v to Array.unsafe_get off (v + 1) - 1 do
-      let w = Array.unsafe_get dat i in
+    for i = Slab.unsafe_get off v to Slab.unsafe_get off (v + 1) - 1 do
+      let w = Slab.unsafe_get dat i in
       if Array.unsafe_get t.remaining w = 0 then begin
         let last = t.count - 1 in
         let pw = Array.unsafe_get t.pos w in
@@ -210,15 +216,44 @@ let restore t snap =
    [Schedule.t] guarantees), like the callers it replaced.
 
    The remaining-parents scratch is the only per-call state besides the
-   result; when every in-degree fits in a byte (every dag of the paper's
-   families — meshes and butterflies have in-degree <= 2) it is packed into
-   a [Bytes.t], an 8x smaller allocation that also keeps the whole scratch
-   in cache on million-node dags.
+   result, and it is tiered by the dag's maximum in-degree:
+
+     - packed8   ([Bytes.t], 1 byte/node)  when every in-degree <= 255 —
+       every dag of the paper's families (meshes and butterflies have
+       in-degree <= 2);
+     - packed16  (uint16 bigarray, 2 bytes/node, off-heap) when every
+       in-degree <= 65535 — reduction trees and other wide-fan-in dags
+       stay GC-invisible and cache-lean at the 10^8-node scale;
+     - unpacked  (int array, 8 bytes/node) beyond that.
+
+   Each run bumps the matching counter below; [record_scratch_metrics]
+   publishes them to an [Ic_obs.Metrics] registry, so the silent-fallback
+   behaviour the tiers replace is now observable.
 
    [profile_raw] is the bare loop; [profile] adds the span. The raw entry
    point stays exposed so the bench harness can compare instrumented
    against truly un-instrumented code in the same process when measuring
    the disabled-path overhead. *)
+
+type scratch_counts = { packed8 : int; packed16 : int; unpacked : int }
+
+let packed8_runs = ref 0
+let packed16_runs = ref 0
+let unpacked_runs = ref 0
+
+let scratch_counts () =
+  { packed8 = !packed8_runs; packed16 = !packed16_runs; unpacked = !unpacked_runs }
+
+let record_scratch_metrics registry =
+  let sync name total =
+    let c = Ic_obs.Metrics.counter registry name in
+    let behind = total - Ic_obs.Metrics.counter_value c in
+    if behind > 0 then Ic_obs.Metrics.incr ~by:behind c
+  in
+  sync "frontier.profile.scratch_packed8" !packed8_runs;
+  sync "frontier.profile.scratch_packed16" !packed16_runs;
+  sync "frontier.profile.scratch_unpacked" !unpacked_runs
+
 let profile_raw g ~order =
   let n = Dag.n_nodes g in
   if Array.length order <> n then
@@ -229,21 +264,24 @@ let profile_raw g ~order =
   let n_sources = Dag.n_sources g in
   let count = ref n_sources in
   Array.unsafe_set out 0 n_sources;
-  let byte_sized = ref true in
+  let max_in = ref 0 in
   for v = 0 to n - 1 do
-    if poff.(v + 1) - poff.(v) > 255 then byte_sized := false
+    let d = Slab.unsafe_get poff (v + 1) - Slab.unsafe_get poff v in
+    if d > !max_in then max_in := d
   done;
-  if !byte_sized then begin
+  if !max_in <= 255 then begin
+    incr packed8_runs;
     let remaining = Bytes.create n in
     for v = 0 to n - 1 do
-      Bytes.unsafe_set remaining v (Char.unsafe_chr (poff.(v + 1) - poff.(v)))
+      Bytes.unsafe_set remaining v
+        (Char.unsafe_chr (Slab.unsafe_get poff (v + 1) - Slab.unsafe_get poff v))
     done;
     for i = 0 to n - 1 do
       let v = Array.unsafe_get order i in
       if v < 0 || v >= n then invalid_arg "Frontier.profile: node out of range";
       let c = ref (!count - 1) in
-      for j = Array.unsafe_get off v to Array.unsafe_get off (v + 1) - 1 do
-        let w = Array.unsafe_get dat j in
+      for j = Slab.unsafe_get off v to Slab.unsafe_get off (v + 1) - 1 do
+        let w = Slab.unsafe_get dat j in
         let r = Char.code (Bytes.unsafe_get remaining w) - 1 in
         Bytes.unsafe_set remaining w (Char.unsafe_chr r);
         if r = 0 then incr c
@@ -252,14 +290,38 @@ let profile_raw g ~order =
       Array.unsafe_set out (i + 1) !c
     done
   end
+  else if !max_in <= 65535 then begin
+    incr packed16_runs;
+    (* uint16 bigarray: off-heap, 2 bytes/node, reads/writes are plain
+       ints — no boxing on any middle-end *)
+    let remaining = A1.create Bigarray.int16_unsigned Bigarray.c_layout n in
+    for v = 0 to n - 1 do
+      A1.unsafe_set remaining v
+        (Slab.unsafe_get poff (v + 1) - Slab.unsafe_get poff v)
+    done;
+    for i = 0 to n - 1 do
+      let v = Array.unsafe_get order i in
+      if v < 0 || v >= n then invalid_arg "Frontier.profile: node out of range";
+      let c = ref (!count - 1) in
+      for j = Slab.unsafe_get off v to Slab.unsafe_get off (v + 1) - 1 do
+        let w = Slab.unsafe_get dat j in
+        let r = A1.unsafe_get remaining w - 1 in
+        A1.unsafe_set remaining w r;
+        if r = 0 then incr c
+      done;
+      count := !c;
+      Array.unsafe_set out (i + 1) !c
+    done
+  end
   else begin
+    incr unpacked_runs;
     let remaining = Dag.in_degrees g in
     for i = 0 to n - 1 do
       let v = Array.unsafe_get order i in
       if v < 0 || v >= n then invalid_arg "Frontier.profile: node out of range";
       let c = ref (!count - 1) in
-      for j = Array.unsafe_get off v to Array.unsafe_get off (v + 1) - 1 do
-        let w = Array.unsafe_get dat j in
+      for j = Slab.unsafe_get off v to Slab.unsafe_get off (v + 1) - 1 do
+        let w = Slab.unsafe_get dat j in
         let r = Array.unsafe_get remaining w - 1 in
         Array.unsafe_set remaining w r;
         if r = 0 then incr c

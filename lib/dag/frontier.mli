@@ -101,6 +101,26 @@ val profile_raw : Dag.t -> order:int array -> int array
     un-instrumented body in the same process; everyone else should call
     {!profile}. *)
 
+(** {2 Replay scratch tiers}
+
+    The replay pass sizes its remaining-parents scratch to the dag's
+    maximum in-degree: 1 byte/node up to 255 ([packed8]), an off-heap
+    uint16 bigarray up to 65535 ([packed16]), a plain int array beyond
+    ([unpacked]). The choice used to be silent; these counters make it
+    observable. *)
+
+type scratch_counts = { packed8 : int; packed16 : int; unpacked : int }
+
+val scratch_counts : unit -> scratch_counts
+(** Process-wide count of {!profile}/{!profile_raw} runs per scratch
+    tier. *)
+
+val record_scratch_metrics : Ic_obs.Metrics.t -> unit
+(** Publish the scratch-tier counters to a metrics registry as the
+    counters [frontier.profile.scratch_packed8] / [..._packed16] /
+    [..._unpacked]. Idempotent: each call raises the registry counters to
+    the current totals, so repeated calls never double-count. *)
+
 (** {1 Observability} *)
 
 type observer = {

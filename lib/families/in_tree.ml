@@ -27,8 +27,8 @@ let schedule g =
     | `Visit u ->
       Stack.push (`Emit u) stack;
       (* reversed, so the leftmost internal parent's run comes first *)
-      for i = poff.(u + 1) - 1 downto poff.(u) do
-        let p = pdat.(i) in
+      for i = Ic_dag.Slab.get poff (u + 1) - 1 downto Ic_dag.Slab.get poff u do
+        let p = Ic_dag.Slab.get pdat i in
         if not (Dag.is_source g p) then Stack.push (`Visit p) stack
       done
   done;

@@ -118,8 +118,8 @@ let schedules_all_optimal g =
       let v = Stack.pop stack in
       if not (Dag.is_sink g v) then begin
         order := v :: !order;
-        for i = soff.(v + 1) - 1 downto soff.(v) do
-          Stack.push sdat.(i) stack
+        for i = Ic_dag.Slab.get soff (v + 1) - 1 downto Ic_dag.Slab.get soff v do
+          Stack.push (Ic_dag.Slab.get sdat i) stack
         done
       end
     done;

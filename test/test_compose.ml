@@ -34,10 +34,8 @@ let test_embeddings_preserve_arcs () =
   let g = Compose.dag c in
   List.iter
     (fun (orig, embed) ->
-      List.iter
-        (fun (u, v) ->
-          check "embedded arc present" true (Dag.has_arc g embed.(u) embed.(v)))
-        (Dag.arcs orig))
+      Dag.iter_arcs orig (fun u v ->
+          check "embedded arc present" true (Dag.has_arc g embed.(u) embed.(v))))
     (Compose.components c)
 
 let test_partial_merge () =

@@ -70,9 +70,7 @@ let test_topological () =
   let order = Dag.topological_order g in
   let pos = Array.make 4 0 in
   Array.iteri (fun i v -> pos.(v) <- i) order;
-  List.iter
-    (fun (u, v) -> check "topo respects arcs" true (pos.(u) < pos.(v)))
-    (Dag.arcs g)
+  Dag.iter_arcs g (fun u v -> check "topo respects arcs" true (pos.(u) < pos.(v)))
 
 let test_depth_height () =
   let g = diamond4 () in
@@ -133,7 +131,7 @@ let prop_random_dag_topo =
       let order = Dag.topological_order g in
       let pos = Array.make n 0 in
       Array.iteri (fun i v -> pos.(v) <- i) order;
-      List.for_all (fun (u, v) -> pos.(u) < pos.(v)) (Dag.arcs g))
+      Dag.fold_arcs g true (fun acc u v -> acc && pos.(u) < pos.(v)))
 
 let prop_dual_involutive =
   QCheck2.Test.make ~name:"dual is involutive" ~count:100

@@ -198,6 +198,65 @@ let test_stats () =
     stats.Frontier.promotions;
   check_int "restores" 1 stats.Frontier.restores
 
+(* [profile]'s remaining-parents scratch is tiered by maximum in-degree
+   (<= 255 packed8, <= 65535 packed16, beyond unpacked). A k-star — k
+   leaves all feeding one center — pins the maximum in-degree exactly, so
+   these tests cross each boundary and check both the tier counters and
+   that every tier computes the same (known) profile. *)
+let star k =
+  let b = Dag.Builder.create ~n:(k + 1) ~hint:k () in
+  for i = 0 to k - 1 do
+    Dag.Builder.add_arc b i k
+  done;
+  Dag.Builder.build_exn b
+
+let profile_star k =
+  let g = star k in
+  let order = Array.init (k + 1) Fun.id in
+  let prof = Frontier.profile g ~order in
+  check_int "star profile length" (k + 2) (Array.length prof);
+  for i = 0 to k - 1 do
+    check_int "star eligibility while draining leaves" (k - i) prof.(i)
+  done;
+  check_int "center eligible after the last leaf" 1 prof.(k);
+  check_int "drained" 0 prof.(k + 1)
+
+let test_scratch_tier_boundaries () =
+  let counts () = Frontier.scratch_counts () in
+  let c0 = counts () in
+  profile_star 255;
+  let c1 = counts () in
+  check_int "255 uses packed8" (c0.Frontier.packed8 + 1) c1.Frontier.packed8;
+  check_int "255 leaves packed16 alone" c0.Frontier.packed16 c1.Frontier.packed16;
+  profile_star 256;
+  let c2 = counts () in
+  check_int "256 uses packed16" (c1.Frontier.packed16 + 1) c2.Frontier.packed16;
+  check_int "256 leaves packed8 alone" c1.Frontier.packed8 c2.Frontier.packed8;
+  profile_star 65535;
+  let c3 = counts () in
+  check_int "65535 still packed16" (c2.Frontier.packed16 + 1) c3.Frontier.packed16;
+  profile_star 65536;
+  let c4 = counts () in
+  check_int "65536 falls back to unpacked" (c3.Frontier.unpacked + 1)
+    c4.Frontier.unpacked;
+  check_int "65536 leaves packed16 alone" c3.Frontier.packed16 c4.Frontier.packed16
+
+let test_scratch_metrics_idempotent () =
+  profile_star 3;
+  let reg = Ic_obs.Metrics.create () in
+  Frontier.record_scratch_metrics reg;
+  Frontier.record_scratch_metrics reg;
+  let totals = Frontier.scratch_counts () in
+  let value name =
+    Ic_obs.Metrics.counter_value (Ic_obs.Metrics.counter reg name)
+  in
+  check_int "packed8 metric" totals.Frontier.packed8
+    (value "frontier.profile.scratch_packed8");
+  check_int "packed16 metric" totals.Frontier.packed16
+    (value "frontier.profile.scratch_packed16");
+  check_int "unpacked metric" totals.Frontier.unpacked
+    (value "frontier.profile.scratch_unpacked")
+
 let () =
   Alcotest.run "frontier"
     [
@@ -220,5 +279,12 @@ let () =
           Alcotest.test_case "promotions ascending" `Quick
             test_promotions_ascending;
           Alcotest.test_case "stats counters" `Quick test_stats;
+        ] );
+      ( "scratch tiers",
+        [
+          Alcotest.test_case "in-degree boundaries" `Quick
+            test_scratch_tier_boundaries;
+          Alcotest.test_case "metrics idempotent" `Quick
+            test_scratch_metrics_idempotent;
         ] );
     ]

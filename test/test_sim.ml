@@ -33,11 +33,9 @@ let test_allocation_respects_completions () =
   List.iteri (fun i v -> Hashtbl.add alloc_pos v i) r.Sim.allocation_order;
   (* weaker but sufficient invariant: a child is allocated after each parent
      is allocated (completion implies allocation) *)
-  List.iter
-    (fun (u, v) ->
+  Dag.iter_arcs mesh (fun u v ->
       check "parent allocated before child" true
         (Hashtbl.find alloc_pos u < Hashtbl.find alloc_pos v))
-    (Dag.arcs mesh)
 
 let test_single_client_no_stalls () =
   let r = run ~config:(Sim.config ~n_clients:1 ()) Policy.fifo mesh in
