@@ -1,0 +1,16 @@
+(** The [par] bench group: wall-clock and steal-counter records for the
+    domains-based parallel runtime ([Ic_par]).
+
+    This module is a dune [select]: on OCaml >= 5.0 the real runner
+    ([bench_par.par.ml]) executes each payload family sequentially and
+    then under the parallel runtime across a sweep of domain counts and
+    ordering modes, emitting one JSON record per configuration plus a
+    deque push/pop microbenchmark. On 4.14 the stub
+    ([bench_par.nopar.ml]) prints a one-line notice to stderr and emits
+    nothing, so every other group keeps working. *)
+
+val run : quick:bool -> emit:(string -> unit) -> unit
+(** [run ~quick ~emit] benchmarks the parallel runtime, passing each
+    JSON record (one object per line, same shape the perf gate parses)
+    to [emit]. [quick] shrinks payload sizes and the domain sweep for
+    CI smoke runs. *)

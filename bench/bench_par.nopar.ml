@@ -1,0 +1,6 @@
+(* Stub selected on compilers without ic_par (OCaml < 5.0): the par
+   group degrades to a notice instead of breaking the whole binary. *)
+
+let run ~quick:_ ~emit:_ =
+  prerr_endline
+    "bench group par skipped: the parallel runtime requires OCaml >= 5.0"

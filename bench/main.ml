@@ -2,7 +2,7 @@
    (the per-experiment index of DESIGN.md), all in one executable.
 
    dune exec bench/main.exe --
-     [--group default|large|fault|prof|gate|all] [--quick] [--repeat K]
+     [--group default|large|fault|prof|par|gate|all] [--quick] [--repeat K]
      [--json-out FILE] [--compare BASELINE.json] [--threshold METRIC=TAU]
      [--profile] [--profile-out FILE] [--flame-out FILE]
 
@@ -25,7 +25,7 @@ let stage = Staged.stage
 
 (* ---------------------------------------------------------------- CLI -- *)
 
-type group = Default | Large | Fault | Prof | Gate | All
+type group = Default | Large | Fault | Prof | Par | Gate | All
 
 let group = ref Default
 let quick = ref false
@@ -97,11 +97,12 @@ let parse_args () =
          | "large" -> Large
          | "fault" -> Fault
          | "prof" -> Prof
+         | "par" -> Par
          | "gate" -> Gate
          | "all" -> All
          | _ ->
            prerr_endline
-             ("unknown group " ^ g ^ " (default|large|fault|prof|gate|all)");
+             ("unknown group " ^ g ^ " (default|large|fault|prof|par|gate|all)");
            exit 2);
       go rest
     | arg :: _ ->
@@ -122,10 +123,14 @@ let emit_json line =
 let records_document () =
   "[\n  " ^ String.concat ",\n  " (List.rev !records) ^ "\n]\n"
 
+(* write-to-temp + rename so a crash (or a reader racing the writer)
+   never observes a truncated document at the final path *)
 let write_json_array file =
-  let oc = open_out file in
+  let tmp = file ^ ".tmp" in
+  let oc = open_out tmp in
   output_string oc (records_document ());
-  close_out oc
+  close_out oc;
+  Sys.rename tmp file
 
 (* E1 / Fig 1: building and scheduling the whole block repertoire *)
 let fig1_blocks =
@@ -654,6 +659,13 @@ let run_trace file =
        (Ic_obs.Trace.length trace)
        (Ic_obs.Json.quote file))
 
+(* --------------------------------------------------- group: par ------ *)
+
+(* Bench_par is a dune select: the real runner on OCaml >= 5.0 (where
+   ic_par builds), a one-line notice on 4.14. Records go through
+   emit_json so --json-out and --compare see them like any other group. *)
+let run_par () = Bench_par.run ~quick:!quick ~emit:emit_json
+
 (* ------------------------------------------------- report + compare -- *)
 
 let dump_profile () =
@@ -708,6 +720,9 @@ let () =
     | Large -> run_large ()
     | Fault -> run_fault ()
     | Prof -> run_prof ()
+    | Par -> run_par ()
+    (* the gate stays par-free: par timings depend on the host's core
+       count, so they would make the BASELINE compare machine-specific *)
     | Gate ->
       run_large ();
       run_fault ();
@@ -716,7 +731,8 @@ let () =
       run_default ();
       run_large ();
       run_fault ();
-      run_prof ()
+      run_prof ();
+      run_par ()
   done;
   Option.iter run_trace !trace_out;
   Option.iter write_json_array !json_out;

@@ -617,10 +617,18 @@ let snapshot_cmd =
          FILE to inspect@.";
       exit 1
     | None, Some path -> (
-      match Dag.load path with
+      (* a missing, truncated or corrupt file must be a one-line diagnostic
+         naming the path and exit 2 — never a raw exception or a message
+         that leaves the operator guessing which file was bad *)
+      match (try Dag.load path with e -> Error (Printexc.to_string e)) with
       | Error e ->
-        Format.eprintf "snapshot: %s@." e;
-        exit 1
+        let named =
+          let lp = String.length path in
+          if String.length e >= lp && String.sub e 0 lp = path then e
+          else path ^ ": " ^ e
+        in
+        Format.eprintf "snapshot: %s@." named;
+        exit 2
       | Ok g ->
         describe path g;
         if do_replay then replay g)
@@ -653,6 +661,102 @@ let snapshot_cmd =
     Term.(
       const run $ family_opt $ out_arg $ load_arg $ replay_arg $ prof_term)
 
+(* --- run: the OCaml 5 parallel runtime --- *)
+
+let run_cmd =
+  let payload_arg =
+    let doc =
+      "Payload family: wavefront (edit distance on a SIZE x SIZE grid), fft \
+       (the 2^SIZE-point FFT on B_SIZE), matmul (the 20-node dag M over \
+       2^SIZE blocks), or quadrature (midpoint rule through the depth-SIZE \
+       in-tree)."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"PAYLOAD" ~doc)
+  in
+  let size_arg =
+    Arg.(value & opt int 20 & info [ "size" ] ~docv:"SIZE" ~doc:"Payload size knob")
+  in
+  let domains_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Worker domains (default: IC_PAR_DOMAINS or the recommended \
+             count)")
+  in
+  let order_arg =
+    Arg.(
+      value
+      & opt (enum [ ("steal", "steal"); ("ic", "ic") ]) "steal"
+      & info [ "order" ] ~docv:"ORDER"
+          ~doc:
+            "Ready-task ordering: steal (plain Chase-Lev work stealing) or \
+             ic (sharded priority pool over the IC-optimal order)")
+  in
+  let spin_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "spin-us" ] ~docv:"US"
+          ~doc:"Calibrated busy-work added to every task, in microseconds")
+  in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace-event file with one track per domain \
+             (load it in Perfetto)")
+  in
+  let metrics_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:"Write the run's metrics registry (steal counters etc.) as JSON")
+  in
+  let no_check_arg =
+    Arg.(
+      value & flag
+      & info [ "no-check" ]
+          ~doc:
+            "Skip the sequential baseline run and the parallel-vs-sequential \
+             result comparison")
+  in
+  let run payload size domains order spin_us trace_out metrics_out no_check =
+    match
+      Par_support.run ~family:payload ~size ~spin_us ~domains ~order
+        ?trace_out ?metrics_out ~check:(not no_check) ()
+    with
+    | Error e ->
+      Format.eprintf "run: %s@." e;
+      exit 1
+    | Ok o ->
+      Format.printf "%s: %d tasks on %d domains, order %s@." o.Par_support.payload
+        o.tasks o.domains o.order;
+      Format.printf "wall %.4fs" o.wall_s;
+      if not (Float.is_nan o.seq_wall_s) then
+        Format.printf " (sequential %.4fs, speedup %.2fx)" o.seq_wall_s
+          (o.seq_wall_s /. o.wall_s);
+      Format.printf "@.";
+      Format.printf "steals %d/%d attempts, overflows %d, parks %d@." o.steals
+        o.steal_attempts o.overflows o.parks;
+      Option.iter (Format.printf "trace -> %s@.") trace_out;
+      Option.iter (Format.printf "metrics -> %s@.") metrics_out;
+      if not no_check then begin
+        Format.printf "results match sequential engine: %b@." o.ok;
+        if not o.ok then exit 1
+      end
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Execute a real payload on the OCaml 5 domains-based parallel \
+          runtime (work-stealing deques over the dag's frontier)")
+    Term.(
+      const run $ payload_arg $ size_arg $ domains_arg $ order_arg $ spin_arg
+      $ trace_arg $ metrics_out_arg $ no_check_arg)
+
 (* --- prio --- *)
 
 let prio_cmd =
@@ -679,7 +783,7 @@ let main =
     (Cmd.info "ic_sched" ~version:"1.0.0"
        ~doc:"IC-Scheduling Theory: dags, IC-optimal schedules, and simulation")
     [ info_cmd; dot_cmd; schedule_cmd; verify_cmd; simulate_cmd; compare_cmd;
-      trace_cmd; batch_cmd; auto_cmd; prio_cmd; snapshot_cmd ]
+      trace_cmd; batch_cmd; auto_cmd; prio_cmd; snapshot_cmd; run_cmd ]
 
 (* cmdliner only knows single-char names as short options, but the trace
    subcommand documents the GNU-ish spelling --n for its size parameter *)

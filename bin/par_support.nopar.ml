@@ -1,0 +1,22 @@
+let available = false
+
+type outcome = {
+  payload : string;
+  n_nodes : int;
+  domains : int;
+  order : string;
+  wall_s : float;
+  seq_wall_s : float;
+  tasks : int;
+  steals : int;
+  steal_attempts : int;
+  overflows : int;
+  parks : int;
+  ok : bool;
+}
+
+let run ~family:_ ~size:_ ~spin_us:_ ~domains:_ ~order:_ ?trace_out:_
+    ?metrics_out:_ ~check:_ () =
+  Error
+    "the parallel runtime requires OCaml >= 5.0 (ic_par is not built on this \
+     compiler)"

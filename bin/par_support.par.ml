@@ -1,0 +1,96 @@
+let available = true
+
+type outcome = {
+  payload : string;
+  n_nodes : int;
+  domains : int;
+  order : string;
+  wall_s : float;
+  seq_wall_s : float;
+  tasks : int;
+  steals : int;
+  steal_attempts : int;
+  overflows : int;
+  parks : int;
+  ok : bool;
+}
+
+let write_file file contents =
+  let oc = open_out file in
+  output_string oc contents;
+  close_out oc
+
+let run ~family ~size ~spin_us ~domains ~order ?trace_out ?metrics_out ~check ()
+    =
+  match
+    match order with
+    | "steal" -> Ok Ic_par.Runtime.Steal
+    | "ic" -> Ok Ic_par.Runtime.Ic_priority
+    | o -> Error (Printf.sprintf "unknown order %S (known: steal, ic)" o)
+  with
+  | Error _ as e -> e
+  | Ok order_mode -> (
+    match Ic_par.Payload.make ~spin_us ~family ~size () with
+    | exception Invalid_argument msg -> Error msg
+    | p ->
+      let g = Ic_par.Payload.dag p in
+      let domains =
+        if domains > 0 then domains else Ic_par.Runtime.default_domains ()
+      in
+      let seq_wall_s, seq_fp =
+        if check then begin
+          let t0 = Ic_prof.Monotonic.now () in
+          let fp = Ic_par.Payload.execute p in
+          (Ic_prof.Monotonic.now () -. t0, Some fp)
+        end
+        else (Float.nan, None)
+      in
+      let sink = Option.map (fun _ -> Ic_obs.Trace.create ()) trace_out in
+      let registry =
+        Option.map (fun _ -> Ic_obs.Metrics.create ()) metrics_out
+      in
+      let stats = ref None in
+      let executor =
+        Ic_par.Runtime.executor ~domains ~order:order_mode
+          ~priority:(Ic_par.Payload.rank p) ?metrics:registry ?sink
+          ~on_stats:(fun s -> stats := Some s)
+          ()
+      in
+      let par_fp = Ic_par.Payload.execute ~executor p in
+      let s =
+        match !stats with Some s -> s | None -> assert false
+      in
+      Option.iter
+        (fun file ->
+          write_file file
+            (Ic_obs.Exporter.chrome_trace
+               ~process_name:
+                 (Printf.sprintf "ic_par: %s under %s, %d domains"
+                    (Ic_par.Payload.name p) order domains)
+               ~label:(Ic_dag.Dag.label g)
+               (Option.get sink)))
+        trace_out;
+      Option.iter
+        (fun file ->
+          write_file file (Ic_obs.Metrics.to_json (Option.get registry)))
+        metrics_out;
+      let ok =
+        match seq_fp with
+        | None -> true
+        | Some fp -> fp = par_fp && Ic_par.Payload.check p par_fp
+      in
+      Ok
+        {
+          payload = Ic_par.Payload.name p;
+          n_nodes = Ic_dag.Dag.n_nodes g;
+          domains;
+          order;
+          wall_s = s.Ic_par.Runtime.wall_s;
+          seq_wall_s;
+          tasks = s.Ic_par.Runtime.tasks;
+          steals = s.Ic_par.Runtime.steals;
+          steal_attempts = s.Ic_par.Runtime.steal_attempts;
+          overflows = s.Ic_par.Runtime.overflows;
+          parks = s.Ic_par.Runtime.parks;
+          ok;
+        })

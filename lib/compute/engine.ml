@@ -30,11 +30,53 @@ let max_in_degree poff n =
   done;
   !m
 
+type executor = Dag.t -> (int -> unit) -> unit
+
+(* Under an external executor the engine gives up its frontier and its
+   shared scratch: values live in an ['a option array] (one cell per node,
+   written exactly once), and each step fills a fresh parents buffer. Cells
+   make wrong executors fail loudly (a missing parent is [None], not a
+   stale dummy), and per-step buffers make steps reentrant from any domain
+   — the executor's dependence discipline is the only synchronization. *)
+let execute_with ~executor t =
+  let g = t.dag in
+  let n = Dag.n_nodes g in
+  if n = 0 then [||]
+  else begin
+    let poff = Dag.pred_offsets g and pdat = Dag.pred_sources g in
+    let values = Array.make n None in
+    let step v =
+      if v < 0 || v >= n then invalid_arg "Engine.execute: step out of range";
+      let base = Slab.get poff v in
+      let d = Slab.get poff (v + 1) - base in
+      let parents =
+        Array.init d (fun k ->
+            match values.(Slab.unsafe_get pdat (base + k)) with
+            | Some x -> x
+            | None -> invalid_arg "Engine.execute: executor stepped a node before its parents")
+      in
+      values.(v) <- Some (t.compute v parents)
+    in
+    executor g step;
+    Array.map
+      (function
+        | Some x -> x
+        | None -> invalid_arg "Engine.execute: executor did not step every node")
+      values
+  end
+
 (* Streams over a frontier: the frontier both supplies the default order and
    proves, before every value is computed, that the node's parents have
    already been computed — so parent values can be read straight out of the
    result array, with no option boxing. *)
-let execute ?schedule ?sink t =
+let execute ?schedule ?executor ?sink t =
+  match executor with
+  | Some exec ->
+    if schedule <> None then
+      invalid_arg "Engine.execute: an executor owns the order; drop ?schedule";
+    ignore sink;
+    execute_with ~executor:exec t
+  | None ->
   let g = t.dag in
   let n = Dag.n_nodes g in
   let order =

@@ -16,8 +16,22 @@ type 'a t = {
           must outlive the call. *)
 }
 
+type executor = Ic_dag.Dag.t -> (int -> unit) -> unit
+(** A pluggable execution strategy: [exec g step] must call [step v]
+    exactly once for every node [v] of [g], never before every parent of
+    [v] has been stepped. [step] calls for nodes with no dependence
+    relation may run concurrently from different domains — the engine's
+    own state under an executor is confined to per-node cells, so the
+    dataflow discipline above is the only synchronization it needs. The
+    in-process strategies are the engine's own sequential loop (the
+    default) and [Ic_par.Runtime.executor]. *)
+
 val execute :
-  ?schedule:Ic_dag.Schedule.t -> ?sink:Ic_obs.Trace.t -> 'a t -> 'a array
+  ?schedule:Ic_dag.Schedule.t ->
+  ?executor:executor ->
+  ?sink:Ic_obs.Trace.t ->
+  'a t ->
+  'a array
 (** All node values, computed in schedule order (default: a topological
     order). Raises [Invalid_argument] if the schedule does not fit.
 
@@ -27,7 +41,15 @@ val execute :
     push/pop events, and the eligibility count after every step — the
     same event model the simulator emits, so the exporters apply
     unchanged. Without a sink the execute path pays one branch per
-    node. *)
+    node.
+
+    [executor], when given, delegates ordering to the given strategy
+    instead of the engine's sequential frontier loop; each [step] call
+    then reads its parents' values into a fresh buffer (so steps are safe
+    to run from multiple domains) and [sink] is ignored — a parallel
+    executor exports its own per-domain traces. [Invalid_argument] if
+    both [schedule] and [executor] are given: an executor owns the
+    order. *)
 
 val value_at : ?schedule:Ic_dag.Schedule.t -> 'a t -> int -> 'a
 (** [value_at t v] is [(execute t).(v)], but only the ancestor cone of [v]

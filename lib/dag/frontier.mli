@@ -109,6 +109,23 @@ val profile_raw : Dag.t -> order:int array -> int array
     ([unpacked]). The choice used to be silent; these counters make it
     observable. *)
 
+type scratch_tier = Packed8 | Packed16 | Unpacked
+(** The remaining-parents representation a dag's maximum in-degree calls
+    for: 1 byte/node up to 255, 2 off-heap bytes/node up to 65535, a
+    plain int array beyond. *)
+
+val scratch_tier : Dag.t -> scratch_tier
+(** The tier {!profile} would pick for this dag — also the packing a
+    parallel runtime can use for its shared remaining-counts, since the
+    tier bound is exactly the largest value any count can take. [O(n)]
+    (scans the predecessor offsets). *)
+
+val fill_remaining : Dag.t -> (int -> int -> unit) -> unit
+(** [fill_remaining g f] calls [f v (in-degree of v)] for every node [v]
+    in ascending order — the initialization loop every remaining-parents
+    scratch (sequential or atomic) starts from, without materializing an
+    intermediate int array. *)
+
 type scratch_counts = { packed8 : int; packed16 : int; unpacked : int }
 
 val scratch_counts : unit -> scratch_counts

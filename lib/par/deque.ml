@@ -1,0 +1,86 @@
+(* The Chase–Lev deque over a fixed circular int buffer.
+
+   [top] is the next index a thief will take; [bottom] the next index the
+   owner will fill. Valid elements live at indices [top .. bottom - 1]
+   (monotonically increasing counters, reduced mod capacity only when
+   indexing the buffer). Invariants:
+
+     - only the owner writes [bottom] (thieves read it);
+     - [top] only advances, by exactly one, through a successful CAS
+       (thief steal, or the owner taking the last element);
+     - slot [i land mask] is written by the owner at push [i] and not
+       rewritten before [top > i - capacity + ... ]; concretely, a push at
+       counter [b] first observes [b - top < capacity], so any thief still
+       holding the stale [top = b - capacity] fails its CAS and discards
+       whatever it read from the recycled slot.
+
+   All Atomic operations in OCaml are sequentially consistent, which gives
+   the store-load fence the classic algorithm needs between the owner's
+   [bottom] decrement and its read of [top] in [pop]. *)
+
+type t = {
+  buf : int array;
+  mask : int;
+  top : int Atomic.t;
+  bottom : int Atomic.t;
+}
+
+let round_up_pow2 c =
+  let rec go p = if p >= c then p else go (p * 2) in
+  go 2
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Deque.create: capacity must be positive";
+  let cap = round_up_pow2 capacity in
+  {
+    buf = Array.make cap 0;
+    mask = cap - 1;
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+  }
+
+let capacity t = Array.length t.buf
+
+let size t =
+  let s = Atomic.get t.bottom - Atomic.get t.top in
+  if s < 0 then 0 else s
+
+let push t v =
+  let b = Atomic.get t.bottom in
+  let tp = Atomic.get t.top in
+  if b - tp >= Array.length t.buf then false
+  else begin
+    Array.unsafe_set t.buf (b land t.mask) v;
+    (* the SC store publishes the slot write to any thief that reads the
+       new [bottom] *)
+    Atomic.set t.bottom (b + 1);
+    true
+  end
+
+let pop t =
+  let b = Atomic.get t.bottom - 1 in
+  Atomic.set t.bottom b;
+  let tp = Atomic.get t.top in
+  if b < tp then begin
+    (* empty: undo the reservation *)
+    Atomic.set t.bottom tp;
+    None
+  end
+  else if b > tp then Some (Array.unsafe_get t.buf (b land t.mask))
+  else begin
+    (* last element: race thieves through the CAS on top *)
+    let won = Atomic.compare_and_set t.top tp (tp + 1) in
+    Atomic.set t.bottom (tp + 1);
+    if won then Some (Array.unsafe_get t.buf (b land t.mask)) else None
+  end
+
+let steal t =
+  let tp = Atomic.get t.top in
+  let b = Atomic.get t.bottom in
+  if tp >= b then None
+  else begin
+    (* read before the CAS: if the slot was recycled under us, [top] has
+       moved and the CAS fails, discarding the stale value *)
+    let v = Array.unsafe_get t.buf (tp land t.mask) in
+    if Atomic.compare_and_set t.top tp (tp + 1) then Some v else None
+  end

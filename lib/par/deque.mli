@@ -1,0 +1,48 @@
+(** A lock-free work-stealing deque of task ids (Chase–Lev).
+
+    One domain owns each deque: the owner pushes and pops at the bottom
+    (LIFO, so hot tasks stay cache-warm), thieves take from the top (FIFO,
+    so they steal the oldest — and on dag workloads usually the largest —
+    pending subtree). The buffer is a fixed-capacity circular [int array]
+    sized at creation: a full deque rejects the push ({!push} returns
+    [false]) and the runtime spills the task to its shared overflow pool
+    instead of resizing, so the steal path never has to chase a replaced
+    buffer and every slot read is a plain array load.
+
+    Memory ordering: [top] and [bottom] are {!Atomic.t} (sequentially
+    consistent in OCaml), element slots are plain writes. The standard
+    Chase–Lev argument applies: a slot is only overwritten once [top] has
+    advanced past it, and a thief that read a stale slot value fails its
+    CAS on [top] and discards the read. The owner-side [pop] of the last
+    element races thieves through the same CAS. See DESIGN.md, "The
+    parallel runtime". *)
+
+type t
+
+val create : capacity:int -> t
+(** [create ~capacity] rounds [capacity] up to a power of two (minimum 2).
+    Raises [Invalid_argument] if [capacity <= 0]. *)
+
+val capacity : t -> int
+
+val size : t -> int
+(** A linearization-point-free estimate of the current occupancy (exact
+    when no other domain is mutating the deque). *)
+
+(** {1 Owner operations} *)
+
+val push : t -> int -> bool
+(** [push t v] appends [v] at the bottom; [false] when the deque is full
+    (the caller must route [v] elsewhere — nothing was written). *)
+
+val pop : t -> int option
+(** Remove and return the most recently pushed element, racing thieves
+    for the last one. [None] when empty (or the race was lost). *)
+
+(** {1 Thief operations} *)
+
+val steal : t -> int option
+(** Remove and return the oldest element. [None] when the deque looks
+    empty or another thief (or the owner taking the last element) won the
+    CAS — callers treat both as "try elsewhere", so a failed CAS does not
+    retry internally. *)

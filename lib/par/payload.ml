@@ -1,0 +1,301 @@
+module Dag = Ic_dag.Dag
+module Slab = Ic_dag.Slab
+module Schedule = Ic_dag.Schedule
+module Engine = Ic_compute.Engine
+
+type t = {
+  name : string;
+  dag : Dag.t;
+  rank : int array;
+  exec : Engine.executor option -> float array;
+  validate : float array -> bool;
+}
+
+let name t = t.name
+let dag t = t.dag
+let rank t = t.rank
+let execute ?executor t = t.exec executor
+let check t fp = t.validate fp
+
+(* ---- calibrated busy-work -------------------------------------------- *)
+
+(* a serial float recurrence the compiler cannot vectorize away *)
+let kernel iters =
+  let x = ref 1.0 in
+  for i = 1 to iters do
+    x := !x +. (1.0 /. ((!x *. 0.5) +. float_of_int i))
+  done;
+  ignore (Sys.opaque_identity !x)
+
+(* iterations per microsecond; calibrated once, from the constructing
+   domain, before any worker can call [spin] *)
+let iters_per_us = ref 0.0
+
+let calibrate () =
+  if !iters_per_us = 0.0 then begin
+    let iters = ref 4096 in
+    let dt = ref 0.0 in
+    let continue = ref true in
+    while !continue do
+      let t0 = Ic_prof.Monotonic.now () in
+      kernel !iters;
+      dt := Ic_prof.Monotonic.now () -. t0;
+      if !dt < 2e-3 && !iters < 1 lsl 26 then iters := !iters * 4
+      else continue := false
+    done;
+    iters_per_us := Float.max 1.0 (float_of_int !iters /. (!dt *. 1e6))
+  end
+
+let spin us =
+  if us > 0.0 then kernel (max 1 (int_of_float (us *. !iters_per_us)))
+
+(* wrap an engine's compute with the spin; the spin touches no shared
+   state, so the wrapped compute stays safe to call from any domain *)
+let with_spin spin_us (e : 'a Engine.t) =
+  if spin_us <= 0.0 then e
+  else begin
+    calibrate ();
+    {
+      e with
+      Engine.compute =
+        (fun v parents ->
+          spin spin_us;
+          e.Engine.compute v parents);
+    }
+  end
+
+let rank_of_schedule s =
+  let order = Schedule.order s in
+  let rank = Array.make (Array.length order) 0 in
+  (* order.(i) = v means v runs at step i, so v's rank is i *)
+  Array.iteri (fun i v -> rank.(v) <- i) order;
+  rank
+
+let run_engine ?executor e ~fingerprint =
+  match executor with
+  | None -> fingerprint (Engine.execute e)
+  | Some exec -> fingerprint (Engine.execute ~executor:exec e)
+
+(* ---- wavefront: edit distance on the (size+1)² grid ------------------ *)
+
+let synth_string seed len =
+  String.init len (fun i -> Char.chr (97 + ((i * (i + seed) * 7) + seed) mod 26))
+
+let wavefront ?(spin_us = 0.0) ~size () =
+  if size < 1 then invalid_arg "Payload.wavefront: size must be >= 1";
+  let s = synth_string 3 size and tt = synth_string 11 size in
+  let rows = size and cols = size in
+  let g = Ic_compute.Wavefront.grid ~rows ~cols in
+  let w = cols + 1 in
+  let compute v parents =
+    let i = v / w and j = v mod w in
+    if i = 0 then j
+    else if j = 0 then i
+    else begin
+      (* parents ascending: (i-1, j-1), (i-1, j), (i, j-1) *)
+      let diag = parents.(0) and up = parents.(1) and left = parents.(2) in
+      let cost = if s.[i - 1] = tt.[j - 1] then 0 else 1 in
+      min (diag + cost) (min (up + 1) (left + 1))
+    end
+  in
+  let e = with_spin spin_us { Engine.dag = g; compute } in
+  let fingerprint values = Array.map float_of_int values in
+  {
+    name = Printf.sprintf "wavefront-%d" size;
+    dag = g;
+    rank = rank_of_schedule (Ic_compute.Wavefront.grid_schedule ~rows ~cols);
+    exec = (fun executor -> run_engine ?executor e ~fingerprint);
+    validate =
+      (fun fp ->
+        fp.((rows * w) + cols)
+        = float_of_int (Ic_compute.Wavefront.edit_distance_reference s tt));
+  }
+
+(* ---- fft: the 2^size-point DFT on B_size ----------------------------- *)
+
+let fft ?(spin_us = 0.0) ~size () =
+  if size < 1 then invalid_arg "Payload.fft: size must be >= 1";
+  let d = size in
+  let n = 1 lsl d in
+  let input =
+    Array.init n (fun i ->
+        let x = float_of_int i in
+        { Complex.re = cos (0.7 *. x); im = sin (0.3 *. x) })
+  in
+  let e = with_spin spin_us (Ic_compute.Fft.engine input) in
+  let g = e.Engine.dag in
+  let fingerprint values =
+    Array.init (2 * Array.length values) (fun i ->
+        let c = values.(i / 2) in
+        if i land 1 = 0 then c.Complex.re else c.Complex.im)
+  in
+  {
+    name = Printf.sprintf "fft-%d" d;
+    dag = g;
+    rank = rank_of_schedule (Ic_families.Butterfly_net.schedule d);
+    exec = (fun executor -> run_engine ?executor e ~fingerprint);
+    validate =
+      (fun fp ->
+        let reference = Ic_compute.Fft.dft_naive input in
+        let ok = ref true in
+        for r = 0 to n - 1 do
+          let v = Ic_families.Butterfly_net.node ~d d r in
+          let re = fp.(2 * v) and im = fp.((2 * v) + 1) in
+          let dre = re -. reference.(r).Complex.re
+          and dim = im -. reference.(r).Complex.im in
+          if sqrt ((dre *. dre) +. (dim *. dim)) > 1e-6 *. float_of_int n then
+            ok := false
+        done;
+        !ok);
+  }
+
+(* ---- matmul: one level of M over 2^size float blocks ----------------- *)
+
+let synth_mat seed n =
+  Array.init n (fun i ->
+      Array.init n (fun j ->
+          let x = float_of_int (((i * 31) + (j * 17) + seed) mod 101) in
+          (x /. 50.0) -. 1.0))
+
+let matmul ?(spin_us = 0.0) ~size () =
+  if size < 1 then invalid_arg "Payload.matmul: size must be >= 1"
+  else begin
+    let nm = 1 lsl size in
+    let a = synth_mat 5 nm and b = synth_mat 23 nm in
+    let half = nm / 2 in
+    let g = Ic_families.Matmul_dag.dag () in
+    let poff = Dag.pred_offsets g and pdat = Dag.pred_sources g in
+    let quadrant m qi qj =
+      Array.init half (fun i ->
+          Array.init half (fun j -> m.((qi * half) + i).((qj * half) + j)))
+    in
+    let operand_side = function
+      | 0 | 2 | 8 | 10 -> `Left
+      | 1 | 3 | 9 | 11 -> `Right
+      | _ -> invalid_arg "Payload.matmul: not an operand"
+    in
+    let is_operand v = v < 4 || (v >= 8 && v < 12) in
+    let is_product v = (v >= 4 && v < 8) || (v >= 12 && v < 16) in
+    let compute v parents =
+      if is_operand v then begin
+        let qi, qj =
+          match v with
+          | 0 -> (0, 0) (* A *)
+          | 2 -> (1, 0) (* C *)
+          | 8 -> (0, 1) (* B *)
+          | 10 -> (1, 1) (* D *)
+          | 1 -> (0, 0) (* E *)
+          | 3 -> (0, 1) (* F *)
+          | 9 -> (1, 0) (* G *)
+          | _ -> (1, 1) (* H = 11 *)
+        in
+        let src = match operand_side v with `Left -> a | `Right -> b in
+        quadrant src qi qj
+      end
+      else if is_product v then begin
+        let left, right =
+          match operand_side (Slab.get pdat (Slab.get poff v)) with
+          | `Left -> (parents.(0), parents.(1))
+          | `Right -> (parents.(1), parents.(0))
+        in
+        Ic_compute.Matmul.naive left right
+      end
+      else
+        Array.init half (fun i ->
+            Array.init half (fun j ->
+                parents.(0).(i).(j) +. parents.(1).(i).(j)))
+    in
+    let e = with_spin spin_us { Engine.dag = g; compute } in
+    let fingerprint values =
+      (* flatten every node's block, node-major *)
+      let out = Array.make (20 * half * half) 0.0 in
+      Array.iteri
+        (fun v m ->
+          Array.iteri
+            (fun i row ->
+              Array.iteri
+                (fun j x -> out.((((v * half) + i) * half) + j) <- x)
+                row)
+            m)
+        values;
+      out
+    in
+    let assemble fp =
+      (* sums: 16 = top-left, 19 = top-right, 17 = bottom-left,
+         18 = bottom-right (Matmul.multiply's reading of M) *)
+      let block v i j = fp.((((v * half) + i) * half) + j) in
+      Array.init nm (fun i ->
+          Array.init nm (fun j ->
+              let v =
+                if i < half then if j < half then 16 else 19
+                else if j < half then 17
+                else 18
+              in
+              block v (i mod half) (j mod half)))
+    in
+    {
+      name = Printf.sprintf "matmul-%d" nm;
+      dag = g;
+      rank = rank_of_schedule (Ic_families.Matmul_dag.schedule ());
+      exec = (fun executor -> run_engine ?executor e ~fingerprint);
+      validate =
+        (fun fp ->
+          Ic_compute.Matmul.approx_equal (assemble fp)
+            (Ic_compute.Matmul.naive a b));
+    }
+  end
+
+(* ---- quadrature: midpoint rule reduced through the binary in-tree ---- *)
+
+let quadrature ?(spin_us = 0.0) ~size () =
+  if size < 1 then invalid_arg "Payload.quadrature: size must be >= 1";
+  let depth = size in
+  let g = Ic_families.In_tree.dag ~arity:2 ~depth in
+  let n = Dag.n_nodes g in
+  let leaves = 1 lsl depth in
+  let h = 1.0 /. float_of_int leaves in
+  (* leaf index = position among the sources in ascending node order *)
+  let leaf_index = Array.make n (-1) in
+  let next = ref 0 in
+  Ic_dag.Frontier.fill_remaining g (fun v d ->
+      if d = 0 then begin
+        leaf_index.(v) <- !next;
+        incr next
+      end);
+  assert (!next = leaves);
+  let f x = 4.0 /. (1.0 +. (x *. x)) in
+  let compute v parents =
+    if Array.length parents = 0 then
+      let mid = (float_of_int leaf_index.(v) +. 0.5) *. h in
+      h *. f mid
+    else Array.fold_left ( +. ) 0.0 parents
+  in
+  let e = with_spin spin_us { Engine.dag = g; compute } in
+  let fingerprint values = Array.copy values in
+  (* the sink is the unique node with no successors *)
+  let soff = Dag.succ_offsets g in
+  let sink = ref 0 in
+  for v = 0 to n - 1 do
+    if Slab.get soff (v + 1) = Slab.get soff v then sink := v
+  done;
+  let sink = !sink in
+  {
+    name = Printf.sprintf "quadrature-%d" depth;
+    dag = g;
+    rank = rank_of_schedule (Ic_families.In_tree.schedule g);
+    exec = (fun executor -> run_engine ?executor e ~fingerprint);
+    validate =
+      (fun fp ->
+        (* composite midpoint error <= (b-a) h² max|f''| / 24 <= h²/3 *)
+        Float.abs (fp.(sink) -. Float.pi) <= h *. h);
+  }
+
+let families = [ "wavefront"; "fft"; "matmul"; "quadrature" ]
+
+let make ?spin_us ~family ~size () =
+  match family with
+  | "wavefront" -> wavefront ?spin_us ~size ()
+  | "fft" -> fft ?spin_us ~size ()
+  | "matmul" -> matmul ?spin_us ~size ()
+  | "quadrature" -> quadrature ?spin_us ~size ()
+  | _ -> invalid_arg ("Payload.make: unknown family " ^ family)

@@ -1,0 +1,342 @@
+module Dag = Ic_dag.Dag
+module Slab = Ic_dag.Slab
+module Frontier = Ic_dag.Frontier
+module Trace = Ic_obs.Trace
+module Metrics = Ic_obs.Metrics
+
+type order = Steal | Ic_priority
+
+type stats = {
+  domains : int;
+  wall_s : float;
+  tasks : int;
+  steals : int;
+  steal_attempts : int;
+  overflows : int;
+  parks : int;
+  per_domain_tasks : int array;
+}
+
+let default_domains () =
+  match Sys.getenv_opt "IC_PAR_DOMAINS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some d when d > 0 -> d
+    | _ -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+(* Shared remaining-predecessor counts, decremented with fetch-and-add.
+
+   The packing reuses the Frontier's scratch-tier rule: the tier bound is
+   the largest value any count can take, so several counts share one
+   atomic word — 7 8-bit fields per word under [Packed8], 3 16-bit fields
+   under [Packed16] (OCaml ints are 63-bit, hence 7 and 3 rather than 8
+   and 4), one count per word under [Unpacked]. A field decrement is
+   [fetch_and_add word (-(1 lsl shift))]: fields never underflow in a
+   correct run (each is decremented exactly in-degree times), so no
+   borrow ever crosses a field boundary, and the returned old word tells
+   the caller — uniquely, since exactly one decrement observes old field
+   value 1 — whether it made the node ready. *)
+module Counts = struct
+  type t = {
+    words : int Atomic.t array;
+    per_word : int;
+    bits : int;
+    mask : int;
+  }
+
+  let layout = function
+    | Frontier.Packed8 -> (7, 8, 0xff)
+    | Frontier.Packed16 -> (3, 16, 0xffff)
+    | Frontier.Unpacked -> (1, 0, -1)
+
+  let create g =
+    let n = Dag.n_nodes g in
+    let per_word, bits, mask = layout (Frontier.scratch_tier g) in
+    let n_words = if n = 0 then 0 else ((n - 1) / per_word) + 1 in
+    let plain = Array.make n_words 0 in
+    Frontier.fill_remaining g (fun v d ->
+        plain.(v / per_word) <-
+          plain.(v / per_word) lor (d lsl (v mod per_word * bits)));
+    { words = Array.map Atomic.make plain; per_word; bits; mask }
+
+  (* true iff this decrement took node [v]'s count from 1 to 0 *)
+  let decr t v =
+    if t.per_word = 1 then Atomic.fetch_and_add t.words.(v) (-1) = 1
+    else begin
+      let shift = v mod t.per_word * t.bits in
+      let old = Atomic.fetch_and_add t.words.(v / t.per_word) (-(1 lsl shift)) in
+      (old lsr shift) land t.mask = 1
+    end
+end
+
+(* The shared spill target for full deques: a mutex-protected stack. Cold
+   by design — it only sees traffic when a deque's fixed buffer fills. *)
+module Overflow = struct
+  type t = { lock : Mutex.t; mutable items : int list }
+
+  let create () = { lock = Mutex.create (); items = [] }
+
+  let push t v =
+    Mutex.lock t.lock;
+    t.items <- v :: t.items;
+    Mutex.unlock t.lock
+
+  let pop t =
+    if t.items == [] then None
+    else begin
+      Mutex.lock t.lock;
+      let r =
+        match t.items with
+        | [] -> None
+        | v :: rest ->
+          t.items <- rest;
+          Some v
+      in
+      Mutex.unlock t.lock;
+      r
+    end
+end
+
+(* per-worker mutable state, touched only by its own domain *)
+type worker = {
+  id : int;
+  mutable tasks : int;
+  mutable steals : int;
+  mutable steal_attempts : int;
+  mutable overflows : int;
+  mutable parks : int;
+  mutable rng : int;  (* xorshift state for victim selection *)
+  trace : Trace.t option;
+}
+
+let xorshift w =
+  let x = w.rng in
+  let x = x lxor (x lsl 13) in
+  let x = x lxor (x lsr 7) in
+  let x = x lxor (x lsl 17) in
+  let x = x land max_int in
+  w.rng <- (if x = 0 then w.id + 1 else x);
+  w.rng
+
+(* The two ready-set shapes behind one tiny interface: [push_ready] from
+   the worker that made the task ready, [pop_own] from the owner,
+   [steal_from] a victim (non-blocking). *)
+type ready =
+  | Deques of Deque.t array * Overflow.t
+  | Shards of Pool.t
+
+let push_ready ready w v =
+  match ready with
+  | Deques (dq, ov) ->
+    if not (Deque.push dq.(w.id) v) then begin
+      w.overflows <- w.overflows + 1;
+      Overflow.push ov v
+    end
+  | Shards p -> Pool.push p ~shard:w.id v
+
+let pop_own ready w =
+  match ready with
+  | Deques (dq, ov) -> (
+    match Deque.pop dq.(w.id) with
+    | Some _ as r -> r
+    | None -> Overflow.pop ov)
+  | Shards p -> Pool.pop p ~shard:w.id
+
+let steal_from ready victim =
+  match ready with
+  | Deques (dq, _) -> Deque.steal dq.(victim)
+  | Shards p -> Pool.try_steal p ~shard:victim
+
+let run ?domains ?(order = Steal) ?priority ?(capacity = 8192) ?metrics ?sink g
+    ~task =
+  let n = Dag.n_nodes g in
+  let n_domains =
+    max 1 (match domains with Some d -> d | None -> default_domains ())
+  in
+  let record_metrics (st : stats) =
+    match metrics with
+    | None -> ()
+    | Some m ->
+      Metrics.incr ~by:st.tasks (Metrics.counter m "par.tasks");
+      Metrics.incr ~by:st.steals (Metrics.counter m "par.steals");
+      Metrics.incr ~by:st.steal_attempts (Metrics.counter m "par.steal_attempts");
+      Metrics.incr ~by:st.overflows (Metrics.counter m "par.overflows");
+      Metrics.incr ~by:st.parks (Metrics.counter m "par.parks");
+      Metrics.set (Metrics.gauge m "par.domains") (float_of_int st.domains);
+      Metrics.set (Metrics.gauge m "par.wall_s") st.wall_s
+  in
+  if n = 0 then begin
+    let st =
+      {
+        domains = n_domains;
+        wall_s = 0.0;
+        tasks = 0;
+        steals = 0;
+        steal_attempts = 0;
+        overflows = 0;
+        parks = 0;
+        per_domain_tasks = Array.make n_domains 0;
+      }
+    in
+    record_metrics st;
+    st
+  end
+  else begin
+    (match priority with
+    | Some p when Array.length p <> n ->
+      invalid_arg "Runtime.run: priority length mismatch"
+    | _ -> ());
+    let ready =
+      match order with
+      | Steal ->
+        Deques (Array.init n_domains (fun _ -> Deque.create ~capacity), Overflow.create ())
+      | Ic_priority ->
+        let rank =
+          match priority with Some p -> p | None -> Array.init n (fun v -> v)
+        in
+        Shards (Pool.create ~shards:n_domains ~rank)
+    in
+    let counts = Counts.create g in
+    let completed = Atomic.make 0 in
+    let off = Dag.succ_offsets g and dat = Dag.succ_targets g in
+    let workers =
+      Array.init n_domains (fun id ->
+          {
+            id;
+            tasks = 0;
+            steals = 0;
+            steal_attempts = 0;
+            overflows = 0;
+            parks = 0;
+            rng = (id * 0x9e3779b9) lor 1;
+            trace =
+              (match sink with None -> None | Some _ -> Some (Trace.create ()));
+          })
+    in
+    (* seed the sources round-robin; no domain is running yet, so pushing
+       into every deque from here is still an owner push (the spawn
+       establishes the happens-before) *)
+    let seed = ref 0 in
+    Frontier.fill_remaining g (fun v d ->
+        if d = 0 then begin
+          push_ready ready workers.(!seed mod n_domains) v;
+          incr seed
+        end);
+    let t0 = Ic_prof.Monotonic.now () in
+    let run_task w v =
+      (match w.trace with
+      | None -> ()
+      | Some tr ->
+        Trace.task_alloc tr ~time:(Ic_prof.Monotonic.now () -. t0) ~task:v
+          ~client:w.id);
+      task v;
+      (match w.trace with
+      | None -> ()
+      | Some tr ->
+        Trace.task_complete tr ~time:(Ic_prof.Monotonic.now () -. t0) ~task:v
+          ~client:w.id);
+      w.tasks <- w.tasks + 1;
+      for i = Slab.unsafe_get off v to Slab.unsafe_get off (v + 1) - 1 do
+        let s = Slab.unsafe_get dat i in
+        if Counts.decr counts s then push_ready ready w s
+      done;
+      ignore (Atomic.fetch_and_add completed 1)
+    in
+    let worker_loop w =
+      let backoff = ref 0 in
+      let running = ref true in
+      while !running do
+        match pop_own ready w with
+        | Some v ->
+          backoff := 0;
+          run_task w v
+        | None ->
+          if Atomic.get completed >= n then running := false
+          else begin
+            (* sweep up to n_domains - 1 random victims *)
+            let found = ref None in
+            let tries = ref 0 in
+            while !found = None && !tries < n_domains - 1 do
+              incr tries;
+              let victim =
+                let r = xorshift w mod (n_domains - 1) in
+                if r >= w.id then r + 1 else r
+              in
+              w.steal_attempts <- w.steal_attempts + 1;
+              match steal_from ready victim with
+              | Some v ->
+                w.steals <- w.steals + 1;
+                found := Some v
+              | None -> ()
+            done;
+            match !found with
+            | Some v ->
+              backoff := 0;
+              run_task w v
+            | None ->
+              (* nothing anywhere: spin briefly, then sleep — on an
+                 oversubscribed machine the sleep is what lets the domain
+                 actually holding work get a timeslice *)
+              incr backoff;
+              if !backoff <= 16 then
+                for _ = 1 to !backoff * 8 do
+                  Domain.cpu_relax ()
+                done
+              else begin
+                w.parks <- w.parks + 1;
+                Unix.sleepf (Float.min 1e-3 (float_of_int !backoff *. 2e-6))
+              end
+          end
+      done
+    in
+    let spawned =
+      Array.init (n_domains - 1) (fun i ->
+          Domain.spawn (fun () -> worker_loop workers.(i + 1)))
+    in
+    worker_loop workers.(0);
+    Array.iter Domain.join spawned;
+    let wall_s = Ic_prof.Monotonic.now () -. t0 in
+    (* merge the per-domain trace buffers into the caller's sink,
+       time-sorted, now that only this domain is running *)
+    (match sink with
+    | None -> ()
+    | Some tr ->
+      let events =
+        Array.concat
+          (Array.to_list
+             (Array.map
+                (fun w ->
+                  match w.trace with
+                  | None -> [||]
+                  | Some t -> Trace.to_array t)
+                workers))
+      in
+      Array.stable_sort
+        (fun (a : Trace.event) b -> compare a.time b.time)
+        events;
+      Array.iter
+        (fun (e : Trace.event) ->
+          Trace.emit tr e.kind ~time:e.time ~a:e.a ~b:e.b)
+        events);
+    let sum f = Array.fold_left (fun acc w -> acc + f w) 0 workers in
+    let st =
+      {
+        domains = n_domains;
+        wall_s;
+        tasks = sum (fun w -> w.tasks);
+        steals = sum (fun w -> w.steals);
+        steal_attempts = sum (fun w -> w.steal_attempts);
+        overflows = sum (fun w -> w.overflows);
+        parks = sum (fun w -> w.parks);
+        per_domain_tasks = Array.map (fun w -> w.tasks) workers;
+      }
+    in
+    record_metrics st;
+    st
+  end
+
+let executor ?domains ?order ?priority ?capacity ?metrics ?sink ?on_stats () =
+ fun g step ->
+  let st = run ?domains ?order ?priority ?capacity ?metrics ?sink g ~task:step in
+  match on_stats with None -> () | Some f -> f st

@@ -1,0 +1,288 @@
+(* Tests for the domains-based parallel runtime (lib/par). Only built on
+   OCaml >= 5.0 — see the enabled_if on this stanza in test/dune. *)
+
+module Dag = Ic_dag.Dag
+module Runtime = Ic_par.Runtime
+module Payload = Ic_par.Payload
+module Deque = Ic_par.Deque
+module Pool = Ic_par.Pool
+module Metrics = Ic_obs.Metrics
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+(* --- determinism: parallel fingerprints = sequential, any config --- *)
+
+(* family index, size (range scaled per family so cases stay <1s even
+   with 4 domains on one core), domain count, ordering mode *)
+let gen_config =
+  QCheck2.Gen.(
+    bind (int_bound 3) (fun fi ->
+        bind (int_range 1 4) (fun domains ->
+            bind bool (fun ic ->
+                let hi =
+                  match fi with 0 -> 8 | 1 -> 5 | 2 -> 3 | _ -> 7
+                in
+                map (fun size -> (fi, size, domains, ic)) (int_range 1 hi)))))
+
+let prop_parallel_matches_sequential =
+  QCheck2.Test.make
+    ~name:"parallel fingerprint = sequential (family x size x domains x order)"
+    ~count:48
+    ~print:(fun (fi, size, domains, ic) ->
+      Printf.sprintf "%s size=%d domains=%d order=%s"
+        (List.nth Payload.families fi)
+        size domains
+        (if ic then "ic" else "steal"))
+    gen_config
+    (fun (fi, size, domains, ic) ->
+      let family = List.nth Payload.families fi in
+      let p = Payload.make ~family ~size () in
+      let seq = Payload.execute p in
+      let order = if ic then Runtime.Ic_priority else Runtime.Steal in
+      let executor =
+        Runtime.executor ~domains ~order ~priority:(Payload.rank p) ()
+      in
+      let par = Payload.execute ~executor p in
+      par = seq && Payload.check p par)
+
+(* --- deque vs a sequence model, single domain ------------------------ *)
+
+(* ops: 0 = push, 1 = owner pop (expect newest), 2 = steal (expect
+   oldest). With no concurrency every non-empty pop/steal must succeed:
+   a None on a non-empty deque would mean a lost element. *)
+let prop_deque_matches_model =
+  QCheck2.Test.make ~name:"deque matches sequence model (single domain)"
+    ~count:300
+    QCheck2.Gen.(list_size (int_range 1 300) (int_bound 2))
+    (fun ops ->
+      let capacity = 16 in
+      let d = Deque.create ~capacity in
+      let model = ref [] (* head = oldest *) in
+      let next = ref 0 in
+      List.for_all
+        (fun op ->
+          match op with
+          | 0 ->
+            let v = !next in
+            incr next;
+            let was_full = List.length !model >= capacity in
+            let accepted = Deque.push d v in
+            if accepted then model := !model @ [ v ];
+            accepted = not was_full
+          | 1 -> (
+            match (Deque.pop d, List.rev !model) with
+            | None, [] -> true
+            | Some v, newest :: rest_rev ->
+              model := List.rev rest_rev;
+              v = newest
+            | _ -> false)
+          | _ -> (
+            match (Deque.steal d, !model) with
+            | None, [] -> true
+            | Some v, oldest :: rest ->
+              model := rest;
+              v = oldest
+            | _ -> false))
+        ops
+      && Deque.size d = List.length !model)
+
+(* --- deque under real concurrency: nothing lost, nothing duplicated -- *)
+
+let test_deque_concurrent_stress () =
+  let total = 20_000 and n_thieves = 3 in
+  let d = Deque.create ~capacity:64 in
+  let done_flag = Atomic.make false in
+  let thieves =
+    Array.init n_thieves (fun _ ->
+        Domain.spawn (fun () ->
+            let acc = ref [] in
+            let rec loop () =
+              match Deque.steal d with
+              | Some v ->
+                acc := v :: !acc;
+                loop ()
+              | None ->
+                if not (Atomic.get done_flag) then begin
+                  Domain.cpu_relax ();
+                  loop ()
+                end
+                (* after done: the owner drains leftovers, so a thief
+                   may exit on any None *)
+            in
+            loop ();
+            !acc))
+  in
+  let popped = ref [] in
+  for v = 0 to total - 1 do
+    while not (Deque.push d v) do
+      match Deque.pop d with
+      | Some u -> popped := u :: !popped
+      | None -> Domain.cpu_relax ()
+    done
+  done;
+  Atomic.set done_flag true;
+  let stolen = Array.to_list (Array.map Domain.join thieves) in
+  (* single-threaded from here: pop to empty *)
+  let rec drain () =
+    match Deque.pop d with
+    | Some v ->
+      popped := v :: !popped;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check int) "deque empty" 0 (Deque.size d);
+  let all = List.sort compare (List.concat (!popped :: stolen)) in
+  Alcotest.(check int) "every push accounted for" total (List.length all);
+  List.iteri
+    (fun i v ->
+      if i <> v then Alcotest.failf "lost or duplicated element near %d" i)
+    all
+
+(* --- pool ------------------------------------------------------------ *)
+
+let test_pool_rank_order () =
+  let rank = [| 5; 3; 9; 0; 7 |] in
+  let p = Pool.create ~shards:1 ~rank in
+  List.iter (fun v -> Pool.push p ~shard:0 v) [ 0; 1; 2; 3; 4 ];
+  let order = List.init 5 (fun _ -> Option.get (Pool.pop p ~shard:0)) in
+  (* lowest rank first: node 3 (rank 0), 1 (3), 0 (5), 4 (7), 2 (9) *)
+  Alcotest.(check (list int)) "min-rank order" [ 3; 1; 0; 4; 2 ] order;
+  Alcotest.(check bool) "empty pop" true (Pool.pop p ~shard:0 = None)
+
+let test_pool_steal () =
+  let rank = Array.init 8 (fun i -> i) in
+  let p = Pool.create ~shards:2 ~rank in
+  Pool.push p ~shard:0 6;
+  Pool.push p ~shard:0 2;
+  Alcotest.(check (option int))
+    "steals the best of the shard" (Some 2)
+    (Pool.try_steal p ~shard:0);
+  Alcotest.(check (option int)) "empty steal" None (Pool.try_steal p ~shard:1);
+  Alcotest.(check int) "size" 1 (Pool.size p)
+
+(* --- runtime edge cases ---------------------------------------------- *)
+
+let test_empty_dag () =
+  let g = Dag.empty 0 in
+  List.iter
+    (fun order ->
+      let st = Runtime.run ~domains:2 ~order g ~task:(fun _ -> assert false) in
+      Alcotest.(check int) "no tasks" 0 st.Runtime.tasks)
+    [ Runtime.Steal; Runtime.Ic_priority ]
+
+let test_single_node () =
+  let g = Dag.empty 1 in
+  List.iter
+    (fun order ->
+      let hits = Atomic.make 0 in
+      let st =
+        Runtime.run ~domains:4 ~order g ~task:(fun v ->
+            assert (v = 0);
+            ignore (Atomic.fetch_and_add hits 1))
+      in
+      Alcotest.(check int) "one task" 1 st.Runtime.tasks;
+      Alcotest.(check int) "task ran once" 1 (Atomic.get hits))
+    [ Runtime.Steal; Runtime.Ic_priority ]
+
+let test_priority_length_mismatch () =
+  let g = Dag.empty 3 in
+  match
+    Runtime.run ~order:Runtime.Ic_priority ~priority:[| 0; 1 |] g
+      ~task:(fun _ -> ())
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument on short priority"
+
+let test_engine_rejects_schedule_plus_executor () =
+  let g = Dag.empty 2 in
+  let e = { Ic_compute.Engine.dag = g; compute = (fun _ _ -> 0) } in
+  let s = Ic_dag.Schedule.natural g in
+  let executor = Runtime.executor () in
+  match Ic_compute.Engine.execute ~schedule:s ~executor e with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected rejection of schedule + executor"
+
+(* --- every task runs exactly once, after its predecessors ----------- *)
+
+let test_tasks_respect_dependences () =
+  let g = Ic_families.Mesh.out_mesh 24 in
+  let n = Dag.n_nodes g in
+  let stamp = Array.make n (-1) in
+  let clock = Atomic.make 0 in
+  let st =
+    Runtime.run ~domains:4 g ~task:(fun v ->
+        (* all predecessors must have stamped before us *)
+        Dag.iter_pred g v (fun u -> assert (stamp.(u) >= 0));
+        stamp.(v) <- Atomic.fetch_and_add clock 1)
+  in
+  Alcotest.(check int) "all tasks ran" n st.Runtime.tasks;
+  Array.iteri
+    (fun v s -> if s < 0 then Alcotest.failf "node %d never ran" v)
+    stamp;
+  Alcotest.(check int) "per-domain totals add up" n
+    (Array.fold_left ( + ) 0 st.Runtime.per_domain_tasks)
+
+(* --- steal counters reach the metrics registry (satellite 6) --------- *)
+
+let test_mesh256_records_steals () =
+  (* Four domains over mesh-256 (33k tasks, one source): domains 1-3
+     can only obtain their first task by stealing, so a steal is all
+     but guaranteed — but the schedule is nondeterministic, so retry a
+     few times before declaring failure (matters on 1-core hosts). *)
+  let g = Ic_families.Mesh.out_mesh 256 in
+  let work = ref 0.0 in
+  let task _ =
+    let acc = ref 1.0 in
+    for _ = 1 to 40 do
+      acc := Float.of_int (Sys.opaque_identity 3) *. !acc *. 0.25
+    done;
+    work := !acc
+  in
+  let rec attempt k =
+    let m = Metrics.create () in
+    let st = Runtime.run ~domains:4 ~metrics:m g ~task in
+    let recorded = Metrics.counter_value (Metrics.counter m "par.steals") in
+    Alcotest.(check int) "metrics steals = stats steals" st.Runtime.steals
+      recorded;
+    Alcotest.(check int) "metrics tasks" st.Runtime.tasks
+      (Metrics.counter_value (Metrics.counter m "par.tasks"));
+    if recorded >= 1 then ()
+    else if k >= 20 then
+      Alcotest.failf "no steal recorded in %d 4-domain mesh-256 runs" k
+    else attempt (k + 1)
+  in
+  attempt 1;
+  ignore !work
+
+let () =
+  Alcotest.run "ic_par"
+    [
+      ( "determinism",
+        Alcotest.test_case "dependences respected on mesh" `Quick
+          test_tasks_respect_dependences
+        :: qcheck [ prop_parallel_matches_sequential ] );
+      ( "deque",
+        Alcotest.test_case "concurrent stress: no loss, no dup" `Quick
+          test_deque_concurrent_stress
+        :: qcheck [ prop_deque_matches_model ] );
+      ( "pool",
+        [
+          Alcotest.test_case "rank order" `Quick test_pool_rank_order;
+          Alcotest.test_case "steal best" `Quick test_pool_steal;
+        ] );
+      ( "edges",
+        [
+          Alcotest.test_case "empty dag" `Quick test_empty_dag;
+          Alcotest.test_case "single node" `Quick test_single_node;
+          Alcotest.test_case "priority length mismatch" `Quick
+            test_priority_length_mismatch;
+          Alcotest.test_case "engine rejects schedule+executor" `Quick
+            test_engine_rejects_schedule_plus_executor;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "mesh-256 x 4 domains records steals" `Quick
+            test_mesh256_records_steals;
+        ] );
+    ]
