@@ -1,0 +1,6 @@
+(* Stub selected on compilers without ic_served (OCaml < 5.0): the
+   served group degrades to a notice instead of breaking the binary. *)
+
+let run ~quick:_ ~emit:_ =
+  prerr_endline
+    "bench group served skipped: the serving subsystem requires OCaml >= 5.0"

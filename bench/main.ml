@@ -2,7 +2,7 @@
    (the per-experiment index of DESIGN.md), all in one executable.
 
    dune exec bench/main.exe --
-     [--group default|large|fault|prof|par|gate|all] [--quick] [--repeat K]
+     [--group default|large|fault|prof|par|served|gate|all] [--quick] [--repeat K]
      [--json-out FILE] [--compare BASELINE.json] [--threshold METRIC=TAU]
      [--profile] [--profile-out FILE] [--flame-out FILE]
 
@@ -25,7 +25,7 @@ let stage = Staged.stage
 
 (* ---------------------------------------------------------------- CLI -- *)
 
-type group = Default | Large | Fault | Prof | Par | Gate | All
+type group = Default | Large | Fault | Prof | Par | Served | Gate | All
 
 let group = ref Default
 let quick = ref false
@@ -98,11 +98,13 @@ let parse_args () =
          | "fault" -> Fault
          | "prof" -> Prof
          | "par" -> Par
+         | "served" -> Served
          | "gate" -> Gate
          | "all" -> All
          | _ ->
            prerr_endline
-             ("unknown group " ^ g ^ " (default|large|fault|prof|par|gate|all)");
+             ("unknown group " ^ g
+              ^ " (default|large|fault|prof|par|served|gate|all)");
            exit 2);
       go rest
     | arg :: _ ->
@@ -666,6 +668,13 @@ let run_trace file =
    emit_json so --json-out and --compare see them like any other group. *)
 let run_par () = Bench_par.run ~quick:!quick ~emit:emit_json
 
+(* ------------------------------------------------ group: served ----- *)
+
+(* Bench_served is the same select arrangement as Bench_par: real runner
+   where ic_served builds, a notice on 4.14. Like par, the group stays
+   out of the gate -- leases/sec is machine-specific. *)
+let run_served () = Bench_served.run ~quick:!quick ~emit:emit_json
+
 (* ------------------------------------------------- report + compare -- *)
 
 let dump_profile () =
@@ -721,8 +730,10 @@ let () =
     | Fault -> run_fault ()
     | Prof -> run_prof ()
     | Par -> run_par ()
-    (* the gate stays par-free: par timings depend on the host's core
-       count, so they would make the BASELINE compare machine-specific *)
+    | Served -> run_served ()
+    (* the gate stays par- and served-free: their timings depend on the
+       host's core count, so they would make the BASELINE compare
+       machine-specific *)
     | Gate ->
       run_large ();
       run_fault ();
@@ -732,7 +743,8 @@ let () =
       run_large ();
       run_fault ();
       run_prof ();
-      run_par ()
+      run_par ();
+      run_served ()
   done;
   Option.iter run_trace !trace_out;
   Option.iter write_json_array !json_out;

@@ -757,6 +757,204 @@ let run_cmd =
       const run $ payload_arg $ size_arg $ domains_arg $ order_arg $ spin_arg
       $ trace_arg $ metrics_out_arg $ no_check_arg)
 
+(* --- serve / hammer: the lease-serving subsystem over loopback TCP --- *)
+
+let port_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "port" ] ~docv:"PORT"
+        ~doc:"TCP port on 127.0.0.1 (serve: 0 picks a free one)")
+
+let serve_cmd =
+  let family_opt =
+    let doc =
+      "Dag family to serve (see the info subcommand for known families). \
+       Mutually exclusive with --load."
+    in
+    Arg.(value & pos 0 (some family_conv) None & info [] ~docv:"FAMILY" ~doc)
+  in
+  let load_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "load" ] ~docv:"FILE"
+          ~doc:"Serve a memory-mapped snapshot written by the snapshot command")
+  in
+  let shards_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"N"
+          ~doc:"Frontier shards (disjoint lease pools, one lock each)")
+  in
+  let max_lease_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "max-lease" ] ~docv:"K" ~doc:"Cap on tasks handed per lease")
+  in
+  let expected_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "expected-s" ] ~docv:"S"
+          ~doc:
+            "Expected task service time in seconds; leases expire and \
+             re-issue after 4x this")
+  in
+  let once_arg =
+    Arg.(
+      value & flag
+      & info [ "once" ]
+          ~doc:
+            "Exit once at least one client has connected and every \
+             connection has closed (for scripted runs)")
+  in
+  let metrics_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:"Write the served.* metrics registry as JSON on exit")
+  in
+  let trace_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace-event file with one track per shard (load \
+             it in Perfetto)")
+  in
+  let run family load port shards max_lease expected_s once metrics_out
+      trace_out prof =
+    with_prof prof @@ fun () ->
+    let dag =
+      match (family, load) with
+      | Some _, Some _ ->
+        Format.eprintf "serve: give either FAMILY or --load, not both@.";
+        exit 1
+      | None, None ->
+        Format.eprintf "serve: give a FAMILY or --load FILE@.";
+        exit 1
+      | Some (f : Ic_cli.Family_spec.t), None -> f.dag
+      | None, Some path -> (
+        match
+          (try Dag.load path with e -> Error (Printexc.to_string e))
+        with
+        | Ok g -> g
+        | Error e ->
+          let named =
+            let lp = String.length path in
+            if String.length e >= lp && String.sub e 0 lp = path then e
+            else path ^ ": " ^ e
+          in
+          Format.eprintf "serve: %s@." named;
+          exit 2)
+    in
+    match
+      Served_support.serve ~dag ~port ~shards ~max_lease ~expected_s ~once
+        ?metrics_out ?trace_out ()
+    with
+    | Error e ->
+      Format.eprintf "serve: %s@." e;
+      exit 1
+    | Ok o ->
+      Format.printf
+        "served %d/%d tasks: %d leases (%d tasks), %d reissues, %d \
+         duplicates, %d retry-afters, %d protocol errors@."
+        o.Served_support.completions o.n_tasks o.leases o.leased_tasks
+        o.reissues o.duplicates o.retry_afters o.protocol_errors;
+      Option.iter (Format.printf "trace -> %s@.") trace_out;
+      Option.iter (Format.printf "metrics -> %s@.") metrics_out;
+      if o.completions <> o.n_tasks || o.inflight <> 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Lease a dag's eligible tasks to remote workers over loopback TCP \
+          (length-prefixed binary frames, sharded frontier, lease expiry \
+          and re-issue)")
+    Term.(
+      const run $ family_opt $ load_arg $ port_arg $ shards_arg
+      $ max_lease_arg $ expected_arg $ once_arg $ metrics_out_arg
+      $ trace_out_arg $ prof_term)
+
+let hammer_cmd =
+  let host_arg =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"HOST" ~doc:"Server address")
+  in
+  let workers_arg =
+    Arg.(
+      value & opt int 1024
+      & info [ "workers" ] ~docv:"N" ~doc:"Simulated workers to drive")
+  in
+  let connections_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "connections" ] ~docv:"N"
+          ~doc:"Real TCP connections the workers are multiplexed over")
+  in
+  let k_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "k" ] ~docv:"K" ~doc:"Tasks requested per lease")
+  in
+  let churn_arg =
+    Arg.(
+      value & flag
+      & info [ "churn" ]
+          ~doc:
+            "Subject the fleet to a seeded crash/disconnect/rejoin plan \
+             (exercises lease expiry and re-issue)")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 0x5E4D
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Seed for service latencies and the churn plan")
+  in
+  let service_arg =
+    Arg.(
+      value & opt float 0.01
+      & info [ "mean-service-s" ] ~docv:"S"
+          ~doc:"Mean simulated task service time (bounded Pareto)")
+  in
+  let think_arg =
+    Arg.(
+      value & opt float 0.001
+      & info [ "think-s" ] ~docv:"S"
+          ~doc:"Pause between finishing a batch and requesting the next")
+  in
+  let run host port workers connections k churn seed mean_service_s think_s =
+    match
+      Served_support.hammer ~host ~port ~workers ~connections ~k ~churn ~seed
+        ~mean_service_s ~think_s ()
+    with
+    | Error e ->
+      Format.eprintf "hammer: %s@." e;
+      exit 1
+    | Ok r ->
+      Format.printf
+        "%d workers over %d connections: %d completes, %d crashed, %d \
+         disconnects, dag done %b, wall %.3fs@."
+        r.Served_support.h_workers connections r.completes_sent r.crashed
+        r.disconnects r.done_seen r.h_wall_s;
+      Format.printf "lease grant p50 %.6fs p99 %.6fs@." r.grant_p50_s
+        r.grant_p99_s;
+      Format.printf "task service p50 %.6fs p99 %.6fs@." r.service_p50_s
+        r.service_p99_s;
+      if not r.done_seen then exit 1
+  in
+  Cmd.v
+    (Cmd.info "hammer"
+       ~doc:
+         "Load-test a running serve instance: simulated workers with \
+          heavy-tailed service latencies and optional churn, multiplexed \
+          over a few real connections")
+    Term.(
+      const run $ host_arg $ port_arg $ workers_arg $ connections_arg $ k_arg
+      $ churn_arg $ seed_arg $ service_arg $ think_arg)
+
 (* --- prio --- *)
 
 let prio_cmd =
@@ -783,9 +981,14 @@ let main =
     (Cmd.info "ic_sched" ~version:"1.0.0"
        ~doc:"IC-Scheduling Theory: dags, IC-optimal schedules, and simulation")
     [ info_cmd; dot_cmd; schedule_cmd; verify_cmd; simulate_cmd; compare_cmd;
-      trace_cmd; batch_cmd; auto_cmd; prio_cmd; snapshot_cmd; run_cmd ]
+      trace_cmd; batch_cmd; auto_cmd; prio_cmd; snapshot_cmd; run_cmd;
+      serve_cmd; hammer_cmd ]
 
 (* cmdliner only knows single-char names as short options, but the trace
-   subcommand documents the GNU-ish spelling --n for its size parameter *)
-let argv = Array.map (fun a -> if a = "--n" then "-n" else a) Sys.argv
+   subcommand documents the GNU-ish spelling --n for its size parameter,
+   and hammer likewise --k for its batch size *)
+let argv =
+  Array.map
+    (fun a -> match a with "--n" -> "-n" | "--k" -> "-k" | _ -> a)
+    Sys.argv
 let () = exit (Cmd.eval ~argv main)

@@ -1,0 +1,71 @@
+(* The bin executables' view of the lease-serving subsystem. Dune
+   `select` plugs in served_support.served.ml when ic_served is
+   available (OCaml >= 5.0) and served_support.noserved.ml otherwise,
+   so ic_sched builds — with the serve and hammer subcommands degrading
+   to a clear message — on 4.14 toolchains too. *)
+
+val available : bool
+
+type serve_outcome = {
+  n_tasks : int;
+  completions : int;
+  leases : int;
+  leased_tasks : int;
+  reissues : int;
+  duplicates : int;
+  retry_afters : int;
+  heartbeats : int;
+  protocol_errors : int;
+  inflight : int;  (* leased tasks still outstanding at exit (0 when done) *)
+}
+
+val serve :
+  dag:Ic_dag.Dag.t ->
+  port:int ->
+  shards:int ->
+  max_lease:int ->
+  expected_s:float ->
+  once:bool ->
+  ?metrics_out:string ->
+  ?trace_out:string ->
+  unit ->
+  (serve_outcome, string) result
+(* Bind 127.0.0.1:[port] ([port] 0 picks a free one; the bound port is
+   printed to stdout either way) and serve [dag]'s tasks until
+   interrupted — or, with [once], until at least one client has come and
+   every connection has closed. [metrics_out]/[trace_out] write the
+   served.* metrics registry as JSON and a Chrome trace-event file with
+   one track per shard after the loop exits. Errors: invalid config, a
+   bind failure, or — from the stub — the subsystem not being built on
+   this compiler. *)
+
+type hammer_outcome = {
+  h_workers : int;
+  completes_sent : int;
+  done_seen : bool;  (* the server answered Done: every task applied *)
+  crashed : int;
+  disconnects : int;
+  h_wall_s : float;
+  grant_p50_s : float;
+  grant_p99_s : float;
+  service_p50_s : float;
+  service_p99_s : float;
+}
+
+val hammer :
+  host:string ->
+  port:int ->
+  workers:int ->
+  connections:int ->
+  k:int ->
+  churn:bool ->
+  seed:int ->
+  mean_service_s:float ->
+  think_s:float ->
+  unit ->
+  (hammer_outcome, string) result
+(* Drive [workers] simulated workers (lease batches of [k], seeded
+   Pareto service latencies) against the server at [host]:[port] over
+   [connections] real sockets. [churn] turns on a seeded
+   crash/disconnect/rejoin plan. Errors: invalid config, connection
+   refused, or — from the stub — the subsystem not being built. *)

@@ -1,0 +1,40 @@
+let available = false
+
+type serve_outcome = {
+  n_tasks : int;
+  completions : int;
+  leases : int;
+  leased_tasks : int;
+  reissues : int;
+  duplicates : int;
+  retry_afters : int;
+  heartbeats : int;
+  protocol_errors : int;
+  inflight : int;
+}
+
+type hammer_outcome = {
+  h_workers : int;
+  completes_sent : int;
+  done_seen : bool;
+  crashed : int;
+  disconnects : int;
+  h_wall_s : float;
+  grant_p50_s : float;
+  grant_p99_s : float;
+  service_p50_s : float;
+  service_p99_s : float;
+}
+
+let unavailable =
+  Error
+    "the serving subsystem requires OCaml >= 5.0 (ic_served is not built on \
+     this compiler)"
+
+let serve ~dag:_ ~port:_ ~shards:_ ~max_lease:_ ~expected_s:_ ~once:_
+    ?metrics_out:_ ?trace_out:_ () =
+  unavailable
+
+let hammer ~host:_ ~port:_ ~workers:_ ~connections:_ ~k:_ ~churn:_ ~seed:_
+    ~mean_service_s:_ ~think_s:_ () =
+  unavailable

@@ -1,0 +1,117 @@
+let available = true
+
+type serve_outcome = {
+  n_tasks : int;
+  completions : int;
+  leases : int;
+  leased_tasks : int;
+  reissues : int;
+  duplicates : int;
+  retry_afters : int;
+  heartbeats : int;
+  protocol_errors : int;
+  inflight : int;
+}
+
+type hammer_outcome = {
+  h_workers : int;
+  completes_sent : int;
+  done_seen : bool;
+  crashed : int;
+  disconnects : int;
+  h_wall_s : float;
+  grant_p50_s : float;
+  grant_p99_s : float;
+  service_p50_s : float;
+  service_p99_s : float;
+}
+
+let write_file file contents =
+  let oc = open_out file in
+  output_string oc contents;
+  close_out oc
+
+let serve ~dag ~port ~shards ~max_lease ~expected_s ~once ?metrics_out
+    ?trace_out () =
+  match
+    Ic_served.Server.config ~n_shards:shards ~max_lease ~expected_s ()
+  with
+  | exception Invalid_argument msg -> Error msg
+  | cfg -> (
+    let sink = Option.map (fun _ -> Ic_obs.Trace.create ()) trace_out in
+    let registry =
+      Option.map (fun _ -> Ic_obs.Metrics.create ()) metrics_out
+    in
+    match
+      Ic_served.Tcp.serve ?metrics:registry ?sink
+        ~on_listen:(fun p ->
+          Format.printf "serving %d tasks on 127.0.0.1:%d (%d shards)@."
+            (Ic_dag.Dag.n_nodes dag) p shards;
+          (* the port line is what scripts (and the CI smoke job) wait
+             for before launching the hammer, so it must not sit in a
+             buffer while the select loop blocks *)
+          flush stdout)
+        ~once ~port cfg dag
+    with
+    | exception Unix.Unix_error (e, fn, _) ->
+      Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+    | st ->
+      Option.iter
+        (fun file ->
+          write_file file
+            (Ic_obs.Exporter.chrome_trace
+               ~process_name:
+                 (Printf.sprintf "ic_served: %d tasks over %d shards"
+                    (Ic_dag.Dag.n_nodes dag) shards)
+               ~label:(Ic_dag.Dag.label dag)
+               (Option.get sink)))
+        trace_out;
+      Option.iter
+        (fun file ->
+          write_file file (Ic_obs.Metrics.to_json (Option.get registry)))
+        metrics_out;
+      Ok
+        {
+          n_tasks = Ic_dag.Dag.n_nodes dag;
+          completions = st.Ic_served.Server.completions;
+          leases = st.Ic_served.Server.leases;
+          leased_tasks = st.Ic_served.Server.leased_tasks;
+          reissues = st.Ic_served.Server.reissues;
+          duplicates = st.Ic_served.Server.duplicate_completes;
+          retry_afters = st.Ic_served.Server.retry_afters;
+          heartbeats = st.Ic_served.Server.heartbeats;
+          protocol_errors = st.Ic_served.Server.protocol_errors;
+          inflight = st.Ic_served.Server.inflight;
+        })
+
+let hammer ~host ~port ~workers ~connections ~k ~churn ~seed ~mean_service_s
+    ~think_s () =
+  let plan =
+    if churn then
+      Ic_fault.Plan.make ~crash_rate:0.002 ~disconnect_rate:0.02
+        ~mean_downtime:0.5 ~seed ()
+    else Ic_fault.Plan.none
+  in
+  match
+    Ic_served.Hammer.config ~workers ~k ~mean_service_s ~think_s ~churn:plan
+      ~seed ()
+  with
+  | exception Invalid_argument msg -> Error msg
+  | cfg -> (
+    match Ic_served.Tcp.hammer ~host ~connections ~port cfg with
+    | exception Unix.Unix_error (e, fn, _) ->
+      Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+    | r ->
+      Ok
+        {
+          h_workers = r.Ic_served.Tcp.workers;
+          completes_sent = r.Ic_served.Tcp.completes_sent;
+          done_seen = r.Ic_served.Tcp.done_seen;
+          crashed = r.Ic_served.Tcp.crashed;
+          disconnects = r.Ic_served.Tcp.disconnects;
+          h_wall_s = r.Ic_served.Tcp.wall_s;
+          grant_p50_s = r.Ic_served.Tcp.lease_grant_p50_s;
+          grant_p99_s = r.Ic_served.Tcp.lease_grant_p99_s;
+          service_p50_s = r.Ic_served.Tcp.task_service_p50_s;
+          service_p99_s = r.Ic_served.Tcp.task_service_p99_s;
+        })

@@ -76,6 +76,75 @@ let disconnect t ~client ~k =
     in
     Some (gap, downtime)
 
+module Churn = struct
+  type kind = Crash | Disconnect of float | Rejoin
+  type event = { time : float; kind : kind }
+
+  (* [Up]: available since [avail_t], episode [k] next; [Down]: offline,
+     rejoining at the carried time; [Exhausted]: crashed, or no further
+     fault can fire *)
+  type phase = Up | Down of float | Exhausted
+
+  type cursor = {
+    plan : t;
+    client : int;
+    crash_t : float;
+    mutable k : int;
+    mutable avail_t : float;
+    mutable phase : phase;
+  }
+
+  let create plan ~client =
+    {
+      plan;
+      client;
+      crash_t = crash_time plan ~client;
+      k = 0;
+      avail_t = 0.0;
+      phase = Up;
+    }
+
+  let crash c =
+    c.phase <- Exhausted;
+    Some { time = c.crash_t; kind = Crash }
+
+  let next c =
+    match c.phase with
+    | Exhausted -> None
+    | Down rejoin_t ->
+      if c.crash_t <= rejoin_t then crash c
+      else begin
+        c.phase <- Up;
+        c.avail_t <- rejoin_t;
+        c.k <- c.k + 1;
+        Some { time = rejoin_t; kind = Rejoin }
+      end
+    | Up -> (
+      match disconnect c.plan ~client:c.client ~k:c.k with
+      | None ->
+        if Float.is_finite c.crash_t then crash c
+        else begin
+          c.phase <- Exhausted;
+          None
+        end
+      | Some (gap, downtime) ->
+        let t = c.avail_t +. gap in
+        if c.crash_t <= t then crash c
+        else begin
+          c.phase <- Down (t +. downtime);
+          Some { time = t; kind = Disconnect downtime }
+        end)
+
+  let events plan ~client ~horizon =
+    let c = create plan ~client in
+    let rec go acc =
+      match next c with
+      | Some e when e.time <= horizon -> go (e :: acc)
+      | _ -> List.rev acc
+    in
+    go []
+end
+
 type attempt_outcome = { slowdown : float; lost : bool; failed : bool }
 
 let attempt t ~task ~attempt =

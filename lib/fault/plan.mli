@@ -80,6 +80,41 @@ val disconnect : t -> client:int -> k:int -> (float * float) option
     available and lasts [downtime]. [None] when disconnects are
     disabled. *)
 
+(** {1 Churn stream}
+
+    The availability timeline of one client, folded into a single
+    time-ordered event stream: transient disconnect/rejoin episodes cut
+    short by the permanent crash, all drawn from the same deterministic
+    samplers above. This is {e the} churn model — the simulator's event
+    loop and [Ic_served]'s load harness both consume it, so a plan means
+    the same fate for client [c] whether the client is simulated
+    in-process or hammering a socket. *)
+module Churn : sig
+  type kind =
+    | Crash  (** permanent; the stream ends after this event *)
+    | Disconnect of float
+        (** went offline; the payload is the episode's downtime, so a
+            consumer knows the outage length without waiting for the
+            matching [Rejoin] *)
+    | Rejoin  (** back online *)
+
+  type event = { time : float; kind : kind }
+
+  type cursor
+  (** A mutable position in one client's stream. *)
+
+  val create : t -> client:int -> cursor
+
+  val next : cursor -> event option
+  (** The next event, times strictly increasing: alternating
+      [Disconnect]/[Rejoin] pairs, then at most one [Crash] (which
+      pre-empts any episode it interrupts), then [None] forever.
+      Identically seeded cursors replay identical streams. *)
+
+  val events : t -> client:int -> horizon:float -> event list
+  (** Every event at or before [horizon], eagerly. *)
+end
+
 type attempt_outcome = {
   slowdown : float;  (** execution-time multiplier; 1 when not straggling *)
   lost : bool;  (** result silently lost (server unaware until timeout) *)

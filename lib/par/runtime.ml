@@ -148,8 +148,12 @@ let steal_from ready victim =
   | Deques (dq, _) -> Deque.steal dq.(victim)
   | Shards p -> Pool.try_steal p ~shard:victim
 
-let run ?domains ?(order = Steal) ?priority ?(capacity = 8192) ?metrics ?sink g
-    ~task =
+let run ?domains ?(order = Steal) ?priority ?(capacity = 8192)
+    ?(park_min = 2e-6) ?(park_max = 1e-3) ?metrics ?sink g ~task =
+  if (not (Float.is_finite park_min)) || park_min <= 0.0 then
+    invalid_arg "Runtime.run: park_min must be finite and positive";
+  if (not (Float.is_finite park_max)) || park_max < park_min then
+    invalid_arg "Runtime.run: park_max must be finite and >= park_min";
   let n = Dag.n_nodes g in
   let n_domains =
     max 1 (match domains with Some d -> d | None -> default_domains ())
@@ -285,7 +289,8 @@ let run ?domains ?(order = Steal) ?priority ?(capacity = 8192) ?metrics ?sink g
                 done
               else begin
                 w.parks <- w.parks + 1;
-                Unix.sleepf (Float.min 1e-3 (float_of_int !backoff *. 2e-6))
+                Unix.sleepf
+                  (Float.min park_max (float_of_int !backoff *. park_min))
               end
           end
       done
@@ -336,7 +341,11 @@ let run ?domains ?(order = Steal) ?priority ?(capacity = 8192) ?metrics ?sink g
     st
   end
 
-let executor ?domains ?order ?priority ?capacity ?metrics ?sink ?on_stats () =
+let executor ?domains ?order ?priority ?capacity ?park_min ?park_max ?metrics
+    ?sink ?on_stats () =
  fun g step ->
-  let st = run ?domains ?order ?priority ?capacity ?metrics ?sink g ~task:step in
+  let st =
+    run ?domains ?order ?priority ?capacity ?park_min ?park_max ?metrics ?sink
+      g ~task:step
+  in
   match on_stats with None -> () | Some f -> f st

@@ -47,6 +47,8 @@ val run :
   ?order:order ->
   ?priority:int array ->
   ?capacity:int ->
+  ?park_min:float ->
+  ?park_max:float ->
   ?metrics:Ic_obs.Metrics.t ->
   ?sink:Ic_obs.Trace.t ->
   Ic_dag.Dag.t ->
@@ -64,6 +66,15 @@ val run :
     [capacity] (default 8192) sizes each deque; overflow spills to a
     shared mutex-protected pool rather than resizing.
 
+    An idle worker whose steal sweep keeps failing escalates from
+    spinning to sleeping: the [k]-th consecutive failed sweep past the
+    spin threshold sleeps [min park_max (k * park_min)] seconds.
+    [park_min] (default [2e-6]) is the escalation step, [park_max]
+    (default [1e-3]) the cap — raise [park_max] to cede more CPU on
+    oversubscribed machines, lower it to cut wake-up latency on bursty
+    dags. [Invalid_argument] unless [0 < park_min <= park_max], both
+    finite.
+
     [metrics], when given, receives after the run the counters
     [par.tasks], [par.steals], [par.steal_attempts], [par.overflows],
     [par.parks] and the gauges [par.domains], [par.wall_s] (counters
@@ -79,6 +90,8 @@ val executor :
   ?order:order ->
   ?priority:int array ->
   ?capacity:int ->
+  ?park_min:float ->
+  ?park_max:float ->
   ?metrics:Ic_obs.Metrics.t ->
   ?sink:Ic_obs.Trace.t ->
   ?on_stats:(stats -> unit) ->

@@ -1,0 +1,230 @@
+module Plan = Ic_fault.Plan
+module Heap = Ic_heuristics.Heap
+module Monotonic = Ic_prof.Monotonic
+
+type config = {
+  workers : int;
+  k : int;
+  mean_service_s : float;
+  pareto_alpha : float;
+  think_s : float;
+  churn : Plan.t;
+  seed : int;
+}
+
+let config ?(workers = 1024) ?(k = 8) ?(mean_service_s = 0.01)
+    ?(pareto_alpha = 1.5) ?(think_s = 0.001) ?(churn = Plan.none)
+    ?(seed = 0x5E4D) () =
+  if workers < 1 then invalid_arg "Hammer.config: workers must be >= 1";
+  if k < 1 || k > 0xFFFF then
+    invalid_arg "Hammer.config: k must be in 1..65535";
+  if (not (Float.is_finite mean_service_s)) || mean_service_s <= 0.0 then
+    invalid_arg "Hammer.config: mean_service_s must be finite and positive";
+  if (not (Float.is_finite pareto_alpha)) || pareto_alpha <= 1.0 then
+    invalid_arg "Hammer.config: pareto_alpha must be finite and > 1";
+  if (not (Float.is_finite think_s)) || think_s < 0.0 then
+    invalid_arg "Hammer.config: think_s must be finite and >= 0";
+  { workers; k; mean_service_s; pareto_alpha; think_s; churn; seed }
+
+(* bounded Pareto: x_m * u^(-1/alpha) has mean x_m * alpha/(alpha-1), so
+   scale x_m to hit the configured mean; the 100x cap keeps a single
+   draw from freezing a virtual run without flattening the tail *)
+let service_s cfg ~worker ~draw =
+  let rng = Random.State.make [| cfg.seed; 0x5E; worker; draw |] in
+  let u = 1.0 -. Random.State.float rng 1.0 (* (0, 1] *) in
+  let x_m = cfg.mean_service_s *. (cfg.pareto_alpha -. 1.0) /. cfg.pareto_alpha in
+  Float.min (x_m *. (u ** (-1.0 /. cfg.pareto_alpha))) (100.0 *. cfg.mean_service_s)
+
+let quantile xs q =
+  let n = Array.length xs in
+  if n = 0 then nan
+  else begin
+    let s = Array.copy xs in
+    Array.sort compare s;
+    let i = int_of_float (Float.of_int (n - 1) *. q +. 0.5) in
+    s.(max 0 (min (n - 1) i))
+  end
+
+type result = {
+  n_tasks : int;
+  completed : int;
+  makespan_s : float;
+  wall_s : float;
+  server : Server.stats;
+  crashed : int;
+  disconnects : int;
+  lease_grant_p50_s : float;
+  lease_grant_p99_s : float;
+  task_service_p50_s : float;
+  task_service_p99_s : float;
+}
+
+(* worker status *)
+let w_idle = 0
+let w_busy = 1
+let w_offline = 2
+let w_dead = 3
+let w_finished = 4
+
+(* worker events carry the worker's churn epoch: an event scheduled
+   before a disconnect/crash must not fire into the session that follows
+   the rejoin, so churn bumps the epoch and stale events are dropped *)
+type ev =
+  | Request of int * int  (** worker, epoch: asks for a lease *)
+  | Complete_due of int * int
+      (** worker, epoch: finishes the head of its batch *)
+  | Churn_ev of int * Plan.Churn.kind
+
+(* a growing float sample buffer; quantiles are computed at the end *)
+type samples = { mutable xs : float array; mutable n : int }
+
+let samples () = { xs = Array.make 1024 0.0; n = 0 }
+
+let sample s x =
+  if s.n = Array.length s.xs then begin
+    let grown = Array.make (2 * s.n) 0.0 in
+    Array.blit s.xs 0 grown 0 s.n;
+    s.xs <- grown
+  end;
+  s.xs.(s.n) <- x;
+  s.n <- s.n + 1
+
+let to_array s = Array.sub s.xs 0 s.n
+
+let run_virtual ?metrics ?sink ~server:scfg cfg g =
+  let t_start = Monotonic.now () in
+  let srv = Server.create ?metrics ?sink scfg g in
+  let w = cfg.workers in
+  let status = Array.make w w_idle in
+  let batch : int list array = Array.make w [] in
+  let batch_t0 : float array = Array.make w 0.0 in  (* alloc time of batch *)
+  let draws = Array.make w 0 in
+  let epoch = Array.make w 0 in
+  let first_req = Array.make w nan in
+  let churn = Array.init w (fun i -> Plan.Churn.create cfg.churn ~client:i) in
+  let crashed = ref 0 in
+  let disconnects = ref 0 in
+  let grant_lat = samples () in
+  let service_lat = samples () in
+  let events : (float, ev) Heap.t = Heap.create () in
+  let schedule_churn i =
+    match Plan.Churn.next churn.(i) with
+    | None -> ()
+    | Some { Plan.Churn.time; kind } -> Heap.push events time (Churn_ev (i, kind))
+  in
+  for i = 0 to w - 1 do
+    (* stagger the opening burst deterministically over one mean service
+       time so the first leases do not all carry time 0 *)
+    let rng = Random.State.make [| cfg.seed; 0x0F; i |] in
+    Heap.push events
+      (Random.State.float rng cfg.mean_service_s)
+      (Request (i, 0));
+    schedule_churn i
+  done;
+  let now = ref 0.0 in
+  let next_service i t =
+    draws.(i) <- draws.(i) + 1;
+    t +. service_s cfg ~worker:i ~draw:(draws.(i) - 1)
+  in
+  let fire_expiries t =
+    while Server.next_expiry srv <= t do
+      ignore (Server.expire srv ~now:(Server.next_expiry srv))
+    done
+  in
+  let alive i = status.(i) = w_idle || status.(i) = w_busy in
+  let finish i = status.(i) <- w_finished in
+  let handle_request i t =
+    if alive i then begin
+      if Float.is_nan first_req.(i) then first_req.(i) <- t;
+      match Server.handle srv ~now:t (Wire.Lease_req { worker = i; k = cfg.k }) with
+      | Wire.Lease { tasks; expires_in_s = _ } ->
+        sample grant_lat (t -. first_req.(i));
+        first_req.(i) <- nan;
+        status.(i) <- w_busy;
+        batch.(i) <- Array.to_list tasks;
+        batch_t0.(i) <- t;
+        Heap.push events (next_service i t) (Complete_due (i, epoch.(i)))
+      | Wire.Retry_after { delay_s } ->
+        Heap.push events (t +. Float.max delay_s 1e-6) (Request (i, epoch.(i)))
+      | Wire.Done _ -> finish i
+      | _ -> finish i
+    end
+  in
+  let handle_complete_due i t =
+    if status.(i) = w_busy then begin
+      match batch.(i) with
+      | [] -> (* batch vanished to churn *) ()
+      | task :: rest -> (
+        batch.(i) <- rest;
+        sample service_lat (t -. batch_t0.(i));
+        match Server.handle srv ~now:t (Wire.Complete { worker = i; task }) with
+        | Wire.Done _ -> finish i
+        | _ ->
+          if rest <> [] then
+            Heap.push events (next_service i t) (Complete_due (i, epoch.(i)))
+          else begin
+            status.(i) <- w_idle;
+            Heap.push events (t +. cfg.think_s) (Request (i, epoch.(i)))
+          end)
+    end
+  in
+  let handle_churn i kind t =
+    (match kind with
+    | Plan.Churn.Crash ->
+      if status.(i) <> w_finished then begin
+        incr crashed;
+        epoch.(i) <- epoch.(i) + 1;
+        status.(i) <- w_dead;
+        batch.(i) <- [];
+        first_req.(i) <- nan
+      end
+    | Plan.Churn.Disconnect _downtime ->
+      if alive i then begin
+        incr disconnects;
+        epoch.(i) <- epoch.(i) + 1;
+        status.(i) <- w_offline;
+        batch.(i) <- [];
+        first_req.(i) <- nan
+      end
+    | Plan.Churn.Rejoin ->
+      if status.(i) = w_offline then begin
+        epoch.(i) <- epoch.(i) + 1;
+        status.(i) <- w_idle;
+        Heap.push events t (Request (i, epoch.(i)))
+      end);
+    schedule_churn i
+  in
+  let running = ref true in
+  while !running && not (Server.is_done srv) do
+    match Heap.pop events with
+    | None -> running := false
+    | Some (t, ev) ->
+      fire_expiries t;
+      now := t;
+      (match ev with
+      | Request (i, ep) -> if ep = epoch.(i) then handle_request i t
+      | Complete_due (i, ep) -> if ep = epoch.(i) then handle_complete_due i t
+      | Churn_ev (i, kind) -> handle_churn i kind t)
+  done;
+  (match metrics with
+  | None -> ()
+  | Some m ->
+    Ic_obs.Metrics.set (Ic_obs.Metrics.gauge m "served.makespan_s") !now;
+    Ic_obs.Metrics.set
+      (Ic_obs.Metrics.gauge m "served.inflight_final")
+      (float_of_int (Server.stats srv).Server.inflight));
+  let grants = to_array grant_lat in
+  let services = to_array service_lat in
+  {
+    n_tasks = Server.n_tasks srv;
+    completed = Server.completed srv;
+    makespan_s = !now;
+    wall_s = Monotonic.now () -. t_start;
+    server = Server.stats srv;
+    crashed = !crashed;
+    disconnects = !disconnects;
+    lease_grant_p50_s = quantile grants 0.5;
+    lease_grant_p99_s = quantile grants 0.99;
+    task_service_p50_s = quantile services 0.5;
+    task_service_p99_s = quantile services 0.99;
+  }

@@ -1,0 +1,86 @@
+(** The load harness: simulate 10^4..10^6 transient workers against a
+    {!Server}.
+
+    Two transports, one worker model. {!run_virtual} drives the server
+    core directly under a discrete-event virtual clock — no sockets, no
+    wall time — so a fixed seed yields byte-identical metrics and traces
+    at any worker count; it is the exactly-once/determinism acceptance
+    vehicle and the lock-amortization bench. {!Tcp.hammer} runs the same
+    worker model in real time against a listening server over loopback
+    TCP.
+
+    The worker model: each worker asks for a batch of [k] tasks, runs
+    them sequentially with heavy-tailed (bounded Pareto) service
+    latencies, reports each [Complete], thinks briefly, and asks again;
+    [Retry_after] backpressure is honoured. Churn comes from an
+    {!Ic_fault.Plan} churn stream ({!Ic_fault.Plan.Churn}): a crashed
+    worker goes silent forever, a disconnected one drops its in-flight
+    batch (so its leases expire and re-issue) and resumes on rejoin.
+    Stragglers arise naturally from the Pareto tail: a worker slower
+    than the lease expiry completes a task the server has already
+    re-issued, exercising the duplicate-completion path. *)
+
+type config = private {
+  workers : int;
+  k : int;  (** lease batch size requested per [Lease_req] *)
+  mean_service_s : float;  (** mean task service time *)
+  pareto_alpha : float;
+      (** tail shape of the service distribution (> 1; smaller =
+          heavier tail); draws are capped at 100 x the mean *)
+  think_s : float;  (** idle time between finishing a batch and re-asking *)
+  churn : Ic_fault.Plan.t;  (** crash/disconnect stream per worker *)
+  seed : int;
+}
+
+val config :
+  ?workers:int ->
+  ?k:int ->
+  ?mean_service_s:float ->
+  ?pareto_alpha:float ->
+  ?think_s:float ->
+  ?churn:Ic_fault.Plan.t ->
+  ?seed:int ->
+  unit ->
+  config
+(** Defaults: 1024 workers, [k 8], [mean_service_s 0.01],
+    [pareto_alpha 1.5], [think_s 0.001], no churn, seed [0x5E4D].
+    Raises [Invalid_argument] on out-of-range values. *)
+
+type result = {
+  n_tasks : int;
+  completed : int;  (** tasks applied exactly once; = [n_tasks] on success *)
+  makespan_s : float;  (** virtual (or real) time of the last event *)
+  wall_s : float;  (** real time the harness itself took *)
+  server : Server.stats;
+  crashed : int;  (** workers lost to the churn plan *)
+  disconnects : int;
+  lease_grant_p50_s : float;
+      (** median time from a worker's first unanswered [Lease_req] to
+          its [Lease] — 0 under no backpressure in virtual time *)
+  lease_grant_p99_s : float;
+  task_service_p50_s : float;  (** alloc-to-complete, per applied task *)
+  task_service_p99_s : float;
+}
+
+val run_virtual :
+  ?metrics:Ic_obs.Metrics.t ->
+  ?sink:Ic_obs.Trace.t ->
+  server:Server.config ->
+  config ->
+  Ic_dag.Dag.t ->
+  result
+(** Run to completion (or to starvation, if churn killed every worker)
+    under the virtual clock. [metrics]/[sink] are handed to the embedded
+    {!Server}; with a fixed seed the registry's JSON dump and the trace
+    are byte-identical across runs. *)
+
+val quantile : float array -> float -> float
+(** [quantile xs q] with [q] in [0,1]: nearest-rank quantile of [xs]
+    (sorted internally; nan on empty). Shared by both transports'
+    reporting. *)
+
+(** {1 Worker-model internals shared with the TCP driver} *)
+
+val service_s : config -> worker:int -> draw:int -> float
+(** The [draw]-th service latency of [worker]: deterministic bounded
+    Pareto with the configured mean and tail. *)

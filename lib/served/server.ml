@@ -1,0 +1,361 @@
+module Dag = Ic_dag.Dag
+module Shard_view = Ic_dag.Shard_view
+module Recovery = Ic_fault.Recovery
+module Metrics = Ic_obs.Metrics
+module Trace = Ic_obs.Trace
+module Heap = Ic_heuristics.Heap
+
+type config = {
+  n_shards : int;
+  max_lease : int;
+  max_inflight : int;
+  expected_s : float;
+  retry_after_s : float;
+  recovery : Recovery.t;
+}
+
+let config ?(n_shards = 1) ?(max_lease = 64) ?(max_inflight = 65536)
+    ?(expected_s = 1.0) ?(retry_after_s = 0.01) ?recovery () =
+  if n_shards < 1 then invalid_arg "Server.config: n_shards must be >= 1";
+  if max_lease < 1 || max_lease > Wire.max_lease_tasks then
+    invalid_arg
+      (Printf.sprintf "Server.config: max_lease must be in 1..%d"
+         Wire.max_lease_tasks);
+  if max_inflight < 1 then invalid_arg "Server.config: max_inflight must be >= 1";
+  if (not (Float.is_finite expected_s)) || expected_s <= 0.0 then
+    invalid_arg "Server.config: expected_s must be finite and positive";
+  if (not (Float.is_finite retry_after_s)) || retry_after_s < 0.0 then
+    invalid_arg "Server.config: retry_after_s must be finite and >= 0";
+  let recovery =
+    match recovery with
+    | Some r -> r
+    | None -> Recovery.make ~timeout_factor:4.0 ()
+  in
+  { n_shards; max_lease; max_inflight; expected_s; retry_after_s; recovery }
+
+(* task lifecycle: Blocked -> Ready (in its shard's pool) -> Leased ->
+   Done, with Leased -> Ready again on expiry. Pool entries are
+   invalidated lazily: an entry is live iff its task is still Ready. *)
+let st_blocked = '\000'
+let st_ready = '\001'
+let st_leased = '\002'
+let st_done = '\003'
+
+type meters = {
+  m_leases : Metrics.counter;
+  m_leased_tasks : Metrics.counter;
+  m_completions : Metrics.counter;
+  m_duplicates : Metrics.counter;
+  m_reissues : Metrics.counter;
+  m_retry_afters : Metrics.counter;
+  m_heartbeats : Metrics.counter;
+  m_errors : Metrics.counter;
+  m_shard_leased : Metrics.counter array;
+  m_service : Metrics.histogram;
+}
+
+type t = {
+  cfg : config;
+  view : Shard_view.t;
+  pools : Shards.t;
+  state : Bytes.t;
+  gen : int array;  (* lease generation per task; bumps invalidate expiries *)
+  alloc_t : float array;  (* allocation time of the task's latest lease *)
+  expiries : (float, int * int) Heap.t;  (* expiry -> (task, gen) *)
+  scratch : int array;  (* lease accumulator, max_lease long *)
+  scratch_pop : int array;  (* pop_batch target — distinct from scratch:
+                               a pop for a later shard must not clobber
+                               tasks already accumulated *)
+  (* (task, gen) pairs per worker, for heartbeat renewal; stale pairs are
+     skipped on renewal *)
+  by_worker : (int, (int * int) list) Hashtbl.t;
+  mutable inflight : int;
+  mutable cursor : int;  (* round-robin shard cursor for batch filling *)
+  mutable draining : bool;
+  mutable leases : int;
+  mutable leased_tasks : int;
+  mutable completions : int;
+  mutable duplicates : int;
+  mutable reissues : int;
+  mutable retry_afters : int;
+  mutable heartbeats : int;
+  mutable errors : int;
+  meters : meters option;
+  sink : Trace.t option;
+}
+
+let create ?metrics ?sink cfg g =
+  let n = Dag.n_nodes g in
+  let view = Shard_view.create ~n_shards:cfg.n_shards g in
+  let pools = Shards.create ~n_shards:(Shard_view.n_shards view) () in
+  let state = Bytes.make n st_blocked in
+  Shard_view.iter_initial view (fun ~shard v ->
+      Bytes.set state v st_ready;
+      Shards.push pools ~shard v);
+  let meters =
+    match metrics with
+    | None -> None
+    | Some m ->
+      Some
+        {
+          m_leases = Metrics.counter m "served.leases";
+          m_leased_tasks = Metrics.counter m "served.leased_tasks";
+          m_completions = Metrics.counter m "served.completions";
+          m_duplicates = Metrics.counter m "served.duplicate_completes";
+          m_reissues = Metrics.counter m "served.reissues";
+          m_retry_afters = Metrics.counter m "served.retry_afters";
+          m_heartbeats = Metrics.counter m "served.heartbeats";
+          m_errors = Metrics.counter m "served.protocol_errors";
+          m_shard_leased =
+            Array.init (Shard_view.n_shards view) (fun s ->
+                Metrics.counter m (Printf.sprintf "served.shard%d.leased" s));
+          m_service =
+            Metrics.histogram m "served.lease_service_s"
+              ~buckets:
+                [|
+                  1e-4; 3e-4; 1e-3; 3e-3; 1e-2; 3e-2; 0.1; 0.3; 1.0; 3.0;
+                  10.0; 30.0; 100.0;
+                |];
+        }
+  in
+  (match metrics with
+  | None -> ()
+  | Some m ->
+    Metrics.set (Metrics.gauge m "served.n_tasks") (float_of_int n);
+    Metrics.set
+      (Metrics.gauge m "served.n_shards")
+      (float_of_int (Shard_view.n_shards view)));
+  {
+    cfg;
+    view;
+    pools;
+    state;
+    gen = Array.make n 0;
+    alloc_t = Array.make n 0.0;
+    expiries = Heap.create ();
+    scratch = Array.make cfg.max_lease 0;
+    scratch_pop = Array.make cfg.max_lease 0;
+    by_worker = Hashtbl.create 64;
+    inflight = 0;
+    cursor = 0;
+    draining = false;
+    leases = 0;
+    leased_tasks = 0;
+    completions = 0;
+    duplicates = 0;
+    reissues = 0;
+    retry_afters = 0;
+    heartbeats = 0;
+    errors = 0;
+    meters;
+    sink;
+  }
+
+let n_tasks t = Shard_view.n_nodes t.view
+let completed t = Shard_view.completed t.view
+let is_done t = Shard_view.is_complete t.view
+let shard_of t v = Shard_view.shard_of t.view v
+
+let timeout_s t = Recovery.timeout_after t.cfg.recovery ~expected:t.cfg.expected_s
+
+let with_meters t f = match t.meters with None -> () | Some m -> f m
+
+let done_reply t = Wire.Done { completed = completed t; reissues = t.reissues }
+
+let retry_reply t =
+  t.retry_afters <- t.retry_afters + 1;
+  with_meters t (fun m -> Metrics.incr m.m_retry_afters);
+  Wire.Retry_after { delay_s = t.cfg.retry_after_s }
+
+let error_reply t =
+  t.errors <- t.errors + 1;
+  with_meters t (fun m -> Metrics.incr m.m_errors);
+  Wire.Ack
+
+(* pull up to [budget] Ready tasks out of the pools, starting at the
+   round-robin cursor, touching (and locking) as few shards as possible;
+   stale entries (tasks no longer Ready) are discarded on the way *)
+let fill_batch t ~budget acc =
+  let n_shards = Shards.n_shards t.pools in
+  let got = ref 0 in
+  let tried = ref 0 in
+  while !got < budget && !tried < n_shards do
+    let shard = (t.cursor + !tried) mod n_shards in
+    let b =
+      Shards.pop_batch t.pools ~shard ~max:(budget - !got) t.scratch_pop
+    in
+    for i = 0 to b - 1 do
+      let v = t.scratch_pop.(i) in
+      if Bytes.get t.state v = st_ready then begin
+        acc.(!got) <- v;
+        incr got
+      end
+    done;
+    (* a shard that came back short is drained; move the cursor past it *)
+    if !got < budget then incr tried
+  done;
+  t.cursor <- (t.cursor + !tried) mod n_shards;
+  !got
+
+let record_lease t ~now ~worker v =
+  Bytes.set t.state v st_leased;
+  t.gen.(v) <- t.gen.(v) + 1;
+  t.alloc_t.(v) <- now;
+  t.inflight <- t.inflight + 1;
+  let tmo = timeout_s t in
+  if Float.is_finite tmo then Heap.push t.expiries (now +. tmo) (v, t.gen.(v));
+  let prev = try Hashtbl.find t.by_worker worker with Not_found -> [] in
+  Hashtbl.replace t.by_worker worker ((v, t.gen.(v)) :: prev);
+  let shard = shard_of t v in
+  with_meters t (fun m -> Metrics.incr m.m_shard_leased.(shard));
+  match t.sink with
+  | None -> ()
+  | Some tr -> Trace.task_alloc tr ~time:now ~task:v ~client:shard
+
+let push_ready t v =
+  Bytes.set t.state v st_ready;
+  Shards.push t.pools ~shard:(shard_of t v) v
+
+let apply_complete t ~now v =
+  (* exactly-once: flip to Done first, then propagate; a pool entry left
+     behind by an expiry is invalidated by the state flip *)
+  if Bytes.get t.state v = st_leased then t.inflight <- t.inflight - 1;
+  Bytes.set t.state v st_done;
+  t.completions <- t.completions + 1;
+  let service = now -. t.alloc_t.(v) in
+  with_meters t (fun m ->
+      Metrics.incr m.m_completions;
+      Metrics.observe m.m_service service);
+  Shard_view.complete t.view v ~ready:(fun ~shard:_ u -> push_ready t u);
+  match t.sink with
+  | None -> ()
+  | Some tr -> Trace.task_complete tr ~time:now ~task:v ~client:(shard_of t v)
+
+let handle t ~now (msg : Wire.msg) : Wire.msg =
+  match msg with
+  | Hello { worker = _ } ->
+    Wire.Welcome
+      { n_tasks = n_tasks t; n_shards = Shard_view.n_shards t.view }
+  | Lease_req { worker; k } ->
+    if is_done t || t.draining then done_reply t
+    else begin
+      let budget =
+        min (min k t.cfg.max_lease) (t.cfg.max_inflight - t.inflight)
+      in
+      if budget <= 0 then retry_reply t
+      else begin
+        let got = fill_batch t ~budget t.scratch in
+        if got = 0 then retry_reply t
+        else begin
+          let tasks = Array.sub t.scratch 0 got in
+          Array.iter (fun v -> record_lease t ~now ~worker v) tasks;
+          t.leases <- t.leases + 1;
+          t.leased_tasks <- t.leased_tasks + got;
+          with_meters t (fun m ->
+              Metrics.incr m.m_leases;
+              Metrics.incr ~by:got m.m_leased_tasks);
+          let tmo = timeout_s t in
+          Wire.Lease { tasks; expires_in_s = tmo }
+        end
+      end
+    end
+  | Complete { worker = _; task } ->
+    if task < 0 || task >= n_tasks t then error_reply t
+    else begin
+      let st = Bytes.get t.state task in
+      if st = st_done then begin
+        t.duplicates <- t.duplicates + 1;
+        with_meters t (fun m -> Metrics.incr m.m_duplicates);
+        if is_done t then done_reply t else Wire.Ack
+      end
+      else if st = st_leased || st = st_ready then begin
+        (* Ready means the lease expired and the task went back to a
+           pool; the straggler's completion still counts (first one
+           wins), the stale pool entry dies with the state flip *)
+        apply_complete t ~now task;
+        if is_done t then done_reply t else Wire.Ack
+      end
+      else (* completing a never-eligible task is a protocol violation *)
+        error_reply t
+    end
+  | Heartbeat { worker } ->
+    t.heartbeats <- t.heartbeats + 1;
+    with_meters t (fun m -> Metrics.incr m.m_heartbeats);
+    let tmo = timeout_s t in
+    (if Float.is_finite tmo then
+       match Hashtbl.find_opt t.by_worker worker with
+       | None -> ()
+       | Some leases ->
+         let live =
+           List.filter_map
+             (fun (v, g) ->
+               if Bytes.get t.state v = st_leased && t.gen.(v) = g then begin
+                 (* renew: bump the generation so the old heap entry is
+                    stale, and push the extended expiry *)
+                 t.gen.(v) <- t.gen.(v) + 1;
+                 Heap.push t.expiries (now +. tmo) (v, t.gen.(v));
+                 Some (v, t.gen.(v))
+               end
+               else None)
+             leases
+         in
+         if live = [] then Hashtbl.remove t.by_worker worker
+         else Hashtbl.replace t.by_worker worker live);
+    if is_done t then done_reply t else Wire.Ack
+  | Drain ->
+    t.draining <- true;
+    done_reply t
+  | Welcome _ | Lease _ | Retry_after _ | Done _ | Ack ->
+    (* server-side messages arriving at the server *)
+    error_reply t
+
+let next_expiry t =
+  match Heap.peek t.expiries with None -> infinity | Some (time, _) -> time
+
+let expire t ~now =
+  let fired = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match Heap.peek t.expiries with
+    | Some (time, (v, g)) when time <= now ->
+      ignore (Heap.pop t.expiries);
+      if Bytes.get t.state v = st_leased && t.gen.(v) = g then begin
+        (* the holder went quiet: re-issue *)
+        t.inflight <- t.inflight - 1;
+        t.reissues <- t.reissues + 1;
+        incr fired;
+        with_meters t (fun m -> Metrics.incr m.m_reissues);
+        (match t.sink with
+        | None -> ()
+        | Some tr ->
+          Trace.timeout_fired tr ~time ~task:v ~client:(shard_of t v));
+        push_ready t v
+      end
+    | _ -> continue := false
+  done;
+  !fired
+
+type stats = {
+  leases : int;
+  leased_tasks : int;
+  completions : int;
+  duplicate_completes : int;
+  reissues : int;
+  retry_afters : int;
+  heartbeats : int;
+  protocol_errors : int;
+  inflight : int;
+}
+
+let stats (t : t) =
+  {
+    leases = t.leases;
+    leased_tasks = t.leased_tasks;
+    completions = t.completions;
+    duplicate_completes = t.duplicates;
+    reissues = t.reissues;
+    retry_afters = t.retry_afters;
+    heartbeats = t.heartbeats;
+    protocol_errors = t.errors;
+    inflight = t.inflight;
+  }

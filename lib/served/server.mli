@@ -1,0 +1,105 @@
+(** The lease-serving state machine (sans-IO).
+
+    A server leases eligible tasks of one [Ic_dag.Dag.t] — built in
+    memory or mmap-loaded from a snapshot — to transient workers,
+    exactly the client/server loop of the paper's model made concrete:
+    the ELIGIBLE set is what is leasable, executing a task promotes its
+    children, and the IC-quality of a schedule is how many leases the
+    server can hand a burst of clients at any instant.
+
+    The core is transport-free: {!handle} maps one client message to
+    exactly one reply, {!expire} fires due lease timeouts, and the
+    caller supplies time — wall-clock from the TCP driver, virtual time
+    from the deterministic load harness, which is what makes identically
+    seeded hammer runs byte-reproducible.
+
+    State is sharded: [Ic_dag.Shard_view] keeps the atomic dependence
+    counts, {!Shards} the per-shard locked pools of leasable ids, and a
+    lease batch is filled from as few shards as possible so one lock
+    acquisition amortizes over up to [max_lease] tasks.
+
+    Invariants the suite asserts:
+    - a task is applied (its completion propagated to successors)
+      {e exactly once}: later [Complete]s for it count as duplicates and
+      are acknowledged without effect;
+    - a lease that outlives its expiry (from [recovery]'s liveness
+      timeout, {!Ic_fault.Recovery.timeout_after}) is re-issued — the
+      task returns to its shard's pool and a later completion by either
+      holder is accepted;
+    - the in-flight lease count never exceeds [max_inflight]: past it,
+      or when eligibility runs dry, [Lease_req] is answered with
+      [Retry_after] (admission control / backpressure). *)
+
+type config = private {
+  n_shards : int;
+  max_lease : int;  (** cap on tasks per lease, <= {!Wire.max_lease_tasks} *)
+  max_inflight : int;  (** bound on outstanding leased tasks *)
+  expected_s : float;
+      (** expected task service time — drives the recovery policy's
+          liveness timeout *)
+  retry_after_s : float;  (** backpressure hint sent with [Retry_after] *)
+  recovery : Ic_fault.Recovery.t;
+      (** lease-expiry policy; only [timeout_after] (and
+          [detection_latency]) are consulted *)
+}
+
+val config :
+  ?n_shards:int ->
+  ?max_lease:int ->
+  ?max_inflight:int ->
+  ?expected_s:float ->
+  ?retry_after_s:float ->
+  ?recovery:Ic_fault.Recovery.t ->
+  unit ->
+  config
+(** Defaults: 1 shard, [max_lease 64], [max_inflight 65536],
+    [expected_s 1.0], [retry_after_s 0.01], and a recovery policy with
+    [timeout_factor 4.0] (leases expire at [detection_latency + 4 *
+    expected_s]). Raises [Invalid_argument] on out-of-range values. *)
+
+type t
+
+val create : ?metrics:Ic_obs.Metrics.t -> ?sink:Ic_obs.Trace.t -> config ->
+  Ic_dag.Dag.t -> t
+(** [metrics], when given, receives the [served.*] counters, gauges and
+    the [served.lease_service_s] latency histogram. [sink], when given,
+    receives one [Task_alloc]/[Task_complete] pair per task and a
+    [Timeout_fired] per re-issue, with the task's {e shard} as the
+    client id — so the Perfetto export renders one track per shard. *)
+
+val handle : t -> now:float -> Wire.msg -> Wire.msg
+(** Process one client message at time [now] (seconds, any monotone
+    origin) and return the reply. Server-side messages and out-of-range
+    ids are counted as protocol errors and answered with [Ack]. [now]
+    must be non-decreasing across calls. *)
+
+val next_expiry : t -> float
+(** Time at which the earliest outstanding lease expires; [infinity]
+    when none (or timeouts are disabled). The driver uses it to bound
+    its select/sleep. *)
+
+val expire : t -> now:float -> int
+(** Fire every lease expiry due at or before [now]: each such task
+    returns to its shard's pool for re-issue. Returns how many were
+    re-issued. *)
+
+val is_done : t -> bool
+val n_tasks : t -> int
+val completed : t -> int
+
+type stats = {
+  leases : int;  (** [Lease] replies sent *)
+  leased_tasks : int;  (** task ids handed out, re-issues included *)
+  completions : int;  (** completions applied (= n when done) *)
+  duplicate_completes : int;  (** [Complete]s for already-done tasks *)
+  reissues : int;  (** leases expired and returned to a pool *)
+  retry_afters : int;  (** backpressure replies *)
+  heartbeats : int;
+  protocol_errors : int;
+  inflight : int;  (** currently outstanding leased tasks *)
+}
+
+val stats : t -> stats
+
+val shard_of : t -> int -> int
+(** The owning shard of a task (for labelling). *)

@@ -1,0 +1,367 @@
+module Heap = Ic_heuristics.Heap
+module Monotonic = Ic_prof.Monotonic
+module Plan = Ic_fault.Plan
+
+let send_all fd bytes len =
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write fd bytes !off (len - !off)
+  done
+
+(* ---------------------------------------------------------------- serve *)
+
+type conn = { fd : Unix.file_descr; reader : Wire.Reader.t }
+
+let serve ?metrics ?sink ?on_listen ?(once = false) ~port scfg dag =
+  let srv = Server.create ?metrics ?sink scfg dag in
+  let lsock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt lsock Unix.SO_REUSEADDR true;
+  Unix.bind lsock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen lsock 128;
+  let bound =
+    match Unix.getsockname lsock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  (match on_listen with Some f -> f bound | None -> ());
+  let t0 = Monotonic.now () in
+  let now () = Monotonic.now () -. t0 in
+  let conns = ref [] in
+  let accepted = ref 0 in
+  let rbuf = Bytes.create 65536 in
+  let out = Buffer.create 4096 in
+  let close_conn c =
+    (try Unix.close c.fd with Unix.Unix_error _ -> ());
+    conns := List.filter (fun c' -> c'.fd != c.fd) !conns
+  in
+  let running = ref true in
+  while !running do
+    let t = now () in
+    ignore (Server.expire srv ~now:t);
+    let next = Server.next_expiry srv in
+    let timeout =
+      if Float.is_finite next then Float.max 0.001 (Float.min 0.05 (next -. t))
+      else 0.05
+    in
+    let fds = lsock :: List.map (fun c -> c.fd) !conns in
+    let ready, _, _ =
+      try Unix.select fds [] [] timeout
+      with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+    in
+    List.iter
+      (fun fd ->
+        if fd == lsock then begin
+          match Unix.accept lsock with
+          | cfd, _ ->
+            incr accepted;
+            conns := { fd = cfd; reader = Wire.Reader.create () } :: !conns
+          | exception Unix.Unix_error _ -> ()
+        end
+        else
+          match List.find_opt (fun c -> c.fd == fd) !conns with
+          | None -> ()
+          | Some c -> (
+            let n =
+              try Unix.read c.fd rbuf 0 (Bytes.length rbuf)
+              with Unix.Unix_error _ -> 0
+            in
+            if n = 0 then close_conn c
+            else begin
+              Wire.Reader.feed c.reader rbuf 0 n;
+              let drop = ref false in
+              let continue = ref true in
+              while !continue do
+                match Wire.Reader.next c.reader with
+                | Ok None -> continue := false
+                | Error _ ->
+                  drop := true;
+                  continue := false
+                | Ok (Some msg) -> (
+                  let reply = Server.handle srv ~now:(now ()) msg in
+                  Buffer.clear out;
+                  Wire.encode out reply;
+                  try send_all c.fd (Buffer.to_bytes out) (Buffer.length out)
+                  with Unix.Unix_error _ ->
+                    drop := true;
+                    continue := false)
+              done;
+              if !drop then close_conn c
+            end))
+      ready;
+    if once && !accepted > 0 && !conns = [] then running := false
+  done;
+  (try Unix.close lsock with Unix.Unix_error _ -> ());
+  Server.stats srv
+
+(* --------------------------------------------------------------- hammer *)
+
+type hammer_result = {
+  workers : int;
+  completes_sent : int;
+  done_seen : bool;
+  crashed : int;
+  disconnects : int;
+  wall_s : float;
+  lease_grant_p50_s : float;
+  lease_grant_p99_s : float;
+  task_service_p50_s : float;
+  task_service_p99_s : float;
+}
+
+(* worker status, as in Hammer's virtual loop *)
+let w_idle = 0
+let w_busy = 1
+let w_offline = 2
+let w_dead = 3
+let w_finished = 4
+
+type ev =
+  | Request of int * int
+  | Complete_due of int * int
+  | Churn_ev of int * Plan.Churn.kind
+
+(* an outstanding request on a connection, awaiting its FIFO-matched
+   reply; [comp] tells a [Lease_req] reply apart from a [Complete] one,
+   [ep] lets a reply to a pre-churn request be discarded *)
+type pending = { p_worker : int; p_ep : int; p_comp : bool }
+
+let hammer ?(host = "127.0.0.1") ?(connections = 4) ~port (cfg : Hammer.config)
+    =
+  let t_start = Monotonic.now () in
+  let elapsed () = Monotonic.now () -. t_start in
+  let w = cfg.Hammer.workers in
+  let nconn = max 1 (min connections w) in
+  let addr =
+    Unix.ADDR_INET
+      ( (if host = "127.0.0.1" || host = "localhost" then
+           Unix.inet_addr_loopback
+         else Unix.inet_addr_of_string host),
+        port )
+  in
+  let socks =
+    Array.init nconn (fun _ ->
+        let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.connect s addr;
+        (try Unix.setsockopt s Unix.TCP_NODELAY true
+         with Unix.Unix_error _ -> ());
+        s)
+  in
+  let readers = Array.init nconn (fun _ -> Wire.Reader.create ()) in
+  let pendings : pending Queue.t array =
+    Array.init nconn (fun _ -> Queue.create ())
+  in
+  let open_ = Array.make nconn true in
+  let total_pending = ref 0 in
+  let conn_of i = i mod nconn in
+  let status = Array.make w w_idle in
+  let batch : int list array = Array.make w [] in
+  let batch_t0 = Array.make w 0.0 in
+  let draws = Array.make w 0 in
+  let epoch = Array.make w 0 in
+  let first_req = Array.make w nan in
+  let churn = Array.init w (fun i -> Plan.Churn.create cfg.Hammer.churn ~client:i) in
+  let settled = ref 0 in
+  let crashed = ref 0 in
+  let disconnects = ref 0 in
+  let completes_sent = ref 0 in
+  let done_seen = ref false in
+  let grant_lat = ref [] in
+  let service_lat = ref [] in
+  let events : (float, ev) Heap.t = Heap.create () in
+  let out = Buffer.create 256 in
+  let rbuf = Bytes.create 65536 in
+  let settle i st =
+    if status.(i) <> w_finished && status.(i) <> w_dead then incr settled;
+    status.(i) <- st
+  in
+  let close_conn c =
+    if open_.(c) then begin
+      open_.(c) <- false;
+      (try Unix.close socks.(c) with Unix.Unix_error _ -> ());
+      (* outstanding replies on this connection will never arrive *)
+      total_pending := !total_pending - Queue.length pendings.(c);
+      Queue.clear pendings.(c)
+    end
+  in
+  let send i msg ~comp =
+    let c = conn_of i in
+    if not open_.(c) then settle i w_finished
+    else begin
+      Buffer.clear out;
+      Wire.encode out msg;
+      match send_all socks.(c) (Buffer.to_bytes out) (Buffer.length out) with
+      | () ->
+        Queue.add { p_worker = i; p_ep = epoch.(i); p_comp = comp } pendings.(c);
+        incr total_pending
+      | exception Unix.Unix_error _ ->
+        close_conn c;
+        settle i w_finished
+    end
+  in
+  let alive i = status.(i) = w_idle || status.(i) = w_busy in
+  let schedule_churn i =
+    match Plan.Churn.next churn.(i) with
+    | None -> ()
+    | Some { Plan.Churn.time; kind } -> Heap.push events time (Churn_ev (i, kind))
+  in
+  for i = 0 to w - 1 do
+    let rng = Random.State.make [| cfg.Hammer.seed; 0x0F; i |] in
+    Heap.push events
+      (Random.State.float rng cfg.Hammer.mean_service_s)
+      (Request (i, 0));
+    schedule_churn i
+  done;
+  let next_service i =
+    draws.(i) <- draws.(i) + 1;
+    Hammer.service_s cfg ~worker:i ~draw:(draws.(i) - 1)
+  in
+  let dispatch_event ev t =
+    match ev with
+    | Request (i, ep) ->
+      if ep = epoch.(i) && alive i then begin
+        if Float.is_nan first_req.(i) then first_req.(i) <- t;
+        send i (Wire.Lease_req { worker = i; k = cfg.Hammer.k }) ~comp:false
+      end
+    | Complete_due (i, ep) ->
+      if ep = epoch.(i) && status.(i) = w_busy then begin
+        match batch.(i) with
+        | [] -> ()
+        | task :: rest ->
+          batch.(i) <- rest;
+          service_lat := (t -. batch_t0.(i)) :: !service_lat;
+          incr completes_sent;
+          send i (Wire.Complete { worker = i; task }) ~comp:true
+      end
+    | Churn_ev (i, kind) ->
+      (match kind with
+      | Plan.Churn.Crash ->
+        if status.(i) <> w_finished then begin
+          incr crashed;
+          epoch.(i) <- epoch.(i) + 1;
+          settle i w_dead;
+          batch.(i) <- [];
+          first_req.(i) <- nan
+        end
+      | Plan.Churn.Disconnect _ ->
+        if alive i then begin
+          incr disconnects;
+          epoch.(i) <- epoch.(i) + 1;
+          status.(i) <- w_offline;
+          batch.(i) <- [];
+          first_req.(i) <- nan
+        end
+      | Plan.Churn.Rejoin ->
+        if status.(i) = w_offline then begin
+          epoch.(i) <- epoch.(i) + 1;
+          status.(i) <- w_idle;
+          Heap.push events t (Request (i, epoch.(i)))
+        end);
+      schedule_churn i
+  in
+  let handle_reply c msg =
+    let { p_worker = i; p_ep; p_comp } = Queue.pop pendings.(c) in
+    decr total_pending;
+    match msg with
+    | Wire.Done _ ->
+      done_seen := true;
+      if alive i then settle i w_finished
+    | _ when p_ep <> epoch.(i) -> ()
+    | Wire.Lease { tasks; expires_in_s = _ } ->
+      let t = elapsed () in
+      grant_lat := (t -. first_req.(i)) :: !grant_lat;
+      first_req.(i) <- nan;
+      status.(i) <- w_busy;
+      batch.(i) <- Array.to_list tasks;
+      batch_t0.(i) <- t;
+      Heap.push events (t +. next_service i) (Complete_due (i, epoch.(i)))
+    | Wire.Retry_after { delay_s } ->
+      Heap.push events
+        (elapsed () +. Float.max delay_s 1e-4)
+        (Request (i, epoch.(i)))
+    | Wire.Ack ->
+      let t = elapsed () in
+      if p_comp && batch.(i) <> [] then
+        Heap.push events (t +. next_service i) (Complete_due (i, epoch.(i)))
+      else begin
+        status.(i) <- w_idle;
+        Heap.push events (t +. cfg.Hammer.think_s) (Request (i, epoch.(i)))
+      end
+    | _ -> ()
+  in
+  let progress_possible () =
+    (not (Heap.is_empty events)) || !total_pending > 0
+  in
+  while !settled < w && progress_possible () do
+    (* fire every event that is due *)
+    let due = ref true in
+    while !due do
+      match Heap.peek events with
+      | Some (te, _) when te <= elapsed () -> (
+        match Heap.pop events with
+        | Some (_, ev) -> dispatch_event ev (elapsed ())
+        | None -> due := false)
+      | _ -> due := false
+    done;
+    if !settled < w && progress_possible () then begin
+      let timeout =
+        match Heap.peek events with
+        | Some (te, _) -> Float.max 0.0 (Float.min 0.05 (te -. elapsed ()))
+        | None -> 0.05
+      in
+      let fds = ref [] in
+      Array.iteri (fun c s -> if open_.(c) then fds := s :: !fds) socks;
+      if !fds = [] then ()
+      else begin
+        let ready, _, _ =
+          try Unix.select !fds [] [] timeout
+          with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+        in
+        List.iter
+          (fun fd ->
+            let c = ref (-1) in
+            Array.iteri (fun j s -> if s == fd then c := j) socks;
+            let c = !c in
+            if c >= 0 && open_.(c) then begin
+              let n =
+                try Unix.read socks.(c) rbuf 0 (Bytes.length rbuf)
+                with Unix.Unix_error _ -> 0
+              in
+              if n = 0 then close_conn c
+              else begin
+                Wire.Reader.feed readers.(c) rbuf 0 n;
+                let continue = ref true in
+                while !continue do
+                  match Wire.Reader.next readers.(c) with
+                  | Ok None -> continue := false
+                  | Error _ ->
+                    close_conn c;
+                    continue := false
+                  | Ok (Some msg) ->
+                    if Queue.is_empty pendings.(c) then begin
+                      (* unsolicited reply: protocol break, drop the conn *)
+                      close_conn c;
+                      continue := false
+                    end
+                    else handle_reply c msg
+                done
+              end
+            end)
+          ready
+      end
+    end
+  done;
+  Array.iteri (fun c _ -> close_conn c) socks;
+  let grants = Array.of_list !grant_lat in
+  let services = Array.of_list !service_lat in
+  {
+    workers = w;
+    completes_sent = !completes_sent;
+    done_seen = !done_seen;
+    crashed = !crashed;
+    disconnects = !disconnects;
+    wall_s = elapsed ();
+    lease_grant_p50_s = Hammer.quantile grants 0.5;
+    lease_grant_p99_s = Hammer.quantile grants 0.99;
+    task_service_p50_s = Hammer.quantile services 0.5;
+    task_service_p99_s = Hammer.quantile services 0.99;
+  }

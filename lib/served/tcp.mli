@@ -1,0 +1,62 @@
+(** Loopback TCP transport for the lease server and the load harness.
+
+    {!serve} wraps a {!Server} in a single-threaded select loop:
+    length-prefixed frames in, one reply per request out, lease expiries
+    fired from the wall clock between polls. {!hammer} is the matching
+    real-time client: it runs {!Hammer}'s worker model (same batch
+    discipline, same seeded Pareto service latencies, same
+    {!Ic_fault.Plan.Churn} stream) but multiplexes the virtual workers
+    over a handful of real connections — the protocol is strict
+    request/response, so replies on a connection are matched to
+    outstanding requests FIFO.
+
+    Both ends are driver code, not a production network stack: blocking
+    writes (replies are small and the sockets are loopback), one read
+    buffer, no TLS. They exist so the CI smoke job and the operator CLI
+    can exercise the sans-IO core over real sockets. *)
+
+val serve :
+  ?metrics:Ic_obs.Metrics.t ->
+  ?sink:Ic_obs.Trace.t ->
+  ?on_listen:(int -> unit) ->
+  ?once:bool ->
+  port:int ->
+  Server.config ->
+  Ic_dag.Dag.t ->
+  Server.stats
+(** Bind [127.0.0.1:port] ([port] 0 picks a free one), call [on_listen]
+    with the bound port, then serve until interrupted. With [once] (off
+    by default) the loop exits once at least one client has connected
+    and every connection has closed — the hammer closes its sockets when
+    the dag is done, so [serve ~once:true] terminates with it. A
+    connection that sends a corrupt frame is dropped; the server state
+    is untouched (its leases simply expire). Returns the final
+    {!Server.stats}. *)
+
+(** Client-side view of a hammer run; the authoritative counters live in
+    the server's metrics registry. *)
+type hammer_result = {
+  workers : int;
+  completes_sent : int;  (** [Complete] frames put on the wire *)
+  done_seen : bool;  (** the server answered [Done] at least once *)
+  crashed : int;
+  disconnects : int;
+  wall_s : float;
+  lease_grant_p50_s : float;
+  lease_grant_p99_s : float;
+  task_service_p50_s : float;
+  task_service_p99_s : float;
+}
+
+val hammer :
+  ?host:string ->
+  ?connections:int ->
+  port:int ->
+  Hammer.config ->
+  hammer_result
+(** Connect [connections] (default 4) sockets to [host] (default
+    loopback) and drive [config.workers] virtual workers over them
+    (worker [w] is pinned to connection [w mod connections]) in real
+    time: service latencies and think times become actual delays in the
+    event loop. Returns when every worker is finished (saw [Done]) or
+    dead (crashed by the churn plan) and no replies are outstanding. *)

@@ -128,7 +128,7 @@ type ev =
   | Ev_timeout of int  (** attempt *)
   | Ev_spec of int  (** attempt *)
   | Ev_crash of int  (** client *)
-  | Ev_disconnect of int  (** client *)
+  | Ev_disconnect of int * float  (** client, downtime (from the churn stream) *)
   | Ev_rejoin of int  (** client *)
   | Ev_retry of int  (** task *)
 
@@ -194,7 +194,6 @@ let run ?sink ?metrics cfg policy ~workload g =
   let st = Array.make cfg.n_clients st_idle in
   let stalled_since = Array.make cfg.n_clients nan in
   let waiting = Queue.create () in
-  let disc_k = Array.make cfg.n_clients 0 in
   (* per-task state *)
   let computed_by = Array.make (max n 1) (-1) in
   let attempts_made = Array.make (max n 1) 0 in
@@ -553,13 +552,12 @@ let run ?sink ?metrics cfg policy ~workload g =
     end
   in
   let handle_disconnect c =
+    (* the matching rejoin arrives from the churn stream on its own;
+       nothing to re-draw or schedule here *)
     if st.(c) <> st_dead && st.(c) <> st_offline then begin
       incr disconnects;
       (match meters with None -> () | Some mt -> Metrics.incr mt.m_disconnects);
-      drop_client c ~transient:true;
-      match Plan.disconnect plan ~client:c ~k:disc_k.(c) with
-      | Some (_, downtime) -> Heap.push events (!now +. downtime) (Ev_rejoin c)
-      | None -> ()
+      drop_client c ~transient:true
     end
   in
   let handle_rejoin c =
@@ -568,10 +566,6 @@ let run ?sink ?metrics cfg policy ~workload g =
       (match sink with
       | None -> ()
       | Some tr -> Trace.client_rejoin tr ~time:!now ~client:c);
-      disc_k.(c) <- disc_k.(c) + 1;
-      (match Plan.disconnect plan ~client:c ~k:disc_k.(c) with
-      | Some (gap, _) -> Heap.push events (!now +. gap) (Ev_disconnect c)
-      | None -> ());
       allocate c
     end
   in
@@ -589,13 +583,22 @@ let run ?sink ?metrics cfg policy ~workload g =
     end
   in
   Span.leave () (* sim.setup *);
-  (* schedule each client's fate, then hand out the initial work *)
-  for c = 0 to cfg.n_clients - 1 do
-    let tc = Plan.crash_time plan ~client:c in
-    if Float.is_finite tc then Heap.push events tc (Ev_crash c);
-    match Plan.disconnect plan ~client:c ~k:0 with
-    | Some (gap, _) -> Heap.push events gap (Ev_disconnect c)
+  (* schedule each client's fate, then hand out the initial work: every
+     crash/disconnect/rejoin comes from the plan's churn stream, one
+     pending event per client at a time *)
+  let churn = Array.init cfg.n_clients (fun c -> Plan.Churn.create plan ~client:c) in
+  let schedule_churn c =
+    match Plan.Churn.next churn.(c) with
     | None -> ()
+    | Some { Plan.Churn.time; kind } ->
+      Heap.push events time
+        (match kind with
+        | Plan.Churn.Crash -> Ev_crash c
+        | Plan.Churn.Disconnect downtime -> Ev_disconnect (c, downtime)
+        | Plan.Churn.Rejoin -> Ev_rejoin c)
+  in
+  for c = 0 to cfg.n_clients - 1 do
+    schedule_churn c
   done;
   for c = 0 to cfg.n_clients - 1 do
     allocate c
@@ -634,13 +637,16 @@ let run ?sink ?metrics cfg policy ~workload g =
           handle_spec id
         | Ev_crash c ->
           Span.enter "sim.ev.crash";
-          handle_crash c
-        | Ev_disconnect c ->
+          handle_crash c;
+          schedule_churn c
+        | Ev_disconnect (c, _downtime) ->
           Span.enter "sim.ev.disconnect";
-          handle_disconnect c
+          handle_disconnect c;
+          schedule_churn c
         | Ev_rejoin c ->
           Span.enter "sim.ev.rejoin";
-          handle_rejoin c
+          handle_rejoin c;
+          schedule_churn c
         | Ev_retry v ->
           Span.enter "sim.ev.retry";
           handle_retry_release v);

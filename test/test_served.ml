@@ -1,0 +1,504 @@
+(* The served subsystem: wire codec properties, the sharded lease server
+   state machine, the deterministic virtual load harness, and the TCP
+   transport over loopback. Only built on OCaml 5 (with ic_served). *)
+
+module Wire = Ic_served.Wire
+module Server = Ic_served.Server
+module Shards = Ic_served.Shards
+module Hammer = Ic_served.Hammer
+module Tcp = Ic_served.Tcp
+module Shard_view = Ic_dag.Shard_view
+module Dag = Ic_dag.Dag
+module Mesh = Ic_families.Mesh
+module Plan = Ic_fault.Plan
+module Recovery = Ic_fault.Recovery
+module Metrics = Ic_obs.Metrics
+module Trace = Ic_obs.Trace
+
+let qcheck = List.map QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------ wire codec *)
+
+let gen_msg =
+  let open QCheck.Gen in
+  let id = frequency [ (4, int_range 0 0xFFFF); (1, int_range 0 Wire.max_u32) ] in
+  let dur =
+    frequency
+      [
+        (4, map Float.abs (float_bound_inclusive 1000.0));
+        (1, return infinity);
+        (1, return 0.0);
+      ]
+  in
+  frequency
+    [
+      (3, map (fun worker -> Wire.Hello { worker }) id);
+      ( 5,
+        map2
+          (fun worker k -> Wire.Lease_req { worker; k })
+          id (int_range 1 0xFFFF) );
+      (5, map2 (fun worker task -> Wire.Complete { worker; task }) id id);
+      (2, map (fun worker -> Wire.Heartbeat { worker }) id);
+      (1, return Wire.Drain);
+      ( 2,
+        map2 (fun n_tasks n_shards -> Wire.Welcome { n_tasks; n_shards }) id id
+      );
+      ( 5,
+        map2
+          (fun tasks expires_in_s -> Wire.Lease { tasks; expires_in_s })
+          (map Array.of_list (list_size (int_range 1 64) id))
+          dur );
+      (2, map (fun delay_s -> Wire.Retry_after { delay_s }) dur);
+      (2, map2 (fun completed reissues -> Wire.Done { completed; reissues }) id id);
+      (1, return Wire.Ack);
+    ]
+
+let arb_msg = QCheck.make ~print:(fun _ -> "<msg>") gen_msg
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"encode/decode round-trips every message"
+    ~count:2000 arb_msg (fun m ->
+      let s = Wire.to_string m in
+      let b = Bytes.of_string s in
+      match Wire.decode_frame b ~pos:0 ~avail:(Bytes.length b) with
+      | `Msg (m', consumed) -> m' = m && consumed = Bytes.length b
+      | `Need_more | `Error _ -> false)
+
+let prop_truncated_needs_more =
+  QCheck.Test.make ~name:"every strict prefix of a frame is Need_more"
+    ~count:500 arb_msg (fun m ->
+      let b = Bytes.of_string (Wire.to_string m) in
+      let n = Bytes.length b in
+      let ok = ref true in
+      for len = 0 to n - 1 do
+        match Wire.decode_frame b ~pos:0 ~avail:len with
+        | `Need_more -> ()
+        | `Msg _ | `Error _ -> ok := false
+      done;
+      !ok)
+
+let prop_junk_never_raises =
+  QCheck.Test.make ~name:"arbitrary bytes never raise out of the reader"
+    ~count:2000
+    QCheck.(string_of_size (Gen.int_range 0 256))
+    (fun s ->
+      let r = Wire.Reader.create () in
+      Wire.Reader.feed r (Bytes.of_string s) 0 (String.length s);
+      (* drain until the reader stalls or errors; any exception fails *)
+      let rec drain budget =
+        if budget = 0 then true
+        else
+          match Wire.Reader.next r with
+          | Ok (Some _) -> drain (budget - 1)
+          | Ok None | Error _ -> true
+      in
+      drain 64)
+
+let test_oversized_frame_rejected () =
+  let b = Bytes.create 8 in
+  Bytes.set_int32_le b 0 (Int32.of_int (Wire.max_frame + 1));
+  (match Wire.decode_frame b ~pos:0 ~avail:8 with
+  | `Error _ -> ()
+  | `Msg _ | `Need_more -> Alcotest.fail "oversized length accepted");
+  (* and through the reader: the stream is unrecoverable *)
+  let r = Wire.Reader.create () in
+  Wire.Reader.feed r b 0 8;
+  match Wire.Reader.next r with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "reader accepted oversized frame"
+
+let test_bad_tag_rejected () =
+  let b = Bytes.create 5 in
+  Bytes.set_int32_le b 0 1l;
+  Bytes.set b 4 '\xEE';
+  match Wire.decode_frame b ~pos:0 ~avail:5 with
+  | `Error _ -> ()
+  | `Msg _ | `Need_more -> Alcotest.fail "unknown tag accepted"
+
+let test_trailing_bytes_rejected () =
+  (* a valid Drain payload plus one stray byte inside the frame *)
+  let drain = Wire.to_string Wire.Drain in
+  let payload_len = String.length drain - 4 in
+  let b = Bytes.create (String.length drain + 1) in
+  Bytes.blit_string drain 0 b 0 (String.length drain);
+  Bytes.set_int32_le b 0 (Int32.of_int (payload_len + 1));
+  Bytes.set b (String.length drain) '\x00';
+  match Wire.decode_frame b ~pos:0 ~avail:(Bytes.length b) with
+  | `Error _ -> ()
+  | `Msg _ | `Need_more -> Alcotest.fail "trailing payload bytes accepted"
+
+let test_reader_byte_at_a_time () =
+  let msgs =
+    [
+      Wire.Hello { worker = 7 };
+      Wire.Lease { tasks = [| 1; 2; 3 |]; expires_in_s = 0.5 };
+      Wire.Retry_after { delay_s = infinity };
+      Wire.Complete { worker = 7; task = 2 };
+      Wire.Done { completed = 3; reissues = 0 };
+      Wire.Ack;
+    ]
+  in
+  let buf = Buffer.create 128 in
+  List.iter (Wire.encode buf) msgs;
+  let s = Buffer.to_bytes buf in
+  let r = Wire.Reader.create () in
+  let got = ref [] in
+  Bytes.iter
+    (fun c ->
+      Wire.Reader.feed r (Bytes.make 1 c) 0 1;
+      let rec drain () =
+        match Wire.Reader.next r with
+        | Ok (Some m) ->
+          got := m :: !got;
+          drain ()
+        | Ok None -> ()
+        | Error e -> Alcotest.failf "reader error: %s" e
+      in
+      drain ())
+    s;
+  Alcotest.(check int) "message count" (List.length msgs) (List.length !got);
+  if List.rev !got <> msgs then Alcotest.fail "messages differ or reordered"
+
+(* ------------------------------------------------- shard view and pools *)
+
+let test_shard_view_partition () =
+  let g = Mesh.out_mesh 20 in
+  let v = Shard_view.create ~n_shards:3 g in
+  Alcotest.(check int) "shards" 3 (Shard_view.n_shards v);
+  let total = ref 0 in
+  for s = 0 to 2 do
+    total := !total + Shard_view.shard_size v s
+  done;
+  Alcotest.(check int) "sizes cover the dag" (Dag.n_nodes g) !total;
+  (* contiguous blocks: shard_of is monotone in the node id *)
+  for u = 1 to Dag.n_nodes g - 1 do
+    if Shard_view.shard_of v u < Shard_view.shard_of v (u - 1) then
+      Alcotest.fail "shard_of not monotone"
+  done
+
+let test_shard_view_exactly_once_ready () =
+  let g = Mesh.out_mesh 20 in
+  let n = Dag.n_nodes g in
+  let v = Shard_view.create ~n_shards:4 g in
+  let seen = Array.make n 0 in
+  let pending = Queue.create () in
+  Shard_view.iter_initial v (fun ~shard:_ u ->
+      seen.(u) <- seen.(u) + 1;
+      Queue.add u pending);
+  while not (Queue.is_empty pending) do
+    let u = Queue.pop pending in
+    Shard_view.complete v u ~ready:(fun ~shard u' ->
+        Alcotest.(check int) "shard tag" (Shard_view.shard_of v u') shard;
+        seen.(u') <- seen.(u') + 1;
+        Queue.add u' pending)
+  done;
+  Alcotest.(check bool) "complete" true (Shard_view.is_complete v);
+  Array.iteri
+    (fun u c -> if c <> 1 then Alcotest.failf "node %d ready %d times" u c)
+    seen
+
+let test_pool_batch_pop () =
+  let p = Shards.create ~n_shards:2 () in
+  List.iter (fun v -> Shards.push p ~shard:0 v) [ 1; 2; 3; 4; 5 ];
+  Shards.push p ~shard:1 9;
+  let out = Array.make 8 0 in
+  let n = Shards.pop_batch p ~shard:0 ~max:3 out in
+  Alcotest.(check int) "batch size" 3 n;
+  Alcotest.(check (list int)) "LIFO, newest first" [ 5; 4; 3 ]
+    (Array.to_list (Array.sub out 0 3));
+  Alcotest.(check int) "other shard untouched" 1 (Shards.size p ~shard:1);
+  let n = Shards.pop_batch p ~shard:0 ~max:8 out in
+  Alcotest.(check int) "remainder" 2 n;
+  Alcotest.(check int) "drained" 0 (Shards.pop_batch p ~shard:0 ~max:8 out)
+
+(* ------------------------------------------------------ server machine *)
+
+(* out_mesh 1: node 0 -> {1, 2} *)
+let tiny () = Mesh.out_mesh 1
+
+let lease_tasks = function
+  | Wire.Lease { tasks; _ } -> tasks
+  | m -> Alcotest.failf "expected Lease, got %s" (Wire.to_string m |> String.escaped)
+
+let test_lease_complete_done () =
+  let srv = Server.create (Server.config ()) (tiny ()) in
+  (match Server.handle srv ~now:0.0 (Wire.Hello { worker = 1 }) with
+  | Wire.Welcome { n_tasks; n_shards } ->
+    Alcotest.(check int) "n_tasks" 3 n_tasks;
+    Alcotest.(check int) "n_shards" 1 n_shards
+  | _ -> Alcotest.fail "expected Welcome");
+  let t1 = lease_tasks (Server.handle srv ~now:0.0 (Wire.Lease_req { worker = 1; k = 8 })) in
+  Alcotest.(check (array int)) "only the source is eligible" [| 0 |] t1;
+  (match Server.handle srv ~now:0.1 (Wire.Complete { worker = 1; task = 0 }) with
+  | Wire.Ack -> ()
+  | _ -> Alcotest.fail "expected Ack");
+  let t2 = lease_tasks (Server.handle srv ~now:0.2 (Wire.Lease_req { worker = 1; k = 8 })) in
+  let sorted = Array.copy t2 in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "children eligible" [| 1; 2 |] sorted;
+  ignore (Server.handle srv ~now:0.3 (Wire.Complete { worker = 1; task = 1 }));
+  (match Server.handle srv ~now:0.4 (Wire.Complete { worker = 1; task = 2 }) with
+  | Wire.Done { completed; _ } -> Alcotest.(check int) "done count" 3 completed
+  | _ -> Alcotest.fail "expected Done");
+  Alcotest.(check bool) "is_done" true (Server.is_done srv);
+  let st = Server.stats srv in
+  Alcotest.(check int) "completions" 3 st.Server.completions;
+  Alcotest.(check int) "no duplicates" 0 st.Server.duplicate_completes;
+  Alcotest.(check int) "inflight drained" 0 st.Server.inflight
+
+let test_backpressure () =
+  let srv =
+    Server.create (Server.config ~max_inflight:1 ()) (Mesh.out_mesh 3)
+  in
+  let t = lease_tasks (Server.handle srv ~now:0.0 (Wire.Lease_req { worker = 1; k = 8 })) in
+  Alcotest.(check int) "inflight bound caps the batch" 1 (Array.length t);
+  (match Server.handle srv ~now:0.0 (Wire.Lease_req { worker = 2; k = 1 }) with
+  | Wire.Retry_after { delay_s } ->
+    Alcotest.(check bool) "positive delay" true (delay_s > 0.0)
+  | _ -> Alcotest.fail "expected Retry_after");
+  Alcotest.(check int) "retry counted" 1 (Server.stats srv).Server.retry_afters
+
+let test_expiry_reissue_and_duplicate () =
+  (* timeout = 0 detection + 2 * 1.0 expected = 2.0 *)
+  let cfg =
+    Server.config ~expected_s:1.0
+      ~recovery:(Recovery.make ~timeout_factor:2.0 ())
+      ()
+  in
+  let srv = Server.create cfg (tiny ()) in
+  let t = lease_tasks (Server.handle srv ~now:0.0 (Wire.Lease_req { worker = 1; k = 1 })) in
+  Alcotest.(check (array int)) "leased the source" [| 0 |] t;
+  Alcotest.(check int) "not yet due" 0 (Server.expire srv ~now:1.9);
+  Alcotest.(check (float 1e-9)) "next expiry" 2.0 (Server.next_expiry srv);
+  Alcotest.(check int) "re-issued at the deadline" 1 (Server.expire srv ~now:2.0);
+  Alcotest.(check int) "inflight back to zero" 0 (Server.stats srv).Server.inflight;
+  (* the task is leasable again *)
+  let t = lease_tasks (Server.handle srv ~now:2.1 (Wire.Lease_req { worker = 2; k = 1 })) in
+  Alcotest.(check (array int)) "re-leased" [| 0 |] t;
+  (* the original straggler completes first: counts (first one wins) *)
+  (match Server.handle srv ~now:2.2 (Wire.Complete { worker = 1; task = 0 }) with
+  | Wire.Ack -> ()
+  | _ -> Alcotest.fail "straggler completion rejected");
+  (* the re-lease holder reports afterwards: a duplicate, no double apply *)
+  (match Server.handle srv ~now:2.3 (Wire.Complete { worker = 2; task = 0 }) with
+  | Wire.Ack -> ()
+  | _ -> Alcotest.fail "duplicate not acknowledged");
+  let st = Server.stats srv in
+  Alcotest.(check int) "applied once" 1 st.Server.completions;
+  Alcotest.(check int) "duplicate counted" 1 st.Server.duplicate_completes;
+  Alcotest.(check int) "reissue counted" 1 st.Server.reissues
+
+let test_heartbeat_renews () =
+  let cfg =
+    Server.config ~expected_s:1.0
+      ~recovery:(Recovery.make ~timeout_factor:2.0 ())
+      ()
+  in
+  let srv = Server.create cfg (tiny ()) in
+  ignore (Server.handle srv ~now:0.0 (Wire.Lease_req { worker = 1; k = 1 }));
+  (match Server.handle srv ~now:1.0 (Wire.Heartbeat { worker = 1 }) with
+  | Wire.Ack -> ()
+  | _ -> Alcotest.fail "expected Ack");
+  Alcotest.(check int) "old deadline is stale" 0 (Server.expire srv ~now:2.0);
+  Alcotest.(check (float 1e-9)) "renewed to heartbeat + timeout" 3.0
+    (Server.next_expiry srv);
+  Alcotest.(check int) "fires at the renewed deadline" 1
+    (Server.expire srv ~now:3.0)
+
+let test_protocol_errors_and_drain () =
+  let srv = Server.create (Server.config ()) (tiny ()) in
+  (* completing a still-blocked task is a violation *)
+  (match Server.handle srv ~now:0.0 (Wire.Complete { worker = 1; task = 1 }) with
+  | Wire.Ack -> ()
+  | _ -> Alcotest.fail "expected Ack");
+  (* as are out-of-range ids and server-side messages *)
+  ignore (Server.handle srv ~now:0.0 (Wire.Complete { worker = 1; task = 99 }));
+  ignore (Server.handle srv ~now:0.0 Wire.Ack);
+  Alcotest.(check int) "errors counted" 3 (Server.stats srv).Server.protocol_errors;
+  Alcotest.(check int) "nothing applied" 0 (Server.stats srv).Server.completions;
+  (match Server.handle srv ~now:0.1 Wire.Drain with
+  | Wire.Done _ -> ()
+  | _ -> Alcotest.fail "expected Done");
+  match Server.handle srv ~now:0.2 (Wire.Lease_req { worker = 1; k = 1 }) with
+  | Wire.Done _ -> ()
+  | _ -> Alcotest.fail "draining server still leases"
+
+let test_sharded_run_spreads_leases () =
+  let g = Mesh.out_mesh 20 in
+  let n = Dag.n_nodes g in
+  let m = Metrics.create () in
+  let srv =
+    Server.create ~metrics:m (Server.config ~n_shards:3 ~max_lease:16 ()) g
+  in
+  (* one greedy in-process worker drains the dag *)
+  let continue = ref true in
+  let now = ref 0.0 in
+  while !continue do
+    now := !now +. 0.001;
+    match Server.handle srv ~now:!now (Wire.Lease_req { worker = 0; k = 16 }) with
+    | Wire.Lease { tasks; _ } ->
+      Array.iter
+        (fun v ->
+          ignore (Server.handle srv ~now:!now (Wire.Complete { worker = 0; task = v })))
+        tasks
+    | Wire.Done _ -> continue := false
+    | Wire.Retry_after _ -> ()
+    | _ -> Alcotest.fail "unexpected reply"
+  done;
+  let st = Server.stats srv in
+  Alcotest.(check int) "every task applied once" n st.Server.completions;
+  let shard_total = ref 0 in
+  for s = 0 to 2 do
+    let c = Metrics.counter_value (Metrics.counter m (Printf.sprintf "served.shard%d.leased" s)) in
+    if c = 0 then Alcotest.failf "shard %d never leased" s;
+    shard_total := !shard_total + c
+  done;
+  Alcotest.(check int) "per-shard counters account for every leased task"
+    st.Server.leased_tasks !shard_total
+
+(* -------------------------------------------------- virtual load harness *)
+
+let test_hammer_small_clean () =
+  let g = Mesh.out_mesh 10 in
+  let sink = Trace.create () in
+  let scfg = Server.config ~n_shards:3 ~expected_s:0.1 () in
+  let cfg = Hammer.config ~workers:100 ~k:4 ~mean_service_s:0.001 () in
+  let r = Hammer.run_virtual ~sink ~server:scfg cfg g in
+  Alcotest.(check int) "all tasks" (Dag.n_nodes g) r.Hammer.completed;
+  Alcotest.(check int) "exactly once" (Dag.n_nodes g)
+    r.Hammer.server.Server.completions;
+  Alcotest.(check int) "no churn, no reissues" 0 r.Hammer.server.Server.reissues;
+  (* trace tracks: every alloc/complete is stamped with its shard *)
+  let bad = ref 0 in
+  Trace.iter
+    (fun (e : Trace.event) ->
+      match e.kind with
+      | Trace.Task_alloc | Trace.Task_complete ->
+        if e.b < 0 || e.b >= 3 then incr bad
+      | _ -> ())
+    sink;
+  Alcotest.(check int) "client ids are shard ids" 0 !bad;
+  Alcotest.(check bool) "trace non-empty" true (Trace.length sink > 0)
+
+(* the acceptance run: mesh-256 (32,896 tasks), 10^4 churning workers,
+   every task applied exactly once, metrics byte-identical across runs *)
+let acceptance_run () =
+  let g = Mesh.out_mesh 256 in
+  let m = Metrics.create () in
+  let scfg =
+    Server.config ~n_shards:3 ~max_lease:64 ~expected_s:0.2 ~retry_after_s:0.2
+      ~recovery:(Recovery.make ~timeout_factor:4.0 ())
+      ()
+  in
+  let churn =
+    Plan.make ~crash_rate:0.002 ~disconnect_rate:0.02 ~mean_downtime:0.5
+      ~seed:11 ()
+  in
+  let cfg =
+    Hammer.config ~workers:10_000 ~k:8 ~mean_service_s:0.01 ~think_s:0.001
+      ~churn ~seed:42 ()
+  in
+  let r = Hammer.run_virtual ~metrics:m ~server:scfg cfg g in
+  (r, Metrics.to_json m)
+
+let test_mesh256_churn_exactly_once () =
+  let r, json1 = acceptance_run () in
+  let n = 257 * 258 / 2 in
+  Alcotest.(check int) "dag size" n r.Hammer.n_tasks;
+  Alcotest.(check int) "every task completed" n r.Hammer.completed;
+  Alcotest.(check int) "each applied exactly once" n
+    r.Hammer.server.Server.completions;
+  Alcotest.(check bool) "churn crashed some workers" true (r.Hammer.crashed > 0);
+  Alcotest.(check bool) "churn disconnected some workers" true
+    (r.Hammer.disconnects > 0);
+  Alcotest.(check bool) "dropped leases were re-issued" true
+    (r.Hammer.server.Server.reissues > 0);
+  Alcotest.(check int) "nothing left in flight" 0
+    r.Hammer.server.Server.inflight;
+  Alcotest.(check bool) "virtual makespan positive" true (r.Hammer.makespan_s > 0.0);
+  (* byte-determinism: an identically seeded run dumps identical metrics *)
+  let r2, json2 = acceptance_run () in
+  Alcotest.(check string) "metrics JSON byte-identical" json1 json2;
+  Alcotest.(check (float 0.0)) "same virtual makespan" r.Hammer.makespan_s
+    r2.Hammer.makespan_s
+
+(* ------------------------------------------------------- TCP transport *)
+
+let test_tcp_loopback_roundtrip () =
+  let g = Mesh.out_mesh 10 in
+  let n = Dag.n_nodes g in
+  let port = Atomic.make 0 in
+  let server =
+    Domain.spawn (fun () ->
+        Tcp.serve
+          ~on_listen:(fun p -> Atomic.set port p)
+          ~once:true ~port:0
+          (Server.config ~n_shards:2 ~expected_s:0.5 ())
+          g)
+  in
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while Atomic.get port = 0 && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.001
+  done;
+  let p = Atomic.get port in
+  if p = 0 then Alcotest.fail "server never listened";
+  let cfg =
+    Hammer.config ~workers:50 ~k:4 ~mean_service_s:0.0005 ~think_s:0.0001 ()
+  in
+  let hr = Tcp.hammer ~connections:4 ~port:p cfg in
+  let st = Domain.join server in
+  Alcotest.(check bool) "client saw Done" true hr.Tcp.done_seen;
+  Alcotest.(check int) "server applied every task once" n st.Server.completions;
+  Alcotest.(check int) "no lingering leases" 0 st.Server.inflight;
+  Alcotest.(check bool) "client sent completions" true (hr.Tcp.completes_sent > 0)
+
+let () =
+  Alcotest.run "ic_served"
+    [
+      ( "wire",
+        Alcotest.test_case "oversized frame rejected" `Quick
+          test_oversized_frame_rejected
+        :: Alcotest.test_case "unknown tag rejected" `Quick test_bad_tag_rejected
+        :: Alcotest.test_case "trailing bytes rejected" `Quick
+             test_trailing_bytes_rejected
+        :: Alcotest.test_case "reader reassembles byte-at-a-time" `Quick
+             test_reader_byte_at_a_time
+        :: qcheck
+             [ prop_roundtrip; prop_truncated_needs_more; prop_junk_never_raises ]
+      );
+      ( "shards",
+        [
+          Alcotest.test_case "partition covers the dag" `Quick
+            test_shard_view_partition;
+          Alcotest.test_case "each node ready exactly once" `Quick
+            test_shard_view_exactly_once_ready;
+          Alcotest.test_case "pool pops batches LIFO" `Quick test_pool_batch_pop;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "lease, complete, done" `Quick
+            test_lease_complete_done;
+          Alcotest.test_case "admission control" `Quick test_backpressure;
+          Alcotest.test_case "expiry re-issues; duplicate counted once" `Quick
+            test_expiry_reissue_and_duplicate;
+          Alcotest.test_case "heartbeat renews leases" `Quick
+            test_heartbeat_renews;
+          Alcotest.test_case "protocol errors and drain" `Quick
+            test_protocol_errors_and_drain;
+          Alcotest.test_case "sharded run spreads leases" `Quick
+            test_sharded_run_spreads_leases;
+        ] );
+      ( "hammer",
+        [
+          Alcotest.test_case "clean run, per-shard trace tracks" `Quick
+            test_hammer_small_clean;
+          Alcotest.test_case
+            "mesh-256, 10^4 churning workers: exactly once, deterministic"
+            `Quick test_mesh256_churn_exactly_once;
+        ] );
+      ( "tcp",
+        [
+          Alcotest.test_case "loopback serve + hammer" `Quick
+            test_tcp_loopback_roundtrip;
+        ] );
+    ]

@@ -593,6 +593,83 @@ let prop_sim_valid_on_random_dags =
       && r.Sim.utilization <= 1.0 +. 1e-9
       && r.Sim.stall_time >= 0.0)
 
+(* --- the shared churn stream (Ic_fault.Plan.Churn) --------------------- *)
+
+let churn_plan =
+  Plan.make ~crash_rate:0.05 ~disconnect_rate:0.5 ~mean_downtime:0.4 ~seed:77 ()
+
+let test_churn_stream_shape () =
+  (* strictly increasing times; Disconnect/Rejoin alternate; Crash is
+     terminal; rejoin time = disconnect time + the carried downtime *)
+  for client = 0 to 49 do
+    let c = Plan.Churn.create churn_plan ~client in
+    let last_t = ref neg_infinity in
+    let down_until = ref None in
+    let crashed = ref false in
+    let continue = ref true in
+    let steps = ref 0 in
+    while !continue && !steps < 1000 do
+      incr steps;
+      match Plan.Churn.next c with
+      | None -> continue := false
+      | Some { Plan.Churn.time; kind } ->
+        if !crashed then Alcotest.fail "event after Crash";
+        if time <= !last_t then Alcotest.fail "times not strictly increasing";
+        last_t := time;
+        (match (kind, !down_until) with
+        | Plan.Churn.Crash, _ -> crashed := true
+        | Plan.Churn.Disconnect d, None ->
+          if d <= 0.0 then Alcotest.fail "non-positive downtime";
+          down_until := Some (time +. d)
+        | Plan.Churn.Rejoin, Some due ->
+          Alcotest.(check (float 1e-9)) "rejoin at disconnect + downtime" due time;
+          down_until := None
+        | Plan.Churn.Disconnect _, Some _ -> Alcotest.fail "disconnect while down"
+        | Plan.Churn.Rejoin, None -> Alcotest.fail "rejoin while up")
+    done
+  done
+
+let test_churn_stream_matches_samplers () =
+  (* the stream is exactly the raw samplers folded into a timeline *)
+  let plan = Plan.make ~disconnect_rate:1.0 ~mean_downtime:0.3 ~seed:5 () in
+  let c = Plan.Churn.create plan ~client:3 in
+  let gap0, down0 =
+    match Plan.disconnect plan ~client:3 ~k:0 with
+    | Some gd -> gd
+    | None -> Alcotest.fail "sampler disabled"
+  in
+  (match Plan.Churn.next c with
+  | Some { Plan.Churn.time; kind = Plan.Churn.Disconnect d } ->
+    Alcotest.(check (float 1e-9)) "first episode at gap0" gap0 time;
+    Alcotest.(check (float 1e-9)) "downtime from the sampler" down0 d
+  | _ -> Alcotest.fail "expected Disconnect");
+  (match Plan.Churn.next c with
+  | Some { Plan.Churn.time; kind = Plan.Churn.Rejoin } ->
+    Alcotest.(check (float 1e-9)) "rejoin" (gap0 +. down0) time
+  | _ -> Alcotest.fail "expected Rejoin");
+  (* identically seeded cursors replay the identical stream *)
+  let replay cur =
+    let rec go acc n =
+      if n = 0 then List.rev acc
+      else
+        match Plan.Churn.next cur with
+        | None -> List.rev acc
+        | Some e -> go ((e.Plan.Churn.time, e.Plan.Churn.kind) :: acc) (n - 1)
+    in
+    go [] 20
+  in
+  let a = replay (Plan.Churn.create churn_plan ~client:9) in
+  let b = replay (Plan.Churn.create churn_plan ~client:9) in
+  if a <> b then Alcotest.fail "cursor replay differs";
+  (* and [events] agrees with a bounded pull of [next] *)
+  let horizon = 3.0 in
+  let eager = Plan.Churn.events churn_plan ~client:9 ~horizon in
+  let pulled =
+    List.filter (fun (t, _) -> t <= horizon) a
+    |> List.map (fun (time, kind) -> { Plan.Churn.time; kind })
+  in
+  if eager <> pulled then Alcotest.fail "events disagrees with next"
+
 let () =
   Alcotest.run "ic_sim"
     [
@@ -645,6 +722,13 @@ let () =
           Alcotest.test_case "fault metrics" `Quick test_fault_metrics;
           Alcotest.test_case "seeded fault determinism" `Quick
             test_fault_determinism;
+        ] );
+      ( "churn stream",
+        [
+          Alcotest.test_case "well-formed timelines" `Quick
+            test_churn_stream_shape;
+          Alcotest.test_case "matches the raw samplers" `Quick
+            test_churn_stream_matches_samplers;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
