@@ -5,9 +5,11 @@
     ([bench_served.served.ml]) drives the sans-IO server with the
     deterministic virtual hammer — a 3-shard server against 10^4
     simulated workers, once per lease batch size (k = 1 vs k = 16, the
-    lock-amortization comparison), once under seeded churn — and then
-    over real loopback TCP, emitting one JSON record per configuration
-    with leases/sec and p50/p99 lease latencies. On 4.14 the stub
+    lock-amortization comparison), once under seeded churn — prices the
+    write-ahead journal (journal-off vs flush-per-append vs
+    fsync-per-append drains), and then runs over real loopback TCP,
+    emitting one JSON record per configuration with leases/sec and
+    p50/p99 lease latencies. On 4.14 the stub
     ([bench_served.noserved.ml]) prints a one-line notice to stderr and
     emits nothing.
 

@@ -80,10 +80,28 @@ let pool_scene ~emit ~bench ~n ~k =
    completing each lease synchronously. Per task the server pays one
    Complete plus 1/k of a Lease_req; per-task bookkeeping (state flips,
    expiry tracking) is shared, so this ratio shows what batching buys
-   across the whole request path, not just the lock. *)
-let drain_scene ~emit ~bench ~n ~k =
+   across the whole request path, not just the lock. With [journal] the
+   same drain runs against a write-ahead journal on a temp file —
+   [Some false] flush-per-append, [Some true] fsync-per-append — so the
+   journal-off / fsync-off / fsync-on triple prices durability per
+   completion. *)
+let drain_scene ~emit ~bench ~n ~k ?journal () =
   let g = Dag.empty n in
-  let srv = Server.create (Server.config ~n_shards:3 ~max_lease:64 ()) g in
+  let j =
+    Option.map
+      (fun fsync ->
+        let path = Filename.temp_file "ic_bench_journal" ".wal" in
+        match Ic_served.Journal.open_ ~fsync ~checkpoint_every:4096 path with
+        | Ok j -> (j, path)
+        | Error e -> failwith ("bench journal: " ^ e))
+      journal
+  in
+  let srv =
+    Server.create
+      ?journal:(Option.map fst j)
+      (Server.config ~n_shards:3 ~max_lease:64 ())
+      g
+  in
   let t0 = Ic_prof.Monotonic.now () in
   let now = ref 0.0 in
   let continue = ref true in
@@ -101,9 +119,19 @@ let drain_scene ~emit ~bench ~n ~k =
   done;
   let wall_s = Ic_prof.Monotonic.now () -. t0 in
   let st = Server.stats srv in
+  Option.iter
+    (fun (j, path) ->
+      Ic_served.Journal.close j;
+      try Sys.remove path with Sys_error _ -> ())
+    j;
   emit
     (record ~bench ~n_tasks:n ~workers:1 ~k ~wall_s ~server:st ~grant_p50:0.0
        ~grant_p99:0.0 ~service_p50:0.0 ~service_p99:0.0)
+
+(* one registry shared across --repeat iterations; [run] resets it so
+   every iteration's counters start from zero and a two-repeat run emits
+   byte-identical registry state *)
+let registry = Ic_obs.Metrics.create ()
 
 let virtual_scene ~emit ~bench ~levels ~workers ~k ~churn =
   let g = Mesh.out_mesh levels in
@@ -116,7 +144,7 @@ let virtual_scene ~emit ~bench ~levels ~workers ~k ~churn =
     Hammer.config ~workers ~k ~mean_service_s:0.01 ~think_s:0.001 ~churn
       ~seed:0xBE7 ()
   in
-  let r = Hammer.run_virtual ~server:scfg cfg g in
+  let r = Hammer.run_virtual ~metrics:registry ~server:scfg cfg g in
   emit
     (record ~bench ~n_tasks:r.Hammer.n_tasks ~workers ~k ~wall_s:r.Hammer.wall_s
        ~server:r.Hammer.server ~grant_p50:r.Hammer.lease_grant_p50_s
@@ -151,14 +179,24 @@ let tcp_scene ~emit ~levels ~workers ~k =
        ~service_p99:hr.Tcp.task_service_p99_s)
 
 let run ~quick ~emit =
+  (* the registry persists across --repeat iterations: reset it so each
+     iteration accumulates from zero instead of stacking onto the last *)
+  Ic_obs.Metrics.reset registry;
   let levels = if quick then 64 else 256 in
   let workers = if quick then 2_000 else 10_000 in
   let n_pool = if quick then 200_000 else 2_000_000 in
   let n_drain = if quick then 50_000 else 400_000 in
+  let n_fsync = if quick then 5_000 else 20_000 in
   pool_scene ~emit ~bench:"pool_pop_k1" ~n:n_pool ~k:1;
   pool_scene ~emit ~bench:"pool_pop_k16" ~n:n_pool ~k:16;
-  drain_scene ~emit ~bench:"drain_k1" ~n:n_drain ~k:1;
-  drain_scene ~emit ~bench:"drain_k16" ~n:n_drain ~k:16;
+  drain_scene ~emit ~bench:"drain_k1" ~n:n_drain ~k:1 ();
+  drain_scene ~emit ~bench:"drain_k16" ~n:n_drain ~k:16 ();
+  (* durability pricing: same drain, journal flushed per append, then
+     fsynced per append (smaller n — each record is a disk barrier) *)
+  drain_scene ~emit ~bench:"drain_k16_journal" ~n:n_drain ~k:16 ~journal:false
+    ();
+  drain_scene ~emit ~bench:"drain_k16_journal_fsync" ~n:n_fsync ~k:16
+    ~journal:true ();
   virtual_scene ~emit ~bench:"virtual_10k_workers" ~levels ~workers ~k:8
     ~churn:Plan.none;
   virtual_scene ~emit ~bench:"virtual_churn" ~levels ~workers ~k:8

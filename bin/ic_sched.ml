@@ -807,6 +807,41 @@ let serve_cmd =
             "Exit once at least one client has connected and every \
              connection has closed (for scripted runs)")
   in
+  let journal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Write-ahead journal: append every completion and lease grant \
+             before acknowledging it, so a killed server can be restarted \
+             with --recover")
+  in
+  let checkpoint_arg =
+    Arg.(
+      value & opt int 1024
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:
+            "Compact the journal to a checkpoint after every N journaled \
+             completions")
+  in
+  let fsync_arg =
+    Arg.(
+      value & flag
+      & info [ "fsync" ]
+          ~doc:
+            "fsync the journal after every record (machine-crash durable; \
+             default flushes per record, which survives kill -9)")
+  in
+  let recover_arg =
+    Arg.(
+      value & flag
+      & info [ "recover" ]
+          ~doc:
+            "Rebuild server state by replaying --journal before serving: \
+             journaled completions are never re-leased, \
+             leased-but-unjournaled tasks re-issue")
+  in
   let metrics_out_arg =
     Arg.(
       value
@@ -823,8 +858,8 @@ let serve_cmd =
             "Write a Chrome trace-event file with one track per shard (load \
              it in Perfetto)")
   in
-  let run family load port shards max_lease expected_s once metrics_out
-      trace_out prof =
+  let run family load port shards max_lease expected_s once journal
+      checkpoint_every fsync recover metrics_out trace_out prof =
     with_prof prof @@ fun () ->
     let dag =
       match (family, load) with
@@ -851,12 +886,15 @@ let serve_cmd =
     in
     match
       Served_support.serve ~dag ~port ~shards ~max_lease ~expected_s ~once
-        ?metrics_out ?trace_out ()
+        ~journal ~checkpoint_every ~fsync ~recover ?metrics_out ?trace_out ()
     with
     | Error e ->
       Format.eprintf "serve: %s@." e;
       exit 1
     | Ok o ->
+      if recover then
+        Format.printf "recovered %d completions from journal, %d re-issues@."
+          o.Served_support.recovered_tasks o.recovered_reissues;
       Format.printf
         "served %d/%d tasks: %d leases (%d tasks), %d reissues, %d \
          duplicates, %d retry-afters, %d protocol errors@."
@@ -871,10 +909,11 @@ let serve_cmd =
        ~doc:
          "Lease a dag's eligible tasks to remote workers over loopback TCP \
           (length-prefixed binary frames, sharded frontier, lease expiry \
-          and re-issue)")
+          and re-issue; optional write-ahead journal and crash recovery)")
     Term.(
       const run $ family_opt $ load_arg $ port_arg $ shards_arg
-      $ max_lease_arg $ expected_arg $ once_arg $ metrics_out_arg
+      $ max_lease_arg $ expected_arg $ once_arg $ journal_arg
+      $ checkpoint_arg $ fsync_arg $ recover_arg $ metrics_out_arg
       $ trace_out_arg $ prof_term)
 
 let hammer_cmd =
@@ -925,10 +964,35 @@ let hammer_cmd =
       & info [ "think-s" ] ~docv:"S"
           ~doc:"Pause between finishing a batch and requesting the next")
   in
-  let run host port workers connections k churn seed mean_service_s think_s =
+  let chaos_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "chaos" ] ~docv:"RATE"
+          ~doc:
+            "Mangle outgoing frames at this rate (drop and bit-flip at RATE, \
+             truncate at RATE/2) from a deterministic seeded stream; the \
+             client heals by reply timeout and reconnect")
+  in
+  let chaos_seed_arg =
+    Arg.(
+      value & opt int 0xC4A0
+      & info [ "chaos-seed" ] ~docv:"SEED"
+          ~doc:"Seed for the wire-chaos decision stream")
+  in
+  let utilization_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "utilization-out" ] ~docv:"FILE"
+          ~doc:
+            "Write a per-worker busy-time CSV (worker,busy_s,utilization) on \
+             exit")
+  in
+  let run host port workers connections k churn seed mean_service_s think_s
+      chaos chaos_seed utilization_out =
     match
       Served_support.hammer ~host ~port ~workers ~connections ~k ~churn ~seed
-        ~mean_service_s ~think_s ()
+        ~mean_service_s ~think_s ~chaos ~chaos_seed ~utilization_out ()
     with
     | Error e ->
       Format.eprintf "hammer: %s@." e;
@@ -936,13 +1000,14 @@ let hammer_cmd =
     | Ok r ->
       Format.printf
         "%d workers over %d connections: %d completes, %d crashed, %d \
-         disconnects, dag done %b, wall %.3fs@."
+         disconnects, %d reconnects, dag done %b, wall %.3fs@."
         r.Served_support.h_workers connections r.completes_sent r.crashed
-        r.disconnects r.done_seen r.h_wall_s;
+        r.disconnects r.reconnects r.done_seen r.h_wall_s;
       Format.printf "lease grant p50 %.6fs p99 %.6fs@." r.grant_p50_s
         r.grant_p99_s;
       Format.printf "task service p50 %.6fs p99 %.6fs@." r.service_p50_s
         r.service_p99_s;
+      Option.iter (Format.printf "utilization -> %s@.") utilization_out;
       if not r.done_seen then exit 1
   in
   Cmd.v
@@ -953,7 +1018,8 @@ let hammer_cmd =
           over a few real connections")
     Term.(
       const run $ host_arg $ port_arg $ workers_arg $ connections_arg $ k_arg
-      $ churn_arg $ seed_arg $ service_arg $ think_arg)
+      $ churn_arg $ seed_arg $ service_arg $ think_arg $ chaos_arg
+      $ chaos_seed_arg $ utilization_arg)
 
 (* --- prio --- *)
 

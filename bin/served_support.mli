@@ -17,6 +17,8 @@ type serve_outcome = {
   heartbeats : int;
   protocol_errors : int;
   inflight : int;  (* leased tasks still outstanding at exit (0 when done) *)
+  recovered_tasks : int;  (* completions restored from the journal *)
+  recovered_reissues : int;  (* leased-but-unjournaled tasks re-issued *)
 }
 
 val serve :
@@ -26,17 +28,32 @@ val serve :
   max_lease:int ->
   expected_s:float ->
   once:bool ->
+  journal:string option ->
+  checkpoint_every:int ->
+  fsync:bool ->
+  recover:bool ->
   ?metrics_out:string ->
   ?trace_out:string ->
   unit ->
   (serve_outcome, string) result
 (* Bind 127.0.0.1:[port] ([port] 0 picks a free one; the bound port is
    printed to stdout either way) and serve [dag]'s tasks until
-   interrupted — or, with [once], until at least one client has come and
-   every connection has closed. [metrics_out]/[trace_out] write the
-   served.* metrics registry as JSON and a Chrome trace-event file with
-   one track per shard after the loop exits. Errors: invalid config, a
-   bind failure, or — from the stub — the subsystem not being built on
+   interrupted — or, with [once], until at least one client has come,
+   every connection has closed and the drain is complete.
+
+   [journal] names a write-ahead journal file: completions and lease
+   grants are appended before they are acknowledged, with a compacted
+   checkpoint every [checkpoint_every] completions; [fsync] makes each
+   append machine-crash durable (default is flush-per-append, which
+   survives kill -9). [recover] rebuilds the server from that journal's
+   replay instead of starting fresh — previously journaled completions
+   are never re-leased, leased-but-unjournaled tasks are re-issued.
+
+   [metrics_out]/[trace_out] write the served.* metrics registry as
+   JSON and a Chrome trace-event file with one track per shard after
+   the loop exits. Errors: invalid config, a bind failure, a journal
+   that cannot be opened or does not fit the dag, [recover] without
+   [journal], or — from the stub — the subsystem not being built on
    this compiler. *)
 
 type hammer_outcome = {
@@ -45,6 +62,7 @@ type hammer_outcome = {
   done_seen : bool;  (* the server answered Done: every task applied *)
   crashed : int;
   disconnects : int;
+  reconnects : int;  (* sockets successfully redialed after a loss *)
   h_wall_s : float;
   grant_p50_s : float;
   grant_p99_s : float;
@@ -62,10 +80,18 @@ val hammer :
   seed:int ->
   mean_service_s:float ->
   think_s:float ->
+  chaos:float ->
+  chaos_seed:int ->
+  utilization_out:string option ->
   unit ->
   (hammer_outcome, string) result
 (* Drive [workers] simulated workers (lease batches of [k], seeded
    Pareto service latencies) against the server at [host]:[port] over
    [connections] real sockets. [churn] turns on a seeded
-   crash/disconnect/rejoin plan. Errors: invalid config, connection
-   refused, or — from the stub — the subsystem not being built. *)
+   crash/disconnect/rejoin plan. [chaos] > 0 mangles outgoing frames:
+   dropped and bit-flipped at that rate, truncated at half of it, from
+   the deterministic stream seeded by [chaos_seed] — the client heals
+   by reply timeout and reconnect. [utilization_out] writes a
+   per-worker busy-time CSV (worker,busy_s,utilization). Errors:
+   invalid config, connection refused, or — from the stub — the
+   subsystem not being built. *)

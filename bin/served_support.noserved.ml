@@ -11,6 +11,8 @@ type serve_outcome = {
   heartbeats : int;
   protocol_errors : int;
   inflight : int;
+  recovered_tasks : int;
+  recovered_reissues : int;
 }
 
 type hammer_outcome = {
@@ -19,6 +21,7 @@ type hammer_outcome = {
   done_seen : bool;
   crashed : int;
   disconnects : int;
+  reconnects : int;
   h_wall_s : float;
   grant_p50_s : float;
   grant_p99_s : float;
@@ -32,9 +35,11 @@ let unavailable =
      this compiler)"
 
 let serve ~dag:_ ~port:_ ~shards:_ ~max_lease:_ ~expected_s:_ ~once:_
-    ?metrics_out:_ ?trace_out:_ () =
+    ~journal:_ ~checkpoint_every:_ ~fsync:_ ~recover:_ ?metrics_out:_
+    ?trace_out:_ () =
   unavailable
 
 let hammer ~host:_ ~port:_ ~workers:_ ~connections:_ ~k:_ ~churn:_ ~seed:_
-    ~mean_service_s:_ ~think_s:_ () =
+    ~mean_service_s:_ ~think_s:_ ~chaos:_ ~chaos_seed:_ ~utilization_out:_ ()
+    =
   unavailable

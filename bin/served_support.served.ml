@@ -11,6 +11,8 @@ type serve_outcome = {
   heartbeats : int;
   protocol_errors : int;
   inflight : int;
+  recovered_tasks : int;
+  recovered_reissues : int;
 }
 
 type hammer_outcome = {
@@ -19,6 +21,7 @@ type hammer_outcome = {
   done_seen : bool;
   crashed : int;
   disconnects : int;
+  reconnects : int;
   h_wall_s : float;
   grant_p50_s : float;
   grant_p99_s : float;
@@ -31,87 +34,136 @@ let write_file file contents =
   output_string oc contents;
   close_out oc
 
-let serve ~dag ~port ~shards ~max_lease ~expected_s ~once ?metrics_out
-    ?trace_out () =
+let serve ~dag ~port ~shards ~max_lease ~expected_s ~once ~journal
+    ~checkpoint_every ~fsync ~recover ?metrics_out ?trace_out () =
   match
     Ic_served.Server.config ~n_shards:shards ~max_lease ~expected_s ()
   with
   | exception Invalid_argument msg -> Error msg
+  | _ when recover && journal = None ->
+    Error "--recover needs --journal: the journal is what is replayed"
   | cfg -> (
-    let sink = Option.map (fun _ -> Ic_obs.Trace.create ()) trace_out in
-    let registry =
-      Option.map (fun _ -> Ic_obs.Metrics.create ()) metrics_out
+    let jr =
+      match journal with
+      | None -> Ok None
+      | Some path -> (
+        match Ic_served.Journal.open_ ~fsync ~checkpoint_every path with
+        | Ok j -> Ok (Some j)
+        | Error e -> Error e)
     in
-    match
-      Ic_served.Tcp.serve ?metrics:registry ?sink
-        ~on_listen:(fun p ->
-          Format.printf "serving %d tasks on 127.0.0.1:%d (%d shards)@."
-            (Ic_dag.Dag.n_nodes dag) p shards;
-          (* the port line is what scripts (and the CI smoke job) wait
-             for before launching the hammer, so it must not sit in a
-             buffer while the select loop blocks *)
-          flush stdout)
-        ~once ~port cfg dag
-    with
-    | exception Unix.Unix_error (e, fn, _) ->
-      Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
-    | st ->
-      Option.iter
-        (fun file ->
-          write_file file
-            (Ic_obs.Exporter.chrome_trace
-               ~process_name:
-                 (Printf.sprintf "ic_served: %d tasks over %d shards"
-                    (Ic_dag.Dag.n_nodes dag) shards)
-               ~label:(Ic_dag.Dag.label dag)
-               (Option.get sink)))
-        trace_out;
-      Option.iter
-        (fun file ->
-          write_file file (Ic_obs.Metrics.to_json (Option.get registry)))
-        metrics_out;
-      Ok
-        {
-          n_tasks = Ic_dag.Dag.n_nodes dag;
-          completions = st.Ic_served.Server.completions;
-          leases = st.Ic_served.Server.leases;
-          leased_tasks = st.Ic_served.Server.leased_tasks;
-          reissues = st.Ic_served.Server.reissues;
-          duplicates = st.Ic_served.Server.duplicate_completes;
-          retry_afters = st.Ic_served.Server.retry_afters;
-          heartbeats = st.Ic_served.Server.heartbeats;
-          protocol_errors = st.Ic_served.Server.protocol_errors;
-          inflight = st.Ic_served.Server.inflight;
-        })
+    match jr with
+    | Error e -> Error e
+    | Ok j -> (
+      let sink = Option.map (fun _ -> Ic_obs.Trace.create ()) trace_out in
+      let registry =
+        Option.map (fun _ -> Ic_obs.Metrics.create ()) metrics_out
+      in
+      match
+        Ic_served.Tcp.serve ?metrics:registry ?sink ?journal:j ~recover
+          ~log:(fun line -> Printf.eprintf "ic_sched serve: %s\n%!" line)
+          ~on_listen:(fun p ->
+            Format.printf "serving %d tasks on 127.0.0.1:%d (%d shards)@."
+              (Ic_dag.Dag.n_nodes dag) p shards;
+            (* the port line is what scripts (and the CI smoke job) wait
+               for before launching the hammer, so it must not sit in a
+               buffer while the select loop blocks *)
+            flush stdout)
+          ~once ~port cfg dag
+      with
+      | exception Unix.Unix_error (e, fn, _) ->
+        Option.iter Ic_served.Journal.close j;
+        Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+      | exception Invalid_argument msg ->
+        Option.iter Ic_served.Journal.close j;
+        Error msg
+      | st ->
+        Option.iter Ic_served.Journal.close j;
+        Option.iter
+          (fun file ->
+            write_file file
+              (Ic_obs.Exporter.chrome_trace
+                 ~process_name:
+                   (Printf.sprintf "ic_served: %d tasks over %d shards"
+                      (Ic_dag.Dag.n_nodes dag) shards)
+                 ~label:(Ic_dag.Dag.label dag)
+                 (Option.get sink)))
+          trace_out;
+        Option.iter
+          (fun file ->
+            write_file file (Ic_obs.Metrics.to_json (Option.get registry)))
+          metrics_out;
+        Ok
+          {
+            n_tasks = Ic_dag.Dag.n_nodes dag;
+            completions = st.Ic_served.Server.completions;
+            leases = st.Ic_served.Server.leases;
+            leased_tasks = st.Ic_served.Server.leased_tasks;
+            reissues = st.Ic_served.Server.reissues;
+            duplicates = st.Ic_served.Server.duplicate_completes;
+            retry_afters = st.Ic_served.Server.retry_afters;
+            heartbeats = st.Ic_served.Server.heartbeats;
+            protocol_errors = st.Ic_served.Server.protocol_errors;
+            inflight = st.Ic_served.Server.inflight;
+            recovered_tasks = st.Ic_served.Server.recovered_tasks;
+            recovered_reissues = st.Ic_served.Server.recovered_reissues;
+          }))
 
 let hammer ~host ~port ~workers ~connections ~k ~churn ~seed ~mean_service_s
-    ~think_s () =
+    ~think_s ~chaos ~chaos_seed ~utilization_out () =
   let plan =
     if churn then
       Ic_fault.Plan.make ~crash_rate:0.002 ~disconnect_rate:0.02
         ~mean_downtime:0.5 ~seed ()
     else Ic_fault.Plan.none
   in
-  match
-    Ic_served.Hammer.config ~workers ~k ~mean_service_s ~think_s ~churn:plan
-      ~seed ()
-  with
-  | exception Invalid_argument msg -> Error msg
-  | cfg -> (
-    match Ic_served.Tcp.hammer ~host ~connections ~port cfg with
-    | exception Unix.Unix_error (e, fn, _) ->
-      Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
-    | r ->
-      Ok
-        {
-          h_workers = r.Ic_served.Tcp.workers;
-          completes_sent = r.Ic_served.Tcp.completes_sent;
-          done_seen = r.Ic_served.Tcp.done_seen;
-          crashed = r.Ic_served.Tcp.crashed;
-          disconnects = r.Ic_served.Tcp.disconnects;
-          h_wall_s = r.Ic_served.Tcp.wall_s;
-          grant_p50_s = r.Ic_served.Tcp.lease_grant_p50_s;
-          grant_p99_s = r.Ic_served.Tcp.lease_grant_p99_s;
-          service_p50_s = r.Ic_served.Tcp.task_service_p50_s;
-          service_p99_s = r.Ic_served.Tcp.task_service_p99_s;
-        })
+  let wire =
+    if chaos > 0.0 then
+      match
+        Ic_fault.Plan.Wire.make ~drop:chaos ~corrupt:chaos
+          ~truncate:(chaos /. 2.0) ~seed:chaos_seed ()
+      with
+      | exception Invalid_argument msg -> Error msg
+      | w -> Ok (Some w)
+    else Ok None
+  in
+  match wire with
+  | Error e -> Error e
+  | Ok wire -> (
+    match
+      Ic_served.Hammer.config ~workers ~k ~mean_service_s ~think_s ~churn:plan
+        ~seed ()
+    with
+    | exception Invalid_argument msg -> Error msg
+    | cfg -> (
+      match Ic_served.Tcp.hammer ~host ~connections ?chaos:wire ~port cfg with
+      | exception Unix.Unix_error (e, fn, _) ->
+        Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+      | r ->
+        Option.iter
+          (fun file ->
+            let b = Buffer.create 1024 in
+            Buffer.add_string b "worker,busy_s,utilization\n";
+            Array.iteri
+              (fun i busy ->
+                Buffer.add_string b
+                  (Printf.sprintf "%d,%.6f,%.4f\n" i busy
+                     (if r.Ic_served.Tcp.wall_s > 0.0 then
+                        busy /. r.Ic_served.Tcp.wall_s
+                      else 0.0)))
+              r.Ic_served.Tcp.busy_s;
+            write_file file (Buffer.contents b))
+          utilization_out;
+        Ok
+          {
+            h_workers = r.Ic_served.Tcp.workers;
+            completes_sent = r.Ic_served.Tcp.completes_sent;
+            done_seen = r.Ic_served.Tcp.done_seen;
+            crashed = r.Ic_served.Tcp.crashed;
+            disconnects = r.Ic_served.Tcp.disconnects;
+            reconnects = r.Ic_served.Tcp.reconnects;
+            h_wall_s = r.Ic_served.Tcp.wall_s;
+            grant_p50_s = r.Ic_served.Tcp.lease_grant_p50_s;
+            grant_p99_s = r.Ic_served.Tcp.lease_grant_p99_s;
+            service_p50_s = r.Ic_served.Tcp.task_service_p50_s;
+            service_p99_s = r.Ic_served.Tcp.task_service_p99_s;
+          }))

@@ -145,6 +145,75 @@ module Churn = struct
     go []
 end
 
+module Wire = struct
+  type t = {
+    drop : float;
+    duplicate : float;
+    reorder : float;
+    truncate : float;
+    corrupt : float;
+    delay_mean : float;
+    seed : int;
+  }
+
+  let check name p =
+    if (not (Float.is_finite p)) || p < 0.0 || p >= 1.0 then
+      invalid_arg (Printf.sprintf "Fault.Plan.Wire.make: %s must be in [0, 1)" name)
+
+  let make ?(drop = 0.0) ?(duplicate = 0.0) ?(reorder = 0.0) ?(truncate = 0.0)
+      ?(corrupt = 0.0) ?(delay_mean = 0.0) ?(seed = 0xC4A0) () =
+    check "drop" drop;
+    check "duplicate" duplicate;
+    check "reorder" reorder;
+    check "truncate" truncate;
+    check "corrupt" corrupt;
+    if (not (Float.is_finite delay_mean)) || delay_mean < 0.0 then
+      invalid_arg "Fault.Plan.Wire.make: delay_mean must be finite and >= 0";
+    { drop; duplicate; reorder; truncate; corrupt; delay_mean; seed }
+
+  let none = make ()
+
+  let is_none t =
+    t.drop = 0.0 && t.duplicate = 0.0 && t.reorder = 0.0 && t.truncate = 0.0
+    && t.corrupt = 0.0 && t.delay_mean = 0.0
+
+  type action = Deliver | Drop | Duplicate | Reorder | Truncate | Corrupt
+  type decision = { action : action; delay : float; cut : float; flip : int }
+
+  let deliver = { action = Deliver; delay = 0.0; cut = 1.0; flip = 0 }
+
+  (* One RNG state per frame, keyed by (seed, tag, direction, frame), and a
+     fixed draw order inside it: a frame meets the same fate no matter how
+     many frames the other direction has carried, and turning one knob up
+     does not re-roll the others. Destructive actions take precedence over
+     merely unfriendly ones. *)
+  let decision t ~dir ~frame =
+    if is_none t then deliver
+    else begin
+      let rng = Random.State.make [| t.seed; 0x31; dir; frame |] in
+      let u_drop = Random.State.float rng 1.0 in
+      let u_trunc = Random.State.float rng 1.0 in
+      let u_corrupt = Random.State.float rng 1.0 in
+      let u_dup = Random.State.float rng 1.0 in
+      let u_reorder = Random.State.float rng 1.0 in
+      let cut = Random.State.float rng 1.0 in
+      let flip = Random.State.int rng 0x3FFFFFFF in
+      let delay =
+        if t.delay_mean <= 0.0 then 0.0
+        else t.delay_mean *. -.Float.log1p (-.Random.State.float rng 1.0)
+      in
+      let action =
+        if u_drop < t.drop then Drop
+        else if u_trunc < t.truncate then Truncate
+        else if u_corrupt < t.corrupt then Corrupt
+        else if u_dup < t.duplicate then Duplicate
+        else if u_reorder < t.reorder then Reorder
+        else Deliver
+      in
+      { action; delay; cut; flip }
+    end
+end
+
 type attempt_outcome = { slowdown : float; lost : bool; failed : bool }
 
 let attempt t ~task ~attempt =

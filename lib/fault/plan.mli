@@ -115,6 +115,66 @@ module Churn : sig
   (** Every event at or before [horizon], eagerly. *)
 end
 
+(** {1 Wire chaos}
+
+    A seeded frame-mangling plan for a message transport: each frame,
+    identified by its (direction, index) coordinates, is independently
+    dropped, duplicated, reordered past its successor, truncated,
+    bit-flipped or delayed. Like every other sampler here the decision is
+    a pure hash of [(seed, 0x31, dir, frame)], so a chaos run is
+    byte-reproducible and a frame's fate does not depend on traffic in
+    the other direction. [Ic_served]'s [Chaos] mangler consumes this to
+    exercise the wire [Reader]'s error paths and the server's
+    duplicate/stale handling deterministically. *)
+module Wire : sig
+  type t = private {
+    drop : float;  (** chance a frame vanishes; in [0, 1) *)
+    duplicate : float;  (** chance a frame arrives twice *)
+    reorder : float;
+        (** chance a frame is held back and delivered after its
+            successor *)
+    truncate : float;
+        (** chance a frame loses its tail (desyncing the byte stream) *)
+    corrupt : float;  (** chance a single bit of the frame is flipped *)
+    delay_mean : float;
+        (** mean extra delivery latency (exponential); 0 = none *)
+    seed : int;
+  }
+
+  val none : t
+
+  val make :
+    ?drop:float ->
+    ?duplicate:float ->
+    ?reorder:float ->
+    ?truncate:float ->
+    ?corrupt:float ->
+    ?delay_mean:float ->
+    ?seed:int ->
+    unit ->
+    t
+  (** Probabilities must be in [0, 1), [delay_mean] finite and
+      non-negative; raises [Invalid_argument] otherwise. Defaults are
+      all-zero with seed [0xC4A0]. *)
+
+  val is_none : t -> bool
+
+  type action = Deliver | Drop | Duplicate | Reorder | Truncate | Corrupt
+
+  type decision = {
+    action : action;
+    delay : float;  (** extra delivery latency, 0 when [delay_mean] is 0 *)
+    cut : float;
+        (** for [Truncate]: fraction of the frame to keep, in [0, 1) *)
+    flip : int;  (** for [Corrupt]: raw bit-position material *)
+  }
+
+  val decision : t -> dir:int -> frame:int -> decision
+  (** The fate of the [frame]-th frame sent in direction [dir].
+      Destructive actions win ties: drop > truncate > corrupt >
+      duplicate > reorder. [delay] applies to whatever is delivered. *)
+end
+
 type attempt_outcome = {
   slowdown : float;  (** execution-time multiplier; 1 when not straggling *)
   lost : bool;  (** result silently lost (server unaware until timeout) *)

@@ -92,6 +92,18 @@ let observe h x =
   h.h_sum <- h.h_sum +. x;
   h.h_count <- h.h_count + 1
 
+let reset t =
+  Hashtbl.iter
+    (fun _ i ->
+      match i with
+      | Counter c -> c.c_value <- 0
+      | Gauge g -> g.g_value <- 0.0
+      | Histogram h ->
+        Array.fill h.counts 0 (Array.length h.counts) 0;
+        h.h_sum <- 0.0;
+        h.h_count <- 0)
+    t.instruments
+
 let counter_value c = c.c_value
 let gauge_value g = g.g_value
 let histogram_count h = h.h_count

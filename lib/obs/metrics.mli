@@ -47,6 +47,13 @@ val incr : ?by:int -> counter -> unit
 val set : gauge -> float -> unit
 val observe : histogram -> float -> unit
 
+val reset : t -> unit
+(** Zero every registered instrument — counters to 0, gauges to 0.0,
+    histogram buckets/sum/count to empty — without forgetting the
+    registrations (previously handed-out instrument handles stay
+    valid). This is what lets a bench harness reuse one registry across
+    [--repeat] iterations and still get per-iteration numbers. *)
+
 (** {1 Reading} *)
 
 val counter_value : counter -> int

@@ -1,0 +1,57 @@
+(** Deterministic wire-level chaos for one direction of a served link.
+
+    A mangler sits between a message producer and the consumer's
+    decoder: every frame {!send} pushes through it meets the seeded fate
+    its (direction, frame-index) coordinates draw from an
+    {!Ic_fault.Plan.Wire} plan — dropped, truncated, bit-flipped,
+    duplicated, reordered past its successor, or delayed — and the
+    surviving bytes flow through a real {!Wire.Reader}, so the decoder's
+    [`Need_more`]/[`Error`] paths are exercised at the byte level.
+    Everything is a pure function of (plan seed, dir, frame), which is
+    what lets the chaos hammer assert byte-identical metrics across
+    reruns.
+
+    Stream health: a reader [`Error`] (e.g. a flipped length prefix) or
+    a bounded-stall desync (a truncated frame swallowing its successors)
+    resets the reader — the virtual-time analogue of dropping and
+    re-opening a connection; swallowed messages count as drops by other
+    means. The {!stats} record exposes every counter. *)
+
+type stats = {
+  mutable frames : int;  (** frames offered to this direction *)
+  mutable delivered : int;  (** messages decoded and handed on *)
+  mutable dropped : int;
+  mutable duplicated : int;
+  mutable reordered : int;  (** pairs actually swapped *)
+  mutable truncated : int;
+  mutable corrupted : int;
+  mutable reader_errors : int;
+      (** [`Error`] results the mangled stream forced out of the reader
+          (each one resets the stream) *)
+  mutable resyncs : int;
+      (** silent-desync resets: bytes pending, nothing decoding *)
+}
+
+type t
+
+val create : Ic_fault.Plan.Wire.t -> dir:int -> t
+(** One mangler per direction; [dir] keys the plan's decision stream
+    (use distinct values for client-to-server and server-to-client). *)
+
+val send : t -> now:float -> Wire.msg -> (float * Wire.msg) list
+(** Push one message through the mangled link at virtual time [now];
+    returns the messages that come out the consumer's side, each with
+    its delivery time ([now] + the frame's drawn delay, epsilon-spaced
+    to preserve intra-send order). May return zero (dropped, held for
+    reorder, desynced) or several (duplicate, a released held frame)
+    messages. Never raises. *)
+
+val stats : t -> stats
+
+val mangle :
+  Ic_fault.Plan.Wire.t -> dir:int -> frame:int -> Bytes.t -> Bytes.t list
+(** The TCP client's outbound path: mangle one encoded frame into the
+    byte chunks to actually write. Only the byte-destructive actions
+    (drop, truncate, corrupt) act; duplicate/reorder/delay are inert
+    because a real socket's replies are FIFO-matched to requests and the
+    kernel owns time. The caller keeps the frame counter. *)

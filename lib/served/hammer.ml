@@ -57,6 +57,7 @@ type result = {
   lease_grant_p99_s : float;
   task_service_p50_s : float;
   task_service_p99_s : float;
+  busy_s : float array;
 }
 
 (* worker status *)
@@ -91,9 +92,23 @@ let sample s x =
 
 let to_array s = Array.sub s.xs 0 s.n
 
-let run_virtual ?metrics ?sink ~server:scfg cfg g =
+let utilization_buckets =
+  [| 0.01; 0.02; 0.05; 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9; 1.0 |]
+
+let observe_utilization metrics busy makespan =
+  match metrics with
+  | None -> ()
+  | Some m ->
+    if makespan > 0.0 then begin
+      let h =
+        Ic_obs.Metrics.histogram m "served.worker_utilization"
+          ~buckets:utilization_buckets
+      in
+      Array.iter (fun b -> Ic_obs.Metrics.observe h (b /. makespan)) busy
+    end
+
+let drive ?metrics srv cfg =
   let t_start = Monotonic.now () in
-  let srv = Server.create ?metrics ?sink scfg g in
   let w = cfg.workers in
   let status = Array.make w w_idle in
   let batch : int list array = Array.make w [] in
@@ -106,6 +121,16 @@ let run_virtual ?metrics ?sink ~server:scfg cfg g =
   let disconnects = ref 0 in
   let grant_lat = samples () in
   let service_lat = samples () in
+  (* per-worker utilization: a busy interval opens on a Lease and closes
+     when the batch empties (or churn/finish cuts it) *)
+  let busy = Array.make w 0.0 in
+  let busy_since = Array.make w nan in
+  let end_busy i t =
+    if not (Float.is_nan busy_since.(i)) then begin
+      busy.(i) <- busy.(i) +. (t -. busy_since.(i));
+      busy_since.(i) <- nan
+    end
+  in
   let events : (float, ev) Heap.t = Heap.create () in
   let schedule_churn i =
     match Plan.Churn.next churn.(i) with
@@ -132,7 +157,10 @@ let run_virtual ?metrics ?sink ~server:scfg cfg g =
     done
   in
   let alive i = status.(i) = w_idle || status.(i) = w_busy in
-  let finish i = status.(i) <- w_finished in
+  let finish i t =
+    end_busy i t;
+    status.(i) <- w_finished
+  in
   let handle_request i t =
     if alive i then begin
       if Float.is_nan first_req.(i) then first_req.(i) <- t;
@@ -141,13 +169,14 @@ let run_virtual ?metrics ?sink ~server:scfg cfg g =
         sample grant_lat (t -. first_req.(i));
         first_req.(i) <- nan;
         status.(i) <- w_busy;
+        busy_since.(i) <- t;
         batch.(i) <- Array.to_list tasks;
         batch_t0.(i) <- t;
         Heap.push events (next_service i t) (Complete_due (i, epoch.(i)))
       | Wire.Retry_after { delay_s } ->
         Heap.push events (t +. Float.max delay_s 1e-6) (Request (i, epoch.(i)))
-      | Wire.Done _ -> finish i
-      | _ -> finish i
+      | Wire.Done _ -> finish i t
+      | _ -> finish i t
     end
   in
   let handle_complete_due i t =
@@ -158,11 +187,12 @@ let run_virtual ?metrics ?sink ~server:scfg cfg g =
         batch.(i) <- rest;
         sample service_lat (t -. batch_t0.(i));
         match Server.handle srv ~now:t (Wire.Complete { worker = i; task }) with
-        | Wire.Done _ -> finish i
+        | Wire.Done _ -> finish i t
         | _ ->
           if rest <> [] then
             Heap.push events (next_service i t) (Complete_due (i, epoch.(i)))
           else begin
+            end_busy i t;
             status.(i) <- w_idle;
             Heap.push events (t +. cfg.think_s) (Request (i, epoch.(i)))
           end)
@@ -174,6 +204,7 @@ let run_virtual ?metrics ?sink ~server:scfg cfg g =
       if status.(i) <> w_finished then begin
         incr crashed;
         epoch.(i) <- epoch.(i) + 1;
+        end_busy i t;
         status.(i) <- w_dead;
         batch.(i) <- [];
         first_req.(i) <- nan
@@ -182,6 +213,7 @@ let run_virtual ?metrics ?sink ~server:scfg cfg g =
       if alive i then begin
         incr disconnects;
         epoch.(i) <- epoch.(i) + 1;
+        end_busy i t;
         status.(i) <- w_offline;
         batch.(i) <- [];
         first_req.(i) <- nan
@@ -206,6 +238,10 @@ let run_virtual ?metrics ?sink ~server:scfg cfg g =
       | Complete_due (i, ep) -> if ep = epoch.(i) then handle_complete_due i t
       | Churn_ev (i, kind) -> handle_churn i kind t)
   done;
+  for i = 0 to w - 1 do
+    end_busy i !now
+  done;
+  observe_utilization metrics busy !now;
   (match metrics with
   | None -> ()
   | Some m ->
@@ -227,4 +263,279 @@ let run_virtual ?metrics ?sink ~server:scfg cfg g =
     lease_grant_p99_s = quantile grants 0.99;
     task_service_p50_s = quantile services 0.5;
     task_service_p99_s = quantile services 0.99;
+    busy_s = busy;
+  }
+
+let run_virtual ?metrics ?sink ~server:scfg cfg g =
+  drive ?metrics (Server.create ?metrics ?sink scfg g) cfg
+
+(* ----------------------------------------------------------- chaos run *)
+
+type chaos_result = {
+  base : result;
+  c2s : Chaos.stats;
+  s2c : Chaos.stats;
+  retries : int;
+}
+
+(* the chaos loop routes every message through a mangled link, so its
+   event vocabulary adds deliveries and reply-timeout probes *)
+type cev =
+  | C_request of int * int
+  | C_complete_due of int * int
+  | C_churn of int * Plan.Churn.kind
+  | C_to_server of Wire.msg
+  | C_to_worker of int * int * Wire.msg  (* worker, epoch at emission *)
+  | C_retry of int * int * int  (* worker, epoch, request seq *)
+
+let run_chaos ?metrics ?sink ~server:scfg ~wire ?(reply_timeout_s = 1.0) cfg g =
+  if (not (Float.is_finite reply_timeout_s)) || reply_timeout_s <= 0.0 then
+    invalid_arg "Hammer.run_chaos: reply_timeout_s must be finite and positive";
+  let t_start = Monotonic.now () in
+  let srv = Server.create ?metrics ?sink scfg g in
+  let w = cfg.workers in
+  let c2s = Chaos.create wire ~dir:0 in
+  let s2c = Chaos.create wire ~dir:1 in
+  let status = Array.make w w_idle in
+  let batch : int list array = Array.make w [] in
+  let batch_t0 = Array.make w 0.0 in
+  let draws = Array.make w 0 in
+  let epoch = Array.make w 0 in
+  let first_req = Array.make w nan in
+  let churn = Array.init w (fun i -> Plan.Churn.create cfg.churn ~client:i) in
+  let crashed = ref 0 in
+  let disconnects = ref 0 in
+  let retries = ref 0 in
+  let grant_lat = samples () in
+  let service_lat = samples () in
+  let busy = Array.make w 0.0 in
+  let busy_since = Array.make w nan in
+  let end_busy i t =
+    if not (Float.is_nan busy_since.(i)) then begin
+      busy.(i) <- busy.(i) +. (t -. busy_since.(i));
+      busy_since.(i) <- nan
+    end
+  in
+  (* an unanswered request keeps its sequence number until any reply that
+     can answer it lands; the timeout probe resends while it is open *)
+  let seq = Array.make w 0 in
+  let awaiting = Array.make w (-1) in
+  let last_msg : Wire.msg option array = Array.make w None in
+  let events : (float, cev) Heap.t = Heap.create () in
+  let schedule_churn i =
+    match Plan.Churn.next churn.(i) with
+    | None -> ()
+    | Some { Plan.Churn.time; kind } -> Heap.push events time (C_churn (i, kind))
+  in
+  for i = 0 to w - 1 do
+    let rng = Random.State.make [| cfg.seed; 0x0F; i |] in
+    Heap.push events
+      (Random.State.float rng cfg.mean_service_s)
+      (C_request (i, 0));
+    schedule_churn i
+  done;
+  let now = ref 0.0 in
+  let next_service i t =
+    draws.(i) <- draws.(i) + 1;
+    t +. service_s cfg ~worker:i ~draw:(draws.(i) - 1)
+  in
+  let fire_expiries t =
+    while Server.next_expiry srv <= t do
+      ignore (Server.expire srv ~now:(Server.next_expiry srv))
+    done
+  in
+  let alive i = status.(i) = w_idle || status.(i) = w_busy in
+  let finish i t =
+    end_busy i t;
+    status.(i) <- w_finished
+  in
+  let uplink i t msg =
+    List.iter
+      (fun (dt, m) -> Heap.push events dt (C_to_server m))
+      (Chaos.send c2s ~now:t msg);
+    Heap.push events (t +. reply_timeout_s) (C_retry (i, epoch.(i), seq.(i)))
+  in
+  let transmit i t msg =
+    seq.(i) <- seq.(i) + 1;
+    awaiting.(i) <- seq.(i);
+    last_msg.(i) <- Some msg;
+    uplink i t msg
+  in
+  let reset_session i =
+    awaiting.(i) <- -1;
+    last_msg.(i) <- None
+  in
+  let deliver i t m =
+    match m with
+    | Wire.Done _ ->
+      reset_session i;
+      if status.(i) <> w_dead then finish i t
+    | Wire.Welcome _ -> ()
+    | Wire.Lease { tasks; expires_in_s = _ } ->
+      (* only an idle worker with an open request accepts; a duplicated
+         or stale Lease is dropped here and its tasks re-issue by expiry *)
+      if status.(i) = w_idle && awaiting.(i) >= 0 then begin
+        reset_session i;
+        if not (Float.is_nan first_req.(i)) then begin
+          sample grant_lat (t -. first_req.(i));
+          first_req.(i) <- nan
+        end;
+        status.(i) <- w_busy;
+        busy_since.(i) <- t;
+        batch.(i) <- Array.to_list tasks;
+        batch_t0.(i) <- t;
+        Heap.push events (next_service i t) (C_complete_due (i, epoch.(i)))
+      end
+    | Wire.Retry_after { delay_s } ->
+      if status.(i) = w_idle && awaiting.(i) >= 0 then begin
+        reset_session i;
+        Heap.push events
+          (t +. Float.max delay_s 1e-6)
+          (C_request (i, epoch.(i)))
+      end
+    | Wire.Ack ->
+      if status.(i) = w_busy && awaiting.(i) >= 0 then begin
+        reset_session i;
+        if batch.(i) <> [] then
+          Heap.push events (next_service i t) (C_complete_due (i, epoch.(i)))
+        else begin
+          end_busy i t;
+          status.(i) <- w_idle;
+          Heap.push events (t +. cfg.think_s) (C_request (i, epoch.(i)))
+        end
+      end
+    | _ -> ()
+  in
+  let handle_churn i kind t =
+    (match kind with
+    | Plan.Churn.Crash ->
+      if status.(i) <> w_finished then begin
+        incr crashed;
+        epoch.(i) <- epoch.(i) + 1;
+        end_busy i t;
+        status.(i) <- w_dead;
+        batch.(i) <- [];
+        first_req.(i) <- nan;
+        reset_session i
+      end
+    | Plan.Churn.Disconnect _ ->
+      if alive i then begin
+        incr disconnects;
+        epoch.(i) <- epoch.(i) + 1;
+        end_busy i t;
+        status.(i) <- w_offline;
+        batch.(i) <- [];
+        first_req.(i) <- nan;
+        reset_session i
+      end
+    | Plan.Churn.Rejoin ->
+      if status.(i) = w_offline then begin
+        epoch.(i) <- epoch.(i) + 1;
+        status.(i) <- w_idle;
+        Heap.push events t (C_request (i, epoch.(i)))
+      end);
+    schedule_churn i
+  in
+  let running = ref true in
+  while !running && not (Server.is_done srv) do
+    match Heap.pop events with
+    | None -> running := false
+    | Some (t, ev) ->
+      fire_expiries t;
+      now := t;
+      (match ev with
+      | C_request (i, ep) ->
+        if ep = epoch.(i) && status.(i) = w_idle && awaiting.(i) < 0 then begin
+          if Float.is_nan first_req.(i) then first_req.(i) <- t;
+          transmit i t (Wire.Lease_req { worker = i; k = cfg.k })
+        end
+      | C_complete_due (i, ep) ->
+        if ep = epoch.(i) && status.(i) = w_busy then begin
+          match batch.(i) with
+          | [] -> ()
+          | task :: rest ->
+            batch.(i) <- rest;
+            sample service_lat (t -. batch_t0.(i));
+            transmit i t (Wire.Complete { worker = i; task })
+        end
+      | C_churn (i, kind) -> handle_churn i kind t
+      | C_to_server m -> (
+        let reply = Server.handle srv ~now:t m in
+        let target =
+          match m with
+          | Wire.Hello { worker }
+          | Wire.Lease_req { worker; _ }
+          | Wire.Complete { worker; _ }
+          | Wire.Heartbeat { worker } ->
+            worker
+          | _ -> -1
+        in
+        if target >= 0 && target < w then
+          List.iter
+            (fun (dt, r) ->
+              Heap.push events dt (C_to_worker (target, epoch.(target), r)))
+            (Chaos.send s2c ~now:t reply))
+      | C_to_worker (i, ep, m) -> if ep = epoch.(i) then deliver i t m
+      | C_retry (i, ep, s) ->
+        (* the request is still open: the frame (or its reply) died on
+           the wire — resend the same message as a fresh frame *)
+        if ep = epoch.(i) && awaiting.(i) = s && alive i then begin
+          incr retries;
+          match last_msg.(i) with
+          | Some m -> uplink i t m
+          | None -> ()
+        end)
+  done;
+  for i = 0 to w - 1 do
+    end_busy i !now
+  done;
+  observe_utilization metrics busy !now;
+  (match metrics with
+  | None -> ()
+  | Some m ->
+    Ic_obs.Metrics.set (Ic_obs.Metrics.gauge m "served.makespan_s") !now;
+    Ic_obs.Metrics.set
+      (Ic_obs.Metrics.gauge m "served.inflight_final")
+      (float_of_int (Server.stats srv).Server.inflight);
+    let link name (s : Chaos.stats) =
+      let c field v =
+        Ic_obs.Metrics.incr ~by:v
+          (Ic_obs.Metrics.counter m
+             (Printf.sprintf "served.chaos.%s.%s" name field))
+      in
+      c "frames" s.Chaos.frames;
+      c "delivered" s.Chaos.delivered;
+      c "dropped" s.Chaos.dropped;
+      c "duplicated" s.Chaos.duplicated;
+      c "reordered" s.Chaos.reordered;
+      c "truncated" s.Chaos.truncated;
+      c "corrupted" s.Chaos.corrupted;
+      c "reader_errors" s.Chaos.reader_errors;
+      c "resyncs" s.Chaos.resyncs
+    in
+    link "c2s" (Chaos.stats c2s);
+    link "s2c" (Chaos.stats s2c);
+    Ic_obs.Metrics.incr ~by:!retries
+      (Ic_obs.Metrics.counter m "served.chaos.retries"));
+  let grants = to_array grant_lat in
+  let services = to_array service_lat in
+  {
+    base =
+      {
+        n_tasks = Server.n_tasks srv;
+        completed = Server.completed srv;
+        makespan_s = !now;
+        wall_s = Monotonic.now () -. t_start;
+        server = Server.stats srv;
+        crashed = !crashed;
+        disconnects = !disconnects;
+        lease_grant_p50_s = quantile grants 0.5;
+        lease_grant_p99_s = quantile grants 0.99;
+        task_service_p50_s = quantile services 0.5;
+        task_service_p99_s = quantile services 0.99;
+        busy_s = busy;
+      };
+    c2s = Chaos.stats c2s;
+    s2c = Chaos.stats s2c;
+    retries = !retries;
   }

@@ -60,6 +60,11 @@ type result = {
   lease_grant_p99_s : float;
   task_service_p50_s : float;  (** alloc-to-complete, per applied task *)
   task_service_p99_s : float;
+  busy_s : float array;
+      (** per-worker virtual time spent holding a lease batch; divided
+          by [makespan_s] it is the worker's utilization, also emitted
+          as the [served.worker_utilization] histogram when a metrics
+          registry is given *)
 }
 
 val run_virtual :
@@ -73,6 +78,48 @@ val run_virtual :
     under the virtual clock. [metrics]/[sink] are handed to the embedded
     {!Server}; with a fixed seed the registry's JSON dump and the trace
     are byte-identical across runs. *)
+
+val drive : ?metrics:Ic_obs.Metrics.t -> Server.t -> config -> result
+(** {!run_virtual} against an {e existing} server — the recovery
+    acceptance vehicle: journal a partial drain, crash, {!Server.recover}
+    the state, then [drive] the worker fleet against the recovered server
+    and watch it reach exactly-once completion. [metrics] only receives
+    the harness-side instruments ([served.makespan_s],
+    [served.inflight_final], [served.worker_utilization]); pass the same
+    registry to {!Server.recover} for the server's own counters. *)
+
+(** {1 Wire chaos}
+
+    The same worker model with every message routed through a pair of
+    {!Chaos} manglers (direction 0 client-to-server, direction 1 back),
+    still in virtual time: drops, duplicates, reorders, truncations and
+    bit flips hit real encoded frames and the server sees whatever
+    survives the {!Wire.Reader}. Workers cover for the lossy link with a
+    reply timeout: an unanswered request is re-sent as a fresh frame
+    (counted in [retries]), so duplicate [Lease_req]s/[Complete]s reach
+    the server and its absorption paths are exercised for real. A fixed
+    seed still yields byte-identical metrics. *)
+
+type chaos_result = {
+  base : result;
+  c2s : Chaos.stats;
+  s2c : Chaos.stats;
+  retries : int;  (** requests re-sent after an unanswered timeout *)
+}
+
+val run_chaos :
+  ?metrics:Ic_obs.Metrics.t ->
+  ?sink:Ic_obs.Trace.t ->
+  server:Server.config ->
+  wire:Ic_fault.Plan.Wire.t ->
+  ?reply_timeout_s:float ->
+  config ->
+  Ic_dag.Dag.t ->
+  chaos_result
+(** [reply_timeout_s] (default 1.0, positive) is how long a worker waits
+    for a reply before re-sending. With [metrics], the per-link
+    [served.chaos.{c2s,s2c}.*] counters and [served.chaos.retries] are
+    recorded alongside the usual served instruments. *)
 
 val quantile : float array -> float -> float
 (** [quantile xs q] with [q] in [0,1]: nearest-rank quantile of [xs]

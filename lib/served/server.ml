@@ -80,18 +80,20 @@ type t = {
   mutable retry_afters : int;
   mutable heartbeats : int;
   mutable errors : int;
+  mutable recovered_reissues : int;
+  mutable recovered_tasks : int;
+  journal : Journal.t option;
   meters : meters option;
   sink : Trace.t option;
 }
 
-let create ?metrics ?sink cfg g =
+(* allocate a server with every task Blocked and empty pools; [create]
+   seeds the sources, [recover] replays a journal instead *)
+let mk ?metrics ?sink ?journal cfg g =
   let n = Dag.n_nodes g in
   let view = Shard_view.create ~n_shards:cfg.n_shards g in
   let pools = Shards.create ~n_shards:(Shard_view.n_shards view) () in
   let state = Bytes.make n st_blocked in
-  Shard_view.iter_initial view (fun ~shard v ->
-      Bytes.set state v st_ready;
-      Shards.push pools ~shard v);
   let meters =
     match metrics with
     | None -> None
@@ -147,9 +149,24 @@ let create ?metrics ?sink cfg g =
     retry_afters = 0;
     heartbeats = 0;
     errors = 0;
+    recovered_reissues = 0;
+    recovered_tasks = 0;
+    journal;
     meters;
     sink;
   }
+
+let create ?metrics ?sink ?journal cfg g =
+  (match journal with
+  | Some j when Journal.replayed j <> [] ->
+    invalid_arg
+      "Server.create: the journal holds prior records — use Server.recover"
+  | _ -> ());
+  let t = mk ?metrics ?sink ?journal cfg g in
+  Shard_view.iter_initial t.view (fun ~shard v ->
+      Bytes.set t.state v st_ready;
+      Shards.push t.pools ~shard v);
+  t
 
 let n_tasks t = Shard_view.n_nodes t.view
 let completed t = Shard_view.completed t.view
@@ -216,7 +233,40 @@ let push_ready t v =
   Bytes.set t.state v st_ready;
   Shards.push t.pools ~shard:(shard_of t v) v
 
+let set_bit bm v =
+  Bytes.set bm (v lsr 3)
+    (Char.chr (Char.code (Bytes.get bm (v lsr 3)) lor (1 lsl (v land 7))))
+
+let get_bit bm v =
+  Char.code (Bytes.get bm (v lsr 3)) land (1 lsl (v land 7)) <> 0
+
+let journal_append t r =
+  match t.journal with None -> () | Some j -> Journal.append j r
+
+(* compact the journal to a snapshot of the current byte states; after
+   recovery nothing is leased, so the leased bitmap only matters for
+   checkpoints taken while serving *)
+let write_checkpoint t j =
+  let n = n_tasks t in
+  let bl = Journal.bitmap_len n in
+  let done_ = Bytes.make bl '\000' in
+  let leased = Bytes.make bl '\000' in
+  for v = 0 to n - 1 do
+    let st = Bytes.get t.state v in
+    if st = st_done then set_bit done_ v
+    else if st = st_leased then set_bit leased v
+  done;
+  Journal.checkpoint j ~n ~done_ ~leased
+
+let maybe_checkpoint t =
+  match t.journal with
+  | Some j when Journal.checkpoint_due j -> write_checkpoint t j
+  | _ -> ()
+
 let apply_complete t ~now v =
+  (* durability before acknowledgment: once the Complete record is out,
+     a crash cannot re-lease this task *)
+  journal_append t (Journal.Complete v);
   (* exactly-once: flip to Done first, then propagate; a pool entry left
      behind by an expiry is invalidated by the state flip *)
   if Bytes.get t.state v = st_leased then t.inflight <- t.inflight - 1;
@@ -227,9 +277,10 @@ let apply_complete t ~now v =
       Metrics.incr m.m_completions;
       Metrics.observe m.m_service service);
   Shard_view.complete t.view v ~ready:(fun ~shard:_ u -> push_ready t u);
-  match t.sink with
+  (match t.sink with
   | None -> ()
-  | Some tr -> Trace.task_complete tr ~time:now ~task:v ~client:(shard_of t v)
+  | Some tr -> Trace.task_complete tr ~time:now ~task:v ~client:(shard_of t v));
+  maybe_checkpoint t
 
 let handle t ~now (msg : Wire.msg) : Wire.msg =
   match msg with
@@ -248,6 +299,7 @@ let handle t ~now (msg : Wire.msg) : Wire.msg =
         if got = 0 then retry_reply t
         else begin
           let tasks = Array.sub t.scratch 0 got in
+          journal_append t (Journal.Lease tasks);
           Array.iter (fun v -> record_lease t ~now ~worker v) tasks;
           t.leases <- t.leases + 1;
           t.leased_tasks <- t.leased_tasks + got;
@@ -335,6 +387,92 @@ let expire t ~now =
   done;
   !fired
 
+let recover ?metrics ?sink ~journal cfg g =
+  let t = mk ?metrics ?sink ~journal cfg g in
+  let n = n_tasks t in
+  (* fold the journal into a done set and a leased-at-crash set; a later
+     checkpoint supersedes everything before it *)
+  let done_ = Bytes.make n '\000' in
+  let leased = Bytes.make n '\000' in
+  let err = ref None in
+  let mark set v =
+    if v < 0 || v >= n then
+      err :=
+        Some
+          (Printf.sprintf
+             "journal: task %d out of range (this dag has %d tasks)" v n)
+    else Bytes.set set v '\001'
+  in
+  List.iter
+    (fun r ->
+      if !err = None then
+        match r with
+        | Journal.Complete v -> mark done_ v
+        | Journal.Lease vs -> Array.iter (mark leased) vs
+        | Journal.Checkpoint { n = cn; done_ = db; leased = lb } ->
+          if cn <> n then
+            err :=
+              Some
+                (Printf.sprintf
+                   "journal: checkpoint of %d tasks does not match this dag \
+                    (%d tasks)"
+                   cn n)
+          else begin
+            Bytes.fill done_ 0 n '\000';
+            Bytes.fill leased 0 n '\000';
+            for v = 0 to n - 1 do
+              if get_bit db v then Bytes.set done_ v '\001';
+              if get_bit lb v then Bytes.set leased v '\001'
+            done
+          end)
+    (Journal.replayed journal);
+  match !err with
+  | Some e -> Error e
+  | None ->
+    let n_done = ref 0 in
+    for v = 0 to n - 1 do
+      if Bytes.get done_ v = '\001' then begin
+        incr n_done;
+        Bytes.set t.state v st_done
+      end
+    done;
+    (* sources that did not finish before the crash go straight back to
+       their pools *)
+    Shard_view.iter_initial t.view (fun ~shard:_ v ->
+        if Bytes.get done_ v = '\000' then push_ready t v);
+    (* replaying the done set through the dependence view re-derives the
+       Ready frontier: completions can only be journaled in an
+       ancestor-closed order, so a non-done task whose predecessors are
+       all done is reported eligible exactly once, in any replay order *)
+    for v = 0 to n - 1 do
+      if Bytes.get done_ v = '\001' then
+        Shard_view.complete t.view v ~ready:(fun ~shard:_ u ->
+            if Bytes.get done_ u = '\000' then push_ready t u)
+    done;
+    t.completions <- !n_done;
+    t.recovered_tasks <- !n_done;
+    with_meters t (fun m -> Metrics.incr ~by:!n_done m.m_completions);
+    (* tasks leased but not completed at the crash are back in the pools
+       (their predecessors are all done) and will be granted again: the
+       at-most-one re-issue per crash the exactly-once contract allows *)
+    let reissued = ref 0 in
+    for v = 0 to n - 1 do
+      if Bytes.get leased v = '\001' && Bytes.get done_ v = '\000' then
+        incr reissued
+    done;
+    t.recovered_reissues <- !reissued;
+    (match metrics with
+    | None -> ()
+    | Some m ->
+      Metrics.incr ~by:!reissued (Metrics.counter m "served.recovered_reissues");
+      Metrics.set
+        (Metrics.gauge m "served.recovered_tasks")
+        (float_of_int !n_done));
+    (* compact immediately: the restored state becomes the new baseline
+       and the pre-crash tail is retired *)
+    write_checkpoint t journal;
+    Ok t
+
 type stats = {
   leases : int;
   leased_tasks : int;
@@ -345,6 +483,8 @@ type stats = {
   heartbeats : int;
   protocol_errors : int;
   inflight : int;
+  recovered_reissues : int;
+  recovered_tasks : int;
 }
 
 let stats (t : t) =
@@ -358,4 +498,6 @@ let stats (t : t) =
     heartbeats = t.heartbeats;
     protocol_errors = t.errors;
     inflight = t.inflight;
+    recovered_reissues = t.recovered_reissues;
+    recovered_tasks = t.recovered_tasks;
   }

@@ -59,13 +59,46 @@ val config :
 
 type t
 
-val create : ?metrics:Ic_obs.Metrics.t -> ?sink:Ic_obs.Trace.t -> config ->
-  Ic_dag.Dag.t -> t
+val create :
+  ?metrics:Ic_obs.Metrics.t ->
+  ?sink:Ic_obs.Trace.t ->
+  ?journal:Journal.t ->
+  config ->
+  Ic_dag.Dag.t ->
+  t
 (** [metrics], when given, receives the [served.*] counters, gauges and
     the [served.lease_service_s] latency histogram. [sink], when given,
     receives one [Task_alloc]/[Task_complete] pair per task and a
     [Timeout_fired] per re-issue, with the task's {e shard} as the
-    client id — so the Perfetto export renders one track per shard. *)
+    client id — so the Perfetto export renders one track per shard.
+    [journal], when given, makes the server durable: every lease grant
+    and every applied completion is appended (the completion {e before}
+    its [Ack] is produced), and the journal is compacted to a checkpoint
+    every [checkpoint_every] completions. The journal must be fresh;
+    raises [Invalid_argument] if it replayed prior records — that is
+    {!recover}'s job. *)
+
+val recover :
+  ?metrics:Ic_obs.Metrics.t ->
+  ?sink:Ic_obs.Trace.t ->
+  journal:Journal.t ->
+  config ->
+  Ic_dag.Dag.t ->
+  (t, string) result
+(** Rebuild a crashed server from its journal. The journal's records
+    (last checkpoint + tail) are folded into the done set; done tasks
+    are replayed through the dependence view, which re-derives the
+    Blocked/Ready byte states exactly — so a journaled completion is
+    never re-leased, while tasks that were {e leased but not journaled
+    complete} at the crash return to their pools and may be granted a
+    second time (counted in [stats.recovered_reissues] and the
+    [served.recovered_reissues] counter; the prior holder's late
+    [Complete] is absorbed as a duplicate). [stats.completions] (and the
+    [served.completions] counter) are primed with the restored count, so
+    a drained recovered server reports [completions = n_tasks]. The
+    journal is compacted immediately and the server keeps appending to
+    it. [Error] when the journal does not belong to this dag (task ids
+    or checkpoint size out of range). *)
 
 val handle : t -> now:float -> Wire.msg -> Wire.msg
 (** Process one client message at time [now] (seconds, any monotone
@@ -97,6 +130,10 @@ type stats = {
   heartbeats : int;
   protocol_errors : int;
   inflight : int;  (** currently outstanding leased tasks *)
+  recovered_reissues : int;
+      (** tasks found leased-but-incomplete by {!recover} and made
+          leasable again; 0 for a server born with {!create} *)
+  recovered_tasks : int;  (** completions restored from the journal *)
 }
 
 val stats : t -> stats

@@ -1,19 +1,57 @@
 module Heap = Ic_heuristics.Heap
 module Monotonic = Ic_prof.Monotonic
 module Plan = Ic_fault.Plan
+module Recovery = Ic_fault.Recovery
+
+(* ------------------------------------------------------- I/O hardening *)
+
+(* EINTR is a retry, not a failure, on every blocking call; a peer that
+   vanished (ECONNRESET/EPIPE) is a connection-level event the caller
+   turns into close+log, never an exception out of the loop.
+
+   For EPIPE to arrive as an error at all, SIGPIPE's default
+   kill-the-process disposition must go: forced (process-wide) on entry
+   to both drivers — a chaos-dropped connection must not take the whole
+   harness down with it. *)
+
+let ignore_sigpipe =
+  lazy
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ | Sys_error _ -> ())
+
+let rec write_retry fd b off len =
+  try Unix.write fd b off len
+  with Unix.Unix_error (Unix.EINTR, _, _) -> write_retry fd b off len
 
 let send_all fd bytes len =
   let off = ref 0 in
   while !off < len do
-    off := !off + Unix.write fd bytes !off (len - !off)
+    off := !off + write_retry fd bytes !off (len - !off)
   done
+
+let rec read_retry fd buf =
+  try Unix.read fd buf 0 (Bytes.length buf)
+  with Unix.Unix_error (Unix.EINTR, _, _) -> read_retry fd buf
+
+let rec select_retry r w e timeout =
+  try Unix.select r w e timeout
+  with Unix.Unix_error (Unix.EINTR, _, _) -> select_retry r w e timeout
 
 (* ---------------------------------------------------------------- serve *)
 
 type conn = { fd : Unix.file_descr; reader : Wire.Reader.t }
 
-let serve ?metrics ?sink ?on_listen ?(once = false) ~port scfg dag =
-  let srv = Server.create ?metrics ?sink scfg dag in
+let serve ?metrics ?sink ?on_listen ?(once = false) ?journal ?(recover = false)
+    ?(log = fun _ -> ()) ~port scfg dag =
+  Lazy.force ignore_sigpipe;
+  let srv =
+    match journal with
+    | Some j when recover -> (
+      match Server.recover ?metrics ?sink ~journal:j scfg dag with
+      | Ok t -> t
+      | Error e -> invalid_arg ("Tcp.serve: recovery failed: " ^ e))
+    | _ -> Server.create ?metrics ?sink ?journal scfg dag
+  in
   let lsock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt lsock Unix.SO_REUSEADDR true;
   Unix.bind lsock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
@@ -30,7 +68,8 @@ let serve ?metrics ?sink ?on_listen ?(once = false) ~port scfg dag =
   let accepted = ref 0 in
   let rbuf = Bytes.create 65536 in
   let out = Buffer.create 4096 in
-  let close_conn c =
+  let close_conn ?reason c =
+    (match reason with Some r -> log r | None -> ());
     (try Unix.close c.fd with Unix.Unix_error _ -> ());
     conns := List.filter (fun c' -> c'.fd != c.fd) !conns
   in
@@ -44,10 +83,7 @@ let serve ?metrics ?sink ?on_listen ?(once = false) ~port scfg dag =
       else 0.05
     in
     let fds = lsock :: List.map (fun c -> c.fd) !conns in
-    let ready, _, _ =
-      try Unix.select fds [] [] timeout
-      with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
-    in
+    let ready, _, _ = select_retry fds [] [] timeout in
     List.iter
       (fun fd ->
         if fd == lsock then begin
@@ -55,6 +91,7 @@ let serve ?metrics ?sink ?on_listen ?(once = false) ~port scfg dag =
           | cfd, _ ->
             incr accepted;
             conns := { fd = cfd; reader = Wire.Reader.create () } :: !conns
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
           | exception Unix.Unix_error _ -> ()
         end
         else
@@ -62,33 +99,52 @@ let serve ?metrics ?sink ?on_listen ?(once = false) ~port scfg dag =
           | None -> ()
           | Some c -> (
             let n =
-              try Unix.read c.fd rbuf 0 (Bytes.length rbuf)
-              with Unix.Unix_error _ -> 0
+              match read_retry c.fd rbuf with
+              | n -> n
+              | exception
+                  Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+                log "read: connection reset by peer";
+                0
+              | exception Unix.Unix_error (e, _, _) ->
+                log ("read: " ^ Unix.error_message e);
+                0
             in
             if n = 0 then close_conn c
             else begin
               Wire.Reader.feed c.reader rbuf 0 n;
-              let drop = ref false in
+              let drop = ref None in
               let continue = ref true in
               while !continue do
                 match Wire.Reader.next c.reader with
                 | Ok None -> continue := false
-                | Error _ ->
-                  drop := true;
+                | Error e ->
+                  drop := Some ("wire: " ^ e);
                   continue := false
                 | Ok (Some msg) -> (
                   let reply = Server.handle srv ~now:(now ()) msg in
                   Buffer.clear out;
                   Wire.encode out reply;
                   try send_all c.fd (Buffer.to_bytes out) (Buffer.length out)
-                  with Unix.Unix_error _ ->
-                    drop := true;
+                  with
+                  | Unix.Unix_error
+                      ((Unix.ECONNRESET | Unix.EPIPE) as e, _, _) ->
+                    drop := Some ("write: " ^ Unix.error_message e);
+                    continue := false
+                  | Unix.Unix_error (e, _, _) ->
+                    drop := Some ("write: " ^ Unix.error_message e);
                     continue := false)
               done;
-              if !drop then close_conn c
+              match !drop with
+              | Some reason -> close_conn ~reason c
+              | None -> ()
             end))
       ready;
-    if once && !accepted > 0 && !conns = [] then running := false
+    (* [once]: stay up while clients may still reconnect — exit only when
+       the drain actually finished and the last connection has gone; a
+       mid-drain disconnect (chaos, a restarting hammer) is a window, not
+       the end *)
+    if once && !accepted > 0 && !conns = [] && Server.is_done srv then
+      running := false
   done;
   (try Unix.close lsock with Unix.Unix_error _ -> ());
   Server.stats srv
@@ -101,11 +157,13 @@ type hammer_result = {
   done_seen : bool;
   crashed : int;
   disconnects : int;
+  reconnects : int;
   wall_s : float;
   lease_grant_p50_s : float;
   lease_grant_p99_s : float;
   task_service_p50_s : float;
   task_service_p99_s : float;
+  busy_s : float array;
 }
 
 (* worker status, as in Hammer's virtual loop *)
@@ -119,14 +177,26 @@ type ev =
   | Request of int * int
   | Complete_due of int * int
   | Churn_ev of int * Plan.Churn.kind
+  | Reconnect of int  (** connection index: try to dial again *)
+
+type pkind = P_hello | P_lease | P_comp
 
 (* an outstanding request on a connection, awaiting its FIFO-matched
-   reply; [comp] tells a [Lease_req] reply apart from a [Complete] one,
-   [ep] lets a reply to a pre-churn request be discarded *)
-type pending = { p_worker : int; p_ep : int; p_comp : bool }
+   reply; [p_kind] says which reply shape to expect, [p_ep] lets a reply
+   to a pre-churn request be discarded, [p_t] ages the queue head so a
+   desynced connection (lost frame, stuck server) is cut and redialed *)
+type pending = { p_worker : int; p_ep : int; p_kind : pkind; p_t : float }
 
-let hammer ?(host = "127.0.0.1") ?(connections = 4) ~port (cfg : Hammer.config)
-    =
+(* dial-again policy for a lost server: 50 ms doubling to a 2 s cap —
+   a dozen attempts rides out a kill -9 + restart window of ~15 s *)
+let reconnect_policy =
+  Recovery.make ~backoff_base:0.05 ~backoff_factor:2.0 ~backoff_max:2.0 ()
+
+let max_reconnect_attempts = 12
+
+let hammer ?(host = "127.0.0.1") ?(connections = 4) ?chaos
+    ?(reply_timeout_s = 2.0) ~port (cfg : Hammer.config) =
+  Lazy.force ignore_sigpipe;
   let t_start = Monotonic.now () in
   let elapsed () = Monotonic.now () -. t_start in
   let w = cfg.Hammer.workers in
@@ -138,20 +208,17 @@ let hammer ?(host = "127.0.0.1") ?(connections = 4) ~port (cfg : Hammer.config)
          else Unix.inet_addr_of_string host),
         port )
   in
-  let socks =
-    Array.init nconn (fun _ ->
-        let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-        Unix.connect s addr;
-        (try Unix.setsockopt s Unix.TCP_NODELAY true
-         with Unix.Unix_error _ -> ());
-        s)
-  in
+  let socks = Array.make nconn Unix.stdin in
   let readers = Array.init nconn (fun _ -> Wire.Reader.create ()) in
   let pendings : pending Queue.t array =
     Array.init nconn (fun _ -> Queue.create ())
   in
-  let open_ = Array.make nconn true in
+  let open_ = Array.make nconn false in
+  let dead = Array.make nconn false in
+  let attempts = Array.make nconn 0 in
+  let frames = Array.make nconn 0 in  (* chaos frame counter, per direction *)
   let total_pending = ref 0 in
+  let reconnects = ref 0 in
   let conn_of i = i mod nconn in
   let status = Array.make w w_idle in
   let batch : int list array = Array.make w [] in
@@ -167,35 +234,112 @@ let hammer ?(host = "127.0.0.1") ?(connections = 4) ~port (cfg : Hammer.config)
   let done_seen = ref false in
   let grant_lat = ref [] in
   let service_lat = ref [] in
+  let busy = Array.make w 0.0 in
+  let busy_since = Array.make w nan in
+  let end_busy i t =
+    if not (Float.is_nan busy_since.(i)) then begin
+      busy.(i) <- busy.(i) +. (t -. busy_since.(i));
+      busy_since.(i) <- nan
+    end
+  in
   let events : (float, ev) Heap.t = Heap.create () in
   let out = Buffer.create 256 in
   let rbuf = Bytes.create 65536 in
   let settle i st =
     if status.(i) <> w_finished && status.(i) <> w_dead then incr settled;
+    end_busy i (elapsed ());
     status.(i) <- st
   in
-  let close_conn c =
+  (* dial connection [c] and announce the session with a Hello; [strict]
+     (the initial dial) lets a refused connection raise out to the
+     caller, a redial just reports failure *)
+  let connect_conn ~strict c =
+    let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    match
+      Unix.connect s addr;
+      (try Unix.setsockopt s Unix.TCP_NODELAY true
+       with Unix.Unix_error _ -> ());
+      Buffer.clear out;
+      Wire.encode out (Wire.Hello { worker = c });
+      send_all s (Buffer.to_bytes out) (Buffer.length out)
+    with
+    | () ->
+      socks.(c) <- s;
+      readers.(c) <- Wire.Reader.create ();
+      open_.(c) <- true;
+      attempts.(c) <- 0;
+      Queue.add
+        { p_worker = c; p_ep = 0; p_kind = P_hello; p_t = elapsed () }
+        pendings.(c);
+      incr total_pending;
+      true
+    | exception e ->
+      (try Unix.close s with Unix.Unix_error _ -> ());
+      if strict then raise e else false
+  in
+  (* the connection under a worker's in-flight request died: forget the
+     batch (its leases will expire and re-issue server-side) and ask
+     again shortly, into whichever socket is alive by then *)
+  let requeue_worker i t =
+    if status.(i) = w_idle || status.(i) = w_busy then begin
+      end_busy i t;
+      epoch.(i) <- epoch.(i) + 1;
+      status.(i) <- w_idle;
+      batch.(i) <- [];
+      first_req.(i) <- nan;
+      Heap.push events
+        (t +. 0.05 +. (0.002 *. float_of_int (i land 63)))
+        (Request (i, epoch.(i)))
+    end
+  in
+  let close_conn c t =
     if open_.(c) then begin
       open_.(c) <- false;
       (try Unix.close socks.(c) with Unix.Unix_error _ -> ());
       (* outstanding replies on this connection will never arrive *)
       total_pending := !total_pending - Queue.length pendings.(c);
-      Queue.clear pendings.(c)
+      Queue.iter
+        (fun p -> if p.p_kind <> P_hello then requeue_worker p.p_worker t)
+        pendings.(c);
+      Queue.clear pendings.(c);
+      if not dead.(c) then
+        Heap.push events
+          (t +. Recovery.backoff reconnect_policy ~task:c ~retry:attempts.(c))
+          (Reconnect c)
     end
   in
-  let send i msg ~comp =
+  let send i msg ~kind =
     let c = conn_of i in
-    if not open_.(c) then settle i w_finished
+    if dead.(c) then settle i w_finished
+    else if not open_.(c) then requeue_worker i (elapsed ())
     else begin
       Buffer.clear out;
       Wire.encode out msg;
-      match send_all socks.(c) (Buffer.to_bytes out) (Buffer.length out) with
-      | () ->
-        Queue.add { p_worker = i; p_ep = epoch.(i); p_comp = comp } pendings.(c);
+      let b = Buffer.to_bytes out in
+      let wrote =
+        try
+          (match chaos with
+          | None -> send_all socks.(c) b (Bytes.length b)
+          | Some plan ->
+            let fr = frames.(c) in
+            frames.(c) <- fr + 1;
+            List.iter
+              (fun chunk -> send_all socks.(c) chunk (Bytes.length chunk))
+              (Chaos.mangle plan ~dir:c ~frame:fr b));
+          true
+        with Unix.Unix_error _ -> false
+      in
+      if wrote then begin
+        Queue.add
+          { p_worker = i; p_ep = epoch.(i); p_kind = kind; p_t = elapsed () }
+          pendings.(c);
         incr total_pending
-      | exception Unix.Unix_error _ ->
-        close_conn c;
-        settle i w_finished
+      end
+      else begin
+        let t = elapsed () in
+        close_conn c t;
+        requeue_worker i t
+      end
     end
   in
   let alive i = status.(i) = w_idle || status.(i) = w_busy in
@@ -204,6 +348,9 @@ let hammer ?(host = "127.0.0.1") ?(connections = 4) ~port (cfg : Hammer.config)
     | None -> ()
     | Some { Plan.Churn.time; kind } -> Heap.push events time (Churn_ev (i, kind))
   in
+  for c = 0 to nconn - 1 do
+    ignore (connect_conn ~strict:true c)
+  done;
   for i = 0 to w - 1 do
     let rng = Random.State.make [| cfg.Hammer.seed; 0x0F; i |] in
     Heap.push events
@@ -220,7 +367,7 @@ let hammer ?(host = "127.0.0.1") ?(connections = 4) ~port (cfg : Hammer.config)
     | Request (i, ep) ->
       if ep = epoch.(i) && alive i then begin
         if Float.is_nan first_req.(i) then first_req.(i) <- t;
-        send i (Wire.Lease_req { worker = i; k = cfg.Hammer.k }) ~comp:false
+        send i (Wire.Lease_req { worker = i; k = cfg.Hammer.k }) ~kind:P_lease
       end
     | Complete_due (i, ep) ->
       if ep = epoch.(i) && status.(i) = w_busy then begin
@@ -230,7 +377,7 @@ let hammer ?(host = "127.0.0.1") ?(connections = 4) ~port (cfg : Hammer.config)
           batch.(i) <- rest;
           service_lat := (t -. batch_t0.(i)) :: !service_lat;
           incr completes_sent;
-          send i (Wire.Complete { worker = i; task }) ~comp:true
+          send i (Wire.Complete { worker = i; task }) ~kind:P_comp
       end
     | Churn_ev (i, kind) ->
       (match kind with
@@ -246,6 +393,7 @@ let hammer ?(host = "127.0.0.1") ?(connections = 4) ~port (cfg : Hammer.config)
         if alive i then begin
           incr disconnects;
           epoch.(i) <- epoch.(i) + 1;
+          end_busy i t;
           status.(i) <- w_offline;
           batch.(i) <- [];
           first_req.(i) <- nan
@@ -257,36 +405,58 @@ let hammer ?(host = "127.0.0.1") ?(connections = 4) ~port (cfg : Hammer.config)
           Heap.push events t (Request (i, epoch.(i)))
         end);
       schedule_churn i
+    | Reconnect c ->
+      if (not dead.(c)) && not open_.(c) then begin
+        if connect_conn ~strict:false c then incr reconnects
+        else begin
+          attempts.(c) <- attempts.(c) + 1;
+          if attempts.(c) > max_reconnect_attempts then dead.(c) <- true
+          else
+            Heap.push events
+              (t
+              +. Recovery.backoff reconnect_policy ~task:c ~retry:attempts.(c)
+              )
+              (Reconnect c)
+        end
+      end
   in
   let handle_reply c msg =
-    let { p_worker = i; p_ep; p_comp } = Queue.pop pendings.(c) in
+    let { p_worker = i; p_ep; p_kind; p_t = _ } = Queue.pop pendings.(c) in
     decr total_pending;
-    match msg with
-    | Wire.Done _ ->
-      done_seen := true;
-      if alive i then settle i w_finished
-    | _ when p_ep <> epoch.(i) -> ()
-    | Wire.Lease { tasks; expires_in_s = _ } ->
-      let t = elapsed () in
-      grant_lat := (t -. first_req.(i)) :: !grant_lat;
-      first_req.(i) <- nan;
-      status.(i) <- w_busy;
-      batch.(i) <- Array.to_list tasks;
-      batch_t0.(i) <- t;
-      Heap.push events (t +. next_service i) (Complete_due (i, epoch.(i)))
-    | Wire.Retry_after { delay_s } ->
-      Heap.push events
-        (elapsed () +. Float.max delay_s 1e-4)
-        (Request (i, epoch.(i)))
-    | Wire.Ack ->
-      let t = elapsed () in
-      if p_comp && batch.(i) <> [] then
+    match p_kind with
+    | P_hello -> (
+      match msg with Wire.Done _ -> done_seen := true | _ -> ())
+    | _ -> (
+      match msg with
+      | Wire.Done _ ->
+        done_seen := true;
+        if alive i then settle i w_finished
+      | _ when p_ep <> epoch.(i) -> ()
+      | Wire.Lease { tasks; expires_in_s = _ } ->
+        let t = elapsed () in
+        if not (Float.is_nan first_req.(i)) then begin
+          grant_lat := (t -. first_req.(i)) :: !grant_lat;
+          first_req.(i) <- nan
+        end;
+        status.(i) <- w_busy;
+        busy_since.(i) <- t;
+        batch.(i) <- Array.to_list tasks;
+        batch_t0.(i) <- t;
         Heap.push events (t +. next_service i) (Complete_due (i, epoch.(i)))
-      else begin
-        status.(i) <- w_idle;
-        Heap.push events (t +. cfg.Hammer.think_s) (Request (i, epoch.(i)))
-      end
-    | _ -> ()
+      | Wire.Retry_after { delay_s } ->
+        Heap.push events
+          (elapsed () +. Float.max delay_s 1e-4)
+          (Request (i, epoch.(i)))
+      | Wire.Ack ->
+        let t = elapsed () in
+        if p_kind = P_comp && batch.(i) <> [] then
+          Heap.push events (t +. next_service i) (Complete_due (i, epoch.(i)))
+        else begin
+          end_busy i t;
+          status.(i) <- w_idle;
+          Heap.push events (t +. cfg.Hammer.think_s) (Request (i, epoch.(i)))
+        end
+      | _ -> ())
   in
   let progress_possible () =
     (not (Heap.is_empty events)) || !total_pending > 0
@@ -302,6 +472,16 @@ let hammer ?(host = "127.0.0.1") ?(connections = 4) ~port (cfg : Hammer.config)
         | None -> due := false)
       | _ -> due := false
     done;
+    (* a queue head older than the reply timeout means the request or
+       its reply died on the wire (chaos, a crashed server): the FIFO is
+       unrecoverable, cut the connection and let reconnect heal it *)
+    let tnow = elapsed () in
+    for c = 0 to nconn - 1 do
+      if open_.(c) && not (Queue.is_empty pendings.(c)) then begin
+        let head = Queue.peek pendings.(c) in
+        if tnow -. head.p_t > reply_timeout_s then close_conn c tnow
+      end
+    done;
     if !settled < w && progress_possible () then begin
       let timeout =
         match Heap.peek events with
@@ -310,23 +490,24 @@ let hammer ?(host = "127.0.0.1") ?(connections = 4) ~port (cfg : Hammer.config)
       in
       let fds = ref [] in
       Array.iteri (fun c s -> if open_.(c) then fds := s :: !fds) socks;
-      if !fds = [] then ()
+      if !fds = [] then
+        (* between connections: sleep to the next event (reconnect) *)
+        (if timeout > 0.0 then ignore (select_retry [] [] [] timeout))
       else begin
-        let ready, _, _ =
-          try Unix.select !fds [] [] timeout
-          with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
-        in
+        let ready, _, _ = select_retry !fds [] [] timeout in
         List.iter
           (fun fd ->
             let c = ref (-1) in
-            Array.iteri (fun j s -> if s == fd then c := j) socks;
+            Array.iteri
+              (fun j s -> if open_.(j) && s == fd then c := j)
+              socks;
             let c = !c in
             if c >= 0 && open_.(c) then begin
               let n =
-                try Unix.read socks.(c) rbuf 0 (Bytes.length rbuf)
+                try read_retry socks.(c) rbuf
                 with Unix.Unix_error _ -> 0
               in
-              if n = 0 then close_conn c
+              if n = 0 then close_conn c (elapsed ())
               else begin
                 Wire.Reader.feed readers.(c) rbuf 0 n;
                 let continue = ref true in
@@ -334,12 +515,13 @@ let hammer ?(host = "127.0.0.1") ?(connections = 4) ~port (cfg : Hammer.config)
                   match Wire.Reader.next readers.(c) with
                   | Ok None -> continue := false
                   | Error _ ->
-                    close_conn c;
+                    close_conn c (elapsed ());
                     continue := false
                   | Ok (Some msg) ->
                     if Queue.is_empty pendings.(c) then begin
-                      (* unsolicited reply: protocol break, drop the conn *)
-                      close_conn c;
+                      (* unsolicited reply: protocol break, cut the conn
+                         and let the redial resynchronize *)
+                      close_conn c (elapsed ());
                       continue := false
                     end
                     else handle_reply c msg
@@ -350,7 +532,15 @@ let hammer ?(host = "127.0.0.1") ?(connections = 4) ~port (cfg : Hammer.config)
       end
     end
   done;
-  Array.iteri (fun c _ -> close_conn c) socks;
+  let tend = elapsed () in
+  Array.iteri
+    (fun c _ ->
+      dead.(c) <- true;
+      close_conn c tend)
+    socks;
+  for i = 0 to w - 1 do
+    end_busy i tend
+  done;
   let grants = Array.of_list !grant_lat in
   let services = Array.of_list !service_lat in
   {
@@ -359,9 +549,11 @@ let hammer ?(host = "127.0.0.1") ?(connections = 4) ~port (cfg : Hammer.config)
     done_seen = !done_seen;
     crashed = !crashed;
     disconnects = !disconnects;
-    wall_s = elapsed ();
+    reconnects = !reconnects;
+    wall_s = tend;
     lease_grant_p50_s = Hammer.quantile grants 0.5;
     lease_grant_p99_s = Hammer.quantile grants 0.99;
     task_service_p50_s = Hammer.quantile services 0.5;
     task_service_p99_s = Hammer.quantile services 0.99;
+    busy_s = busy;
   }

@@ -10,27 +10,46 @@
     request/response, so replies on a connection are matched to
     outstanding requests FIFO.
 
+    Both ends survive a hostile wire: every blocking call retries
+    [EINTR]; a peer that vanished ([ECONNRESET]/[EPIPE]) closes that one
+    connection — logged, never raised. The hammer additionally redials a
+    lost server with exponential backoff and re-announces its session
+    with a [Hello], so a served process killed mid-drain and restarted
+    with [--recover] is drained to exactly-once completion by the same
+    client fleet.
+
     Both ends are driver code, not a production network stack: blocking
     writes (replies are small and the sockets are loopback), one read
-    buffer, no TLS. They exist so the CI smoke job and the operator CLI
-    can exercise the sans-IO core over real sockets. *)
+    buffer, no TLS. They exist so the CI smoke jobs (including the
+    kill -9 crash-recovery job) and the operator CLI can exercise the
+    sans-IO core over real sockets. *)
 
 val serve :
   ?metrics:Ic_obs.Metrics.t ->
   ?sink:Ic_obs.Trace.t ->
   ?on_listen:(int -> unit) ->
   ?once:bool ->
+  ?journal:Journal.t ->
+  ?recover:bool ->
+  ?log:(string -> unit) ->
   port:int ->
   Server.config ->
   Ic_dag.Dag.t ->
   Server.stats
 (** Bind [127.0.0.1:port] ([port] 0 picks a free one), call [on_listen]
     with the bound port, then serve until interrupted. With [once] (off
-    by default) the loop exits once at least one client has connected
-    and every connection has closed — the hammer closes its sockets when
-    the dag is done, so [serve ~once:true] terminates with it. A
-    connection that sends a corrupt frame is dropped; the server state
-    is untouched (its leases simply expire). Returns the final
+    by default) the loop exits once at least one client has connected,
+    every connection has closed, {e and} the drain is complete
+    ({!Server.is_done}) — a mid-drain disconnect (chaos, a restarting
+    hammer) keeps the server up for the redial. A connection that sends
+    a corrupt frame is dropped; the server state is untouched (its
+    leases simply expire).
+
+    [journal] hands the server a write-ahead {!Journal}; with [recover]
+    the server is built by {!Server.recover} from that journal's replay
+    instead of fresh (raises [Invalid_argument] if the replay does not
+    fit the dag). [log] receives one line per connection-level incident
+    (resets, corrupt frames); default drops them. Returns the final
     {!Server.stats}. *)
 
 (** Client-side view of a hammer run; the authoritative counters live in
@@ -40,17 +59,21 @@ type hammer_result = {
   completes_sent : int;  (** [Complete] frames put on the wire *)
   done_seen : bool;  (** the server answered [Done] at least once *)
   crashed : int;
-  disconnects : int;
+  disconnects : int;  (** worker-model churn disconnects *)
+  reconnects : int;  (** sockets successfully redialed after a loss *)
   wall_s : float;
   lease_grant_p50_s : float;
   lease_grant_p99_s : float;
   task_service_p50_s : float;
   task_service_p99_s : float;
+  busy_s : float array;  (** per-worker wall time holding a lease batch *)
 }
 
 val hammer :
   ?host:string ->
   ?connections:int ->
+  ?chaos:Ic_fault.Plan.Wire.t ->
+  ?reply_timeout_s:float ->
   port:int ->
   Hammer.config ->
   hammer_result
@@ -59,4 +82,16 @@ val hammer :
     (worker [w] is pinned to connection [w mod connections]) in real
     time: service latencies and think times become actual delays in the
     event loop. Returns when every worker is finished (saw [Done]) or
-    dead (crashed by the churn plan) and no replies are outstanding. *)
+    dead (crashed by the churn plan, or stranded on a connection that
+    exhausted its redial budget) and no replies are outstanding.
+
+    Each (re)connection opens with a [Hello] carrying the connection
+    index, resuming the session server-side. A lost connection requeues
+    its in-flight workers and redials with exponential backoff (50 ms
+    doubling to a 2 s cap, up to 12 attempts — successes counted in
+    [reconnects]); a reply older than [reply_timeout_s] (default 2.0) at
+    the head of a connection's FIFO means the wire ate a frame, so the
+    connection is cut and redialed. [chaos] mangles outgoing non-[Hello]
+    frames through {!Chaos.mangle} (direction = connection index),
+    exercising the server's reader-error path over real sockets; the
+    initial dial still raises if the server is unreachable. *)

@@ -422,6 +422,337 @@ let test_mesh256_churn_exactly_once () =
   Alcotest.(check (float 0.0)) "same virtual makespan" r.Hammer.makespan_s
     r2.Hammer.makespan_s
 
+(* --------------------------------------------------- journal + recovery *)
+
+module Journal = Ic_served.Journal
+module Chaos = Ic_served.Chaos
+module Wire_plan = Ic_fault.Plan.Wire
+
+let tmp_journal () = Filename.temp_file "ic_test_journal" ".wal"
+
+let with_tmp f =
+  let path = tmp_journal () in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let open_exn ?fsync ?checkpoint_every path =
+  match Journal.open_ ?fsync ?checkpoint_every path with
+  | Ok j -> j
+  | Error e -> Alcotest.failf "Journal.open_: %s" e
+
+(* one greedy in-process worker drains whatever the server will lease *)
+let greedy_drain ?(now0 = 0.0) ?(k = 16) srv =
+  let now = ref now0 in
+  let continue = ref true in
+  while !continue do
+    now := !now +. 0.001;
+    match Server.handle srv ~now:!now (Wire.Lease_req { worker = 0; k }) with
+    | Wire.Lease { tasks; _ } ->
+      Array.iter
+        (fun v ->
+          ignore
+            (Server.handle srv ~now:!now (Wire.Complete { worker = 0; task = v })))
+        tasks
+    | Wire.Done _ -> continue := false
+    | Wire.Retry_after _ -> ()
+    | _ -> Alcotest.fail "unexpected reply"
+  done
+
+let read_bytes path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let b = Bytes.create len in
+  really_input ic b 0 len;
+  close_in ic;
+  b
+
+let write_bytes path b =
+  let oc = open_out_bin path in
+  output_bytes oc b;
+  close_out oc
+
+let append_raw path s =
+  let oc = open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 path in
+  output_string oc s;
+  close_out oc
+
+let test_journal_roundtrip () =
+  with_tmp @@ fun path ->
+  let j = open_exn path in
+  let done_ = Bytes.make (Journal.bitmap_len 10) '\000' in
+  Bytes.set done_ 0 '\x05';
+  let leased = Bytes.make (Journal.bitmap_len 10) '\000' in
+  Bytes.set leased 1 '\x02';
+  let records =
+    [
+      Journal.Lease [| 0; 7; 0xFFFF |];
+      Journal.Complete 7;
+      Journal.Checkpoint { n = 10; done_; leased };
+      Journal.Complete 0;
+      Journal.Lease [||];
+    ]
+  in
+  List.iter (Journal.append j) records;
+  Journal.close j;
+  let j = open_exn path in
+  Alcotest.(check int) "nothing truncated" 0 (Journal.truncated_bytes j);
+  if Journal.replayed j <> records then Alcotest.fail "replay differs";
+  Journal.close j
+
+let test_journal_torn_tail_truncated () =
+  with_tmp @@ fun path ->
+  let j = open_exn path in
+  Journal.append j (Journal.Complete 1);
+  Journal.append j (Journal.Complete 2);
+  Journal.close j;
+  let intact = Bytes.length (read_bytes path) in
+  (* a torn final record: a length prefix promising more than is there *)
+  append_raw path "\x40\x00\x00\x00\xDE\xAD\xBE\xEFtorn";
+  let j = open_exn path in
+  Alcotest.(check bool) "tail dropped" true (Journal.truncated_bytes j > 0);
+  if Journal.replayed j <> [ Journal.Complete 1; Journal.Complete 2 ] then
+    Alcotest.fail "intact prefix lost";
+  Journal.close j;
+  Alcotest.(check int) "file physically truncated" intact
+    (Bytes.length (read_bytes path));
+  (* idempotent: a second open sees a clean file *)
+  let j = open_exn path in
+  Alcotest.(check int) "clean reopen" 0 (Journal.truncated_bytes j);
+  Journal.close j
+
+let test_journal_corrupt_crc_truncates_from_there () =
+  with_tmp @@ fun path ->
+  let j = open_exn path in
+  List.iter (fun v -> Journal.append j (Journal.Complete v)) [ 1; 2; 3 ];
+  Journal.close j;
+  let b = read_bytes path in
+  (* flip a bit inside the second record's payload: 8-byte magic, then
+     records of 8-byte header + 5-byte Complete payload *)
+  let off = 8 + 13 + 8 + 2 in
+  Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 1));
+  write_bytes path b;
+  let j = open_exn path in
+  Alcotest.(check bool) "corrupt record dropped" true
+    (Journal.truncated_bytes j > 0);
+  if Journal.replayed j <> [ Journal.Complete 1 ] then
+    Alcotest.fail "replay should stop at the corrupt record";
+  Journal.close j
+
+let test_recover_small_reissues_and_finishes () =
+  with_tmp @@ fun path ->
+  let j = open_exn path in
+  let srv = Server.create ~journal:j (Server.config ()) (tiny ()) in
+  (* complete the source, lease both children, complete only one *)
+  ignore (Server.handle srv ~now:0.0 (Wire.Lease_req { worker = 1; k = 8 }));
+  ignore (Server.handle srv ~now:0.1 (Wire.Complete { worker = 1; task = 0 }));
+  let t = lease_tasks (Server.handle srv ~now:0.2 (Wire.Lease_req { worker = 1; k = 8 })) in
+  Alcotest.(check int) "both children leased" 2 (Array.length t);
+  ignore (Server.handle srv ~now:0.3 (Wire.Complete { worker = 1; task = t.(0) }));
+  (* crash: the server object is dropped, the journal survives *)
+  Journal.close j;
+  let j = open_exn path in
+  (* a fresh create on a dirty journal must refuse *)
+  (match Server.create ~journal:j (Server.config ()) (tiny ()) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "create accepted a journal with prior records");
+  let srv =
+    match Server.recover ~journal:j (Server.config ()) (tiny ()) with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "recover: %s" e
+  in
+  let st = Server.stats srv in
+  Alcotest.(check int) "completions restored" 2 st.Server.completions;
+  Alcotest.(check int) "recovered_tasks" 2 st.Server.recovered_tasks;
+  Alcotest.(check int) "the un-journaled lease re-issues" 1
+    st.Server.recovered_reissues;
+  greedy_drain ~now0:1.0 srv;
+  Alcotest.(check bool) "drains to done" true (Server.is_done srv);
+  Alcotest.(check int) "exactly once overall" 3
+    (Server.stats srv).Server.completions;
+  Journal.close j
+
+(* crash-at-any-byte property: take a full drain's journal, cut it at an
+   arbitrary byte (record boundary, mid-record, mid-header), recover,
+   drain again — every cut must yield exactly-once completion *)
+let prop_recover_any_cut =
+  let g = Mesh.out_mesh 8 in
+  let n = Dag.n_nodes g in
+  let reference =
+    lazy
+      (with_tmp @@ fun path ->
+       let j = open_exn ~checkpoint_every:16 path in
+       let srv = Server.create ~journal:j (Server.config ~n_shards:2 ()) g in
+       greedy_drain srv;
+       Journal.close j;
+       read_bytes path)
+  in
+  QCheck.Test.make ~name:"recovery after a crash at any journal byte" ~count:80
+    QCheck.(int_range 8 4096)
+    (fun cut ->
+      let full = Lazy.force reference in
+      let cut = min cut (Bytes.length full) in
+      with_tmp @@ fun path ->
+      write_bytes path (Bytes.sub full 0 cut);
+      let j = open_exn ~checkpoint_every:16 path in
+      let srv =
+        match Server.recover ~journal:j (Server.config ~n_shards:2 ()) g with
+        | Ok s -> s
+        | Error e -> QCheck.Test.fail_reportf "recover at cut %d: %s" cut e
+      in
+      greedy_drain ~now0:10.0 srv;
+      let st = Server.stats srv in
+      Journal.close j;
+      Server.is_done srv && st.Server.completions = n
+      && st.Server.inflight = 0)
+
+(* the tentpole acceptance: mesh-256 under a 10^4-worker churning fleet,
+   killed mid-drain, recovered from the torn journal, drained to
+   exactly-once — twice, byte-identically *)
+let test_mesh256_kill_recover_exactly_once () =
+  let g = Mesh.out_mesh 256 in
+  let n = Dag.n_nodes g in
+  with_tmp @@ fun path ->
+  (* phase 1: a partial drain with leases still outstanding at the kill *)
+  let j = open_exn ~checkpoint_every:1024 path in
+  let srv = Server.create ~journal:j (Server.config ~n_shards:3 ~max_lease:64 ()) g in
+  let now = ref 0.0 in
+  let phase1 = ref 0 in
+  while !phase1 < n / 2 do
+    now := !now +. 0.001;
+    match Server.handle srv ~now:!now (Wire.Lease_req { worker = 0; k = 64 }) with
+    | Wire.Lease { tasks; _ } ->
+      (* complete all but the last task of each multi-task batch:
+         leased-but-never-journaled work is what the kill strands *)
+      let keep = if Array.length tasks > 1 then Array.length tasks - 1 else 1 in
+      Array.iteri
+        (fun i v ->
+          if i < keep && !phase1 < n / 2 then begin
+            ignore
+              (Server.handle srv ~now:!now (Wire.Complete { worker = 0; task = v }));
+            incr phase1
+          end)
+        tasks
+    | Wire.Retry_after _ ->
+      (* every ready task is stranded under a lease: jump past the
+         expiry so re-issue unblocks the drain *)
+      now := !now +. 100.0;
+      ignore (Server.expire srv ~now:!now)
+    | _ -> Alcotest.fail "phase 1 starved before the kill point"
+  done;
+  (* one final lease that is never completed: guarantees journaled
+     leased-but-not-done state at the kill *)
+  (match Server.handle srv ~now:(!now +. 0.001) (Wire.Lease_req { worker = 1; k = 8 }) with
+  | Wire.Lease _ -> ()
+  | _ -> Alcotest.fail "no lease left to strand");
+  let killed_at = (Server.stats srv).Server.completions in
+  (* kill -9: no close, no flush beyond the per-record ones; worse, a
+     torn half-record sits at the tail *)
+  append_raw path "\xFF\xFF\x00\x00half";
+  let run () =
+    let m = Metrics.create () in
+    let j = open_exn ~checkpoint_every:1024 path in
+    let srv =
+      match
+        Server.recover ~metrics:m ~journal:j
+          (Server.config ~n_shards:3 ~max_lease:64 ~expected_s:0.2
+             ~retry_after_s:0.2
+             ~recovery:(Recovery.make ~timeout_factor:4.0 ())
+             ())
+          g
+      with
+      | Ok s -> s
+      | Error e -> Alcotest.failf "recover: %s" e
+    in
+    let st0 = Server.stats srv in
+    Alcotest.(check int) "journaled completions survive the kill" killed_at
+      st0.Server.recovered_tasks;
+    Alcotest.(check bool) "stranded leases re-issue" true
+      (st0.Server.recovered_reissues > 0);
+    let churn =
+      Plan.make ~crash_rate:0.002 ~disconnect_rate:0.02 ~mean_downtime:0.5
+        ~seed:11 ()
+    in
+    let cfg =
+      Hammer.config ~workers:10_000 ~k:8 ~mean_service_s:0.01 ~think_s:0.001
+        ~churn ~seed:42 ()
+    in
+    let r = Hammer.drive ~metrics:m srv cfg in
+    Journal.close j;
+    (r, Metrics.to_json m)
+  in
+  (* recovery must not consume the journal: snapshot it so the second,
+     determinism-checking run replays the identical file *)
+  let snapshot = read_bytes path in
+  let r, json1 = run () in
+  Alcotest.(check int) "every task applied exactly once" n r.Hammer.completed;
+  Alcotest.(check int) "server agrees" n r.Hammer.server.Server.completions;
+  Alcotest.(check int) "nothing in flight" 0 r.Hammer.server.Server.inflight;
+  Alcotest.(check bool) "churn still crashed workers" true (r.Hammer.crashed > 0);
+  write_bytes path snapshot;
+  let r2, json2 = run () in
+  Alcotest.(check int) "second recovery also exact" n r2.Hammer.completed;
+  Alcotest.(check string) "byte-identical metrics across recoveries" json1
+    json2
+
+(* ------------------------------------------------------------ wire chaos *)
+
+let chaos_run ~wire () =
+  let g = Mesh.out_mesh 64 in
+  let m = Metrics.create () in
+  let scfg =
+    Server.config ~n_shards:3 ~max_lease:64 ~expected_s:0.2 ~retry_after_s:0.2
+      ~recovery:(Recovery.make ~timeout_factor:4.0 ())
+      ()
+  in
+  let cfg =
+    Hammer.config ~workers:1_000 ~k:8 ~mean_service_s:0.01 ~think_s:0.001
+      ~seed:42 ()
+  in
+  let r = Hammer.run_chaos ~metrics:m ~server:scfg ~wire ~reply_timeout_s:0.5 cfg g in
+  (r, Metrics.to_json m)
+
+let test_chaos_hostile_wire_exactly_once () =
+  let wire =
+    Wire_plan.make ~drop:0.02 ~corrupt:0.02 ~truncate:0.01 ~duplicate:0.02
+      ~reorder:0.02 ~delay_mean:0.005 ~seed:0xC4A0 ()
+  in
+  let g_n = Dag.n_nodes (Mesh.out_mesh 64) in
+  let r, json1 = chaos_run ~wire () in
+  Alcotest.(check int) "all tasks complete through the hostile wire" g_n
+    r.Hammer.base.Hammer.completed;
+  Alcotest.(check int) "exactly once" g_n
+    r.Hammer.base.Hammer.server.Server.completions;
+  Alcotest.(check int) "nothing in flight" 0
+    r.Hammer.base.Hammer.server.Server.inflight;
+  let c2s = r.Hammer.c2s and s2c = r.Hammer.s2c in
+  Alcotest.(check bool) "frames flowed both ways" true
+    (c2s.Chaos.frames > 0 && s2c.Chaos.frames > 0);
+  Alcotest.(check bool) "drops happened" true
+    (c2s.Chaos.dropped + s2c.Chaos.dropped > 0);
+  Alcotest.(check bool) "corruption happened" true
+    (c2s.Chaos.corrupted + s2c.Chaos.corrupted > 0);
+  Alcotest.(check bool) "truncation happened" true
+    (c2s.Chaos.truncated + s2c.Chaos.truncated > 0);
+  Alcotest.(check bool) "the reader hit (and survived) errors" true
+    (c2s.Chaos.reader_errors + s2c.Chaos.reader_errors
+     + c2s.Chaos.resyncs + s2c.Chaos.resyncs
+    > 0);
+  Alcotest.(check bool) "timeouts re-sent requests" true (r.Hammer.retries > 0);
+  (* the whole gauntlet is a pure function of the seeds *)
+  let r2, json2 = chaos_run ~wire () in
+  Alcotest.(check string) "byte-identical metrics across reruns" json1 json2;
+  Alcotest.(check int) "same retry count" r.Hammer.retries r2.Hammer.retries
+
+let test_chaos_none_is_transparent () =
+  let r, _ = chaos_run ~wire:Wire_plan.none () in
+  let n = Dag.n_nodes (Mesh.out_mesh 64) in
+  Alcotest.(check int) "clean wire completes" n r.Hammer.base.Hammer.completed;
+  let c2s = r.Hammer.c2s in
+  Alcotest.(check int) "nothing dropped" 0 c2s.Chaos.dropped;
+  Alcotest.(check int) "every frame delivered" c2s.Chaos.frames
+    c2s.Chaos.delivered
+
 (* ------------------------------------------------------- TCP transport *)
 
 let test_tcp_loopback_roundtrip () =
@@ -451,6 +782,116 @@ let test_tcp_loopback_roundtrip () =
   Alcotest.(check int) "server applied every task once" n st.Server.completions;
   Alcotest.(check int) "no lingering leases" 0 st.Server.inflight;
   Alcotest.(check bool) "client sent completions" true (hr.Tcp.completes_sent > 0)
+
+(* kill the wire, not the server: chaos-mangled client frames force the
+   server to drop connections, the hammer heals by redialing *)
+let test_tcp_chaos_reconnects_and_finishes () =
+  let g = Mesh.out_mesh 10 in
+  let n = Dag.n_nodes g in
+  let port = Atomic.make 0 in
+  let server =
+    Domain.spawn (fun () ->
+        Tcp.serve
+          ~on_listen:(fun p -> Atomic.set port p)
+          ~once:true ~port:0
+          (Server.config ~n_shards:2 ~expected_s:0.2
+             ~recovery:(Recovery.make ~timeout_factor:4.0 ())
+             ())
+          g)
+  in
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while Atomic.get port = 0 && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.001
+  done;
+  let p = Atomic.get port in
+  if p = 0 then Alcotest.fail "server never listened";
+  let chaos = Wire_plan.make ~drop:0.02 ~corrupt:0.02 ~truncate:0.01 () in
+  let cfg =
+    Hammer.config ~workers:50 ~k:4 ~mean_service_s:0.0005 ~think_s:0.0001 ()
+  in
+  let hr = Tcp.hammer ~connections:4 ~chaos ~reply_timeout_s:0.3 ~port:p cfg in
+  let st = Domain.join server in
+  Alcotest.(check bool) "client saw Done through the chaos" true
+    hr.Tcp.done_seen;
+  Alcotest.(check int) "server applied every task once" n st.Server.completions;
+  Alcotest.(check int) "no lingering leases" 0 st.Server.inflight;
+  Alcotest.(check bool) "the wire forced at least one reconnect" true
+    (hr.Tcp.reconnects > 0)
+
+(* the full loop over real sockets: journal the first serve, kill it
+   mid-drain (abandon the domain's server state), restart with recover,
+   and let a fresh hammer finish the job *)
+let test_tcp_journal_recover_roundtrip () =
+  let g = Mesh.out_mesh 10 in
+  let n = Dag.n_nodes g in
+  with_tmp @@ fun path ->
+  (* phase 1: partial drain server-side, no TCP needed to strand state *)
+  let j = open_exn path in
+  let srv = Server.create ~journal:j (Server.config ~n_shards:2 ()) g in
+  let completed = ref 0 in
+  let now = ref 0.0 in
+  while !completed < n / 2 do
+    now := !now +. 0.001;
+    match Server.handle srv ~now:!now (Wire.Lease_req { worker = 0; k = 4 }) with
+    | Wire.Lease { tasks; _ } ->
+      Array.iter
+        (fun v ->
+          if !completed < n / 2 then begin
+            ignore
+              (Server.handle srv ~now:!now (Wire.Complete { worker = 0; task = v }));
+            incr completed
+          end)
+        tasks
+    | Wire.Retry_after _ ->
+      now := !now +. 100.0;
+      ignore (Server.expire srv ~now:!now)
+    | _ -> Alcotest.fail "phase 1 starved"
+  done;
+  Journal.close j;
+  (* phase 2: serve --journal --recover over TCP, hammer it to done *)
+  let j = open_exn path in
+  let port = Atomic.make 0 in
+  let server =
+    Domain.spawn (fun () ->
+        Tcp.serve ~journal:j ~recover:true
+          ~on_listen:(fun p -> Atomic.set port p)
+          ~once:true ~port:0
+          (Server.config ~n_shards:2 ~expected_s:0.5 ())
+          g)
+  in
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while Atomic.get port = 0 && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.001
+  done;
+  if Atomic.get port = 0 then Alcotest.fail "recovered server never listened";
+  let cfg =
+    Hammer.config ~workers:20 ~k:4 ~mean_service_s:0.0005 ~think_s:0.0001 ()
+  in
+  let hr = Tcp.hammer ~connections:2 ~port:(Atomic.get port) cfg in
+  let st = Domain.join server in
+  Journal.close j;
+  Alcotest.(check bool) "client saw Done" true hr.Tcp.done_seen;
+  Alcotest.(check int) "recovered completions counted" (n / 2)
+    st.Server.recovered_tasks;
+  Alcotest.(check int) "total exactly once" n st.Server.completions;
+  Alcotest.(check int) "nothing left leased" 0 st.Server.inflight
+
+(* ------------------------------------------- metrics reuse across runs *)
+
+let test_metrics_reset_between_repeats () =
+  let g = Mesh.out_mesh 10 in
+  let m = Metrics.create () in
+  let iteration () =
+    Metrics.reset m;
+    let scfg = Server.config ~n_shards:2 () in
+    let cfg = Hammer.config ~workers:100 ~k:4 ~mean_service_s:0.001 () in
+    ignore (Hammer.run_virtual ~metrics:m ~server:scfg cfg g);
+    Metrics.to_json m
+  in
+  let first = iteration () in
+  let second = iteration () in
+  Alcotest.(check string) "repeat iterations see a zeroed registry" first
+    second
 
 let () =
   Alcotest.run "ic_served"
@@ -495,10 +936,40 @@ let () =
           Alcotest.test_case
             "mesh-256, 10^4 churning workers: exactly once, deterministic"
             `Quick test_mesh256_churn_exactly_once;
+          Alcotest.test_case "metrics registry resets between repeats" `Quick
+            test_metrics_reset_between_repeats;
+        ] );
+      ( "journal",
+        Alcotest.test_case "records round-trip through a reopen" `Quick
+          test_journal_roundtrip
+        :: Alcotest.test_case "torn tail is truncated, prefix survives" `Quick
+             test_journal_torn_tail_truncated
+        :: Alcotest.test_case "corrupt CRC truncates from that record" `Quick
+             test_journal_corrupt_crc_truncates_from_there
+        :: Alcotest.test_case "recover re-issues the unjournaled lease" `Quick
+             test_recover_small_reissues_and_finishes
+        :: qcheck [ prop_recover_any_cut ] );
+      ( "recovery",
+        [
+          Alcotest.test_case
+            "mesh-256 killed mid-drain: recover + churn fleet, exactly once,\
+             \ deterministic"
+            `Quick test_mesh256_kill_recover_exactly_once;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "hostile wire: exactly once, deterministic"
+            `Quick test_chaos_hostile_wire_exactly_once;
+          Alcotest.test_case "plan none is transparent" `Quick
+            test_chaos_none_is_transparent;
         ] );
       ( "tcp",
         [
           Alcotest.test_case "loopback serve + hammer" `Quick
             test_tcp_loopback_roundtrip;
+          Alcotest.test_case "chaos wire heals by reconnect" `Quick
+            test_tcp_chaos_reconnects_and_finishes;
+          Alcotest.test_case "journal + recover over real sockets" `Quick
+            test_tcp_journal_recover_roundtrip;
         ] );
     ]
