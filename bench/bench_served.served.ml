@@ -84,8 +84,11 @@ let pool_scene ~emit ~bench ~n ~k =
    same drain runs against a write-ahead journal on a temp file —
    [Some false] flush-per-append, [Some true] fsync-per-append — so the
    journal-off / fsync-off / fsync-on triple prices durability per
-   completion. *)
-let drain_scene ~emit ~bench ~n ~k ?journal () =
+   completion. With [live] the same drain mirrors every meter into an
+   {!Ic_obs.Live} registry and samples the frontier/inflight gauges
+   after each handle — the drain_k16 / drain_k16_live ratio is the
+   whole-path price of live telemetry (acceptance: within 5%). *)
+let drain_scene ~emit ~bench ~n ~k ?journal ?live () =
   let g = Dag.empty n in
   let j =
     Option.map
@@ -99,6 +102,7 @@ let drain_scene ~emit ~bench ~n ~k ?journal () =
   let srv =
     Server.create
       ?journal:(Option.map fst j)
+      ?live
       (Server.config ~n_shards:3 ~max_lease:64 ())
       g
   in
@@ -191,6 +195,11 @@ let run ~quick ~emit =
   pool_scene ~emit ~bench:"pool_pop_k16" ~n:n_pool ~k:16;
   drain_scene ~emit ~bench:"drain_k1" ~n:n_drain ~k:1 ();
   drain_scene ~emit ~bench:"drain_k16" ~n:n_drain ~k:16 ();
+  (* live-telemetry pricing: the same drain with every meter mirrored
+     into a Live registry (sharded atomics + gauge sampling per handle);
+     compare leased_tasks_per_s against drain_k16 *)
+  drain_scene ~emit ~bench:"drain_k16_live" ~n:n_drain ~k:16
+    ~live:(Ic_obs.Live.create ()) ();
   (* durability pricing: same drain, journal flushed per append, then
      fsynced per append (smaller n — each record is a disk barrier) *)
   drain_scene ~emit ~bench:"drain_k16_journal" ~n:n_drain ~k:16 ~journal:false

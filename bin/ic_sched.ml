@@ -858,8 +858,44 @@ let serve_cmd =
             "Write a Chrome trace-event file with one track per shard (load \
              it in Perfetto)")
   in
+  let telemetry_port_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "telemetry-port" ] ~docv:"PORT"
+          ~doc:
+            "Serve live served.* metrics and process gauges in OpenMetrics \
+             text format from a second loopback listener (0 picks a free \
+             port; scrape it with curl, Prometheus or ic_sched top)")
+  in
+  let telemetry_csv_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "telemetry-csv" ] ~docv:"FILE"
+          ~doc:
+            "Append a counters snapshot row to FILE on the telemetry \
+             cadence while serving")
+  in
+  let telemetry_every_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "telemetry-every-s" ] ~docv:"S"
+          ~doc:"Seconds between telemetry CSV snapshot rows (default 1.0)")
+  in
+  let flight_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flight" ] ~docv:"FILE"
+          ~doc:
+            "Record recent lease/completion/expiry events into a fixed-size \
+             mmap'd flight-recorder ring that survives kill -9 (inspect it \
+             with ic_sched blackbox; --recover continues an existing ring)")
+  in
   let run family load port shards max_lease expected_s once journal
-      checkpoint_every fsync recover metrics_out trace_out prof =
+      checkpoint_every fsync recover telemetry_port telemetry_csv
+      telemetry_every_s flight metrics_out trace_out prof =
     with_prof prof @@ fun () ->
     let dag =
       match (family, load) with
@@ -886,7 +922,8 @@ let serve_cmd =
     in
     match
       Served_support.serve ~dag ~port ~shards ~max_lease ~expected_s ~once
-        ~journal ~checkpoint_every ~fsync ~recover ?metrics_out ?trace_out ()
+        ~journal ~checkpoint_every ~fsync ~recover ~telemetry_port
+        ~telemetry_csv ~telemetry_every_s ~flight ?metrics_out ?trace_out ()
     with
     | Error e ->
       Format.eprintf "serve: %s@." e;
@@ -902,6 +939,8 @@ let serve_cmd =
         o.reissues o.duplicates o.retry_afters o.protocol_errors;
       Option.iter (Format.printf "trace -> %s@.") trace_out;
       Option.iter (Format.printf "metrics -> %s@.") metrics_out;
+      Option.iter (Format.printf "telemetry csv -> %s@.") telemetry_csv;
+      Option.iter (Format.printf "flight ring -> %s@.") flight;
       if o.completions <> o.n_tasks || o.inflight <> 0 then exit 1
   in
   Cmd.v
@@ -909,11 +948,13 @@ let serve_cmd =
        ~doc:
          "Lease a dag's eligible tasks to remote workers over loopback TCP \
           (length-prefixed binary frames, sharded frontier, lease expiry \
-          and re-issue; optional write-ahead journal and crash recovery)")
+          and re-issue; optional write-ahead journal, crash recovery, \
+          OpenMetrics telemetry endpoint and flight recorder)")
     Term.(
       const run $ family_opt $ load_arg $ port_arg $ shards_arg
       $ max_lease_arg $ expected_arg $ once_arg $ journal_arg
-      $ checkpoint_arg $ fsync_arg $ recover_arg $ metrics_out_arg
+      $ checkpoint_arg $ fsync_arg $ recover_arg $ telemetry_port_arg
+      $ telemetry_csv_arg $ telemetry_every_arg $ flight_arg $ metrics_out_arg
       $ trace_out_arg $ prof_term)
 
 let hammer_cmd =
@@ -988,11 +1029,21 @@ let hammer_cmd =
             "Write a per-worker busy-time CSV (worker,busy_s,utilization) on \
              exit")
   in
+  let metrics_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the client-side hammer.* metrics registry as JSON on exit \
+             (written even when the run ends by reconnect/reply timeout)")
+  in
   let run host port workers connections k churn seed mean_service_s think_s
-      chaos chaos_seed utilization_out =
+      chaos chaos_seed utilization_out metrics_out =
     match
       Served_support.hammer ~host ~port ~workers ~connections ~k ~churn ~seed
-        ~mean_service_s ~think_s ~chaos ~chaos_seed ~utilization_out ()
+        ~mean_service_s ~think_s ~chaos ~chaos_seed ~utilization_out
+        ?metrics_out ()
     with
     | Error e ->
       Format.eprintf "hammer: %s@." e;
@@ -1008,6 +1059,7 @@ let hammer_cmd =
       Format.printf "task service p50 %.6fs p99 %.6fs@." r.service_p50_s
         r.service_p99_s;
       Option.iter (Format.printf "utilization -> %s@.") utilization_out;
+      Option.iter (Format.printf "metrics -> %s@.") metrics_out;
       if not r.done_seen then exit 1
   in
   Cmd.v
@@ -1019,7 +1071,215 @@ let hammer_cmd =
     Term.(
       const run $ host_arg $ port_arg $ workers_arg $ connections_arg $ k_arg
       $ churn_arg $ seed_arg $ service_arg $ think_arg $ chaos_arg
-      $ chaos_seed_arg $ utilization_arg)
+      $ chaos_seed_arg $ utilization_arg $ metrics_out_arg)
+
+(* --- blackbox: read a flight-recorder ring back --- *)
+
+let blackbox_cmd =
+  let ring_pos =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"RING"
+          ~doc:"Flight-recorder ring file written by serve --flight")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:
+            "Write the recovered event tail as Chrome trace-event JSON (load \
+             it in Perfetto)")
+  in
+  let run ring out =
+    match Ic_obs.Flight.load ring with
+    | Error e ->
+      Format.eprintf "blackbox: %s@." e;
+      exit 2
+    | Ok d ->
+      let events = d.Ic_obs.Flight.events in
+      let n = Array.length events in
+      Format.printf "%s: %d of %d slots hold valid frames@." ring
+        d.Ic_obs.Flight.d_valid d.Ic_obs.Flight.d_slots;
+      if n > 0 then begin
+        let first = events.(0) and last = events.(n - 1) in
+        Format.printf "seq %d..%d, time %.6fs..%.6fs@."
+          first.Ic_obs.Flight.seq last.Ic_obs.Flight.seq
+          first.Ic_obs.Flight.time last.Ic_obs.Flight.time;
+        (* per-kind histogram of the surviving tail, stable order *)
+        let counts = Hashtbl.create 8 in
+        Array.iter
+          (fun (e : Ic_obs.Flight.event) ->
+            let k = Ic_obs.Trace.kind_name e.kind in
+            Hashtbl.replace counts k
+              (1 + Option.value ~default:0 (Hashtbl.find_opt counts k)))
+          events;
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts []
+        |> List.sort compare
+        |> List.iter (fun (k, v) -> Format.printf "  %-16s %d@." k v)
+      end;
+      Option.iter
+        (fun file ->
+          let oc = open_out file in
+          output_string oc
+            (Ic_obs.Exporter.chrome_trace
+               ~process_name:(Printf.sprintf "ic_sched blackbox: %s" ring)
+               (Ic_obs.Flight.to_trace d));
+          close_out oc;
+          Format.printf "%d events -> %s (chrome://tracing or \
+                         ui.perfetto.dev)@."
+            n file)
+        out
+  in
+  Cmd.v
+    (Cmd.info "blackbox"
+       ~doc:
+         "Recover the event tail from a flight-recorder ring (CRC-framed, \
+          mmap'd, survives kill -9) and summarize or export it to Perfetto")
+    Term.(const run $ ring_pos $ out_arg)
+
+(* --- top: a terminal dashboard over the telemetry endpoint --- *)
+
+let top_cmd =
+  let host_arg =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"HOST" ~doc:"Telemetry endpoint address")
+  in
+  let tport_arg =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:"Telemetry port printed by serve --telemetry-port")
+  in
+  let interval_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "interval" ] ~docv:"S" ~doc:"Seconds between refreshes")
+  in
+  let iterations_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "iterations" ] ~docv:"N"
+          ~doc:"Stop after N refreshes (0 = run until interrupted)")
+  in
+  let once_arg =
+    Arg.(
+      value & flag
+      & info [ "once" ]
+          ~doc:"Print a single plain sample and exit (for scripts)")
+  in
+  let scrape host port =
+    let addr =
+      let ip =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      in
+      Unix.ADDR_INET (ip, port)
+    in
+    let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+    Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    @@ fun () ->
+    Unix.connect fd addr;
+    let req = Bytes.of_string "GET /metrics HTTP/1.0\r\n\r\n" in
+    ignore (Unix.write fd req 0 (Bytes.length req));
+    let buf = Buffer.create 4096 in
+    let chunk = Bytes.create 4096 in
+    let rec drain () =
+      let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+      if n > 0 then begin
+        Buffer.add_subbytes buf chunk 0 n;
+        drain ()
+      end
+    in
+    drain ();
+    Buffer.contents buf
+  in
+  (* keep `name value` samples in exposition order; histogram bucket
+     lines (the only labelled ones) are folded out *)
+  let parse page =
+    let body =
+      (* skip the HTTP header block if one is present *)
+      let sep = "\r\n\r\n" in
+      let n = String.length page and sn = String.length sep in
+      let rec find i =
+        if i + sn > n then None
+        else if String.sub page i sn = sep then Some (i + sn)
+        else find (i + 1)
+      in
+      match find 0 with
+      | Some i -> String.sub page i (n - i)
+      | None -> page
+    in
+    String.split_on_char '\n' body
+    |> List.filter_map (fun line ->
+           let line = String.trim line in
+           if line = "" || line.[0] = '#' || String.contains line '{' then
+             None
+           else
+             match String.index_opt line ' ' with
+             | None -> None
+             | Some i ->
+               Some
+                 ( String.sub line 0 i,
+                   String.trim
+                     (String.sub line (i + 1) (String.length line - i - 1)) ))
+  in
+  let ends_with_total name =
+    let n = String.length name in
+    n >= 6 && String.sub name (n - 6) 6 = "_total"
+  in
+  let run host port interval iterations once =
+    let iterations = if once then 1 else iterations in
+    let prev = ref [] in
+    let t_prev = ref 0.0 in
+    let i = ref 0 in
+    try
+      while iterations = 0 || !i < iterations do
+        if !i > 0 then Unix.sleepf interval;
+        incr i;
+        let t = Unix.gettimeofday () in
+        let sample = parse (scrape host port) in
+        if not once then print_string "\027[H\027[2J";
+        Format.printf "ic_sched top — %s:%d — sample %d@." host port !i;
+        List.iter
+          (fun (name, v) ->
+            let rate =
+              if !i > 1 && ends_with_total name then
+                match
+                  (List.assoc_opt name !prev, float_of_string_opt v)
+                with
+                | Some pv, Some fv -> (
+                  match float_of_string_opt pv with
+                  | Some fpv when t > !t_prev ->
+                    Some ((fv -. fpv) /. (t -. !t_prev))
+                  | _ -> None)
+                | _ -> None
+              else None
+            in
+            match rate with
+            | Some r -> Format.printf "  %-44s %16s %12.1f/s@." name v r
+            | None -> Format.printf "  %-44s %16s@." name v)
+          sample;
+        flush stdout;
+        prev := sample;
+        t_prev := t
+      done
+    with Unix.Unix_error (e, fn, _) ->
+      Format.eprintf "top: %s: %s@." fn (Unix.error_message e);
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Poll a serve --telemetry-port endpoint and render the live \
+          counters (with per-second rates) as a refreshing terminal \
+          dashboard")
+    Term.(
+      const run $ host_arg $ tport_arg $ interval_arg $ iterations_arg
+      $ once_arg)
 
 (* --- prio --- *)
 
@@ -1048,7 +1308,7 @@ let main =
        ~doc:"IC-Scheduling Theory: dags, IC-optimal schedules, and simulation")
     [ info_cmd; dot_cmd; schedule_cmd; verify_cmd; simulate_cmd; compare_cmd;
       trace_cmd; batch_cmd; auto_cmd; prio_cmd; snapshot_cmd; run_cmd;
-      serve_cmd; hammer_cmd ]
+      serve_cmd; hammer_cmd; blackbox_cmd; top_cmd ]
 
 (* cmdliner only knows single-char names as short options, but the trace
    subcommand documents the GNU-ish spelling --n for its size parameter,

@@ -32,6 +32,10 @@ val serve :
   checkpoint_every:int ->
   fsync:bool ->
   recover:bool ->
+  telemetry_port:int option ->
+  telemetry_csv:string option ->
+  telemetry_every_s:float ->
+  flight:string option ->
   ?metrics_out:string ->
   ?trace_out:string ->
   unit ->
@@ -49,12 +53,22 @@ val serve :
    replay instead of starting fresh — previously journaled completions
    are never re-leased, leased-but-unjournaled tasks are re-issued.
 
+   [telemetry_port] opens a second loopback listener (0 picks a free
+   one; the bound port is printed as "telemetry on 127.0.0.1:PORT")
+   answering every request with one OpenMetrics text page of the live
+   served.* registry and process gauges — what `ic_sched top` and a
+   Prometheus scraper read. [telemetry_csv] appends a counters snapshot
+   row every [telemetry_every_s] seconds. [flight] names an mmap'd flight-recorder
+   ring: every allocation/completion/expiry lands in it and survives
+   kill -9 (read it back with `ic_sched blackbox`); with [recover] an
+   existing ring of the same geometry is continued, not truncated.
+
    [metrics_out]/[trace_out] write the served.* metrics registry as
    JSON and a Chrome trace-event file with one track per shard after
    the loop exits. Errors: invalid config, a bind failure, a journal
-   that cannot be opened or does not fit the dag, [recover] without
-   [journal], or — from the stub — the subsystem not being built on
-   this compiler. *)
+   that cannot be opened or does not fit the dag, a flight ring that
+   cannot be created, [recover] without [journal], or — from the stub —
+   the subsystem not being built on this compiler. *)
 
 type hammer_outcome = {
   h_workers : int;
@@ -83,6 +97,7 @@ val hammer :
   chaos:float ->
   chaos_seed:int ->
   utilization_out:string option ->
+  ?metrics_out:string ->
   unit ->
   (hammer_outcome, string) result
 (* Drive [workers] simulated workers (lease batches of [k], seeded
@@ -92,6 +107,10 @@ val hammer :
    dropped and bit-flipped at that rate, truncated at half of it, from
    the deterministic stream seeded by [chaos_seed] — the client heals
    by reply timeout and reconnect. [utilization_out] writes a
-   per-worker busy-time CSV (worker,busy_s,utilization). Errors:
-   invalid config, connection refused, or — from the stub — the
-   subsystem not being built. *)
+   per-worker busy-time CSV (worker,busy_s,utilization); [metrics_out]
+   writes the client-side hammer.* registry as JSON. Both files are
+   written on every exit that produced a result — including runs cut
+   short by a dead server once the reconnect/reply-timeout budget is
+   exhausted, which previously discarded them. Errors: invalid config,
+   the initial dial refused, or — from the stub — the subsystem not
+   being built. *)

@@ -35,11 +35,12 @@ let unavailable =
      this compiler)"
 
 let serve ~dag:_ ~port:_ ~shards:_ ~max_lease:_ ~expected_s:_ ~once:_
-    ~journal:_ ~checkpoint_every:_ ~fsync:_ ~recover:_ ?metrics_out:_
+    ~journal:_ ~checkpoint_every:_ ~fsync:_ ~recover:_ ~telemetry_port:_
+    ~telemetry_csv:_ ~telemetry_every_s:_ ~flight:_ ?metrics_out:_
     ?trace_out:_ () =
   unavailable
 
 let hammer ~host:_ ~port:_ ~workers:_ ~connections:_ ~k:_ ~churn:_ ~seed:_
-    ~mean_service_s:_ ~think_s:_ ~chaos:_ ~chaos_seed:_ ~utilization_out:_ ()
-    =
+    ~mean_service_s:_ ~think_s:_ ~chaos:_ ~chaos_seed:_ ~utilization_out:_
+    ?metrics_out:_ () =
   unavailable

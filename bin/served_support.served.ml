@@ -35,7 +35,8 @@ let write_file file contents =
   close_out oc
 
 let serve ~dag ~port ~shards ~max_lease ~expected_s ~once ~journal
-    ~checkpoint_every ~fsync ~recover ?metrics_out ?trace_out () =
+    ~checkpoint_every ~fsync ~recover ~telemetry_port ~telemetry_csv
+    ~telemetry_every_s ~flight ?metrics_out ?trace_out () =
   match
     Ic_served.Server.config ~n_shards:shards ~max_lease ~expected_s ()
   with
@@ -54,6 +55,22 @@ let serve ~dag ~port ~shards ~max_lease ~expected_s ~once ~journal
     match jr with
     | Error e -> Error e
     | Ok j -> (
+      (* the flight ring reopens in place under --recover: same
+         geometry means the pre-crash frames stay put and numbering
+         continues, so blackbox shows the tail across the kill *)
+      let fr =
+        match flight with
+        | None -> Ok None
+        | Some path -> (
+          match Ic_obs.Flight.create path with
+          | Ok f -> Ok (Some f)
+          | Error e ->
+            Option.iter Ic_served.Journal.close j;
+            Error e)
+      in
+      match fr with
+      | Error e -> Error e
+      | Ok fl -> (
       let sink = Option.map (fun _ -> Ic_obs.Trace.create ()) trace_out in
       let registry =
         Option.map (fun _ -> Ic_obs.Metrics.create ()) metrics_out
@@ -61,6 +78,14 @@ let serve ~dag ~port ~shards ~max_lease ~expected_s ~once ~journal
       match
         Ic_served.Tcp.serve ?metrics:registry ?sink ?journal:j ~recover
           ~log:(fun line -> Printf.eprintf "ic_sched serve: %s\n%!" line)
+          ?flight:fl ?telemetry_port ?telemetry_csv
+          ~telemetry_every_s
+          ?on_telemetry_listen:
+            (Option.map
+               (fun _ p ->
+                 Format.printf "telemetry on 127.0.0.1:%d@." p;
+                 flush stdout)
+               telemetry_port)
           ~on_listen:(fun p ->
             Format.printf "serving %d tasks on 127.0.0.1:%d (%d shards)@."
               (Ic_dag.Dag.n_nodes dag) p shards;
@@ -72,12 +97,15 @@ let serve ~dag ~port ~shards ~max_lease ~expected_s ~once ~journal
       with
       | exception Unix.Unix_error (e, fn, _) ->
         Option.iter Ic_served.Journal.close j;
+        Option.iter Ic_obs.Flight.close fl;
         Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
       | exception Invalid_argument msg ->
         Option.iter Ic_served.Journal.close j;
+        Option.iter Ic_obs.Flight.close fl;
         Error msg
       | st ->
         Option.iter Ic_served.Journal.close j;
+        Option.iter Ic_obs.Flight.close fl;
         Option.iter
           (fun file ->
             write_file file
@@ -106,10 +134,29 @@ let serve ~dag ~port ~shards ~max_lease ~expected_s ~once ~journal
             inflight = st.Ic_served.Server.inflight;
             recovered_tasks = st.Ic_served.Server.recovered_tasks;
             recovered_reissues = st.Ic_served.Server.recovered_reissues;
-          }))
+          })))
+
+(* the client-side registry mirrors what the hammer measured; written
+   via Metrics so the JSON shape matches every other artifact *)
+let hammer_metrics_json (r : Ic_served.Tcp.hammer_result) =
+  let m = Ic_obs.Metrics.create () in
+  let c name v = Ic_obs.Metrics.incr ~by:v (Ic_obs.Metrics.counter m name) in
+  let g name v = Ic_obs.Metrics.set (Ic_obs.Metrics.gauge m name) v in
+  c "hammer.workers" r.Ic_served.Tcp.workers;
+  c "hammer.completes_sent" r.Ic_served.Tcp.completes_sent;
+  c "hammer.crashed" r.Ic_served.Tcp.crashed;
+  c "hammer.disconnects" r.Ic_served.Tcp.disconnects;
+  c "hammer.reconnects" r.Ic_served.Tcp.reconnects;
+  c "hammer.done_seen" (if r.Ic_served.Tcp.done_seen then 1 else 0);
+  g "hammer.wall_s" r.Ic_served.Tcp.wall_s;
+  g "hammer.lease_grant_p50_s" r.Ic_served.Tcp.lease_grant_p50_s;
+  g "hammer.lease_grant_p99_s" r.Ic_served.Tcp.lease_grant_p99_s;
+  g "hammer.task_service_p50_s" r.Ic_served.Tcp.task_service_p50_s;
+  g "hammer.task_service_p99_s" r.Ic_served.Tcp.task_service_p99_s;
+  Ic_obs.Metrics.to_json m
 
 let hammer ~host ~port ~workers ~connections ~k ~churn ~seed ~mean_service_s
-    ~think_s ~chaos ~chaos_seed ~utilization_out () =
+    ~think_s ~chaos ~chaos_seed ~utilization_out ?metrics_out () =
   let plan =
     if churn then
       Ic_fault.Plan.make ~crash_rate:0.002 ~disconnect_rate:0.02
@@ -135,8 +182,15 @@ let hammer ~host ~port ~workers ~connections ~k ~churn ~seed ~mean_service_s
     with
     | exception Invalid_argument msg -> Error msg
     | cfg -> (
-      match Ic_served.Tcp.hammer ~host ~connections ?chaos:wire ~port cfg with
+      match
+        Ic_served.Tcp.hammer ~host ~connections ?chaos:wire
+          ~log:(fun line -> Printf.eprintf "ic_sched hammer: %s\n%!" line)
+          ~port cfg
+      with
       | exception Unix.Unix_error (e, fn, _) ->
+        (* only the initial dial raises now — mid-run socket losses
+           finalize inside Tcp.hammer and land in the [r] branch below,
+           so the CSV/JSON artifacts survive a server that died *)
         Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
       | r ->
         Option.iter
@@ -153,6 +207,8 @@ let hammer ~host ~port ~workers ~connections ~k ~churn ~seed ~mean_service_s
               r.Ic_served.Tcp.busy_s;
             write_file file (Buffer.contents b))
           utilization_out;
+        Option.iter (fun file -> write_file file (hammer_metrics_json r))
+          metrics_out;
         Ok
           {
             h_workers = r.Ic_served.Tcp.workers;

@@ -28,7 +28,7 @@ let chrome_trace ?(process_name = "ic_sched")
       | Client_stall | Client_resume | Client_crash | Client_rejoin ->
         if e.a > !max_client then max_client := e.a
       | Frontier_push | Frontier_pop | Eligible_count | Retry_scheduled
-      | Speculative_launch -> ())
+      | Speculative_launch | Frontier_depth | Inflight -> ())
     tr;
   let n_clients = !max_client + 1 in
   let buf = Buffer.create 4096 in
@@ -139,6 +139,19 @@ let chrome_trace ?(process_name = "ic_sched")
           (Printf.sprintf
              "{\"ph\": \"C\", \"pid\": 0, \"tid\": 0, \"ts\": %s, \"name\": \
               \"|ELIGIBLE|\", \"args\": {\"eligible\": %d}}"
+             (us e.time) e.a)
+      | Frontier_depth ->
+        (* one counter track per shard, next to |ELIGIBLE| *)
+        entry
+          (Printf.sprintf
+             "{\"ph\": \"C\", \"pid\": 0, \"tid\": 0, \"ts\": %s, \"name\": \
+              \"|READY shard%d|\", \"args\": {\"ready\": %d}}"
+             (us e.time) e.a e.b)
+      | Inflight ->
+        entry
+          (Printf.sprintf
+             "{\"ph\": \"C\", \"pid\": 0, \"tid\": 0, \"ts\": %s, \"name\": \
+              \"|INFLIGHT|\", \"args\": {\"inflight\": %d}}"
              (us e.time) e.a))
     tr;
   if !first then Buffer.add_string buf "[\n";

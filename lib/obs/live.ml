@@ -1,0 +1,340 @@
+(* Domain-safe instruments. The design constraint is the write path: a
+   counter increment from inside Ic_par's work loop or Ic_served's
+   select loop must cost one atomic RMW on a cell nobody else writes,
+   and an absent registry must cost one branch at the call site. The
+   read side (scrape endpoint, top dashboard) merges whatever it finds;
+   it runs a few times a second, so it can afford to sum cells and
+   rebuild quantiles from buckets.
+
+   Registration is guarded by a tiny spin lock rather than Mutex so the
+   library keeps building on 4.14 without a threads dependency; it only
+   protects the name table — instruments themselves are immutable
+   records over Atomic cells. Counter cells are allocated with spacer
+   arrays between them so consecutive cells land on different cache
+   lines (minor-heap allocation is sequential and promotion preserves
+   order). *)
+
+type counter = {
+  cells : int Atomic.t array;
+  c_mask : int;
+  (* spacers between the cells; kept reachable so the GC cannot
+     collect them and later allocations cannot slide the cells onto a
+     shared cache line *)
+  _c_pads : int array array;
+}
+
+type gauge = float Atomic.t
+
+(* two buckets per octave over 2^-20 .. 2^12: index 2*(e - lo_e) + (0 if
+   mantissa < 0.75 else 1), saturating at both ends *)
+let lo_e = -20
+let n_buckets = 64
+
+type histogram = {
+  h_buckets : int Atomic.t array;
+  h_count : int Atomic.t;
+  (* fixed-point at nanosecond resolution: an atomic add instead of a
+     CAS loop over boxed floats; saturates after ~292 host-years *)
+  h_sum_ns : int Atomic.t;
+}
+
+type instrument = C of counter | G of gauge | H of histogram
+
+type t = {
+  n_shards : int;
+  lock : bool Atomic.t;
+  tbl : (string, instrument) Hashtbl.t;
+  created_at : float;
+}
+
+let rec pow2_ge n k = if k >= n then k else pow2_ge n (2 * k)
+
+let create ?(shards = 8) () =
+  let shards = pow2_ge (max shards 1) 1 in
+  {
+    n_shards = shards;
+    lock = Atomic.make false;
+    tbl = Hashtbl.create 32;
+    created_at = Unix.gettimeofday ();
+  }
+
+let shards t = t.n_shards
+
+let with_lock t f =
+  while not (Atomic.compare_and_set t.lock false true) do
+    ()
+  done;
+  Fun.protect ~finally:(fun () -> Atomic.set t.lock false) f
+
+let make_cells n =
+  let pads = Array.make n [||] in
+  let cells =
+    Array.init n (fun i ->
+        let c = Atomic.make 0 in
+        (* 15 words of spacing: cell box (2 words) + pad (16 words
+           with header) > one 64-byte line *)
+        pads.(i) <- Array.make 15 0;
+        c)
+  in
+  (cells, pads)
+
+let register t name make_i describe ~kind =
+  let i =
+    with_lock t (fun () ->
+        match Hashtbl.find_opt t.tbl name with
+        | Some i -> i
+        | None ->
+          let i = make_i () in
+          Hashtbl.replace t.tbl name i;
+          i)
+  in
+  match describe i with
+  | Some v -> v
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Live.%s: %s is registered as another instrument kind"
+         kind name)
+
+let counter t name =
+  register t name ~kind:"counter"
+    (fun () ->
+      let cells, pads = make_cells t.n_shards in
+      C { cells; c_mask = t.n_shards - 1; _c_pads = pads })
+    (function C c -> Some c | _ -> None)
+
+let gauge t name =
+  register t name ~kind:"gauge"
+    (fun () -> G (Atomic.make 0.0))
+    (function G g -> Some g | _ -> None)
+
+let histogram t name =
+  register t name ~kind:"histogram"
+    (fun () ->
+      H
+        {
+          h_buckets = Array.init n_buckets (fun _ -> Atomic.make 0);
+          h_count = Atomic.make 0;
+          h_sum_ns = Atomic.make 0;
+        })
+    (function H h -> Some h | _ -> None)
+
+(* ----------------------------------------------------------- hot path *)
+
+let incr c ~shard n =
+  ignore (Atomic.fetch_and_add c.cells.(shard land c.c_mask) n)
+
+let set g v = Atomic.set g v
+
+let bucket_of x =
+  if not (Float.is_finite x) || x <= 0.0 then 0
+  else begin
+    let m, e = Float.frexp x in
+    let i = (2 * (e - lo_e)) + if m < 0.75 then 0 else 1 in
+    if i < 0 then 0 else if i >= n_buckets then n_buckets - 1 else i
+  end
+
+let observe h x =
+  ignore (Atomic.fetch_and_add h.h_buckets.(bucket_of x) 1);
+  ignore (Atomic.fetch_and_add h.h_count 1);
+  if Float.is_finite x && x > 0.0 then begin
+    let ns = int_of_float (x *. 1e9) in
+    ignore (Atomic.fetch_and_add h.h_sum_ns ns)
+  end
+
+(* ------------------------------------------------------ merge-on-read *)
+
+let counter_value c =
+  let s = ref 0 in
+  Array.iter (fun cell -> s := !s + Atomic.get cell) c.cells;
+  !s
+
+let gauge_value g = Atomic.get g
+
+type hsnap = { counts : int array; sum : float; count : int }
+
+let histogram_snapshot h =
+  {
+    counts = Array.init n_buckets (fun i -> Atomic.get h.h_buckets.(i));
+    sum = float_of_int (Atomic.get h.h_sum_ns) /. 1e9;
+    count = Atomic.get h.h_count;
+  }
+
+let hsnap_sub a b =
+  {
+    counts = Array.init n_buckets (fun i -> max 0 (a.counts.(i) - b.counts.(i)));
+    sum = a.sum -. b.sum;
+    count = max 0 (a.count - b.count);
+  }
+
+let bucket_upper i =
+  let base = Float.ldexp 1.0 (lo_e + (i / 2)) in
+  if i land 1 = 0 then 0.75 *. base else base
+
+let bucket_lower i = if i = 0 then bucket_upper 0 /. 2.0 else bucket_upper (i - 1)
+
+let quantile s q =
+  if s.count <= 0 then nan
+  else begin
+    let target = Float.max 1.0 (q *. float_of_int s.count) in
+    let res = ref nan in
+    let cum = ref 0 in
+    (try
+       for i = 0 to n_buckets - 1 do
+         cum := !cum + s.counts.(i);
+         if float_of_int !cum >= target then begin
+           res := sqrt (bucket_lower i *. bucket_upper i);
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !res
+  end
+
+(* ---------------------------------------------------------- rendering *)
+
+let sorted_instruments t =
+  with_lock t (fun () -> Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.tbl [])
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let sanitize name =
+  String.map
+    (fun ch ->
+      match ch with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> ch
+      | _ -> '_')
+    name
+
+let fmt_float x =
+  if Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.9g" x
+
+let rss_bytes () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> 0
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec scan () =
+          match input_line ic with
+          | exception End_of_file -> 0
+          | line ->
+            if String.length line >= 6 && String.sub line 0 6 = "VmRSS:" then begin
+              let kb = ref 0 in
+              String.iter
+                (fun ch ->
+                  if ch >= '0' && ch <= '9' then
+                    kb := (!kb * 10) + (Char.code ch - Char.code '0'))
+                line;
+              !kb * 1024
+            end
+            else scan ()
+        in
+        scan ())
+
+let add_histogram_exposition buf name h =
+  let s = histogram_snapshot h in
+  Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" name);
+  let cum = ref 0 in
+  for i = 0 to n_buckets - 1 do
+    cum := !cum + s.counts.(i);
+    (* cumulative semantics survive skipping empty buckets; render only
+       the occupied ones plus +Inf to keep the exposition small *)
+    if s.counts.(i) > 0 && i < n_buckets - 1 then
+      Buffer.add_string buf
+        (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" name
+           (fmt_float (bucket_upper i))
+           !cum)
+  done;
+  Buffer.add_string buf
+    (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" name s.count);
+  Buffer.add_string buf (Printf.sprintf "%s_sum %s\n" name (fmt_float s.sum));
+  Buffer.add_string buf (Printf.sprintf "%s_count %d\n" name s.count)
+
+let openmetrics ?(process = true) t =
+  let buf = Buffer.create 2048 in
+  List.iter
+    (fun (name, i) ->
+      let name = sanitize name in
+      match i with
+      | C c ->
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" name);
+        Buffer.add_string buf
+          (Printf.sprintf "%s_total %d\n" name (counter_value c))
+      | G g ->
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" name);
+        Buffer.add_string buf
+          (Printf.sprintf "%s %s\n" name (fmt_float (gauge_value g)))
+      | H h -> add_histogram_exposition buf name h)
+    (sorted_instruments t);
+  if process then begin
+    let gc = Gc.quick_stat () in
+    Buffer.add_string buf "# TYPE process_resident_memory_bytes gauge\n";
+    Buffer.add_string buf
+      (Printf.sprintf "process_resident_memory_bytes %d\n" (rss_bytes ()));
+    Buffer.add_string buf "# TYPE process_uptime_seconds gauge\n";
+    Buffer.add_string buf
+      (Printf.sprintf "process_uptime_seconds %s\n"
+         (fmt_float (Unix.gettimeofday () -. t.created_at)));
+    Buffer.add_string buf "# TYPE ocaml_gc_minor_collections counter\n";
+    Buffer.add_string buf
+      (Printf.sprintf "ocaml_gc_minor_collections_total %d\n" gc.Gc.minor_collections);
+    Buffer.add_string buf "# TYPE ocaml_gc_major_collections counter\n";
+    Buffer.add_string buf
+      (Printf.sprintf "ocaml_gc_major_collections_total %d\n" gc.Gc.major_collections);
+    Buffer.add_string buf "# TYPE ocaml_gc_heap_words gauge\n";
+    Buffer.add_string buf
+      (Printf.sprintf "ocaml_gc_heap_words %d\n" gc.Gc.heap_words)
+  end;
+  Buffer.add_string buf "# EOF\n";
+  Buffer.contents buf
+
+let to_json t =
+  let instruments = sorted_instruments t in
+  let buf = Buffer.create 2048 in
+  let section tag filter render =
+    Buffer.add_string buf (Printf.sprintf "%s: {" (Json.quote tag));
+    let first = ref true in
+    List.iter
+      (fun (name, i) ->
+        match filter i with
+        | None -> ()
+        | Some v ->
+          if not !first then Buffer.add_string buf ", ";
+          first := false;
+          Buffer.add_string buf (Json.quote name);
+          Buffer.add_string buf ": ";
+          render v)
+      instruments;
+    Buffer.add_string buf "}"
+  in
+  Buffer.add_string buf "{";
+  section "counters"
+    (function C c -> Some (counter_value c) | _ -> None)
+    (fun v -> Buffer.add_string buf (string_of_int v));
+  Buffer.add_string buf ", ";
+  section "gauges"
+    (function G g -> Some (gauge_value g) | _ -> None)
+    (fun v -> Buffer.add_string buf (fmt_float v));
+  Buffer.add_string buf ", ";
+  section "histograms"
+    (function H h -> Some (histogram_snapshot h) | _ -> None)
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf "{\"count\": %d, \"sum\": %s, \"buckets\": [" s.count
+           (fmt_float s.sum));
+      let first = ref true in
+      let cum = ref 0 in
+      for i = 0 to n_buckets - 1 do
+        cum := !cum + s.counts.(i);
+        if s.counts.(i) > 0 then begin
+          if not !first then Buffer.add_string buf ", ";
+          first := false;
+          Buffer.add_string buf
+            (Printf.sprintf "[%s, %d]" (fmt_float (bucket_upper i)) !cum)
+        end
+      done;
+      Buffer.add_string buf "]}");
+  Buffer.add_string buf "}";
+  Buffer.contents buf

@@ -44,18 +44,53 @@ type kind =
       (** [a] = client, [b] = 0 for a permanent crash, 1 for a transient
           disconnect *)
   | Client_rejoin  (** [a] = client; a disconnected client came back *)
+  | Frontier_depth
+      (** [a] = shard, [b] = depth; the ready pool of shard [a] held
+          [b] tasks after a server [handle] — the per-shard frontier
+          signal the serving stack samples live *)
+  | Inflight
+      (** [a] = number of leased-and-unresolved tasks after a server
+          [handle] *)
 
 val kind_name : kind -> string
 (** Stable lower-snake-case name, e.g. ["task_alloc"]. *)
+
+val kind_to_int : kind -> int
+(** The stable wire integer of the kind (what {!Flight} frames and the
+    columnar storage use); new kinds only ever append. *)
+
+val kind_of_int_opt : int -> kind option
+(** Inverse of {!kind_to_int}; [None] for integers no kind owns (a
+    corrupt or future frame). *)
 
 type event = { kind : kind; time : float; a : int; b : int }
 
 type t
 
-val create : ?capacity:int -> unit -> t
-(** An empty trace. [capacity] (default 1024) presizes the columns. *)
+val create : ?capacity:int -> ?limit:int -> ?metrics:Metrics.t -> unit -> t
+(** An empty trace. [capacity] (default 1024) presizes the columns.
+
+    With [limit] the trace is a bounded ring: it grows normally up to
+    [limit] events, then each further emission overwrites the oldest
+    retained event, so a long-running serve holds the most recent
+    [limit] events in constant space. Reads ({!get}, {!iter},
+    {!to_array}) always present the retained events oldest-first.
+    Without [limit] (the default) the trace is unbounded, which is what
+    seeded offline runs want — nothing is ever dropped, and equal runs
+    stay byte-identical.
+
+    [metrics] registers an [obs.dropped_events] counter in the given
+    registry, bumped once per overwritten event. *)
 
 val length : t -> int
+(** Number of retained events. *)
+
+val limit : t -> int
+(** The ring bound, or [0] when unbounded. *)
+
+val dropped : t -> int
+(** Events overwritten since creation (always [0] when unbounded).
+    Survives {!clear}: it counts over the trace's lifetime. *)
 
 val clear : t -> unit
 (** Forget all events, keeping the column storage. *)
@@ -82,6 +117,8 @@ val speculative_launch : t -> time:float -> task:int -> unit
 val replica_cancelled : t -> time:float -> task:int -> client:int -> unit
 val client_crash : t -> time:float -> client:int -> transient:bool -> unit
 val client_rejoin : t -> time:float -> client:int -> unit
+val frontier_depth : t -> time:float -> shard:int -> depth:int -> unit
+val inflight : t -> time:float -> count:int -> unit
 
 (** {1 Reading} *)
 

@@ -3,6 +3,7 @@ module Slab = Ic_dag.Slab
 module Frontier = Ic_dag.Frontier
 module Trace = Ic_obs.Trace
 module Metrics = Ic_obs.Metrics
+module Live = Ic_obs.Live
 
 type order = Steal | Ic_priority
 
@@ -98,6 +99,29 @@ module Overflow = struct
     end
 end
 
+(* live [par.*] instruments, shared by all domains: each worker writes
+   its own counter shard (shard = worker id), so the hot path is one
+   uncontended fetch-and-add per event and a scraper thread can merge a
+   consistent-enough view at any time *)
+type live_instr = {
+  lv_tasks : Live.counter;
+  lv_steals : Live.counter;
+  lv_steal_attempts : Live.counter;
+  lv_overflows : Live.counter;
+  lv_parks : Live.counter;
+  lv_task_s : Live.histogram;
+}
+
+let live_instr l =
+  {
+    lv_tasks = Live.counter l "par.tasks";
+    lv_steals = Live.counter l "par.steals";
+    lv_steal_attempts = Live.counter l "par.steal_attempts";
+    lv_overflows = Live.counter l "par.overflows";
+    lv_parks = Live.counter l "par.parks";
+    lv_task_s = Live.histogram l "par.task_s";
+  }
+
 (* per-worker mutable state, touched only by its own domain *)
 type worker = {
   id : int;
@@ -108,6 +132,7 @@ type worker = {
   mutable parks : int;
   mutable rng : int;  (* xorshift state for victim selection *)
   trace : Trace.t option;
+  lv : live_instr option;
 }
 
 let xorshift w =
@@ -131,6 +156,9 @@ let push_ready ready w v =
   | Deques (dq, ov) ->
     if not (Deque.push dq.(w.id) v) then begin
       w.overflows <- w.overflows + 1;
+      (match w.lv with
+      | None -> ()
+      | Some l -> Live.incr l.lv_overflows ~shard:w.id 1);
       Overflow.push ov v
     end
   | Shards p -> Pool.push p ~shard:w.id v
@@ -149,7 +177,7 @@ let steal_from ready victim =
   | Shards p -> Pool.try_steal p ~shard:victim
 
 let run ?domains ?(order = Steal) ?priority ?(capacity = 8192)
-    ?(park_min = 2e-6) ?(park_max = 1e-3) ?metrics ?sink g ~task =
+    ?(park_min = 2e-6) ?(park_max = 1e-3) ?metrics ?sink ?live g ~task =
   if (not (Float.is_finite park_min)) || park_min <= 0.0 then
     invalid_arg "Runtime.run: park_min must be finite and positive";
   if (not (Float.is_finite park_max)) || park_max < park_min then
@@ -170,6 +198,13 @@ let run ?domains ?(order = Steal) ?priority ?(capacity = 8192)
       Metrics.set (Metrics.gauge m "par.domains") (float_of_int st.domains);
       Metrics.set (Metrics.gauge m "par.wall_s") st.wall_s
   in
+  let record_live (st : stats) =
+    match live with
+    | None -> ()
+    | Some l ->
+      Live.set (Live.gauge l "par.domains") (float_of_int st.domains);
+      Live.set (Live.gauge l "par.wall_s") st.wall_s
+  in
   if n = 0 then begin
     let st =
       {
@@ -184,6 +219,7 @@ let run ?domains ?(order = Steal) ?priority ?(capacity = 8192)
       }
     in
     record_metrics st;
+    record_live st;
     st
   end
   else begin
@@ -204,6 +240,7 @@ let run ?domains ?(order = Steal) ?priority ?(capacity = 8192)
     let counts = Counts.create g in
     let completed = Atomic.make 0 in
     let off = Dag.succ_offsets g and dat = Dag.succ_targets g in
+    let lv = Option.map live_instr live in
     let workers =
       Array.init n_domains (fun id ->
           {
@@ -216,6 +253,7 @@ let run ?domains ?(order = Steal) ?priority ?(capacity = 8192)
             rng = (id * 0x9e3779b9) lor 1;
             trace =
               (match sink with None -> None | Some _ -> Some (Trace.create ()));
+            lv;
           })
     in
     (* seed the sources round-robin; no domain is running yet, so pushing
@@ -229,6 +267,9 @@ let run ?domains ?(order = Steal) ?priority ?(capacity = 8192)
         end);
     let t0 = Ic_prof.Monotonic.now () in
     let run_task w v =
+      let lt0 =
+        match w.lv with None -> 0.0 | Some _ -> Ic_prof.Monotonic.now ()
+      in
       (match w.trace with
       | None -> ()
       | Some tr ->
@@ -240,6 +281,11 @@ let run ?domains ?(order = Steal) ?priority ?(capacity = 8192)
       | Some tr ->
         Trace.task_complete tr ~time:(Ic_prof.Monotonic.now () -. t0) ~task:v
           ~client:w.id);
+      (match w.lv with
+      | None -> ()
+      | Some l ->
+        Live.incr l.lv_tasks ~shard:w.id 1;
+        Live.observe l.lv_task_s (Ic_prof.Monotonic.now () -. lt0));
       w.tasks <- w.tasks + 1;
       for i = Slab.unsafe_get off v to Slab.unsafe_get off (v + 1) - 1 do
         let s = Slab.unsafe_get dat i in
@@ -268,9 +314,15 @@ let run ?domains ?(order = Steal) ?priority ?(capacity = 8192)
                 if r >= w.id then r + 1 else r
               in
               w.steal_attempts <- w.steal_attempts + 1;
+              (match w.lv with
+              | None -> ()
+              | Some l -> Live.incr l.lv_steal_attempts ~shard:w.id 1);
               match steal_from ready victim with
               | Some v ->
                 w.steals <- w.steals + 1;
+                (match w.lv with
+                | None -> ()
+                | Some l -> Live.incr l.lv_steals ~shard:w.id 1);
                 found := Some v
               | None -> ()
             done;
@@ -289,6 +341,9 @@ let run ?domains ?(order = Steal) ?priority ?(capacity = 8192)
                 done
               else begin
                 w.parks <- w.parks + 1;
+                (match w.lv with
+                | None -> ()
+                | Some l -> Live.incr l.lv_parks ~shard:w.id 1);
                 Unix.sleepf
                   (Float.min park_max (float_of_int !backoff *. park_min))
               end
@@ -338,14 +393,15 @@ let run ?domains ?(order = Steal) ?priority ?(capacity = 8192)
       }
     in
     record_metrics st;
+    record_live st;
     st
   end
 
 let executor ?domains ?order ?priority ?capacity ?park_min ?park_max ?metrics
-    ?sink ?on_stats () =
+    ?sink ?live ?on_stats () =
  fun g step ->
   let st =
     run ?domains ?order ?priority ?capacity ?park_min ?park_max ?metrics ?sink
-      g ~task:step
+      ?live g ~task:step
   in
   match on_stats with None -> () | Some f -> f st

@@ -51,6 +51,7 @@ val run :
   ?park_max:float ->
   ?metrics:Ic_obs.Metrics.t ->
   ?sink:Ic_obs.Trace.t ->
+  ?live:Ic_obs.Live.t ->
   Ic_dag.Dag.t ->
   task:(int -> unit) ->
   stats
@@ -83,7 +84,16 @@ val run :
     with wall-clock seconds since the run started and carrying the
     executing domain as the client id — per-domain buffers are merged
     into [sink] time-sorted after the join, so the Perfetto exporter
-    renders one track per domain. Neither costs anything when absent. *)
+    renders one track per domain. Neither costs anything when absent.
+
+    [live], when given, receives the same [par.*] counters {e while the
+    run is executing}: each domain increments its own shard of the
+    {!Ic_obs.Live} sharded cells (shard = worker id), plus a
+    [par.task_s] latency histogram per task — so a scrape endpoint in
+    another thread of control reads monotone, domain-safe counts
+    mid-run. The [par.domains] / [par.wall_s] gauges are set at the
+    join. Costs one branch per event when absent; create the registry
+    with [~shards] at least [domains] to keep the cells uncontended. *)
 
 val executor :
   ?domains:int ->
@@ -94,6 +104,7 @@ val executor :
   ?park_max:float ->
   ?metrics:Ic_obs.Metrics.t ->
   ?sink:Ic_obs.Trace.t ->
+  ?live:Ic_obs.Live.t ->
   ?on_stats:(stats -> unit) ->
   unit ->
   Ic_dag.Dag.t ->

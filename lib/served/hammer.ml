@@ -266,8 +266,8 @@ let drive ?metrics srv cfg =
     busy_s = busy;
   }
 
-let run_virtual ?metrics ?sink ~server:scfg cfg g =
-  drive ?metrics (Server.create ?metrics ?sink scfg g) cfg
+let run_virtual ?metrics ?sink ?live ?flight ~server:scfg cfg g =
+  drive ?metrics (Server.create ?metrics ?sink ?live ?flight scfg g) cfg
 
 (* ----------------------------------------------------------- chaos run *)
 
@@ -288,11 +288,12 @@ type cev =
   | C_to_worker of int * int * Wire.msg  (* worker, epoch at emission *)
   | C_retry of int * int * int  (* worker, epoch, request seq *)
 
-let run_chaos ?metrics ?sink ~server:scfg ~wire ?(reply_timeout_s = 1.0) cfg g =
+let run_chaos ?metrics ?sink ?live ?flight ~server:scfg ~wire
+    ?(reply_timeout_s = 1.0) cfg g =
   if (not (Float.is_finite reply_timeout_s)) || reply_timeout_s <= 0.0 then
     invalid_arg "Hammer.run_chaos: reply_timeout_s must be finite and positive";
   let t_start = Monotonic.now () in
-  let srv = Server.create ?metrics ?sink scfg g in
+  let srv = Server.create ?metrics ?sink ?live ?flight scfg g in
   let w = cfg.workers in
   let c2s = Chaos.create wire ~dir:0 in
   let s2c = Chaos.create wire ~dir:1 in

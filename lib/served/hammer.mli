@@ -70,6 +70,8 @@ type result = {
 val run_virtual :
   ?metrics:Ic_obs.Metrics.t ->
   ?sink:Ic_obs.Trace.t ->
+  ?live:Ic_obs.Live.t ->
+  ?flight:Ic_obs.Flight.t ->
   server:Server.config ->
   config ->
   Ic_dag.Dag.t ->
@@ -77,7 +79,10 @@ val run_virtual :
 (** Run to completion (or to starvation, if churn killed every worker)
     under the virtual clock. [metrics]/[sink] are handed to the embedded
     {!Server}; with a fixed seed the registry's JSON dump and the trace
-    are byte-identical across runs. *)
+    are byte-identical across runs. [live]/[flight] are likewise handed
+    to the server: the live registry mirrors the [served.*] meters
+    concurrently-readably, and neither perturbs the deterministic
+    [metrics]/[sink] artifacts. *)
 
 val drive : ?metrics:Ic_obs.Metrics.t -> Server.t -> config -> result
 (** {!run_virtual} against an {e existing} server — the recovery
@@ -110,6 +115,8 @@ type chaos_result = {
 val run_chaos :
   ?metrics:Ic_obs.Metrics.t ->
   ?sink:Ic_obs.Trace.t ->
+  ?live:Ic_obs.Live.t ->
+  ?flight:Ic_obs.Flight.t ->
   server:Server.config ->
   wire:Ic_fault.Plan.Wire.t ->
   ?reply_timeout_s:float ->

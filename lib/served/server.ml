@@ -3,6 +3,8 @@ module Shard_view = Ic_dag.Shard_view
 module Recovery = Ic_fault.Recovery
 module Metrics = Ic_obs.Metrics
 module Trace = Ic_obs.Trace
+module Live = Ic_obs.Live
+module Flight = Ic_obs.Flight
 module Heap = Ic_heuristics.Heap
 
 type config = {
@@ -52,6 +54,25 @@ type meters = {
   m_errors : Metrics.counter;
   m_shard_leased : Metrics.counter array;
   m_service : Metrics.histogram;
+  m_frontier : Metrics.gauge;
+  m_inflight : Metrics.gauge;
+}
+
+(* the domain-safe mirror of [meters], updated at the same sites so a
+   scrape endpoint in another thread of control can read mid-run; the
+   server itself is single-writer, so its cell shard is always 0 *)
+type live_meters = {
+  l_leases : Live.counter;
+  l_leased_tasks : Live.counter;
+  l_completions : Live.counter;
+  l_duplicates : Live.counter;
+  l_reissues : Live.counter;
+  l_retry_afters : Live.counter;
+  l_heartbeats : Live.counter;
+  l_errors : Live.counter;
+  l_frontier : Live.gauge;
+  l_inflight : Live.gauge;
+  l_service : Live.histogram;
 }
 
 type t = {
@@ -84,16 +105,49 @@ type t = {
   mutable recovered_tasks : int;
   journal : Journal.t option;
   meters : meters option;
+  live : live_meters option;
+  flight : Flight.t option;
   sink : Trace.t option;
+  (* last frontier depth traced per shard / last inflight traced, so the
+     sink only carries counter-track points when the value moves *)
+  last_depth : int array;
+  mutable last_inflight : int;
+  (* last totals pushed to the live gauges: setting a float Atomic boxes
+     the float, so skip the store when the value did not move *)
+  mutable live_depth : int;
+  mutable live_inflight : int;
 }
 
 (* allocate a server with every task Blocked and empty pools; [create]
    seeds the sources, [recover] replays a journal instead *)
-let mk ?metrics ?sink ?journal cfg g =
+let mk ?metrics ?sink ?journal ?live ?flight cfg g =
   let n = Dag.n_nodes g in
   let view = Shard_view.create ~n_shards:cfg.n_shards g in
   let pools = Shards.create ~n_shards:(Shard_view.n_shards view) () in
   let state = Bytes.make n st_blocked in
+  let live =
+    match live with
+    | None -> None
+    | Some l ->
+      Live.set (Live.gauge l "served.n_tasks") (float_of_int n);
+      Live.set
+        (Live.gauge l "served.n_shards")
+        (float_of_int (Shard_view.n_shards view));
+      Some
+        {
+          l_leases = Live.counter l "served.leases";
+          l_leased_tasks = Live.counter l "served.leased_tasks";
+          l_completions = Live.counter l "served.completions";
+          l_duplicates = Live.counter l "served.duplicate_completes";
+          l_reissues = Live.counter l "served.reissues";
+          l_retry_afters = Live.counter l "served.retry_afters";
+          l_heartbeats = Live.counter l "served.heartbeats";
+          l_errors = Live.counter l "served.protocol_errors";
+          l_frontier = Live.gauge l "served.frontier_depth";
+          l_inflight = Live.gauge l "served.inflight";
+          l_service = Live.histogram l "served.lease_service_s";
+        }
+  in
   let meters =
     match metrics with
     | None -> None
@@ -118,6 +172,8 @@ let mk ?metrics ?sink ?journal cfg g =
                   1e-4; 3e-4; 1e-3; 3e-3; 1e-2; 3e-2; 0.1; 0.3; 1.0; 3.0;
                   10.0; 30.0; 100.0;
                 |];
+          m_frontier = Metrics.gauge m "served.frontier_depth";
+          m_inflight = Metrics.gauge m "served.inflight";
         }
   in
   (match metrics with
@@ -153,16 +209,22 @@ let mk ?metrics ?sink ?journal cfg g =
     recovered_tasks = 0;
     journal;
     meters;
+    live;
+    flight;
     sink;
+    last_depth = Array.make (Shard_view.n_shards view) (-1);
+    last_inflight = -1;
+    live_depth = -1;
+    live_inflight = -1;
   }
 
-let create ?metrics ?sink ?journal cfg g =
+let create ?metrics ?sink ?journal ?live ?flight cfg g =
   (match journal with
   | Some j when Journal.replayed j <> [] ->
     invalid_arg
       "Server.create: the journal holds prior records — use Server.recover"
   | _ -> ());
-  let t = mk ?metrics ?sink ?journal cfg g in
+  let t = mk ?metrics ?sink ?journal ?live ?flight cfg g in
   Shard_view.iter_initial t.view (fun ~shard v ->
       Bytes.set t.state v st_ready;
       Shards.push t.pools ~shard v);
@@ -176,17 +238,25 @@ let shard_of t v = Shard_view.shard_of t.view v
 let timeout_s t = Recovery.timeout_after t.cfg.recovery ~expected:t.cfg.expected_s
 
 let with_meters t f = match t.meters with None -> () | Some m -> f m
+let with_live t f = match t.live with None -> () | Some l -> f l
+
+let flight_record t kind ~time ~a ~b =
+  match t.flight with
+  | None -> ()
+  | Some fl -> Flight.record fl kind ~time ~a ~b
 
 let done_reply t = Wire.Done { completed = completed t; reissues = t.reissues }
 
 let retry_reply t =
   t.retry_afters <- t.retry_afters + 1;
   with_meters t (fun m -> Metrics.incr m.m_retry_afters);
+  with_live t (fun l -> Live.incr l.l_retry_afters ~shard:0 1);
   Wire.Retry_after { delay_s = t.cfg.retry_after_s }
 
 let error_reply t =
   t.errors <- t.errors + 1;
   with_meters t (fun m -> Metrics.incr m.m_errors);
+  with_live t (fun l -> Live.incr l.l_errors ~shard:0 1);
   Wire.Ack
 
 (* pull up to [budget] Ready tasks out of the pools, starting at the
@@ -225,6 +295,7 @@ let record_lease t ~now ~worker v =
   Hashtbl.replace t.by_worker worker ((v, t.gen.(v)) :: prev);
   let shard = shard_of t v in
   with_meters t (fun m -> Metrics.incr m.m_shard_leased.(shard));
+  flight_record t Trace.Task_alloc ~time:now ~a:v ~b:shard;
   match t.sink with
   | None -> ()
   | Some tr -> Trace.task_alloc tr ~time:now ~task:v ~client:shard
@@ -276,13 +347,63 @@ let apply_complete t ~now v =
   with_meters t (fun m ->
       Metrics.incr m.m_completions;
       Metrics.observe m.m_service service);
+  with_live t (fun l ->
+      Live.incr l.l_completions ~shard:0 1;
+      Live.observe l.l_service service);
   Shard_view.complete t.view v ~ready:(fun ~shard:_ u -> push_ready t u);
+  flight_record t Trace.Task_complete ~time:now ~a:v ~b:(shard_of t v);
   (match t.sink with
   | None -> ()
   | Some tr -> Trace.task_complete tr ~time:now ~task:v ~client:(shard_of t v));
   maybe_checkpoint t
 
-let handle t ~now (msg : Wire.msg) : Wire.msg =
+(* the live frontier/inflight sample taken after every handled message.
+   Pool sizes are the racy [Shards.size] snapshot and include entries
+   awaiting lazy invalidation, so the depth is an upper bound — exact
+   whenever no lease has expired since the pool was last drained. *)
+let sample t ~now =
+  if t.meters != None || t.live != None || t.sink != None || t.flight != None
+  then begin
+    let total = ref 0 in
+    let n_shards = Shards.n_shards t.pools in
+    for s = 0 to n_shards - 1 do
+      let d = Shards.size t.pools ~shard:s in
+      total := !total + d;
+      if t.last_depth.(s) <> d then begin
+        t.last_depth.(s) <- d;
+        (match t.sink with
+        | Some tr -> Trace.frontier_depth tr ~time:now ~shard:s ~depth:d
+        | None -> ());
+        (* the ring too: the pre-crash load signal is what a post-mortem
+           reads first, and change-gating keeps it from flooding out the
+           alloc/complete tail *)
+        flight_record t Trace.Frontier_depth ~time:now ~a:s ~b:d
+      end
+    done;
+    let depth = float_of_int !total in
+    let inflight = float_of_int t.inflight in
+    with_meters t (fun m ->
+        Metrics.set m.m_frontier depth;
+        Metrics.set m.m_inflight inflight);
+    with_live t (fun l ->
+        if t.live_depth <> !total then begin
+          t.live_depth <- !total;
+          Live.set l.l_frontier depth
+        end;
+        if t.live_inflight <> t.inflight then begin
+          t.live_inflight <- t.inflight;
+          Live.set l.l_inflight inflight
+        end);
+    if t.last_inflight <> t.inflight then begin
+      t.last_inflight <- t.inflight;
+      (match t.sink with
+      | Some tr -> Trace.inflight tr ~time:now ~count:t.inflight
+      | None -> ());
+      flight_record t Trace.Inflight ~time:now ~a:t.inflight ~b:0
+    end
+  end
+
+let handle_msg t ~now (msg : Wire.msg) : Wire.msg =
   match msg with
   | Hello { worker = _ } ->
     Wire.Welcome
@@ -306,6 +427,9 @@ let handle t ~now (msg : Wire.msg) : Wire.msg =
           with_meters t (fun m ->
               Metrics.incr m.m_leases;
               Metrics.incr ~by:got m.m_leased_tasks);
+          with_live t (fun l ->
+              Live.incr l.l_leases ~shard:0 1;
+              Live.incr l.l_leased_tasks ~shard:0 got);
           let tmo = timeout_s t in
           Wire.Lease { tasks; expires_in_s = tmo }
         end
@@ -318,6 +442,7 @@ let handle t ~now (msg : Wire.msg) : Wire.msg =
       if st = st_done then begin
         t.duplicates <- t.duplicates + 1;
         with_meters t (fun m -> Metrics.incr m.m_duplicates);
+        with_live t (fun l -> Live.incr l.l_duplicates ~shard:0 1);
         if is_done t then done_reply t else Wire.Ack
       end
       else if st = st_leased || st = st_ready then begin
@@ -333,6 +458,7 @@ let handle t ~now (msg : Wire.msg) : Wire.msg =
   | Heartbeat { worker } ->
     t.heartbeats <- t.heartbeats + 1;
     with_meters t (fun m -> Metrics.incr m.m_heartbeats);
+    with_live t (fun l -> Live.incr l.l_heartbeats ~shard:0 1);
     let tmo = timeout_s t in
     (if Float.is_finite tmo then
        match Hashtbl.find_opt t.by_worker worker with
@@ -361,6 +487,11 @@ let handle t ~now (msg : Wire.msg) : Wire.msg =
     (* server-side messages arriving at the server *)
     error_reply t
 
+let handle t ~now (msg : Wire.msg) : Wire.msg =
+  let reply = handle_msg t ~now msg in
+  sample t ~now;
+  reply
+
 let next_expiry t =
   match Heap.peek t.expiries with None -> infinity | Some (time, _) -> time
 
@@ -377,6 +508,8 @@ let expire t ~now =
         t.reissues <- t.reissues + 1;
         incr fired;
         with_meters t (fun m -> Metrics.incr m.m_reissues);
+        with_live t (fun l -> Live.incr l.l_reissues ~shard:0 1);
+        flight_record t Trace.Timeout_fired ~time ~a:v ~b:(shard_of t v);
         (match t.sink with
         | None -> ()
         | Some tr ->
@@ -387,8 +520,8 @@ let expire t ~now =
   done;
   !fired
 
-let recover ?metrics ?sink ~journal cfg g =
-  let t = mk ?metrics ?sink ~journal cfg g in
+let recover ?metrics ?sink ?live ?flight ~journal cfg g =
+  let t = mk ?metrics ?sink ?live ?flight ~journal cfg g in
   let n = n_tasks t in
   (* fold the journal into a done set and a leased-at-crash set; a later
      checkpoint supersedes everything before it *)
@@ -452,6 +585,7 @@ let recover ?metrics ?sink ~journal cfg g =
     t.completions <- !n_done;
     t.recovered_tasks <- !n_done;
     with_meters t (fun m -> Metrics.incr ~by:!n_done m.m_completions);
+    with_live t (fun l -> Live.incr l.l_completions ~shard:0 !n_done);
     (* tasks leased but not completed at the crash are back in the pools
        (their predecessors are all done) and will be granted again: the
        at-most-one re-issue per crash the exactly-once contract allows *)

@@ -63,6 +63,8 @@ val create :
   ?metrics:Ic_obs.Metrics.t ->
   ?sink:Ic_obs.Trace.t ->
   ?journal:Journal.t ->
+  ?live:Ic_obs.Live.t ->
+  ?flight:Ic_obs.Flight.t ->
   config ->
   Ic_dag.Dag.t ->
   t
@@ -70,17 +72,30 @@ val create :
     the [served.lease_service_s] latency histogram. [sink], when given,
     receives one [Task_alloc]/[Task_complete] pair per task and a
     [Timeout_fired] per re-issue, with the task's {e shard} as the
-    client id — so the Perfetto export renders one track per shard.
+    client id — so the Perfetto export renders one track per shard —
+    plus per-shard [Frontier_depth] and global [Inflight] counter-track
+    points whenever those values move across a [handle].
     [journal], when given, makes the server durable: every lease grant
     and every applied completion is appended (the completion {e before}
     its [Ack] is produced), and the journal is compacted to a checkpoint
     every [checkpoint_every] completions. The journal must be fresh;
     raises [Invalid_argument] if it replayed prior records — that is
-    {!recover}'s job. *)
+    {!recover}'s job.
+
+    [live], when given, mirrors the same [served.*] meters into a
+    domain-safe {!Ic_obs.Live} registry — including the
+    [served.frontier_depth] and [served.inflight] gauges sampled after
+    every [handle] — which is what the scrape endpoint and [ic_sched
+    top] read while the server is running. [flight], when given, writes
+    every allocation, completion and expiry into the crash-surviving
+    flight-recorder ring. Neither affects the deterministic [metrics] /
+    [sink] artifacts. *)
 
 val recover :
   ?metrics:Ic_obs.Metrics.t ->
   ?sink:Ic_obs.Trace.t ->
+  ?live:Ic_obs.Live.t ->
+  ?flight:Ic_obs.Flight.t ->
   journal:Journal.t ->
   config ->
   Ic_dag.Dag.t ->

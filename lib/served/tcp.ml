@@ -2,6 +2,7 @@ module Heap = Ic_heuristics.Heap
 module Monotonic = Ic_prof.Monotonic
 module Plan = Ic_fault.Plan
 module Recovery = Ic_fault.Recovery
+module Live = Ic_obs.Live
 
 (* ------------------------------------------------------- I/O hardening *)
 
@@ -41,16 +42,43 @@ let rec select_retry r w e timeout =
 
 type conn = { fd : Unix.file_descr; reader : Wire.Reader.t }
 
+(* one OpenMetrics scrape response; we never parse the request — any
+   bytes on a telemetry connection ask for the one page there is *)
+let scrape_response live =
+  let body = Live.openmetrics live in
+  Printf.sprintf
+    "HTTP/1.0 200 OK\r\n\
+     Content-Type: application/openmetrics-text; version=1.0.0; \
+     charset=utf-8\r\n\
+     Content-Length: %d\r\n\
+     Connection: close\r\n\
+     \r\n\
+     %s"
+    (String.length body) body
+
+let csv_header =
+  "time_s,completions,leases,leased_tasks,inflight,frontier_depth,reissues,\
+   retry_afters,rss_bytes\n"
+
 let serve ?metrics ?sink ?on_listen ?(once = false) ?journal ?(recover = false)
-    ?(log = fun _ -> ()) ~port scfg dag =
+    ?(log = fun _ -> ()) ?live ?flight ?telemetry_port ?on_telemetry_listen
+    ?telemetry_csv ?(telemetry_every_s = 1.0) ~port scfg dag =
   Lazy.force ignore_sigpipe;
+  (* the scrape endpoint and the CSV both read the Live registry; make
+     one internally when telemetry is requested without one *)
+  let live =
+    match (live, telemetry_port, telemetry_csv) with
+    | (Some _ as l), _, _ -> l
+    | None, None, None -> None
+    | None, _, _ -> Some (Live.create ())
+  in
   let srv =
     match journal with
     | Some j when recover -> (
-      match Server.recover ?metrics ?sink ~journal:j scfg dag with
+      match Server.recover ?metrics ?sink ?live ?flight ~journal:j scfg dag with
       | Ok t -> t
       | Error e -> invalid_arg ("Tcp.serve: recovery failed: " ^ e))
-    | _ -> Server.create ?metrics ?sink ?journal scfg dag
+    | _ -> Server.create ?metrics ?sink ?journal ?live ?flight scfg dag
   in
   let lsock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt lsock Unix.SO_REUSEADDR true;
@@ -62,8 +90,47 @@ let serve ?metrics ?sink ?on_listen ?(once = false) ?journal ?(recover = false)
     | _ -> port
   in
   (match on_listen with Some f -> f bound | None -> ());
+  let tsock =
+    match telemetry_port with
+    | None -> None
+    | Some tp ->
+      let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt s Unix.SO_REUSEADDR true;
+      Unix.bind s (Unix.ADDR_INET (Unix.inet_addr_loopback, tp));
+      Unix.listen s 16;
+      let tp_bound =
+        match Unix.getsockname s with Unix.ADDR_INET (_, p) -> p | _ -> tp
+      in
+      (match on_telemetry_listen with Some f -> f tp_bound | None -> ());
+      Some s
+  in
+  let is_tsock fd = match tsock with Some s -> fd == s | None -> false in
+  let tconns = ref [] in
+  let csv_oc =
+    match telemetry_csv with
+    | None -> None
+    | Some path ->
+      let oc = open_out path in
+      output_string oc csv_header;
+      flush oc;
+      Some oc
+  in
+  let last_csv = ref neg_infinity in
   let t0 = Monotonic.now () in
   let now () = Monotonic.now () -. t0 in
+  let csv_row t =
+    match (csv_oc, live) with
+    | Some oc, Some l ->
+      let st = Server.stats srv in
+      Printf.fprintf oc "%.3f,%d,%d,%d,%d,%d,%d,%d,%d\n" t
+        st.Server.completions st.Server.leases st.Server.leased_tasks
+        st.Server.inflight
+        (int_of_float
+           (Live.gauge_value (Live.gauge l "served.frontier_depth")))
+        st.Server.reissues st.Server.retry_afters (Live.rss_bytes ());
+      flush oc
+    | _ -> ()
+  in
   let conns = ref [] in
   let accepted = ref 0 in
   let rbuf = Bytes.create 65536 in
@@ -77,12 +144,18 @@ let serve ?metrics ?sink ?on_listen ?(once = false) ?journal ?(recover = false)
   while !running do
     let t = now () in
     ignore (Server.expire srv ~now:t);
+    if csv_oc <> None && t -. !last_csv >= telemetry_every_s then begin
+      last_csv := t;
+      csv_row t
+    end;
     let next = Server.next_expiry srv in
     let timeout =
       if Float.is_finite next then Float.max 0.001 (Float.min 0.05 (next -. t))
       else 0.05
     in
     let fds = lsock :: List.map (fun c -> c.fd) !conns in
+    let fds = match tsock with Some s -> s :: fds | None -> fds in
+    let fds = List.rev_append !tconns fds in
     let ready, _, _ = select_retry fds [] [] timeout in
     List.iter
       (fun fd ->
@@ -93,6 +166,24 @@ let serve ?metrics ?sink ?on_listen ?(once = false) ?journal ?(recover = false)
             conns := { fd = cfd; reader = Wire.Reader.create () } :: !conns
           | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
           | exception Unix.Unix_error _ -> ()
+        end
+        else if is_tsock fd then begin
+          match Unix.accept fd with
+          | cfd, _ -> tconns := cfd :: !tconns
+          | exception Unix.Unix_error _ -> ()
+        end
+        else if List.memq fd !tconns then begin
+          (* one-shot scrape: any readable bytes (or a close) on a
+             telemetry connection get the whole exposition back *)
+          tconns := List.filter (fun f -> f != fd) !tconns;
+          (try ignore (read_retry fd rbuf) with Unix.Unix_error _ -> ());
+          (match live with
+          | Some l ->
+            let resp = Bytes.of_string (scrape_response l) in
+            (try send_all fd resp (Bytes.length resp)
+             with Unix.Unix_error _ -> ())
+          | None -> ());
+          try Unix.close fd with Unix.Unix_error _ -> ()
         end
         else
           match List.find_opt (fun c -> c.fd == fd) !conns with
@@ -147,6 +238,17 @@ let serve ?metrics ?sink ?on_listen ?(once = false) ?journal ?(recover = false)
       running := false
   done;
   (try Unix.close lsock with Unix.Unix_error _ -> ());
+  (match tsock with
+  | Some s -> ( try Unix.close s with Unix.Unix_error _ -> ())
+  | None -> ());
+  List.iter
+    (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+    !tconns;
+  (match csv_oc with
+  | Some oc ->
+    csv_row (now ());
+    close_out_noerr oc
+  | None -> ());
   Server.stats srv
 
 (* --------------------------------------------------------------- hammer *)
@@ -195,7 +297,7 @@ let reconnect_policy =
 let max_reconnect_attempts = 12
 
 let hammer ?(host = "127.0.0.1") ?(connections = 4) ?chaos
-    ?(reply_timeout_s = 2.0) ~port (cfg : Hammer.config) =
+    ?(reply_timeout_s = 2.0) ?(log = fun _ -> ()) ~port (cfg : Hammer.config) =
   Lazy.force ignore_sigpipe;
   let t_start = Monotonic.now () in
   let elapsed () = Monotonic.now () -. t_start in
@@ -461,7 +563,14 @@ let hammer ?(host = "127.0.0.1") ?(connections = 4) ?chaos
   let progress_possible () =
     (not (Heap.is_empty events)) || !total_pending > 0
   in
-  while !settled < w && progress_possible () do
+  (* a socket-level failure that escapes the per-call guards (a select
+     on a descriptor the kernel yanked, an exotic errno) used to raise
+     out of the run and lose every metric with it; the harness instead
+     abandons the wire and falls through to the same finalization the
+     clean-drain and reconnect-timeout exits use, so the caller always
+     gets a result to write its artifacts from *)
+  (try
+    while !settled < w && progress_possible () do
     (* fire every event that is due *)
     let due = ref true in
     while !due do
@@ -531,7 +640,11 @@ let hammer ?(host = "127.0.0.1") ?(connections = 4) ?chaos
           ready
       end
     end
-  done;
+    done
+  with Unix.Unix_error (e, fn, _) ->
+    log
+      (Printf.sprintf "hammer: %s: %s — finalizing with partial results" fn
+         (Unix.error_message e)));
   let tend = elapsed () in
   Array.iteri
     (fun c _ ->

@@ -32,6 +32,12 @@ val serve :
   ?journal:Journal.t ->
   ?recover:bool ->
   ?log:(string -> unit) ->
+  ?live:Ic_obs.Live.t ->
+  ?flight:Ic_obs.Flight.t ->
+  ?telemetry_port:int ->
+  ?on_telemetry_listen:(int -> unit) ->
+  ?telemetry_csv:string ->
+  ?telemetry_every_s:float ->
   port:int ->
   Server.config ->
   Ic_dag.Dag.t ->
@@ -50,7 +56,20 @@ val serve :
     instead of fresh (raises [Invalid_argument] if the replay does not
     fit the dag). [log] receives one line per connection-level incident
     (resets, corrupt frames); default drops them. Returns the final
-    {!Server.stats}. *)
+    {!Server.stats}.
+
+    [telemetry_port] opens a second loopback listener in the same
+    select loop serving the {!Ic_obs.Live} registry in OpenMetrics text
+    exposition format: any HTTP-ish request gets one
+    [application/openmetrics-text] page and a close (this is a scrape
+    endpoint, not a web server). [on_telemetry_listen] reports the
+    bound telemetry port (pass [0] to pick one). [telemetry_csv]
+    appends one snapshot row (completions, leases, inflight, frontier
+    depth, re-issues, RSS) roughly every [telemetry_every_s] (default
+    1.0) seconds, for trend lines without a scraper. [live] supplies
+    the registry to serve — one is created internally when telemetry is
+    requested without it; [flight] hands the server a crash-surviving
+    {!Ic_obs.Flight} recorder. *)
 
 (** Client-side view of a hammer run; the authoritative counters live in
     the server's metrics registry. *)
@@ -74,6 +93,7 @@ val hammer :
   ?connections:int ->
   ?chaos:Ic_fault.Plan.Wire.t ->
   ?reply_timeout_s:float ->
+  ?log:(string -> unit) ->
   port:int ->
   Hammer.config ->
   hammer_result

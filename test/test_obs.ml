@@ -7,6 +7,8 @@ module Trace = Ic_obs.Trace
 module Metrics = Ic_obs.Metrics
 module Exporter = Ic_obs.Exporter
 module Json = Ic_obs.Json
+module Live = Ic_obs.Live
+module Flight = Ic_obs.Flight
 module Sim = Ic_sim.Simulator
 module Policy = Ic_heuristics.Policy
 module Dag = Ic_dag.Dag
@@ -85,6 +87,56 @@ let test_kind_names () =
     (Trace.kind_name Trace.Replica_cancelled);
   check_str "crash" "client_crash" (Trace.kind_name Trace.Client_crash);
   check_str "rejoin" "client_rejoin" (Trace.kind_name Trace.Client_rejoin)
+
+(* --- bounded ring mode --- *)
+
+let test_trace_ring () =
+  let m = Metrics.create () in
+  let t = Trace.create ~capacity:2 ~limit:8 ~metrics:m () in
+  check_int "limit recorded" 8 (Trace.limit t);
+  (* below the limit the ring behaves exactly like an unbounded trace *)
+  for i = 0 to 4 do
+    Trace.frontier_push t ~time:(float_of_int i) ~node:i
+  done;
+  check_int "no drops below limit" 0 (Trace.dropped t);
+  check_int "all retained below limit" 5 (Trace.length t);
+  check_int "oldest first" 0 (Trace.get t 0).Trace.a;
+  (* push past the limit: length pins at the limit, the oldest events
+     fall out, reads stay oldest-first *)
+  for i = 5 to 19 do
+    Trace.frontier_push t ~time:(float_of_int i) ~node:i
+  done;
+  check_int "length pinned at limit" 8 (Trace.length t);
+  check_int "drop count" 12 (Trace.dropped t);
+  check_int "dropped counter mirrors" 12
+    (Metrics.counter_value (Metrics.counter m "obs.dropped_events"));
+  for i = 0 to 7 do
+    let e = Trace.get t i in
+    check_int (Printf.sprintf "retained event %d" i) (12 + i) e.Trace.a;
+    check (Printf.sprintf "retained time %d" i) true
+      (e.Trace.time = float_of_int (12 + i))
+  done;
+  let arr = Trace.to_array t in
+  check_int "to_array matches ring view" 8 (Array.length arr);
+  check_int "to_array oldest first" 12 arr.(0).Trace.a;
+  let seen = ref [] in
+  Trace.iter (fun e -> seen := e.Trace.a :: !seen) t;
+  check "iter covers the ring oldest-first" true
+    (List.rev !seen = [ 12; 13; 14; 15; 16; 17; 18; 19 ]);
+  (* clear keeps the lifetime drop count and the ring keeps working *)
+  Trace.clear t;
+  check_int "cleared" 0 (Trace.length t);
+  check_int "dropped survives clear" 12 (Trace.dropped t);
+  Trace.frontier_push t ~time:99.0 ~node:99;
+  check_int "reusable after clear" 99 (Trace.get t 0).Trace.a;
+  (* the default stays unbounded *)
+  let u = Trace.create () in
+  check_int "unbounded limit is 0" 0 (Trace.limit u);
+  for i = 0 to 99 do
+    Trace.frontier_push u ~time:0.0 ~node:i
+  done;
+  check_int "unbounded drops nothing" 0 (Trace.dropped u);
+  check_int "unbounded keeps everything" 100 (Trace.length u)
 
 (* --- metrics registry --- *)
 
@@ -504,6 +556,269 @@ let test_sink_does_not_change_results () =
   in
   check "observability is transparent" true (bare = traced)
 
+(* --- live registry --- *)
+
+let test_live_counter () =
+  let l = Live.create ~shards:4 () in
+  check_int "shard count honoured" 4 (Live.shards l);
+  let c = Live.counter l "live.tasks" in
+  (* writes to distinct shards merge on read *)
+  Live.incr c ~shard:0 1;
+  Live.incr c ~shard:1 2;
+  Live.incr c ~shard:2 3;
+  Live.incr c ~shard:3 4;
+  check_int "merge-on-read sums all cells" 10 (Live.counter_value c);
+  (* shard indices wrap with the mask instead of raising *)
+  Live.incr c ~shard:7 5;
+  check_int "out-of-range shard wraps" 15 (Live.counter_value c);
+  (* registration dedups by name *)
+  Live.incr (Live.counter l "live.tasks") ~shard:0 1;
+  check_int "same name, same counter" 16 (Live.counter_value c);
+  (* cross-kind re-registration is an error *)
+  (match Live.gauge l "live.tasks" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "counter name re-registered as gauge must raise");
+  (* shard counts round up to a power of two *)
+  check_int "non-power-of-two rounds up" 8 (Live.shards (Live.create ~shards:5 ()))
+
+let test_live_gauge_histogram () =
+  let l = Live.create () in
+  let g = Live.gauge l "live.depth" in
+  Live.set g 3.0;
+  Live.set g 7.5;
+  check "gauge holds last write" true (Live.gauge_value g = 7.5);
+  let h = Live.histogram l "live.latency" in
+  check "empty quantile is nan" true
+    (Float.is_nan (Live.quantile (Live.histogram_snapshot h) 0.5));
+  List.iter (Live.observe h) [ 0.001; 0.001; 0.001; 0.1; 10.0 ];
+  let s = Live.histogram_snapshot h in
+  check_int "snapshot count" 5 s.Live.count;
+  check "snapshot sum (ns fixed point)" true
+    (Float.abs (s.Live.sum -. 10.103) < 1e-6);
+  (* the log buckets bracket a quantile within one octave: the median
+     observation is 0.001, so p50 reconstructs inside [0.0005, 0.002] *)
+  let p50 = Live.quantile s 0.5 in
+  check "p50 lands in the right octave" true (p50 >= 0.0005 && p50 <= 0.002);
+  let p99 = Live.quantile s 0.99 in
+  check "p99 reaches the top observation's octave" true
+    (p99 >= 5.0 && p99 <= 20.0);
+  check "quantiles are monotone" true (Live.quantile s 0.1 <= p99);
+  (* a sliding window via snapshot subtraction sees only the new tail *)
+  List.iter (Live.observe h) [ 4.0; 4.0 ];
+  let w = Live.hsnap_sub (Live.histogram_snapshot h) s in
+  check_int "window count" 2 w.Live.count;
+  check "window sum" true (Float.abs (w.Live.sum -. 8.0) < 1e-6);
+  let wp50 = Live.quantile w 0.5 in
+  check "window p50 tracks the window, not the history" true
+    (wp50 >= 2.0 && wp50 <= 8.0);
+  (* bucket upper bounds are increasing and end at the saturation slot *)
+  let ok = ref true in
+  for i = 1 to Live.n_buckets - 1 do
+    if not (Live.bucket_upper i > Live.bucket_upper (i - 1)) then ok := false
+  done;
+  check "bucket bounds strictly increase" true !ok
+
+let test_live_openmetrics () =
+  let l = Live.create () in
+  Live.incr (Live.counter l "served.leases") ~shard:0 5;
+  Live.set (Live.gauge l "served.frontier_depth") 3.0;
+  Live.observe (Live.histogram l "served.grant_s") 0.004;
+  let page = Live.openmetrics l in
+  check "dots map to underscores" true
+    (contains_sub page "# TYPE served_leases counter");
+  check "counter renders name_total" true
+    (contains_sub page "served_leases_total 5");
+  check "gauge renders bare" true
+    (contains_sub page "served_frontier_depth 3");
+  check "histogram renders +Inf bucket" true
+    (contains_sub page "served_grant_s_bucket{le=\"+Inf\"} 1");
+  check "histogram renders sum" true (contains_sub page "served_grant_s_sum");
+  check "histogram renders count" true
+    (contains_sub page "served_grant_s_count 1");
+  check "process gauges on by default" true
+    (contains_sub page "process_resident_memory_bytes"
+    && contains_sub page "process_uptime_seconds"
+    && contains_sub page "ocaml_gc_minor_collections_total");
+  check "terminated by # EOF" true
+    (let tail = "# EOF\n" in
+     String.length page >= String.length tail
+     && String.sub page
+          (String.length page - String.length tail)
+          (String.length tail)
+        = tail);
+  let bare = Live.openmetrics ~process:false l in
+  check "process block is optional" true
+    (not (contains_sub bare "process_resident_memory_bytes"));
+  (* every non-comment line is "name value": the shape the scrape smoke
+     job validates *)
+  String.split_on_char '\n' (String.trim bare)
+  |> List.iter (fun line ->
+         if String.length line > 0 && line.[0] <> '#' then
+           match String.split_on_char ' ' line with
+           | [ name; value ] ->
+             check ("numeric value in: " ^ line) true
+               (float_of_string_opt value <> None);
+             check ("sane metric name in: " ^ line) true
+               (String.for_all
+                  (fun ch ->
+                    (ch >= 'a' && ch <= 'z')
+                    || (ch >= 'A' && ch <= 'Z')
+                    || (ch >= '0' && ch <= '9')
+                    || ch = '_' || ch = '{' || ch = '}' || ch = '"'
+                    || ch = '=' || ch = '+' || ch = '.')
+                  name)
+           | _ -> Alcotest.fail ("malformed exposition line: " ^ line))
+
+let test_live_to_json () =
+  let l = Live.create () in
+  Live.incr (Live.counter l "live.c") ~shard:1 3;
+  Live.set (Live.gauge l "live.g") 2.5;
+  Live.observe (Live.histogram l "live.h") 0.5;
+  match Json.parse (Live.to_json l) with
+  | Error e -> Alcotest.fail ("live JSON invalid: " ^ e)
+  | Ok doc ->
+    check "counter round-trips" true
+      (Option.bind (Json.member "counters" doc) (Json.member "live.c")
+       |> Option.map (fun v -> Json.to_number v = Some 3.0)
+      = Some true);
+    check "gauge round-trips" true
+      (Option.bind (Json.member "gauges" doc) (Json.member "live.g")
+       |> Option.map (fun v -> Json.to_number v = Some 2.5)
+      = Some true);
+    check "histogram round-trips" true
+      (Option.bind (Json.member "histograms" doc) (Json.member "live.h")
+      <> None)
+
+(* --- flight recorder --- *)
+
+let with_ring f =
+  let path = Filename.temp_file "ic_test_flight" ".ring" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let test_flight_roundtrip () =
+  with_ring (fun path ->
+      (match Flight.create ~slots:16 path with
+      | Error e -> Alcotest.fail e
+      | Ok fl ->
+        check_int "fresh ring starts at seq 1" 1 (Flight.next_seq fl);
+        check_int "slots" 16 (Flight.slots fl);
+        Flight.record fl Trace.Task_alloc ~time:1.0 ~a:7 ~b:2;
+        Flight.record fl Trace.Task_complete ~time:2.0 ~a:7 ~b:2;
+        Flight.record fl Trace.Frontier_depth ~time:3.0 ~a:1 ~b:11;
+        Flight.record fl Trace.Inflight ~time:4.0 ~a:5 ~b:0;
+        Flight.close fl);
+      match Flight.load path with
+      | Error e -> Alcotest.fail e
+      | Ok d ->
+        check_int "geometry recovered" 16 d.Flight.d_slots;
+        check_int "all frames valid" 4 d.Flight.d_valid;
+        check_int "events in sequence order" 4 (Array.length d.Flight.events);
+        let e0 = d.Flight.events.(0) in
+        check "payload survives" true
+          (e0.Flight.seq = 1
+          && e0.Flight.kind = Trace.Task_alloc
+          && e0.Flight.time = 1.0 && e0.Flight.a = 7 && e0.Flight.b = 2);
+        check "depth event survives" true
+          (d.Flight.events.(2).Flight.kind = Trace.Frontier_depth
+          && d.Flight.events.(2).Flight.b = 11);
+        (* the dump replays into a trace ready for the exporter *)
+        let tr = Flight.to_trace d in
+        check_int "to_trace replays everything" 4 (Trace.length tr);
+        check "to_trace keeps order" true
+          ((Trace.get tr 0).Trace.kind = Trace.Task_alloc);
+        match Json.parse (Exporter.chrome_trace tr) with
+        | Ok (Json.Array _) -> ()
+        | Ok _ -> Alcotest.fail "blackbox trace must render an array"
+        | Error e -> Alcotest.fail ("blackbox trace invalid: " ^ e))
+
+let test_flight_wrap () =
+  with_ring (fun path ->
+      (match Flight.create ~slots:16 path with
+      | Error e -> Alcotest.fail e
+      | Ok fl ->
+        for i = 1 to 40 do
+          Flight.record fl Trace.Frontier_pop ~time:(float_of_int i) ~a:i ~b:0
+        done;
+        Flight.close fl);
+      match Flight.load path with
+      | Error e -> Alcotest.fail e
+      | Ok d ->
+        check_int "ring keeps the last [slots] events" 16 d.Flight.d_valid;
+        check_int "oldest retained" 25 d.Flight.events.(0).Flight.seq;
+        check_int "newest retained" 40 d.Flight.events.(15).Flight.seq;
+        Array.iteri
+          (fun i e ->
+            check_int (Printf.sprintf "dense tail %d" i) (25 + i) e.Flight.seq)
+          d.Flight.events)
+
+let test_flight_torn_slot () =
+  with_ring (fun path ->
+      (match Flight.create ~slots:16 path with
+      | Error e -> Alcotest.fail e
+      | Ok fl ->
+        for i = 1 to 5 do
+          Flight.record fl Trace.Task_start ~time:(float_of_int i) ~a:i ~b:0
+        done;
+        Flight.close fl);
+      (* tear frame 3 (slot 2): flip one payload byte so its CRC fails.
+         header is 16 bytes, 40 per slot *)
+      let fd = Unix.openfile path [ Unix.O_RDWR ] 0 in
+      ignore (Unix.lseek fd (16 + (2 * 40) + 20) Unix.SEEK_SET);
+      ignore (Unix.write fd (Bytes.make 1 '\xFF') 0 1);
+      Unix.close fd;
+      match Flight.load path with
+      | Error e -> Alcotest.fail e
+      | Ok d ->
+        check_int "torn frame dropped, rest kept" 4 d.Flight.d_valid;
+        check "the torn sequence number is the one missing" true
+          (Array.for_all (fun e -> e.Flight.seq <> 3) d.Flight.events);
+        check "neighbours intact" true
+          (Array.exists (fun e -> e.Flight.seq = 2) d.Flight.events
+          && Array.exists (fun e -> e.Flight.seq = 4) d.Flight.events))
+
+let test_flight_reopen_continues () =
+  with_ring (fun path ->
+      (match Flight.create ~slots:16 path with
+      | Error e -> Alcotest.fail e
+      | Ok fl ->
+        for i = 1 to 3 do
+          Flight.record fl Trace.Task_alloc ~time:(float_of_int i) ~a:i ~b:0
+        done;
+        Flight.close fl);
+      (* reopening with matching geometry continues the numbering — the
+         --recover path appends to the same black box it crashed with *)
+      (match Flight.create ~slots:16 path with
+      | Error e -> Alcotest.fail e
+      | Ok fl ->
+        check_int "sequence continues after reopen" 4 (Flight.next_seq fl);
+        Flight.record fl Trace.Task_complete ~time:9.0 ~a:99 ~b:0;
+        Flight.close fl);
+      (match Flight.load path with
+      | Error e -> Alcotest.fail e
+      | Ok d ->
+        check_int "pre-crash frames plus the new one" 4 d.Flight.d_valid;
+        check "old frames kept" true (d.Flight.events.(0).Flight.seq = 1);
+        check "new frame appended after them" true
+          (let last = d.Flight.events.(3) in
+           last.Flight.seq = 4 && last.Flight.a = 99));
+      (* a different geometry is a different ring: wiped, not misread *)
+      match Flight.create ~slots:32 path with
+      | Error e -> Alcotest.fail e
+      | Ok fl ->
+        check_int "geometry change resets the ring" 1 (Flight.next_seq fl);
+        Flight.close fl)
+
+let test_flight_rejects_foreign () =
+  with_ring (fun path ->
+      let oc = open_out_bin path in
+      output_string oc "this is not a flight recorder at all";
+      close_out oc;
+      match Flight.load path with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "foreign file must not load")
+
 (* --- properties --- *)
 
 let prop_eligibility_timeline =
@@ -549,6 +864,30 @@ let () =
           Alcotest.test_case "clear" `Quick test_trace_clear;
           Alcotest.test_case "eligibility timeline" `Quick test_eligibility_timeline;
           Alcotest.test_case "kind names" `Quick test_kind_names;
+          Alcotest.test_case "bounded ring mode" `Quick test_trace_ring;
+        ] );
+      ( "live registry",
+        [
+          Alcotest.test_case "sharded counters merge on read" `Quick
+            test_live_counter;
+          Alcotest.test_case "gauges, histograms, windows" `Quick
+            test_live_gauge_histogram;
+          Alcotest.test_case "openmetrics exposition" `Quick
+            test_live_openmetrics;
+          Alcotest.test_case "json snapshot" `Quick test_live_to_json;
+        ] );
+      ( "flight recorder",
+        [
+          Alcotest.test_case "record, load, replay" `Quick
+            test_flight_roundtrip;
+          Alcotest.test_case "ring wraps to the newest tail" `Quick
+            test_flight_wrap;
+          Alcotest.test_case "torn slot fails its CRC" `Quick
+            test_flight_torn_slot;
+          Alcotest.test_case "reopen continues the sequence" `Quick
+            test_flight_reopen_continues;
+          Alcotest.test_case "foreign file rejected" `Quick
+            test_flight_rejects_foreign;
         ] );
       ( "metrics",
         [

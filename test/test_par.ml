@@ -7,6 +7,7 @@ module Payload = Ic_par.Payload
 module Deque = Ic_par.Deque
 module Pool = Ic_par.Pool
 module Metrics = Ic_obs.Metrics
+module Live = Ic_obs.Live
 
 let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
 
@@ -279,6 +280,96 @@ let test_mesh256_records_steals () =
   attempt 1;
   ignore !work
 
+(* --- live registry under real domains ------------------------------- *)
+
+(* merge-on-read correctness: N domains each hammer their own shard of
+   one shared counter; once the writers are quiescent the merged sum
+   must equal the sequential oracle exactly — no lost increments, no
+   double counts, under any (domains, increments, step) mix *)
+let prop_live_merge_on_read =
+  QCheck2.Test.make
+    ~name:"live counter merge-on-read = sequential oracle (N domains)"
+    ~count:30
+    ~print:(fun (domains, per_domain, by) ->
+      Printf.sprintf "domains=%d per_domain=%d by=%d" domains per_domain by)
+    QCheck2.Gen.(
+      triple (int_range 1 6) (int_range 1 5_000) (int_range 1 3))
+    (fun (domains, per_domain, by) ->
+      let l = Live.create ~shards:domains () in
+      let c = Live.counter l "t.hits" in
+      let other = Live.counter l "t.other" in
+      let spawned =
+        List.init domains (fun shard ->
+            Domain.spawn (fun () ->
+                for _ = 1 to per_domain do
+                  Live.incr c ~shard by;
+                  (* a second instrument in the same registry must not
+                     absorb or leak any of the increments *)
+                  Live.incr other ~shard 1
+                done))
+      in
+      List.iter Domain.join spawned;
+      Live.counter_value c = domains * per_domain * by
+      && Live.counter_value other = domains * per_domain)
+
+(* while writers are still running, a concurrent reader must see a
+   monotonically growing merged value bounded by the true total: reads
+   tear across cells but never invent or lose settled increments *)
+let test_live_concurrent_reads () =
+  let writers = 4 and per_domain = 200_000 in
+  let l = Live.create ~shards:writers () in
+  let c = Live.counter l "t.c" in
+  let spawned =
+    List.init writers (fun shard ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per_domain do
+              Live.incr c ~shard 1
+            done))
+  in
+  let last = ref 0 in
+  let monotone = ref true in
+  let bounded = ref true in
+  (* poll from the test domain while the writers run *)
+  for _ = 1 to 10_000 do
+    let v = Live.counter_value c in
+    if v < !last then monotone := false;
+    if v > writers * per_domain then bounded := false;
+    last := v
+  done;
+  List.iter Domain.join spawned;
+  Alcotest.(check bool) "merged reads never go backwards" true !monotone;
+  Alcotest.(check bool) "merged reads never exceed the true total" true
+    !bounded;
+  Alcotest.(check int) "quiescent sum is exact" (writers * per_domain)
+    (Live.counter_value c)
+
+(* the runtime mirrors its meters into ?live without perturbing the
+   run: live par.* totals equal the deterministic stats *)
+let test_runtime_live_wiring () =
+  let g = Ic_families.Mesh.out_mesh 64 in
+  let l = Live.create ~shards:4 () in
+  let work = ref 0 in
+  let st =
+    Runtime.run ~domains:4 ~live:l g ~task:(fun _ ->
+        incr work (* racy; only forces a real payload *))
+  in
+  let live_c name = Live.counter_value (Live.counter l name) in
+  Alcotest.(check int) "par.tasks mirrors stats" st.Runtime.tasks
+    (live_c "par.tasks");
+  Alcotest.(check int) "par.steals mirrors stats" st.Runtime.steals
+    (live_c "par.steals");
+  Alcotest.(check int) "par.overflows mirrors stats" st.Runtime.overflows
+    (live_c "par.overflows");
+  Alcotest.(check bool) "par.domains gauge" true
+    (Live.gauge_value (Live.gauge l "par.domains") = 4.0);
+  Alcotest.(check bool) "par.wall_s gauge set" true
+    (Live.gauge_value (Live.gauge l "par.wall_s") > 0.0);
+  let s = Live.histogram_snapshot (Live.histogram l "par.task_s") in
+  Alcotest.(check int) "one task_s observation per task" st.Runtime.tasks
+    s.Live.count;
+  (* and the deterministic fingerprint is untouched by the mirror *)
+  Alcotest.(check int) "every task ran" (Dag.n_nodes g) st.Runtime.tasks
+
 let () =
   Alcotest.run "ic_par"
     [
@@ -310,4 +401,10 @@ let () =
           Alcotest.test_case "mesh-256 x 4 domains records steals" `Quick
             test_mesh256_records_steals;
         ] );
+      ( "live",
+        Alcotest.test_case "concurrent reads are monotone and bounded" `Quick
+          test_live_concurrent_reads
+        :: Alcotest.test_case "runtime mirrors meters into ?live" `Quick
+             test_runtime_live_wiring
+        :: qcheck [ prop_live_merge_on_read ] );
     ]

@@ -422,6 +422,66 @@ let test_mesh256_churn_exactly_once () =
   Alcotest.(check (float 0.0)) "same virtual makespan" r.Hammer.makespan_s
     r2.Hammer.makespan_s
 
+(* live telemetry must not perturb the deterministic artifacts: the
+   same seeded virtual run, with a Live registry mirroring every meter,
+   dumps byte-identical Metrics JSON — and the mirror agrees with the
+   server's own stats once the run is over *)
+let test_live_mirror_preserves_determinism () =
+  let run ?live () =
+    let g = Mesh.out_mesh 64 in
+    let m = Metrics.create () in
+    let scfg =
+      Server.config ~n_shards:3 ~max_lease:64 ~expected_s:0.2
+        ~retry_after_s:0.2
+        ~recovery:(Recovery.make ~timeout_factor:4.0 ())
+        ()
+    in
+    let churn =
+      Plan.make ~crash_rate:0.002 ~disconnect_rate:0.02 ~mean_downtime:0.5
+        ~seed:11 ()
+    in
+    let cfg =
+      Hammer.config ~workers:2_000 ~k:8 ~mean_service_s:0.01 ~think_s:0.001
+        ~churn ~seed:42 ()
+    in
+    let r = Hammer.run_virtual ~metrics:m ?live ~server:scfg cfg g in
+    (r, Metrics.to_json m)
+  in
+  let r_bare, json_bare = run () in
+  let live = Ic_obs.Live.create () in
+  let r_live, json_live = run ~live () in
+  Alcotest.(check string)
+    "metrics JSON byte-identical with the live mirror on" json_bare json_live;
+  Alcotest.(check int) "same completions" r_bare.Hammer.completed
+    r_live.Hammer.completed;
+  Alcotest.(check (float 0.0)) "same virtual makespan" r_bare.Hammer.makespan_s
+    r_live.Hammer.makespan_s;
+  (* the mirror itself is exact once quiescent *)
+  let lc name = Ic_obs.Live.counter_value (Ic_obs.Live.counter live name) in
+  let st = r_live.Hammer.server in
+  Alcotest.(check int) "live leases = stats" st.Server.leases
+    (lc "served.leases");
+  Alcotest.(check int) "live leased_tasks = stats" st.Server.leased_tasks
+    (lc "served.leased_tasks");
+  Alcotest.(check int) "live completions = stats" st.Server.completions
+    (lc "served.completions");
+  Alcotest.(check int) "live reissues = stats" st.Server.reissues
+    (lc "served.reissues");
+  Alcotest.(check int) "live retry_afters = stats" st.Server.retry_afters
+    (lc "served.retry_afters");
+  let s =
+    Ic_obs.Live.histogram_snapshot
+      (Ic_obs.Live.histogram live "served.lease_service_s")
+  in
+  Alcotest.(check int) "one service observation per completion"
+    st.Server.completions s.Ic_obs.Live.count;
+  (* rerunning against the same registry doubles the counters — the
+     mirror accumulates, it is not reset per run *)
+  let _ = run ~live () in
+  Alcotest.(check int) "mirror accumulates across runs"
+    (2 * st.Server.completions)
+    (lc "served.completions")
+
 (* --------------------------------------------------- journal + recovery *)
 
 module Journal = Ic_served.Journal
@@ -938,6 +998,8 @@ let () =
             `Quick test_mesh256_churn_exactly_once;
           Alcotest.test_case "metrics registry resets between repeats" `Quick
             test_metrics_reset_between_repeats;
+          Alcotest.test_case "live mirror preserves byte-determinism" `Quick
+            test_live_mirror_preserves_determinism;
         ] );
       ( "journal",
         Alcotest.test_case "records round-trip through a reopen" `Quick
